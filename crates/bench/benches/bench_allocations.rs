@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks: allocation-function evaluation and
+//! derivatives (the inner loop of every equilibrium computation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greednet_queueing::{AllocationFunction, Blend, FairShare, Proportional, SerialPriority};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn rates(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.8 * (i as f64 + 1.0) / (n * (n + 1) / 2) as f64).collect()
+}
+
+fn bench_congestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congestion");
+    let discs: Vec<(&str, Box<dyn AllocationFunction>)> = vec![
+        ("fifo", Box::new(Proportional::new())),
+        ("fair_share", Box::new(FairShare::new())),
+        ("serial_priority", Box::new(SerialPriority::new())),
+        (
+            "blend",
+            Box::new(
+                Blend::new(Box::new(Proportional::new()), Box::new(FairShare::new()), 0.5)
+                    .unwrap(),
+            ),
+        ),
+    ];
+    for n in [4usize, 16, 64] {
+        let r = rates(n);
+        for (name, d) in &discs {
+            group.bench_with_input(BenchmarkId::new(*name, n), &r, |b, r| {
+                b.iter(|| d.congestion(black_box(r)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_derivatives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobian");
+    let fs = FairShare::new();
+    let p = Proportional::new();
+    for n in [4usize, 16] {
+        let r = rates(n);
+        group.bench_with_input(BenchmarkId::new("fair_share_analytic", n), &r, |b, r| {
+            b.iter(|| fs.jacobian(black_box(r)))
+        });
+        group.bench_with_input(BenchmarkId::new("fifo_analytic", n), &r, |b, r| {
+            b.iter(|| p.jacobian(black_box(r)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep `cargo bench --workspace` wall-clock friendly;
+    // bump these locally for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench_congestion, bench_derivatives
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks: packet-simulator event throughput per
+//! discipline (events processed per second of wall time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use greednet_des::scenarios::DisciplineKind;
+use greednet_des::{SimConfig, Simulator};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_events");
+    group.sample_size(10);
+    let rates = vec![0.15, 0.2, 0.25];
+    let horizon = 20_000.0;
+    // Pre-measure event count to report true throughput.
+    let sim = Simulator::new(SimConfig::new(rates.clone(), horizon, 1)).unwrap();
+    let mut d = DisciplineKind::Fifo.build(&rates, 1).unwrap();
+    let events = sim.run(d.as_mut()).unwrap().events;
+    group.throughput(Throughput::Elements(events));
+
+    for kind in DisciplineKind::all() {
+        group.bench_function(BenchmarkId::new("run", kind.label()), |b| {
+            b.iter(|| {
+                let sim =
+                    Simulator::new(SimConfig::new(black_box(rates.clone()), horizon, 1)).unwrap();
+                let mut d = kind.build(&rates, 1).unwrap();
+                sim.run(d.as_mut()).unwrap().events
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_load_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_load");
+    group.sample_size(10);
+    for load in [0.3f64, 0.6, 0.9] {
+        let rates = vec![load / 3.0; 3];
+        group.bench_with_input(BenchmarkId::new("fifo", format!("{load}")), &rates, |b, r| {
+            b.iter(|| {
+                let sim = Simulator::new(SimConfig::new(r.clone(), 10_000.0, 2)).unwrap();
+                let mut d = DisciplineKind::Fifo.build(r, 2).unwrap();
+                sim.run(d.as_mut()).unwrap().events
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep `cargo bench --workspace` wall-clock friendly;
+    // bump these locally for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench_event_throughput, bench_load_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks: learning-dynamics kernels — exact hill
+//! climbing, Newton dynamics, and candidate-elimination rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greednet_core::game::Game;
+use greednet_core::utility::{BoxedUtility, LogUtility, UtilityExt};
+use greednet_learning::elimination::{run as elim_run, EliminationConfig};
+use greednet_learning::hill::{climb, ExactEnv, HillConfig};
+use greednet_learning::newton;
+use greednet_queueing::FairShare;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn log_users(n: usize) -> Vec<BoxedUtility> {
+    (0..n).map(|i| LogUtility::new(0.3 + 0.15 * i as f64, 1.0).boxed()).collect()
+}
+
+fn bench_hill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hill_exact");
+    group.sample_size(20);
+    for n in [3usize, 6] {
+        group.bench_function(BenchmarkId::new("fair_share", n), |b| {
+            b.iter(|| {
+                let users = log_users(n);
+                let mut env = ExactEnv::new(Box::new(FairShare::new()), n);
+                let cfg = HillConfig { rounds: 50, ..Default::default() };
+                climb(&users, &mut env, black_box(&vec![0.05; n]), &cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_newton(c: &mut Criterion) {
+    let mut group = c.benchmark_group("newton_dynamics");
+    for n in [3usize, 6] {
+        let game = Game::new(FairShare::new(), log_users(n)).unwrap();
+        let start = vec![0.4 / n as f64; n];
+        group.bench_function(BenchmarkId::new("fair_share", n), |b| {
+            b.iter(|| newton::run(&game, black_box(&start), n + 2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_elimination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elimination");
+    group.sample_size(10);
+    let users = log_users(3);
+    let cfg = EliminationConfig { grid: 41, lo: 0.005, hi: 0.5, max_rounds: 60 };
+    group.bench_function("fair_share_grid41", |b| {
+        b.iter(|| elim_run(&FairShare::new(), black_box(&users), &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep `cargo bench --workspace` wall-clock friendly;
+    // bump these locally for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench_hill, bench_newton, bench_elimination
+}
+criterion_main!(benches);

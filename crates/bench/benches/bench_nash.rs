@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks: Nash equilibrium computation — best
+//! responses, full solves, verification, and the Stackelberg outer loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greednet_core::game::{Game, NashOptions};
+use greednet_core::relaxation::relaxation_matrix;
+use greednet_core::stackelberg::{solve as stackelberg_solve, StackelbergOptions};
+use greednet_core::utility::{BoxedUtility, LogUtility, UtilityExt};
+use greednet_queueing::{FairShare, Proportional};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn log_users(n: usize) -> Vec<BoxedUtility> {
+    (0..n).map(|i| LogUtility::new(0.3 + 0.1 * i as f64, 1.0).boxed()).collect()
+}
+
+fn bench_best_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("best_response");
+    for n in [4usize, 16] {
+        let game = Game::new(FairShare::new(), log_users(n)).unwrap();
+        let rates = vec![0.5 / n as f64; n];
+        group.bench_with_input(BenchmarkId::new("fair_share", n), &rates, |b, r| {
+            b.iter(|| game.best_response(black_box(r), 0, 96).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_solve_nash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_nash");
+    group.sample_size(20);
+    for n in [2usize, 4, 8] {
+        for (name, game) in [
+            ("fair_share", Game::new(FairShare::new(), log_users(n)).unwrap()),
+            ("fifo", Game::new(Proportional::new(), log_users(n)).unwrap()),
+        ] {
+            group.bench_function(BenchmarkId::new(name, n), |b| {
+                b.iter(|| game.solve_nash(black_box(&NashOptions::default())).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_verify_and_relaxation(c: &mut Criterion) {
+    let game = Game::new(FairShare::new(), log_users(4)).unwrap();
+    let nash = game.solve_nash(&NashOptions::default()).unwrap();
+    c.bench_function("verify_nash_n4", |b| {
+        b.iter(|| game.verify_nash(black_box(&nash.rates), 128).unwrap())
+    });
+    c.bench_function("relaxation_matrix_n4", |b| {
+        b.iter(|| relaxation_matrix(&game, black_box(&nash.rates)))
+    });
+}
+
+fn bench_stackelberg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stackelberg");
+    group.sample_size(10);
+    let game = Game::new(Proportional::new(), log_users(3)).unwrap();
+    let opts = StackelbergOptions {
+        leader_grid: 16,
+        refinements: 8,
+        ..Default::default()
+    };
+    group.bench_function("fifo_n3_grid16", |b| {
+        b.iter(|| stackelberg_solve(&game, 0, black_box(&opts)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep `cargo bench --workspace` wall-clock friendly;
+    // bump these locally for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench_best_response,
+    bench_solve_nash,
+    bench_verify_and_relaxation,
+    bench_stackelberg
+}
+criterion_main!(benches);

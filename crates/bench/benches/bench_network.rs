@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks: the §5.4 network layer — route-summed
+//! congestion evaluation and network equilibrium solves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greednet_core::game::NashOptions;
+use greednet_core::utility::{BoxedUtility, LogUtility, UtilityExt};
+use greednet_network::{NetworkGame, Topology};
+use greednet_queueing::FairShare;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn users(n: usize) -> Vec<BoxedUtility> {
+    (0..n).map(|i| LogUtility::new(0.3 + 0.05 * i as f64, 1.0).boxed()).collect()
+}
+
+fn bench_congestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_congestion");
+    for k in [2usize, 4, 8] {
+        let t = Topology::parking_lot(k).unwrap();
+        let n = t.users();
+        let net = NetworkGame::new(t, Box::new(FairShare::new()), users(n)).unwrap();
+        let rates = vec![0.3 / n as f64; n];
+        group.bench_with_input(BenchmarkId::new("parking_lot", k), &rates, |b, r| {
+            b.iter(|| net.congestion(black_box(r)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_solve_nash");
+    group.sample_size(10);
+    for k in [2usize, 4] {
+        let t = Topology::parking_lot(k).unwrap();
+        let n = t.users();
+        let net = NetworkGame::new(t, Box::new(FairShare::new()), users(n)).unwrap();
+        group.bench_function(BenchmarkId::new("parking_lot", k), |b| {
+            b.iter(|| net.solve_nash(black_box(&NashOptions::default())).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep `cargo bench --workspace` wall-clock friendly;
+    // bump these locally for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench_congestion, bench_solve
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks: the numerical substrate — eigenvalues
+//! (relaxation spectra), linear solves, scalar optimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greednet_numerics::eig::eigenvalues;
+use greednet_numerics::lu::Lu;
+use greednet_numerics::optimize::{brent_max, grid_refine_max};
+use greednet_numerics::roots::brent;
+use greednet_numerics::Matrix;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn test_matrix(n: usize) -> Matrix {
+    // Well-conditioned, non-symmetric, deterministic.
+    Matrix::from_fn(n, n, |i, j| {
+        let x = ((i * 31 + j * 17 + 7) % 97) as f64 / 97.0;
+        x + if i == j { 2.0 } else { 0.0 }
+    })
+}
+
+fn bench_eigenvalues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigenvalues");
+    for n in [4usize, 8, 16, 32] {
+        let m = test_matrix(n);
+        group.bench_with_input(BenchmarkId::new("hqr", n), &m, |b, m| {
+            b.iter(|| eigenvalues(black_box(m)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_solve");
+    for n in [8usize, 32] {
+        let m = test_matrix(n);
+        let rhs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("factor_solve", n), &m, |b, m| {
+            b.iter(|| Lu::new(black_box(m)).unwrap().solve(black_box(&rhs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scalar(c: &mut Criterion) {
+    c.bench_function("brent_root", |b| {
+        b.iter(|| brent(|x| black_box(x) * x * x - 2.0, 0.0, 2.0, 1e-12).unwrap())
+    });
+    c.bench_function("brent_max", |b| {
+        b.iter(|| brent_max(|x| -(black_box(x) - 0.37).powi(2), 0.0, 1.0, 1e-12).unwrap())
+    });
+    c.bench_function("grid_refine_max_96", |b| {
+        b.iter(|| {
+            grid_refine_max(|x| -(black_box(x) - 0.37).powi(2), 0.0, 1.0, 96, 1e-12).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep `cargo bench --workspace` wall-clock friendly;
+    // bump these locally for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench_eigenvalues, bench_lu, bench_scalar
+}
+criterion_main!(benches);

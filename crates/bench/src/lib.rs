@@ -1,0 +1,174 @@
+//! Experiment harness for the reproduction of *"Making Greed Work in
+//! Networks"*.
+//!
+//! The paper is analytic: its evaluation artifacts are Table 1 and the
+//! quantitative content of Theorems 1–8 / Corollaries 1–2. Each binary in
+//! `src/bin/` regenerates one artifact as a printed table (see DESIGN.md
+//! §4 for the index and EXPERIMENTS.md for paper-vs-measured records):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `exp_t1_priority_table` | Table 1 + packet validation |
+//! | `exp_e1_efficiency` | Thm 1 & 2 (Pareto efficiency of Nash) |
+//! | `exp_e2_envy` | Thm 3 (unilateral envy-freeness) |
+//! | `exp_e3_uniqueness` | Thm 4 (uniqueness of Nash) |
+//! | `exp_e4_stackelberg` | Thm 5 (leader advantage) |
+//! | `exp_e5_revelation` | Thm 6 (truthfulness of `B^FS`) |
+//! | `exp_e6_convergence` | Thm 7 (relaxation spectra, Newton dynamics) |
+//! | `exp_e7_protection` | Thm 8 (protection bounds) |
+//! | `exp_e8_alt_constraint` | Cor. 2 (alternative constraints) |
+//! | `exp_e9_des_validation` | §3.1 closed forms vs packets |
+//! | `exp_e10_dynamics` | §2.2/§4.2.2 noisy hill climbing |
+//! | `exp_e10_ftp_telnet` | §5.2 FTP/Telnet/blaster mix |
+//! | `exp_e11_elimination` | §4.2.2 generalized hill climbing + learning automata |
+//! | `exp_e12_network` | §5.4 networks of switches |
+//! | `exp_e13_mg1` | footnote 5: M/G/1 kernels |
+//! | `exp_e14_coalitions` | footnote 14: coalition resilience |
+//! | `exp_e15_blend_ablation` | ablation along the FIFO→FS blend |
+//!
+//! Criterion micro-benchmarks of the library kernels live in `benches/`.
+//! This `lib` target holds the small shared utilities (table printing,
+//! sampled utility profiles, standard game builders).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use greednet_core::game::Game;
+use greednet_core::utility::{
+    BoxedUtility, LinearUtility, LogUtility, PowerUtility, QuadraticCongestionUtility,
+    UtilityExt,
+};
+use greednet_queueing::alloc::AllocationFunction;
+use greednet_queueing::{Blend, FairShare, Proportional, SerialPriority};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n==============================================================");
+    println!("{title}");
+    println!("==============================================================");
+}
+
+/// Prints a sub-note line.
+pub fn note(text: &str) {
+    println!("  {text}");
+}
+
+/// The disciplines every experiment sweeps, in reporting order.
+pub fn standard_disciplines() -> Vec<(&'static str, Box<dyn AllocationFunction>)> {
+    vec![
+        ("FIFO", Box::new(Proportional::new())),
+        ("FairShare", Box::new(FairShare::new())),
+        ("SerialPrio", Box::new(SerialPriority::new())),
+        (
+            "Blend(0.5)",
+            Box::new(
+                Blend::new(Box::new(Proportional::new()), Box::new(FairShare::new()), 0.5)
+                    .expect("valid blend"),
+            ),
+        ),
+    ]
+}
+
+/// A deterministic sampler of heterogeneous AU utility profiles.
+#[derive(Debug)]
+pub struct ProfileSampler {
+    rng: SmallRng,
+}
+
+impl ProfileSampler {
+    /// Creates a sampler with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        ProfileSampler { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.rng.random::<f64>()
+    }
+
+    /// Samples one utility from the mixed AU families.
+    pub fn utility(&mut self) -> BoxedUtility {
+        match self.rng.random_range(0..4u8) {
+            0 => LogUtility::new(self.uniform(0.2, 1.2), self.uniform(0.5, 2.5)).boxed(),
+            1 => PowerUtility::new(self.uniform(0.3, 0.8), self.uniform(0.4, 2.0)).boxed(),
+            2 => LinearUtility::new(1.0, self.uniform(0.1, 0.7)).boxed(),
+            _ => QuadraticCongestionUtility::new(1.0, self.uniform(0.5, 3.0)).boxed(),
+        }
+    }
+
+    /// Samples a profile of `n` users.
+    pub fn profile(&mut self, n: usize) -> Vec<BoxedUtility> {
+        (0..n).map(|_| self.utility()).collect()
+    }
+
+    /// Samples a rate vector with total load below `max_load`.
+    pub fn rates(&mut self, n: usize, max_load: f64) -> Vec<f64> {
+        let mut r: Vec<f64> = (0..n).map(|_| self.uniform(0.01, 1.0)).collect();
+        let total: f64 = r.iter().sum();
+        let scale = self.uniform(0.3, 0.95) * max_load / total;
+        for x in r.iter_mut() {
+            *x *= scale;
+        }
+        r
+    }
+}
+
+/// Builds a game of `n` identical linear users over `alloc`.
+pub fn identical_linear_game(
+    alloc: Box<dyn AllocationFunction>,
+    n: usize,
+    gamma: f64,
+) -> Game {
+    let users = (0..n).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect();
+    Game::from_boxed(alloc, users).expect("non-empty game")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let mut a = ProfileSampler::new(7);
+        let mut b = ProfileSampler::new(7);
+        assert_eq!(a.rates(3, 0.9), b.rates(3, 0.9));
+    }
+
+    #[test]
+    fn sampled_rates_respect_load_cap() {
+        let mut s = ProfileSampler::new(1);
+        for _ in 0..50 {
+            let r = s.rates(5, 0.9);
+            assert!(r.iter().sum::<f64>() < 0.9);
+            assert!(r.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn sampled_profiles_are_valid_au() {
+        let mut s = ProfileSampler::new(2);
+        for _ in 0..20 {
+            let u = s.utility();
+            assert!(u.du_dr(0.2, 0.5) > 0.0);
+            assert!(u.du_dc(0.2, 0.5) < 0.0);
+        }
+    }
+
+    #[test]
+    fn standard_disciplines_nonempty() {
+        let d = standard_disciplines();
+        assert_eq!(d.len(), 4);
+        for (name, alloc) in d {
+            assert!(!name.is_empty());
+            let c = alloc.congestion(&[0.1, 0.2]);
+            assert_eq!(c.len(), 2);
+        }
+    }
+
+    #[test]
+    fn identical_linear_game_builds() {
+        let g = identical_linear_game(Box::new(FairShare::new()), 3, 0.3);
+        assert_eq!(g.n(), 3);
+    }
+}

@@ -1,0 +1,379 @@
+//! Hand-rolled argument parsing for the `greednet` CLI (no external
+//! dependencies; the grammar is tiny).
+
+use std::fmt;
+
+/// Usage text.
+pub const USAGE: &str = "\
+greednet — selfish flow control over a shared switch (Shenker, SIGCOMM 1994)
+
+USAGE:
+    greednet <COMMAND> [OPTIONS]
+
+COMMANDS:
+    nash       Compute a Nash equilibrium
+               --discipline fifo|fs|sp   (default fs)
+               --users SPEC              semicolon-separated utilities:
+                                         linear:A,GAMMA | log:W,GAMMA |
+                                         power:A,GAMMA  | quad:A,GAMMA
+    simulate   Run the packet-level simulator
+               --rates R1,R2,...         Poisson rates (required)
+               --discipline fifo|lifo|ps|sp|fs|sfq   (default fs)
+               --horizon T               (default 100000)
+               --seed S                  (default 1)
+               --service M|D|E<k>|H2:<cs2>   (default M)
+    table      Print the Table 1 priority decomposition
+               --rates R1,R2,...         (required)
+    protect    Adversarial congestion vs the Theorem 8 bound
+               --n N                     total users (default 4)
+               --victim R                victim rate (default 0.1)
+               --discipline fifo|fs|sp   (default fs)
+    network    Nash equilibrium on a parking-lot network (one through
+               user crossing k switches + one local user per switch)
+               --switches K              (default 3)
+               --discipline fifo|fs|sp   (default fs)
+    help       Show this message
+
+EXAMPLES:
+    greednet nash --discipline fs --users 'log:0.5,1.0;linear:1.0,0.3'
+    greednet simulate --rates 0.1,0.3 --discipline sfq --horizon 50000
+    greednet table --rates 0.05,0.1,0.2,0.3
+    greednet protect --n 4 --victim 0.1 --discipline fifo
+";
+
+/// A parsed CLI command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Compute a Nash equilibrium.
+    Nash(NashArgs),
+    /// Run the packet simulator.
+    Simulate(SimulateArgs),
+    /// Print the Table 1 decomposition.
+    Table(TableArgs),
+    /// Protection sweep.
+    Protect(ProtectArgs),
+    /// Parking-lot network equilibrium.
+    Network(NetworkArgs),
+    /// Show usage.
+    Help,
+}
+
+/// Arguments for `nash`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NashArgs {
+    /// Discipline name (fifo/fs/sp).
+    pub discipline: String,
+    /// Utility specs.
+    pub users: Vec<UtilitySpec>,
+}
+
+/// Arguments for `simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// Poisson rates.
+    pub rates: Vec<f64>,
+    /// Discipline name (fifo/lifo/ps/sp/fs/sfq).
+    pub discipline: String,
+    /// Simulated horizon.
+    pub horizon: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Service-time spec (`M`/`D`/`E<k>`/`H2:<cs2>`).
+    pub service: String,
+}
+
+/// Arguments for `table`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableArgs {
+    /// Rates to decompose.
+    pub rates: Vec<f64>,
+}
+
+/// Arguments for `protect`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtectArgs {
+    /// Total number of users.
+    pub n: usize,
+    /// Victim rate.
+    pub victim: f64,
+    /// Discipline name.
+    pub discipline: String,
+}
+
+/// Arguments for `network`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkArgs {
+    /// Number of switches in the parking lot.
+    pub switches: usize,
+    /// Discipline name.
+    pub discipline: String,
+}
+
+/// A user utility specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilitySpec {
+    /// Family: linear/log/power/quad.
+    pub family: String,
+    /// First parameter.
+    pub a: f64,
+    /// Second parameter.
+    pub b: f64,
+}
+
+/// Parse error with a message suitable for the terminal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Extracts `--key value` options from the tail of an argument list.
+fn options(args: &[String]) -> Result<Vec<(String, String)>, ParseError> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let Some(key) = k.strip_prefix("--") else {
+            return err(format!("expected --option, got '{k}'"));
+        };
+        let Some(v) = it.next() else {
+            return err(format!("--{key} needs a value"));
+        };
+        out.push((key.to_string(), v.clone()));
+    }
+    Ok(out)
+}
+
+fn get<'a>(opts: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    opts.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// Parses a comma-separated list of rates.
+pub fn parse_rates(s: &str) -> Result<Vec<f64>, ParseError> {
+    let rates: Result<Vec<f64>, _> = s.split(',').map(|x| x.trim().parse::<f64>()).collect();
+    match rates {
+        Ok(r) if !r.is_empty() && r.iter().all(|x| x.is_finite() && *x >= 0.0) => Ok(r),
+        _ => err(format!("invalid rate list '{s}' (expected e.g. 0.1,0.2)")),
+    }
+}
+
+/// Parses the semicolon-separated utility list.
+pub fn parse_users(s: &str) -> Result<Vec<UtilitySpec>, ParseError> {
+    let mut out = Vec::new();
+    for part in s.split(';') {
+        let part = part.trim();
+        let Some((family, params)) = part.split_once(':') else {
+            return err(format!("bad utility '{part}' (expected family:a,b)"));
+        };
+        let family = family.trim().to_lowercase();
+        if !["linear", "log", "power", "quad"].contains(&family.as_str()) {
+            return err(format!("unknown utility family '{family}'"));
+        }
+        let Some((a, b)) = params.split_once(',') else {
+            return err(format!("bad parameters in '{part}' (expected a,b)"));
+        };
+        let (Ok(a), Ok(b)) = (a.trim().parse::<f64>(), b.trim().parse::<f64>()) else {
+            return err(format!("bad numbers in '{part}'"));
+        };
+        out.push(UtilitySpec { family, a, b });
+    }
+    if out.is_empty() {
+        return err("at least one utility is required");
+    }
+    Ok(out)
+}
+
+/// Parses a full command line (excluding the program name).
+///
+/// # Errors
+/// [`ParseError`] with a user-facing message.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "nash" => {
+            let opts = options(rest)?;
+            let users = parse_users(
+                get(&opts, "users").unwrap_or("log:0.5,1.0;log:1.0,1.0;linear:1.0,0.3"),
+            )?;
+            Ok(Command::Nash(NashArgs {
+                discipline: get(&opts, "discipline").unwrap_or("fs").to_string(),
+                users,
+            }))
+        }
+        "simulate" => {
+            let opts = options(rest)?;
+            let Some(rates) = get(&opts, "rates") else {
+                return err("simulate requires --rates");
+            };
+            let horizon: f64 = get(&opts, "horizon")
+                .unwrap_or("100000")
+                .parse()
+                .map_err(|_| ParseError("bad --horizon".into()))?;
+            let seed: u64 = get(&opts, "seed")
+                .unwrap_or("1")
+                .parse()
+                .map_err(|_| ParseError("bad --seed".into()))?;
+            Ok(Command::Simulate(SimulateArgs {
+                rates: parse_rates(rates)?,
+                discipline: get(&opts, "discipline").unwrap_or("fs").to_string(),
+                horizon,
+                seed,
+                service: get(&opts, "service").unwrap_or("M").to_string(),
+            }))
+        }
+        "table" => {
+            let opts = options(rest)?;
+            let Some(rates) = get(&opts, "rates") else {
+                return err("table requires --rates");
+            };
+            Ok(Command::Table(TableArgs { rates: parse_rates(rates)? }))
+        }
+        "network" => {
+            let opts = options(rest)?;
+            let switches: usize = get(&opts, "switches")
+                .unwrap_or("3")
+                .parse()
+                .map_err(|_| ParseError("bad --switches".into()))?;
+            Ok(Command::Network(NetworkArgs {
+                switches,
+                discipline: get(&opts, "discipline").unwrap_or("fs").to_string(),
+            }))
+        }
+        "protect" => {
+            let opts = options(rest)?;
+            let n: usize = get(&opts, "n")
+                .unwrap_or("4")
+                .parse()
+                .map_err(|_| ParseError("bad --n".into()))?;
+            let victim: f64 = get(&opts, "victim")
+                .unwrap_or("0.1")
+                .parse()
+                .map_err(|_| ParseError("bad --victim".into()))?;
+            Ok(Command::Protect(ProtectArgs {
+                n,
+                victim,
+                discipline: get(&opts, "discipline").unwrap_or("fs").to_string(),
+            }))
+        }
+        other => err(format!("unknown command '{other}' (try 'greednet help')")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn nash_defaults_and_overrides() {
+        let Command::Nash(a) = parse(&argv("nash")).unwrap() else { panic!() };
+        assert_eq!(a.discipline, "fs");
+        assert_eq!(a.users.len(), 3);
+        let Command::Nash(a) =
+            parse(&argv("nash --discipline fifo --users linear:1.0,0.5")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.discipline, "fifo");
+        assert_eq!(a.users, vec![UtilitySpec { family: "linear".into(), a: 1.0, b: 0.5 }]);
+    }
+
+    #[test]
+    fn simulate_parsing() {
+        let Command::Simulate(a) = parse(&argv(
+            "simulate --rates 0.1,0.2 --discipline sfq --horizon 5000 --seed 9 --service D",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.rates, vec![0.1, 0.2]);
+        assert_eq!(a.discipline, "sfq");
+        assert_eq!(a.horizon, 5000.0);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.service, "D");
+        assert!(parse(&argv("simulate")).is_err());
+        assert!(parse(&argv("simulate --rates abc")).is_err());
+    }
+
+    #[test]
+    fn table_and_protect() {
+        let Command::Table(t) = parse(&argv("table --rates 0.05,0.1")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.rates.len(), 2);
+        let Command::Protect(p) =
+            parse(&argv("protect --n 5 --victim 0.12 --discipline fifo")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(p.n, 5);
+        assert_eq!(p.victim, 0.12);
+        assert_eq!(p.discipline, "fifo");
+    }
+
+    #[test]
+    fn network_parsing() {
+        let Command::Network(n) =
+            parse(&argv("network --switches 5 --discipline fifo")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(n.switches, 5);
+        assert_eq!(n.discipline, "fifo");
+        let Command::Network(n) = parse(&argv("network")).unwrap() else { panic!() };
+        assert_eq!(n.switches, 3);
+    }
+
+    #[test]
+    fn option_errors() {
+        assert!(parse(&argv("nash --users")).is_err());
+        assert!(parse(&argv("nash users")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn utility_spec_errors() {
+        assert!(parse_users("bogus:1,2").is_err());
+        assert!(parse_users("linear:1").is_err());
+        assert!(parse_users("linear:x,y").is_err());
+        assert!(parse_users("").is_err());
+        assert!(parse_users("log:0.5,1.0;power:0.5,1.0").is_ok());
+    }
+
+    #[test]
+    fn rate_errors() {
+        assert!(parse_rates("0.1,-0.2").is_err());
+        assert!(parse_rates("").is_err());
+        assert!(parse_rates("0.1,0.2,0.3").is_ok());
+    }
+
+    #[test]
+    fn last_option_wins() {
+        let Command::Protect(p) = parse(&argv("protect --n 3 --n 7")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(p.n, 7);
+    }
+}

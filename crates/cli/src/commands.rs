@@ -1,0 +1,323 @@
+//! Implementations of the CLI commands.
+
+use crate::args::{NashArgs, NetworkArgs, ProtectArgs, SimulateArgs, TableArgs, UtilitySpec};
+use greednet_core::game::{Game, NashOptions};
+use greednet_core::protection::{adversarial_congestion, protection_bound};
+use greednet_core::utility::{
+    BoxedUtility, LinearUtility, LogUtility, PowerUtility, QuadraticCongestionUtility,
+    UtilityExt,
+};
+use greednet_des::scenarios::DisciplineKind;
+use greednet_des::{ServiceDist, SimConfig, Simulator};
+use greednet_queueing::alloc::AllocationFunction;
+use greednet_queueing::fair_share::priority_table;
+use greednet_queueing::{FairShare, Proportional, SerialPriority};
+
+/// Builds an allocation function from a CLI discipline name.
+pub fn build_alloc(name: &str) -> Result<Box<dyn AllocationFunction>, String> {
+    match name {
+        "fifo" => Ok(Box::new(Proportional::new())),
+        "fs" | "fairshare" | "fair-share" => Ok(Box::new(FairShare::new())),
+        "sp" | "serial" => Ok(Box::new(SerialPriority::new())),
+        other => Err(format!("unknown discipline '{other}' (use fifo/fs/sp)")),
+    }
+}
+
+/// Builds a simulator discipline kind from a CLI name.
+pub fn build_kind(name: &str) -> Result<DisciplineKind, String> {
+    Ok(match name {
+        "fifo" => DisciplineKind::Fifo,
+        "lifo" => DisciplineKind::LifoPreemptive,
+        "ps" => DisciplineKind::ProcessorSharing,
+        "sp" | "serial" => DisciplineKind::SerialPriority,
+        "fs" | "fairshare" | "fair-share" => DisciplineKind::FsTable,
+        "sfq" | "fq" => DisciplineKind::Sfq,
+        other => return Err(format!("unknown discipline '{other}' (use fifo/lifo/ps/sp/fs/sfq)")),
+    })
+}
+
+/// Builds utilities from parsed specs.
+pub fn build_users(specs: &[UtilitySpec]) -> Result<Vec<BoxedUtility>, String> {
+    specs
+        .iter()
+        .map(|s| -> Result<BoxedUtility, String> {
+            let bad = |msg: &str| format!("{}:{},{}: {msg}", s.family, s.a, s.b);
+            match s.family.as_str() {
+                "linear" => {
+                    if s.a <= 0.0 || s.b <= 0.0 {
+                        return Err(bad("needs a, gamma > 0"));
+                    }
+                    Ok(LinearUtility::new(s.a, s.b).boxed())
+                }
+                "log" => {
+                    if s.a <= 0.0 || s.b <= 0.0 {
+                        return Err(bad("needs w, gamma > 0"));
+                    }
+                    Ok(LogUtility::new(s.a, s.b).boxed())
+                }
+                "power" => {
+                    if !(0.0 < s.a && s.a < 1.0) || s.b <= 0.0 {
+                        return Err(bad("needs 0 < a < 1, gamma > 0"));
+                    }
+                    Ok(PowerUtility::new(s.a, s.b).boxed())
+                }
+                "quad" => {
+                    if s.a <= 0.0 || s.b <= 0.0 {
+                        return Err(bad("needs a, gamma > 0"));
+                    }
+                    Ok(QuadraticCongestionUtility::new(s.a, s.b).boxed())
+                }
+                other => Err(format!("unknown family '{other}'")),
+            }
+        })
+        .collect()
+}
+
+/// Parses a service spec (`M`, `D`, `E<k>`, `H2:<cs2>`).
+pub fn build_service(spec: &str) -> Result<ServiceDist, String> {
+    match spec {
+        "M" | "m" => Ok(ServiceDist::Exponential),
+        "D" | "d" => Ok(ServiceDist::Deterministic),
+        s if s.starts_with('E') || s.starts_with('e') => s[1..]
+            .parse::<u32>()
+            .ok()
+            .filter(|&k| k >= 1)
+            .map(ServiceDist::Erlang)
+            .ok_or_else(|| format!("bad Erlang spec '{s}' (use e.g. E4)")),
+        s if s.to_uppercase().starts_with("H2:") => s[3..]
+            .parse::<f64>()
+            .ok()
+            .filter(|&c| c > 1.0)
+            .map(|cs2| ServiceDist::Hyperexponential { cs2 })
+            .ok_or_else(|| format!("bad H2 spec '{s}' (use e.g. H2:4.0)")),
+        other => Err(format!("unknown service '{other}' (use M, D, E<k> or H2:<cs2>)")),
+    }
+}
+
+/// `greednet nash`.
+pub fn nash(a: NashArgs) -> Result<(), String> {
+    let alloc = build_alloc(&a.discipline)?;
+    let name = alloc.name();
+    let users = build_users(&a.users)?;
+    let game = Game::from_boxed(alloc, users).map_err(|e| e.to_string())?;
+    let sol = game.solve_nash(&NashOptions::default()).map_err(|e| e.to_string())?;
+    println!("Nash equilibrium under {name}:");
+    println!(
+        "  converged: {} in {} sweeps (residual {:.1e})",
+        sol.converged, sol.iterations, sol.residual
+    );
+    println!("  {:<6}{:>12}{:>12}{:>12}", "user", "rate", "congestion", "utility");
+    for i in 0..game.n() {
+        println!(
+            "  {i:<6}{:>12.5}{:>12.5}{:>12.5}",
+            sol.rates[i], sol.congestions[i], sol.utilities[i]
+        );
+    }
+    let envy = game.max_envy(&sol.rates).map_err(|e| e.to_string())?;
+    println!("  max envy: {envy:+.6} (<= 0 means envy-free)");
+    Ok(())
+}
+
+/// `greednet simulate`.
+pub fn simulate(a: SimulateArgs) -> Result<(), String> {
+    let kind = build_kind(&a.discipline)?;
+    let service = build_service(&a.service)?;
+    let mut cfg = SimConfig::new(a.rates.clone(), a.horizon, a.seed);
+    cfg.service = service;
+    cfg.allow_overload = true;
+    let sim = Simulator::new(cfg).map_err(|e| e.to_string())?;
+    let mut d = kind.build(&a.rates, a.seed ^ 0xC11).map_err(|e| e.to_string())?;
+    let r = sim.run(d.as_mut()).map_err(|e| e.to_string())?;
+    println!(
+        "Simulated {} under {} service for {} time units ({} events):",
+        kind.label(),
+        a.service,
+        a.horizon,
+        r.events
+    );
+    println!(
+        "  {:<6}{:>10}{:>12}{:>12}{:>12}{:>14}",
+        "user", "rate", "queue", "ci(95%)", "delay", "throughput"
+    );
+    for (i, &rate) in a.rates.iter().enumerate() {
+        println!(
+            "  {i:<6}{rate:>10.4}{:>12.4}{:>12.4}{:>12.4}{:>14.4}",
+            r.mean_queue[i], r.queue_ci[i].half_width, r.mean_delay[i], r.throughput[i]
+        );
+    }
+    println!("  total mean queue: {:.4}", r.total_mean_queue);
+    Ok(())
+}
+
+/// `greednet table`.
+pub fn table(a: TableArgs) -> Result<(), String> {
+    let n = a.rates.len();
+    let t = priority_table(&a.rates);
+    println!("Fair Share priority table (paper Table 1) for rates {:?}:", a.rates);
+    print!("  {:<6}", "user");
+    for k in 0..n {
+        print!("{:>9}", format!("L{k}"));
+    }
+    println!("{:>10}", "total");
+    for (u, row) in t.iter().enumerate() {
+        print!("  {u:<6}");
+        for &v in row {
+            if v > 0.0 {
+                print!("{v:>9.4}");
+            } else {
+                print!("{:>9}", "-");
+            }
+        }
+        println!("{:>10.4}", row.iter().sum::<f64>());
+    }
+    Ok(())
+}
+
+/// `greednet protect`.
+pub fn protect(a: ProtectArgs) -> Result<(), String> {
+    if a.n < 1 {
+        return Err("--n must be >= 1".into());
+    }
+    if !(a.victim > 0.0 && a.victim < 1.0) {
+        return Err("--victim must lie in (0, 1)".into());
+    }
+    let alloc = build_alloc(&a.discipline)?;
+    let bound = protection_bound(a.n, a.victim);
+    println!(
+        "Protection of a victim at rate {} among {} users under {}:",
+        a.victim,
+        a.n,
+        alloc.name()
+    );
+    println!("  Theorem 8 bound r/(1-Nr): {bound:.5}");
+    println!("  {:<18}{:>14}", "adversary level", "victim queue");
+    for level in [0.05, 0.1, 0.2, 0.4, 0.8, 0.95, 2.0, 10.0] {
+        let c = adversarial_congestion(alloc.as_ref(), a.n, a.victim, &[level]);
+        println!("  {level:<18}{c:>14.5}");
+    }
+    let worst = adversarial_congestion(
+        alloc.as_ref(),
+        a.n,
+        a.victim,
+        &[0.05, 0.1, 0.2, 0.4, 0.8, 0.95, 2.0, 10.0],
+    );
+    let ok = worst <= bound * (1.0 + 1e-9);
+    println!("  worst observed: {worst:.5} -> {}", if ok { "PROTECTED" } else { "BOUND VIOLATED" });
+    Ok(())
+}
+
+/// `greednet network`.
+pub fn network(a: NetworkArgs) -> Result<(), String> {
+    use greednet_network::{NetworkGame, Topology};
+    if a.switches == 0 || a.switches > 16 {
+        return Err("--switches must lie in 1..=16".into());
+    }
+    let alloc = build_alloc(&a.discipline)?;
+    let name = alloc.name();
+    let k = a.switches;
+    let users: Vec<BoxedUtility> =
+        (0..=k).map(|_| LogUtility::new(0.5, 1.0).boxed()).collect();
+    let net = NetworkGame::new(
+        Topology::parking_lot(k).map_err(|e| e.to_string())?,
+        alloc,
+        users,
+    )
+    .map_err(|e| e.to_string())?;
+    let nash = net
+        .solve_nash(&NashOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!("Parking-lot network with {k} switches under {name}:");
+    println!(
+        "  converged: {} in {} sweeps (residual {:.1e})",
+        nash.converged, nash.iterations, nash.residual
+    );
+    println!("  {:<10}{:>8}{:>12}{:>12}{:>12}", "user", "hops", "rate", "congestion", "utility");
+    for i in 0..net.n() {
+        let role = if i == 0 { "through" } else { "local" };
+        println!(
+            "  {role:<10}{:>8}{:>12.5}{:>12.5}{:>12.5}",
+            net.topology().hops(i),
+            nash.rates[i],
+            nash.congestions[i],
+            nash.utilities[i]
+        );
+    }
+    let gain = net.max_deviation_gain(&nash.rates, 128).map_err(|e| e.to_string())?;
+    println!("  max unilateral deviation gain: {gain:.2e}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_kind_builders() {
+        assert!(build_alloc("fifo").is_ok());
+        assert!(build_alloc("fs").is_ok());
+        assert!(build_alloc("nope").is_err());
+        assert!(build_kind("sfq").is_ok());
+        assert!(build_kind("nope").is_err());
+    }
+
+    #[test]
+    fn service_specs() {
+        assert_eq!(build_service("M").unwrap(), ServiceDist::Exponential);
+        assert_eq!(build_service("D").unwrap(), ServiceDist::Deterministic);
+        assert_eq!(build_service("E4").unwrap(), ServiceDist::Erlang(4));
+        assert!(matches!(
+            build_service("H2:3.5").unwrap(),
+            ServiceDist::Hyperexponential { .. }
+        ));
+        assert!(build_service("E0").is_err());
+        assert!(build_service("H2:0.5").is_err());
+        assert!(build_service("X").is_err());
+    }
+
+    #[test]
+    fn user_builders_validate() {
+        let ok = build_users(&[UtilitySpec { family: "log".into(), a: 0.5, b: 1.0 }]);
+        assert_eq!(ok.unwrap().len(), 1);
+        assert!(build_users(&[UtilitySpec { family: "power".into(), a: 1.5, b: 1.0 }]).is_err());
+        assert!(build_users(&[UtilitySpec { family: "linear".into(), a: -1.0, b: 1.0 }]).is_err());
+    }
+
+    #[test]
+    fn nash_command_end_to_end() {
+        let args = NashArgs {
+            discipline: "fs".into(),
+            users: vec![
+                UtilitySpec { family: "log".into(), a: 0.5, b: 1.0 },
+                UtilitySpec { family: "linear".into(), a: 1.0, b: 0.4 },
+            ],
+        };
+        nash(args).unwrap();
+    }
+
+    #[test]
+    fn simulate_command_end_to_end() {
+        let args = SimulateArgs {
+            rates: vec![0.2, 0.1],
+            discipline: "fs".into(),
+            horizon: 3000.0,
+            seed: 5,
+            service: "M".into(),
+        };
+        simulate(args).unwrap();
+    }
+
+    #[test]
+    fn network_command_end_to_end() {
+        network(NetworkArgs { switches: 2, discipline: "fs".into() }).unwrap();
+        assert!(network(NetworkArgs { switches: 0, discipline: "fs".into() }).is_err());
+        assert!(network(NetworkArgs { switches: 2, discipline: "bogus".into() }).is_err());
+    }
+
+    #[test]
+    fn table_and_protect_end_to_end() {
+        table(TableArgs { rates: vec![0.05, 0.1, 0.2] }).unwrap();
+        protect(ProtectArgs { n: 4, victim: 0.1, discipline: "fs".into() }).unwrap();
+        assert!(protect(ProtectArgs { n: 0, victim: 0.1, discipline: "fs".into() }).is_err());
+        assert!(protect(ProtectArgs { n: 4, victim: 2.0, discipline: "fs".into() }).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Library backing the `greednet` command-line tool: argument parsing and
+//! the command implementations, kept in a lib target so they are unit
+//! testable.
+//!
+//! Commands:
+//!
+//! * `nash` — compute the Nash equilibrium of a utility profile under a
+//!   chosen discipline;
+//! * `simulate` — run the packet simulator and report per-user queues,
+//!   delays and throughputs;
+//! * `table` — print the Table 1 priority decomposition for a rate
+//!   vector;
+//! * `protect` — sweep adversarial opponents against a victim and compare
+//!   with the Theorem 8 bound.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseError};
+
+/// Runs a parsed command, writing human-readable output to stdout.
+///
+/// # Errors
+/// Returns a human-readable error string on invalid input or solver
+/// failure.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Nash(a) => commands::nash(a),
+        Command::Simulate(a) => commands::simulate(a),
+        Command::Table(a) => commands::table(a),
+        Command::Protect(a) => commands::protect(a),
+        Command::Network(a) => commands::network(a),
+        Command::Help => {
+            print!("{}", args::USAGE);
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! The `greednet` command-line tool.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match greednet_cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try 'greednet help'");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = greednet_cli::run(cmd) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Coalitional manipulation — footnote 14 of the paper.
+//!
+//! The paper notes (citing Moulin–Shenker) that all Fair Share Nash
+//! equilibria are *resilient against coalitional manipulation*: no group
+//! of users can jointly change their rates so that **every** member ends
+//! up strictly better off. Under FIFO, by contrast, any pair of users at
+//! the Nash equilibrium can profit by jointly backing off — each member's
+//! own first-order loss is zero while the partner's reduction is a
+//! first-order gain.
+//!
+//! The search below is a derivative-free pattern search over the
+//! coalition members' rates (non-members stay put; the coalition cannot
+//! touch the switch), maximizing the minimum member gain.
+
+use crate::game::Game;
+
+/// A profitable joint deviation found for a coalition.
+#[derive(Debug, Clone)]
+pub struct CoalitionImprovement {
+    /// The colluding users.
+    pub coalition: Vec<usize>,
+    /// The full rate vector after the deviation.
+    pub rates: Vec<f64>,
+    /// Utility gain of each coalition member (all positive).
+    pub gains: Vec<f64>,
+}
+
+/// Searches for a joint deviation of `coalition` from `rates` that makes
+/// every member strictly better off. Returns `None` if the pattern search
+/// finds no such deviation (evidence of resilience).
+pub fn coalition_deviation(
+    game: &Game,
+    rates: &[f64],
+    coalition: &[usize],
+    iterations: usize,
+) -> Option<CoalitionImprovement> {
+    if coalition.is_empty() {
+        return None;
+    }
+    let base = game.utilities_at(rates);
+    let objective = |r: &[f64]| -> f64 {
+        let u = game.utilities_at(r);
+        coalition
+            .iter()
+            .map(|&i| u[i] - base[i])
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut r = rates.to_vec();
+    let mut best = objective(&r);
+    let mut step = 0.05;
+    for _ in 0..iterations {
+        let mut improved = false;
+        // Joint scaling of the coalition's rates (the collusive backoff).
+        for s in [1.0 - step, 1.0 + step] {
+            let mut cand = r.to_vec();
+            for &i in coalition {
+                cand[i] = (cand[i] * s).max(1e-9);
+            }
+            let v = objective(&cand);
+            if v > best {
+                best = v;
+                r = cand;
+                improved = true;
+            }
+        }
+        // Individual member moves.
+        for &i in coalition {
+            for dir in [-1.0, 1.0] {
+                let mut cand = r.to_vec();
+                cand[i] = (cand[i] + dir * step).max(1e-9);
+                let v = objective(&cand);
+                if v > best {
+                    best = v;
+                    r = cand;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            step *= 0.5;
+            if step < 1e-5 {
+                break;
+            }
+        }
+    }
+    if best > 1e-9 {
+        let u = game.utilities_at(&r);
+        let gains = coalition.iter().map(|&i| u[i] - base[i]).collect();
+        Some(CoalitionImprovement { coalition: coalition.to_vec(), rates: r, gains })
+    } else {
+        None
+    }
+}
+
+/// Sweeps every coalition of size `2..=max_size` and returns the first
+/// profitable joint deviation found, or `None` if the point appears
+/// coalition-proof.
+pub fn find_manipulating_coalition(
+    game: &Game,
+    rates: &[f64],
+    max_size: usize,
+    iterations: usize,
+) -> Option<CoalitionImprovement> {
+    let n = game.n();
+    let max_size = max_size.min(n);
+    // Enumerate subsets by bitmask (n is small in this model).
+    assert!(n <= 20, "coalition enumeration is exponential; n = {n} too large");
+    for mask in 1u32..(1u32 << n) {
+        let size = mask.count_ones() as usize;
+        if size < 2 || size > max_size {
+            continue;
+        }
+        let coalition: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        if let Some(dev) = coalition_deviation(game, rates, &coalition, iterations) {
+            return Some(dev);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::NashOptions;
+    use crate::utility::{LinearUtility, LogUtility, UtilityExt};
+    use greednet_queueing::{FairShare, Proportional};
+
+    #[test]
+    fn fifo_pairs_can_collude() {
+        let users: Vec<_> = (0..3).map(|_| LinearUtility::new(1.0, 0.2).boxed()).collect();
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        let dev = coalition_deviation(&game, &nash.rates, &[0, 1], 120)
+            .expect("a FIFO pair must be able to collude");
+        assert!(dev.gains.iter().all(|&g| g > 0.0));
+        // The collusion is a joint backoff.
+        assert!(dev.rates[0] < nash.rates[0]);
+        assert!(dev.rates[1] < nash.rates[1]);
+    }
+
+    #[test]
+    fn fair_share_nash_is_coalition_proof() {
+        // Footnote 14: no coalition (here all sizes up to N) profits.
+        let users = vec![
+            LogUtility::new(0.4, 1.0).boxed(),
+            LogUtility::new(0.8, 1.2).boxed(),
+            LinearUtility::new(1.0, 0.35).boxed(),
+        ];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        assert!(nash.converged);
+        let dev = find_manipulating_coalition(&game, &nash.rates, 3, 120);
+        assert!(dev.is_none(), "Fair Share Nash manipulated: {dev:?}");
+    }
+
+    #[test]
+    fn fair_share_identical_users_also_coalition_proof() {
+        let users: Vec<_> = (0..4).map(|_| LinearUtility::new(1.0, 0.3).boxed()).collect();
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        let dev = find_manipulating_coalition(&game, &nash.rates, 4, 100);
+        assert!(dev.is_none(), "manipulated: {dev:?}");
+    }
+
+    #[test]
+    fn grand_coalition_under_fifo_is_the_cartel() {
+        // All users jointly backing off is exactly the Pareto improvement
+        // of E1 — the grand coalition always profits under FIFO.
+        let users: Vec<_> = (0..4).map(|_| LinearUtility::new(1.0, 0.25).boxed()).collect();
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        let dev = coalition_deviation(&game, &nash.rates, &[0, 1, 2, 3], 120)
+            .expect("grand coalition must profit under FIFO");
+        assert_eq!(dev.coalition.len(), 4);
+    }
+
+    #[test]
+    fn empty_and_singleton_coalitions() {
+        let users: Vec<_> = (0..2).map(|_| LinearUtility::new(1.0, 0.3).boxed()).collect();
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        assert!(coalition_deviation(&game, &nash.rates, &[], 50).is_none());
+        // A singleton cannot improve on its own best response.
+        assert!(coalition_deviation(&game, &nash.rates, &[0], 80).is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the game-theoretic layer.
+
+use greednet_numerics::NumericsError;
+use greednet_queueing::QueueingError;
+use std::fmt;
+
+/// Errors produced by equilibrium computation and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The underlying queueing layer rejected the input.
+    Queueing(QueueingError),
+    /// A numerical routine failed.
+    Numerics(NumericsError),
+    /// A game was constructed with no users.
+    EmptyGame,
+    /// The number of utilities does not match the expected user count.
+    UserCountMismatch {
+        /// Utilities supplied.
+        utilities: usize,
+        /// Users expected.
+        expected: usize,
+    },
+    /// An equilibrium iteration failed to converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at exit.
+        residual: f64,
+    },
+    /// An argument was outside its valid range.
+    InvalidArgument {
+        /// Explanation of the violated requirement.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Queueing(e) => write!(f, "queueing error: {e}"),
+            CoreError::Numerics(e) => write!(f, "numerics error: {e}"),
+            CoreError::EmptyGame => write!(f, "a game needs at least one user"),
+            CoreError::UserCountMismatch { utilities, expected } => {
+                write!(f, "{utilities} utilities supplied for {expected} users")
+            }
+            CoreError::NoConvergence { iterations, residual } => {
+                write!(f, "no convergence after {iterations} iterations (residual {residual:.3e})")
+            }
+            CoreError::InvalidArgument { detail } => write!(f, "invalid argument: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Queueing(e) => Some(e),
+            CoreError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueueingError> for CoreError {
+    fn from(e: QueueingError) -> Self {
+        CoreError::Queueing(e)
+    }
+}
+
+impl From<NumericsError> for CoreError {
+    fn from(e: NumericsError) -> Self {
+        CoreError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let q: CoreError = QueueingError::EmptySystem.into();
+        assert!(q.to_string().contains("queueing"));
+        let n: CoreError = NumericsError::Singular { pivot: 0.0 }.into();
+        assert!(n.to_string().contains("numerics"));
+        assert!(std::error::Error::source(&q).is_some());
+        assert!(std::error::Error::source(&CoreError::EmptyGame).is_none());
+    }
+}

@@ -1,0 +1,716 @@
+//! The switch-sharing game: `N` selfish users, one allocation function.
+//!
+//! Users pick rates `r_i` to maximize `U_i(r_i, C_i(r))`; the stable
+//! operating points are Nash equilibria (Definition 1 of the paper). This
+//! module provides best-response computation, Nash solving by damped
+//! best-response iteration (Gauss–Seidel or Jacobi), equilibrium
+//! *verification* by global deviation search, multi-start uniqueness
+//! probes (Theorem 4), and the envy diagnostics of Theorem 3.
+
+use crate::error::CoreError;
+use crate::utility::BoxedUtility;
+use crate::Result;
+use greednet_numerics::optimize::{brent_max, grid_refine_max};
+use greednet_numerics::roots::brent;
+use greednet_queueing::alloc::AllocationFunction;
+use greednet_queueing::feasible::validate_rates;
+
+/// Smallest rate considered by solvers (the paper requires `r_i > 0`).
+pub const MIN_RATE: f64 = 1e-9;
+/// Largest rate considered by solvers: the server has unit capacity, so no
+/// best response ever exceeds 1 (congestion is infinite beyond saturation).
+pub const MAX_RATE: f64 = 1.0 - 1e-9;
+
+/// How users are updated during best-response iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateOrder {
+    /// Sequential sweeps: user `i` sees the already-updated rates of users
+    /// `< i` (usually converges fastest).
+    #[default]
+    GaussSeidel,
+    /// Simultaneous updates: all users respond to the previous iterate
+    /// (the paper's synchronous-update model).
+    Jacobi,
+}
+
+/// Options for [`Game::solve_nash`].
+#[derive(Debug, Clone)]
+pub struct NashOptions {
+    /// Maximum best-response sweeps.
+    pub max_iter: usize,
+    /// Convergence tolerance on the largest single-user rate change.
+    pub tol: f64,
+    /// Damping factor in `(0, 1]`: `r ← (1-d)·r_old + d·r_br`.
+    pub damping: f64,
+    /// Update schedule.
+    pub update: UpdateOrder,
+    /// Starting point (defaults to the symmetric light-load point
+    /// `r_i = 0.5/N`).
+    pub start: Option<Vec<f64>>,
+    /// Grid size for the global fallback inside best responses.
+    pub br_grid: usize,
+}
+
+impl Default for NashOptions {
+    fn default() -> Self {
+        NashOptions {
+            max_iter: 500,
+            tol: 1e-9,
+            damping: 1.0,
+            update: UpdateOrder::GaussSeidel,
+            start: None,
+            br_grid: 96,
+        }
+    }
+}
+
+/// A computed equilibrium candidate.
+#[derive(Debug, Clone)]
+pub struct NashSolution {
+    /// Equilibrium rates.
+    pub rates: Vec<f64>,
+    /// Congestion at the equilibrium.
+    pub congestions: Vec<f64>,
+    /// Utility of each user at the equilibrium.
+    pub utilities: Vec<f64>,
+    /// Sweeps performed.
+    pub iterations: usize,
+    /// Whether the iteration met the tolerance.
+    pub converged: bool,
+    /// Final largest single-user rate change.
+    pub residual: f64,
+}
+
+/// Result of a global no-profitable-deviation audit.
+#[derive(Debug, Clone)]
+pub struct NashCheck {
+    /// Largest utility gain any user can get by a unilateral deviation.
+    pub max_gain: f64,
+    /// The user achieving `max_gain`.
+    pub worst_user: usize,
+    /// Per-user best deviation gains.
+    pub gains: Vec<f64>,
+}
+
+impl NashCheck {
+    /// True if no user can improve by more than `tol`.
+    pub fn is_nash(&self, tol: f64) -> bool {
+        self.max_gain <= tol
+    }
+}
+
+/// The switch-sharing game.
+///
+/// ```
+/// use greednet_core::game::{Game, NashOptions};
+/// use greednet_core::utility::{LinearUtility, UtilityExt};
+/// use greednet_queueing::FairShare;
+///
+/// // Two identical linear users under Fair Share: at the symmetric Nash
+/// // equilibrium the total load is 1 - sqrt(gamma) (see the paper's FDC).
+/// let gamma = 0.25;
+/// let users = (0..2).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect();
+/// let game = Game::new(FairShare::new(), users).unwrap();
+/// let nash = game.solve_nash(&NashOptions::default()).unwrap();
+/// let total: f64 = nash.rates.iter().sum();
+/// assert!((total - (1.0 - gamma.sqrt())).abs() < 1e-6);
+/// ```
+#[derive(Debug)]
+pub struct Game {
+    alloc: Box<dyn AllocationFunction>,
+    users: Vec<BoxedUtility>,
+}
+
+impl Clone for Game {
+    fn clone(&self) -> Self {
+        Game { alloc: self.alloc.clone_box(), users: self.users.clone() }
+    }
+}
+
+impl Game {
+    /// Creates a game from an allocation function and one utility per user.
+    ///
+    /// # Errors
+    /// [`CoreError::EmptyGame`] if no users are supplied.
+    pub fn new(
+        alloc: impl AllocationFunction + 'static,
+        users: Vec<BoxedUtility>,
+    ) -> Result<Self> {
+        Self::from_boxed(Box::new(alloc), users)
+    }
+
+    /// Creates a game from a boxed allocation function.
+    ///
+    /// # Errors
+    /// [`CoreError::EmptyGame`] if no users are supplied.
+    pub fn from_boxed(
+        alloc: Box<dyn AllocationFunction>,
+        users: Vec<BoxedUtility>,
+    ) -> Result<Self> {
+        if users.is_empty() {
+            return Err(CoreError::EmptyGame);
+        }
+        Ok(Game { alloc, users })
+    }
+
+    /// Number of users.
+    pub fn n(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The allocation function.
+    pub fn allocation(&self) -> &dyn AllocationFunction {
+        self.alloc.as_ref()
+    }
+
+    /// The users' utilities.
+    pub fn users(&self) -> &[BoxedUtility] {
+        &self.users
+    }
+
+    /// Utility of user `i` when the rate vector is `rates` (with user `i`'s
+    /// entry replaced by `x`).
+    pub fn utility_replacing(&self, rates: &[f64], i: usize, x: f64) -> f64 {
+        let mut r = rates.to_vec();
+        r[i] = x;
+        let c = self.alloc.congestion_of(&r, i);
+        self.users[i].value(x, c)
+    }
+
+    /// All users' utilities at `rates`.
+    pub fn utilities_at(&self, rates: &[f64]) -> Vec<f64> {
+        let c = self.alloc.congestion(rates);
+        self.users.iter().enumerate().map(|(i, u)| u.value(rates[i], c[i])).collect()
+    }
+
+    /// The Nash first-derivative residual of user `i`:
+    /// `E_i = M_i(r_i, C_i(r)) + ∂C_i/∂r_i` (zero at an interior optimum).
+    pub fn nash_residual(&self, rates: &[f64], i: usize) -> f64 {
+        let c = self.alloc.congestion_of(rates, i);
+        self.users[i].marginal_ratio(rates[i], c) + self.alloc.d_own(rates, i)
+    }
+
+    /// All users' Nash residuals.
+    pub fn nash_residuals(&self, rates: &[f64]) -> Vec<f64> {
+        (0..self.n()).map(|i| self.nash_residual(rates, i)).collect()
+    }
+
+    /// The derivative of user `i`'s payoff with respect to its own rate at
+    /// `x` (others fixed at `rates`): `φ'(x) = U_r + U_c · ∂C_i/∂r_i`.
+    fn payoff_slope(&self, rates: &[f64], i: usize, x: f64) -> f64 {
+        let mut r = rates.to_vec();
+        r[i] = x;
+        let c = self.alloc.congestion_of(&r, i);
+        if !c.is_finite() {
+            // Beyond the user's saturation point: pushing harder only hurts.
+            return -1e30;
+        }
+        self.users[i].du_dr(x, c) + self.users[i].du_dc(x, c) * self.alloc.d_own(&r, i)
+    }
+
+    /// Largest own rate at which user `i`'s congestion stays finite
+    /// (binary search; `MAX_RATE` if finite everywhere).
+    fn saturation_rate(&self, rates: &[f64], i: usize) -> f64 {
+        let mut r = rates.to_vec();
+        r[i] = MAX_RATE;
+        if self.alloc.congestion_of(&r, i).is_finite() {
+            return MAX_RATE;
+        }
+        let (mut lo, mut hi) = (MIN_RATE, MAX_RATE);
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            r[i] = mid;
+            if self.alloc.congestion_of(&r, i).is_finite() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Best response of user `i` to `rates`: the rate maximizing
+    /// `U_i(x, C_i(r |^i x))` over `(0, 1)`.
+    ///
+    /// Strategy: solve the first-derivative condition by bracketed root
+    /// finding on the (concave, for AC disciplines) payoff slope; fall back
+    /// to a global grid-and-refine search when the slope does not bracket
+    /// (multi-modal or boundary cases).
+    ///
+    /// # Errors
+    /// Propagates numerical failures from the optimizer.
+    pub fn best_response(&self, rates: &[f64], i: usize, grid: usize) -> Result<f64> {
+        let hi = (self.saturation_rate(rates, i) - 1e-9).max(MIN_RATE * 2.0);
+        let slope_lo = self.payoff_slope(rates, i, MIN_RATE);
+        if slope_lo <= 0.0 {
+            // Even the first packet hurts: corner solution at ~zero.
+            return Ok(MIN_RATE);
+        }
+        let slope_hi = self.payoff_slope(rates, i, hi);
+        if slope_hi >= 0.0 {
+            // Still improving at the saturation edge.
+            return Ok(hi);
+        }
+        let fdc = brent(|x| self.payoff_slope(rates, i, x), MIN_RATE, hi, 1e-12);
+        if let Ok(root) = fdc {
+            // Guard against multi-modality: accept only if no grid point
+            // beats the FDC point.
+            let u_root = self.utility_replacing(rates, i, root.x);
+            let coarse = grid_refine_max(
+                |x| self.utility_replacing(rates, i, x),
+                MIN_RATE,
+                hi,
+                grid.max(8),
+                1e-12,
+            )?;
+            if coarse.fx > u_root + 1e-12 * (1.0 + u_root.abs()) {
+                return Ok(coarse.x);
+            }
+            return Ok(root.x);
+        }
+        let global = grid_refine_max(
+            |x| self.utility_replacing(rates, i, x),
+            MIN_RATE,
+            hi,
+            grid.max(8),
+            1e-12,
+        )?;
+        Ok(global.x)
+    }
+
+    /// Solves for a Nash equilibrium by damped best-response iteration.
+    ///
+    /// # Errors
+    /// Propagates optimizer failures and invalid starting points.
+    pub fn solve_nash(&self, opts: &NashOptions) -> Result<NashSolution> {
+        let fixed = vec![None; self.n()];
+        self.solve_nash_fixed(&fixed, opts)
+    }
+
+    /// Solves the *subsystem* game in which users with `fixed[i] =
+    /// Some(rate)` never move (§4 of the paper uses these induced
+    /// subsystems throughout; the Stackelberg solver fixes the leader).
+    ///
+    /// # Errors
+    /// Propagates optimizer failures and invalid starting points.
+    pub fn solve_nash_fixed(
+        &self,
+        fixed: &[Option<f64>],
+        opts: &NashOptions,
+    ) -> Result<NashSolution> {
+        let n = self.n();
+        if fixed.len() != n {
+            return Err(CoreError::UserCountMismatch { utilities: fixed.len(), expected: n });
+        }
+        let mut rates: Vec<f64> = match &opts.start {
+            Some(s) => {
+                if s.len() != n {
+                    return Err(CoreError::UserCountMismatch {
+                        utilities: s.len(),
+                        expected: n,
+                    });
+                }
+                validate_rates(s).map_err(CoreError::from)?;
+                s.clone()
+            }
+            None => vec![0.5 / n as f64; n],
+        };
+        for (i, f) in fixed.iter().enumerate() {
+            if let Some(v) = f {
+                rates[i] = *v;
+            }
+        }
+        if !(0.0 < opts.damping && opts.damping <= 1.0) {
+            return Err(CoreError::InvalidArgument {
+                detail: format!("damping must lie in (0, 1], got {}", opts.damping),
+            });
+        }
+        let mut residual = f64::INFINITY;
+        for iter in 1..=opts.max_iter {
+            residual = 0.0;
+            match opts.update {
+                UpdateOrder::GaussSeidel => {
+                    for i in 0..n {
+                        if fixed[i].is_some() {
+                            continue;
+                        }
+                        let br = self.best_response(&rates, i, opts.br_grid)?;
+                        let next = (1.0 - opts.damping) * rates[i] + opts.damping * br;
+                        residual = residual.max((next - rates[i]).abs());
+                        rates[i] = next;
+                    }
+                }
+                UpdateOrder::Jacobi => {
+                    let snapshot = rates.clone();
+                    for i in 0..n {
+                        if fixed[i].is_some() {
+                            continue;
+                        }
+                        let br = self.best_response(&snapshot, i, opts.br_grid)?;
+                        let next = (1.0 - opts.damping) * snapshot[i] + opts.damping * br;
+                        residual = residual.max((next - snapshot[i]).abs());
+                        rates[i] = next;
+                    }
+                }
+            }
+            if residual < opts.tol {
+                let congestions = self.alloc.congestion(&rates);
+                let utilities = self.utilities_at(&rates);
+                return Ok(NashSolution {
+                    rates,
+                    congestions,
+                    utilities,
+                    iterations: iter,
+                    converged: true,
+                    residual,
+                });
+            }
+        }
+        let congestions = self.alloc.congestion(&rates);
+        let utilities = self.utilities_at(&rates);
+        Ok(NashSolution {
+            rates,
+            congestions,
+            utilities,
+            iterations: opts.max_iter,
+            converged: false,
+            residual,
+        })
+    }
+
+    /// Audits a candidate equilibrium by global unilateral-deviation search
+    /// (dense grid + local refinement per user).
+    ///
+    /// # Errors
+    /// Propagates optimizer failures.
+    pub fn verify_nash(&self, rates: &[f64], grid: usize) -> Result<NashCheck> {
+        let base = self.utilities_at(rates);
+        let mut gains = Vec::with_capacity(self.n());
+        for i in 0..self.n() {
+            let hi = (self.saturation_rate(rates, i) - 1e-9).max(MIN_RATE * 2.0);
+            let best = grid_refine_max(
+                |x| self.utility_replacing(rates, i, x),
+                MIN_RATE,
+                hi,
+                grid.max(16),
+                1e-12,
+            )?;
+            // Polish around the current point too (the grid may straddle it).
+            let local_lo = (rates[i] - 0.02).max(MIN_RATE);
+            let local_hi = (rates[i] + 0.02).min(hi);
+            let local = if local_lo < local_hi {
+                brent_max(|x| self.utility_replacing(rates, i, x), local_lo, local_hi, 1e-12)?
+                    .fx
+            } else {
+                base[i]
+            };
+            let best_utility = best.fx.max(local).max(base[i]);
+            gains.push(best_utility - base[i]);
+        }
+        let (worst_user, &max_gain) = gains
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("non-empty game");
+        Ok(NashCheck { max_gain, worst_user, gains })
+    }
+
+    /// The envy matrix at `rates`: entry `(i, j)` is how much user `i`
+    /// prefers user `j`'s allocation to its own,
+    /// `U_i(r_j, c_j) − U_i(r_i, c_i)` (positive = envy; §4.1.2).
+    pub fn envy_matrix(&self, rates: &[f64]) -> greednet_numerics::Matrix {
+        let c = self.alloc.congestion(rates);
+        let n = self.n();
+        greednet_numerics::Matrix::from_fn(n, n, |i, j| {
+            let own = self.users[i].value(rates[i], c[i]);
+            let other = self.users[i].value(rates[j], c[j]);
+            if own.is_infinite() && other.is_infinite() {
+                0.0
+            } else {
+                other - own
+            }
+        })
+    }
+
+    /// The largest envy any user holds toward any other at `rates`
+    /// (`<= 0` means envy-free).
+    ///
+    /// # Errors
+    /// Propagates rate-validation failures.
+    pub fn max_envy(&self, rates: &[f64]) -> Result<f64> {
+        validate_rates(rates).map_err(CoreError::from)?;
+        let m = self.envy_matrix(rates);
+        let mut worst = f64::NEG_INFINITY;
+        for i in 0..self.n() {
+            for j in 0..self.n() {
+                if i != j {
+                    worst = worst.max(m[(i, j)]);
+                }
+            }
+        }
+        Ok(if self.n() == 1 { 0.0 } else { worst })
+    }
+}
+
+/// Runs [`Game::solve_nash`] from `starts.len()` different starting points
+/// and clusters the converged equilibria by `cluster_tol` (L∞ distance).
+/// Used to probe uniqueness (Theorem 4).
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn distinct_equilibria(
+    game: &Game,
+    starts: &[Vec<f64>],
+    opts: &NashOptions,
+    cluster_tol: f64,
+) -> Result<Vec<NashSolution>> {
+    let mut found: Vec<NashSolution> = Vec::new();
+    for s in starts {
+        let mut o = opts.clone();
+        o.start = Some(s.clone());
+        let sol = game.solve_nash(&o)?;
+        if !sol.converged {
+            continue;
+        }
+        let is_new = found.iter().all(|f| {
+            f.rates
+                .iter()
+                .zip(&sol.rates)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max)
+                > cluster_tol
+        });
+        if is_new {
+            found.push(sol);
+        }
+    }
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::{
+        ExpExpUtility, LinearUtility, LogUtility, PowerUtility, UtilityExt,
+    };
+    use greednet_queueing::{mm1, FairShare, Proportional};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn empty_game_rejected() {
+        assert!(matches!(Game::new(Proportional::new(), vec![]), Err(CoreError::EmptyGame)));
+    }
+
+    #[test]
+    fn single_user_fifo_linear_nash_closed_form() {
+        // One user, FIFO, U = r - gamma c: FDC gives dC/dr = 1/gamma with
+        // dC/dr = 1/(1-r)^2, so r* = 1 - sqrt(gamma).
+        let gamma = 0.25;
+        let game = Game::new(Proportional::new(), vec![LinearUtility::new(1.0, gamma).boxed()])
+            .unwrap();
+        let sol = game.solve_nash(&NashOptions::default()).unwrap();
+        assert!(sol.converged);
+        assert_close(sol.rates[0], 1.0 - gamma.sqrt(), 1e-6);
+        let check = game.verify_nash(&sol.rates, 512).unwrap();
+        assert!(check.is_nash(1e-7), "gain {}", check.max_gain);
+    }
+
+    #[test]
+    fn symmetric_fifo_linear_nash_matches_fdc() {
+        // N identical linear users under FIFO: at the symmetric Nash,
+        // (u + r)/u^2 = 1/gamma with u = 1 - N r.
+        let n = 3;
+        let gamma = 0.2;
+        let users = (0..n).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect();
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let sol = game.solve_nash(&NashOptions::default()).unwrap();
+        assert!(sol.converged, "residual {}", sol.residual);
+        let r = sol.rates[0];
+        for &ri in &sol.rates {
+            assert_close(ri, r, 1e-6);
+        }
+        let u = 1.0 - n as f64 * r;
+        assert_close((u + r) / (u * u), 1.0 / gamma, 1e-4);
+    }
+
+    #[test]
+    fn symmetric_fair_share_nash_identical_users() {
+        // N identical users under Fair Share: symmetric Nash with
+        // dC_i/dr_i = g'(N r): M + g'(Nr) = 0 -> 1/gamma = g'(Nr)
+        // -> 1 - Nr = sqrt(gamma).
+        let n = 4;
+        let gamma = 0.36;
+        let users = (0..n).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect();
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let sol = game.solve_nash(&NashOptions::default()).unwrap();
+        assert!(sol.converged);
+        let total: f64 = sol.rates.iter().sum();
+        assert_close(total, 1.0 - gamma.sqrt(), 1e-6);
+        let check = game.verify_nash(&sol.rates, 512).unwrap();
+        assert!(check.is_nash(1e-7), "gain {}", check.max_gain);
+    }
+
+    #[test]
+    fn heterogeneous_fair_share_nash_verifies() {
+        let users = vec![
+            LogUtility::new(0.5, 2.0).boxed(),
+            PowerUtility::new(0.5, 1.0).boxed(),
+            LinearUtility::new(1.0, 0.3).boxed(),
+        ];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let sol = game.solve_nash(&NashOptions::default()).unwrap();
+        assert!(sol.converged);
+        let check = game.verify_nash(&sol.rates, 512).unwrap();
+        assert!(check.is_nash(1e-6), "gain {}", check.max_gain);
+        // Residuals vanish at an interior equilibrium.
+        for e in game.nash_residuals(&sol.rates) {
+            assert!(e.abs() < 1e-4, "residual {e}");
+        }
+    }
+
+    #[test]
+    fn jacobi_and_gauss_seidel_agree_on_fair_share() {
+        let users: Vec<_> = (0..3).map(|i| LogUtility::new(0.3 + 0.2 * i as f64, 1.5).boxed()).collect();
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let gs = game.solve_nash(&NashOptions::default()).unwrap();
+        let mut jopts = NashOptions { update: UpdateOrder::Jacobi, damping: 0.7, ..Default::default() };
+        jopts.max_iter = 2000;
+        let jc = game.solve_nash(&jopts).unwrap();
+        assert!(gs.converged && jc.converged);
+        for (a, b) in gs.rates.iter().zip(&jc.rates) {
+            assert_close(*a, *b, 1e-5);
+        }
+    }
+
+    #[test]
+    fn congestion_averse_user_sends_almost_nothing() {
+        // gamma >= 1 under FIFO with a single user: corner at ~0.
+        let game = Game::new(Proportional::new(), vec![LinearUtility::new(1.0, 2.0).boxed()])
+            .unwrap();
+        let sol = game.solve_nash(&NashOptions::default()).unwrap();
+        assert!(sol.rates[0] <= 2.0 * MIN_RATE);
+    }
+
+    #[test]
+    fn best_response_never_saturates_the_queue() {
+        let users = vec![
+            LinearUtility::new(1.0, 0.01).boxed(),
+            LinearUtility::new(1.0, 0.01).boxed(),
+        ];
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let br = game.best_response(&[0.4, 0.4], 0, 64).unwrap();
+        assert!(br < 0.6, "br = {br} would saturate");
+        let c = Proportional::new().congestion_of(&[br, 0.4], 0);
+        assert!(c.is_finite());
+    }
+
+    #[test]
+    fn verify_rejects_non_equilibrium() {
+        let users = vec![
+            LinearUtility::new(1.0, 0.2).boxed(),
+            LinearUtility::new(1.0, 0.2).boxed(),
+        ];
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let check = game.verify_nash(&[0.01, 0.01], 256).unwrap();
+        assert!(!check.is_nash(1e-6));
+        assert!(check.max_gain > 0.01);
+    }
+
+    #[test]
+    fn fixed_user_subsystem() {
+        // Fix user 0 at a large rate; the free user re-equilibrates.
+        let users = vec![
+            LinearUtility::new(1.0, 0.2).boxed(),
+            LinearUtility::new(1.0, 0.2).boxed(),
+        ];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let sol = game
+            .solve_nash_fixed(&[Some(0.3), None], &NashOptions::default())
+            .unwrap();
+        assert!(sol.converged);
+        assert_eq!(sol.rates[0], 0.3);
+        // The free user's FDC must hold.
+        assert!(game.nash_residual(&sol.rates, 1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn envy_matrix_diagonal_zero_and_fs_nash_envy_free() {
+        let users = vec![
+            LinearUtility::new(1.0, 0.1).boxed(),
+            LinearUtility::new(1.0, 0.6).boxed(),
+        ];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let sol = game.solve_nash(&NashOptions::default()).unwrap();
+        let m = game.envy_matrix(&sol.rates);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 1)], 0.0);
+        assert!(game.max_envy(&sol.rates).unwrap() <= 1e-7);
+    }
+
+    #[test]
+    fn multistart_finds_single_fs_equilibrium() {
+        let users = vec![
+            LogUtility::new(0.4, 1.0).boxed(),
+            LogUtility::new(0.8, 1.0).boxed(),
+        ];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let starts = vec![
+            vec![0.01, 0.01],
+            vec![0.4, 0.01],
+            vec![0.01, 0.4],
+            vec![0.3, 0.3],
+        ];
+        let eq = distinct_equilibria(&game, &starts, &NashOptions::default(), 1e-5).unwrap();
+        assert_eq!(eq.len(), 1, "Fair Share must have a unique equilibrium");
+    }
+
+    #[test]
+    fn expexp_pinning_creates_prescribed_equilibrium() {
+        // Lemma 5 in action: pick a target point, build utilities whose
+        // Nash equilibrium (under Fair Share) is exactly that point.
+        let fs = FairShare::new();
+        let target = vec![0.15, 0.25];
+        let c = fs.congestion(&target);
+        let users: Vec<_> = (0..2)
+            .map(|i| {
+                ExpExpUtility::pinning(target[i], c[i], fs.d_own(&target, i), 60.0).boxed()
+            })
+            .collect();
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let check = game.verify_nash(&target, 1024).unwrap();
+        assert!(check.is_nash(1e-5), "gain {}", check.max_gain);
+        // And the solver should find it.
+        let sol = game.solve_nash(&NashOptions::default()).unwrap();
+        assert!(sol.converged);
+        assert_close(sol.rates[0], target[0], 1e-3);
+        assert_close(sol.rates[1], target[1], 1e-3);
+    }
+
+    #[test]
+    fn utilities_at_matches_manual() {
+        let users = vec![LinearUtility::new(1.0, 0.5).boxed()];
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let r = [0.4];
+        let u = game.utilities_at(&r);
+        assert_close(u[0], 0.4 - 0.5 * mm1::g(0.4), 1e-12);
+    }
+
+    #[test]
+    fn invalid_damping_rejected() {
+        let users = vec![LinearUtility::new(1.0, 0.5).boxed()];
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let opts = NashOptions { damping: 0.0, ..Default::default() };
+        assert!(game.solve_nash(&opts).is_err());
+    }
+
+    #[test]
+    fn mismatched_start_rejected() {
+        let users = vec![LinearUtility::new(1.0, 0.5).boxed()];
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let opts = NashOptions { start: Some(vec![0.1, 0.2]), ..Default::default() };
+        assert!(matches!(game.solve_nash(&opts), Err(CoreError::UserCountMismatch { .. })));
+    }
+}

@@ -1,0 +1,389 @@
+//! Pareto efficiency of allocations (§4.1.1, Theorems 1 & 2).
+//!
+//! An interior allocation is Pareto optimal only if every user's marginal
+//! ratio matches the feasibility tradeoff: `M_i(r_i, c_i) = Z_i =
+//! −(1 − Σ r_j)^{-2}` (the Pareto first-derivative condition). This module
+//! provides:
+//!
+//! * [`fdc_residuals`] / [`is_pareto_fdc`] — the FDC test at a point;
+//! * [`symmetric_pareto`] — the symmetric Pareto optimum for `n` identical
+//!   users (the point Theorem 2 says Fair Share attains as a Nash
+//!   equilibrium);
+//! * [`scaling_improvement`] — the classic tragedy-of-the-commons witness:
+//!   scale everybody's rate uniformly (keeping congestion shares) and see
+//!   whether *everyone* gains. At a FIFO Nash equilibrium a slight uniform
+//!   backoff always helps everyone; at a Pareto point nothing does;
+//! * [`pattern_search_dominance`] — a derivative-free search for *any*
+//!   feasible allocation that Pareto-dominates a given one.
+
+use crate::game::Game;
+use crate::Result;
+use greednet_numerics::roots::brent;
+use greednet_queueing::feasible::Allocation;
+use greednet_queueing::mm1;
+
+/// Residuals `M_i − Z` of the Pareto first-derivative condition
+/// (all-zero at an interior Pareto optimum).
+pub fn fdc_residuals(game: &Game, rates: &[f64]) -> Vec<f64> {
+    let z = mm1::pareto_z(rates);
+    let c = game.allocation().congestion(rates);
+    game.users()
+        .iter()
+        .enumerate()
+        .map(|(i, u)| u.marginal_ratio(rates[i], c[i]) - z)
+        .collect()
+}
+
+/// True if the Pareto FDC holds at `rates` to within `tol` for every user.
+pub fn is_pareto_fdc(game: &Game, rates: &[f64], tol: f64) -> bool {
+    fdc_residuals(game, rates).iter().all(|r| r.abs() <= tol)
+}
+
+/// The symmetric Pareto-optimal rate for `n` identical users with utility
+/// `u`: solves `M(r, g(n r)/n) + g'(n r) = 0` on `(0, 1/n)`.
+///
+/// Returns `(r, c)` per user. If the marginal ratio never catches the
+/// feasibility tradeoff (extremely congestion-averse users), the optimum
+/// is at `r → 0` and `(0, 0)` is returned.
+///
+/// # Errors
+/// Propagates root-finder failures.
+pub fn symmetric_pareto(u: &dyn crate::utility::Utility, n: usize) -> Result<(f64, f64)> {
+    let nf = n as f64;
+    let h = |r: f64| {
+        let c = mm1::g(nf * r) / nf;
+        u.marginal_ratio(r, c) + mm1::g_prime(nf * r)
+    };
+    // Along the symmetric ray the common utility has slope
+    // φ'(r) = U_c · h(r) with U_c < 0: φ increases while h < 0 and the
+    // interior optimum is at the upward zero-crossing of h.
+    let lo = 1e-9;
+    let hi = (1.0 / nf) - 1e-9;
+    let h_lo = h(lo);
+    let h_hi = h(hi);
+    if h_lo >= 0.0 {
+        // Marginal congestion cost dominates immediately: corner at zero.
+        return Ok((0.0, 0.0));
+    }
+    if h_hi <= 0.0 {
+        // Still improving at the saturation edge (cannot happen for AU
+        // utilities since g' -> inf, but guard anyway).
+        return Ok((hi, mm1::g(nf * hi) / nf));
+    }
+    let root = brent(h, lo, hi, 1e-13)?;
+    Ok((root.x, mm1::g(nf * root.x) / nf))
+}
+
+/// Outcome of the uniform-scaling dominance probe.
+#[derive(Debug, Clone)]
+pub struct ScalingImprovement {
+    /// The scale factor applied to every rate.
+    pub scale: f64,
+    /// Per-user utility gains at the scaled allocation (all positive).
+    pub gains: Vec<f64>,
+}
+
+/// Searches scale factors `s ∈ (0, 1.2]` for a uniform rescaling of the
+/// rate vector — keeping each user's *share* of the total congestion — that
+/// strictly improves every user. Returns the best such improvement (by
+/// minimum gain) or `None` if no scaling Pareto-dominates.
+///
+/// The scaled allocation `(s·r, shares·g(s·Σr))` is validated for subset
+/// feasibility before being considered.
+pub fn scaling_improvement(game: &Game, rates: &[f64]) -> Option<ScalingImprovement> {
+    let base_u = game.utilities_at(rates);
+    let c = game.allocation().congestion(rates);
+    let total_c: f64 = c.iter().sum();
+    if !total_c.is_finite() || total_c <= 0.0 {
+        return None;
+    }
+    let shares: Vec<f64> = c.iter().map(|ci| ci / total_c).collect();
+    let total_r: f64 = rates.iter().sum();
+    let mut best: Option<ScalingImprovement> = None;
+    for step in 1..240 {
+        let s = step as f64 * 0.005; // 0.005 .. 1.2
+        let sr: Vec<f64> = rates.iter().map(|r| r * s).collect();
+        if s * total_r >= 0.999 {
+            break;
+        }
+        let new_total_c = mm1::g(s * total_r);
+        let sc: Vec<f64> = shares.iter().map(|sh| sh * new_total_c).collect();
+        let alloc = match Allocation::new(sr.clone(), sc.clone()) {
+            Ok(a) => a,
+            Err(_) => continue,
+        };
+        if alloc.validate().is_err() {
+            continue;
+        }
+        let gains: Vec<f64> = game
+            .users()
+            .iter()
+            .enumerate()
+            .map(|(i, u)| u.value(sr[i], sc[i]) - base_u[i])
+            .collect();
+        let min_gain = gains.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        if min_gain > 1e-10 {
+            let better = match &best {
+                None => true,
+                Some(b) => min_gain > b.gains.iter().fold(f64::INFINITY, |a, &g| a.min(g)),
+            };
+            if better {
+                best = Some(ScalingImprovement { scale: s, gains });
+            }
+        }
+    }
+    best
+}
+
+/// A feasible allocation found to Pareto-dominate a reference point.
+#[derive(Debug, Clone)]
+pub struct DominatingAllocation {
+    /// Rates of the dominating allocation.
+    pub rates: Vec<f64>,
+    /// Congestions of the dominating allocation.
+    pub congestions: Vec<f64>,
+    /// Per-user utility gains over the reference (all ≥ 0, max > 0).
+    pub gains: Vec<f64>,
+}
+
+/// Derivative-free pattern search over the *full* allocation space
+/// (rates × congestion shares) for an allocation that Pareto-dominates
+/// `rates` under the game's utilities. Deterministic; used to exhibit the
+/// inefficiency of FIFO equilibria and the (local) undominatedness of
+/// Pareto points.
+///
+/// Returns `None` if no dominating allocation is found within the budget —
+/// which is evidence of (not proof of) Pareto optimality.
+pub fn pattern_search_dominance(
+    game: &Game,
+    rates: &[f64],
+    iterations: usize,
+) -> Option<DominatingAllocation> {
+    let n = rates.len();
+    let base_u = game.utilities_at(rates);
+    let c0 = game.allocation().congestion(rates);
+    let total_c0: f64 = c0.iter().sum();
+    if !total_c0.is_finite() || total_c0 <= 0.0 {
+        return None;
+    }
+    // State: rates + congestion shares (simplex).
+    let mut r: Vec<f64> = rates.to_vec();
+    let mut shares: Vec<f64> = c0.iter().map(|x| x / total_c0).collect();
+    let mut step = 0.05;
+    let objective = |r: &[f64], shares: &[f64]| -> f64 {
+        let total_r: f64 = r.iter().sum();
+        if total_r >= 0.999 || r.iter().any(|&x| x <= 0.0) {
+            return f64::NEG_INFINITY;
+        }
+        let tc = mm1::g(total_r);
+        let c: Vec<f64> = shares.iter().map(|s| s * tc).collect();
+        match Allocation::new(r.to_vec(), c.clone()) {
+            Ok(a) if a.validate().is_ok() => {}
+            _ => return f64::NEG_INFINITY,
+        }
+        game.users()
+            .iter()
+            .enumerate()
+            .map(|(i, u)| u.value(r[i], c[i]) - base_u[i])
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut best = objective(&r, &shares);
+    for _ in 0..iterations {
+        let mut improved = false;
+        // Uniform scaling moves: at a Nash equilibrium no single-coordinate
+        // move helps its owner (first-order optimality), but a collective
+        // backoff can help everyone — this is the escape direction.
+        for s in [1.0 - step, 1.0 + step] {
+            let cand: Vec<f64> = r.iter().map(|x| (x * s).max(1e-9)).collect();
+            let v = objective(&cand, &shares);
+            if v > best {
+                best = v;
+                r = cand;
+                improved = true;
+            }
+        }
+        // Rate moves.
+        for i in 0..n {
+            for dir in [-1.0, 1.0] {
+                let mut cand = r.clone();
+                cand[i] = (cand[i] + dir * step).max(1e-9);
+                let v = objective(&cand, &shares);
+                if v > best {
+                    best = v;
+                    r = cand;
+                    improved = true;
+                }
+            }
+        }
+        // Share transfers.
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let delta = step * 0.5;
+                if shares[j] <= delta {
+                    continue;
+                }
+                let mut cand = shares.clone();
+                cand[i] += delta;
+                cand[j] -= delta;
+                let v = objective(&r, &cand);
+                if v > best {
+                    best = v;
+                    shares = cand;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            step *= 0.5;
+            if step < 1e-5 {
+                break;
+            }
+        }
+    }
+    if best > 1e-9 {
+        let total_r: f64 = r.iter().sum();
+        let tc = mm1::g(total_r);
+        let c: Vec<f64> = shares.iter().map(|s| s * tc).collect();
+        let gains: Vec<f64> = game
+            .users()
+            .iter()
+            .enumerate()
+            .map(|(i, u)| u.value(r[i], c[i]) - base_u[i])
+            .collect();
+        Some(DominatingAllocation { rates: r, congestions: c, gains })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::NashOptions;
+    use crate::utility::{LinearUtility, LogUtility, UtilityExt};
+    use greednet_queueing::{FairShare, Proportional};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    fn identical_linear_game(
+        alloc: impl greednet_queueing::AllocationFunction + 'static,
+        n: usize,
+        gamma: f64,
+    ) -> Game {
+        let users = (0..n).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect();
+        Game::new(alloc, users).unwrap()
+    }
+
+    #[test]
+    fn symmetric_pareto_linear_closed_form() {
+        // M = -1/gamma; Z = -g'(nr) = -1/(1-nr)^2. FDC: 1/gamma = 1/(1-nr)^2
+        // -> total load nr = 1 - sqrt(gamma).
+        let u = LinearUtility::new(1.0, 0.25);
+        let (r, c) = symmetric_pareto(&u, 4).unwrap();
+        assert_close(4.0 * r, 1.0 - 0.5, 1e-10);
+        assert_close(c, mm1::g(0.5) / 4.0, 1e-10);
+    }
+
+    #[test]
+    fn symmetric_pareto_interior_and_corner() {
+        // gamma = 0.81 < 1: interior optimum at total load 1 - sqrt(gamma).
+        let u = LinearUtility::new(1.0, 0.81);
+        let (r, _) = symmetric_pareto(&u, 2).unwrap();
+        assert_close(2.0 * r, 1.0 - 0.9, 1e-9);
+        // gamma > 1: h(0+) = -1/gamma + 1 > 0 — congestion cost dominates
+        // from the first packet, so the optimum is the corner at zero.
+        let averse = LinearUtility::new(1.0, 2.0);
+        let (r0, c0) = symmetric_pareto(&averse, 3).unwrap();
+        assert_eq!((r0, c0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn fifo_nash_fails_pareto_fdc_fair_share_symmetric_passes() {
+        let gamma = 0.25;
+        let n = 3;
+        // FIFO Nash.
+        let fifo = identical_linear_game(Proportional::new(), n, gamma);
+        let nash_fifo = fifo.solve_nash(&NashOptions::default()).unwrap();
+        assert!(nash_fifo.converged);
+        assert!(!is_pareto_fdc(&fifo, &nash_fifo.rates, 1e-3));
+        // Fair Share Nash with identical users = symmetric Pareto point.
+        let fs = identical_linear_game(FairShare::new(), n, gamma);
+        let nash_fs = fs.solve_nash(&NashOptions::default()).unwrap();
+        assert!(nash_fs.converged);
+        assert!(is_pareto_fdc(&fs, &nash_fs.rates, 1e-4),
+            "residuals: {:?}", fdc_residuals(&fs, &nash_fs.rates));
+        // And it coincides with the symmetric Pareto computation.
+        let u = LinearUtility::new(1.0, gamma);
+        let (rp, _) = symmetric_pareto(&u, n).unwrap();
+        assert_close(nash_fs.rates[0], rp, 1e-6);
+    }
+
+    #[test]
+    fn fifo_nash_is_dominated_by_uniform_backoff() {
+        // The tragedy of the commons: at the FIFO Nash equilibrium a
+        // uniform rate reduction benefits every user.
+        let game = identical_linear_game(Proportional::new(), 4, 0.25);
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        let imp = scaling_improvement(&game, &nash.rates)
+            .expect("FIFO Nash must be dominated by scaling back");
+        assert!(imp.scale < 1.0);
+        assert!(imp.gains.iter().all(|&g| g > 0.0));
+    }
+
+    #[test]
+    fn fair_share_symmetric_nash_not_dominated_by_scaling() {
+        let game = identical_linear_game(FairShare::new(), 4, 0.25);
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        assert!(scaling_improvement(&game, &nash.rates).is_none());
+    }
+
+    #[test]
+    fn pattern_search_dominates_fifo_nash() {
+        let game = identical_linear_game(Proportional::new(), 3, 0.25);
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        let dom = pattern_search_dominance(&game, &nash.rates, 200)
+            .expect("FIFO Nash must be dominated");
+        assert!(dom.gains.iter().all(|&g| g > 0.0));
+        // The dominating allocation is feasible.
+        let a = Allocation::new(dom.rates.clone(), dom.congestions.clone()).unwrap();
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn pattern_search_cannot_dominate_symmetric_pareto() {
+        let game = identical_linear_game(FairShare::new(), 3, 0.25);
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        assert!(is_pareto_fdc(&game, &nash.rates, 1e-4));
+        assert!(pattern_search_dominance(&game, &nash.rates, 200).is_none());
+    }
+
+    #[test]
+    fn heterogeneous_fs_nash_is_not_pareto() {
+        // Theorem 2(1): Pareto + Nash forces equal rates; heterogeneous
+        // users give unequal Nash rates, which therefore fail the Pareto FDC.
+        let users = vec![
+            LogUtility::new(0.2, 1.0).boxed(),
+            LogUtility::new(0.9, 1.0).boxed(),
+        ];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        assert!(nash.converged);
+        assert!((nash.rates[0] - nash.rates[1]).abs() > 1e-3);
+        assert!(!is_pareto_fdc(&game, &nash.rates, 1e-3));
+    }
+
+    #[test]
+    fn fdc_residuals_shape() {
+        let game = identical_linear_game(Proportional::new(), 2, 0.5);
+        let res = fdc_residuals(&game, &[0.1, 0.2]);
+        assert_eq!(res.len(), 2);
+        // Linear users: residual = -1/gamma + g'(R), identical across users.
+        assert_close(res[0], res[1], 1e-12);
+        assert_close(res[0], -2.0 + 1.0 / (0.7f64 * 0.7), 1e-10);
+    }
+}

@@ -1,0 +1,194 @@
+//! Out-of-equilibrium protection — Definition 7 and Theorem 8.
+//!
+//! A discipline is *protective* if no combination of other users' rates
+//! can push user `i`'s congestion above what it would suffer among `N − 1`
+//! clones of itself: `C_i(r) ≤ C_i(r_i·e) = r_i / (1 − N·r_i)`. Fair Share
+//! meets this bound with equality in the worst case; FIFO offers no bound
+//! at all (any user can be starved arbitrarily badly by an aggressive
+//! peer).
+
+use greednet_queueing::alloc::AllocationFunction;
+
+/// The symmetric protection bound `r_i / (1 − N·r_i)` (`+inf` when even
+/// the all-clones system would be overloaded).
+pub fn protection_bound(n: usize, r_i: f64) -> f64 {
+    let load = n as f64 * r_i;
+    if load >= 1.0 {
+        f64::INFINITY
+    } else {
+        r_i / (1.0 - load)
+    }
+}
+
+/// The worst congestion user `i` with rate `r_i` suffers over an
+/// adversarial sweep of the other `n − 1` users' rates.
+///
+/// For MAC disciplines `C_i` is monotone non-decreasing in every opponent
+/// rate, so the supremum over a box is attained at its top corner; the
+/// sweep therefore evaluates symmetric opponent levels (all opponents at
+/// level `L`) for each supplied level, plus a "single flooder" pattern,
+/// and returns the max.
+pub fn adversarial_congestion(
+    alloc: &dyn AllocationFunction,
+    n: usize,
+    r_i: f64,
+    opponent_levels: &[f64],
+) -> f64 {
+    assert!(n >= 1, "need at least one user");
+    let mut worst: f64 = 0.0;
+    for &level in opponent_levels {
+        // All opponents at `level`.
+        let mut rates = vec![level; n];
+        rates[0] = r_i;
+        worst = worst.max(alloc.congestion_of(&rates, 0));
+        // One flooder at `level`, the rest idle.
+        if n >= 2 {
+            let mut rates = vec![1e-9; n];
+            rates[0] = r_i;
+            rates[1] = level;
+            worst = worst.max(alloc.congestion_of(&rates, 0));
+        }
+    }
+    worst
+}
+
+/// A protection violation found during a sweep.
+#[derive(Debug, Clone)]
+pub struct ProtectionViolation {
+    /// The victim's rate.
+    pub r_i: f64,
+    /// Worst observed congestion.
+    pub observed: f64,
+    /// The Theorem 8 bound.
+    pub bound: f64,
+}
+
+/// Report of a protection sweep.
+#[derive(Debug, Clone, Default)]
+pub struct ProtectionReport {
+    /// Violations (empty = protective over the sweep).
+    pub violations: Vec<ProtectionViolation>,
+    /// Worst observed ratio `observed / bound` over finite bounds.
+    pub worst_ratio: f64,
+}
+
+impl ProtectionReport {
+    /// True if no violation was found.
+    pub fn protective(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Sweeps victim rates × adversarial opponent levels and compares observed
+/// congestion with the protection bound.
+pub fn protection_sweep(
+    alloc: &dyn AllocationFunction,
+    n: usize,
+    victim_rates: &[f64],
+    opponent_levels: &[f64],
+) -> ProtectionReport {
+    let mut report = ProtectionReport::default();
+    for &r_i in victim_rates {
+        let bound = protection_bound(n, r_i);
+        let observed = adversarial_congestion(alloc, n, r_i, opponent_levels);
+        if bound.is_finite() {
+            if observed.is_finite() {
+                report.worst_ratio = report.worst_ratio.max(observed / bound.max(1e-300));
+            } else {
+                report.worst_ratio = f64::INFINITY;
+            }
+            if observed > bound * (1.0 + 1e-9) {
+                report.violations.push(ProtectionViolation { r_i, observed, bound });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greednet_queueing::{mm1, FairShare, Proportional, SerialPriority};
+
+    fn levels() -> Vec<f64> {
+        vec![0.01, 0.1, 0.2, 0.3, 0.5, 0.9, 0.99, 2.0, 10.0]
+    }
+
+    #[test]
+    fn bound_formula() {
+        assert!((protection_bound(4, 0.1) - 0.1 / 0.6).abs() < 1e-12);
+        assert_eq!(protection_bound(4, 0.25), f64::INFINITY);
+        assert_eq!(protection_bound(2, 0.6), f64::INFINITY);
+    }
+
+    #[test]
+    fn fair_share_is_protective() {
+        let report = protection_sweep(
+            &FairShare::new(),
+            4,
+            &[0.01, 0.05, 0.1, 0.2, 0.24],
+            &levels(),
+        );
+        assert!(report.protective(), "violations: {:?}", report.violations);
+        assert!(report.worst_ratio <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn fair_share_bound_is_tight() {
+        // All opponents at exactly the victim's rate achieve the bound.
+        let fs = FairShare::new();
+        let n = 5;
+        let r = 0.15;
+        let observed = fs.congestion_of(&vec![r; n], 0);
+        assert!((observed - protection_bound(n, r)).abs() < 1e-10);
+        // ... and pushing opponents beyond the victim's rate changes nothing.
+        let mut rates = vec![10.0; n];
+        rates[0] = r;
+        assert!((fs.congestion_of(&rates, 0) - protection_bound(n, r)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fifo_is_wildly_unprotective() {
+        let report = protection_sweep(&Proportional::new(), 4, &[0.1], &levels());
+        assert!(!report.protective() || report.worst_ratio.is_infinite());
+        // A single flooder at 0.9 gives the 0.1-rate victim a queue of
+        // 0.1/(1-1.0) -> infinite, vs a bound of 0.1/0.6.
+        let observed = adversarial_congestion(&Proportional::new(), 4, 0.1, &[0.9]);
+        assert!(observed > 10.0 * protection_bound(4, 0.1));
+    }
+
+    #[test]
+    fn serial_priority_violates_the_bound_somewhere() {
+        // Perhaps surprisingly, ascending-rate priority is NOT protective
+        // in the paper's exact sense: a mid-weight victim served *behind*
+        // slightly lighter opponents can exceed the symmetric bound. E.g.
+        // victim r = 0.15 vs three opponents at 0.1 (N = 4):
+        // c = g(0.45) - g(0.30) = 0.390 > 0.375 = 0.15/(1 - 4*0.15).
+        // This sharpens Theorem 8's uniqueness: even the maximally
+        // insulating boundary discipline fails it; only Fair Share works.
+        let observed = adversarial_congestion(&SerialPriority::new(), 4, 0.15, &[0.1]);
+        let bound = protection_bound(4, 0.15);
+        assert!(
+            observed > bound,
+            "expected SP violation: observed {observed} <= bound {bound}"
+        );
+        let report = protection_sweep(&SerialPriority::new(), 4, &[0.15], &[0.1]);
+        assert!(!report.protective());
+    }
+
+    #[test]
+    fn adversarial_congestion_monotone_in_levels() {
+        let p = Proportional::new();
+        let low = adversarial_congestion(&p, 3, 0.1, &[0.1]);
+        let high = adversarial_congestion(&p, 3, 0.1, &[0.4]);
+        assert!(high > low);
+        assert!((low - 0.1 / (1.0 - 0.3)).abs() < 1e-12);
+        let _ = mm1::g(0.3);
+    }
+
+    #[test]
+    fn single_user_trivially_protected() {
+        let report = protection_sweep(&Proportional::new(), 1, &[0.3, 0.6], &[0.5]);
+        assert!(report.protective());
+    }
+}

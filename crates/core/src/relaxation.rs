@@ -1,0 +1,261 @@
+//! The Newton self-optimization relaxation matrix (§4.2.3, Theorem 7).
+//!
+//! Each user measures its distance from the Nash first-derivative
+//! condition, `E_i = M_i(r_i, C_i(r)) + ∂C_i/∂r_i`, and performs the
+//! Newton update `r_i ← r_i − E_i / (∂E_i/∂r_i)` (synchronously). The
+//! linearized error dynamics are `E(t+1) = A·E(t)` with
+//!
+//! ```text
+//! A_ij = δ_ij − (∂E_i/∂r_j) / (∂E_j/∂r_j)
+//! ```
+//!
+//! Theorem 7: under Fair Share `A` is *nilpotent* (all-zero spectrum —
+//! convergence in at most `N` steps), and Fair Share is the only MAC
+//! discipline with that property. Under FIFO with identical linear
+//! utilities the leading eigenvalue is `−(N−1)·(u+2r)/(2u+2r)`, which
+//! approaches the paper's `1 − N` as the slack capacity `u → 0` and
+//! exceeds 1 in magnitude for every `N ≥ 3`: the dynamics are unstable.
+
+use crate::game::Game;
+use crate::Result;
+use greednet_numerics::eig::{eigenvalues, Complex};
+use greednet_numerics::Matrix;
+
+/// `∂E_i/∂r_j` where `E_i = M_i(r_i, C_i(r)) + ∂C_i/∂r_i`:
+///
+/// ```text
+/// ∂E_i/∂r_j = δ_ij·∂M_i/∂r + (∂M_i/∂c)·(∂C_i/∂r_j) + ∂²C_i/∂r_i∂r_j
+/// ```
+pub fn de_dr(game: &Game, rates: &[f64], i: usize, j: usize) -> f64 {
+    let alloc = game.allocation();
+    let c = alloc.congestion_of(rates, i);
+    let u = &game.users()[i];
+    let mut v = u.dm_dc(rates[i], c) * alloc.d_cross(rates, i, j)
+        + alloc.d2_own_cross(rates, i, j);
+    if i == j {
+        v += u.dm_dr(rates[i], c);
+    }
+    v
+}
+
+/// The relaxation matrix `A` at `rates`.
+pub fn relaxation_matrix(game: &Game, rates: &[f64]) -> Matrix {
+    let n = game.n();
+    let diag: Vec<f64> = (0..n).map(|j| de_dr(game, rates, j, j)).collect();
+    Matrix::from_fn(n, n, |i, j| {
+        let delta = if i == j { 1.0 } else { 0.0 };
+        delta - de_dr(game, rates, i, j) / diag[j]
+    })
+}
+
+/// Eigenvalues of the relaxation matrix, sorted by decreasing magnitude.
+///
+/// # Errors
+/// Propagates eigenvalue-solver failures.
+pub fn spectrum(game: &Game, rates: &[f64]) -> Result<Vec<Complex>> {
+    Ok(eigenvalues(&relaxation_matrix(game, rates))?)
+}
+
+/// Spectral radius of the relaxation matrix; `> 1` means the synchronous
+/// Newton dynamics are linearly unstable at `rates`.
+///
+/// # Errors
+/// Propagates eigenvalue-solver failures.
+pub fn spectral_radius(game: &Game, rates: &[f64]) -> Result<f64> {
+    Ok(spectrum(game, rates)?.first().map_or(0.0, Complex::abs))
+}
+
+/// True if the relaxation matrix is nilpotent at `rates` (Theorem 7's
+/// Fair Share signature), tested by direct matrix powering.
+///
+/// # Errors
+/// Propagates matrix-shape failures (cannot occur for a valid game).
+pub fn is_nilpotent_at(game: &Game, rates: &[f64], tol: f64) -> Result<bool> {
+    Ok(relaxation_matrix(game, rates).is_nilpotent(tol)?)
+}
+
+/// One synchronous Newton step: `r_i ← r_i − E_i/(∂E_i/∂r_i)`, clamped to
+/// stay strictly positive and inside the stable region.
+pub fn newton_step(game: &Game, rates: &[f64]) -> Vec<f64> {
+    let n = game.n();
+    let mut next = rates.to_vec();
+    for i in 0..n {
+        let e = game.nash_residual(rates, i);
+        let d = de_dr(game, rates, i, i);
+        if !e.is_finite() || !d.is_finite() || d == 0.0 {
+            continue;
+        }
+        let candidate = rates[i] - e / d;
+        next[i] = candidate.clamp(1e-9, 0.999);
+    }
+    next
+}
+
+/// The closed-form leading eigenvalue of the FIFO relaxation matrix for
+/// `n` identical *linear* users at the symmetric point with per-user rate
+/// `r`: `λ = −(n−1)·(u + 2r)/(2u + 2r)` where `u = 1 − n·r`.
+///
+/// As `u → 0` this approaches the paper's quoted `1 − n`; its magnitude
+/// exceeds 1 for all `n ≥ 3`, so FIFO Newton dynamics are unstable
+/// (§4.2.3).
+pub fn fifo_linear_leading_eigenvalue(n: usize, r: f64) -> f64 {
+    let u = 1.0 - n as f64 * r;
+    -((n - 1) as f64) * (u + 2.0 * r) / (2.0 * u + 2.0 * r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::NashOptions;
+    use crate::utility::{LinearUtility, LogUtility, UtilityExt};
+    use greednet_queueing::fair_share::ascending_order;
+    use greednet_queueing::{FairShare, Proportional};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    fn identical_linear(alloc: impl greednet_queueing::AllocationFunction + 'static, n: usize, gamma: f64) -> Game {
+        let users = (0..n).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect();
+        Game::new(alloc, users).unwrap()
+    }
+
+    #[test]
+    fn de_dr_matches_finite_difference() {
+        let users = vec![
+            LogUtility::new(0.5, 1.0).boxed(),
+            LinearUtility::new(1.0, 0.4).boxed(),
+        ];
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let rates = [0.15, 0.2];
+        for i in 0..2 {
+            for j in 0..2 {
+                let numeric = greednet_numerics::diff::derivative(
+                    |x| {
+                        let mut r = rates;
+                        r[j] = x;
+                        game.nash_residual(&r, i)
+                    },
+                    rates[j],
+                )
+                .unwrap();
+                let analytic = de_dr(&game, &rates, i, j);
+                assert_close(analytic, numeric, 2e-3 * (1.0 + numeric.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn relaxation_matrix_zero_diagonal() {
+        let game = identical_linear(Proportional::new(), 3, 0.2);
+        let a = relaxation_matrix(&game, &[0.1, 0.15, 0.2]);
+        for i in 0..3 {
+            assert_close(a[(i, i)], 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fair_share_matrix_is_triangular_and_nilpotent() {
+        let users = vec![
+            LogUtility::new(0.3, 1.0).boxed(),
+            LogUtility::new(0.6, 1.0).boxed(),
+            LogUtility::new(0.9, 1.0).boxed(),
+        ];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let rates = vec![0.08, 0.14, 0.22];
+        let a = relaxation_matrix(&game, &rates);
+        let order = ascending_order(&rates);
+        assert!(
+            a.is_strictly_lower_triangular_under(&order, 1e-9),
+            "A not triangular:\n{a}"
+        );
+        assert!(is_nilpotent_at(&game, &rates, 1e-9).unwrap());
+        assert!(spectral_radius(&game, &rates).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn fifo_linear_eigenvalue_matches_closed_form() {
+        let n = 5;
+        let game = identical_linear(Proportional::new(), n, 0.2);
+        let r = 0.12;
+        let rates = vec![r; n];
+        let rho = spectral_radius(&game, &rates).unwrap();
+        let expect = fifo_linear_leading_eigenvalue(n, r).abs();
+        assert_close(rho, expect, 1e-6 * (1.0 + expect));
+    }
+
+    #[test]
+    fn fifo_unstable_for_three_or_more_users() {
+        // The instability claim of §4.2.3 at the actual Nash equilibrium.
+        for n in [3usize, 4, 6] {
+            let game = identical_linear(Proportional::new(), n, 0.2);
+            let nash = game.solve_nash(&NashOptions::default()).unwrap();
+            assert!(nash.converged);
+            let rho = spectral_radius(&game, &nash.rates).unwrap();
+            assert!(rho > 1.0, "N={n}: spectral radius {rho} <= 1");
+        }
+        // ... and stable for N = 2.
+        let game2 = identical_linear(Proportional::new(), 2, 0.2);
+        let nash2 = game2.solve_nash(&NashOptions::default()).unwrap();
+        let rho2 = spectral_radius(&game2, &nash2.rates).unwrap();
+        assert!(rho2 < 1.0, "N=2: spectral radius {rho2} >= 1");
+    }
+
+    #[test]
+    fn eigenvalue_approaches_one_minus_n_under_load() {
+        // u -> 0: λ -> 1 - N.
+        let n = 4;
+        let r = 0.2499; // u = 1 - 4r ~ 0.0004
+        let lam = fifo_linear_leading_eigenvalue(n, r);
+        assert_close(lam, -(n as f64 - 1.0), 5e-3);
+    }
+
+    #[test]
+    fn newton_dynamics_converge_in_n_steps_under_fair_share() {
+        // Nilpotency in action: from a warm start, N synchronous Newton
+        // steps land on the Nash equilibrium.
+        let users = vec![
+            LogUtility::new(0.3, 1.0).boxed(),
+            LogUtility::new(0.7, 1.0).boxed(),
+            LogUtility::new(1.1, 1.0).boxed(),
+        ];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        // Perturb slightly (linear regime) and iterate N+2 steps.
+        let mut r: Vec<f64> =
+            nash.rates.iter().enumerate().map(|(i, &x)| x * (1.0 + 0.01 * (i as f64 + 1.0))).collect();
+        for _ in 0..game.n() + 2 {
+            r = newton_step(&game, &r);
+        }
+        for (a, b) in r.iter().zip(&nash.rates) {
+            assert_close(*a, *b, 1e-5);
+        }
+    }
+
+    #[test]
+    fn newton_dynamics_diverge_under_fifo_n4() {
+        let n = 4;
+        let game = identical_linear(Proportional::new(), n, 0.2);
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        // Perturb along the unstable (uniform) eigenvector: the leading
+        // eigenvalue of A = a(J - I) belongs to the all-ones direction.
+        let mut r: Vec<f64> = nash.rates.iter().map(|&x| x + 1e-4).collect();
+        let initial: f64 = game
+            .nash_residuals(&r)
+            .iter()
+            .map(|e| e.abs())
+            .fold(0.0, f64::max);
+        for _ in 0..6 {
+            r = newton_step(&game, &r);
+        }
+        let after: f64 = game
+            .nash_residuals(&r)
+            .iter()
+            .map(|e| e.abs())
+            .fold(0.0, f64::max);
+        assert!(
+            after > 3.0 * initial,
+            "expected divergence: initial {initial:.3e}, after {after:.3e}"
+        );
+    }
+}

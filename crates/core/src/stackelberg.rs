@@ -1,0 +1,243 @@
+//! Stackelberg (leader/follower) equilibria — Definition 5 and Theorem 5.
+//!
+//! A *leader* samples its rate on a slow timescale while the remaining
+//! users ("followers") equilibrate quickly to the Nash equilibrium of the
+//! induced subsystem. The leader then picks the rate whose induced
+//! subsystem equilibrium maximizes its own utility. Under FIFO this
+//! sophistication pays; under Fair Share, Theorem 5 says it cannot — every
+//! Nash equilibrium is already a Stackelberg equilibrium, so naive
+//! hill-climbers are safe from strategic manipulation.
+
+use crate::game::{Game, NashOptions, NashSolution};
+use crate::Result;
+
+/// A solved leader/follower equilibrium.
+#[derive(Debug, Clone)]
+pub struct StackelbergOutcome {
+    /// Index of the leading user.
+    pub leader: usize,
+    /// The leader's optimal committed rate.
+    pub leader_rate: f64,
+    /// Full rate vector (leader + equilibrated followers).
+    pub rates: Vec<f64>,
+    /// The leader's utility at the Stackelberg point.
+    pub leader_utility: f64,
+    /// Whether all follower sub-solves converged.
+    pub followers_converged: bool,
+    /// Number of (leader-rate, follower-equilibrium) evaluations.
+    pub evaluations: usize,
+}
+
+/// Options for the Stackelberg solver.
+#[derive(Debug, Clone)]
+pub struct StackelbergOptions {
+    /// Leader-rate grid resolution for the outer search.
+    pub leader_grid: usize,
+    /// Refinement sweeps (each halves the bracket around the best point).
+    pub refinements: usize,
+    /// Options passed to the follower Nash solves.
+    pub nash: NashOptions,
+}
+
+impl Default for StackelbergOptions {
+    fn default() -> Self {
+        StackelbergOptions {
+            leader_grid: 48,
+            refinements: 24,
+            nash: NashOptions { max_iter: 300, tol: 1e-10, ..Default::default() },
+        }
+    }
+}
+
+/// Evaluates the leader's utility when committing to `x`, with followers
+/// at the Nash equilibrium of the induced subsystem.
+fn leader_value(
+    game: &Game,
+    leader: usize,
+    x: f64,
+    opts: &StackelbergOptions,
+    warm: &mut Option<Vec<f64>>,
+) -> Result<(f64, NashSolution)> {
+    let n = game.n();
+    let mut fixed = vec![None; n];
+    fixed[leader] = Some(x);
+    let mut nash_opts = opts.nash.clone();
+    if let Some(w) = warm {
+        let mut s = w.clone();
+        s[leader] = x;
+        nash_opts.start = Some(s);
+    }
+    let sol = game.solve_nash_fixed(&fixed, &nash_opts)?;
+    *warm = Some(sol.rates.clone());
+    let u = game.utilities_at(&sol.rates)[leader];
+    Ok((u, sol))
+}
+
+/// Solves the Stackelberg problem with user `leader` leading: outer grid
+/// search over the leader's committed rate (each point requiring a full
+/// follower equilibration), followed by golden-section refinement around
+/// the best grid point.
+///
+/// # Errors
+/// Propagates follower-equilibrium solver failures.
+pub fn solve(game: &Game, leader: usize, opts: &StackelbergOptions) -> Result<StackelbergOutcome> {
+    let lo = 1e-6;
+    let hi = 0.98;
+    let mut warm: Option<Vec<f64>> = None;
+    let mut evals = 0usize;
+    let mut best_x = lo;
+    let mut best_u = f64::NEG_INFINITY;
+    let mut best_sol: Option<NashSolution> = None;
+    let grid = opts.leader_grid.max(4);
+    for k in 0..grid {
+        let x = lo + (hi - lo) * k as f64 / (grid - 1) as f64;
+        let (u, sol) = leader_value(game, leader, x, opts, &mut warm)?;
+        evals += 1;
+        if u > best_u {
+            best_u = u;
+            best_x = x;
+            best_sol = Some(sol);
+        }
+    }
+    // Golden-section refinement around the best grid point.
+    let step = (hi - lo) / (grid - 1) as f64;
+    let mut a = (best_x - step).max(lo);
+    let mut b = (best_x + step).min(hi);
+    const INV_GOLD: f64 = 0.618_033_988_749_894_9;
+    let mut x1 = b - INV_GOLD * (b - a);
+    let mut x2 = a + INV_GOLD * (b - a);
+    let (mut f1, _) = leader_value(game, leader, x1, opts, &mut warm)?;
+    let (mut f2, _) = leader_value(game, leader, x2, opts, &mut warm)?;
+    evals += 2;
+    for _ in 0..opts.refinements {
+        if f1 < f2 {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + INV_GOLD * (b - a);
+            let (v, _) = leader_value(game, leader, x2, opts, &mut warm)?;
+            f2 = v;
+        } else {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - INV_GOLD * (b - a);
+            let (v, _) = leader_value(game, leader, x1, opts, &mut warm)?;
+            f1 = v;
+        }
+        evals += 1;
+    }
+    let x_star = if f1 >= f2 { x1 } else { x2 };
+    let u_star = f1.max(f2);
+    let (final_u, final_sol) = if u_star > best_u {
+        let (u, sol) = leader_value(game, leader, x_star, opts, &mut warm)?;
+        evals += 1;
+        (u, sol)
+    } else {
+        (best_u, best_sol.expect("grid search produced a solution"))
+    };
+    Ok(StackelbergOutcome {
+        leader,
+        leader_rate: final_sol.rates[leader],
+        rates: final_sol.rates.clone(),
+        leader_utility: final_u,
+        followers_converged: final_sol.converged,
+        evaluations: evals,
+    })
+}
+
+/// The leader's *advantage*: `(U_leader^Stackelberg, U_leader^Nash)`.
+/// A gap (`stackelberg > nash`) means sophistication is profitable —
+/// exactly what Theorem 5 rules out under Fair Share.
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn leader_advantage(
+    game: &Game,
+    leader: usize,
+    opts: &StackelbergOptions,
+) -> Result<(StackelbergOutcome, NashSolution)> {
+    let stack = solve(game, leader, opts)?;
+    let nash = game.solve_nash(&opts.nash)?;
+    Ok((stack, nash))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::{LinearUtility, LogUtility, UtilityExt};
+    use greednet_queueing::{FairShare, Proportional};
+
+    #[test]
+    fn fifo_leader_gains_over_nash() {
+        // Two identical linear users under FIFO: the leader can commit to a
+        // higher rate, knowing the follower will back off.
+        let users = vec![
+            LinearUtility::new(1.0, 0.2).boxed(),
+            LinearUtility::new(1.0, 0.2).boxed(),
+        ];
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let (stack, nash) = leader_advantage(&game, 0, &StackelbergOptions::default()).unwrap();
+        let nash_u = nash.utilities[0];
+        assert!(
+            stack.leader_utility > nash_u + 1e-6,
+            "no leader advantage under FIFO? stack {} vs nash {}",
+            stack.leader_utility,
+            nash_u
+        );
+        // The leader over-grabs relative to its Nash rate.
+        assert!(stack.leader_rate > nash.rates[0]);
+    }
+
+    #[test]
+    fn fair_share_leader_gains_nothing() {
+        // Theorem 5: under Fair Share the Stackelberg point coincides with
+        // Nash — leadership is worthless.
+        let users = vec![
+            LinearUtility::new(1.0, 0.2).boxed(),
+            LinearUtility::new(1.0, 0.2).boxed(),
+        ];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let (stack, nash) = leader_advantage(&game, 0, &StackelbergOptions::default()).unwrap();
+        let nash_u = nash.utilities[0];
+        assert!(
+            (stack.leader_utility - nash_u).abs() < 1e-5,
+            "leader advantage under Fair Share: stack {} vs nash {}",
+            stack.leader_utility,
+            nash_u
+        );
+        assert!((stack.leader_rate - nash.rates[0]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn heterogeneous_fair_share_no_advantage_either() {
+        let users = vec![
+            LogUtility::new(0.5, 1.0).boxed(),
+            LogUtility::new(1.0, 1.5).boxed(),
+            LogUtility::new(0.3, 0.8).boxed(),
+        ];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        for leader in 0..3 {
+            let (stack, nash) =
+                leader_advantage(&game, leader, &StackelbergOptions::default()).unwrap();
+            assert!(
+                stack.leader_utility <= nash.utilities[leader] + 1e-5,
+                "user {leader} profits from leading under FS"
+            );
+        }
+    }
+
+    #[test]
+    fn followers_converge() {
+        let users = vec![
+            LinearUtility::new(1.0, 0.3).boxed(),
+            LinearUtility::new(1.0, 0.3).boxed(),
+            LinearUtility::new(1.0, 0.3).boxed(),
+        ];
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let stack = solve(&game, 1, &StackelbergOptions::default()).unwrap();
+        assert!(stack.followers_converged);
+        assert_eq!(stack.leader, 1);
+        assert!(stack.evaluations >= 48);
+    }
+}

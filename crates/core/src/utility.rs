@@ -1,0 +1,637 @@
+//! User utility functions — the paper's acceptable class `AU` (§3.2).
+//!
+//! A utility `U(r, c)` expresses a user's satisfaction with throughput `r`
+//! and congestion `c`. Acceptable utilities are `C^2`, strictly increasing
+//! in `r`, strictly decreasing in `c`, and represent *convex preferences*;
+//! as used by Lemma 4 this amounts to joint concavity of `U`, which every
+//! family below satisfies. Utilities are **ordinal**: all of the paper's
+//! results are invariant under monotone transformations `U ↦ G(U)`; the
+//! [`MonotoneTransform`] wrapper exists to test exactly that invariance.
+//!
+//! The quantity the equilibrium machinery actually consumes is the
+//! marginal-rate ratio `M(r, c) = U_r / U_c` (negative, since `U_c < 0`):
+//! the Nash first-derivative condition reads `M_i = −∂C_i/∂r_i` and the
+//! Pareto condition `M_i = Z_i = −(1 − Σ r)^{-2}`.
+
+use greednet_numerics::diff;
+use std::fmt::Debug;
+
+/// A user's utility function over (throughput, congestion).
+///
+/// Implementations must be strictly increasing in `r`, strictly decreasing
+/// in `c`, jointly concave and `C^2` on `r > 0, c ≥ 0`. The value at
+/// `c = +inf` must be `−inf` (an unboundedly congested allocation is worst
+/// possible), which every provided family satisfies.
+pub trait Utility: Send + Sync + Debug {
+    /// Short family name for reporting.
+    fn name(&self) -> &'static str;
+
+    /// The utility value `U(r, c)`.
+    fn value(&self, r: f64, c: f64) -> f64;
+
+    /// `∂U/∂r > 0`.
+    fn du_dr(&self, r: f64, c: f64) -> f64 {
+        diff::derivative(|x| self.value(x, c), r).unwrap_or(f64::NAN)
+    }
+
+    /// `∂U/∂c < 0`.
+    fn du_dc(&self, r: f64, c: f64) -> f64 {
+        diff::derivative(|x| self.value(r, x), c).unwrap_or(f64::NAN)
+    }
+
+    /// `∂²U/∂r²`.
+    fn d2u_drr(&self, r: f64, c: f64) -> f64 {
+        diff::second_derivative(|x| self.value(x, c), r).unwrap_or(f64::NAN)
+    }
+
+    /// `∂²U/∂c²`.
+    fn d2u_dcc(&self, r: f64, c: f64) -> f64 {
+        diff::second_derivative(|x| self.value(r, x), c).unwrap_or(f64::NAN)
+    }
+
+    /// `∂²U/∂r∂c`.
+    fn d2u_drc(&self, r: f64, c: f64) -> f64 {
+        diff::mixed_second(|x| self.value(x[0], x[1]), &[r, c], 0, 1).unwrap_or(f64::NAN)
+    }
+
+    /// The marginal ratio `M(r, c) = U_r / U_c` (< 0). The ordinal object
+    /// the equilibrium conditions are written in: invariant under
+    /// monotone transformations of `U`.
+    fn marginal_ratio(&self, r: f64, c: f64) -> f64 {
+        self.du_dr(r, c) / self.du_dc(r, c)
+    }
+
+    /// `∂M/∂r = (U_rr U_c − U_r U_rc) / U_c²`.
+    fn dm_dr(&self, r: f64, c: f64) -> f64 {
+        let uc = self.du_dc(r, c);
+        (self.d2u_drr(r, c) * uc - self.du_dr(r, c) * self.d2u_drc(r, c)) / (uc * uc)
+    }
+
+    /// `∂M/∂c = (U_rc U_c − U_r U_cc) / U_c²`.
+    fn dm_dc(&self, r: f64, c: f64) -> f64 {
+        let uc = self.du_dc(r, c);
+        (self.d2u_drc(r, c) * uc - self.du_dr(r, c) * self.d2u_dcc(r, c)) / (uc * uc)
+    }
+
+    /// Clones into a boxed trait object.
+    fn clone_box(&self) -> BoxedUtility;
+}
+
+/// Owned, type-erased utility.
+pub type BoxedUtility = Box<dyn Utility>;
+
+impl Clone for BoxedUtility {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Extension providing `.boxed()` on sized utilities.
+pub trait UtilityExt: Utility + Sized + 'static {
+    /// Boxes the utility.
+    fn boxed(self) -> BoxedUtility {
+        Box::new(self)
+    }
+}
+impl<T: Utility + Sized + 'static> UtilityExt for T {}
+
+// ---------------------------------------------------------------------------
+// Families
+// ---------------------------------------------------------------------------
+
+/// Linear utility `U = a·r − γ·c` — the family used in the paper's FIFO
+/// instability example (§4.2.3), with constant marginal ratio `M = −a/γ`.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearUtility {
+    /// Throughput weight `a > 0`.
+    pub a: f64,
+    /// Congestion aversion `γ > 0`.
+    pub gamma: f64,
+}
+
+impl LinearUtility {
+    /// Creates `U = a·r − γ·c`; both parameters must be positive.
+    pub fn new(a: f64, gamma: f64) -> Self {
+        assert!(a > 0.0 && gamma > 0.0, "LinearUtility needs a, gamma > 0");
+        LinearUtility { a, gamma }
+    }
+}
+
+impl Utility for LinearUtility {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+    fn value(&self, r: f64, c: f64) -> f64 {
+        self.a * r - self.gamma * c
+    }
+    fn du_dr(&self, _r: f64, _c: f64) -> f64 {
+        self.a
+    }
+    fn du_dc(&self, _r: f64, _c: f64) -> f64 {
+        -self.gamma
+    }
+    fn d2u_drr(&self, _r: f64, _c: f64) -> f64 {
+        0.0
+    }
+    fn d2u_dcc(&self, _r: f64, _c: f64) -> f64 {
+        0.0
+    }
+    fn d2u_drc(&self, _r: f64, _c: f64) -> f64 {
+        0.0
+    }
+    fn clone_box(&self) -> BoxedUtility {
+        Box::new(*self)
+    }
+}
+
+/// The exponential family from the paper's Lemma 5:
+/// `U = −(α²/β)·e^{−(β/α)(r−r̄)} − (γ²/ν)·e^{(ν/γ)(c−c̄)}`.
+///
+/// Strictly increasing in `r`, decreasing in `c`, jointly concave, and
+/// rich enough that *any* interior point can be made a Nash equilibrium by
+/// a choice of parameters — the property the paper's impossibility proofs
+/// lean on. [`ExpExpUtility::pinning`] constructs exactly the instance
+/// used in Lemma 5 to pin an equilibrium at a target `(r̄, c̄)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpExpUtility {
+    /// Throughput scale `α > 0`.
+    pub alpha: f64,
+    /// Throughput decay `β > 0` (larger = sharper preference near `r̄`).
+    pub beta: f64,
+    /// Congestion scale `γ > 0`.
+    pub gamma: f64,
+    /// Congestion growth `ν > 0`.
+    pub nu: f64,
+    /// Throughput reference point.
+    pub r_ref: f64,
+    /// Congestion reference point.
+    pub c_ref: f64,
+}
+
+impl ExpExpUtility {
+    /// Creates the Lemma 5 exponential utility. All of `alpha`, `beta`,
+    /// `gamma`, `nu` must be positive.
+    pub fn new(alpha: f64, beta: f64, gamma: f64, nu: f64, r_ref: f64, c_ref: f64) -> Self {
+        assert!(
+            alpha > 0.0 && beta > 0.0 && gamma > 0.0 && nu > 0.0,
+            "ExpExpUtility needs positive alpha, beta, gamma, nu"
+        );
+        ExpExpUtility { alpha, beta, gamma, nu, r_ref, c_ref }
+    }
+
+    /// Lemma 5 construction: a utility whose first-derivative condition is
+    /// satisfied at `(r̄, c̄)` against own-congestion slope `dc_dr` (i.e.
+    /// `M(r̄, c̄) = −dc_dr`), with sharpness `beta = nu` controlling how
+    /// strongly the optimum is pinned there.
+    pub fn pinning(r_ref: f64, c_ref: f64, dc_dr: f64, sharpness: f64) -> Self {
+        assert!(dc_dr > 0.0, "own-congestion slope must be positive");
+        // Choose gamma = 1, alpha = dc_dr so that M = -alpha/gamma = -dc_dr
+        // at the reference point.
+        ExpExpUtility::new(dc_dr, sharpness, 1.0, sharpness, r_ref, c_ref)
+    }
+}
+
+impl Utility for ExpExpUtility {
+    fn name(&self) -> &'static str {
+        "exp-exp (Lemma 5)"
+    }
+    fn value(&self, r: f64, c: f64) -> f64 {
+        let tr = -(self.alpha * self.alpha / self.beta)
+            * (-(self.beta / self.alpha) * (r - self.r_ref)).exp();
+        let tc = -(self.gamma * self.gamma / self.nu)
+            * ((self.nu / self.gamma) * (c - self.c_ref)).exp();
+        tr + tc
+    }
+    fn du_dr(&self, r: f64, _c: f64) -> f64 {
+        self.alpha * (-(self.beta / self.alpha) * (r - self.r_ref)).exp()
+    }
+    fn du_dc(&self, _r: f64, c: f64) -> f64 {
+        -self.gamma * ((self.nu / self.gamma) * (c - self.c_ref)).exp()
+    }
+    fn d2u_drr(&self, r: f64, _c: f64) -> f64 {
+        -self.beta * (-(self.beta / self.alpha) * (r - self.r_ref)).exp()
+    }
+    fn d2u_dcc(&self, _r: f64, c: f64) -> f64 {
+        -self.nu * ((self.nu / self.gamma) * (c - self.c_ref)).exp()
+    }
+    fn d2u_drc(&self, _r: f64, _c: f64) -> f64 {
+        0.0
+    }
+    fn clone_box(&self) -> BoxedUtility {
+        Box::new(*self)
+    }
+}
+
+/// Power (CRRA-style) utility `U = r^a − γ·c` with `0 < a < 1`:
+/// diminishing returns to throughput, linear congestion cost. A natural
+/// model for bulk-transfer ("FTP") users.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerUtility {
+    /// Curvature exponent `a ∈ (0, 1)`.
+    pub a: f64,
+    /// Congestion aversion `γ > 0`.
+    pub gamma: f64,
+}
+
+impl PowerUtility {
+    /// Creates `U = r^a − γ·c` with `0 < a < 1`, `γ > 0`.
+    pub fn new(a: f64, gamma: f64) -> Self {
+        assert!(a > 0.0 && a < 1.0 && gamma > 0.0, "PowerUtility needs 0<a<1, gamma>0");
+        PowerUtility { a, gamma }
+    }
+}
+
+impl Utility for PowerUtility {
+    fn name(&self) -> &'static str {
+        "power"
+    }
+    fn value(&self, r: f64, c: f64) -> f64 {
+        r.max(0.0).powf(self.a) - self.gamma * c
+    }
+    fn du_dr(&self, r: f64, _c: f64) -> f64 {
+        self.a * r.max(1e-300).powf(self.a - 1.0)
+    }
+    fn du_dc(&self, _r: f64, _c: f64) -> f64 {
+        -self.gamma
+    }
+    fn d2u_drr(&self, r: f64, _c: f64) -> f64 {
+        self.a * (self.a - 1.0) * r.max(1e-300).powf(self.a - 2.0)
+    }
+    fn d2u_dcc(&self, _r: f64, _c: f64) -> f64 {
+        0.0
+    }
+    fn d2u_drc(&self, _r: f64, _c: f64) -> f64 {
+        0.0
+    }
+    fn clone_box(&self) -> BoxedUtility {
+        Box::new(*self)
+    }
+}
+
+/// Logarithmic utility `U = w·ln(r) − γ·c`: infinitely steep at zero rate,
+/// so best responses are always interior. The workhorse of the sampled
+/// heterogeneous-profile experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct LogUtility {
+    /// Throughput weight `w > 0`.
+    pub w: f64,
+    /// Congestion aversion `γ > 0`.
+    pub gamma: f64,
+}
+
+impl LogUtility {
+    /// Creates `U = w·ln(r) − γ·c`; both parameters must be positive.
+    pub fn new(w: f64, gamma: f64) -> Self {
+        assert!(w > 0.0 && gamma > 0.0, "LogUtility needs w, gamma > 0");
+        LogUtility { w, gamma }
+    }
+}
+
+impl Utility for LogUtility {
+    fn name(&self) -> &'static str {
+        "log"
+    }
+    fn value(&self, r: f64, c: f64) -> f64 {
+        if r <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.w * r.ln() - self.gamma * c
+        }
+    }
+    fn du_dr(&self, r: f64, _c: f64) -> f64 {
+        self.w / r.max(1e-300)
+    }
+    fn du_dc(&self, _r: f64, _c: f64) -> f64 {
+        -self.gamma
+    }
+    fn d2u_drr(&self, r: f64, _c: f64) -> f64 {
+        -self.w / (r.max(1e-300) * r.max(1e-300))
+    }
+    fn d2u_dcc(&self, _r: f64, _c: f64) -> f64 {
+        0.0
+    }
+    fn d2u_drc(&self, _r: f64, _c: f64) -> f64 {
+        0.0
+    }
+    fn clone_box(&self) -> BoxedUtility {
+        Box::new(*self)
+    }
+}
+
+/// Quadratic-congestion utility `U = a·r − γ·c²`: mildly congestion
+/// tolerant at low load, sharply averse at high load. A natural model for
+/// interactive ("Telnet") users whose experience collapses under queueing.
+#[derive(Debug, Clone, Copy)]
+pub struct QuadraticCongestionUtility {
+    /// Throughput weight `a > 0`.
+    pub a: f64,
+    /// Congestion aversion `γ > 0`.
+    pub gamma: f64,
+}
+
+impl QuadraticCongestionUtility {
+    /// Creates `U = a·r − γ·c²`; both parameters must be positive.
+    pub fn new(a: f64, gamma: f64) -> Self {
+        assert!(a > 0.0 && gamma > 0.0, "QuadraticCongestionUtility needs a, gamma > 0");
+        QuadraticCongestionUtility { a, gamma }
+    }
+}
+
+impl Utility for QuadraticCongestionUtility {
+    fn name(&self) -> &'static str {
+        "quadratic-congestion"
+    }
+    fn value(&self, r: f64, c: f64) -> f64 {
+        self.a * r - self.gamma * c * c
+    }
+    fn du_dr(&self, _r: f64, _c: f64) -> f64 {
+        self.a
+    }
+    fn du_dc(&self, _r: f64, c: f64) -> f64 {
+        -2.0 * self.gamma * c
+    }
+    fn d2u_drr(&self, _r: f64, _c: f64) -> f64 {
+        0.0
+    }
+    fn d2u_dcc(&self, _r: f64, _c: f64) -> f64 {
+        -2.0 * self.gamma
+    }
+    fn d2u_drc(&self, _r: f64, _c: f64) -> f64 {
+        0.0
+    }
+    fn clone_box(&self) -> BoxedUtility {
+        Box::new(*self)
+    }
+}
+
+/// A strictly increasing transformation `G ∘ U` of another utility.
+///
+/// Utilities are ordinal, so every equilibrium notion in the paper must be
+/// invariant under this wrapper; the test suites use it to check exactly
+/// that. Note `M(r,c)` is identical for `U` and `G∘U` by the chain rule.
+#[derive(Debug, Clone)]
+pub struct MonotoneTransform {
+    inner: BoxedUtility,
+    kind: TransformKind,
+}
+
+/// The available monotone transformations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransformKind {
+    /// `G(u) = a·u + b` with `a > 0`.
+    Affine {
+        /// Slope (> 0).
+        a: f64,
+        /// Intercept.
+        b: f64,
+    },
+    /// `G(u) = −e^{−k·u}` with `k > 0` (bounded above).
+    NegExp {
+        /// Decay constant (> 0).
+        k: f64,
+    },
+    /// `G(u) = u³ + u` (strictly increasing, unbounded, non-affine).
+    CubicPlus,
+}
+
+impl MonotoneTransform {
+    /// Wraps `inner` with transformation `kind`.
+    pub fn new(inner: BoxedUtility, kind: TransformKind) -> Self {
+        if let TransformKind::Affine { a, .. } = kind {
+            assert!(a > 0.0, "affine transform must be increasing");
+        }
+        if let TransformKind::NegExp { k } = kind {
+            assert!(k > 0.0, "neg-exp transform needs k > 0");
+        }
+        MonotoneTransform { inner, kind }
+    }
+
+    fn g(&self, u: f64) -> f64 {
+        match self.kind {
+            TransformKind::Affine { a, b } => a * u + b,
+            TransformKind::NegExp { k } => {
+                if u == f64::NEG_INFINITY {
+                    f64::NEG_INFINITY
+                } else {
+                    -(-k * u).exp()
+                }
+            }
+            TransformKind::CubicPlus => u * u * u + u,
+        }
+    }
+
+    fn g_prime(&self, u: f64) -> f64 {
+        match self.kind {
+            TransformKind::Affine { a, .. } => a,
+            TransformKind::NegExp { k } => k * (-k * u).exp(),
+            TransformKind::CubicPlus => 3.0 * u * u + 1.0,
+        }
+    }
+
+    fn g_double_prime(&self, u: f64) -> f64 {
+        match self.kind {
+            TransformKind::Affine { .. } => 0.0,
+            TransformKind::NegExp { k } => -k * k * (-k * u).exp(),
+            TransformKind::CubicPlus => 6.0 * u,
+        }
+    }
+}
+
+impl Utility for MonotoneTransform {
+    fn name(&self) -> &'static str {
+        "monotone-transform"
+    }
+    fn value(&self, r: f64, c: f64) -> f64 {
+        self.g(self.inner.value(r, c))
+    }
+    fn du_dr(&self, r: f64, c: f64) -> f64 {
+        self.g_prime(self.inner.value(r, c)) * self.inner.du_dr(r, c)
+    }
+    fn du_dc(&self, r: f64, c: f64) -> f64 {
+        self.g_prime(self.inner.value(r, c)) * self.inner.du_dc(r, c)
+    }
+    fn d2u_drr(&self, r: f64, c: f64) -> f64 {
+        let u = self.inner.value(r, c);
+        let ur = self.inner.du_dr(r, c);
+        self.g_double_prime(u) * ur * ur + self.g_prime(u) * self.inner.d2u_drr(r, c)
+    }
+    fn d2u_dcc(&self, r: f64, c: f64) -> f64 {
+        let u = self.inner.value(r, c);
+        let uc = self.inner.du_dc(r, c);
+        self.g_double_prime(u) * uc * uc + self.g_prime(u) * self.inner.d2u_dcc(r, c)
+    }
+    fn d2u_drc(&self, r: f64, c: f64) -> f64 {
+        let u = self.inner.value(r, c);
+        self.g_double_prime(u) * self.inner.du_dr(r, c) * self.inner.du_dc(r, c)
+            + self.g_prime(u) * self.inner.d2u_drc(r, c)
+    }
+    fn clone_box(&self) -> BoxedUtility {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn families() -> Vec<BoxedUtility> {
+        vec![
+            LinearUtility::new(1.0, 0.5).boxed(),
+            ExpExpUtility::new(1.0, 2.0, 1.0, 3.0, 0.2, 0.5).boxed(),
+            PowerUtility::new(0.5, 1.0).boxed(),
+            LogUtility::new(1.0, 2.0).boxed(),
+            QuadraticCongestionUtility::new(1.0, 0.7).boxed(),
+        ]
+    }
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn monotone_in_r_decreasing_in_c() {
+        for u in families() {
+            for &(r, c) in &[(0.1, 0.2), (0.3, 1.0), (0.05, 3.0)] {
+                assert!(u.du_dr(r, c) > 0.0, "{} U_r <= 0", u.name());
+                assert!(u.du_dc(r, c) < 0.0, "{} U_c >= 0", u.name());
+                assert!(u.value(r + 0.01, c) > u.value(r, c));
+                assert!(u.value(r, c + 0.01) < u.value(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_derivatives_match_numeric() {
+        for u in families() {
+            let (r, c) = (0.25, 0.8);
+            let ur = diff::derivative(|x| u.value(x, c), r).unwrap();
+            let uc = diff::derivative(|x| u.value(r, x), c).unwrap();
+            assert_close(u.du_dr(r, c), ur, 1e-4 * (1.0 + ur.abs()));
+            assert_close(u.du_dc(r, c), uc, 1e-4 * (1.0 + uc.abs()));
+            let urr = diff::second_derivative(|x| u.value(x, c), r).unwrap();
+            let ucc = diff::second_derivative(|x| u.value(r, x), c).unwrap();
+            assert_close(u.d2u_drr(r, c), urr, 1e-2 * (1.0 + urr.abs()));
+            assert_close(u.d2u_dcc(r, c), ucc, 1e-2 * (1.0 + ucc.abs()));
+        }
+    }
+
+    #[test]
+    fn joint_concavity_hessian() {
+        // Hessian must be negative semidefinite: check trace <= 0 and det >= 0
+        // (2x2 NSD criterion) at several points.
+        for u in families() {
+            for &(r, c) in &[(0.1, 0.2), (0.4, 1.5)] {
+                let a = u.d2u_drr(r, c);
+                let b = u.d2u_drc(r, c);
+                let d = u.d2u_dcc(r, c);
+                assert!(a <= 1e-12, "{} U_rr > 0", u.name());
+                assert!(d <= 1e-12, "{} U_cc > 0", u.name());
+                assert!(a * d - b * b >= -1e-10, "{} indefinite Hessian", u.name());
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_congestion_is_worst() {
+        for u in families() {
+            assert_eq!(u.value(0.3, f64::INFINITY), f64::NEG_INFINITY, "{}", u.name());
+        }
+    }
+
+    #[test]
+    fn marginal_ratio_is_negative() {
+        for u in families() {
+            let m = u.marginal_ratio(0.2, 0.5);
+            assert!(m < 0.0, "{} M >= 0", u.name());
+        }
+    }
+
+    #[test]
+    fn linear_marginal_ratio_constant() {
+        let u = LinearUtility::new(2.0, 4.0);
+        assert_close(u.marginal_ratio(0.1, 0.1), -0.5, 1e-14);
+        assert_close(u.marginal_ratio(0.7, 9.0), -0.5, 1e-14);
+        assert_eq!(u.dm_dr(0.2, 0.3), 0.0);
+        assert_eq!(u.dm_dc(0.2, 0.3), 0.0);
+    }
+
+    #[test]
+    fn expexp_pinning_hits_target_fdc() {
+        // The pinned utility must satisfy M(r_ref, c_ref) = -dc_dr.
+        let u = ExpExpUtility::pinning(0.2, 0.6, 3.5, 10.0);
+        assert_close(u.marginal_ratio(0.2, 0.6), -3.5, 1e-12);
+    }
+
+    #[test]
+    fn dm_derivatives_match_numeric() {
+        let u = ExpExpUtility::new(1.0, 2.0, 1.5, 3.0, 0.2, 0.5);
+        let (r, c) = (0.3, 0.9);
+        let dm_r = diff::derivative(|x| u.marginal_ratio(x, c), r).unwrap();
+        let dm_c = diff::derivative(|x| u.marginal_ratio(r, x), c).unwrap();
+        assert_close(u.dm_dr(r, c), dm_r, 1e-4 * (1.0 + dm_r.abs()));
+        assert_close(u.dm_dc(r, c), dm_c, 1e-4 * (1.0 + dm_c.abs()));
+    }
+
+    #[test]
+    fn log_utility_forces_interior() {
+        let u = LogUtility::new(1.0, 1.0);
+        assert_eq!(u.value(0.0, 1.0), f64::NEG_INFINITY);
+        assert_eq!(u.value(-0.1, 1.0), f64::NEG_INFINITY);
+        assert!(u.du_dr(1e-6, 0.0) > 1e5);
+    }
+
+    #[test]
+    fn monotone_transform_preserves_marginal_ratio() {
+        let base = PowerUtility::new(0.6, 1.2).boxed();
+        for kind in [
+            TransformKind::Affine { a: 3.0, b: -1.0 },
+            TransformKind::NegExp { k: 0.8 },
+            TransformKind::CubicPlus,
+        ] {
+            let t = MonotoneTransform::new(base.clone(), kind);
+            for &(r, c) in &[(0.1, 0.3), (0.4, 1.1)] {
+                assert_close(
+                    t.marginal_ratio(r, c),
+                    base.marginal_ratio(r, c),
+                    1e-10 * (1.0 + base.marginal_ratio(r, c).abs()),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_transform_preserves_ordering() {
+        let base = LinearUtility::new(1.0, 1.0).boxed();
+        let t = MonotoneTransform::new(base.clone(), TransformKind::NegExp { k: 2.0 });
+        let pairs = [((0.3, 0.1), (0.2, 0.1)), ((0.3, 0.1), (0.3, 0.5))];
+        for ((r1, c1), (r2, c2)) in pairs {
+            let base_order = base.value(r1, c1) > base.value(r2, c2);
+            let t_order = t.value(r1, c1) > t.value(r2, c2);
+            assert_eq!(base_order, t_order);
+        }
+    }
+
+    #[test]
+    fn transform_derivative_consistency() {
+        let base = LogUtility::new(0.8, 1.5).boxed();
+        let t = MonotoneTransform::new(base, TransformKind::CubicPlus);
+        let (r, c) = (0.3, 0.4);
+        let ur = diff::derivative(|x| t.value(x, c), r).unwrap();
+        assert_close(t.du_dr(r, c), ur, 1e-3 * (1.0 + ur.abs()));
+        let ucc = diff::second_derivative(|x| t.value(r, x), c).unwrap();
+        assert_close(t.d2u_dcc(r, c), ucc, 1e-2 * (1.0 + ucc.abs()));
+    }
+
+    #[test]
+    #[should_panic(expected = "LinearUtility")]
+    fn invalid_parameters_panic() {
+        let _ = LinearUtility::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn boxed_clone() {
+        let u = LinearUtility::new(1.0, 2.0).boxed();
+        let v = u.clone();
+        assert_eq!(v.value(0.5, 0.0), 0.5);
+    }
+}

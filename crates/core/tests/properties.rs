@@ -1,0 +1,134 @@
+//! Property-based tests of the paper's theorems over randomized utility
+//! profiles: unilateral envy-freeness (Theorem 3), uniqueness (Theorem 4),
+//! ordinal invariance of equilibria, protection (Theorem 8).
+
+use greednet_core::game::{distinct_equilibria, Game, NashOptions};
+use greednet_core::utility::{
+    LinearUtility, LogUtility, MonotoneTransform, PowerUtility, TransformKind, UtilityExt,
+};
+use greednet_core::{pareto, relaxation};
+use greednet_queueing::{FairShare, Proportional};
+use proptest::prelude::*;
+
+/// A random profile of 2..=4 heterogeneous log/power/linear users.
+fn profiles() -> impl Strategy<Value = Vec<(u8, f64, f64)>> {
+    proptest::collection::vec((0u8..3, 0.2..1.2f64, 0.3..2.5f64), 2..=4)
+}
+
+fn build_users(spec: &[(u8, f64, f64)]) -> Vec<greednet_core::BoxedUtility> {
+    spec.iter()
+        .map(|&(kind, a, g)| match kind {
+            0 => LogUtility::new(a, g).boxed(),
+            1 => PowerUtility::new(0.3 + 0.4 * (a - 0.2), g).boxed(),
+            _ => LinearUtility::new(a, 0.1 + 0.5 * g / 2.5).boxed(),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fair_share_nash_is_envy_free(spec in profiles()) {
+        let game = Game::new(FairShare::new(), build_users(&spec)).unwrap();
+        let sol = game.solve_nash(&NashOptions::default()).unwrap();
+        prop_assume!(sol.converged);
+        let envy = game.max_envy(&sol.rates).unwrap();
+        prop_assert!(envy <= 1e-6, "envy {envy} at {:?}", sol.rates);
+    }
+
+    #[test]
+    fn fair_share_unilateral_envy_freeness(spec in profiles(), others in proptest::collection::vec(0.01..0.3f64, 4)) {
+        // Theorem 3 is stronger than Nash envy-freeness: a user at its own
+        // unilateral optimum envies no one REGARDLESS of what others play.
+        let game = Game::new(FairShare::new(), build_users(&spec)).unwrap();
+        let n = game.n();
+        let mut rates: Vec<f64> = others[..n].to_vec();
+        // Pick user 0 as the self-optimizer.
+        let br = game.best_response(&rates, 0, 128).unwrap();
+        rates[0] = br;
+        let c = game.allocation().congestion(&rates);
+        let own = game.users()[0].value(rates[0], c[0]);
+        for j in 1..n {
+            let other = game.users()[0].value(rates[j], c[j]);
+            prop_assert!(other <= own + 1e-7,
+                "user 0 envies user {j}: {other} > {own} at {rates:?}");
+        }
+    }
+
+    #[test]
+    fn fifo_optimizer_can_envy(_x in 0..1i32) {
+        // Complement of the above: under FIFO a self-optimizing linear user
+        // with an interior optimum always envies a heavier user — at its
+        // FDC, gamma/u < 1, so utility still rises along the shared
+        // congestion ray c = r/u (fixed witness, kept here for contrast).
+        let users = vec![
+            LinearUtility::new(1.0, 0.05).boxed(), // optimizer
+            LinearUtility::new(1.0, 0.05).boxed(), // blaster, held at 0.6
+        ];
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let mut rates = vec![0.0, 0.6];
+        rates[0] = game.best_response(&rates, 0, 256).unwrap();
+        let c = game.allocation().congestion(&rates);
+        let own = game.users()[0].value(rates[0], c[0]);
+        let other = game.users()[0].value(rates[1], c[1]);
+        prop_assert!(other > own, "expected envy under FIFO: {other} <= {own}");
+    }
+
+    #[test]
+    fn fair_share_equilibrium_unique_from_random_starts(spec in profiles(), seeds in proptest::collection::vec(0.005..0.4f64, 8)) {
+        let game = Game::new(FairShare::new(), build_users(&spec)).unwrap();
+        let n = game.n();
+        let starts: Vec<Vec<f64>> = seeds.chunks(2)
+            .map(|ch| (0..n).map(|i| ch[i % ch.len()] / n as f64 * 2.0).collect())
+            .collect();
+        let eqs = distinct_equilibria(&game, &starts, &NashOptions::default(), 1e-4).unwrap();
+        prop_assert!(eqs.len() <= 1, "found {} distinct FS equilibria", eqs.len());
+    }
+
+    #[test]
+    fn nash_invariant_under_monotone_transform(spec in profiles()) {
+        let base = build_users(&spec);
+        let game = Game::new(FairShare::new(), base.clone()).unwrap();
+        let sol = game.solve_nash(&NashOptions::default()).unwrap();
+        prop_assume!(sol.converged);
+        // Transform user 0's utility; the equilibrium must not move.
+        let mut transformed = base;
+        transformed[0] = MonotoneTransform::new(
+            transformed[0].clone(),
+            TransformKind::CubicPlus,
+        ).boxed();
+        let game2 = Game::new(FairShare::new(), transformed).unwrap();
+        let sol2 = game2.solve_nash(&NashOptions::default()).unwrap();
+        prop_assume!(sol2.converged);
+        for (a, b) in sol.rates.iter().zip(&sol2.rates) {
+            prop_assert!((a - b).abs() < 1e-5, "{:?} vs {:?}", sol.rates, sol2.rates);
+        }
+    }
+
+    #[test]
+    fn fs_relaxation_matrix_nilpotent_everywhere(spec in profiles(), point in proptest::collection::vec(0.02..0.2f64, 4)) {
+        let game = Game::new(FairShare::new(), build_users(&spec)).unwrap();
+        let n = game.n();
+        let mut rates: Vec<f64> = point[..n].to_vec();
+        // Break ties to stay in the C^2 region.
+        for (i, r) in rates.iter_mut().enumerate() {
+            *r += 1e-4 * i as f64;
+        }
+        prop_assume!(rates.iter().sum::<f64>() < 0.9);
+        prop_assert!(relaxation::is_nilpotent_at(&game, &rates, 1e-8).unwrap());
+    }
+
+    #[test]
+    fn fifo_nash_never_pareto(spec in profiles()) {
+        // Theorem 2 for the proportional allocation: dC_i/dr_j > 0 always,
+        // so no Nash equilibrium is Pareto optimal.
+        let game = Game::new(Proportional::new(), build_users(&spec)).unwrap();
+        let sol = game.solve_nash(&NashOptions::default()).unwrap();
+        prop_assume!(sol.converged);
+        // Only meaningful for interior equilibria.
+        prop_assume!(sol.rates.iter().all(|&r| r > 1e-4));
+        prop_assert!(!pareto::is_pareto_fdc(&game, &sol.rates, 1e-4),
+            "FIFO Nash unexpectedly Pareto at {:?}", sol.rates);
+    }
+}

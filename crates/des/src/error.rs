@@ -1,0 +1,64 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+/// Errors produced when configuring or running simulations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesError {
+    /// A rate was negative, NaN or infinite.
+    InvalidRate {
+        /// User index.
+        user: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// No users were configured.
+    EmptySystem,
+    /// Horizon/warmup configuration is inconsistent.
+    InvalidHorizon {
+        /// Explanation of the problem.
+        detail: String,
+    },
+    /// The simulated system is (near-)saturated and steady-state
+    /// statistics were requested.
+    Saturated {
+        /// Total offered load.
+        load: f64,
+    },
+    /// Discipline-specific configuration error.
+    InvalidDiscipline {
+        /// Explanation of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesError::InvalidRate { user, value } => {
+                write!(f, "user {user} has invalid rate {value}")
+            }
+            DesError::EmptySystem => write!(f, "at least one user is required"),
+            DesError::InvalidHorizon { detail } => write!(f, "invalid horizon: {detail}"),
+            DesError::Saturated { load } => {
+                write!(f, "offered load {load} >= 1: no steady state exists")
+            }
+            DesError::InvalidDiscipline { detail } => {
+                write!(f, "invalid discipline configuration: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(DesError::EmptySystem.to_string().contains("at least one"));
+        assert!(DesError::Saturated { load: 1.2 }.to_string().contains("1.2"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Packet-level discrete-event simulation of the paper's switch.
+//!
+//! The analytical layers (`greednet-queueing`, `greednet-core`) work with
+//! closed-form M/M/1 allocation functions; this crate builds the actual
+//! switch those formulas describe: `N` Poisson packet sources feeding an
+//! exponential unit-rate server under a configurable service discipline.
+//! It exists for three reasons:
+//!
+//! 1. **Validation** — every closed-form allocation function is checked
+//!    against simulated packets (experiment E9), including the Table 1
+//!    priority-table realization of Fair Share (experiment T1);
+//! 2. **Realism** — the hill-climbing users of `greednet-learning` can
+//!    optimize against *noisy measurements* from this simulator rather
+//!    than exact formulas, reproducing the paper's "adjust the knob until
+//!    the picture looks best" story (§2.2);
+//! 3. **The §5.2 scenarios** — FTP/Telnet/ill-behaved source mixes under
+//!    FIFO vs Fair Queueing.
+//!
+//! # Architecture
+//!
+//! A single work-conserving engine ([`sim::Simulator`]) advances a set of
+//! active packets whose remaining work drains at rates chosen by a
+//! [`disciplines::Discipline`]: each discipline maps the active set to a
+//! vector of non-negative *service shares* summing to 1 (FIFO puts all
+//! service on the oldest packet; processor sharing splits it evenly;
+//! priority disciplines serve the highest non-empty level; fair queueing
+//! serves the smallest virtual start tag, non-preemptively). Packet sizes
+//! are i.i.d. `Exp(1)`, arrivals are Poisson, so every discipline sees the
+//! same M/M/1 workload modulo scheduling.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod disciplines;
+pub mod error;
+pub mod rng;
+pub mod scenarios;
+pub mod service;
+pub mod sim;
+
+pub use disciplines::{
+    Discipline, Fifo, FsPriorityTable, LifoPreemptive, PreemptivePriority, ProcessorSharing,
+    StartTimeFairQueueing,
+};
+pub use error::DesError;
+pub use service::ServiceDist;
+pub use sim::{SimConfig, SimResult, Simulator};
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, DesError>;

@@ -1,0 +1,107 @@
+//! Random-variate generation for the simulator.
+//!
+//! All stochastic behaviour in the simulator flows through [`ExpStream`]s
+//! seeded from a single master seed, so every run is exactly reproducible.
+//! Exponential variates are produced by inversion (`−ln(1−U)/λ`), which
+//! keeps the dependency surface to plain uniform `rand`.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A reproducible stream of exponential variates.
+#[derive(Debug, Clone)]
+pub struct ExpStream {
+    rng: SmallRng,
+}
+
+impl ExpStream {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        ExpStream { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Next `Exp(rate)` variate (mean `1/rate`).
+    ///
+    /// # Panics
+    /// Panics if `rate <= 0` (programmer error — zero-rate sources must
+    /// simply never be sampled).
+    pub fn sample(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+        let u: f64 = self.rng.random();
+        // 1 - u in (0, 1], so ln is finite.
+        -(1.0f64 - u).ln() / rate
+    }
+
+    /// Next uniform variate in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random()
+    }
+
+    /// Derives an independent stream (splitting) for a sub-component.
+    pub fn split(&mut self, salt: u64) -> ExpStream {
+        let s: u64 = self.rng.random::<u64>() ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+        ExpStream::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible() {
+        let mut a = ExpStream::new(42);
+        let mut b = ExpStream::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.sample(2.0), b.sample(2.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ExpStream::new(1);
+        let mut b = ExpStream::new(2);
+        let same = (0..20).filter(|_| a.sample(1.0) == b.sample(1.0)).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut s = ExpStream::new(7);
+        let rate = 2.5;
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = s.sample(rate);
+            assert!(x >= 0.0 && x.is_finite());
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_memoryless_tail() {
+        // P(X > 1) should be about e^-1 for rate 1.
+        let mut s = ExpStream::new(11);
+        let n = 100_000;
+        let over = (0..n).filter(|_| s.sample(1.0) > 1.0).count();
+        let p = over as f64 / n as f64;
+        assert!((p - (-1.0f64).exp()).abs() < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn split_streams_are_independent_enough() {
+        let mut parent = ExpStream::new(5);
+        let mut c1 = parent.split(1);
+        let mut c2 = parent.split(2);
+        let matches = (0..50).filter(|_| c1.uniform() == c2.uniform()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        ExpStream::new(0).sample(0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Workload scenarios from §5.2 of the paper: FTP-like bulk transfers
+//! (throughput-seeking), Telnet-like interactive sources (delay-
+//! sensitive), and ill-behaved "blasters", run under FIFO or a
+//! Fair-Share-family discipline to reproduce the qualitative claims that
+//! motivated Fair Queueing: fair throughput allocation, lower delay for
+//! sources using less than their share, and protection from misbehavers.
+
+use crate::disciplines::{
+    Discipline, Fifo, FsPriorityTable, LifoPreemptive, PreemptivePriority, ProcessorSharing,
+    StartTimeFairQueueing,
+};
+use crate::sim::{SimConfig, SimResult, Simulator};
+use crate::Result;
+
+/// A buildable discipline selector, convenient for tables and sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisciplineKind {
+    /// First-in-first-out.
+    Fifo,
+    /// Last-in-first-out, preemptive resume.
+    LifoPreemptive,
+    /// Egalitarian processor sharing.
+    ProcessorSharing,
+    /// Ascending-rate preemptive priority (serial allocation).
+    SerialPriority,
+    /// The paper's Table 1 Fair Share priority table.
+    FsTable,
+    /// Start-time fair queueing (non-preemptive FQ approximation).
+    Sfq,
+}
+
+impl DisciplineKind {
+    /// All kinds, in reporting order.
+    pub fn all() -> [DisciplineKind; 6] {
+        [
+            DisciplineKind::Fifo,
+            DisciplineKind::LifoPreemptive,
+            DisciplineKind::ProcessorSharing,
+            DisciplineKind::SerialPriority,
+            DisciplineKind::FsTable,
+            DisciplineKind::Sfq,
+        ]
+    }
+
+    /// Short label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DisciplineKind::Fifo => "FIFO",
+            DisciplineKind::LifoPreemptive => "LIFO-PR",
+            DisciplineKind::ProcessorSharing => "PS",
+            DisciplineKind::SerialPriority => "SerialPrio",
+            DisciplineKind::FsTable => "FairShare",
+            DisciplineKind::Sfq => "FQ(SFQ)",
+        }
+    }
+
+    /// Builds the discipline instance for a system with declared `rates`.
+    ///
+    /// # Errors
+    /// Propagates discipline construction errors (empty systems).
+    pub fn build(&self, rates: &[f64], seed: u64) -> Result<Box<dyn Discipline>> {
+        Ok(match self {
+            DisciplineKind::Fifo => Box::new(Fifo),
+            DisciplineKind::LifoPreemptive => Box::new(LifoPreemptive),
+            DisciplineKind::ProcessorSharing => Box::new(ProcessorSharing),
+            DisciplineKind::SerialPriority => {
+                Box::new(PreemptivePriority::by_ascending_rate(rates)?)
+            }
+            DisciplineKind::FsTable => Box::new(FsPriorityTable::new(rates, seed)?),
+            DisciplineKind::Sfq => Box::new(StartTimeFairQueueing::new(rates.len())?),
+        })
+    }
+}
+
+/// A labeled traffic source in a scenario.
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// Human-readable role ("ftp-1", "telnet-2", "blaster").
+    pub label: String,
+    /// Poisson packet rate.
+    pub rate: f64,
+}
+
+/// A named workload mix.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name.
+    pub name: String,
+    /// The traffic sources.
+    pub sources: Vec<Source>,
+}
+
+impl Scenario {
+    /// The §5.2 mix: `n_ftp` bulk-transfer sources at `ftp_rate` and
+    /// `n_telnet` interactive sources at `telnet_rate`.
+    pub fn ftp_telnet(n_ftp: usize, ftp_rate: f64, n_telnet: usize, telnet_rate: f64) -> Self {
+        let mut sources = Vec::new();
+        for i in 0..n_ftp {
+            sources.push(Source { label: format!("ftp-{}", i + 1), rate: ftp_rate });
+        }
+        for i in 0..n_telnet {
+            sources.push(Source { label: format!("telnet-{}", i + 1), rate: telnet_rate });
+        }
+        Scenario { name: "ftp-telnet".into(), sources }
+    }
+
+    /// Adds an ill-behaved source that ignores all congestion feedback.
+    pub fn with_blaster(mut self, rate: f64) -> Self {
+        self.sources.push(Source { label: "blaster".into(), rate });
+        self.name = format!("{}+blaster", self.name);
+        self
+    }
+
+    /// The rate vector.
+    pub fn rates(&self) -> Vec<f64> {
+        self.sources.iter().map(|s| s.rate).collect()
+    }
+
+    /// Total offered load.
+    pub fn load(&self) -> f64 {
+        self.rates().iter().sum()
+    }
+
+    /// Runs the scenario under `kind` for `horizon` time units.
+    ///
+    /// # Errors
+    /// Propagates simulator configuration errors.
+    pub fn run(&self, kind: DisciplineKind, horizon: f64, seed: u64) -> Result<ScenarioResult> {
+        let rates = self.rates();
+        let mut cfg = SimConfig::new(rates.clone(), horizon, seed);
+        cfg.allow_overload = true; // blaster scenarios overload on purpose
+        let sim = Simulator::new(cfg)?;
+        let mut discipline = kind.build(&rates, seed ^ 0xD15C)?;
+        let result = sim.run(discipline.as_mut())?;
+        Ok(ScenarioResult { scenario: self.clone(), kind, result })
+    }
+}
+
+/// A scenario's simulation output with labels attached.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// Discipline used.
+    pub kind: DisciplineKind,
+    /// Raw simulation result.
+    pub result: SimResult,
+}
+
+impl ScenarioResult {
+    /// Formats a per-source summary table (label, rate, throughput, mean
+    /// delay, mean queue).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "source", "rate", "thruput", "delay", "p95", "p99", "queue"
+        ));
+        for (i, s) in self.scenario.sources.iter().enumerate() {
+            let (_, p95, p99) = self.result.delay_percentiles[i];
+            out.push_str(&format!(
+                "{:<12} {:>8.3} {:>10.4} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+                s.label,
+                s.rate,
+                self.result.throughput[i],
+                self.result.mean_delay[i],
+                p95,
+                p99,
+                self.result.mean_queue[i],
+            ));
+        }
+        out
+    }
+
+    /// Indices of sources whose label starts with `prefix`.
+    pub fn indices(&self, prefix: &str) -> Vec<usize> {
+        self.scenario
+            .sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.label.starts_with(prefix))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Mean delay over the sources whose label starts with `prefix`.
+    pub fn mean_delay_of(&self, prefix: &str) -> f64 {
+        let idx = self.indices(prefix);
+        if idx.is_empty() {
+            return 0.0;
+        }
+        idx.iter().map(|&i| self.result.mean_delay[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    /// Mean throughput over the sources whose label starts with `prefix`.
+    pub fn throughput_of(&self, prefix: &str) -> f64 {
+        let idx = self.indices(prefix);
+        // `+ 0.0` normalizes an empty sum's negative zero for display.
+        idx.iter().map(|&i| self.result.throughput[i]).sum::<f64>() + 0.0
+    }
+
+    /// Worst p99 delay among sources whose label starts with `prefix`.
+    pub fn p99_delay_of(&self, prefix: &str) -> f64 {
+        self.indices(prefix)
+            .iter()
+            .map(|&i| self.result.delay_percentiles[i].2)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_construction() {
+        let s = Scenario::ftp_telnet(2, 0.25, 3, 0.02).with_blaster(2.0);
+        assert_eq!(s.sources.len(), 6);
+        assert!((s.load() - (0.5 + 0.06 + 2.0)).abs() < 1e-12);
+        assert_eq!(s.sources[5].label, "blaster");
+        assert!(s.name.contains("blaster"));
+    }
+
+    #[test]
+    fn discipline_kinds_build() {
+        let rates = [0.1, 0.2];
+        for kind in DisciplineKind::all() {
+            let d = kind.build(&rates, 1).unwrap();
+            assert!(!d.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn telnet_delay_better_under_fq_than_fifo() {
+        // The central §5.2 claim: interactive sources see lower delay under
+        // fair queueing, especially with a blaster present.
+        let s = Scenario::ftp_telnet(2, 0.3, 2, 0.02).with_blaster(0.8);
+        let fifo = s.run(DisciplineKind::Fifo, 20_000.0, 404).unwrap();
+        let fq = s.run(DisciplineKind::Sfq, 20_000.0, 404).unwrap();
+        let d_fifo = fifo.mean_delay_of("telnet");
+        let d_fq = fq.mean_delay_of("telnet");
+        assert!(
+            d_fq < 0.5 * d_fifo,
+            "telnet delay FQ {d_fq} vs FIFO {d_fifo}"
+        );
+    }
+
+    #[test]
+    fn blaster_cannot_starve_ftp_under_fs_table() {
+        let s = Scenario::ftp_telnet(2, 0.2, 0, 0.0).with_blaster(1.2);
+        let fs = s.run(DisciplineKind::FsTable, 15_000.0, 17).unwrap();
+        // FTP sources keep their full throughput despite the overload.
+        let tput = fs.throughput_of("ftp");
+        assert!((tput - 0.4).abs() < 0.02, "ftp throughput {tput}");
+    }
+
+    #[test]
+    fn table_formatting() {
+        let s = Scenario::ftp_telnet(1, 0.2, 1, 0.05);
+        let r = s.run(DisciplineKind::Fifo, 5_000.0, 3).unwrap();
+        let t = r.table();
+        assert!(t.contains("ftp-1"));
+        assert!(t.contains("telnet-1"));
+        assert!(t.lines().count() == 3);
+    }
+
+    #[test]
+    fn prefix_helpers() {
+        let s = Scenario::ftp_telnet(2, 0.1, 1, 0.05);
+        let r = s.run(DisciplineKind::ProcessorSharing, 5_000.0, 9).unwrap();
+        assert_eq!(r.indices("ftp").len(), 2);
+        assert_eq!(r.indices("telnet").len(), 1);
+        assert_eq!(r.indices("blaster").len(), 0);
+        assert_eq!(r.mean_delay_of("blaster"), 0.0);
+    }
+}

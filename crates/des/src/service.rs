@@ -1,0 +1,153 @@
+//! Packet service-time (size) distributions.
+//!
+//! The paper's analysis needs only that the aggregate congestion curve
+//! `g` be strictly increasing and convex (footnote 5), which holds for
+//! every M/G/1 queue. The engine tracks *remaining work* explicitly, so
+//! it is exact for arbitrary service distributions under preemptive
+//! resume; this module provides the standard test distributions, with
+//! their squared coefficient of variation `cs2` feeding the
+//! Pollaczek–Khinchine kernel on the theory side.
+
+use crate::rng::ExpStream;
+
+/// A unit-mean service-time distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceDist {
+    /// Exponential(1) — the M/M/1 baseline, `cs2 = 1`.
+    Exponential,
+    /// Deterministic 1 — M/D/1, `cs2 = 0`.
+    Deterministic,
+    /// Erlang-k with mean 1 — `cs2 = 1/k`.
+    Erlang(u32),
+    /// Balanced two-phase hyperexponential with mean 1 and the given
+    /// `cs2 > 1` (probabilities and rates chosen by the standard
+    /// balanced-means construction).
+    Hyperexponential {
+        /// Desired squared coefficient of variation (must be > 1).
+        cs2: f64,
+    },
+}
+
+impl ServiceDist {
+    /// The squared coefficient of variation of the distribution.
+    pub fn cs2(&self) -> f64 {
+        match self {
+            ServiceDist::Exponential => 1.0,
+            ServiceDist::Deterministic => 0.0,
+            ServiceDist::Erlang(k) => 1.0 / (*k as f64),
+            ServiceDist::Hyperexponential { cs2 } => *cs2,
+        }
+    }
+
+    /// Draws one service time (mean 1).
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (`Erlang(0)`, hyperexponential with
+    /// `cs2 <= 1`), which are programmer errors.
+    pub fn sample(&self, rng: &mut ExpStream) -> f64 {
+        match self {
+            ServiceDist::Exponential => rng.sample(1.0),
+            ServiceDist::Deterministic => 1.0,
+            ServiceDist::Erlang(k) => {
+                assert!(*k >= 1, "Erlang needs k >= 1");
+                let kf = *k as f64;
+                (0..*k).map(|_| rng.sample(kf)).sum()
+            }
+            ServiceDist::Hyperexponential { cs2 } => {
+                assert!(*cs2 > 1.0, "hyperexponential needs cs2 > 1");
+                // Balanced-means H2: p1 = (1 + sqrt((c-1)/(c+1)))/2,
+                // rate_i = 2 p_i (so each branch contributes mean 1/2).
+                let c = *cs2;
+                let p1 = 0.5 * (1.0 + ((c - 1.0) / (c + 1.0)).sqrt());
+                let (p, rate) = if rng.uniform() < p1 { (p1, 2.0 * p1) } else { (1.0 - p1, 2.0 * (1.0 - p1)) };
+                let _ = p;
+                rng.sample(rate)
+            }
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            ServiceDist::Exponential => "M".into(),
+            ServiceDist::Deterministic => "D".into(),
+            ServiceDist::Erlang(k) => format!("E{k}"),
+            ServiceDist::Hyperexponential { cs2 } => format!("H2(cs2={cs2})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moments(dist: ServiceDist, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = ExpStream::new(seed);
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = dist.sample(&mut rng);
+            assert!(x > 0.0 && x.is_finite());
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        (mean, var)
+    }
+
+    #[test]
+    fn all_distributions_have_unit_mean() {
+        for dist in [
+            ServiceDist::Exponential,
+            ServiceDist::Deterministic,
+            ServiceDist::Erlang(4),
+            ServiceDist::Hyperexponential { cs2: 4.0 },
+        ] {
+            let (mean, _) = moments(dist, 200_000, 3);
+            assert!((mean - 1.0).abs() < 0.02, "{}: mean {mean}", dist.label());
+        }
+    }
+
+    #[test]
+    fn cs2_matches_empirical_variance() {
+        for dist in [
+            ServiceDist::Exponential,
+            ServiceDist::Erlang(2),
+            ServiceDist::Erlang(5),
+            ServiceDist::Hyperexponential { cs2: 3.0 },
+        ] {
+            let (mean, var) = moments(dist, 400_000, 11);
+            let cs2 = var / (mean * mean);
+            assert!(
+                (cs2 - dist.cs2()).abs() < 0.08 * (1.0 + dist.cs2()),
+                "{}: cs2 {cs2} vs {}",
+                dist.label(),
+                dist.cs2()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_is_exactly_one() {
+        let mut rng = ExpStream::new(0);
+        for _ in 0..10 {
+            assert_eq!(ServiceDist::Deterministic.sample(&mut rng), 1.0);
+        }
+        assert_eq!(ServiceDist::Deterministic.cs2(), 0.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ServiceDist::Exponential.label(), "M");
+        assert_eq!(ServiceDist::Erlang(3).label(), "E3");
+        assert!(ServiceDist::Hyperexponential { cs2: 2.0 }.label().contains("H2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cs2 > 1")]
+    fn hyper_rejects_low_cs2() {
+        let mut rng = ExpStream::new(0);
+        ServiceDist::Hyperexponential { cs2: 0.5 }.sample(&mut rng);
+    }
+}

@@ -1,0 +1,270 @@
+//! Generalized hill climbing as candidate-set elimination (§4.2.2).
+//!
+//! The paper models "any reasonable form of self-optimization" as a
+//! process that maintains, for each user, a set `S_i^t` of candidate rates
+//! and eventually discards a candidate `s` only when some remaining
+//! candidate `ŝ` gives strictly higher utility **for every profile the
+//! other users might still play** (`U_i(s, C_i(r|s)) < U_i(ŝ, C_i(r|ŝ))`
+//! for all `r ∈ S^t`). If all users run such dynamics, play settles into
+//! the surviving set `S^∞`; robust convergence means `S^∞` is a single
+//! point — which Theorem 5 (via [8]) guarantees for Fair Share and which
+//! fails for FIFO.
+//!
+//! Implementation: candidate sets are finite grids over `[lo, hi]`. For
+//! MAC disciplines, `C_i` is monotone non-decreasing in every other
+//! user's rate, so the extremes over the surviving box are attained at its
+//! corners: the *best case* for a candidate `s` is everyone else at their
+//! smallest surviving rate, the *worst case* everyone at their largest.
+//! A candidate is eliminated when another candidate's worst case beats
+//! its best case.
+
+use crate::error::LearningError;
+use crate::Result;
+use greednet_core::utility::BoxedUtility;
+use greednet_queueing::alloc::AllocationFunction;
+
+/// Configuration for the elimination dynamics.
+#[derive(Debug, Clone)]
+pub struct EliminationConfig {
+    /// Grid points per user.
+    pub grid: usize,
+    /// Smallest candidate rate.
+    pub lo: f64,
+    /// Largest candidate rate.
+    pub hi: f64,
+    /// Maximum elimination rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for EliminationConfig {
+    fn default() -> Self {
+        EliminationConfig { grid: 41, lo: 0.005, hi: 0.6, max_rounds: 60 }
+    }
+}
+
+/// Result of running the elimination dynamics.
+#[derive(Debug, Clone)]
+pub struct EliminationOutcome {
+    /// Surviving candidate rates per user.
+    pub survivors: Vec<Vec<f64>>,
+    /// Rounds until no further elimination occurred.
+    pub rounds: usize,
+    /// Total candidates eliminated.
+    pub eliminated: usize,
+}
+
+impl EliminationOutcome {
+    /// Width (max − min) of each user's surviving set.
+    pub fn widths(&self) -> Vec<f64> {
+        self.survivors
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    0.0
+                } else {
+                    s.last().unwrap() - s.first().unwrap()
+                }
+            })
+            .collect()
+    }
+
+    /// True if every user's surviving set is within `tol` of a point.
+    pub fn collapsed(&self, tol: f64) -> bool {
+        self.widths().iter().all(|&w| w <= tol)
+    }
+
+    /// Midpoint of each user's surviving set (the predicted play).
+    pub fn midpoints(&self) -> Vec<f64> {
+        self.survivors
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    0.0
+                } else {
+                    0.5 * (s.first().unwrap() + s.last().unwrap())
+                }
+            })
+            .collect()
+    }
+}
+
+/// Runs the elimination dynamics for `users` under `alloc`.
+///
+/// # Errors
+/// [`LearningError::InvalidConfig`] on invalid grid/interval parameters.
+pub fn run(
+    alloc: &dyn AllocationFunction,
+    users: &[BoxedUtility],
+    config: &EliminationConfig,
+) -> Result<EliminationOutcome> {
+    let n = users.len();
+    if n == 0 {
+        return Err(LearningError::InvalidConfig { detail: "no users".into() });
+    }
+    if config.grid < 3 || !(config.lo > 0.0 && config.lo < config.hi) {
+        return Err(LearningError::InvalidConfig {
+            detail: format!("grid {} lo {} hi {}", config.grid, config.lo, config.hi),
+        });
+    }
+    // Candidate grids (sorted ascending) and alive masks.
+    let grid: Vec<f64> = (0..config.grid)
+        .map(|k| config.lo + (config.hi - config.lo) * k as f64 / (config.grid - 1) as f64)
+        .collect();
+    let mut alive: Vec<Vec<bool>> = vec![vec![true; config.grid]; n];
+    let mut eliminated = 0usize;
+
+    let bounds = |alive_i: &[bool]| -> Option<(f64, f64)> {
+        let first = alive_i.iter().position(|&a| a)?;
+        let last = alive_i.iter().rposition(|&a| a)?;
+        Some((grid[first], grid[last]))
+    };
+
+    let mut rounds = 0usize;
+    for round in 1..=config.max_rounds {
+        rounds = round;
+        let mut any = false;
+        for i in 0..n {
+            // Corner profiles of the others' surviving box.
+            let mut mins = vec![0.0; n];
+            let mut maxs = vec![0.0; n];
+            for j in 0..n {
+                if let Some((lo, hi)) = bounds(&alive[j]) {
+                    mins[j] = lo;
+                    maxs[j] = hi;
+                }
+            }
+            // Utility bounds for each surviving candidate of user i.
+            let mut best_case = vec![f64::NEG_INFINITY; config.grid];
+            let mut worst_case = vec![f64::NEG_INFINITY; config.grid];
+            for (k, &s) in grid.iter().enumerate() {
+                if !alive[i][k] {
+                    continue;
+                }
+                let mut r_best = mins.clone();
+                r_best[i] = s;
+                let c_best = alloc.congestion_of(&r_best, i);
+                best_case[k] = users[i].value(s, c_best);
+                let mut r_worst = maxs.clone();
+                r_worst[i] = s;
+                let c_worst = alloc.congestion_of(&r_worst, i);
+                worst_case[k] = users[i].value(s, c_worst);
+            }
+            // The strongest guaranteed payoff among survivors.
+            let (champion, champ_worst) = worst_case
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| alive[i][*k])
+                .map(|(k, &w)| (k, w))
+                .fold((usize::MAX, f64::NEG_INFINITY), |acc, x| if x.1 > acc.1 { x } else { acc });
+            if champion == usize::MAX {
+                continue;
+            }
+            for k in 0..config.grid {
+                if alive[i][k] && k != champion && best_case[k] < champ_worst {
+                    alive[i][k] = false;
+                    eliminated += 1;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+
+    let survivors: Vec<Vec<f64>> = alive
+        .iter()
+        .map(|mask| {
+            grid.iter()
+                .zip(mask)
+                .filter(|(_, &a)| a)
+                .map(|(&g, _)| g)
+                .collect()
+        })
+        .collect();
+    Ok(EliminationOutcome { survivors, rounds, eliminated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greednet_core::game::{Game, NashOptions};
+    use greednet_core::utility::{LinearUtility, LogUtility, UtilityExt};
+    use greednet_queueing::{FairShare, Proportional};
+
+    fn log_users(n: usize) -> Vec<BoxedUtility> {
+        (0..n).map(|i| LogUtility::new(0.3 + 0.3 * i as f64, 1.0).boxed()).collect()
+    }
+
+    #[test]
+    fn fair_share_sets_collapse_to_nash() {
+        let users = log_users(3);
+        let cfg = EliminationConfig { grid: 61, lo: 0.005, hi: 0.5, max_rounds: 100 };
+        let out = run(&FairShare::new(), &users, &cfg).unwrap();
+        let step = (cfg.hi - cfg.lo) / (cfg.grid - 1) as f64;
+        assert!(
+            out.collapsed(3.0 * step),
+            "widths {:?} (step {step})",
+            out.widths()
+        );
+        // The surviving midpoints approximate the Nash equilibrium.
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        for (m, r) in out.midpoints().iter().zip(&nash.rates) {
+            assert!((m - r).abs() < 3.0 * step, "mid {m} vs nash {r}");
+        }
+    }
+
+    #[test]
+    fn fifo_sets_stay_fat() {
+        // Under FIFO the worst case (others flooding) is catastrophic for
+        // every candidate, so guaranteed-domination can barely eliminate:
+        // S^infinity stays a fat interval — no robust convergence.
+        let users: Vec<BoxedUtility> =
+            (0..3).map(|_| LinearUtility::new(1.0, 0.2).boxed()).collect();
+        let cfg = EliminationConfig { grid: 61, lo: 0.005, hi: 0.5, max_rounds: 100 };
+        let out = run(&Proportional::new(), &users, &cfg).unwrap();
+        let step = (cfg.hi - cfg.lo) / (cfg.grid - 1) as f64;
+        assert!(
+            !out.collapsed(3.0 * step),
+            "FIFO unexpectedly collapsed: widths {:?}",
+            out.widths()
+        );
+    }
+
+    #[test]
+    fn elimination_counts_and_rounds() {
+        let users = log_users(2);
+        let out = run(&FairShare::new(), &users, &EliminationConfig::default()).unwrap();
+        assert!(out.eliminated > 0);
+        assert!(out.rounds >= 1);
+        for s in &out.survivors {
+            assert!(!s.is_empty(), "no survivors for some user");
+        }
+    }
+
+    #[test]
+    fn invalid_configs() {
+        let users = log_users(2);
+        let bad_grid = EliminationConfig { grid: 2, ..Default::default() };
+        assert!(run(&FairShare::new(), &users, &bad_grid).is_err());
+        let bad_interval = EliminationConfig { lo: 0.5, hi: 0.1, ..Default::default() };
+        assert!(run(&FairShare::new(), &users, &bad_interval).is_err());
+        assert!(run(&FairShare::new(), &[], &EliminationConfig::default()).is_err());
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let out = EliminationOutcome {
+            survivors: vec![vec![0.1, 0.2], vec![0.3]],
+            rounds: 2,
+            eliminated: 5,
+        };
+        assert_eq!(out.widths(), vec![0.1, 0.0]);
+        assert!(!out.collapsed(0.05));
+        assert!(out.collapsed(0.2));
+        let mids = out.midpoints();
+        assert!((mids[0] - 0.15).abs() < 1e-12);
+        assert!((mids[1] - 0.3).abs() < 1e-12);
+    }
+}

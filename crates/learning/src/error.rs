@@ -1,0 +1,65 @@
+//! Error type for the learning-dynamics layer.
+
+use greednet_core::CoreError;
+use greednet_des::DesError;
+use std::fmt;
+
+/// Errors produced by learning dynamics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearningError {
+    /// The underlying game-theoretic layer failed.
+    Core(CoreError),
+    /// The packet simulator failed.
+    Des(DesError),
+    /// Invalid dynamics configuration.
+    InvalidConfig {
+        /// Explanation of the violated requirement.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LearningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearningError::Core(e) => write!(f, "core error: {e}"),
+            LearningError::Des(e) => write!(f, "simulator error: {e}"),
+            LearningError::InvalidConfig { detail } => write!(f, "invalid config: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LearningError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LearningError::Core(e) => Some(e),
+            LearningError::Des(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for LearningError {
+    fn from(e: CoreError) -> Self {
+        LearningError::Core(e)
+    }
+}
+
+impl From<DesError> for LearningError {
+    fn from(e: DesError) -> Self {
+        LearningError::Des(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: LearningError = CoreError::EmptyGame.into();
+        assert!(e.to_string().contains("core"));
+        let d: LearningError = DesError::EmptySystem.into();
+        assert!(d.to_string().contains("simulator"));
+        assert!(std::error::Error::source(&d).is_some());
+    }
+}

@@ -1,0 +1,191 @@
+//! Leader/follower play as a dynamic process (§4.2.2).
+//!
+//! A *sophisticated* user samples its rate on a slow timescale; between
+//! its moves, the naive followers — simple best responders — equilibrate.
+//! The leader therefore hill-climbs over the induced follower equilibria,
+//! exactly the process that produces Stackelberg outcomes. Under FIFO the
+//! leader extracts a premium at the followers' expense; under Fair Share
+//! Theorem 5 makes the premium vanish, so sophistication (and spying on
+//! other users' utilities) is pointless.
+
+use crate::error::LearningError;
+use crate::Result;
+use greednet_core::game::{Game, NashOptions};
+
+/// Configuration of the leader-play process.
+#[derive(Debug, Clone)]
+pub struct LeaderConfig {
+    /// Leader's slow-timescale probing rounds.
+    pub rounds: usize,
+    /// Leader's initial probe step.
+    pub initial_step: f64,
+    /// Multiplicative shrink when neither direction helps.
+    pub shrink: f64,
+    /// Follower equilibration options.
+    pub nash: NashOptions,
+}
+
+impl Default for LeaderConfig {
+    fn default() -> Self {
+        LeaderConfig {
+            rounds: 40,
+            initial_step: 0.05,
+            shrink: 0.6,
+            nash: NashOptions { max_iter: 300, tol: 1e-10, ..Default::default() },
+        }
+    }
+}
+
+/// Outcome of leader play.
+#[derive(Debug, Clone)]
+pub struct LeaderPlayOutcome {
+    /// Leader index.
+    pub leader: usize,
+    /// Leader's rate at each slow round.
+    pub leader_history: Vec<f64>,
+    /// Final full rate vector (with followers equilibrated).
+    pub final_rates: Vec<f64>,
+    /// Leader's final utility.
+    pub leader_utility: f64,
+    /// Leader's utility at the plain Nash equilibrium (everyone naive).
+    pub nash_utility: f64,
+}
+
+impl LeaderPlayOutcome {
+    /// The leader's advantage from sophistication (≈ 0 under Fair Share).
+    pub fn advantage(&self) -> f64 {
+        self.leader_utility - self.nash_utility
+    }
+}
+
+/// Leader's value for committing to `x`: followers equilibrate first.
+fn committed_value(
+    game: &Game,
+    leader: usize,
+    x: f64,
+    warm: &mut Vec<f64>,
+    opts: &NashOptions,
+) -> Result<(f64, Vec<f64>)> {
+    let mut fixed = vec![None; game.n()];
+    fixed[leader] = Some(x);
+    let mut o = opts.clone();
+    let mut start = warm.clone();
+    start[leader] = x;
+    o.start = Some(start);
+    let sol = game.solve_nash_fixed(&fixed, &o)?;
+    *warm = sol.rates.clone();
+    Ok((game.utilities_at(&sol.rates)[leader], sol.rates))
+}
+
+/// Runs the slow-leader/fast-followers process.
+///
+/// # Errors
+/// Propagates equilibrium-solver failures.
+pub fn play(game: &Game, leader: usize, config: &LeaderConfig) -> Result<LeaderPlayOutcome> {
+    if leader >= game.n() {
+        return Err(LearningError::InvalidConfig {
+            detail: format!("leader {leader} out of range for {} users", game.n()),
+        });
+    }
+    // Reference: the all-naive Nash equilibrium.
+    let nash = game.solve_nash(&config.nash)?;
+    let nash_utility = nash.utilities[leader];
+
+    let mut warm = nash.rates.clone();
+    let mut x = nash.rates[leader].max(1e-4);
+    let (mut ux, mut rates) = committed_value(game, leader, x, &mut warm, &config.nash)?;
+    let mut step = config.initial_step;
+    let mut direction = 1.0;
+    let mut history = vec![x];
+    for _ in 0..config.rounds {
+        if step < 1e-6 {
+            break;
+        }
+        let fwd = (x + direction * step).clamp(1e-6, 0.98);
+        let (u_fwd, r_fwd) = committed_value(game, leader, fwd, &mut warm, &config.nash)?;
+        if u_fwd > ux {
+            x = fwd;
+            ux = u_fwd;
+            rates = r_fwd;
+        } else {
+            let bwd = (x - direction * step).clamp(1e-6, 0.98);
+            let (u_bwd, r_bwd) = committed_value(game, leader, bwd, &mut warm, &config.nash)?;
+            if u_bwd > ux {
+                x = bwd;
+                ux = u_bwd;
+                rates = r_bwd;
+                direction = -direction;
+            } else {
+                step *= config.shrink;
+            }
+        }
+        history.push(x);
+    }
+    Ok(LeaderPlayOutcome {
+        leader,
+        leader_history: history,
+        final_rates: rates,
+        leader_utility: ux,
+        nash_utility,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greednet_core::utility::{LinearUtility, LogUtility, UtilityExt};
+    use greednet_queueing::{FairShare, Proportional};
+
+    #[test]
+    fn fifo_leader_extracts_premium() {
+        let users = vec![
+            LinearUtility::new(1.0, 0.2).boxed(),
+            LinearUtility::new(1.0, 0.2).boxed(),
+            LinearUtility::new(1.0, 0.2).boxed(),
+        ];
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let out = play(&game, 0, &LeaderConfig::default()).unwrap();
+        assert!(
+            out.advantage() > 1e-4,
+            "FIFO leader advantage {} too small",
+            out.advantage()
+        );
+        // Sophistication = pushing beyond the Nash rate.
+        assert!(out.final_rates[0] > out.leader_history[0]);
+    }
+
+    #[test]
+    fn fair_share_leader_premium_vanishes() {
+        let users = vec![
+            LogUtility::new(0.5, 1.0).boxed(),
+            LogUtility::new(0.8, 1.0).boxed(),
+            LogUtility::new(1.2, 1.0).boxed(),
+        ];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let out = play(&game, 2, &LeaderConfig::default()).unwrap();
+        assert!(
+            out.advantage().abs() < 1e-5,
+            "Fair Share leader advantage {} should be ~0",
+            out.advantage()
+        );
+    }
+
+    #[test]
+    fn leader_history_is_recorded() {
+        let users = vec![
+            LinearUtility::new(1.0, 0.3).boxed(),
+            LinearUtility::new(1.0, 0.3).boxed(),
+        ];
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let out = play(&game, 1, &LeaderConfig { rounds: 10, ..Default::default() }).unwrap();
+        assert!(out.leader_history.len() >= 2);
+        assert_eq!(out.leader, 1);
+    }
+
+    #[test]
+    fn invalid_leader_rejected() {
+        let users = vec![LinearUtility::new(1.0, 0.3).boxed()];
+        let game = Game::new(Proportional::new(), users).unwrap();
+        assert!(play(&game, 5, &LeaderConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! The synchronous Newton self-optimization dynamics of §4.2.3.
+//!
+//! Every user simultaneously applies `r_i ← r_i − E_i/(∂E_i/∂r_i)` where
+//! `E_i = M_i + ∂C_i/∂r_i` measures its distance from the Nash
+//! first-derivative condition. Theorem 7 says the linearized dynamics are
+//! governed by a *nilpotent* matrix under Fair Share — convergence in at
+//! most `N` steps — while FIFO's leading eigenvalue grows like `1 − N`.
+
+use crate::error::LearningError;
+use crate::Result;
+use greednet_core::game::Game;
+use greednet_core::relaxation::newton_step;
+
+/// Trajectory of a Newton-dynamics run.
+#[derive(Debug, Clone)]
+pub struct NewtonTrajectory {
+    /// Iterates (index 0 = start).
+    pub history: Vec<Vec<f64>>,
+    /// Max |E_i| at each iterate.
+    pub residuals: Vec<f64>,
+}
+
+impl NewtonTrajectory {
+    /// Final iterate.
+    pub fn final_rates(&self) -> &[f64] {
+        self.history.last().expect("non-empty trajectory")
+    }
+
+    /// First step index at which the residual drops below `tol`, if any.
+    pub fn steps_to_converge(&self, tol: f64) -> Option<usize> {
+        self.residuals.iter().position(|&e| e <= tol)
+    }
+
+    /// True if the residual grew by more than `factor` over the run.
+    pub fn diverged(&self, factor: f64) -> bool {
+        match (self.residuals.first(), self.residuals.last()) {
+            (Some(&a), Some(&b)) => b > factor * a.max(1e-300),
+            _ => false,
+        }
+    }
+}
+
+/// Runs `steps` synchronous Newton updates from `start`.
+///
+/// # Errors
+/// [`LearningError::InvalidConfig`] on a shape mismatch.
+pub fn run(game: &Game, start: &[f64], steps: usize) -> Result<NewtonTrajectory> {
+    if start.len() != game.n() {
+        return Err(LearningError::InvalidConfig {
+            detail: format!("start has {} entries for {} users", start.len(), game.n()),
+        });
+    }
+    let residual = |r: &[f64]| {
+        game.nash_residuals(r)
+            .iter()
+            .map(|e| if e.is_finite() { e.abs() } else { f64::INFINITY })
+            .fold(0.0, f64::max)
+    };
+    let mut rates = start.to_vec();
+    let mut history = vec![rates.clone()];
+    let mut residuals = vec![residual(&rates)];
+    for _ in 0..steps {
+        rates = newton_step(game, &rates);
+        history.push(rates.clone());
+        residuals.push(residual(&rates));
+    }
+    Ok(NewtonTrajectory { history, residuals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greednet_core::game::NashOptions;
+    use greednet_core::utility::{LinearUtility, LogUtility, UtilityExt};
+    use greednet_queueing::{FairShare, Proportional};
+
+    #[test]
+    fn fair_share_converges_within_n_plus_slack_steps() {
+        let users = vec![
+            LogUtility::new(0.3, 1.0).boxed(),
+            LogUtility::new(0.6, 1.0).boxed(),
+            LogUtility::new(1.0, 1.0).boxed(),
+            LogUtility::new(1.4, 1.0).boxed(),
+        ];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        // Start near (linear regime), run exactly N+2 steps.
+        let start: Vec<f64> =
+            nash.rates.iter().enumerate().map(|(i, &x)| x * (1.0 + 0.02 * (1.0 + i as f64))).collect();
+        let traj = run(&game, &start, game.n() + 2).unwrap();
+        assert!(
+            traj.residuals.last().unwrap() < &1e-6,
+            "residuals: {:?}",
+            traj.residuals
+        );
+    }
+
+    #[test]
+    fn fifo_diverges_for_four_users() {
+        let users: Vec<_> = (0..4).map(|_| LinearUtility::new(1.0, 0.2).boxed()).collect();
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        let start: Vec<f64> = nash.rates.iter().map(|&x| x + 1e-4).collect();
+        let traj = run(&game, &start, 6).unwrap();
+        assert!(traj.diverged(3.0), "residuals: {:?}", traj.residuals);
+    }
+
+    #[test]
+    fn fifo_two_users_contracts() {
+        let users: Vec<_> = (0..2).map(|_| LinearUtility::new(1.0, 0.2).boxed()).collect();
+        let game = Game::new(Proportional::new(), users).unwrap();
+        let nash = game.solve_nash(&NashOptions::default()).unwrap();
+        let start: Vec<f64> = nash.rates.iter().map(|&x| x + 1e-3).collect();
+        // Contraction ratio is |lambda| ~ 0.7 here, so give it room.
+        let traj = run(&game, &start, 60).unwrap();
+        assert!(traj.steps_to_converge(1e-8).is_some(), "residuals: {:?}", traj.residuals);
+    }
+
+    #[test]
+    fn trajectory_accessors() {
+        let users = vec![LogUtility::new(0.5, 1.0).boxed()];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        let traj = run(&game, &[0.2], 3).unwrap();
+        assert_eq!(traj.history.len(), 4);
+        assert_eq!(traj.residuals.len(), 4);
+        assert_eq!(traj.final_rates().len(), 1);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let users = vec![LogUtility::new(0.5, 1.0).boxed()];
+        let game = Game::new(FairShare::new(), users).unwrap();
+        assert!(run(&game, &[0.1, 0.2], 3).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Generalized constraint functions and Corollary 2.
+//!
+//! The paper's negative result (Theorem 1) is a property of the M/M/1
+//! constraint `Σ c_i = g(Σ r_i)`, not of selfishness itself: for a
+//! constraint `f̂` that decomposes as `f̂ = (1/(N−1))·Σ h_i` with
+//! `∂h_i/∂r_i = 0`, the allocation `C_i = f̂ − h_i` makes every Nash
+//! equilibrium Pareto optimal. This module provides
+//!
+//! * the [`ConstraintFn`] abstraction with the M/M/1 and quadratic
+//!   (`f̂ = Σ r_i²`) instances,
+//! * the Corollary 2 [`SeparableAllocation`] (`C_i = f̂ − h_i`) and a
+//!   Nash/Pareto consistency check for games played over it,
+//! * [`mixed_partial_defect`]: the proof's obstruction — the full mixed
+//!   partial `∂^N f̂/∂r_1…∂r_N` must vanish for a separable decomposition
+//!   to exist; it is ~0 for the quadratic constraint and bounded away
+//!   from 0 for M/M/1, rendering Theorem 1's proof numerically.
+
+use crate::error::MechanismError;
+use crate::Result;
+use greednet_core::utility::BoxedUtility;
+use greednet_numerics::optimize::grid_refine_max;
+use greednet_queueing::mm1;
+
+/// A total-congestion constraint `Σ c_i = f(r)`.
+pub trait ConstraintFn: Send + Sync + std::fmt::Debug {
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+    /// The total congestion at `rates`.
+    fn f(&self, rates: &[f64]) -> f64;
+    /// Partial `∂f/∂r_i`.
+    fn df(&self, rates: &[f64], i: usize) -> f64;
+}
+
+/// The M/M/1 constraint `f = g(Σ r)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mm1Constraint;
+
+impl ConstraintFn for Mm1Constraint {
+    fn name(&self) -> &'static str {
+        "mm1"
+    }
+    fn f(&self, rates: &[f64]) -> f64 {
+        mm1::g(rates.iter().sum())
+    }
+    fn df(&self, rates: &[f64], _i: usize) -> f64 {
+        mm1::g_prime(rates.iter().sum())
+    }
+}
+
+/// The quadratic constraint `f = Σ r_i²` of Corollary 2's positive case.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuadraticConstraint;
+
+impl ConstraintFn for QuadraticConstraint {
+    fn name(&self) -> &'static str {
+        "sum-of-squares"
+    }
+    fn f(&self, rates: &[f64]) -> f64 {
+        rates.iter().map(|r| r * r).sum()
+    }
+    fn df(&self, rates: &[f64], i: usize) -> f64 {
+        2.0 * rates[i]
+    }
+}
+
+/// The Corollary 2 allocation for the quadratic constraint:
+/// `h_i = Σ_{j≠i} r_j²` gives `C_i = f̂ − h_i = r_i²` — each user's
+/// congestion depends only on its own rate, so the Nash FDC
+/// `M_i = −∂C_i/∂r_i = −2 r_i` coincides with the Pareto FDC
+/// `M_i = −∂f̂/∂r_i = −2 r_i`: every Nash equilibrium is Pareto optimal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeparableAllocation;
+
+impl SeparableAllocation {
+    /// `C_i(r) = r_i²`.
+    pub fn congestion(&self, rates: &[f64]) -> Vec<f64> {
+        rates.iter().map(|r| r * r).collect()
+    }
+
+    /// Best response of user `i`: maximize `U(x, x²)` (independent of the
+    /// other users entirely — the decoupling that buys efficiency).
+    ///
+    /// # Errors
+    /// Propagates optimizer failures.
+    pub fn best_response(&self, user: &dyn greednet_core::Utility) -> Result<f64> {
+        let res = grid_refine_max(|x| user.value(x, x * x), 1e-9, 3.0, 96, 1e-12)
+            .map_err(greednet_core::CoreError::from)?;
+        Ok(res.x)
+    }
+
+    /// The Nash equilibrium of the separable game (component-wise best
+    /// responses — no interaction).
+    ///
+    /// # Errors
+    /// Propagates optimizer failures.
+    pub fn nash(&self, users: &[BoxedUtility]) -> Result<Vec<f64>> {
+        if users.is_empty() {
+            return Err(MechanismError::InvalidConfig { detail: "no users".into() });
+        }
+        users.iter().map(|u| self.best_response(u.as_ref())).collect()
+    }
+
+    /// Pareto FDC residuals `M_i(r_i, c_i) + ∂f̂/∂r_i` at `rates` (zero at
+    /// a Pareto optimum of the quadratic-constraint economy).
+    pub fn pareto_residuals(&self, users: &[BoxedUtility], rates: &[f64]) -> Vec<f64> {
+        let q = QuadraticConstraint;
+        let c = self.congestion(rates);
+        users
+            .iter()
+            .enumerate()
+            .map(|(i, u)| u.marginal_ratio(rates[i], c[i]) + q.df(rates, i))
+            .collect()
+    }
+}
+
+/// Numerically estimates the full mixed partial `∂^n f/∂r_1…∂r_n` at
+/// `rates` by nested central differences (practical for `n ≤ 4`). By the
+/// argument in the proof of Theorem 1, a constraint admitting the
+/// separable decomposition must have this identically zero.
+pub fn mixed_partial_defect(constraint: &dyn ConstraintFn, rates: &[f64], step: f64) -> f64 {
+    fn recurse(
+        constraint: &dyn ConstraintFn,
+        rates: &mut Vec<f64>,
+        dim: usize,
+        step: f64,
+    ) -> f64 {
+        if dim == rates.len() {
+            return constraint.f(rates);
+        }
+        let orig = rates[dim];
+        rates[dim] = orig + step;
+        let plus = recurse(constraint, rates, dim + 1, step);
+        rates[dim] = orig - step;
+        let minus = recurse(constraint, rates, dim + 1, step);
+        rates[dim] = orig;
+        (plus - minus) / (2.0 * step)
+    }
+    let mut r = rates.to_vec();
+    recurse(constraint, &mut r, 0, step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greednet_core::utility::{LinearUtility, LogUtility, UtilityExt};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn quadratic_constraint_values() {
+        let q = QuadraticConstraint;
+        assert_close(q.f(&[0.3, 0.4]), 0.25, 1e-15);
+        assert_close(q.df(&[0.3, 0.4], 1), 0.8, 1e-15);
+    }
+
+    #[test]
+    fn separable_nash_linear_closed_form() {
+        // U = r - gamma c with c = r^2: maximize r - gamma r^2 -> r = 1/(2 gamma).
+        let users: Vec<BoxedUtility> = vec![
+            LinearUtility::new(1.0, 0.5).boxed(),
+            LinearUtility::new(1.0, 2.0).boxed(),
+        ];
+        let s = SeparableAllocation;
+        let nash = s.nash(&users).unwrap();
+        assert_close(nash[0], 1.0, 1e-6);
+        assert_close(nash[1], 0.25, 1e-6);
+    }
+
+    #[test]
+    fn corollary_2_nash_is_pareto() {
+        let users: Vec<BoxedUtility> = vec![
+            LogUtility::new(0.5, 1.0).boxed(),
+            LinearUtility::new(1.0, 0.8).boxed(),
+            LogUtility::new(1.2, 2.0).boxed(),
+        ];
+        let s = SeparableAllocation;
+        let nash = s.nash(&users).unwrap();
+        for res in s.pareto_residuals(&users, &nash) {
+            assert!(res.abs() < 1e-5, "Pareto residual {res}");
+        }
+    }
+
+    #[test]
+    fn mm1_constraint_fails_separability_quadratic_passes() {
+        let rates = [0.1, 0.15, 0.2];
+        let mm1_defect = mixed_partial_defect(&Mm1Constraint, &rates, 0.01).abs();
+        let quad_defect = mixed_partial_defect(&QuadraticConstraint, &rates, 0.01).abs();
+        // d^3 g(R)/dr1 dr2 dr3 = g'''(R) = 6/(1-R)^4 ~ 73 at R = 0.45.
+        assert!(mm1_defect > 10.0, "mm1 defect {mm1_defect}");
+        assert!(quad_defect < 1e-6, "quadratic defect {quad_defect}");
+    }
+
+    #[test]
+    fn mixed_partial_matches_analytic_for_mm1() {
+        let rates = [0.1, 0.2];
+        let defect = mixed_partial_defect(&Mm1Constraint, &rates, 0.005);
+        let expect = mm1::g_double_prime(0.3);
+        assert_close(defect, expect, 0.05 * expect);
+    }
+
+    #[test]
+    fn empty_users_rejected() {
+        assert!(SeparableAllocation.nash(&[]).is_err());
+    }
+}

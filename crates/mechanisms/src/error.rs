@@ -1,0 +1,59 @@
+//! Error type for the mechanisms layer.
+
+use greednet_core::CoreError;
+use std::fmt;
+
+/// Errors produced by mechanism computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MechanismError {
+    /// The equilibrium layer failed.
+    Core(CoreError),
+    /// Invalid mechanism configuration.
+    InvalidConfig {
+        /// Explanation of the violated requirement.
+        detail: String,
+    },
+    /// The reported-game equilibrium failed to converge, so the mechanism
+    /// cannot produce an allocation.
+    NoEquilibrium,
+}
+
+impl fmt::Display for MechanismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MechanismError::Core(e) => write!(f, "core error: {e}"),
+            MechanismError::InvalidConfig { detail } => write!(f, "invalid config: {detail}"),
+            MechanismError::NoEquilibrium => {
+                write!(f, "reported game has no computable equilibrium")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MechanismError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MechanismError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for MechanismError {
+    fn from(e: CoreError) -> Self {
+        MechanismError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: MechanismError = CoreError::EmptyGame.into();
+        assert!(e.to_string().contains("core"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(MechanismError::NoEquilibrium.to_string().contains("equilibrium"));
+    }
+}

@@ -1,0 +1,176 @@
+//! The direct revelation mechanism `B` of §4.2.2 and Theorem 6.
+//!
+//! Users report utility functions; the switch computes the Nash
+//! equilibrium of the *reported* game under a chosen allocation function
+//! and assigns each user the resulting `(r_i, c_i)`. Theorem 6: when the
+//! allocation function is Fair Share, truth-telling is optimal — no
+//! misreport can improve a user's true utility (`B^FS` is a revelation
+//! mechanism, a.k.a. the strategy-proofness of serial cost sharing).
+//! The same wrapper around FIFO is manipulable, and
+//! [`max_misreport_gain`] finds the profitable lies.
+
+use crate::error::MechanismError;
+use crate::Result;
+use greednet_core::game::{Game, NashOptions};
+use greednet_core::utility::BoxedUtility;
+use greednet_queueing::alloc::AllocationFunction;
+
+/// A direct mechanism: reported utilities -> allocation.
+#[derive(Debug)]
+pub struct DirectMechanism {
+    alloc: Box<dyn AllocationFunction>,
+    opts: NashOptions,
+}
+
+/// An allocation assigned by the mechanism.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Assigned rates.
+    pub rates: Vec<f64>,
+    /// Assigned congestions.
+    pub congestions: Vec<f64>,
+}
+
+impl DirectMechanism {
+    /// Creates a direct mechanism over `alloc`.
+    pub fn new(alloc: Box<dyn AllocationFunction>) -> Self {
+        DirectMechanism { alloc, opts: NashOptions { max_iter: 400, tol: 1e-10, ..Default::default() } }
+    }
+
+    /// Computes the allocation assigned to the reported profile.
+    ///
+    /// # Errors
+    /// [`MechanismError::NoEquilibrium`] if the reported game's equilibrium
+    /// iteration fails to converge.
+    pub fn assign(&self, reported: &[BoxedUtility]) -> Result<Assignment> {
+        let game = Game::from_boxed(self.alloc.clone_box(), reported.to_vec())?;
+        let sol = game.solve_nash(&self.opts)?;
+        if !sol.converged {
+            return Err(MechanismError::NoEquilibrium);
+        }
+        Ok(Assignment { rates: sol.rates, congestions: sol.congestions })
+    }
+}
+
+/// The *true* utility user `i` obtains when the profile `reported` is
+/// submitted (everyone else truthful or not — the mechanism only sees
+/// reports).
+///
+/// # Errors
+/// Propagates assignment failures.
+pub fn realized_utility(
+    mechanism: &DirectMechanism,
+    reported: &[BoxedUtility],
+    truth: &dyn greednet_core::Utility,
+    i: usize,
+) -> Result<f64> {
+    let a = mechanism.assign(reported)?;
+    Ok(truth.value(a.rates[i], a.congestions[i]))
+}
+
+/// Searches misreports for user `i` (holding other reports fixed and
+/// truthful) and returns the largest gain in *true* utility over
+/// truth-telling, together with the best misreport's description.
+///
+/// The misreport space is the supplied `candidates` — alternative utility
+/// functions user `i` might claim to have. A positive return value
+/// demonstrates manipulability; Theorem 6 predicts ≤ ~0 for Fair Share no
+/// matter what candidates are tried.
+///
+/// # Errors
+/// Propagates assignment failures for the truthful profile (failed
+/// misreport equilibria are skipped).
+pub fn max_misreport_gain(
+    mechanism: &DirectMechanism,
+    truthful: &[BoxedUtility],
+    i: usize,
+    candidates: &[BoxedUtility],
+) -> Result<(f64, Option<usize>)> {
+    let honest = realized_utility(mechanism, truthful, truthful[i].as_ref(), i)?;
+    let mut best_gain = 0.0f64;
+    let mut best_idx = None;
+    for (k, cand) in candidates.iter().enumerate() {
+        let mut reported = truthful.to_vec();
+        reported[i] = cand.clone();
+        let lied = match realized_utility(mechanism, &reported, truthful[i].as_ref(), i) {
+            Ok(v) => v,
+            Err(_) => continue, // equilibrium failed under this lie: skip
+        };
+        let gain = lied - honest;
+        if gain > best_gain {
+            best_gain = gain;
+            best_idx = Some(k);
+        }
+    }
+    Ok((best_gain, best_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greednet_core::utility::{LinearUtility, LogUtility, UtilityExt};
+    use greednet_queueing::{FairShare, Proportional};
+
+    fn truthful_profile() -> Vec<BoxedUtility> {
+        vec![
+            LogUtility::new(0.4, 1.0).boxed(),
+            LogUtility::new(0.8, 1.2).boxed(),
+            LinearUtility::new(1.0, 0.4).boxed(),
+        ]
+    }
+
+    /// Misreport candidates for a log-utility user: scaled throughput
+    /// weights and congestion aversions (claiming to care more or less).
+    fn log_misreports() -> Vec<BoxedUtility> {
+        let mut v: Vec<BoxedUtility> = Vec::new();
+        for w in [0.1, 0.2, 0.6, 1.0, 1.6, 2.5] {
+            for g in [0.3, 0.7, 1.0, 1.5, 3.0] {
+                v.push(LogUtility::new(w, g).boxed());
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn fair_share_mechanism_is_truthful() {
+        let m = DirectMechanism::new(Box::new(FairShare::new()));
+        let truth = truthful_profile();
+        for i in 0..2 {
+            let (gain, _) = max_misreport_gain(&m, &truth, i, &log_misreports()).unwrap();
+            assert!(
+                gain <= 1e-6,
+                "user {i} profits {gain} from lying under B^FS"
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_mechanism_is_manipulable() {
+        let m = DirectMechanism::new(Box::new(Proportional::new()));
+        let truth = truthful_profile();
+        let (gain, which) = max_misreport_gain(&m, &truth, 0, &log_misreports()).unwrap();
+        assert!(
+            gain > 1e-4,
+            "expected a profitable lie under B^FIFO, best gain {gain}"
+        );
+        assert!(which.is_some());
+    }
+
+    #[test]
+    fn assignment_is_feasible() {
+        let m = DirectMechanism::new(Box::new(FairShare::new()));
+        let a = m.assign(&truthful_profile()).unwrap();
+        let alloc =
+            greednet_queueing::Allocation::new(a.rates.clone(), a.congestions.clone()).unwrap();
+        alloc.validate().unwrap();
+    }
+
+    #[test]
+    fn realized_utility_matches_direct_evaluation() {
+        let m = DirectMechanism::new(Box::new(FairShare::new()));
+        let truth = truthful_profile();
+        let a = m.assign(&truth).unwrap();
+        let u = realized_utility(&m, &truth, truth[1].as_ref(), 1).unwrap();
+        assert!((u - truth[1].value(a.rates[1], a.congestions[1])).abs() < 1e-12);
+    }
+}

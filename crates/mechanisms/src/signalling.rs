@@ -1,0 +1,247 @@
+//! Signalling-parameter mechanisms and Corollary 1.
+//!
+//! One might hope that letting users send an extra "signal" `α_i` to the
+//! switch — so the allocation becomes `C(r, α)` — could restore Pareto
+//! optimality of Nash equilibria. Corollary 1 says no (for nonstalling
+//! disciplines). This module implements the natural attempt: weighted
+//! congestion shares on top of FIFO,
+//!
+//! ```text
+//! C_i(r, α) = g(Σ r) · (α_i r_i) / (Σ_j α_j r_j),    α_i ∈ [α_lo, α_hi]
+//! ```
+//!
+//! Selfish users drive their `α_i` to the floor (a lower weight always
+//! means less congestion for the same service), the signals cancel, and
+//! the equilibrium collapses to the ordinary FIFO Nash equilibrium — no
+//! efficiency is gained. The tests verify both the race to the bottom and
+//! the persistent Pareto failure.
+
+use crate::error::MechanismError;
+use crate::Result;
+use greednet_core::game::Game;
+use greednet_core::utility::BoxedUtility;
+use greednet_core::{pareto, CoreError};
+use greednet_numerics::optimize::grid_refine_max;
+use greednet_queueing::{mm1, Proportional};
+
+/// The weighted-share signalling mechanism over FIFO.
+#[derive(Debug)]
+pub struct SignallingGame {
+    users: Vec<BoxedUtility>,
+    alpha_lo: f64,
+    alpha_hi: f64,
+}
+
+/// A joint strategy profile (rates and signals).
+#[derive(Debug, Clone)]
+pub struct SignallingProfile {
+    /// Chosen rates.
+    pub rates: Vec<f64>,
+    /// Chosen signals.
+    pub alphas: Vec<f64>,
+}
+
+/// Equilibrium of the signalling game.
+#[derive(Debug, Clone)]
+pub struct SignallingEquilibrium {
+    /// Equilibrium profile.
+    pub profile: SignallingProfile,
+    /// Congestion at equilibrium.
+    pub congestions: Vec<f64>,
+    /// Whether the alternating best-response iteration converged.
+    pub converged: bool,
+    /// Sweeps performed.
+    pub iterations: usize,
+}
+
+impl SignallingGame {
+    /// Creates the game with signal bounds `0 < alpha_lo < alpha_hi`.
+    ///
+    /// # Errors
+    /// [`MechanismError::InvalidConfig`] on invalid bounds or no users.
+    pub fn new(users: Vec<BoxedUtility>, alpha_lo: f64, alpha_hi: f64) -> Result<Self> {
+        if users.is_empty() {
+            return Err(MechanismError::InvalidConfig { detail: "no users".into() });
+        }
+        if !(alpha_lo > 0.0 && alpha_lo < alpha_hi && alpha_hi.is_finite()) {
+            return Err(MechanismError::InvalidConfig {
+                detail: format!("need 0 < alpha_lo < alpha_hi, got [{alpha_lo}, {alpha_hi}]"),
+            });
+        }
+        Ok(SignallingGame { users, alpha_lo, alpha_hi })
+    }
+
+    /// Number of users.
+    pub fn n(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The allocation `C(r, α)`.
+    pub fn congestion(&self, rates: &[f64], alphas: &[f64]) -> Vec<f64> {
+        let total: f64 = rates.iter().sum();
+        if total >= 1.0 {
+            return rates.iter().map(|&r| if r > 0.0 { f64::INFINITY } else { 0.0 }).collect();
+        }
+        let f = mm1::g(total);
+        let weight: f64 = rates.iter().zip(alphas).map(|(r, a)| r * a).sum();
+        if weight <= 0.0 {
+            return vec![0.0; rates.len()];
+        }
+        rates.iter().zip(alphas).map(|(r, a)| f * r * a / weight).collect()
+    }
+
+    /// User `i`'s utility at a joint profile.
+    pub fn utility(&self, rates: &[f64], alphas: &[f64], i: usize) -> f64 {
+        let c = self.congestion(rates, alphas);
+        self.users[i].value(rates[i], c[i])
+    }
+
+    fn best_rate(&self, rates: &[f64], alphas: &[f64], i: usize) -> Result<f64> {
+        let others: f64 = rates.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, r)| r).sum();
+        let hi = (1.0 - others - 1e-9).max(2e-9);
+        let mut r = rates.to_vec();
+        let res = grid_refine_max(
+            |x| {
+                r[i] = x;
+                self.utility(&r, alphas, i)
+            },
+            1e-9,
+            hi,
+            96,
+            1e-12,
+        )
+        .map_err(CoreError::from)?;
+        Ok(res.x)
+    }
+
+    fn best_alpha(&self, rates: &[f64], alphas: &[f64], i: usize) -> Result<f64> {
+        let mut a = alphas.to_vec();
+        let res = grid_refine_max(
+            |x| {
+                a[i] = x;
+                self.utility(rates, &a, i)
+            },
+            self.alpha_lo,
+            self.alpha_hi,
+            48,
+            1e-10,
+        )
+        .map_err(CoreError::from)?;
+        Ok(res.x)
+    }
+
+    /// Solves for a joint Nash equilibrium in (rates, signals) by
+    /// alternating best responses.
+    ///
+    /// # Errors
+    /// Propagates optimizer failures.
+    pub fn solve(&self, max_iter: usize, tol: f64) -> Result<SignallingEquilibrium> {
+        let n = self.n();
+        let mut rates = vec![0.3 / n as f64; n];
+        let mut alphas = vec![0.5 * (self.alpha_lo + self.alpha_hi); n];
+        let mut converged = false;
+        let mut iterations = 0;
+        for it in 1..=max_iter {
+            iterations = it;
+            let mut residual = 0.0f64;
+            for i in 0..n {
+                let new_r = self.best_rate(&rates, &alphas, i)?;
+                residual = residual.max((new_r - rates[i]).abs());
+                rates[i] = new_r;
+                let new_a = self.best_alpha(&rates, &alphas, i)?;
+                residual = residual.max((new_a - alphas[i]).abs());
+                alphas[i] = new_a;
+            }
+            if residual < tol {
+                converged = true;
+                break;
+            }
+        }
+        let congestions = self.congestion(&rates, &alphas);
+        Ok(SignallingEquilibrium {
+            profile: SignallingProfile { rates, alphas },
+            congestions,
+            converged,
+            iterations,
+        })
+    }
+
+    /// Checks whether the signalling equilibrium is Pareto optimal by the
+    /// FDC of the underlying M/M/1 economy (it never is — Corollary 1).
+    ///
+    /// # Errors
+    /// Propagates equilibrium failures from the reference game.
+    pub fn equilibrium_is_pareto(&self, eq: &SignallingEquilibrium, tol: f64) -> Result<bool> {
+        // At equal signals the mechanism is exactly FIFO; evaluate the
+        // Pareto FDC through an equivalent proportional game.
+        let game = Game::new(Proportional::new(), self.users.clone())?;
+        Ok(pareto::is_pareto_fdc(&game, &eq.profile.rates, tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greednet_core::game::NashOptions;
+    use greednet_core::utility::{LinearUtility, UtilityExt};
+
+    fn users() -> Vec<BoxedUtility> {
+        (0..3).map(|_| LinearUtility::new(1.0, 0.25).boxed()).collect()
+    }
+
+    #[test]
+    fn signals_race_to_the_bottom() {
+        let g = SignallingGame::new(users(), 0.2, 5.0).unwrap();
+        let eq = g.solve(200, 1e-8).unwrap();
+        assert!(eq.converged, "no convergence after {}", eq.iterations);
+        for &a in &eq.profile.alphas {
+            assert!((a - 0.2).abs() < 1e-3, "alpha {a} did not hit the floor");
+        }
+    }
+
+    #[test]
+    fn equilibrium_rates_match_plain_fifo_nash() {
+        let g = SignallingGame::new(users(), 0.2, 5.0).unwrap();
+        let eq = g.solve(200, 1e-8).unwrap();
+        let plain = Game::new(Proportional::new(), users()).unwrap();
+        let nash = plain.solve_nash(&NashOptions::default()).unwrap();
+        for (a, b) in eq.profile.rates.iter().zip(&nash.rates) {
+            assert!((a - b).abs() < 1e-3, "{:?} vs {:?}", eq.profile.rates, nash.rates);
+        }
+    }
+
+    #[test]
+    fn corollary_1_no_pareto_from_signalling() {
+        let g = SignallingGame::new(users(), 0.2, 5.0).unwrap();
+        let eq = g.solve(200, 1e-8).unwrap();
+        assert!(!g.equilibrium_is_pareto(&eq, 1e-3).unwrap());
+    }
+
+    #[test]
+    fn lower_signal_always_helps() {
+        // The mechanism design flaw in one line: congestion strictly falls
+        // with one's own alpha.
+        let g = SignallingGame::new(users(), 0.2, 5.0).unwrap();
+        let rates = [0.1, 0.1, 0.1];
+        let hi = g.congestion(&rates, &[2.0, 1.0, 1.0]);
+        let lo = g.congestion(&rates, &[0.5, 1.0, 1.0]);
+        assert!(lo[0] < hi[0]);
+        // Work conservation holds regardless of the signals.
+        let total_hi: f64 = hi.iter().sum();
+        assert!((total_hi - mm1::g(0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(SignallingGame::new(vec![], 0.1, 1.0).is_err());
+        assert!(SignallingGame::new(users(), 1.0, 0.5).is_err());
+        assert!(SignallingGame::new(users(), 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn overload_gives_infinite_congestion() {
+        let g = SignallingGame::new(users(), 0.2, 5.0).unwrap();
+        let c = g.congestion(&[0.5, 0.5, 0.5], &[1.0, 1.0, 1.0]);
+        assert!(c.iter().all(|x| x.is_infinite()));
+    }
+}

@@ -1,0 +1,51 @@
+//! Property-based tests for the mechanisms layer: truthfulness of the
+//! Fair Share direct mechanism over randomized profiles and misreports
+//! (Theorem 6), and the Corollary 2 decoupling.
+
+use greednet_core::utility::{BoxedUtility, LinearUtility, LogUtility, PowerUtility, UtilityExt};
+use greednet_mechanisms::constraints::SeparableAllocation;
+use greednet_mechanisms::revelation::{max_misreport_gain, DirectMechanism};
+use greednet_queueing::FairShare;
+use proptest::prelude::*;
+
+fn random_utility() -> impl Strategy<Value = (u8, f64, f64)> {
+    (0u8..3, 0.2..1.2f64, 0.4..2.0f64)
+}
+
+fn build(spec: &(u8, f64, f64)) -> BoxedUtility {
+    match spec.0 {
+        0 => LogUtility::new(spec.1, spec.2).boxed(),
+        1 => PowerUtility::new(0.3 + 0.4 * (spec.1 - 0.2), spec.2).boxed(),
+        _ => LinearUtility::new(spec.1, 0.1 + 0.3 * spec.2 / 2.0).boxed(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn fair_share_mechanism_is_truthful_on_random_profiles(
+        profile in proptest::collection::vec(random_utility(), 3),
+        lies in proptest::collection::vec(random_utility(), 6),
+    ) {
+        let truthful: Vec<BoxedUtility> = profile.iter().map(build).collect();
+        let candidates: Vec<BoxedUtility> = lies.iter().map(build).collect();
+        let mech = DirectMechanism::new(Box::new(FairShare::new()));
+        // Only meaningful if the truthful equilibrium exists.
+        prop_assume!(mech.assign(&truthful).is_ok());
+        for i in 0..truthful.len() {
+            let (gain, _) = max_misreport_gain(&mech, &truthful, i, &candidates).unwrap();
+            prop_assert!(gain <= 1e-5, "user {i} profits {gain} from lying under B^FS");
+        }
+    }
+
+    #[test]
+    fn separable_nash_is_always_pareto(profile in proptest::collection::vec(random_utility(), 4)) {
+        let users: Vec<BoxedUtility> = profile.iter().map(build).collect();
+        let s = SeparableAllocation;
+        let nash = s.nash(&users).unwrap();
+        for res in s.pareto_residuals(&users, &nash) {
+            prop_assert!(res.abs() < 1e-4, "residual {res}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the network layer.
+
+use greednet_core::CoreError;
+use std::fmt;
+
+/// Errors produced by network construction and equilibrium computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// A route referenced a switch outside the topology.
+    BadSwitch {
+        /// The offending user.
+        user: usize,
+        /// The referenced switch id.
+        switch: usize,
+        /// Number of switches in the topology.
+        switches: usize,
+    },
+    /// A user had an empty route.
+    EmptyRoute {
+        /// The offending user.
+        user: usize,
+    },
+    /// A route visited the same switch twice.
+    DuplicateSwitch {
+        /// The offending user.
+        user: usize,
+        /// The repeated switch id.
+        switch: usize,
+    },
+    /// The topology has no users or no switches.
+    EmptyTopology,
+    /// The equilibrium layer failed.
+    Core(CoreError),
+    /// Invalid argument.
+    InvalidArgument {
+        /// Explanation of the violated requirement.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::BadSwitch { user, switch, switches } => {
+                write!(f, "user {user} routes through switch {switch}, but only {switches} exist")
+            }
+            NetworkError::EmptyRoute { user } => write!(f, "user {user} has an empty route"),
+            NetworkError::DuplicateSwitch { user, switch } => {
+                write!(f, "user {user} visits switch {switch} twice")
+            }
+            NetworkError::EmptyTopology => write!(f, "topology needs >= 1 switch and >= 1 user"),
+            NetworkError::Core(e) => write!(f, "core error: {e}"),
+            NetworkError::InvalidArgument { detail } => write!(f, "invalid argument: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetworkError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for NetworkError {
+    fn from(e: CoreError) -> Self {
+        NetworkError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        for e in [
+            NetworkError::BadSwitch { user: 0, switch: 5, switches: 2 },
+            NetworkError::EmptyRoute { user: 1 },
+            NetworkError::DuplicateSwitch { user: 2, switch: 0 },
+            NetworkError::EmptyTopology,
+            NetworkError::InvalidArgument { detail: "x".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        let c: NetworkError = CoreError::EmptyGame.into();
+        assert!(std::error::Error::source(&c).is_some());
+    }
+}

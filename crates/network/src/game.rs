@@ -1,0 +1,525 @@
+//! The multi-switch game of §5.4.
+//!
+//! Every switch runs the same service discipline (an
+//! [`AllocationFunction`]); under the Poisson approximation, switch `α`
+//! sees each crossing user's full rate, and user `i`'s congestion is the
+//! sum along its route, `c_i = Σ_{α ∈ route(i)} C^α_i`. Users are selfish
+//! in their single rate `r_i` exactly as in the base model.
+
+use crate::error::NetworkError;
+use crate::topology::Topology;
+use crate::Result;
+use greednet_core::game::{NashOptions, UpdateOrder};
+use greednet_core::utility::BoxedUtility;
+use greednet_numerics::optimize::grid_refine_max;
+use greednet_queueing::alloc::AllocationFunction;
+
+/// Smallest/largest rates considered by the network solvers.
+const MIN_RATE: f64 = 1e-9;
+const MAX_RATE: f64 = 1.0 - 1e-9;
+
+/// A computed network equilibrium.
+#[derive(Debug, Clone)]
+pub struct NetworkNash {
+    /// Equilibrium rates.
+    pub rates: Vec<f64>,
+    /// Total (route-summed) congestion per user.
+    pub congestions: Vec<f64>,
+    /// Utilities at the equilibrium.
+    pub utilities: Vec<f64>,
+    /// Sweeps performed.
+    pub iterations: usize,
+    /// Whether the iteration converged.
+    pub converged: bool,
+    /// Final largest single-user rate change.
+    pub residual: f64,
+}
+
+/// The network game: one discipline, many switches, route-summed
+/// congestion.
+///
+/// ```
+/// use greednet_core::game::NashOptions;
+/// use greednet_core::utility::{LogUtility, UtilityExt};
+/// use greednet_network::{NetworkGame, Topology};
+/// use greednet_queueing::FairShare;
+///
+/// // One through user + two locals on a 2-switch line, Fair Share hops.
+/// let users = (0..3).map(|_| LogUtility::new(0.5, 1.0).boxed()).collect();
+/// let net = NetworkGame::new(
+///     Topology::parking_lot(2).unwrap(),
+///     Box::new(FairShare::new()),
+///     users,
+/// ).unwrap();
+/// let nash = net.solve_nash(&NashOptions::default()).unwrap();
+/// assert!(nash.converged);
+/// // The two-hop user rationally sends less than the one-hop locals.
+/// assert!(nash.rates[0] < nash.rates[1]);
+/// ```
+#[derive(Debug)]
+pub struct NetworkGame {
+    topology: Topology,
+    alloc: Box<dyn AllocationFunction>,
+    users: Vec<BoxedUtility>,
+}
+
+impl NetworkGame {
+    /// Creates a network game; one utility per user in the topology.
+    ///
+    /// # Errors
+    /// [`NetworkError::InvalidArgument`] on a user-count mismatch.
+    pub fn new(
+        topology: Topology,
+        alloc: Box<dyn AllocationFunction>,
+        users: Vec<BoxedUtility>,
+    ) -> Result<Self> {
+        if users.len() != topology.users() {
+            return Err(NetworkError::InvalidArgument {
+                detail: format!(
+                    "{} utilities for a topology with {} users",
+                    users.len(),
+                    topology.users()
+                ),
+            });
+        }
+        Ok(NetworkGame { topology, alloc, users })
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of users.
+    pub fn n(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Per-switch congestion of each crossing user: pairs
+    /// `(user, c_i^switch)` in ascending user order.
+    pub fn per_switch_congestion(&self, rates: &[f64], switch: usize) -> Vec<(usize, f64)> {
+        let crossing = self.topology.users_at(switch);
+        let local_rates: Vec<f64> = crossing.iter().map(|&u| rates[u]).collect();
+        let local_c = self.alloc.congestion(&local_rates);
+        crossing.into_iter().zip(local_c).collect()
+    }
+
+    /// Total congestion per user: `c_i = Σ_{α ∈ route(i)} C^α_i`.
+    pub fn congestion(&self, rates: &[f64]) -> Vec<f64> {
+        let mut total = vec![0.0; self.n()];
+        for switch in 0..self.topology.switches() {
+            for (user, c) in self.per_switch_congestion(rates, switch) {
+                total[user] += c;
+            }
+        }
+        total
+    }
+
+    /// All users' utilities at `rates`.
+    pub fn utilities_at(&self, rates: &[f64]) -> Vec<f64> {
+        let c = self.congestion(rates);
+        self.users.iter().enumerate().map(|(i, u)| u.value(rates[i], c[i])).collect()
+    }
+
+    fn utility_replacing(&self, rates: &[f64], i: usize, x: f64) -> f64 {
+        let mut r = rates.to_vec();
+        r[i] = x;
+        let c = self.congestion(&r);
+        self.users[i].value(x, c[i])
+    }
+
+    /// Largest own rate keeping user `i`'s total congestion finite.
+    fn saturation_rate(&self, rates: &[f64], i: usize) -> f64 {
+        let mut r = rates.to_vec();
+        r[i] = MAX_RATE;
+        if self.congestion(&r)[i].is_finite() {
+            return MAX_RATE;
+        }
+        let (mut lo, mut hi) = (MIN_RATE, MAX_RATE);
+        for _ in 0..70 {
+            let mid = 0.5 * (lo + hi);
+            r[i] = mid;
+            if self.congestion(&r)[i].is_finite() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Best response of user `i` (global grid + refine over its rate).
+    ///
+    /// # Errors
+    /// Propagates optimizer failures.
+    pub fn best_response(&self, rates: &[f64], i: usize, grid: usize) -> Result<f64> {
+        let hi = (self.saturation_rate(rates, i) - 1e-9).max(2.0 * MIN_RATE);
+        let res = grid_refine_max(
+            |x| self.utility_replacing(rates, i, x),
+            MIN_RATE,
+            hi,
+            grid.max(8),
+            1e-12,
+        )
+        .map_err(greednet_core::CoreError::from)?;
+        Ok(res.x)
+    }
+
+    /// Solves for a network Nash equilibrium by damped best-response
+    /// iteration (same options type as the single-switch solver).
+    ///
+    /// # Errors
+    /// Propagates optimizer failures and invalid option values.
+    pub fn solve_nash(&self, opts: &NashOptions) -> Result<NetworkNash> {
+        let n = self.n();
+        let mut rates: Vec<f64> = match &opts.start {
+            Some(s) => {
+                if s.len() != n {
+                    return Err(NetworkError::InvalidArgument {
+                        detail: format!("start has {} entries for {} users", s.len(), n),
+                    });
+                }
+                s.clone()
+            }
+            None => vec![0.4 / n as f64; n],
+        };
+        if !(0.0 < opts.damping && opts.damping <= 1.0) {
+            return Err(NetworkError::InvalidArgument {
+                detail: format!("damping must lie in (0, 1], got {}", opts.damping),
+            });
+        }
+        let mut residual = f64::INFINITY;
+        for iter in 1..=opts.max_iter {
+            residual = 0.0;
+            match opts.update {
+                UpdateOrder::GaussSeidel => {
+                    for i in 0..n {
+                        let br = self.best_response(&rates, i, opts.br_grid)?;
+                        let next = (1.0 - opts.damping) * rates[i] + opts.damping * br;
+                        residual = residual.max((next - rates[i]).abs());
+                        rates[i] = next;
+                    }
+                }
+                UpdateOrder::Jacobi => {
+                    let snapshot = rates.clone();
+                    for i in 0..n {
+                        let br = self.best_response(&snapshot, i, opts.br_grid)?;
+                        let next = (1.0 - opts.damping) * snapshot[i] + opts.damping * br;
+                        residual = residual.max((next - snapshot[i]).abs());
+                        rates[i] = next;
+                    }
+                }
+            }
+            if residual < opts.tol {
+                let congestions = self.congestion(&rates);
+                let utilities = self.utilities_at(&rates);
+                return Ok(NetworkNash {
+                    rates,
+                    congestions,
+                    utilities,
+                    iterations: iter,
+                    converged: true,
+                    residual,
+                });
+            }
+        }
+        let congestions = self.congestion(&rates);
+        let utilities = self.utilities_at(&rates);
+        Ok(NetworkNash {
+            rates,
+            congestions,
+            utilities,
+            iterations: opts.max_iter,
+            converged: false,
+            residual,
+        })
+    }
+
+    /// Audits a candidate equilibrium by global unilateral deviation.
+    /// Returns the largest utility gain any user can achieve.
+    ///
+    /// # Errors
+    /// Propagates optimizer failures.
+    pub fn max_deviation_gain(&self, rates: &[f64], grid: usize) -> Result<f64> {
+        let base = self.utilities_at(rates);
+        let mut worst: f64 = 0.0;
+        for (i, &base_u) in base.iter().enumerate() {
+            let hi = (self.saturation_rate(rates, i) - 1e-9).max(2.0 * MIN_RATE);
+            let best = grid_refine_max(
+                |x| self.utility_replacing(rates, i, x),
+                MIN_RATE,
+                hi,
+                grid.max(16),
+                1e-12,
+            )
+            .map_err(greednet_core::CoreError::from)?;
+            worst = worst.max(best.fx - base_u);
+        }
+        Ok(worst)
+    }
+
+    /// Envy of user `i` toward user `j` at `rates` (difference of user
+    /// `i`'s utility between the two allocations). As §5.4 notes, this is
+    /// only *meaningful* between users of the same route; the
+    /// cross-route number is still computable and reported by experiments
+    /// to illustrate why a new fairness notion is needed.
+    pub fn envy(&self, rates: &[f64], i: usize, j: usize) -> f64 {
+        let c = self.congestion(rates);
+        self.users[i].value(rates[j], c[j]) - self.users[i].value(rates[i], c[i])
+    }
+
+    /// Maximum envy among *same-route* user pairs (the pairs for which
+    /// envy-freeness remains meaningful in a network).
+    pub fn max_same_route_envy(&self, rates: &[f64]) -> f64 {
+        let mut worst = f64::NEG_INFINITY;
+        let mut found = false;
+        for i in 0..self.n() {
+            for j in 0..self.n() {
+                if i != j && self.topology.route(i) == self.topology.route(j) {
+                    worst = worst.max(self.envy(rates, i, j));
+                    found = true;
+                }
+            }
+        }
+        if found {
+            worst
+        } else {
+            0.0
+        }
+    }
+
+    /// The network protection bound for user `i`: the sum over its route
+    /// of the single-switch bounds `r_i / (1 − N_α r_i)` where `N_α` is
+    /// the number of users crossing switch `α` — what user `i` would
+    /// suffer if every switch were populated by clones of itself.
+    pub fn protection_bound(&self, i: usize, r_i: f64) -> f64 {
+        self.topology
+            .route(i)
+            .iter()
+            .map(|&s| {
+                let n_alpha = self.topology.users_at(s).len() as f64;
+                let load = n_alpha * r_i;
+                if load >= 1.0 {
+                    f64::INFINITY
+                } else {
+                    r_i / (1.0 - load)
+                }
+            })
+            .sum()
+    }
+
+    /// Worst congestion user `i` suffers with rate `r_i` when every other
+    /// user plays each of `levels` (symmetric adversaries), plus a
+    /// single-flooder pattern. Mirrors the single-switch sweep.
+    pub fn adversarial_congestion(&self, i: usize, r_i: f64, levels: &[f64]) -> f64 {
+        let n = self.n();
+        let mut worst: f64 = 0.0;
+        for &level in levels {
+            let mut rates = vec![level; n];
+            rates[i] = r_i;
+            worst = worst.max(self.congestion(&rates)[i]);
+            if n >= 2 {
+                let mut rates = vec![1e-9; n];
+                rates[i] = r_i;
+                let j = (i + 1) % n;
+                rates[j] = level;
+                worst = worst.max(self.congestion(&rates)[i]);
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greednet_core::game::Game;
+    use greednet_core::utility::{LinearUtility, LogUtility, UtilityExt};
+    use greednet_queueing::{mm1, FairShare, Proportional};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    fn parking_users(k: usize) -> Vec<BoxedUtility> {
+        // Through user + k locals, all log (interior equilibria).
+        (0..=k).map(|_| LogUtility::new(0.5, 1.0).boxed()).collect()
+    }
+
+    #[test]
+    fn degenerate_network_matches_single_switch_game() {
+        let users: Vec<BoxedUtility> = vec![
+            LogUtility::new(0.4, 1.0).boxed(),
+            LogUtility::new(0.8, 1.2).boxed(),
+        ];
+        let net = NetworkGame::new(
+            Topology::single_switch(2).unwrap(),
+            Box::new(FairShare::new()),
+            users.clone(),
+        )
+        .unwrap();
+        let single = Game::new(FairShare::new(), users).unwrap();
+        let rates = [0.15, 0.25];
+        let cn = net.congestion(&rates);
+        let cs = single.allocation().congestion(&rates);
+        for (a, b) in cn.iter().zip(&cs) {
+            assert_close(*a, *b, 1e-12);
+        }
+        let nash_net = net.solve_nash(&NashOptions::default()).unwrap();
+        let nash_single = single.solve_nash(&NashOptions::default()).unwrap();
+        assert!(nash_net.converged);
+        for (a, b) in nash_net.rates.iter().zip(&nash_single.rates) {
+            assert_close(*a, *b, 1e-5);
+        }
+    }
+
+    #[test]
+    fn congestion_sums_along_routes() {
+        let t = Topology::parking_lot(2).unwrap();
+        let net = NetworkGame::new(t, Box::new(FairShare::new()), parking_users(2)).unwrap();
+        let rates = [0.1, 0.2, 0.3]; // through, local0, local1
+        let c = net.congestion(&rates);
+        // Through user: FS at switch 0 with {0.1, 0.2} + FS at switch 1
+        // with {0.1, 0.3}.
+        let fs = FairShare::new();
+        use greednet_queueing::AllocationFunction;
+        let c0 = fs.congestion(&[0.1, 0.2]);
+        let c1 = fs.congestion(&[0.1, 0.3]);
+        assert_close(c[0], c0[0] + c1[0], 1e-12);
+        assert_close(c[1], c0[1], 1e-12);
+        assert_close(c[2], c1[1], 1e-12);
+    }
+
+    #[test]
+    fn parking_lot_fair_share_nash_converges_and_verifies() {
+        let k = 3;
+        let net = NetworkGame::new(
+            Topology::parking_lot(k).unwrap(),
+            Box::new(FairShare::new()),
+            parking_users(k),
+        )
+        .unwrap();
+        let nash = net.solve_nash(&NashOptions::default()).unwrap();
+        assert!(nash.converged, "residual {}", nash.residual);
+        let gain = net.max_deviation_gain(&nash.rates, 256).unwrap();
+        assert!(gain < 1e-6, "deviation gain {gain}");
+        // The through user crosses 3 switches and sensibly sends less.
+        assert!(nash.rates[0] < nash.rates[1]);
+    }
+
+    #[test]
+    fn parking_lot_fifo_nash_converges_too() {
+        let k = 2;
+        let net = NetworkGame::new(
+            Topology::parking_lot(k).unwrap(),
+            Box::new(Proportional::new()),
+            parking_users(k),
+        )
+        .unwrap();
+        let nash = net.solve_nash(&NashOptions::default()).unwrap();
+        assert!(nash.converged);
+        let gain = net.max_deviation_gain(&nash.rates, 256).unwrap();
+        assert!(gain < 1e-6, "deviation gain {gain}");
+    }
+
+    #[test]
+    fn network_uniqueness_from_multiple_starts_under_fair_share() {
+        let k = 2;
+        let net = NetworkGame::new(
+            Topology::parking_lot(k).unwrap(),
+            Box::new(FairShare::new()),
+            parking_users(k),
+        )
+        .unwrap();
+        let mut solutions = Vec::new();
+        for start in [vec![0.01, 0.01, 0.01], vec![0.3, 0.05, 0.2], vec![0.1, 0.4, 0.02]] {
+            let opts = NashOptions { start: Some(start), ..Default::default() };
+            let s = net.solve_nash(&opts).unwrap();
+            assert!(s.converged);
+            solutions.push(s.rates);
+        }
+        for w in solutions.windows(2) {
+            for (a, b) in w[0].iter().zip(&w[1]) {
+                assert_close(*a, *b, 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn same_route_envy_free_under_fair_share() {
+        // Two through users on the same 2-switch route plus locals.
+        let t = Topology::new(2, vec![vec![0, 1], vec![0, 1], vec![0], vec![1]]).unwrap();
+        let users: Vec<BoxedUtility> = vec![
+            LogUtility::new(0.3, 1.0).boxed(),
+            LogUtility::new(0.9, 1.0).boxed(),
+            LogUtility::new(0.5, 1.0).boxed(),
+            LogUtility::new(0.5, 1.0).boxed(),
+        ];
+        let net = NetworkGame::new(t, Box::new(FairShare::new()), users).unwrap();
+        let nash = net.solve_nash(&NashOptions::default()).unwrap();
+        assert!(nash.converged);
+        assert!(net.max_same_route_envy(&nash.rates) <= 1e-6);
+    }
+
+    #[test]
+    fn network_protection_under_fair_share() {
+        // Locals flood; the through user stays under its summed bound.
+        let k = 3;
+        let net = NetworkGame::new(
+            Topology::parking_lot(k).unwrap(),
+            Box::new(FairShare::new()),
+            parking_users(k),
+        )
+        .unwrap();
+        let r_i = 0.08;
+        let observed = net.adversarial_congestion(0, r_i, &[0.1, 0.3, 0.8, 2.0]);
+        let bound = net.protection_bound(0, r_i);
+        assert!(
+            observed <= bound * (1.0 + 1e-9),
+            "network protection violated: {observed} > {bound}"
+        );
+        // ... while FIFO blows through it.
+        let fifo_net = NetworkGame::new(
+            Topology::parking_lot(k).unwrap(),
+            Box::new(Proportional::new()),
+            parking_users(k),
+        )
+        .unwrap();
+        let observed_fifo = fifo_net.adversarial_congestion(0, r_i, &[0.9]);
+        assert!(observed_fifo > 2.0 * bound);
+    }
+
+    #[test]
+    fn linear_users_tragedy_persists_in_networks() {
+        // FIFO network Nash is still Pareto-dominated by uniform backoff
+        // (check via utilities directly).
+        let k = 2;
+        let users: Vec<BoxedUtility> =
+            (0..=k).map(|_| LinearUtility::new(1.0, 0.15).boxed()).collect();
+        let net = NetworkGame::new(
+            Topology::parking_lot(k).unwrap(),
+            Box::new(Proportional::new()),
+            users,
+        )
+        .unwrap();
+        let nash = net.solve_nash(&NashOptions::default()).unwrap();
+        assert!(nash.converged);
+        let u_nash = net.utilities_at(&nash.rates);
+        // Asymmetric routes mean the helpful backoff size differs per user;
+        // some uniform scale close to 1 must still improve everyone
+        // (first-order: every user gains from others' reductions).
+        let improving = (1..=20).map(|k| 1.0 - 0.005 * k as f64).any(|s| {
+            let scaled: Vec<f64> = nash.rates.iter().map(|r| r * s).collect();
+            let u = net.utilities_at(&scaled);
+            u.iter().zip(&u_nash).all(|(a, b)| a > b)
+        });
+        assert!(improving, "no uniform backoff Pareto-improves the FIFO network Nash");
+        let _ = mm1::g(0.1);
+    }
+
+    #[test]
+    fn user_count_mismatch_rejected() {
+        let t = Topology::parking_lot(2).unwrap();
+        assert!(NetworkGame::new(t, Box::new(FairShare::new()), parking_users(1)).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Network topologies: which switches each user's packets traverse.
+
+use crate::error::NetworkError;
+use crate::Result;
+
+/// A multi-switch topology: `routes[i]` is the ordered list of switches
+/// user `i`'s packets traverse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    switches: usize,
+    routes: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Creates a topology after validating every route.
+    ///
+    /// # Errors
+    /// [`NetworkError::EmptyTopology`], [`NetworkError::EmptyRoute`],
+    /// [`NetworkError::BadSwitch`] or [`NetworkError::DuplicateSwitch`].
+    pub fn new(switches: usize, routes: Vec<Vec<usize>>) -> Result<Self> {
+        if switches == 0 || routes.is_empty() {
+            return Err(NetworkError::EmptyTopology);
+        }
+        for (user, route) in routes.iter().enumerate() {
+            if route.is_empty() {
+                return Err(NetworkError::EmptyRoute { user });
+            }
+            let mut seen = vec![false; switches];
+            for &s in route {
+                if s >= switches {
+                    return Err(NetworkError::BadSwitch { user, switch: s, switches });
+                }
+                if seen[s] {
+                    return Err(NetworkError::DuplicateSwitch { user, switch: s });
+                }
+                seen[s] = true;
+            }
+        }
+        Ok(Topology { switches, routes })
+    }
+
+    /// The classic "parking lot": `k` switches in a line; one *through*
+    /// user (index 0) crossing all of them, plus one *local* user per
+    /// switch (indices `1..=k`). The canonical topology for studying how
+    /// a long route competes with short ones.
+    ///
+    /// # Errors
+    /// [`NetworkError::EmptyTopology`] if `k == 0`.
+    pub fn parking_lot(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(NetworkError::EmptyTopology);
+        }
+        let mut routes = vec![(0..k).collect::<Vec<usize>>()];
+        for s in 0..k {
+            routes.push(vec![s]);
+        }
+        Topology::new(k, routes)
+    }
+
+    /// A single switch shared by `n` users — the paper's base model as a
+    /// degenerate network (used in tests to check consistency with the
+    /// single-switch machinery).
+    ///
+    /// # Errors
+    /// [`NetworkError::EmptyTopology`] if `n == 0`.
+    pub fn single_switch(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(NetworkError::EmptyTopology);
+        }
+        Topology::new(1, vec![vec![0]; n])
+    }
+
+    /// Number of switches.
+    pub fn switches(&self) -> usize {
+        self.switches
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// User `i`'s route.
+    pub fn route(&self, i: usize) -> &[usize] {
+        &self.routes[i]
+    }
+
+    /// Users whose route includes `switch` (ascending user order).
+    pub fn users_at(&self, switch: usize) -> Vec<usize> {
+        self.routes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.contains(&switch))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Offered load at `switch` under the Poisson approximation (each
+    /// user contributes its full rate at every switch on its route).
+    pub fn load_at(&self, switch: usize, rates: &[f64]) -> f64 {
+        self.users_at(switch).iter().map(|&i| rates[i]).sum()
+    }
+
+    /// Route length of user `i`.
+    pub fn hops(&self, i: usize) -> usize {
+        self.routes[i].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parking_lot_shape() {
+        let t = Topology::parking_lot(3).unwrap();
+        assert_eq!(t.switches(), 3);
+        assert_eq!(t.users(), 4);
+        assert_eq!(t.route(0), &[0, 1, 2]); // through user
+        assert_eq!(t.route(2), &[1]); // local at switch 1
+        assert_eq!(t.hops(0), 3);
+        assert_eq!(t.users_at(1), vec![0, 2]);
+    }
+
+    #[test]
+    fn single_switch_is_degenerate_network() {
+        let t = Topology::single_switch(4).unwrap();
+        assert_eq!(t.switches(), 1);
+        assert_eq!(t.users_at(0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn load_accumulates_along_routes() {
+        let t = Topology::parking_lot(2).unwrap();
+        let rates = [0.2, 0.3, 0.4]; // through, local0, local1
+        assert!((t.load_at(0, &rates) - 0.5).abs() < 1e-15);
+        assert!((t.load_at(1, &rates) - 0.6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_catches_bad_routes() {
+        assert!(matches!(Topology::new(0, vec![]), Err(NetworkError::EmptyTopology)));
+        assert!(matches!(
+            Topology::new(2, vec![vec![]]),
+            Err(NetworkError::EmptyRoute { .. })
+        ));
+        assert!(matches!(
+            Topology::new(2, vec![vec![5]]),
+            Err(NetworkError::BadSwitch { .. })
+        ));
+        assert!(matches!(
+            Topology::new(2, vec![vec![0, 0]]),
+            Err(NetworkError::DuplicateSwitch { .. })
+        ));
+        assert!(Topology::parking_lot(0).is_err());
+        assert!(Topology::single_switch(0).is_err());
+    }
+}

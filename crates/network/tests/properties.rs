@@ -1,0 +1,124 @@
+//! Property-based tests for the network layer: per-switch feasibility,
+//! consistency with the single-switch machinery, and route monotonicity.
+
+use greednet_core::game::Game;
+use greednet_core::utility::{BoxedUtility, LogUtility, UtilityExt};
+use greednet_network::{NetworkGame, Topology};
+use greednet_queueing::feasible::Allocation;
+use greednet_queueing::{AllocationFunction, FairShare, Proportional};
+use proptest::prelude::*;
+
+/// Strategy: a random topology of 1..=3 switches and 2..=5 users with
+/// random (non-empty, duplicate-free) routes.
+fn topologies() -> impl Strategy<Value = Topology> {
+    (1usize..=3, 2usize..=5).prop_flat_map(|(switches, users)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0..switches, 1..=switches),
+            users..=users,
+        )
+        .prop_filter_map("valid routes", move |mut routes| {
+            for r in routes.iter_mut() {
+                r.sort_unstable();
+                r.dedup();
+            }
+            Topology::new(switches, routes).ok()
+        })
+    })
+}
+
+fn rates_for(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01..0.2f64, n..=n)
+}
+
+fn log_users(n: usize) -> Vec<BoxedUtility> {
+    (0..n).map(|i| LogUtility::new(0.3 + 0.1 * i as f64, 1.0).boxed()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn per_switch_allocations_are_feasible((t, seed) in topologies().prop_flat_map(|t| {
+        let n = t.users();
+        (Just(t), rates_for(n))
+    })) {
+        let (t, rates) = (t, seed);
+        prop_assume!((0..t.switches()).all(|s| t.load_at(s, &rates) < 0.9));
+        let net = NetworkGame::new(t.clone(), Box::new(FairShare::new()), log_users(t.users())).unwrap();
+        for switch in 0..t.switches() {
+            let pairs = net.per_switch_congestion(&rates, switch);
+            if pairs.is_empty() { continue; }
+            let local_rates: Vec<f64> = pairs.iter().map(|&(u, _)| rates[u]).collect();
+            let local_c: Vec<f64> = pairs.iter().map(|&(_, c)| c).collect();
+            let alloc = Allocation::new(local_rates, local_c).unwrap();
+            prop_assert!(alloc.validate().is_ok(), "switch {switch} infeasible");
+        }
+    }
+
+    #[test]
+    fn total_congestion_nonnegative_and_additive((t, rates) in topologies().prop_flat_map(|t| {
+        let n = t.users();
+        (Just(t), rates_for(n))
+    })) {
+        prop_assume!((0..t.switches()).all(|s| t.load_at(s, &rates) < 0.9));
+        let net = NetworkGame::new(t.clone(), Box::new(Proportional::new()), log_users(t.users())).unwrap();
+        let total = net.congestion(&rates);
+        // Reconstruct by summing switch contributions.
+        let mut manual = vec![0.0; t.users()];
+        for s in 0..t.switches() {
+            for (u, c) in net.per_switch_congestion(&rates, s) {
+                manual[u] += c;
+            }
+        }
+        for (a, b) in total.iter().zip(&manual) {
+            prop_assert!((a - b).abs() < 1e-12);
+            prop_assert!(*a >= 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_network_congestion_matches_single_switch(rates in rates_for(4)) {
+        prop_assume!(rates.iter().sum::<f64>() < 0.9);
+        let net = NetworkGame::new(
+            Topology::single_switch(4).unwrap(),
+            Box::new(FairShare::new()),
+            log_users(4),
+        ).unwrap();
+        let single = Game::new(FairShare::new(), log_users(4)).unwrap();
+        let cn = net.congestion(&rates);
+        let cs = single.allocation().congestion(&rates);
+        for (a, b) in cn.iter().zip(&cs) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn longer_routes_mean_more_congestion_at_equal_rates(rate in 0.02..0.15f64, local in 0.02..0.2f64) {
+        // A through user crossing 2 switches suffers at least as much as a
+        // user with the same rate crossing 1 (FS, symmetric locals).
+        let t2 = Topology::parking_lot(2).unwrap();
+        let net = NetworkGame::new(t2, Box::new(FairShare::new()), log_users(3)).unwrap();
+        let c = net.congestion(&[rate, local, local]);
+        // Compare through user's total against a single local's.
+        let single_hop = FairShare::new().congestion(&[rate, local])[0];
+        prop_assert!(c[0] >= single_hop - 1e-12,
+            "two hops {} < one hop {single_hop}", c[0]);
+    }
+
+    #[test]
+    fn network_fs_protection_bound_over_random_floods((t, rates) in topologies().prop_flat_map(|t| {
+        let n = t.users();
+        (Just(t), proptest::collection::vec(0.01..2.0f64, n..=n))
+    })) {
+        let n = t.users();
+        let net = NetworkGame::new(t.clone(), Box::new(FairShare::new()), log_users(n)).unwrap();
+        // Victim 0 at a modest rate; everyone else plays the random vector.
+        let mut r = rates.clone();
+        r[0] = 0.05;
+        let c = net.congestion(&r)[0];
+        let bound = net.protection_bound(0, 0.05);
+        if bound.is_finite() {
+            prop_assert!(c <= bound * (1.0 + 1e-9), "c {c} > bound {bound}");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Finite-difference differentiation.
+//!
+//! Analytic derivatives are supplied for the closed-form allocation
+//! functions, but Nash/Pareto analysis must also work for *arbitrary*
+//! user-supplied disciplines and utilities; these central-difference
+//! helpers (with optional Richardson extrapolation) provide the fallback,
+//! and are also used in tests to validate the analytic derivatives.
+
+use crate::error::NumericsError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Default step for first derivatives (`~cbrt(eps)` scaling).
+pub const STEP_FIRST: f64 = 6e-6;
+/// Default step for second derivatives (`~eps^(1/4)` scaling).
+pub const STEP_SECOND: f64 = 1.2e-4;
+
+fn check(v: f64, ctx: &'static str) -> Result<f64> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(NumericsError::NonFinite { context: ctx, value: v })
+    }
+}
+
+/// Central first derivative `f'(x)` with step scaled by `1 + |x|`.
+pub fn derivative<F: FnMut(f64) -> f64>(mut f: F, x: f64) -> Result<f64> {
+    let h = STEP_FIRST * (1.0 + x.abs());
+    let v = (f(x + h) - f(x - h)) / (2.0 * h);
+    check(v, "derivative")
+}
+
+/// First derivative with one step of Richardson extrapolation (two central
+/// differences with steps `h` and `h/2`); ~O(h^4) accurate.
+pub fn derivative_richardson<F: FnMut(f64) -> f64>(mut f: F, x: f64) -> Result<f64> {
+    let h = 8.0 * STEP_FIRST * (1.0 + x.abs());
+    let d1 = (f(x + h) - f(x - h)) / (2.0 * h);
+    let d2 = (f(x + h / 2.0) - f(x - h / 2.0)) / h;
+    check((4.0 * d2 - d1) / 3.0, "derivative_richardson")
+}
+
+/// Central second derivative `f''(x)`.
+pub fn second_derivative<F: FnMut(f64) -> f64>(mut f: F, x: f64) -> Result<f64> {
+    let h = STEP_SECOND * (1.0 + x.abs());
+    let v = (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+    check(v, "second_derivative")
+}
+
+/// One-sided (forward) first derivative, for functions defined only to the
+/// right of `x` (e.g. at the boundary of the feasible region) or with a
+/// kink at `x` (the Fair Share allocation is only piecewise `C^2` at rate
+/// ties). Uses the 3-point forward formula.
+pub fn forward_derivative<F: FnMut(f64) -> f64>(mut f: F, x: f64) -> Result<f64> {
+    let h = STEP_FIRST * (1.0 + x.abs());
+    let v = (-3.0 * f(x) + 4.0 * f(x + h) - f(x + 2.0 * h)) / (2.0 * h);
+    check(v, "forward_derivative")
+}
+
+/// Gradient of `f: R^n -> R` by central differences.
+///
+/// # Errors
+/// Propagates [`NumericsError::NonFinite`] from evaluations.
+pub fn gradient<F: FnMut(&[f64]) -> f64>(mut f: F, x: &[f64]) -> Result<Vec<f64>> {
+    let mut g = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        let h = STEP_FIRST * (1.0 + x[i].abs());
+        xp[i] = x[i] + h;
+        let fp = f(&xp);
+        xp[i] = x[i] - h;
+        let fm = f(&xp);
+        xp[i] = x[i];
+        g[i] = check((fp - fm) / (2.0 * h), "gradient")?;
+    }
+    Ok(g)
+}
+
+/// Partial derivative `∂f_i/∂x_j` of a vector-valued map `f: R^n -> R^m`,
+/// evaluated by central differences in coordinate `j`.
+///
+/// # Errors
+/// Propagates [`NumericsError::NonFinite`].
+pub fn partial<F: FnMut(&[f64]) -> Vec<f64>>(
+    mut f: F,
+    x: &[f64],
+    i: usize,
+    j: usize,
+) -> Result<f64> {
+    let mut xp = x.to_vec();
+    let h = STEP_FIRST * (1.0 + x[j].abs());
+    xp[j] = x[j] + h;
+    let fp = f(&xp)[i];
+    xp[j] = x[j] - h;
+    let fm = f(&xp)[i];
+    check((fp - fm) / (2.0 * h), "partial")
+}
+
+/// Jacobian of `f: R^n -> R^m` by central differences; row `i`, column `j`
+/// holds `∂f_i/∂x_j`.
+///
+/// # Errors
+/// Propagates [`NumericsError::NonFinite`].
+pub fn jacobian<F: FnMut(&[f64]) -> Vec<f64>>(mut f: F, x: &[f64], m: usize) -> Result<Matrix> {
+    let n = x.len();
+    let mut jac = Matrix::zeros(m, n);
+    let mut xp = x.to_vec();
+    for j in 0..n {
+        let h = STEP_FIRST * (1.0 + x[j].abs());
+        xp[j] = x[j] + h;
+        let fp = f(&xp);
+        xp[j] = x[j] - h;
+        let fm = f(&xp);
+        xp[j] = x[j];
+        if fp.len() != m || fm.len() != m {
+            return Err(NumericsError::ShapeMismatch {
+                detail: format!("jacobian: expected output length {m}, got {}", fp.len()),
+            });
+        }
+        for i in 0..m {
+            jac[(i, j)] = check((fp[i] - fm[i]) / (2.0 * h), "jacobian")?;
+        }
+    }
+    Ok(jac)
+}
+
+/// Mixed second partial `∂²f/∂x_i∂x_j` of a scalar field by the 4-point
+/// central formula (or the 3-point formula when `i == j`).
+///
+/// # Errors
+/// Propagates [`NumericsError::NonFinite`].
+pub fn mixed_second<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x: &[f64],
+    i: usize,
+    j: usize,
+) -> Result<f64> {
+    let mut xp = x.to_vec();
+    if i == j {
+        let h = STEP_SECOND * (1.0 + x[i].abs());
+        let f0 = f(&xp);
+        xp[i] = x[i] + h;
+        let fp = f(&xp);
+        xp[i] = x[i] - h;
+        let fm = f(&xp);
+        return check((fp - 2.0 * f0 + fm) / (h * h), "mixed_second");
+    }
+    let hi = STEP_SECOND * (1.0 + x[i].abs());
+    let hj = STEP_SECOND * (1.0 + x[j].abs());
+    let mut eval = |di: f64, dj: f64| {
+        xp[i] = x[i] + di;
+        xp[j] = x[j] + dj;
+        let v = f(&xp);
+        xp[i] = x[i];
+        xp[j] = x[j];
+        v
+    };
+    let v = (eval(hi, hj) - eval(hi, -hj) - eval(-hi, hj) + eval(-hi, -hj)) / (4.0 * hi * hj);
+    check(v, "mixed_second")
+}
+
+/// Hessian of a scalar field by finite differences (symmetric by
+/// construction).
+///
+/// # Errors
+/// Propagates [`NumericsError::NonFinite`].
+pub fn hessian<F: FnMut(&[f64]) -> f64>(mut f: F, x: &[f64]) -> Result<Matrix> {
+    let n = x.len();
+    let mut h = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let v = mixed_second(&mut f, x, i, j)?;
+            h[(i, j)] = v;
+            h[(j, i)] = v;
+        }
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn derivative_of_polynomial() {
+        let d = derivative(|x| x * x * x, 2.0).unwrap();
+        assert_close(d, 12.0, 1e-5);
+    }
+
+    #[test]
+    fn richardson_beats_plain_central() {
+        let exact = (2.0f64).exp();
+        let plain = derivative(f64::exp, 2.0).unwrap();
+        let rich = derivative_richardson(f64::exp, 2.0).unwrap();
+        assert!((rich - exact).abs() <= (plain - exact).abs() * 10.0);
+        assert_close(rich, exact, 1e-8);
+    }
+
+    #[test]
+    fn second_derivative_of_sin() {
+        let d2 = second_derivative(f64::sin, 1.0).unwrap();
+        assert_close(d2, -(1.0f64).sin(), 1e-5);
+    }
+
+    #[test]
+    fn forward_derivative_at_boundary() {
+        // sqrt is not defined left of 0; forward difference still works at 0.01.
+        let d = forward_derivative(f64::sqrt, 0.01).unwrap();
+        assert_close(d, 0.5 / (0.01f64).sqrt(), 1e-2);
+    }
+
+    #[test]
+    fn gradient_of_quadratic_form() {
+        // f = x0^2 + 3 x0 x1 ; grad = (2x0 + 3x1, 3x0).
+        let g = gradient(|x| x[0] * x[0] + 3.0 * x[0] * x[1], &[1.0, 2.0]).unwrap();
+        assert_close(g[0], 8.0, 1e-5);
+        assert_close(g[1], 3.0, 1e-5);
+    }
+
+    #[test]
+    fn jacobian_of_linear_map() {
+        let jac = jacobian(|x| vec![2.0 * x[0] + x[1], x[0] - 3.0 * x[1]], &[0.5, 0.25], 2).unwrap();
+        assert_close(jac[(0, 0)], 2.0, 1e-6);
+        assert_close(jac[(0, 1)], 1.0, 1e-6);
+        assert_close(jac[(1, 0)], 1.0, 1e-6);
+        assert_close(jac[(1, 1)], -3.0, 1e-6);
+    }
+
+    #[test]
+    fn partial_picks_single_entry() {
+        let p = partial(|x| vec![x[0] * x[1], x[1] * x[1]], &[2.0, 3.0], 0, 1).unwrap();
+        assert_close(p, 2.0, 1e-6);
+    }
+
+    #[test]
+    fn hessian_of_quadratic() {
+        // f = x0^2 + 4 x0 x1 + 5 x1^2 ; H = [[2,4],[4,10]].
+        let h = hessian(|x| x[0] * x[0] + 4.0 * x[0] * x[1] + 5.0 * x[1] * x[1], &[0.3, -0.7])
+            .unwrap();
+        assert_close(h[(0, 0)], 2.0, 1e-3);
+        assert_close(h[(0, 1)], 4.0, 1e-3);
+        assert_close(h[(1, 0)], 4.0, 1e-3);
+        assert_close(h[(1, 1)], 10.0, 1e-3);
+    }
+
+    #[test]
+    fn mixed_second_exponential() {
+        // f = exp(x y); f_xy at (0,0) = 1.
+        let v = mixed_second(|x| (x[0] * x[1]).exp(), &[0.0, 0.0], 0, 1).unwrap();
+        assert_close(v, 1.0, 1e-4);
+    }
+
+    #[test]
+    fn non_finite_reported() {
+        let e = derivative(|x| if x > 1.0 { f64::INFINITY } else { x }, 1.0).unwrap_err();
+        assert!(matches!(e, NumericsError::NonFinite { .. }));
+    }
+}

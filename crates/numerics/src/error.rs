@@ -1,0 +1,105 @@
+//! Error type shared by the numerical routines.
+
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// A bracketing method was given an interval whose endpoints do not
+    /// bracket a root (same sign of `f`).
+    NoBracket {
+        /// Left endpoint of the offending interval.
+        a: f64,
+        /// Right endpoint of the offending interval.
+        b: f64,
+        /// `f(a)`.
+        fa: f64,
+        /// `f(b)`.
+        fb: f64,
+    },
+    /// The iteration budget was exhausted before the tolerance was met.
+    MaxIterations {
+        /// Name of the algorithm that failed to converge.
+        algorithm: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Best residual / interval width achieved.
+        residual: f64,
+    },
+    /// A function evaluation produced a NaN or infinity where a finite
+    /// value was required.
+    NonFinite {
+        /// Description of the context in which the non-finite value arose.
+        context: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A matrix had the wrong shape for the requested operation.
+    ShapeMismatch {
+        /// Explanation of the expected/actual shapes.
+        detail: String,
+    },
+    /// A linear system was singular (or numerically so) to working precision.
+    Singular {
+        /// Pivot magnitude that triggered the failure.
+        pivot: f64,
+    },
+    /// An argument was outside its mathematically valid range.
+    InvalidArgument {
+        /// Explanation of the violated requirement.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::NoBracket { a, b, fa, fb } => write!(
+                f,
+                "interval [{a}, {b}] does not bracket a root: f(a)={fa}, f(b)={fb}"
+            ),
+            NumericsError::MaxIterations {
+                algorithm,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{algorithm} failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumericsError::NonFinite { context, value } => {
+                write!(f, "non-finite value {value} encountered in {context}")
+            }
+            NumericsError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            NumericsError::Singular { pivot } => {
+                write!(f, "matrix is singular to working precision (pivot {pivot:.3e})")
+            }
+            NumericsError::InvalidArgument { detail } => write!(f, "invalid argument: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NumericsError::NoBracket {
+            a: 0.0,
+            b: 1.0,
+            fa: 1.0,
+            fb: 2.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("does not bracket"));
+        assert!(s.contains("[0, 1]"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(NumericsError::Singular { pivot: 0.0 });
+        assert!(e.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,227 @@
+//! LU decomposition with partial pivoting: linear solves, determinants and
+//! inverses for the small dense systems arising in equilibrium analysis.
+
+use crate::error::NumericsError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// LU decomposition `P A = L U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed L (unit diagonal, below) and U (on and above the diagonal).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), used for determinants.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    /// [`NumericsError::ShapeMismatch`] for non-square input,
+    /// [`NumericsError::Singular`] if a pivot is exactly zero.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(NumericsError::ShapeMismatch {
+                detail: format!("LU requires square matrix, got {}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest |entry| in column k.
+            let mut p = k;
+            let mut maxv = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > maxv {
+                    maxv = v;
+                    p = i;
+                }
+            }
+            if maxv == 0.0 {
+                return Err(NumericsError::Singular { pivot: 0.0 });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let delta = m * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, perm_sign: sign })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    /// [`NumericsError::ShapeMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(NumericsError::ShapeMismatch {
+                detail: format!("solve: expected rhs of length {n}, got {}", b.len()),
+            });
+        }
+        // Apply permutation, then forward substitution (L, unit diagonal).
+        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 0..n {
+            for j in 0..i {
+                y[i] -= self.lu[(i, j)] * y[j];
+            }
+        }
+        // Back substitution (U).
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                y[i] -= self.lu[(i, j)] * y[j];
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the original matrix (column-by-column solves).
+    ///
+    /// # Errors
+    /// Propagates solve errors (none expected after successful factorization).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Convenience: solve `A x = b` in one call.
+///
+/// # Errors
+/// See [`Lu::new`] and [`Lu::solve`].
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::new(a)?.solve(b)
+}
+
+/// Convenience: determinant of `A` (0.0 for singular matrices).
+pub fn det(a: &Matrix) -> Result<f64> {
+    match Lu::new(a) {
+        Ok(lu) => Ok(lu.det()),
+        Err(NumericsError::Singular { .. }) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn solve_2x2() {
+        let a = mat(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = mat(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn det_known_values() {
+        assert!((det(&mat(&[&[1.0, 2.0], &[3.0, 4.0]])).unwrap() + 2.0).abs() < 1e-12);
+        assert!((det(&Matrix::identity(4)).unwrap() - 1.0).abs() < 1e-12);
+        // Permutation changes sign.
+        let p = mat(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((det(&p).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_singular_is_zero() {
+        let a = mat(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(det(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = mat(&[&[4.0, 7.0, 2.0], &[3.0, 6.0, 1.0], &[2.0, 5.0, 3.0]]);
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = &a * &inv;
+        assert!((&prod - &Matrix::identity(3)).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_reported() {
+        let a = mat(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(matches!(Lu::new(&a), Err(NumericsError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::new(&a), Err(NumericsError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn solve_random_10x10_residual() {
+        // Deterministic pseudo-random fill; check A x ~= b.
+        let n = 10;
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = Matrix::from_fn(n, n, |i, j| next() + if i == j { 4.0 } else { 0.0 });
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = solve(&a, &b).unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the numerical substrate.
+
+use greednet_numerics::eig::{eigenvalues, jacobi_symmetric};
+use greednet_numerics::lu::{det, solve, Lu};
+use greednet_numerics::optimize::{brent_max, grid_refine_max};
+use greednet_numerics::roots::brent;
+use greednet_numerics::stats::Welford;
+use greednet_numerics::Matrix;
+use proptest::prelude::*;
+
+fn small_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0..2.0f64, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data).unwrap();
+        // Diagonal dominance keeps things non-singular and well-conditioned.
+        for i in 0..n {
+            let val = m[(i, i)] + 5.0;
+            m[(i, i)] = val;
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_residual_is_small(m in small_matrix(5), b in proptest::collection::vec(-3.0..3.0f64, 5)) {
+        let x = solve(&m, &b).unwrap();
+        let ax = m.mul_vec(&x).unwrap();
+        for (u, v) in ax.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-8, "residual too large");
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity(m in small_matrix(4)) {
+        let inv = Lu::new(&m).unwrap().inverse().unwrap();
+        let prod = &m * &inv;
+        prop_assert!((&prod - &Matrix::identity(4)).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn det_of_product_is_product_of_dets(a in small_matrix(3), b in small_matrix(3)) {
+        let ab = &a * &b;
+        let lhs = det(&ab).unwrap();
+        let rhs = det(&a).unwrap() * det(&b).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn eigenvalue_sum_matches_trace(m in small_matrix(6)) {
+        let e = eigenvalues(&m).unwrap();
+        let sum_re: f64 = e.iter().map(|z| z.re).sum();
+        let tr: f64 = (0..6).map(|i| m[(i, i)]).sum();
+        prop_assert!((sum_re - tr).abs() < 1e-6 * (1.0 + tr.abs()));
+    }
+
+    #[test]
+    fn qr_matches_jacobi_on_symmetrized(m in small_matrix(4)) {
+        // Symmetrize: (M + M^T)/2.
+        let sym = Matrix::from_fn(4, 4, |i, j| 0.5 * (m[(i, j)] + m[(j, i)]));
+        let mut qr: Vec<f64> = eigenvalues(&sym).unwrap().iter().map(|z| z.re).collect();
+        let mut jc = jacobi_symmetric(&sym).unwrap();
+        qr.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        jc.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (u, v) in qr.iter().zip(&jc) {
+            prop_assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn brent_finds_root_of_shifted_cubic(shift in -0.9..0.9f64) {
+        // f(x) = (x - shift)^3 + (x - shift): unique real root at `shift`.
+        let f = |x: f64| (x - shift).powi(3) + (x - shift);
+        let r = brent(f, -2.0, 2.0, 1e-13).unwrap();
+        prop_assert!((r.x - shift).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_max_finds_quartic_peak(peak in -0.8..0.8f64, scale in 0.5..4.0f64) {
+        let f = |x: f64| -scale * (x - peak).powi(4);
+        let r = brent_max(f, -1.5, 1.5, 1e-12).unwrap();
+        // Quartic peaks are flat; accept modest accuracy.
+        prop_assert!((r.x - peak).abs() < 1e-2, "{} vs {}", r.x, peak);
+    }
+
+    #[test]
+    fn grid_refine_never_below_grid_best(seed in 0u64..1000) {
+        // Objective with several bumps derived from the seed.
+        let a = (seed % 7) as f64 / 10.0 + 0.1;
+        let f = move |x: f64| (6.0 * x * a).sin() + 0.3 * (17.0 * x).cos();
+        let grid = 101;
+        let r = grid_refine_max(f, 0.0, 1.0, grid, 1e-10).unwrap();
+        // Compare against direct grid evaluation.
+        let best_grid = (0..grid)
+            .map(|k| f(k as f64 / (grid - 1) as f64))
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(r.fx >= best_grid - 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_two_pass(data in proptest::collection::vec(-100.0..100.0f64, 2..200)) {
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() < 1e-8 * (1.0 + mean.abs()));
+        if data.len() > 1 {
+            let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+            prop_assert!((w.variance() - var).abs() < 1e-6 * (1.0 + var));
+        }
+    }
+
+    #[test]
+    fn matrix_power_matches_eigen_spectral_radius(m in small_matrix(3)) {
+        // ||A^k||^(1/k) approaches the spectral radius from above (Gelfand).
+        let rho = greednet_numerics::eig::spectral_radius(&m).unwrap();
+        let a16 = m.pow(16).unwrap();
+        let gelfand = a16.inf_norm().powf(1.0 / 16.0);
+        prop_assert!(gelfand >= rho - 1e-6, "gelfand {gelfand} < rho {rho}");
+        prop_assert!(gelfand <= rho * 2.5 + 1e-6, "gelfand {gelfand} >> rho {rho}");
+    }
+}

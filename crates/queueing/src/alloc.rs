@@ -1,0 +1,311 @@
+//! The [`AllocationFunction`] trait: the interface between service
+//! disciplines and the game-theoretic analysis.
+//!
+//! An allocation function `C(r)` maps the users' Poisson rates to their
+//! mean queue lengths. The paper's acceptable class `AC` requires symmetry
+//! (permutation equivariance), interiority and `C^1` smoothness; the trait
+//! records the smoothness claim via [`AllocationFunction::is_smooth`] and
+//! exposes first and second partial derivatives (with robust
+//! finite-difference defaults that concrete disciplines may override with
+//! exact formulas).
+//!
+//! Following footnote 12 of the paper, allocation functions are defined on
+//! all of `R^N_+`: outside the stable region `Σ r < 1` some users receive
+//! `+inf` congestion (which discipline-specific logic decides).
+
+use crate::feasible::{validate_rates, Allocation};
+use crate::Result;
+use greednet_numerics::diff;
+use greednet_numerics::Matrix;
+use std::fmt::Debug;
+
+/// Relative finite-difference step used by the default derivative
+/// implementations. Chosen larger than `diff::STEP_FIRST` because
+/// congestion values blow up near saturation and need a sturdier step.
+const FD_STEP: f64 = 1e-6;
+
+/// A service discipline's induced allocation function `C : r ↦ c`.
+///
+/// Implementations must be *symmetric* (permuting rates permutes
+/// congestions) and *work conserving* (`Σ c_i = g(Σ r_i)` whenever
+/// `Σ r_i < 1`); these contracts are validated by the property tests in
+/// [`crate::mac`] and by each implementation's own tests.
+pub trait AllocationFunction: Send + Sync + Debug {
+    /// Human-readable discipline name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// The congestion vector `C(r)`. Rates must be finite and
+    /// non-negative; entries may be `+inf` when the relevant part of the
+    /// system is overloaded.
+    ///
+    /// # Panics
+    /// May panic on negative/NaN rates (programmer error); use
+    /// [`AllocationFunction::allocation`] for validated input.
+    fn congestion(&self, rates: &[f64]) -> Vec<f64>;
+
+    /// Single user's congestion `C_i(r)`.
+    fn congestion_of(&self, rates: &[f64], i: usize) -> f64 {
+        self.congestion(rates)[i]
+    }
+
+    /// Own-rate sensitivity `∂C_i/∂r_i`.
+    fn d_own(&self, rates: &[f64], i: usize) -> f64 {
+        self.fd_first(rates, i, i)
+    }
+
+    /// Cross sensitivity `∂C_i/∂r_j` (`i != j`).
+    fn d_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.d_own(rates, i);
+        }
+        self.fd_first(rates, i, j)
+    }
+
+    /// Own-rate curvature `∂²C_i/∂r_i²`.
+    fn d2_own(&self, rates: &[f64], i: usize) -> f64 {
+        let mut r = rates.to_vec();
+        let h = FD_STEP.sqrt() * (1.0 + rates[i].abs());
+        let f0 = self.congestion_of(&r, i);
+        r[i] = rates[i] + h;
+        let fp = self.congestion_of(&r, i);
+        r[i] = (rates[i] - h).max(0.0);
+        let hm = rates[i] - r[i];
+        let fm = self.congestion_of(&r, i);
+        // Allow an asymmetric step when clamped at r_i = 0.
+        if (hm - h).abs() < 1e-15 {
+            (fp - 2.0 * f0 + fm) / (h * h)
+        } else {
+            2.0 * (hm * fp + h * fm - (h + hm) * f0) / (h * hm * (h + hm))
+        }
+    }
+
+    /// Mixed curvature `∂²C_i/∂r_i∂r_j` — the sensitivity of user `i`'s
+    /// *marginal* congestion to user `j`'s rate; enters the relaxation
+    /// matrix of §4.2.3.
+    fn d2_own_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.d2_own(rates, i);
+        }
+        let hi = FD_STEP.sqrt() * (1.0 + rates[i].abs());
+        let hj = FD_STEP.sqrt() * (1.0 + rates[j].abs());
+        let mut r = rates.to_vec();
+        let mut eval = |di: f64, dj: f64| {
+            r[i] = (rates[i] + di).max(0.0);
+            r[j] = (rates[j] + dj).max(0.0);
+            let v = self.congestion_of(&r, i);
+            r[i] = rates[i];
+            r[j] = rates[j];
+            v
+        };
+        (eval(hi, hj) - eval(hi, -hj) - eval(-hi, hj) + eval(-hi, -hj)) / (4.0 * hi * hj)
+    }
+
+    /// Whether the discipline claims to be `C^1` everywhere in the domain
+    /// (the paper's `AC` requirement). Non-smooth comparison baselines
+    /// (e.g. serial priority) return `false`.
+    fn is_smooth(&self) -> bool {
+        true
+    }
+
+    /// Clones into a boxed trait object.
+    fn clone_box(&self) -> Box<dyn AllocationFunction>;
+
+    /// Validated entry point: checks rates and wraps the result in an
+    /// [`Allocation`].
+    ///
+    /// # Errors
+    /// Propagates rate-validation errors.
+    fn allocation(&self, rates: &[f64]) -> Result<Allocation> {
+        validate_rates(rates)?;
+        Allocation::new(rates.to_vec(), self.congestion(rates))
+    }
+
+    /// The full Jacobian `[∂C_i/∂r_j]` as a matrix (row `i`, column `j`).
+    fn jacobian(&self, rates: &[f64]) -> Matrix {
+        let n = rates.len();
+        Matrix::from_fn(n, n, |i, j| self.d_cross(rates, i, j))
+    }
+
+    /// Central-difference fallback for `∂C_i/∂r_j`, clamping at `r_j = 0`.
+    #[doc(hidden)]
+    fn fd_first(&self, rates: &[f64], i: usize, j: usize) -> f64 {
+        let h = FD_STEP * (1.0 + rates[j].abs());
+        let mut r = rates.to_vec();
+        r[j] = rates[j] + h;
+        let fp = self.congestion_of(&r, i);
+        r[j] = (rates[j] - h).max(0.0);
+        let hm = rates[j] - r[j];
+        let fm = self.congestion_of(&r, i);
+        (fp - fm) / (h + hm)
+    }
+}
+
+impl Clone for Box<dyn AllocationFunction> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Verifies the *symmetry* requirement of `AC` numerically: applying a
+/// permutation to the rates must permute the congestions identically.
+/// Returns the maximum discrepancy found across the supplied test points.
+pub fn symmetry_defect(alloc: &dyn AllocationFunction, rate_vectors: &[Vec<f64>]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for rates in rate_vectors {
+        let n = rates.len();
+        let base = alloc.congestion(rates);
+        // Test a full reversal and a single swap; together with transitivity
+        // over many test points this exercises the symmetric group well.
+        let mut rev = rates.clone();
+        rev.reverse();
+        let crev = alloc.congestion(&rev);
+        for i in 0..n {
+            let d = (base[i] - crev[n - 1 - i]).abs();
+            if d.is_finite() {
+                worst = worst.max(d);
+            }
+        }
+        if n >= 2 {
+            let mut sw = rates.clone();
+            sw.swap(0, 1);
+            let csw = alloc.congestion(&sw);
+            let d0 = (base[0] - csw[1]).abs();
+            let d1 = (base[1] - csw[0]).abs();
+            if d0.is_finite() {
+                worst = worst.max(d0);
+            }
+            if d1.is_finite() {
+                worst = worst.max(d1);
+            }
+        }
+    }
+    worst
+}
+
+/// Compares an allocation's claimed analytic Jacobian against a
+/// high-accuracy finite difference; used by implementation tests. Returns
+/// the max absolute discrepancy.
+pub fn jacobian_defect(alloc: &dyn AllocationFunction, rates: &[f64]) -> f64 {
+    let n = rates.len();
+    let mut worst: f64 = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let analytic = alloc.d_cross(rates, i, j);
+            let numeric = diff::partial(|r| alloc.congestion(r), rates, i, j).unwrap_or(f64::NAN);
+            let d = (analytic - numeric).abs() / (1.0 + numeric.abs());
+            if d.is_finite() {
+                worst = worst.max(d);
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1;
+
+    /// A deliberately simple allocation used to exercise the trait's
+    /// default (finite-difference) derivative implementations: the
+    /// proportional formula written without any overrides.
+    #[derive(Debug, Clone)]
+    struct PlainProportional;
+
+    impl AllocationFunction for PlainProportional {
+        fn name(&self) -> &'static str {
+            "plain-proportional"
+        }
+        fn congestion(&self, rates: &[f64]) -> Vec<f64> {
+            let total: f64 = rates.iter().sum();
+            rates
+                .iter()
+                .map(|&r| if total >= 1.0 { f64::INFINITY } else { r / (1.0 - total) })
+                .collect()
+        }
+        fn clone_box(&self) -> Box<dyn AllocationFunction> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn default_first_derivatives_match_analytic() {
+        let a = PlainProportional;
+        let r = [0.2, 0.3, 0.1];
+        let total: f64 = r.iter().sum();
+        let u = 1.0 - total;
+        // ∂C_i/∂r_i = (1 - R + r_i)/(1-R)^2 ; ∂C_i/∂r_j = r_i/(1-R)^2.
+        let own = a.d_own(&r, 0);
+        assert!((own - (u + r[0]) / (u * u)).abs() < 1e-5, "own = {own}");
+        let cross = a.d_cross(&r, 0, 1);
+        assert!((cross - r[0] / (u * u)).abs() < 1e-5, "cross = {cross}");
+    }
+
+    #[test]
+    fn default_second_derivatives_match_analytic() {
+        let a = PlainProportional;
+        let r = [0.2, 0.3];
+        let u: f64 = 1.0 - 0.5;
+        let d2 = a.d2_own(&r, 0);
+        let expect = 2.0 / (u * u) + 2.0 * r[0] / (u * u * u);
+        assert!((d2 - expect).abs() < 1e-2, "{d2} vs {expect}");
+        let d2c = a.d2_own_cross(&r, 0, 1);
+        // ∂²C_0/∂r_0∂r_1 = 1/u^2 + 2 r_0/u^3 (same algebra as own, minus 1/u^2).
+        let expect_c = 1.0 / (u * u) + 2.0 * r[0] / (u * u * u);
+        assert!((d2c - expect_c).abs() < 1e-2, "{d2c} vs {expect_c}");
+    }
+
+    #[test]
+    fn fd_derivative_clamps_at_zero_rate() {
+        let a = PlainProportional;
+        let r = [0.0, 0.3];
+        // Must not evaluate negative rates; derivative should be finite.
+        let d = a.d_own(&r, 0);
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    fn jacobian_matrix_shape_and_values() {
+        let a = PlainProportional;
+        let r = [0.1, 0.2];
+        let jac = a.jacobian(&r);
+        assert_eq!(jac.rows(), 2);
+        assert!((jac[(0, 0)] - a.d_own(&r, 0)).abs() < 1e-12);
+        assert!((jac[(0, 1)] - a.d_cross(&r, 0, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocation_is_work_conserving() {
+        let a = PlainProportional;
+        let alloc = a.allocation(&[0.1, 0.25, 0.05]).unwrap();
+        alloc.validate().unwrap();
+        let total: f64 = alloc.congestions().iter().sum();
+        assert!((total - mm1::g(0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocation_rejects_negative_rate() {
+        let a = PlainProportional;
+        assert!(a.allocation(&[-0.1, 0.2]).is_err());
+    }
+
+    #[test]
+    fn symmetry_defect_zero_for_symmetric() {
+        let a = PlainProportional;
+        let pts = vec![vec![0.1, 0.2, 0.3], vec![0.05, 0.4, 0.1]];
+        assert!(symmetry_defect(&a, &pts) < 1e-14);
+    }
+
+    #[test]
+    fn jacobian_defect_small_for_consistent_impl() {
+        let a = PlainProportional;
+        assert!(jacobian_defect(&a, &[0.15, 0.3]) < 1e-4);
+    }
+
+    #[test]
+    fn boxed_clone_works() {
+        let b: Box<dyn AllocationFunction> = Box::new(PlainProportional);
+        let c = b.clone();
+        assert_eq!(c.name(), "plain-proportional");
+    }
+}

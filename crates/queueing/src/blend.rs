@@ -1,0 +1,213 @@
+//! Convex combinations of allocation functions.
+//!
+//! If `C^A` and `C^B` are feasible allocation functions then so is
+//! `(1−θ)·C^A + θ·C^B`: the work-conservation constraint is linear in `c`
+//! and the subset constraints are half-spaces, so the feasible region is
+//! convex for fixed `r`. Blends are used in the ablation experiments to
+//! trace how the paper's properties (envy, protection, convergence)
+//! degrade continuously as a switch interpolates between Fair Share
+//! (`θ = 1`) and FIFO (`θ = 0`).
+
+use crate::alloc::AllocationFunction;
+use crate::error::QueueingError;
+use crate::Result;
+
+/// `(1−θ)·A + θ·B` for two allocation functions.
+#[derive(Debug)]
+pub struct Blend {
+    a: Box<dyn AllocationFunction>,
+    b: Box<dyn AllocationFunction>,
+    theta: f64,
+}
+
+impl Blend {
+    /// Creates a blend with weight `theta ∈ [0, 1]` on `b`.
+    ///
+    /// # Errors
+    /// [`QueueingError::InvalidParameter`] if `theta` is outside `[0, 1]`.
+    pub fn new(
+        a: Box<dyn AllocationFunction>,
+        b: Box<dyn AllocationFunction>,
+        theta: f64,
+    ) -> Result<Self> {
+        if !(0.0..=1.0).contains(&theta) || !theta.is_finite() {
+            return Err(QueueingError::InvalidParameter {
+                detail: format!("blend weight must lie in [0,1], got {theta}"),
+            });
+        }
+        Ok(Blend { a, b, theta })
+    }
+
+    /// The blend weight on the second allocation.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn mix(&self, va: f64, vb: f64) -> f64 {
+        // Degenerate endpoints delegate exactly (a zero-weight side must
+        // not poison the blend with its own overload infinities).
+        if self.theta == 0.0 {
+            return va;
+        }
+        if self.theta == 1.0 {
+            return vb;
+        }
+        // Careful with infinities: a proper blend is overloaded if either
+        // side is.
+        if va.is_infinite() || vb.is_infinite() {
+            return f64::INFINITY;
+        }
+        (1.0 - self.theta) * va + self.theta * vb
+    }
+}
+
+impl Clone for Blend {
+    fn clone(&self) -> Self {
+        Blend { a: self.a.clone_box(), b: self.b.clone_box(), theta: self.theta }
+    }
+}
+
+impl AllocationFunction for Blend {
+    fn name(&self) -> &'static str {
+        "blend"
+    }
+
+    fn congestion(&self, rates: &[f64]) -> Vec<f64> {
+        let ca = self.a.congestion(rates);
+        let cb = self.b.congestion(rates);
+        ca.into_iter().zip(cb).map(|(x, y)| self.mix(x, y)).collect()
+    }
+
+    fn congestion_of(&self, rates: &[f64], i: usize) -> f64 {
+        self.mix(self.a.congestion_of(rates, i), self.b.congestion_of(rates, i))
+    }
+
+    fn d_own(&self, rates: &[f64], i: usize) -> f64 {
+        self.mix(self.a.d_own(rates, i), self.b.d_own(rates, i))
+    }
+
+    fn d_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {
+        self.mix(self.a.d_cross(rates, i, j), self.b.d_cross(rates, i, j))
+    }
+
+    fn d2_own(&self, rates: &[f64], i: usize) -> f64 {
+        self.mix(self.a.d2_own(rates, i), self.b.d2_own(rates, i))
+    }
+
+    fn d2_own_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {
+        self.mix(self.a.d2_own_cross(rates, i, j), self.b.d2_own_cross(rates, i, j))
+    }
+
+    fn is_smooth(&self) -> bool {
+        self.a.is_smooth() && self.b.is_smooth()
+    }
+
+    fn clone_box(&self) -> Box<dyn AllocationFunction> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fair_share::FairShare;
+    use crate::mm1;
+    use crate::proportional::Proportional;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    fn fifo_fs_blend(theta: f64) -> Blend {
+        Blend::new(Box::new(Proportional::new()), Box::new(FairShare::new()), theta).unwrap()
+    }
+
+    #[test]
+    fn endpoints_reproduce_components() {
+        let rates = [0.1, 0.2, 0.3];
+        let p = Proportional::new().congestion(&rates);
+        let f = FairShare::new().congestion(&rates);
+        let b0 = fifo_fs_blend(0.0).congestion(&rates);
+        let b1 = fifo_fs_blend(1.0).congestion(&rates);
+        for i in 0..3 {
+            assert_close(b0[i], p[i], 1e-14);
+            assert_close(b1[i], f[i], 1e-14);
+        }
+    }
+
+    #[test]
+    fn blend_is_work_conserving_and_feasible() {
+        let b = fifo_fs_blend(0.35);
+        let a = b.allocation(&[0.1, 0.25, 0.2]).unwrap();
+        a.validate().unwrap();
+        crate::feasible::validate_all_subsets(&a).unwrap();
+        let total: f64 = a.congestions().iter().sum();
+        assert_close(total, mm1::g(0.55), 1e-10);
+    }
+
+    #[test]
+    fn derivatives_blend_linearly() {
+        let rates = [0.1, 0.3];
+        let theta = 0.4;
+        let b = fifo_fs_blend(theta);
+        let p = Proportional::new();
+        let f = FairShare::new();
+        assert_close(
+            b.d_own(&rates, 0),
+            (1.0 - theta) * p.d_own(&rates, 0) + theta * f.d_own(&rates, 0),
+            1e-12,
+        );
+        assert_close(
+            b.d_cross(&rates, 1, 0),
+            (1.0 - theta) * p.d_cross(&rates, 1, 0) + theta * f.d_cross(&rates, 1, 0),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn invalid_theta_rejected() {
+        assert!(Blend::new(
+            Box::new(Proportional::new()),
+            Box::new(FairShare::new()),
+            1.5
+        )
+        .is_err());
+        assert!(Blend::new(
+            Box::new(Proportional::new()),
+            Box::new(FairShare::new()),
+            f64::NAN
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn endpoint_blends_ignore_the_other_side_overload() {
+        // theta = 1 must behave exactly like Fair Share even when the
+        // FIFO component is overloaded (and vice versa at theta = 0).
+        let fs_end = fifo_fs_blend(1.0);
+        let rates = [0.1, 5.0];
+        let expect = FairShare::new().congestion(&rates);
+        let got = fs_end.congestion(&rates);
+        assert!(got[0].is_finite());
+        assert_close(got[0], expect[0], 1e-12);
+        assert_eq!(got[1], f64::INFINITY);
+    }
+
+    #[test]
+    fn overload_propagates() {
+        let b = fifo_fs_blend(0.5);
+        let c = b.congestion(&[0.2, 0.9]);
+        // FIFO side is fully overloaded, so the blend is too for both users.
+        assert_eq!(c[0], f64::INFINITY);
+        assert_eq!(c[1], f64::INFINITY);
+    }
+
+    #[test]
+    fn clone_preserves_theta() {
+        let b = fifo_fs_blend(0.25);
+        let c = b.clone();
+        assert_eq!(c.theta(), 0.25);
+        let boxed = b.clone_box();
+        assert_eq!(boxed.name(), "blend");
+    }
+}

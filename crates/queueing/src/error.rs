@@ -1,0 +1,92 @@
+//! Error type for the queueing-theory layer.
+
+use std::fmt;
+
+/// Errors produced when constructing or validating allocations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueingError {
+    /// A rate vector contained a negative, NaN, or infinite entry.
+    InvalidRates {
+        /// Index of the offending rate.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Rate and congestion vectors disagree in length.
+    LengthMismatch {
+        /// Number of rates supplied.
+        rates: usize,
+        /// Number of congestions supplied.
+        congestions: usize,
+    },
+    /// The work-conservation constraint `Σ c_i = g(Σ r_i)` is violated.
+    TotalConstraintViolated {
+        /// Observed total congestion.
+        total_congestion: f64,
+        /// Required total `g(Σ r_i)`.
+        required: f64,
+    },
+    /// A subset constraint `Σ_{i∈S} c_i ≥ g(Σ_{i∈S} r_i)` is violated.
+    SubsetConstraintViolated {
+        /// Size of the violating prefix (in the c/r-sorted order).
+        prefix: usize,
+        /// Observed subset congestion.
+        subset_congestion: f64,
+        /// Required minimum.
+        required: f64,
+    },
+    /// An empty user set was supplied where at least one user is required.
+    EmptySystem,
+    /// A blend weight or other parameter was outside its valid range.
+    InvalidParameter {
+        /// Explanation of the violated requirement.
+        detail: String,
+    },
+}
+
+impl fmt::Display for QueueingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueingError::InvalidRates { index, value } => {
+                write!(f, "rate {index} is invalid: {value} (rates must be finite and >= 0)")
+            }
+            QueueingError::LengthMismatch { rates, congestions } => {
+                write!(f, "{rates} rates but {congestions} congestions")
+            }
+            QueueingError::TotalConstraintViolated { total_congestion, required } => write!(
+                f,
+                "work conservation violated: sum of congestions {total_congestion} != g(sum r) = {required}"
+            ),
+            QueueingError::SubsetConstraintViolated { prefix, subset_congestion, required } => {
+                write!(
+                    f,
+                    "subset feasibility violated for the {prefix} lightest users: {subset_congestion} < {required}"
+                )
+            }
+            QueueingError::EmptySystem => write!(f, "at least one user is required"),
+            QueueingError::InvalidParameter { detail } => write!(f, "invalid parameter: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for QueueingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let cases: Vec<QueueingError> = vec![
+            QueueingError::InvalidRates { index: 2, value: -1.0 },
+            QueueingError::LengthMismatch { rates: 3, congestions: 2 },
+            QueueingError::TotalConstraintViolated { total_congestion: 1.0, required: 2.0 },
+            QueueingError::SubsetConstraintViolated { prefix: 1, subset_congestion: 0.1, required: 0.2 },
+            QueueingError::EmptySystem,
+            QueueingError::InvalidParameter { detail: "theta".into() },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! The **Fair Share** allocation function (§3.1) — the paper's central
+//! construction, known in the economics literature as *serial cost
+//! sharing* (Moulin & Shenker, Econometrica 1992).
+//!
+//! With users sorted so that `r_(0) ≤ r_(1) ≤ … ≤ r_(n-1)` and
+//! `s_k = (n-k)·r_(k) + Σ_{l<k} r_(l)` (the load the system *would* carry
+//! if every user heavier than `k` were clamped down to `r_(k)`),
+//!
+//! ```text
+//! C_(k) = C_(k-1) + [g(s_k) − g(s_{k-1})] / (n − k),    C_(-1) = 0, s_{-1} = 0
+//! ```
+//!
+//! Equivalently (the paper's definition): `C_(k)` solves
+//! `Σ_{l<k} C_(l) + (n−k)·C_(k) = g(s_k)`.
+//!
+//! Key structural facts implemented and tested here:
+//! * insularity / triangularity: `∂C_i/∂r_j = 0` whenever `r_j ≥ r_i`
+//!   (`i ≠ j`) — a user is never hurt by users no heavier than itself
+//!   growing, and never affected at all by heavier users;
+//! * `∂C_i/∂r_i = g'(s_k)` and `∂²C_i/∂r_i² = (n−k)·g''(s_k) > 0`;
+//! * the **Table 1** preemptive-priority realization, exposed as
+//!   [`priority_table`] and consumed by the packet simulator.
+
+use crate::alloc::AllocationFunction;
+use crate::mm1::{g, g_double_prime, g_prime};
+
+/// The Fair Share (serial cost sharing) allocation function.
+///
+/// ```
+/// use greednet_queueing::{AllocationFunction, FairShare};
+///
+/// let fs = FairShare::new();
+/// // The lightest user's queue depends only on its own rate: it gets
+/// // g(N * r_min) / N regardless of what the heavier users send.
+/// let a = fs.congestion(&[0.1, 0.2, 0.3]);
+/// let b = fs.congestion(&[0.1, 0.5, 0.39]);
+/// assert!((a[0] - b[0]).abs() < 1e-12);
+/// // Work conservation: totals always match the M/M/1 formula.
+/// let total: f64 = a.iter().sum();
+/// assert!((total - 0.6 / 0.4).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FairShare;
+
+impl FairShare {
+    /// Creates the Fair Share allocation function.
+    pub fn new() -> Self {
+        FairShare
+    }
+}
+
+/// Returns user indices sorted by ascending rate (stable, so ties keep
+/// their original order — the allocation value is tie-invariant).
+pub fn ascending_order(rates: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..rates.len()).collect();
+    order.sort_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order
+}
+
+/// The serialized loads `s_k = (n-k)·r_(k) + Σ_{l<k} r_(l)` in sorted
+/// order. `s` is non-decreasing and `s_{n-1} = Σ r`.
+fn serial_loads(sorted_rates: &[f64]) -> Vec<f64> {
+    let n = sorted_rates.len();
+    let mut s = Vec::with_capacity(n);
+    let mut prefix = 0.0;
+    for (k, &r) in sorted_rates.iter().enumerate() {
+        s.push((n - k) as f64 * r + prefix);
+        prefix += r;
+    }
+    s
+}
+
+impl AllocationFunction for FairShare {
+    fn name(&self) -> &'static str {
+        "fair share"
+    }
+
+    fn congestion(&self, rates: &[f64]) -> Vec<f64> {
+        let n = rates.len();
+        let order = ascending_order(rates);
+        let sorted: Vec<f64> = order.iter().map(|&i| rates[i]).collect();
+        let s = serial_loads(&sorted);
+        let mut c = vec![0.0; n];
+        let mut c_prev = 0.0;
+        let mut s_prev = 0.0;
+        for k in 0..n {
+            let m = (n - k) as f64;
+            let ck = if s[k] >= 1.0 {
+                // This user's serialized subsystem is overloaded: it and
+                // every heavier user see an unbounded queue; lighter users
+                // (already assigned) remain protected with finite queues.
+                f64::INFINITY
+            } else {
+                c_prev + (g(s[k]) - g(s_prev)) / m
+            };
+            c[order[k]] = ck;
+            c_prev = ck;
+            s_prev = s[k];
+            if ck.is_infinite() {
+                for &idx in order.iter().skip(k + 1) {
+                    c[idx] = f64::INFINITY;
+                }
+                break;
+            }
+        }
+        c
+    }
+
+    fn d_own(&self, rates: &[f64], i: usize) -> f64 {
+        let order = ascending_order(rates);
+        let sorted: Vec<f64> = order.iter().map(|&idx| rates[idx]).collect();
+        let s = serial_loads(&sorted);
+        let k = order.iter().position(|&idx| idx == i).expect("index in range");
+        g_prime(s[k])
+    }
+
+    fn d_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.d_own(rates, i);
+        }
+        // Insularity: heavier-or-equal users never move C_i.
+        if rates[j] >= rates[i] {
+            return 0.0;
+        }
+        let n = rates.len();
+        let order = ascending_order(rates);
+        let sorted: Vec<f64> = order.iter().map(|&idx| rates[idx]).collect();
+        let s = serial_loads(&sorted);
+        let q = order.iter().position(|&idx| idx == i).expect("index in range");
+        let p = order.iter().position(|&idx| idx == j).expect("index in range");
+        debug_assert!(p < q, "r_j < r_i must sort j before i");
+        // dC_(q)/dr_(p) = sum over k = p..=q of
+        //   [g'(s_k) ds_k/dr_p - g'(s_{k-1}) ds_{k-1}/dr_p] / (n - k)
+        // with ds_k/dr_p = (n-p) if k == p, 1 if k > p, 0 if k < p.
+        let mp = (n - p) as f64;
+        let mut acc = 0.0;
+        for k in p..=q {
+            let m_k = (n - k) as f64;
+            let a = if k == p { mp } else { 1.0 };
+            let b = if k == 0 || k - 1 < p {
+                0.0
+            } else if k - 1 == p {
+                mp
+            } else {
+                1.0
+            };
+            let gp_k = g_prime(s[k]);
+            let gp_km1 = if k == 0 { 0.0 } else { g_prime(s[k - 1]) };
+            acc += (gp_k * a - gp_km1 * b) / m_k;
+        }
+        acc
+    }
+
+    fn d2_own(&self, rates: &[f64], i: usize) -> f64 {
+        let n = rates.len();
+        let order = ascending_order(rates);
+        let sorted: Vec<f64> = order.iter().map(|&idx| rates[idx]).collect();
+        let s = serial_loads(&sorted);
+        let k = order.iter().position(|&idx| idx == i).expect("index in range");
+        (n - k) as f64 * g_double_prime(s[k])
+    }
+
+    fn d2_own_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.d2_own(rates, i);
+        }
+        if rates[j] >= rates[i] {
+            return 0.0;
+        }
+        // d/dr_j [g'(s_q(i))] with ds_q/dr_j = 1 for lighter j.
+        let order = ascending_order(rates);
+        let sorted: Vec<f64> = order.iter().map(|&idx| rates[idx]).collect();
+        let s = serial_loads(&sorted);
+        let q = order.iter().position(|&idx| idx == i).expect("index in range");
+        g_double_prime(s[q])
+    }
+
+    fn clone_box(&self) -> Box<dyn AllocationFunction> {
+        Box::new(*self)
+    }
+}
+
+/// The Table 1 priority-table realization of Fair Share.
+///
+/// Entry `[u][m]` is user `u`'s Poisson arrival rate into priority level
+/// `m` (level 0 is the **highest** priority, served preemptively over all
+/// lower levels). In sorted order the level-`m` per-user rate is
+/// `r_(m) − r_(m-1)`; user `u` with sorted position `k` feeds levels
+/// `0..=k`. Rows sum to the user's total rate.
+///
+/// Feeding these per-level streams into a preemptive-priority M/M/1 server
+/// realizes exactly the Fair Share congestion vector — verified by the
+/// packet simulator in `greednet-des` (experiment T1/E9).
+pub fn priority_table(rates: &[f64]) -> Vec<Vec<f64>> {
+    let n = rates.len();
+    let order = ascending_order(rates);
+    let sorted: Vec<f64> = order.iter().map(|&i| rates[i]).collect();
+    let mut table = vec![vec![0.0; n]; n];
+    for (k, &u) in order.iter().enumerate() {
+        for m in 0..=k {
+            let delta = if m == 0 { sorted[0] } else { sorted[m] - sorted[m - 1] };
+            table[u][m] = delta;
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{jacobian_defect, symmetry_defect};
+    use crate::mm1;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn identical_users_split_equally() {
+        let fs = FairShare::new();
+        let c = fs.congestion(&[0.2, 0.2, 0.2]);
+        let expect = mm1::g(0.6) / 3.0;
+        for &ci in &c {
+            assert_close(ci, expect, 1e-12);
+        }
+    }
+
+    #[test]
+    fn defining_equation_holds() {
+        // C_(k) solves sum_{l<k} C_(l) + (n-k) C_(k) = g(s_k).
+        let fs = FairShare::new();
+        let rates = [0.05, 0.1, 0.2, 0.35];
+        let c = fs.congestion(&rates);
+        let n = rates.len();
+        let mut prefix_r = 0.0;
+        let mut prefix_c = 0.0;
+        for k in 0..n {
+            let m = (n - k) as f64;
+            let s_k = m * rates[k] + prefix_r;
+            assert_close(prefix_c + m * c[k], mm1::g(s_k), 1e-10);
+            prefix_r += rates[k];
+            prefix_c += c[k];
+        }
+    }
+
+    #[test]
+    fn work_conservation() {
+        let fs = FairShare::new();
+        for rates in [vec![0.1, 0.2], vec![0.3, 0.1, 0.05, 0.2], vec![0.01, 0.44]] {
+            let c = fs.congestion(&rates);
+            let total_c: f64 = c.iter().sum();
+            assert_close(total_c, mm1::total_congestion(&rates), 1e-10);
+        }
+    }
+
+    #[test]
+    fn feasibility_and_interiority() {
+        let fs = FairShare::new();
+        let a = fs.allocation(&[0.1, 0.2, 0.3]).unwrap();
+        a.validate().unwrap();
+        crate::feasible::validate_all_subsets(&a).unwrap();
+        // Heterogeneous rates: strictly interior.
+        assert!(a.is_interior(1e-9));
+    }
+
+    #[test]
+    fn lightest_user_unaffected_by_others() {
+        // The lightest user's queue equals its share of an all-equal system:
+        // C_(0) = g(n r_(0)) / n, regardless of the heavier users.
+        let fs = FairShare::new();
+        let c1 = fs.congestion(&[0.1, 0.2, 0.3]);
+        let c2 = fs.congestion(&[0.1, 0.5, 0.39]);
+        let expect = mm1::g(0.3) / 3.0;
+        assert_close(c1[0], expect, 1e-12);
+        assert_close(c2[0], expect, 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled_by_symmetry() {
+        let fs = FairShare::new();
+        let ab = fs.congestion(&[0.3, 0.1]);
+        let ba = fs.congestion(&[0.1, 0.3]);
+        assert_close(ab[0], ba[1], 1e-14);
+        assert_close(ab[1], ba[0], 1e-14);
+        let pts = vec![vec![0.2, 0.05, 0.3], vec![0.4, 0.1, 0.1], vec![0.25, 0.25, 0.2]];
+        assert!(symmetry_defect(&fs, &pts) < 1e-12);
+    }
+
+    #[test]
+    fn own_derivative_is_g_prime_of_serial_load() {
+        let fs = FairShare::new();
+        let rates = [0.1, 0.2, 0.3];
+        // user 0 (lightest): s_0 = 3 * 0.1 = 0.3.
+        assert_close(fs.d_own(&rates, 0), mm1::g_prime(0.3), 1e-12);
+        // user 2 (heaviest): s_2 = 1*0.3 + 0.1 + 0.2 = 0.6.
+        assert_close(fs.d_own(&rates, 2), mm1::g_prime(0.6), 1e-12);
+    }
+
+    #[test]
+    fn analytic_jacobian_matches_numeric() {
+        let fs = FairShare::new();
+        for rates in [vec![0.1, 0.2], vec![0.05, 0.15, 0.3], vec![0.12, 0.21, 0.04, 0.3]] {
+            assert!(
+                jacobian_defect(&fs, &rates) < 1e-4,
+                "jacobian defect too large for {rates:?}: {}",
+                jacobian_defect(&fs, &rates)
+            );
+        }
+    }
+
+    #[test]
+    fn triangularity_of_jacobian() {
+        let fs = FairShare::new();
+        let rates = [0.3, 0.1, 0.2];
+        // heavier users never affect lighter ones.
+        assert_eq!(fs.d_cross(&rates, 1, 0), 0.0); // r_0 = 0.3 > r_1 = 0.1
+        assert_eq!(fs.d_cross(&rates, 1, 2), 0.0);
+        assert_eq!(fs.d_cross(&rates, 2, 0), 0.0);
+        // lighter users do affect heavier ones.
+        assert!(fs.d_cross(&rates, 0, 1) > 0.0);
+        assert!(fs.d_cross(&rates, 0, 2) > 0.0);
+        assert!(fs.d_cross(&rates, 2, 1) > 0.0);
+        // Structural check via the matrix helper.
+        let jac = fs.jacobian(&rates);
+        let order = ascending_order(&rates);
+        // In ascending order the strict upper triangle (j >= i positionally,
+        // excluding diagonal) must vanish: check j > i entries are 0.
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                assert_eq!(jac[(order[a], order[b])], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_rates_have_zero_cross_derivative() {
+        // Lemma 1's characterization: dC_i/dr_j = 0 whenever r_i = r_j, i != j.
+        let fs = FairShare::new();
+        let rates = [0.2, 0.2, 0.1];
+        assert_eq!(fs.d_cross(&rates, 0, 1), 0.0);
+        assert_eq!(fs.d_cross(&rates, 1, 0), 0.0);
+    }
+
+    #[test]
+    fn second_derivatives_match_numeric() {
+        let fs = FairShare::new();
+        let rates = [0.1, 0.2, 0.3];
+        for i in 0..3 {
+            let num = greednet_numerics::diff::second_derivative(
+                |x| {
+                    let mut r = rates;
+                    r[i] = x;
+                    fs.congestion_of(&r, i)
+                },
+                rates[i],
+            )
+            .unwrap();
+            assert_close(fs.d2_own(&rates, i), num, 2e-2 * num.abs());
+            assert!(fs.d2_own(&rates, i) > 0.0);
+        }
+        // Mixed: d2 C_2 / dr_2 dr_0 (user 2 heaviest, user 0 lightest).
+        let num = greednet_numerics::diff::mixed_second(
+            |r| fs.congestion_of(r, 2),
+            &rates,
+            2,
+            0,
+        )
+        .unwrap();
+        assert_close(fs.d2_own_cross(&rates, 2, 0), num, 2e-2 * num.abs().max(1.0));
+        assert_eq!(fs.d2_own_cross(&rates, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn partial_overload_protects_light_users() {
+        // Heavy user pushes total load over 1; light users keep finite,
+        // unchanged queues (the essence of protectiveness).
+        let fs = FairShare::new();
+        let c = fs.congestion(&[0.1, 0.2, 5.0]);
+        assert_close(c[0], mm1::g(0.3) / 3.0, 1e-12);
+        assert!(c[1].is_finite());
+        assert_eq!(c[2], f64::INFINITY);
+    }
+
+    #[test]
+    fn full_overload_by_light_users() {
+        let fs = FairShare::new();
+        let c = fs.congestion(&[0.9, 0.9]);
+        assert_eq!(c[0], f64::INFINITY);
+        assert_eq!(c[1], f64::INFINITY);
+    }
+
+    #[test]
+    fn priority_table_matches_paper_table_1() {
+        // Paper's Table 1 with 4 ascending users.
+        let rates = [0.05, 0.10, 0.20, 0.30];
+        let t = priority_table(&rates);
+        // User 0 (lightest): all packets at level A (= 0).
+        assert_close(t[0][0], 0.05, 1e-15);
+        assert_eq!(t[0][1], 0.0);
+        // User 3 (heaviest): r1, r2-r1, r3-r2, r4-r3 across levels A..D.
+        assert_close(t[3][0], 0.05, 1e-15);
+        assert_close(t[3][1], 0.05, 1e-15);
+        assert_close(t[3][2], 0.10, 1e-15);
+        assert_close(t[3][3], 0.10, 1e-15);
+        // Every row sums to the user's rate.
+        for (u, row) in t.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert_close(sum, rates[u], 1e-12);
+        }
+    }
+
+    #[test]
+    fn priority_table_unsorted_input() {
+        let rates = [0.30, 0.05, 0.20, 0.10];
+        let t = priority_table(&rates);
+        for (u, row) in t.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert_close(sum, rates[u], 1e-12);
+        }
+        // The lightest user (index 1) occupies only level 0.
+        assert!(t[1][1..].iter().all(|&x| x == 0.0));
+        // The heaviest user (index 0) occupies all four levels.
+        assert!(t[0].iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn n_equals_one_is_plain_mm1() {
+        let fs = FairShare::new();
+        let c = fs.congestion(&[0.5]);
+        assert_close(c[0], mm1::g(0.5), 1e-14);
+        assert_close(fs.d_own(&[0.5], 0), mm1::g_prime(0.5), 1e-14);
+    }
+
+    #[test]
+    fn continuity_across_ties() {
+        // C must be continuous as r_1 crosses r_0 (the C^1 claim in §3.1).
+        let fs = FairShare::new();
+        let eps = 1e-7;
+        let below = fs.congestion(&[0.2, 0.2 - eps]);
+        let at = fs.congestion(&[0.2, 0.2]);
+        let above = fs.congestion(&[0.2, 0.2 + eps]);
+        for i in 0..2 {
+            assert_close(below[i], at[i], 1e-5);
+            assert_close(above[i], at[i], 1e-5);
+        }
+        // And the own-derivative is continuous too (C^1).
+        let d_below = fs.d_own(&[0.2, 0.2 - eps], 0);
+        let d_at = fs.d_own(&[0.2, 0.2], 0);
+        let d_above = fs.d_own(&[0.2, 0.2 + eps], 0);
+        assert_close(d_below, d_at, 1e-4);
+        assert_close(d_above, d_at, 1e-4);
+    }
+}

@@ -1,0 +1,324 @@
+//! The feasible allocation region of §3.1.
+//!
+//! An allocation `(r, c)` is *feasible* — realizable by some
+//! work-conserving (non-stalling) service discipline — iff
+//!
+//! 1. `Σ c_i = g(Σ r_i)` (work conservation / the constraint `F = 0`), and
+//! 2. for every subset `S` of users, `Σ_{i∈S} c_i ≥ g(Σ_{i∈S} r_i)`
+//!    (no subset can be served better than having the switch to itself).
+//!
+//! Checking all `2^N` subsets is unnecessary: the paper notes it suffices
+//! to check the prefixes of the ordering in which `c_i / r_i` increases.
+//! [`Allocation::validate`] implements exactly that test.
+
+use crate::error::QueueingError;
+use crate::mm1;
+use crate::Result;
+
+/// Tolerance used when validating feasibility constraints (allocations
+/// produced by floating-point formulas are only feasible up to rounding).
+pub const FEASIBILITY_TOL: f64 = 1e-9;
+
+/// A rate/congestion allocation `(r, c)` for `N` users.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    rates: Vec<f64>,
+    congestions: Vec<f64>,
+}
+
+impl Allocation {
+    /// Creates an allocation after validating shape and rate positivity
+    /// (congestion feasibility is *not* checked here; see [`Self::validate`]).
+    ///
+    /// # Errors
+    /// [`QueueingError::EmptySystem`], [`QueueingError::LengthMismatch`] or
+    /// [`QueueingError::InvalidRates`].
+    pub fn new(rates: Vec<f64>, congestions: Vec<f64>) -> Result<Self> {
+        if rates.is_empty() {
+            return Err(QueueingError::EmptySystem);
+        }
+        if rates.len() != congestions.len() {
+            return Err(QueueingError::LengthMismatch {
+                rates: rates.len(),
+                congestions: congestions.len(),
+            });
+        }
+        validate_rates(&rates)?;
+        Ok(Allocation { rates, congestions })
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// True if there are no users (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// The rate vector.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// The congestion vector.
+    pub fn congestions(&self) -> &[f64] {
+        &self.congestions
+    }
+
+    /// Mean per-packet delay of user `i` (Little's law).
+    pub fn delay(&self, i: usize) -> f64 {
+        mm1::delay_from_queue(self.rates[i], self.congestions[i])
+    }
+
+    /// Validates feasibility (§3.1): work conservation plus all subset
+    /// constraints (checked on the increasing-`c/r` prefix ordering, which
+    /// the paper notes is sufficient).
+    ///
+    /// # Errors
+    /// [`QueueingError::TotalConstraintViolated`] or
+    /// [`QueueingError::SubsetConstraintViolated`].
+    pub fn validate(&self) -> Result<()> {
+        let total_r: f64 = self.rates.iter().sum();
+        let total_c: f64 = self.congestions.iter().sum();
+        let required = mm1::g(total_r);
+        if required.is_infinite() {
+            // Overloaded system: any (infinite) congestion is consistent.
+            if total_c.is_infinite() {
+                return Ok(());
+            }
+            return Err(QueueingError::TotalConstraintViolated {
+                total_congestion: total_c,
+                required,
+            });
+        }
+        if (total_c - required).abs() > FEASIBILITY_TOL * (1.0 + required) {
+            return Err(QueueingError::TotalConstraintViolated {
+                total_congestion: total_c,
+                required,
+            });
+        }
+        // Subset constraints: sort by c/r ascending (r = 0 users sort first
+        // with ratio 0; their constraint is trivially satisfied).
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = ratio(self.congestions[a], self.rates[a]);
+            let rb = ratio(self.congestions[b], self.rates[b]);
+            ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut prefix_r = 0.0;
+        let mut prefix_c = 0.0;
+        for (k, &i) in order.iter().enumerate().take(self.len() - 1) {
+            prefix_r += self.rates[i];
+            prefix_c += self.congestions[i];
+            let need = mm1::g(prefix_r);
+            if prefix_c + FEASIBILITY_TOL * (1.0 + need) < need {
+                return Err(QueueingError::SubsetConstraintViolated {
+                    prefix: k + 1,
+                    subset_congestion: prefix_c,
+                    required: need,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// True iff the allocation lies in the *interior* of the feasible set:
+    /// every proper prefix constraint holds with slack at least `margin`.
+    /// The paper restricts acceptable allocation functions to the interior.
+    pub fn is_interior(&self, margin: f64) -> bool {
+        if self.validate().is_err() {
+            return false;
+        }
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = ratio(self.congestions[a], self.rates[a]);
+            let rb = ratio(self.congestions[b], self.rates[b]);
+            ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut prefix_r = 0.0;
+        let mut prefix_c = 0.0;
+        for &i in order.iter().take(self.len() - 1) {
+            prefix_r += self.rates[i];
+            prefix_c += self.congestions[i];
+            if prefix_c < mm1::g(prefix_r) + margin {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn ratio(c: f64, r: f64) -> f64 {
+    if r > 0.0 {
+        c / r
+    } else {
+        0.0
+    }
+}
+
+/// Validates that every rate is finite and non-negative.
+///
+/// # Errors
+/// [`QueueingError::InvalidRates`] naming the first offending entry.
+pub fn validate_rates(rates: &[f64]) -> Result<()> {
+    for (i, &r) in rates.iter().enumerate() {
+        if !r.is_finite() || r < 0.0 {
+            return Err(QueueingError::InvalidRates { index: i, value: r });
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustive subset-feasibility check over all `2^N - 2` proper subsets.
+/// Exponential — only used in tests (N ≤ ~16) to confirm that the prefix
+/// criterion used by [`Allocation::validate`] is equivalent.
+pub fn validate_all_subsets(alloc: &Allocation) -> Result<()> {
+    let n = alloc.len();
+    assert!(n <= 20, "exhaustive subset check is exponential; use validate()");
+    for mask in 1u32..((1u32 << n) - 1) {
+        let mut sr = 0.0;
+        let mut sc = 0.0;
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                sr += alloc.rates()[i];
+                sc += alloc.congestions()[i];
+            }
+        }
+        let need = mm1::g(sr);
+        if sc + FEASIBILITY_TOL * (1.0 + need) < need {
+            return Err(QueueingError::SubsetConstraintViolated {
+                prefix: mask.count_ones() as usize,
+                subset_congestion: sc,
+                required: need,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_allocation_is_feasible() {
+        let r = vec![0.1, 0.2, 0.3];
+        let total: f64 = r.iter().sum();
+        let c: Vec<f64> = r.iter().map(|ri| ri / (1.0 - total)).collect();
+        let a = Allocation::new(r, c).unwrap();
+        a.validate().unwrap();
+        validate_all_subsets(&a).unwrap();
+    }
+
+    #[test]
+    fn overly_generous_subset_is_rejected() {
+        // Give user 0 less congestion than its solo M/M/1 queue; pile the
+        // rest on user 1. Total is conserved but the subset {0} violates.
+        let r = vec![0.4, 0.4];
+        let total = mm1::g(0.8);
+        let c0 = 0.5 * mm1::g(0.4); // below the g(0.4) floor
+        let a = Allocation::new(r, vec![c0, total - c0]).unwrap();
+        assert!(matches!(
+            a.validate(),
+            Err(QueueingError::SubsetConstraintViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn broken_total_is_rejected() {
+        let a = Allocation::new(vec![0.2, 0.2], vec![0.1, 0.1]).unwrap();
+        assert!(matches!(a.validate(), Err(QueueingError::TotalConstraintViolated { .. })));
+    }
+
+    #[test]
+    fn prefix_criterion_matches_exhaustive_on_random_allocations() {
+        // Random perturbations of the proportional allocation that keep the
+        // total fixed; the prefix test and the exhaustive test must agree.
+        let mut seed = 99u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for _case in 0..200 {
+            let n = 4;
+            let mut r = vec![0.0; n];
+            for x in r.iter_mut() {
+                *x = 0.05 + 0.15 * next();
+            }
+            let total: f64 = r.iter().sum();
+            let mut c: Vec<f64> = r.iter().map(|ri| ri / (1.0 - total)).collect();
+            // Transfer congestion between two users.
+            let amount = (next() - 0.3) * 0.8;
+            c[0] += amount;
+            c[1] -= amount;
+            if c.iter().any(|&x| x < 0.0) {
+                continue;
+            }
+            let a = Allocation::new(r, c).unwrap();
+            let prefix_ok = a.validate().is_ok();
+            let full_ok = validate_all_subsets(&a).is_ok();
+            assert_eq!(prefix_ok, full_ok, "disagreement on {a:?}");
+        }
+    }
+
+    #[test]
+    fn interior_detection() {
+        // Proportional allocation: strictly interior for heterogeneous rates.
+        let r = vec![0.1, 0.3];
+        let total: f64 = r.iter().sum();
+        let c: Vec<f64> = r.iter().map(|ri| ri / (1.0 - total)).collect();
+        let a = Allocation::new(r.clone(), c).unwrap();
+        assert!(a.is_interior(1e-6));
+
+        // Serial-priority allocation: the light user's prefix is saturated
+        // (it gets exactly its solo M/M/1 queue), so NOT interior.
+        let c_sp = vec![mm1::g(0.1), mm1::g(total) - mm1::g(0.1)];
+        let b = Allocation::new(r, c_sp).unwrap();
+        b.validate().unwrap();
+        assert!(!b.is_interior(1e-6));
+    }
+
+    #[test]
+    fn overloaded_system_requires_infinite_congestion() {
+        let a = Allocation::new(vec![0.7, 0.7], vec![f64::INFINITY, f64::INFINITY]).unwrap();
+        a.validate().unwrap();
+        let b = Allocation::new(vec![0.7, 0.7], vec![1.0, 2.0]).unwrap();
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(matches!(Allocation::new(vec![], vec![]), Err(QueueingError::EmptySystem)));
+        assert!(matches!(
+            Allocation::new(vec![0.1], vec![0.1, 0.2]),
+            Err(QueueingError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Allocation::new(vec![-0.1], vec![0.1]),
+            Err(QueueingError::InvalidRates { .. })
+        ));
+        assert!(matches!(
+            Allocation::new(vec![f64::NAN], vec![0.1]),
+            Err(QueueingError::InvalidRates { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_rate_user_is_handled() {
+        let r = vec![0.0, 0.4];
+        let c = vec![0.0, mm1::g(0.4)];
+        let a = Allocation::new(r, c).unwrap();
+        a.validate().unwrap();
+        assert_eq!(a.delay(0), 0.0);
+        assert!((a.delay(1) - 1.0 / 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rates_rejects_bad_values() {
+        assert!(validate_rates(&[0.1, 0.2]).is_ok());
+        assert!(validate_rates(&[0.1, f64::INFINITY]).is_err());
+        assert!(validate_rates(&[-1e-12]).is_err());
+    }
+}

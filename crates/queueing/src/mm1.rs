@@ -1,0 +1,240 @@
+//! Closed-form M/M/1 quantities.
+//!
+//! The switch is an exponential server of unit rate. With aggregate Poisson
+//! arrival rate `x < 1` the time-averaged number of packets in the system
+//! is `g(x) = x/(1-x)` — the function at the heart of the paper's
+//! constraint `F(r, c) = Σ c_i − g(Σ r_i) = 0`. The paper's results hold
+//! for any strictly increasing, strictly convex `g` (footnote 5); the
+//! [`CongestionKernel`] trait abstracts this so that M/G/1-style kernels
+//! can be swapped in, while [`Mm1Kernel`] is the default used everywhere.
+
+/// Mean number in system for M/M/1 with unit service rate: `g(x) = x/(1-x)`.
+///
+/// Returns `+inf` for `x >= 1` (overload) and 0 for `x <= 0`.
+pub fn g(x: f64) -> f64 {
+    if x >= 1.0 {
+        f64::INFINITY
+    } else if x <= 0.0 {
+        0.0
+    } else {
+        x / (1.0 - x)
+    }
+}
+
+/// First derivative `g'(x) = 1/(1-x)^2` (`+inf` at or beyond saturation).
+pub fn g_prime(x: f64) -> f64 {
+    if x >= 1.0 {
+        f64::INFINITY
+    } else {
+        let u = 1.0 - x;
+        1.0 / (u * u)
+    }
+}
+
+/// Second derivative `g''(x) = 2/(1-x)^3` (`+inf` at or beyond saturation).
+pub fn g_double_prime(x: f64) -> f64 {
+    if x >= 1.0 {
+        f64::INFINITY
+    } else {
+        let u = 1.0 - x;
+        2.0 / (u * u * u)
+    }
+}
+
+/// Total congestion `f(r) = g(Σ r_i)` of §3.1.
+pub fn total_congestion(rates: &[f64]) -> f64 {
+    g(rates.iter().sum())
+}
+
+/// The paper's Pareto marginal-rate function
+/// `Z_i = -∂f/∂r_i = -(1 - Σ r_j)^{-2}` (identical for every user).
+pub fn pareto_z(rates: &[f64]) -> f64 {
+    -g_prime(rates.iter().sum())
+}
+
+/// Mean sojourn time (delay) per packet for a user with rate `r` and mean
+/// queue `c`: Little's law `c = r d` gives `d = c / r` (0 if `r == 0`).
+pub fn delay_from_queue(r: f64, c: f64) -> f64 {
+    if r > 0.0 {
+        c / r
+    } else {
+        0.0
+    }
+}
+
+/// Abstraction over the aggregate-congestion kernel: any strictly
+/// increasing, strictly convex `g` with `g(0) = 0` supports the paper's
+/// analysis (footnote 5). Implementors supply `g` and its derivatives.
+pub trait CongestionKernel: Send + Sync + std::fmt::Debug {
+    /// Aggregate mean queue at load `x`.
+    fn g(&self, x: f64) -> f64;
+    /// First derivative.
+    fn g_prime(&self, x: f64) -> f64;
+    /// Second derivative.
+    fn g_double_prime(&self, x: f64) -> f64;
+}
+
+/// The standard M/M/1 kernel `g(x) = x/(1-x)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mm1Kernel;
+
+impl CongestionKernel for Mm1Kernel {
+    fn g(&self, x: f64) -> f64 {
+        g(x)
+    }
+    fn g_prime(&self, x: f64) -> f64 {
+        g_prime(x)
+    }
+    fn g_double_prime(&self, x: f64) -> f64 {
+        g_double_prime(x)
+    }
+}
+
+/// An M/G/1 kernel via the Pollaczek–Khinchine mean formula with squared
+/// coefficient of variation `cs2` of the service distribution:
+/// `L(x) = x + x^2 (1 + cs2) / (2 (1 - x))`.
+///
+/// `cs2 = 1` recovers M/M/1; `cs2 = 0` is M/D/1. Strictly increasing and
+/// strictly convex on `[0, 1)` for every `cs2 >= 0`, so all of the paper's
+/// machinery applies unchanged (footnote 5).
+#[derive(Debug, Clone, Copy)]
+pub struct Mg1Kernel {
+    /// Squared coefficient of variation of service times.
+    pub cs2: f64,
+}
+
+impl Mg1Kernel {
+    /// Creates an M/G/1 kernel; `cs2` must be finite and non-negative.
+    pub fn new(cs2: f64) -> Self {
+        assert!(cs2.is_finite() && cs2 >= 0.0, "cs2 must be finite and >= 0");
+        Mg1Kernel { cs2 }
+    }
+}
+
+impl CongestionKernel for Mg1Kernel {
+    fn g(&self, x: f64) -> f64 {
+        if x >= 1.0 {
+            f64::INFINITY
+        } else if x <= 0.0 {
+            0.0
+        } else {
+            x + x * x * (1.0 + self.cs2) / (2.0 * (1.0 - x))
+        }
+    }
+    fn g_prime(&self, x: f64) -> f64 {
+        if x >= 1.0 {
+            f64::INFINITY
+        } else {
+            let u = 1.0 - x;
+            let k = (1.0 + self.cs2) / 2.0;
+            // d/dx [x + k x^2/(1-x)] = 1 + k (2x(1-x) + x^2)/(1-x)^2
+            1.0 + k * (2.0 * x * u + x * x) / (u * u)
+        }
+    }
+    fn g_double_prime(&self, x: f64) -> f64 {
+        if x >= 1.0 {
+            f64::INFINITY
+        } else {
+            let u = 1.0 - x;
+            let k = (1.0 + self.cs2) / 2.0;
+            // d2/dx2 [k x^2/(1-x)] = 2k / (1-x)^3
+            2.0 * k / (u * u * u)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn g_known_values() {
+        assert_eq!(g(0.0), 0.0);
+        assert_close(g(0.5), 1.0, 1e-15);
+        assert_close(g(0.9), 9.0, 1e-12);
+        assert_eq!(g(1.0), f64::INFINITY);
+        assert_eq!(g(1.5), f64::INFINITY);
+        assert_eq!(g(-0.1), 0.0);
+    }
+
+    #[test]
+    fn g_derivatives_match_finite_differences() {
+        for &x in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            let d = greednet_numerics::diff::derivative(g, x).unwrap();
+            assert_close(g_prime(x), d, 1e-4 * g_prime(x));
+            let d2 = greednet_numerics::diff::second_derivative(g, x).unwrap();
+            assert_close(g_double_prime(x), d2, 1e-2 * g_double_prime(x));
+        }
+    }
+
+    #[test]
+    fn g_is_strictly_increasing_and_convex() {
+        let xs: Vec<f64> = (1..99).map(|i| i as f64 / 100.0).collect();
+        for w in xs.windows(2) {
+            assert!(g(w[1]) > g(w[0]));
+            assert!(g_prime(w[1]) > g_prime(w[0])); // convexity
+        }
+    }
+
+    #[test]
+    fn total_congestion_is_mm1() {
+        assert_close(total_congestion(&[0.2, 0.3]), 1.0, 1e-12);
+        assert_eq!(total_congestion(&[0.6, 0.6]), f64::INFINITY);
+    }
+
+    #[test]
+    fn pareto_z_matches_formula() {
+        let r = [0.1, 0.2, 0.3];
+        let s: f64 = r.iter().sum();
+        assert_close(pareto_z(&r), -1.0 / ((1.0 - s) * (1.0 - s)), 1e-12);
+    }
+
+    #[test]
+    fn little_law_roundtrip() {
+        // M/M/1 delay 1/(1-x); queue g(x) = x/(1-x): d = c/r.
+        let x = 0.4;
+        assert_close(delay_from_queue(x, g(x)), 1.0 / (1.0 - x), 1e-12);
+        assert_eq!(delay_from_queue(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn mg1_reduces_to_mm1_when_cs2_is_one() {
+        let k = Mg1Kernel::new(1.0);
+        for &x in &[0.1, 0.4, 0.8] {
+            assert_close(k.g(x), g(x), 1e-12);
+            assert_close(k.g_prime(x), g_prime(x), 1e-12);
+            assert_close(k.g_double_prime(x), g_double_prime(x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn md1_has_half_the_queueing_term() {
+        let k = Mg1Kernel::new(0.0);
+        let x = 0.5;
+        // M/D/1: L = x + x^2/(2(1-x)) = 0.5 + 0.25 = 0.75.
+        assert_close(k.g(x), 0.75, 1e-12);
+        assert!(k.g(x) < g(x));
+    }
+
+    #[test]
+    fn mg1_derivatives_match_finite_differences() {
+        let k = Mg1Kernel::new(2.5);
+        for &x in &[0.2, 0.5, 0.8] {
+            let d = greednet_numerics::diff::derivative(|y| k.g(y), x).unwrap();
+            assert_close(k.g_prime(x), d, 1e-4 * k.g_prime(x).abs());
+            let d2 = greednet_numerics::diff::second_derivative(|y| k.g(y), x).unwrap();
+            assert_close(k.g_double_prime(x), d2, 1e-2 * k.g_double_prime(x));
+        }
+    }
+
+    #[test]
+    fn mg1_overload_is_infinite() {
+        let k = Mg1Kernel::new(0.5);
+        assert_eq!(k.g(1.0), f64::INFINITY);
+        assert_eq!(k.g_prime(1.2), f64::INFINITY);
+    }
+}

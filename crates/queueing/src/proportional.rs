@@ -1,0 +1,206 @@
+//! The proportional allocation `C_i = r_i / (1 - Σ r_j)` — what FIFO,
+//! LIFO-preemptive and egalitarian processor sharing all induce on mean
+//! per-user queue lengths in an M/M/1 system.
+//!
+//! This is the paper's foil: it is in MAC, but its Nash equilibria are
+//! never Pareto optimal (Theorem 2), it is not unilaterally envy-free
+//! (Theorem 3), equilibria need not be unique (Theorem 4), Newton
+//! self-optimization can be violently unstable (the `1 − N` eigenvalue of
+//! §4.2.3), and it offers no protection against aggressive users
+//! (Theorem 8).
+
+use crate::alloc::AllocationFunction;
+use crate::mm1;
+
+/// The proportional (FIFO) allocation function.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Proportional;
+
+impl Proportional {
+    /// Creates the proportional allocation function.
+    pub fn new() -> Self {
+        Proportional
+    }
+}
+
+impl AllocationFunction for Proportional {
+    fn name(&self) -> &'static str {
+        "proportional (FIFO)"
+    }
+
+    fn congestion(&self, rates: &[f64]) -> Vec<f64> {
+        let total: f64 = rates.iter().sum();
+        if total >= 1.0 {
+            // Overload: every user with positive rate sees an unbounded queue.
+            return rates
+                .iter()
+                .map(|&r| if r > 0.0 { f64::INFINITY } else { 0.0 })
+                .collect();
+        }
+        let inv = 1.0 / (1.0 - total);
+        rates.iter().map(|&r| r * inv).collect()
+    }
+
+    fn congestion_of(&self, rates: &[f64], i: usize) -> f64 {
+        let total: f64 = rates.iter().sum();
+        if total >= 1.0 {
+            if rates[i] > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            rates[i] / (1.0 - total)
+        }
+    }
+
+    fn d_own(&self, rates: &[f64], i: usize) -> f64 {
+        let total: f64 = rates.iter().sum();
+        if total >= 1.0 {
+            return f64::INFINITY;
+        }
+        let u = 1.0 - total;
+        (u + rates[i]) / (u * u)
+    }
+
+    fn d_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.d_own(rates, i);
+        }
+        let total: f64 = rates.iter().sum();
+        if total >= 1.0 {
+            return f64::INFINITY;
+        }
+        let u = 1.0 - total;
+        rates[i] / (u * u)
+    }
+
+    fn d2_own(&self, rates: &[f64], i: usize) -> f64 {
+        let total: f64 = rates.iter().sum();
+        if total >= 1.0 {
+            return f64::INFINITY;
+        }
+        let u = 1.0 - total;
+        2.0 / (u * u) + 2.0 * rates[i] / (u * u * u)
+    }
+
+    fn d2_own_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.d2_own(rates, i);
+        }
+        let total: f64 = rates.iter().sum();
+        if total >= 1.0 {
+            return f64::INFINITY;
+        }
+        let u = 1.0 - total;
+        1.0 / (u * u) + 2.0 * rates[i] / (u * u * u)
+    }
+
+    fn clone_box(&self) -> Box<dyn AllocationFunction> {
+        Box::new(*self)
+    }
+}
+
+/// Exact total congestion sanity helper: `Σ C_i^P = g(Σ r)` by construction.
+pub fn total(rates: &[f64]) -> f64 {
+    mm1::total_congestion(rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{jacobian_defect, symmetry_defect};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn matches_mm1_formula() {
+        let p = Proportional::new();
+        let c = p.congestion(&[0.2, 0.3]);
+        assert_close(c[0], 0.4, 1e-12);
+        assert_close(c[1], 0.6, 1e-12);
+        let total: f64 = c.iter().sum();
+        assert_close(total, mm1::g(0.5), 1e-12);
+    }
+
+    #[test]
+    fn single_user_is_plain_mm1() {
+        let p = Proportional::new();
+        let c = p.congestion(&[0.6]);
+        assert_close(c[0], mm1::g(0.6), 1e-12);
+    }
+
+    #[test]
+    fn overload_gives_infinite_queues() {
+        let p = Proportional::new();
+        let c = p.congestion(&[0.7, 0.7, 0.0]);
+        assert_eq!(c[0], f64::INFINITY);
+        assert_eq!(c[1], f64::INFINITY);
+        assert_eq!(c[2], 0.0);
+        assert_eq!(p.d_own(&[0.7, 0.7, 0.0], 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn analytic_derivatives_match_numeric() {
+        let p = Proportional::new();
+        for rates in [vec![0.2, 0.3], vec![0.1, 0.05, 0.4], vec![0.25; 3]] {
+            assert!(jacobian_defect(&p, &rates) < 1e-5, "rates {rates:?}");
+        }
+    }
+
+    #[test]
+    fn second_derivatives_match_numeric() {
+        let p = Proportional::new();
+        let r = [0.2, 0.3];
+        let num = greednet_numerics::diff::second_derivative(
+            |x| p.congestion_of(&[x, 0.3], 0),
+            0.2,
+        )
+        .unwrap();
+        assert_close(p.d2_own(&r, 0), num, 1e-3 * num.abs());
+        let num_c = greednet_numerics::diff::mixed_second(
+            |x| p.congestion_of(x, 0),
+            &[0.2, 0.3],
+            0,
+            1,
+        )
+        .unwrap();
+        assert_close(p.d2_own_cross(&r, 0, 1), num_c, 1e-2 * num_c.abs());
+    }
+
+    #[test]
+    fn is_symmetric() {
+        let p = Proportional::new();
+        let pts = vec![vec![0.1, 0.2, 0.3], vec![0.3, 0.2, 0.1], vec![0.15, 0.15]];
+        assert!(symmetry_defect(&p, &pts) < 1e-14);
+    }
+
+    #[test]
+    fn allocation_is_feasible_and_interior() {
+        let p = Proportional::new();
+        let a = p.allocation(&[0.1, 0.2, 0.3]).unwrap();
+        a.validate().unwrap();
+        assert!(a.is_interior(1e-9));
+    }
+
+    #[test]
+    fn congestion_of_matches_vector_version() {
+        let p = Proportional::new();
+        let r = [0.12, 0.05, 0.33];
+        let v = p.congestion(&r);
+        for (i, &vi) in v.iter().enumerate() {
+            assert_close(p.congestion_of(&r, i), vi, 1e-15);
+        }
+    }
+
+    #[test]
+    fn zero_rate_user_has_zero_queue() {
+        let p = Proportional::new();
+        let c = p.congestion(&[0.0, 0.5]);
+        assert_eq!(c[0], 0.0);
+        // ... but still a positive marginal queue (it would queue behind others).
+        assert!(p.d_own(&[0.0, 0.5], 0) > 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Ascending-rate preemptive priority ("serve the lightest user first").
+//!
+//! With users sorted by ascending rate and cumulative loads
+//! `Λ_k = Σ_{l≤k} r_(l)`, preemptive priority gives the top-`k` classes an
+//! M/M/1 system of their own, so `Σ_{l≤k} c_(l) = g(Λ_k)` and
+//!
+//! ```text
+//! c_(k) = g(Λ_k) − g(Λ_{k−1})
+//! ```
+//!
+//! This discipline *saturates* the subset-feasibility constraints (every
+//! light-prefix gets exactly its solo M/M/1 queue), so it sits on the
+//! boundary of the feasible set and is **not** in the paper's acceptable
+//! class `AC` (which requires interior allocations); it is also not `C^1`
+//! at rate ties. It is included as the natural "maximally protective but
+//! non-smooth" comparison point against Fair Share, which can be read as
+//! its smoothed interior counterpart. Ties are handled by averaging within
+//! blocks of equal rates, which restores exact symmetry.
+
+use crate::alloc::AllocationFunction;
+use crate::fair_share::ascending_order;
+use crate::mm1::{g, g_double_prime, g_prime};
+
+/// The ascending-rate preemptive-priority allocation function.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialPriority;
+
+impl SerialPriority {
+    /// Creates the serial-priority allocation function.
+    pub fn new() -> Self {
+        SerialPriority
+    }
+}
+
+impl AllocationFunction for SerialPriority {
+    fn name(&self) -> &'static str {
+        "serial priority"
+    }
+
+    fn congestion(&self, rates: &[f64]) -> Vec<f64> {
+        let n = rates.len();
+        let order = ascending_order(rates);
+        let sorted: Vec<f64> = order.iter().map(|&i| rates[i]).collect();
+        let mut c = vec![0.0; n];
+        // Walk tie blocks: users with equal rates share their block's total
+        // congestion equally (symmetry).
+        let mut k = 0usize;
+        let mut lambda_prev = 0.0;
+        while k < n {
+            let mut end = k + 1;
+            while end < n && sorted[end] == sorted[k] {
+                end += 1;
+            }
+            let block_load: f64 = sorted[k..end].iter().sum();
+            let lambda_end = lambda_prev + block_load;
+            let block_c = g(lambda_end) - g(lambda_prev);
+            let per_user = if block_c.is_finite() {
+                block_c / (end - k) as f64
+            } else {
+                f64::INFINITY
+            };
+            for &idx in order.iter().take(end).skip(k) {
+                c[idx] = per_user;
+            }
+            lambda_prev = lambda_end;
+            if !lambda_end.is_finite() || lambda_end >= 1.0 {
+                // Everyone heavier is overloaded too.
+                for &idx in order.iter().skip(end) {
+                    c[idx] = f64::INFINITY;
+                }
+                return c;
+            }
+            k = end;
+        }
+        c
+    }
+
+    fn d_own(&self, rates: &[f64], i: usize) -> f64 {
+        let (lambda_k, _) = cumulative_to(rates, i);
+        g_prime(lambda_k)
+    }
+
+    fn d_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.d_own(rates, i);
+        }
+        if rates[j] >= rates[i] {
+            return 0.0;
+        }
+        let (lambda_k, lambda_km1) = cumulative_to(rates, i);
+        g_prime(lambda_k) - g_prime(lambda_km1)
+    }
+
+    fn d2_own(&self, rates: &[f64], i: usize) -> f64 {
+        let (lambda_k, _) = cumulative_to(rates, i);
+        g_double_prime(lambda_k)
+    }
+
+    fn d2_own_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.d2_own(rates, i);
+        }
+        if rates[j] >= rates[i] {
+            return 0.0;
+        }
+        let (lambda_k, _) = cumulative_to(rates, i);
+        g_double_prime(lambda_k)
+    }
+
+    fn is_smooth(&self) -> bool {
+        false // not C^1 at rate ties
+    }
+
+    fn clone_box(&self) -> Box<dyn AllocationFunction> {
+        Box::new(*self)
+    }
+}
+
+/// Cumulative loads `(Λ_k, Λ_{k-1})` around user `i`'s sorted position.
+fn cumulative_to(rates: &[f64], i: usize) -> (f64, f64) {
+    let order = ascending_order(rates);
+    let mut lambda = 0.0;
+    for &idx in &order {
+        let prev = lambda;
+        lambda += rates[idx];
+        if idx == i {
+            return (lambda, prev);
+        }
+    }
+    unreachable!("user index {i} not found");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::symmetry_defect;
+    use crate::mm1;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn prefix_sums_equal_solo_mm1() {
+        let sp = SerialPriority::new();
+        let rates = [0.1, 0.2, 0.3];
+        let c = sp.congestion(&rates);
+        assert_close(c[0], mm1::g(0.1), 1e-12);
+        assert_close(c[0] + c[1], mm1::g(0.3), 1e-12);
+        assert_close(c[0] + c[1] + c[2], mm1::g(0.6), 1e-12);
+    }
+
+    #[test]
+    fn work_conservation_and_feasibility() {
+        let sp = SerialPriority::new();
+        let a = sp.allocation(&[0.15, 0.05, 0.3]).unwrap();
+        a.validate().unwrap();
+        crate::feasible::validate_all_subsets(&a).unwrap();
+        // Boundary allocation: NOT interior.
+        assert!(!a.is_interior(1e-9));
+    }
+
+    #[test]
+    fn tie_averaging_restores_symmetry() {
+        let sp = SerialPriority::new();
+        let c = sp.congestion(&[0.2, 0.2]);
+        assert_close(c[0], c[1], 1e-15);
+        assert_close(c[0] + c[1], mm1::g(0.4), 1e-12);
+        let pts = vec![vec![0.1, 0.2, 0.3], vec![0.2, 0.2, 0.1]];
+        assert!(symmetry_defect(&sp, &pts) < 1e-12);
+    }
+
+    #[test]
+    fn lightest_user_fully_insulated() {
+        let sp = SerialPriority::new();
+        let a = sp.congestion(&[0.1, 0.3]);
+        let b = sp.congestion(&[0.1, 0.85]);
+        assert_close(a[0], b[0], 1e-14);
+        assert_close(a[0], mm1::g(0.1), 1e-14);
+    }
+
+    #[test]
+    fn overload_hits_heavy_users_only() {
+        let sp = SerialPriority::new();
+        let c = sp.congestion(&[0.2, 0.9]);
+        assert_close(c[0], mm1::g(0.2), 1e-12);
+        assert_eq!(c[1], f64::INFINITY);
+    }
+
+    #[test]
+    fn derivatives_match_numeric_away_from_ties() {
+        let sp = SerialPriority::new();
+        let rates = [0.1, 0.25, 0.4];
+        for i in 0..3 {
+            let num = greednet_numerics::diff::derivative(
+                |x| {
+                    let mut r = rates;
+                    r[i] = x;
+                    sp.congestion_of(&r, i)
+                },
+                rates[i],
+            )
+            .unwrap();
+            assert_close(sp.d_own(&rates, i), num, 1e-4 * num.abs());
+        }
+        // Cross: light user 0 affects heavy user 2.
+        let num = greednet_numerics::diff::partial(|r| sp.congestion(r), &rates, 2, 0).unwrap();
+        assert_close(sp.d_cross(&rates, 2, 0), num, 1e-3 * (1.0 + num.abs()));
+        assert_eq!(sp.d_cross(&rates, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn not_smooth_flag() {
+        assert!(!SerialPriority::new().is_smooth());
+    }
+
+    #[test]
+    fn d2_matches_numeric() {
+        let sp = SerialPriority::new();
+        let rates = [0.1, 0.25, 0.4];
+        let num = greednet_numerics::diff::second_derivative(
+            |x| sp.congestion_of(&[0.1, 0.25, x], 2),
+            0.4,
+        )
+        .unwrap();
+        assert_close(sp.d2_own(&rates, 2), num, 1e-2 * num.abs());
+    }
+}

@@ -1,0 +1,282 @@
+//! Weighted Fair Share — weighted serial cost sharing.
+//!
+//! The paper's switch is anonymous (symmetry is part of `AC`), but real
+//! deployments of the Fair Queueing family routinely carry administrative
+//! *weights* (WFQ). The natural weighted generalization of serial cost
+//! sharing (Moulin's weighted serial rule): with weights `w_i > 0` and
+//! normalized demands `t_i = r_i / w_i` sorted ascending,
+//!
+//! ```text
+//! s_k = Σ_{l<k} r_(l) + t_(k) · W_k,      W_k = Σ_{l≥k} w_(l)
+//! C_(k) = Σ_{m≤k} w_(k) · [g(s_m) − g(s_{m-1})] / W_m
+//! ```
+//!
+//! With all weights equal this reduces exactly to [`crate::FairShare`]
+//! (property-tested). The structural goods survive in weighted form:
+//! insularity in the `t`-order (users with higher normalized demand never
+//! affect you) and a weighted protection bound
+//! `C_i ≤ (w_i / W) · g(t_i · W)` — what user `i` would suffer among a
+//! full population mirroring its normalized demand.
+
+use crate::alloc::AllocationFunction;
+use crate::error::QueueingError;
+use crate::mm1::{g, g_prime};
+use crate::Result;
+
+/// The weighted Fair Share allocation function.
+#[derive(Debug, Clone)]
+pub struct WeightedFairShare {
+    weights: Vec<f64>,
+}
+
+impl WeightedFairShare {
+    /// Creates the allocation for the given positive weights (one per
+    /// user; rate vectors passed later must have the same length).
+    ///
+    /// # Errors
+    /// [`QueueingError::InvalidParameter`] on empty or non-positive
+    /// weights.
+    pub fn new(weights: Vec<f64>) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(QueueingError::InvalidParameter { detail: "no weights".into() });
+        }
+        if weights.iter().any(|&w| !w.is_finite() || w <= 0.0) {
+            return Err(QueueingError::InvalidParameter {
+                detail: format!("weights must be finite and positive: {weights:?}"),
+            });
+        }
+        Ok(WeightedFairShare { weights })
+    }
+
+    /// The weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// User order by ascending normalized demand `r_i / w_i`.
+    fn t_order(&self, rates: &[f64]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..rates.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ta = rates[a] / self.weights[a];
+            let tb = rates[b] / self.weights[b];
+            ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order
+    }
+
+    /// The weighted protection bound `(w_i/W) · g(t_i · W)`.
+    pub fn protection_bound(&self, i: usize, r_i: f64) -> f64 {
+        let w_total: f64 = self.weights.iter().sum();
+        let load = r_i / self.weights[i] * w_total;
+        if load >= 1.0 {
+            f64::INFINITY
+        } else {
+            self.weights[i] / w_total * g(load)
+        }
+    }
+}
+
+impl AllocationFunction for WeightedFairShare {
+    fn name(&self) -> &'static str {
+        "weighted fair share"
+    }
+
+    fn congestion(&self, rates: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            rates.len(),
+            self.weights.len(),
+            "rate vector length {} != weight count {}",
+            rates.len(),
+            self.weights.len()
+        );
+        let n = rates.len();
+        let order = self.t_order(rates);
+        // Suffix weight sums W_k in sorted order.
+        let mut suffix_w = vec![0.0; n + 1];
+        for k in (0..n).rev() {
+            suffix_w[k] = suffix_w[k + 1] + self.weights[order[k]];
+        }
+        let mut c = vec![0.0; n];
+        let mut prefix_r = 0.0;
+        let mut s_prev = 0.0;
+        // Per-user running share accumulator: C_(k) = w_(k) * acc_k where
+        // acc_k = sum_{m<=k} [g(s_m) - g(s_{m-1})] / W_m.
+        let mut acc = 0.0;
+        for (k, &idx) in order.iter().enumerate() {
+            let t_k = rates[idx] / self.weights[idx];
+            let s_k = prefix_r + t_k * suffix_w[k];
+            if s_k >= 1.0 {
+                for &rest in order.iter().skip(k) {
+                    c[rest] = f64::INFINITY;
+                }
+                return c;
+            }
+            acc += (g(s_k) - g(s_prev)) / suffix_w[k];
+            c[idx] = self.weights[idx] * acc;
+            prefix_r += rates[idx];
+            s_prev = s_k;
+        }
+        c
+    }
+
+    fn d_own(&self, rates: &[f64], i: usize) -> f64 {
+        // dC_(k)/dr_(k) = w_k * g'(s_k) * (ds_k/dr_k) / W_k = g'(s_k)
+        // since ds_k/dr_k = W_k / w_k.
+        let order = self.t_order(rates);
+        let n = rates.len();
+        let mut suffix_w = vec![0.0; n + 1];
+        for k in (0..n).rev() {
+            suffix_w[k] = suffix_w[k + 1] + self.weights[order[k]];
+        }
+        let mut prefix_r = 0.0;
+        for (k, &idx) in order.iter().enumerate() {
+            let t_k = rates[idx] / self.weights[idx];
+            let s_k = prefix_r + t_k * suffix_w[k];
+            if idx == i {
+                return g_prime(s_k);
+            }
+            prefix_r += rates[idx];
+        }
+        unreachable!("user index {i} not found");
+    }
+
+    fn d_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.d_own(rates, i);
+        }
+        // Weighted insularity: users with normalized demand >= yours never
+        // affect you.
+        if rates[j] / self.weights[j] >= rates[i] / self.weights[i] {
+            return 0.0;
+        }
+        self.fd_first(rates, i, j)
+    }
+
+    fn clone_box(&self) -> Box<dyn AllocationFunction> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1;
+    use crate::FairShare;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn equal_weights_reduce_to_fair_share() {
+        let w = WeightedFairShare::new(vec![1.0; 3]).unwrap();
+        let fs = FairShare::new();
+        for rates in [vec![0.1, 0.2, 0.3], vec![0.3, 0.05, 0.2], vec![0.15, 0.15, 0.15]] {
+            let a = w.congestion(&rates);
+            let b = fs.congestion(&rates);
+            for (x, y) in a.iter().zip(&b) {
+                assert_close(*x, *y, 1e-12);
+            }
+            for i in 0..3 {
+                assert_close(w.d_own(&rates, i), fs.d_own(&rates, i), 1e-10);
+            }
+        }
+        // Scaling all weights by a constant changes nothing.
+        let w2 = WeightedFairShare::new(vec![7.0; 3]).unwrap();
+        let a = w2.congestion(&[0.1, 0.2, 0.3]);
+        let b = fs.congestion(&[0.1, 0.2, 0.3]);
+        for (x, y) in a.iter().zip(&b) {
+            assert_close(*x, *y, 1e-12);
+        }
+    }
+
+    #[test]
+    fn work_conservation_and_feasibility() {
+        let w = WeightedFairShare::new(vec![1.0, 2.0, 0.5]).unwrap();
+        let rates = [0.1, 0.25, 0.15];
+        let alloc = w.allocation(&rates).unwrap();
+        alloc.validate().unwrap();
+        crate::feasible::validate_all_subsets(&alloc).unwrap();
+        let total: f64 = alloc.congestions().iter().sum();
+        assert_close(total, mm1::g(0.5), 1e-10);
+    }
+
+    #[test]
+    fn heavier_weight_buys_less_congestion_at_equal_rates() {
+        // Two users at the same rate: the higher-weight one (entitled to a
+        // larger share of the switch) carries less of the queue.
+        let w = WeightedFairShare::new(vec![1.0, 3.0]).unwrap();
+        let c = w.congestion(&[0.2, 0.2]);
+        assert!(c[1] < c[0], "c = {c:?}");
+    }
+
+    #[test]
+    fn weighted_insularity() {
+        // User 0 has t = 0.1/1 = 0.1; user 1 has t = 0.15/3 = 0.05.
+        // User 0 (higher t) never affects user 1.
+        let w = WeightedFairShare::new(vec![1.0, 3.0]).unwrap();
+        assert_eq!(w.d_cross(&[0.1, 0.15], 1, 0), 0.0);
+        assert!(w.d_cross(&[0.1, 0.15], 0, 1) > 0.0);
+        // And raising user 0's rate does not change user 1's congestion.
+        let before = w.congestion(&[0.1, 0.15])[1];
+        let after = w.congestion(&[0.5, 0.15])[1];
+        assert_close(before, after, 1e-12);
+    }
+
+    #[test]
+    fn weighted_protection_bound_holds_and_is_tight() {
+        let w = WeightedFairShare::new(vec![1.0, 2.0, 1.0]).unwrap();
+        let r0 = 0.08;
+        let bound = w.protection_bound(0, r0);
+        // Adversaries at various levels never push user 0 past the bound.
+        for level in [0.05, 0.2, 0.5, 2.0] {
+            let c = w.congestion(&[r0, level, level])[0];
+            assert!(c <= bound * (1.0 + 1e-9), "c {c} > bound {bound} at {level}");
+        }
+        // Mirror adversaries (same normalized demand) achieve it exactly.
+        let mirror = [r0, 2.0 * r0, r0];
+        let c = w.congestion(&mirror)[0];
+        assert_close(c, bound, 1e-10);
+    }
+
+    #[test]
+    fn own_derivative_matches_numeric() {
+        let w = WeightedFairShare::new(vec![1.0, 2.0, 0.7]).unwrap();
+        let rates = [0.1, 0.22, 0.09];
+        for i in 0..3 {
+            let num = greednet_numerics::diff::derivative(
+                |x| {
+                    let mut r = rates;
+                    r[i] = x;
+                    w.congestion_of(&r, i)
+                },
+                rates[i],
+            )
+            .unwrap();
+            assert_close(w.d_own(&rates, i), num, 1e-4 * (1.0 + num.abs()));
+        }
+    }
+
+    #[test]
+    fn overload_marks_heavy_normalized_users() {
+        let w = WeightedFairShare::new(vec![1.0, 1.0]).unwrap();
+        let c = w.congestion(&[0.1, 2.0]);
+        assert!(c[0].is_finite());
+        assert_eq!(c[1], f64::INFINITY);
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        assert!(WeightedFairShare::new(vec![]).is_err());
+        assert!(WeightedFairShare::new(vec![1.0, 0.0]).is_err());
+        assert!(WeightedFairShare::new(vec![1.0, -1.0]).is_err());
+        assert!(WeightedFairShare::new(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight count")]
+    fn mismatched_rate_vector_panics() {
+        let w = WeightedFairShare::new(vec![1.0, 1.0]).unwrap();
+        let _ = w.congestion(&[0.1, 0.2, 0.3]);
+    }
+}

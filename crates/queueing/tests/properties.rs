@@ -1,0 +1,201 @@
+//! Property-based tests of the allocation-theory invariants from §3.1 of
+//! the paper, over randomized rate vectors.
+
+use greednet_queueing::alloc::AllocationFunction;
+use greednet_queueing::fair_share::priority_table;
+use greednet_queueing::feasible::{validate_all_subsets, Allocation};
+use greednet_queueing::{mm1, Blend, FairShare, Proportional, SerialPriority};
+use proptest::prelude::*;
+
+/// Strategy: 2..=6 users with total load strictly below 0.95.
+fn rate_vectors() -> impl Strategy<Value = Vec<f64>> {
+    (2usize..=6)
+        .prop_flat_map(|n| proptest::collection::vec(1e-4..0.9f64, n))
+        .prop_map(|mut v| {
+            let total: f64 = v.iter().sum();
+            if total >= 0.95 {
+                let scale = 0.9 / total;
+                for x in v.iter_mut() {
+                    *x *= scale;
+                }
+            }
+            v
+        })
+}
+
+fn disciplines() -> Vec<Box<dyn AllocationFunction>> {
+    vec![
+        Box::new(Proportional::new()),
+        Box::new(FairShare::new()),
+        Box::new(SerialPriority::new()),
+        Box::new(
+            Blend::new(Box::new(Proportional::new()), Box::new(FairShare::new()), 0.5).unwrap(),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_disciplines_produce_feasible_allocations(rates in rate_vectors()) {
+        for d in disciplines() {
+            let alloc = d.allocation(&rates).unwrap();
+            prop_assert!(alloc.validate().is_ok(), "{} infeasible at {rates:?}", d.name());
+            prop_assert!(validate_all_subsets(&alloc).is_ok(), "{} subset-violating at {rates:?}", d.name());
+        }
+    }
+
+    #[test]
+    fn all_disciplines_are_symmetric(rates in rate_vectors()) {
+        for d in disciplines() {
+            let base = d.congestion(&rates);
+            let mut rev = rates.clone();
+            rev.reverse();
+            let crev = d.congestion(&rev);
+            let n = rates.len();
+            for i in 0..n {
+                prop_assert!((base[i] - crev[n - 1 - i]).abs() < 1e-9,
+                    "{} not symmetric at {rates:?}", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn work_conservation_exact(rates in rate_vectors()) {
+        let expect = mm1::total_congestion(&rates);
+        for d in disciplines() {
+            let total: f64 = d.congestion(&rates).iter().sum();
+            prop_assert!((total - expect).abs() < 1e-8 * (1.0 + expect),
+                "{} violates work conservation: {total} vs {expect}", d.name());
+        }
+    }
+
+    #[test]
+    fn fair_share_triangularity(rates in rate_vectors()) {
+        let fs = FairShare::new();
+        let n = rates.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j { continue; }
+                let d = fs.d_cross(&rates, i, j);
+                if rates[j] >= rates[i] {
+                    prop_assert_eq!(d, 0.0);
+                } else {
+                    prop_assert!(d >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fair_share_protection_bound(rates in rate_vectors()) {
+        // Theorem 8: C_i(r) <= C_i(r_i * e) = r_i / (1 - N r_i) whenever
+        // N r_i < 1 (otherwise the bound is +inf and trivially satisfied).
+        let fs = FairShare::new();
+        let n = rates.len() as f64;
+        let c = fs.congestion(&rates);
+        for (i, &ri) in rates.iter().enumerate() {
+            let bound = if n * ri < 1.0 { ri / (1.0 - n * ri) } else { f64::INFINITY };
+            prop_assert!(c[i] <= bound + 1e-9 * (1.0 + bound.min(1e12)),
+                "protection violated for user {i}: c = {} > bound {bound}", c[i]);
+        }
+    }
+
+    #[test]
+    fn serial_priority_is_even_more_protective(rates in rate_vectors()) {
+        // Serial priority bounds each user by its solo M/M/1 queue given
+        // only lighter users present — in particular the FS bound holds.
+        let sp = SerialPriority::new();
+        let fs = FairShare::new();
+        let csp = sp.congestion(&rates);
+        let cfs = fs.congestion(&rates);
+        // The lightest user can only do better under SP than FS.
+        let light = (0..rates.len())
+            .min_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap())
+            .unwrap();
+        prop_assert!(csp[light] <= cfs[light] + 1e-9);
+    }
+
+    #[test]
+    fn fair_share_insularity_against_heavier(rates in rate_vectors(), bump in 0.01..2.0f64) {
+        // Raising the HEAVIEST user's rate must not change anyone else's
+        // congestion under Fair Share.
+        let fs = FairShare::new();
+        let heavy = (0..rates.len())
+            .max_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap())
+            .unwrap();
+        let before = fs.congestion(&rates);
+        let mut bumped = rates.clone();
+        bumped[heavy] += bump;
+        let after = fs.congestion(&bumped);
+        for i in 0..rates.len() {
+            if i != heavy {
+                prop_assert!((before[i] - after[i]).abs() < 1e-9,
+                    "user {i} affected by heavier user's increase");
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_everyone_suffers_from_anyone(rates in rate_vectors(), bump in 0.01..0.05f64) {
+        let p = Proportional::new();
+        let total: f64 = rates.iter().sum();
+        prop_assume!(total + bump < 0.95);
+        let before = p.congestion(&rates);
+        let mut bumped = rates.clone();
+        bumped[0] += bump;
+        let after = p.congestion(&bumped);
+        for i in 0..rates.len() {
+            prop_assert!(after[i] > before[i] - 1e-12, "user {i} should not improve");
+        }
+        // And strictly for positive-rate users.
+        for i in 1..rates.len() {
+            prop_assert!(after[i] > before[i]);
+        }
+    }
+
+    #[test]
+    fn priority_table_rows_sum_to_rates(rates in rate_vectors()) {
+        let t = priority_table(&rates);
+        for (u, row) in t.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - rates[u]).abs() < 1e-10);
+            // No negative level rates.
+            prop_assert!(row.iter().all(|&x| x >= 0.0));
+        }
+        // Level loads: level m is fed by (n - m) users at equal rate.
+        let n = rates.len();
+        let mut sorted = rates.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for m in 0..n {
+            let level_total: f64 = (0..n).map(|u| t[u][m]).sum();
+            let delta = if m == 0 { sorted[0] } else { sorted[m] - sorted[m - 1] };
+            prop_assert!((level_total - delta * (n - m) as f64).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fair_share_dominates_fifo_for_light_users(rates in rate_vectors()) {
+        // A below-average user is never worse off under FS than FIFO
+        // at identical rate vectors (the insulation benefit).
+        let fs = FairShare::new().congestion(&rates);
+        let p = Proportional::new().congestion(&rates);
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        for (i, &ri) in rates.iter().enumerate() {
+            if ri <= mean {
+                prop_assert!(fs[i] <= p[i] + 1e-9,
+                    "light user {i} worse under FS: {} > {}", fs[i], p[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_roundtrip_construction(rates in rate_vectors()) {
+        let fs = FairShare::new();
+        let c = fs.congestion(&rates);
+        let a = Allocation::new(rates.clone(), c).unwrap();
+        prop_assert_eq!(a.len(), rates.len());
+        prop_assert!(a.validate().is_ok());
+    }
+}

@@ -1,0 +1,55 @@
+//! The §5.4 generalization in action: a "parking lot" network — one
+//! through user crossing every switch, one local user per switch — under
+//! Fair Share and FIFO scheduling at every hop.
+//!
+//! Run with: `cargo run --release --example network_parking_lot [k]`
+
+use greednet::core::utility::UtilityExt;
+use greednet::network::{NetworkGame, Topology};
+use greednet::prelude::*;
+
+fn main() {
+    let k: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    println!("Parking-lot network with {k} switches (§5.4, Poisson approximation)\n");
+    println!("  user 0 ('through') crosses all {k} switches; users 1..={k} are local.\n");
+
+    let users = || -> Vec<BoxedUtility> {
+        (0..=k).map(|_| LogUtility::new(0.5, 1.0).boxed()).collect()
+    };
+
+    for (name, alloc) in [
+        ("Fair Share at every switch", Box::new(FairShare::new()) as Box<dyn AllocationFunction>),
+        ("FIFO at every switch", Box::new(Proportional::new())),
+    ] {
+        let net = NetworkGame::new(Topology::parking_lot(k).expect("topology"), alloc, users())
+            .expect("game");
+        let nash = net.solve_nash(&NashOptions::default()).expect("nash");
+        println!("== {name}");
+        println!(
+            "   converged: {} in {} sweeps; unilateral deviation gain {:.1e}",
+            nash.converged,
+            nash.iterations,
+            net.max_deviation_gain(&nash.rates, 192).expect("verify")
+        );
+        println!(
+            "   through user: r = {:.4}, total c = {:.4}, U = {:+.4}",
+            nash.rates[0], nash.congestions[0], nash.utilities[0]
+        );
+        println!(
+            "   local users : r = {:.4}, total c = {:.4}, U = {:+.4}",
+            nash.rates[1], nash.congestions[1], nash.utilities[1]
+        );
+        // Protection: locals flood; what happens to the through user?
+        let bound = net.protection_bound(0, nash.rates[0]);
+        let worst = net.adversarial_congestion(0, nash.rates[0], &[0.3, 0.8, 0.95, 2.0]);
+        println!(
+            "   through-user protection: worst c = {worst:.4} vs summed bound {bound:.4} ({})",
+            if worst <= bound * (1.0 + 1e-9) { "PROTECTED" } else { "VIOLATED" }
+        );
+        println!();
+    }
+
+    println!("Long routes send less at equilibrium under both disciplines, but only");
+    println!("Fair Share caps what flooding locals can do to the through user —");
+    println!("the paper's protection result survives hop-by-hop (§5.4).");
+}

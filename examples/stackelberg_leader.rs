@@ -1,0 +1,54 @@
+//! A sophisticated leader exploiting naive hill climbers (§4.2.2,
+//! Theorem 5).
+//!
+//! The leader commits to a rate on a slow timescale; naive followers
+//! equilibrate between its moves. Under FIFO the leader profitably
+//! over-grabs (the followers back off); under Fair Share the Stackelberg
+//! point *is* the Nash point, so sophistication earns exactly nothing.
+//!
+//! Run with: `cargo run --release --example stackelberg_leader`
+
+use greednet::core::stackelberg::{leader_advantage, StackelbergOptions};
+use greednet::core::utility::UtilityExt;
+use greednet::prelude::*;
+
+fn report(label: &str, game: &Game) {
+    let opts = StackelbergOptions::default();
+    let (stack, nash) = leader_advantage(game, 0, &opts).expect("stackelberg solve");
+    println!("== {label}");
+    println!(
+        "   Nash:        leader rate {:.4}, leader utility {:+.5}",
+        nash.rates[0], nash.utilities[0]
+    );
+    println!(
+        "   Stackelberg: leader rate {:.4}, leader utility {:+.5}",
+        stack.leader_rate, stack.leader_utility
+    );
+    let adv = stack.leader_utility - nash.utilities[0];
+    println!("   advantage from sophistication: {adv:+.6}");
+    if adv > 1e-5 {
+        let victims: Vec<String> = (1..game.n())
+            .map(|i| {
+                let u_stack = game.utilities_at(&stack.rates)[i];
+                format!("user {i}: {:+.5} -> {:+.5}", nash.utilities[i], u_stack)
+            })
+            .collect();
+        println!("   follower utilities (Nash -> Stackelberg): {}", victims.join(", "));
+    }
+    println!();
+}
+
+fn main() {
+    println!("Leader/follower play: does sophistication pay?\n");
+    let users = || -> Vec<BoxedUtility> {
+        vec![
+            LinearUtility::new(1.0, 0.2).boxed(),
+            LinearUtility::new(1.0, 0.2).boxed(),
+            LinearUtility::new(1.0, 0.2).boxed(),
+        ]
+    };
+    report("FIFO", &Game::new(Proportional::new(), users()).unwrap());
+    report("Fair Share", &Game::new(FairShare::new(), users()).unwrap());
+    println!("Theorem 5: under Fair Share every Nash equilibrium is already a");
+    println!("Stackelberg equilibrium — naive hill climbers cannot be exploited.");
+}

@@ -1,0 +1,85 @@
+//! End-to-end smoke tests of the `greednet` CLI binary: every subcommand
+//! is exercised through the real executable.
+
+use std::process::Command;
+
+/// Runs the CLI through `cargo run -p greednet-cli` so the test does not
+/// depend on artifact layout.
+fn run_cli(args: &[&str]) -> (bool, String, String) {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.arg("run").arg("--quiet").arg("-p").arg("greednet-cli").arg("--");
+    cmd.args(args);
+    let out = cmd.output().expect("failed to launch cargo run");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = run_cli(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("nash"));
+    assert!(stdout.contains("simulate"));
+}
+
+#[test]
+fn nash_subcommand_works() {
+    let (ok, stdout, stderr) = run_cli(&[
+        "nash",
+        "--discipline",
+        "fs",
+        "--users",
+        "log:0.5,1.0;linear:1.0,0.3",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Nash equilibrium under fair share"));
+    assert!(stdout.contains("max envy"));
+}
+
+#[test]
+fn simulate_subcommand_works() {
+    let (ok, stdout, stderr) = run_cli(&[
+        "simulate",
+        "--rates",
+        "0.2,0.1",
+        "--discipline",
+        "fifo",
+        "--horizon",
+        "5000",
+        "--service",
+        "D",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Simulated FIFO"));
+    assert!(stdout.contains("total mean queue"));
+}
+
+#[test]
+fn table_and_protect_and_network_work() {
+    let (ok, stdout, _) = run_cli(&["table", "--rates", "0.05,0.1,0.2"]);
+    assert!(ok);
+    assert!(stdout.contains("priority table"));
+
+    let (ok, stdout, _) = run_cli(&["protect", "--n", "4", "--victim", "0.1"]);
+    assert!(ok);
+    assert!(stdout.contains("PROTECTED"));
+
+    let (ok, stdout, _) = run_cli(&["network", "--switches", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("through"));
+}
+
+#[test]
+fn bad_input_exits_nonzero_with_message() {
+    let (ok, _, stderr) = run_cli(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (ok, _, stderr) = run_cli(&["simulate"]);
+    assert!(!ok);
+    assert!(stderr.contains("--rates"));
+}

@@ -1,0 +1,87 @@
+//! Cross-crate integration: the closed-form allocation theory
+//! (`greednet-queueing`) against the packet-level simulator
+//! (`greednet-des`) — §3.1 of the paper made executable.
+
+use greednet::des::scenarios::DisciplineKind;
+use greednet::des::{SimConfig, Simulator};
+use greednet::queueing::{mm1, AllocationFunction, FairShare, Proportional, SerialPriority};
+
+fn simulate(rates: &[f64], kind: DisciplineKind, horizon: f64, seed: u64) -> Vec<f64> {
+    let sim = Simulator::new(SimConfig::new(rates.to_vec(), horizon, seed)).unwrap();
+    let mut d = kind.build(rates, seed ^ 0xF00D).unwrap();
+    sim.run(d.as_mut()).unwrap().mean_queue
+}
+
+#[test]
+fn closed_forms_match_packets_across_disciplines() {
+    let rates = [0.08, 0.22, 0.35];
+    let horizon = 250_000.0;
+    let cases: Vec<(DisciplineKind, Vec<f64>)> = vec![
+        (DisciplineKind::Fifo, Proportional::new().congestion(&rates)),
+        (DisciplineKind::ProcessorSharing, Proportional::new().congestion(&rates)),
+        (DisciplineKind::SerialPriority, SerialPriority::new().congestion(&rates)),
+        (DisciplineKind::FsTable, FairShare::new().congestion(&rates)),
+    ];
+    for (kind, expect) in cases {
+        let sim = simulate(&rates, kind, horizon, 31337);
+        for u in 0..rates.len() {
+            let rel = (sim[u] - expect[u]).abs() / expect[u];
+            assert!(
+                rel < 0.08,
+                "{} user {u}: simulated {} vs closed form {}",
+                kind.label(),
+                sim[u],
+                expect[u]
+            );
+        }
+    }
+}
+
+#[test]
+fn work_conservation_in_packets() {
+    let rates = [0.1, 0.15, 0.2];
+    let expect = mm1::g(0.45);
+    for kind in DisciplineKind::all() {
+        let total: f64 = simulate(&rates, kind, 150_000.0, 555).iter().sum();
+        assert!(
+            (total - expect).abs() / expect < 0.06,
+            "{}: total {} vs {}",
+            kind.label(),
+            total,
+            expect
+        );
+    }
+}
+
+#[test]
+fn protection_bound_holds_in_packets() {
+    // Theorem 8 at packet level: under the Table 1 discipline, a victim at
+    // rate r with ANY opponent behaviour stays below r/(1 - N r).
+    let victim = 0.1;
+    let n = 3;
+    let bound = victim / (1.0 - n as f64 * victim);
+    for blaster in [0.3, 0.6, 1.2] {
+        let rates = vec![victim, blaster, 0.05];
+        let mut cfg = SimConfig::new(rates.clone(), 60_000.0, 808);
+        cfg.allow_overload = true;
+        let sim = Simulator::new(cfg).unwrap();
+        let mut d = DisciplineKind::FsTable.build(&rates, 1).unwrap();
+        let q = sim.run(d.as_mut()).unwrap().mean_queue[0];
+        assert!(
+            q <= bound * 1.08,
+            "victim queue {q} above protection bound {bound} (blaster {blaster})"
+        );
+    }
+}
+
+#[test]
+fn fifo_violates_protection_in_packets() {
+    let victim = 0.1;
+    let n = 3;
+    let bound = victim / (1.0 - n as f64 * victim);
+    let rates = vec![victim, 0.85, 0.02];
+    let sim = Simulator::new(SimConfig::new(rates.clone(), 60_000.0, 808)).unwrap();
+    let mut d = DisciplineKind::Fifo.build(&rates, 1).unwrap();
+    let q = sim.run(d.as_mut()).unwrap().mean_queue[0];
+    assert!(q > 2.0 * bound, "FIFO victim queue {q} vs bound {bound}");
+}
