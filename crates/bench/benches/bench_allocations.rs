@@ -7,7 +7,9 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn rates(n: usize) -> Vec<f64> {
-    (0..n).map(|i| 0.8 * (i as f64 + 1.0) / (n * (n + 1) / 2) as f64).collect()
+    (0..n)
+        .map(|i| 0.8 * (i as f64 + 1.0) / (n * (n + 1) / 2) as f64)
+        .collect()
 }
 
 fn bench_congestion(c: &mut Criterion) {
@@ -19,8 +21,12 @@ fn bench_congestion(c: &mut Criterion) {
         (
             "blend",
             Box::new(
-                Blend::new(Box::new(Proportional::new()), Box::new(FairShare::new()), 0.5)
-                    .unwrap(),
+                Blend::new(
+                    Box::new(Proportional::new()),
+                    Box::new(FairShare::new()),
+                    0.5,
+                )
+                .unwrap(),
             ),
         ),
     ];

@@ -36,13 +36,17 @@ fn bench_load_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for load in [0.3f64, 0.6, 0.9] {
         let rates = vec![load / 3.0; 3];
-        group.bench_with_input(BenchmarkId::new("fifo", format!("{load}")), &rates, |b, r| {
-            b.iter(|| {
-                let sim = Simulator::new(SimConfig::new(r.clone(), 10_000.0, 2)).unwrap();
-                let mut d = DisciplineKind::Fifo.build(r, 2).unwrap();
-                sim.run(d.as_mut()).unwrap().events
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fifo", format!("{load}")),
+            &rates,
+            |b, r| {
+                b.iter(|| {
+                    let sim = Simulator::new(SimConfig::new(r.clone(), 10_000.0, 2)).unwrap();
+                    let mut d = DisciplineKind::Fifo.build(r, 2).unwrap();
+                    sim.run(d.as_mut()).unwrap().events
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -12,7 +12,9 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn log_users(n: usize) -> Vec<BoxedUtility> {
-    (0..n).map(|i| LogUtility::new(0.3 + 0.15 * i as f64, 1.0).boxed()).collect()
+    (0..n)
+        .map(|i| LogUtility::new(0.3 + 0.15 * i as f64, 1.0).boxed())
+        .collect()
 }
 
 fn bench_hill(c: &mut Criterion) {
@@ -23,7 +25,10 @@ fn bench_hill(c: &mut Criterion) {
             b.iter(|| {
                 let users = log_users(n);
                 let mut env = ExactEnv::new(Box::new(FairShare::new()), n);
-                let cfg = HillConfig { rounds: 50, ..Default::default() };
+                let cfg = HillConfig {
+                    rounds: 50,
+                    ..Default::default()
+                };
                 climb(&users, &mut env, black_box(&vec![0.05; n]), &cfg).unwrap()
             })
         });
@@ -47,7 +52,12 @@ fn bench_elimination(c: &mut Criterion) {
     let mut group = c.benchmark_group("elimination");
     group.sample_size(10);
     let users = log_users(3);
-    let cfg = EliminationConfig { grid: 41, lo: 0.005, hi: 0.5, max_rounds: 60 };
+    let cfg = EliminationConfig {
+        grid: 41,
+        lo: 0.005,
+        hi: 0.5,
+        max_rounds: 60,
+    };
     group.bench_function("fair_share_grid41", |b| {
         b.iter(|| elim_run(&FairShare::new(), black_box(&users), &cfg).unwrap())
     });

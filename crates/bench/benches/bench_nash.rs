@@ -11,7 +11,9 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn log_users(n: usize) -> Vec<BoxedUtility> {
-    (0..n).map(|i| LogUtility::new(0.3 + 0.1 * i as f64, 1.0).boxed()).collect()
+    (0..n)
+        .map(|i| LogUtility::new(0.3 + 0.1 * i as f64, 1.0).boxed())
+        .collect()
 }
 
 fn bench_best_response(c: &mut Criterion) {
@@ -31,8 +33,14 @@ fn bench_solve_nash(c: &mut Criterion) {
     group.sample_size(20);
     for n in [2usize, 4, 8] {
         for (name, game) in [
-            ("fair_share", Game::new(FairShare::new(), log_users(n)).unwrap()),
-            ("fifo", Game::new(Proportional::new(), log_users(n)).unwrap()),
+            (
+                "fair_share",
+                Game::new(FairShare::new(), log_users(n)).unwrap(),
+            ),
+            (
+                "fifo",
+                Game::new(Proportional::new(), log_users(n)).unwrap(),
+            ),
         ] {
             group.bench_function(BenchmarkId::new(name, n), |b| {
                 b.iter(|| game.solve_nash(black_box(&NashOptions::default())).unwrap())

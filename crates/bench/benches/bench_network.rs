@@ -10,7 +10,9 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn users(n: usize) -> Vec<BoxedUtility> {
-    (0..n).map(|i| LogUtility::new(0.3 + 0.05 * i as f64, 1.0).boxed()).collect()
+    (0..n)
+        .map(|i| LogUtility::new(0.3 + 0.05 * i as f64, 1.0).boxed())
+        .collect()
 }
 
 fn bench_congestion(c: &mut Criterion) {

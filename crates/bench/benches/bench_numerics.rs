@@ -35,7 +35,12 @@ fn bench_lu(c: &mut Criterion) {
         let m = test_matrix(n);
         let rhs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         group.bench_with_input(BenchmarkId::new("factor_solve", n), &m, |b, m| {
-            b.iter(|| Lu::new(black_box(m)).unwrap().solve(black_box(&rhs)).unwrap())
+            b.iter(|| {
+                Lu::new(black_box(m))
+                    .unwrap()
+                    .solve(black_box(&rhs))
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -49,9 +54,7 @@ fn bench_scalar(c: &mut Criterion) {
         b.iter(|| brent_max(|x| -(black_box(x) - 0.37).powi(2), 0.0, 1.0, 1e-12).unwrap())
     });
     c.bench_function("grid_refine_max_96", |b| {
-        b.iter(|| {
-            grid_refine_max(|x| -(black_box(x) - 0.37).powi(2), 0.0, 1.0, 96, 1e-12).unwrap()
-        })
+        b.iter(|| grid_refine_max(|x| -(black_box(x) - 0.37).powi(2), 0.0, 1.0, 96, 1e-12).unwrap())
     });
 }
 

@@ -1,77 +1,8 @@
-//! Experiment E10(a) — §2.2/§4.2.2: hill climbing against noisy packet
-//! measurements converges under Fair Share, struggles under FIFO.
-
-use greednet_bench::{header, note};
-use greednet_core::game::{Game, NashOptions};
-use greednet_core::utility::{BoxedUtility, LinearUtility, UtilityExt};
-use greednet_des::scenarios::DisciplineKind;
-use greednet_learning::hill::{climb, HillConfig, Schedule, SimEnv};
-use greednet_queueing::{FairShare, Proportional};
+//! Thin wrapper running experiment `e10a` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E10a: noisy self-optimization dynamics (§2.2, §4.2.2)");
-    let n = 3;
-    let gamma = 0.45;
-    let users = || -> Vec<BoxedUtility> {
-        (0..n).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect()
-    };
-    let start = vec![0.03, 0.10, 0.20];
-    note(&format!(
-        "{n} identical linear users (gamma = {gamma}), start {start:?}, measurements = 6000 time-unit packet runs"
-    ));
-
-    println!(
-        "\n  {:<12}{:>8}{:>22}{:>20}{:>16}",
-        "discipline", "seed", "final dist to Nash", "utility shortfall", "observations"
-    );
-    for (kind, game) in [
-        (DisciplineKind::FsTable, Game::new(FairShare::new(), users()).expect("game")),
-        (DisciplineKind::Fifo, Game::new(Proportional::new(), users()).expect("game")),
-    ] {
-        let nash = game.solve_nash(&NashOptions::default()).expect("nash");
-        let mut dist_sum = 0.0;
-        let mut short_sum = 0.0;
-        let seeds = [1u64, 2, 3, 4, 5];
-        for &seed in &seeds {
-            let mut env = SimEnv::new(kind, n, 6_000.0, seed * 1000 + 7);
-            let config = HillConfig {
-                rounds: 40,
-                initial_step: 0.04,
-                min_step: 4e-3,
-                schedule: Schedule::Simultaneous, // the paper's synchronous model
-                ..Default::default()
-            };
-            let traj = climb(&users(), &mut env, &start, &config).expect("climb");
-            // Mean per-user shortfall in TRUE utility vs the Nash point.
-            let u_final = game.utilities_at(&traj.final_rates);
-            let shortfall: f64 = nash
-                .utilities
-                .iter()
-                .zip(&u_final)
-                .map(|(a, b)| a - b)
-                .sum::<f64>()
-                / n as f64;
-            dist_sum += traj.distance_to(&nash.rates);
-            short_sum += shortfall;
-            println!(
-                "  {:<12}{seed:>8}{:>22.4}{shortfall:>20.5}{:>16}",
-                kind.label(),
-                traj.distance_to(&nash.rates),
-                traj.observations
-            );
-        }
-        println!(
-            "  {:<12}{:>8}{:>22.4}{:>20.5}",
-            kind.label(),
-            "MEAN",
-            dist_sum / seeds.len() as f64,
-            short_sum / seeds.len() as f64
-        );
-    }
-    note("paper (§2.2, §4.2.2): simple hill climbing suffices under Fair Share —");
-    note("the insularity of C^FS keeps other users' probing out of your own");
-    note("measurements. Under FIFO every probe perturbs everyone: at the same");
-    note("measurement budget the climbers end ~3x farther from equilibrium with");
-    note("~30x the utility shortfall (negative entries = users profiting at");
-    note("others' expense while the system drifts).");
+    greednet_bench::exp_cli::exp_main("e10a");
 }

@@ -1,46 +1,8 @@
-//! Experiment E10(b) — §5.2: the Fair Queueing claims on the FTP / Telnet
-//! / blaster workload, at packet level.
-
-use greednet_bench::{header, note};
-use greednet_des::scenarios::{DisciplineKind, Scenario};
+//! Thin wrapper running experiment `e10b` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E10b: FTP/Telnet/blaster scenarios (§5.2)");
-    let horizon = 60_000.0;
-    let seed = 4096;
-
-    for (label, scenario) in [
-        ("2 FTP @0.30 + 3 Telnet @0.02", Scenario::ftp_telnet(2, 0.30, 3, 0.02)),
-        (
-            "2 FTP @0.30 + 3 Telnet @0.02 + blaster @1.0",
-            Scenario::ftp_telnet(2, 0.30, 3, 0.02).with_blaster(1.0),
-        ),
-    ] {
-        println!("\n  scenario: {label} (load {:.2})", scenario.load());
-        println!(
-            "  {:<12}{:>14}{:>14}{:>16}{:>14}{:>14}",
-            "discipline", "telnet delay", "telnet p99", "ftp throughput", "blaster tput", "telnet tput"
-        );
-        for kind in [
-            DisciplineKind::Fifo,
-            DisciplineKind::ProcessorSharing,
-            DisciplineKind::Sfq,
-            DisciplineKind::FsTable,
-        ] {
-            let r = scenario.run(kind, horizon, seed).expect("simulate");
-            println!(
-                "  {:<12}{:>14.3}{:>14.3}{:>16.4}{:>14.4}{:>14.4}",
-                kind.label(),
-                r.mean_delay_of("telnet"),
-                r.p99_delay_of("telnet"),
-                r.throughput_of("ftp"),
-                r.throughput_of("blaster"),
-                r.throughput_of("telnet"),
-            );
-        }
-    }
-    note("paper (§5.2): Fair-Share-family scheduling gives (1) fair throughput");
-    note("allocation, (2) lower delay to sources using less than their share,");
-    note("and (3) protection from ill-behaved sources, versus FIFO where the");
-    note("blaster captures the switch and Telnet delay explodes.");
+    greednet_bench::exp_cli::exp_main("e10b");
 }

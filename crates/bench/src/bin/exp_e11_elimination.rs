@@ -1,83 +1,8 @@
-//! Experiment E11 — §4.2.2: generalized hill climbing as candidate-set
-//! elimination. Fair Share candidate sets collapse to the unique Nash
-//! equilibrium; FIFO sets stay fat (no robust convergence guarantee).
-
-use greednet_bench::{header, note, standard_disciplines};
-use greednet_core::game::{Game, NashOptions};
-use greednet_core::utility::{BoxedUtility, LogUtility, UtilityExt};
-use greednet_learning::automata::{run as automata_run, AutomataConfig};
-use greednet_learning::elimination::{run, EliminationConfig};
-use greednet_learning::hill::ExactEnv;
+//! Thin wrapper running experiment `e11` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E11: candidate-elimination dynamics (generalized hill climbing)");
-    let users: Vec<BoxedUtility> = vec![
-        LogUtility::new(0.3, 1.0).boxed(),
-        LogUtility::new(0.6, 1.0).boxed(),
-        LogUtility::new(0.9, 1.0).boxed(),
-    ];
-    let cfg = EliminationConfig { grid: 61, lo: 0.005, hi: 0.5, max_rounds: 120 };
-    let step = (cfg.hi - cfg.lo) / (cfg.grid - 1) as f64;
-    note(&format!(
-        "3 log users; {}-point candidate grids on [{}, {}] (step {:.4})",
-        cfg.grid, cfg.lo, cfg.hi, step
-    ));
-
-    println!(
-        "\n  {:<12}{:>10}{:>12}{:>26}{:>12}",
-        "discipline", "rounds", "eliminated", "surviving widths", "collapsed"
-    );
-    for (name, alloc) in standard_disciplines() {
-        let out = run(alloc.as_ref(), &users, &cfg).expect("elimination");
-        let widths: Vec<String> =
-            out.widths().iter().map(|w| format!("{w:.3}")).collect();
-        println!(
-            "  {name:<12}{:>10}{:>12}{:>26}{:>12}",
-            out.rounds,
-            out.eliminated,
-            widths.join("/"),
-            out.collapsed(3.0 * step)
-        );
-        if name == "FairShare" {
-            let game = Game::from_boxed(alloc.clone_box(), users.clone()).expect("game");
-            let nash = game.solve_nash(&NashOptions::default()).expect("nash");
-            let mids: Vec<String> =
-                out.midpoints().iter().map(|m| format!("{m:.4}")).collect();
-            let nr: Vec<String> = nash.rates.iter().map(|r| format!("{r:.4}")).collect();
-            note(&format!("    FS survivors center on {} vs Nash {}", mids.join("/"), nr.join("/")));
-        }
-    }
-    note("paper (§4.2.2, Thm 5 via [8]): any combination of 'reasonable'");
-    note("optimization procedures converges to the unique Nash equilibrium under");
-    note("Fair Share — S^infinity is a point; no such guarantee elsewhere.");
-
-    // A second instance of [8]: linear reward-inaction learning automata.
-    println!("\n  Learning automata (pursuit, 20000 rounds, 21-point grids, 3 seeds):");
-    println!(
-        "  {:<12}{:>30}{:>22}",
-        "discipline", "mean rates (per user)", "mean concentration"
-    );
-    for (name, alloc) in standard_disciplines() {
-        for seed in [7u64, 11, 23] {
-            let acfg = AutomataConfig { seed, ..Default::default() };
-            let mut env = ExactEnv::new(alloc.clone_box(), users.len());
-            let out = automata_run(&users, &mut env, &acfg).expect("automata");
-            let rates: Vec<String> =
-                out.mean_rates.iter().map(|r| format!("{r:.3}")).collect();
-            let conc =
-                out.concentration.iter().sum::<f64>() / out.concentration.len() as f64;
-            println!("  {name:<12}{:>30}{conc:>22.3}", rates.join("/"));
-        }
-    }
-    let game = greednet_core::game::Game::new(
-        greednet_queueing::FairShare::new(),
-        users.clone(),
-    )
-    .expect("game");
-    let nash = game.solve_nash(&NashOptions::default()).expect("nash");
-    let nr: Vec<String> = nash.rates.iter().map(|r| format!("{r:.3}")).collect();
-    note(&format!("    (Fair Share Nash for reference: {})", nr.join("/")));
-    note("automata — which see only their own sampled payoffs — settle on the");
-    note("Fair Share equilibrium regardless of seed (Thm 5(1) via [8]); under the");
-    note("other disciplines the same automata land somewhere different every run.");
+    greednet_bench::exp_cli::exp_main("e11");
 }

@@ -1,122 +1,8 @@
-//! Experiment E12 — §5.4: networks of switches (the paper's named open
-//! problem, under its own suggested Poisson approximation).
-//!
-//! Parking-lot topologies: one through user crossing `k` switches, one
-//! local user per switch. Checks which single-switch results survive:
-//! unique reachable equilibria, same-route envy-freeness and per-route
-//! protection under Fair Share — and the continued failure of all three
-//! under FIFO — while cross-route envy illustrates why §5.4 says fairness
-//! needs a new definition.
-
-use greednet_bench::{header, note};
-use greednet_core::game::NashOptions;
-use greednet_core::utility::{BoxedUtility, LogUtility, UtilityExt};
-use greednet_network::{NetworkGame, Topology};
-use greednet_queueing::{FairShare, Proportional};
-
-fn users(k: usize) -> Vec<BoxedUtility> {
-    (0..=k).map(|_| LogUtility::new(0.5, 1.0).boxed()).collect()
-}
+//! Thin wrapper running experiment `e12` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E12: networks of switches (§5.4; extension under the paper's Poisson approximation)");
-    note("parking lot: 1 through user crossing k switches + 1 local user per switch");
-
-    println!(
-        "\n  {:<4}{:<12}{:>12}{:>14}{:>14}{:>16}{:>16}",
-        "k", "discipline", "converged", "r(through)", "r(local)", "deviation gain", "thru/local c"
-    );
-    for k in [2usize, 3, 5] {
-        for (name, net) in [
-            (
-                "FairShare",
-                NetworkGame::new(
-                    Topology::parking_lot(k).expect("topology"),
-                    Box::new(FairShare::new()),
-                    users(k),
-                )
-                .expect("game"),
-            ),
-            (
-                "FIFO",
-                NetworkGame::new(
-                    Topology::parking_lot(k).expect("topology"),
-                    Box::new(Proportional::new()),
-                    users(k),
-                )
-                .expect("game"),
-            ),
-        ] {
-            let nash = net.solve_nash(&NashOptions::default()).expect("nash");
-            let gain = net.max_deviation_gain(&nash.rates, 192).expect("verify");
-            println!(
-                "  {k:<4}{name:<12}{:>12}{:>14.4}{:>14.4}{gain:>16.2e}{:>16.3}",
-                nash.converged,
-                nash.rates[0],
-                nash.rates[1],
-                nash.congestions[0] / nash.congestions[1]
-            );
-        }
-    }
-    note("long routes rationally send less; equilibria exist, converge and verify");
-    note("under both disciplines in this benign setting.");
-
-    // Protection across routes.
-    println!("\n  Protection of the through user (r = 0.08) vs flooding locals (k = 3):");
-    println!(
-        "  {:<12}{:>18}{:>18}{:>14}",
-        "discipline", "worst congestion", "summed bound", "protected?"
-    );
-    let k = 3;
-    for (name, net) in [
-        (
-            "FairShare",
-            NetworkGame::new(
-                Topology::parking_lot(k).expect("topology"),
-                Box::new(FairShare::new()),
-                users(k),
-            )
-            .expect("game"),
-        ),
-        (
-            "FIFO",
-            NetworkGame::new(
-                Topology::parking_lot(k).expect("topology"),
-                Box::new(Proportional::new()),
-                users(k),
-            )
-            .expect("game"),
-        ),
-    ] {
-        let observed = net.adversarial_congestion(0, 0.08, &[0.1, 0.3, 0.8, 0.95, 2.0]);
-        let bound = net.protection_bound(0, 0.08);
-        println!(
-            "  {name:<12}{observed:>18.4}{bound:>18.4}{:>14}",
-            observed <= bound * (1.0 + 1e-9)
-        );
-    }
-
-    // Fairness needs redefinition: cross-route envy under FS.
-    println!("\n  Envy in a network under Fair Share (2 switches, 2 through + 2 local):");
-    let t = Topology::new(2, vec![vec![0, 1], vec![0, 1], vec![0], vec![1]]).expect("topology");
-    let u: Vec<BoxedUtility> = vec![
-        LogUtility::new(0.3, 1.0).boxed(),
-        LogUtility::new(0.9, 1.0).boxed(),
-        LogUtility::new(0.5, 1.0).boxed(),
-        LogUtility::new(0.5, 1.0).boxed(),
-    ];
-    let net = NetworkGame::new(t, Box::new(FairShare::new()), u).expect("game");
-    let nash = net.solve_nash(&NashOptions::default()).expect("nash");
-    let same = net.max_same_route_envy(&nash.rates);
-    let mut cross = f64::NEG_INFINITY;
-    for i in 0..4 {
-        for j in 0..4 {
-            if i != j && net.topology().route(i) != net.topology().route(j) {
-                cross = cross.max(net.envy(&nash.rates, i, j));
-            }
-        }
-    }
-    println!("  same-route max envy : {same:+.6}  (envy-freeness survives)");
-    println!("  cross-route max env : {cross:+.6}  (positive: short routes look 'better';");
-    println!("                        §5.4: fairness across routes needs a new definition)");
+    greednet_bench::exp_cli::exp_main("e12");
 }

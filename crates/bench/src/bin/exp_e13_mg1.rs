@@ -1,123 +1,8 @@
-//! Experiment E13 — footnote 5: the theory beyond M/M/1.
-//!
-//! The paper notes its results hold for any strictly increasing, strictly
-//! convex congestion curve — in particular M/G/1. This experiment (an
-//! extension beyond the paper's own evaluation) re-verifies the headline
-//! properties over Pollaczek–Khinchine kernels:
-//!
-//! * packet totals match P–K for M/D/1, Erlang and hyperexponential
-//!   service under FIFO;
-//! * the kernelized Fair Share keeps insularity, unique equilibria,
-//!   envy-freeness and the protection bound shape;
-//! * the preemptive Table 1 realization is exact only for exponential
-//!   service (documented realizability caveat).
-
-use greednet_bench::{header, note};
-use greednet_core::game::{Game, NashOptions};
-use greednet_core::utility::{BoxedUtility, LogUtility, UtilityExt};
-use greednet_des::{Fifo, ServiceDist, SimConfig, Simulator};
-use greednet_queueing::kernelized::{KernelFairShare, KernelProportional};
-use greednet_queueing::mm1::{CongestionKernel, Mg1Kernel};
-use greednet_queueing::AllocationFunction;
-use std::sync::Arc;
+//! Thin wrapper running experiment `e13` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E13: beyond M/M/1 — M/G/1 kernels (paper footnote 5; extension)");
-
-    note("(a) packet totals vs Pollaczek-Khinchine, FIFO, load 0.6:");
-    println!(
-        "\n  {:<14}{:>8}{:>14}{:>14}{:>10}",
-        "service", "cs2", "P-K total", "simulated", "rel.err"
-    );
-    let rates = vec![0.25, 0.35];
-    for dist in [
-        ServiceDist::Deterministic,
-        ServiceDist::Erlang(4),
-        ServiceDist::Exponential,
-        ServiceDist::Hyperexponential { cs2: 4.0 },
-    ] {
-        let kernel = Mg1Kernel::new(dist.cs2());
-        let expect = kernel.g(0.6);
-        let mut cfg = SimConfig::new(rates.clone(), 200_000.0, 99);
-        cfg.service = dist;
-        let sim = Simulator::new(cfg).expect("config");
-        let r = sim.run(&mut Fifo).expect("simulate");
-        let rel = (r.total_mean_queue - expect).abs() / expect;
-        println!(
-            "  {:<14}{:>8.2}{:>14.4}{:>14.4}{:>9.2}%",
-            dist.label(),
-            dist.cs2(),
-            expect,
-            r.total_mean_queue,
-            rel * 100.0
-        );
-    }
-
-    note("\n(b) the theorems' signatures survive the kernel change (M/D/1):");
-    let kernel: Arc<dyn CongestionKernel> = Arc::new(Mg1Kernel::new(0.0));
-    let users = || -> Vec<BoxedUtility> {
-        vec![
-            LogUtility::new(0.4, 1.0).boxed(),
-            LogUtility::new(0.8, 1.2).boxed(),
-            LogUtility::new(1.2, 0.9).boxed(),
-        ]
-    };
-    let fs_game =
-        Game::from_boxed(Box::new(KernelFairShare::new(kernel.clone())), users()).expect("game");
-    let fifo_game =
-        Game::from_boxed(Box::new(KernelProportional::new(kernel.clone())), users())
-            .expect("game");
-    let nash_fs = fs_game.solve_nash(&NashOptions::default()).expect("fs nash");
-    let nash_fifo = fifo_game.solve_nash(&NashOptions::default()).expect("fifo nash");
-    println!(
-        "\n  {:<22}{:>14}{:>14}",
-        "property", "KernelFS", "KernelFIFO"
-    );
-    println!(
-        "  {:<22}{:>14}{:>14}",
-        "Nash converged",
-        nash_fs.converged,
-        nash_fifo.converged
-    );
-    let envy_fs = fs_game.max_envy(&nash_fs.rates).expect("envy");
-    let envy_fifo = fifo_game.max_envy(&nash_fifo.rates).expect("envy");
-    println!("  {:<22}{envy_fs:>14.6}{envy_fifo:>14.6}", "max envy at Nash");
-    // Insularity of the kernelized Fair Share.
-    let kfs = KernelFairShare::new(kernel.clone());
-    let light = nash_fs
-        .rates
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .map(|(i, _)| i)
-        .unwrap();
-    let mut bumped = nash_fs.rates.clone();
-    let heavy = (light + 1) % 3;
-    bumped[heavy] += 0.3;
-    let before = kfs.congestion(&nash_fs.rates)[light];
-    let after = kfs.congestion(&bumped)[light];
-    println!(
-        "  {:<22}{:>14.6}{:>14}",
-        "light-user insularity",
-        (after - before).abs(),
-        "n/a"
-    );
-    // Protection bound shape: all peers at the victim's rate is the worst case.
-    let victim = 0.1;
-    let worst = kfs.congestion(&[victim, 10.0, 10.0])[0];
-    let at_bound = kfs.congestion(&[victim; 3])[0];
-    println!(
-        "  {:<22}{:>14.6}{:>14}",
-        "protection tightness",
-        (worst - at_bound).abs(),
-        "unbounded"
-    );
-    note("(zero envy / insularity / tight protection for the kernelized Fair");
-    note("Share; the proportional kernel allocation keeps none of them)");
-
-    note("\n(c) realizability: the preemptive Table 1 scheduler vs the kernel");
-    note("serialization under deterministic service (see the DES test");
-    note("`md1_fair_share_table_is_exact_for_the_lightest_user_only`): exact for");
-    note("the lightest user, ~5-10% over-charge for preempted heavy users —");
-    note("mean queue length is scheduling-dependent outside M/M/1.");
+    greednet_bench::exp_cli::exp_main("e13");
 }

@@ -1,48 +1,8 @@
-//! Experiment E14 — footnote 14: coalitional manipulation.
-//!
-//! For each discipline and each sampled profile, sweeps all coalitions of
-//! size ≥ 2 and searches for a joint rate deviation that strictly
-//! benefits every member. Fair Share equilibria must be coalition-proof;
-//! FIFO equilibria are cartel-friendly.
-
-use greednet_bench::{header, note, standard_disciplines, ProfileSampler};
-use greednet_core::coalition::find_manipulating_coalition;
-use greednet_core::game::{Game, NashOptions};
+//! Thin wrapper running experiment `e14` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E14: coalitional manipulation of Nash equilibria (footnote 14)");
-    let profiles = 25;
-    let n = 3;
-    note(&format!("{profiles} sampled heterogeneous profiles, N = {n}, all coalitions of size 2..={n}"));
-
-    println!(
-        "\n  {:<12}{:>12}{:>16}{:>22}",
-        "discipline", "profiles", "manipulable", "max min-member gain"
-    );
-    for (name, alloc) in standard_disciplines() {
-        let mut sampler = ProfileSampler::new(313);
-        let mut solved = 0usize;
-        let mut manipulable = 0usize;
-        let mut worst_gain = 0.0f64;
-        for _ in 0..profiles {
-            let users = sampler.profile(n);
-            let game = Game::from_boxed(alloc.clone_box(), users).expect("game");
-            let nash = match game.solve_nash(&NashOptions::default()) {
-                Ok(s) if s.converged => s,
-                _ => continue,
-            };
-            solved += 1;
-            if let Some(dev) = find_manipulating_coalition(&game, &nash.rates, n, 100) {
-                manipulable += 1;
-                let min_gain =
-                    dev.gains.iter().fold(f64::INFINITY, |a, &b| a.min(b));
-                worst_gain = worst_gain.max(min_gain);
-            }
-        }
-        println!("  {name:<12}{solved:>12}{manipulable:>16}{worst_gain:>22.5}");
-    }
-    note("paper (footnote 14, via Moulin-Shenker): all Fair Share Nash equilibria");
-    note("are resilient against coalitions acting in concert; under FIFO any pair");
-    note("can profit by jointly backing off (the cartel is the Pareto improvement");
-    note("of E1 in miniature).");
+    greednet_bench::exp_cli::exp_main("e14");
 }

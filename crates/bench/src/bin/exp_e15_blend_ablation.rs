@@ -1,74 +1,8 @@
-//! Experiment E15 — ablation: interpolating between FIFO and Fair Share.
-//!
-//! DESIGN.md calls for ablation benches on the design choices. The blend
-//! `C^θ = (1−θ)·C^FIFO + θ·C^FS` is a valid allocation function for every
-//! θ (the feasible set is convex), which lets us ask: are the paper's
-//! properties *gradual* in the discipline, or do they hold only at the
-//! Fair Share endpoint? Answer (matching the "only MAC allocation
-//! function" uniqueness theorems): envy, protection, Stackelberg immunity
-//! and nilpotency all fail for every θ < 1 — the properties are
-//! knife-edge, not gradual — though the *magnitude* of the failures
-//! shrinks smoothly with θ.
-
-use greednet_bench::{header, note, ProfileSampler};
-use greednet_core::game::{Game, NashOptions};
-use greednet_core::protection::{adversarial_congestion, protection_bound};
-use greednet_core::relaxation::spectral_radius;
-use greednet_core::stackelberg::{leader_advantage, StackelbergOptions};
-use greednet_core::utility::{LinearUtility, UtilityExt};
-use greednet_queueing::{Blend, FairShare, Proportional};
-
-fn blend(theta: f64) -> Blend {
-    Blend::new(Box::new(Proportional::new()), Box::new(FairShare::new()), theta)
-        .expect("valid blend")
-}
+//! Thin wrapper running experiment `e15` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E15 (ablation): properties along the FIFO -> Fair Share blend");
-    note("C^theta = (1-theta) FIFO + theta FairShare; theta = 1 is Fair Share");
-
-    println!(
-        "\n  {:<8}{:>14}{:>16}{:>18}{:>18}",
-        "theta", "max envy", "protect ratio", "leader advantage", "spectral radius"
-    );
-    let n = 3;
-    let gamma = 0.25;
-    for &theta in &[0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
-        // Envy over sampled profiles.
-        let mut sampler = ProfileSampler::new(2711);
-        let mut max_envy = f64::NEG_INFINITY;
-        for _ in 0..30 {
-            let users = sampler.profile(n);
-            let game = Game::from_boxed(Box::new(blend(theta)), users).expect("game");
-            if let Ok(sol) = game.solve_nash(&NashOptions::default()) {
-                if sol.converged {
-                    max_envy = max_envy.max(game.max_envy(&sol.rates).expect("envy"));
-                }
-            }
-        }
-        // Protection ratio (victim 0.1, N = 4, flooder sweep).
-        let b = blend(theta);
-        let observed = adversarial_congestion(&b, 4, 0.1, &[0.2, 0.5, 0.69, 0.695]);
-        let ratio = observed / protection_bound(4, 0.1);
-        // Stackelberg advantage (identical linear users).
-        let users: Vec<_> = (0..n).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect();
-        let game = Game::from_boxed(Box::new(blend(theta)), users).expect("game");
-        let (stack, nash) = leader_advantage(&game, 0, &StackelbergOptions::default())
-            .expect("stackelberg");
-        let adv = stack.leader_utility - nash.utilities[0];
-        // Relaxation spectral radius at the (tie-broken) Nash point.
-        let mut pt = nash.rates.clone();
-        for (i, r) in pt.iter_mut().enumerate() {
-            *r *= 1.0 + 1e-4 * i as f64;
-        }
-        let rho = spectral_radius(&game, &pt).expect("spectrum");
-        println!(
-            "  {theta:<8}{max_envy:>14.5}{:>16}{adv:>18.6}{rho:>18.4}",
-            if ratio.is_finite() { format!("{ratio:.3}") } else { "inf".into() }
-        );
-    }
-    note("every failure magnitude shrinks monotonically with theta, but only");
-    note("theta = 1 (pure Fair Share) reaches envy <= 0, protection ratio <= 1,");
-    note("zero leader advantage and a nilpotent relaxation matrix — the");
-    note("uniqueness halves of Theorems 3/5/7/8 are knife-edge properties.");
+    greednet_bench::exp_cli::exp_main("e15");
 }

@@ -1,94 +1,8 @@
-//! Experiment E1 — Theorems 1 & 2: efficiency of Nash equilibria.
-//!
-//! (a) Identical users: the Fair Share Nash equilibrium coincides with the
-//!     symmetric Pareto optimum; FIFO's does not, and the utility it
-//!     leaves on the table grows with N (the congestion-game tragedy).
-//! (b) Sampled heterogeneous profiles: no discipline gives Pareto Nash
-//!     equilibria in general (Theorem 1); Fair Share achieves Pareto
-//!     exactly when rates are equal (Theorem 2).
-
-use greednet_bench::{header, identical_linear_game, note, ProfileSampler};
-use greednet_core::game::{Game, NashOptions};
-use greednet_core::pareto;
-use greednet_core::utility::LinearUtility;
-use greednet_queueing::{FairShare, Proportional};
+//! Thin wrapper running experiment `e1` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E1: efficiency of Nash equilibria (Theorems 1 & 2)");
-
-    // (a) identical linear users, gamma = 0.25.
-    let gamma = 0.25;
-    note(&format!("(a) N identical linear users, U = r - {gamma} c"));
-    println!(
-        "\n  {:<4}{:>12}{:>12}{:>12}{:>14}{:>14}",
-        "N", "U@FIFO-Nash", "U@FS-Nash", "U@Pareto", "FIFO gap", "FS gap"
-    );
-    for n in [2usize, 4, 8, 16] {
-        let fifo = identical_linear_game(Box::new(Proportional::new()), n, gamma);
-        let fs = identical_linear_game(Box::new(FairShare::new()), n, gamma);
-        let opts = NashOptions::default();
-        let nf = fifo.solve_nash(&opts).expect("fifo nash");
-        let ns = fs.solve_nash(&opts).expect("fs nash");
-        let u = LinearUtility::new(1.0, gamma);
-        let (rp, cp) = pareto::symmetric_pareto(&u, n).expect("pareto");
-        let u_pareto = rp - gamma * cp;
-        println!(
-            "  {:<4}{:>12.5}{:>12.5}{:>12.5}{:>13.1}%{:>13.2}%",
-            n,
-            nf.utilities[0],
-            ns.utilities[0],
-            u_pareto,
-            100.0 * (u_pareto - nf.utilities[0]) / u_pareto.abs(),
-            100.0 * (u_pareto - ns.utilities[0]) / u_pareto.abs(),
-        );
-    }
-    note("paper: FS Nash = symmetric Pareto point (Thm 2); FIFO never Pareto.");
-
-    // (b) heterogeneous profiles.
-    note("\n(b) 60 sampled heterogeneous profiles (N = 3): Pareto FDC residual at Nash");
-    let mut sampler = ProfileSampler::new(20260706);
-    let mut stats: Vec<(&str, usize, usize, f64)> = Vec::new(); // name, pareto count, dominated count, mean residual
-    for (name, allocf) in [("FIFO", 0usize), ("FairShare", 1usize)] {
-        let mut pareto_count = 0;
-        let mut dominated = 0;
-        let mut resid_sum = 0.0;
-        let mut cases = 0;
-        let mut inner = ProfileSampler::new(99);
-        for _ in 0..60 {
-            let users = inner.profile(3);
-            let game = if allocf == 0 {
-                Game::new(Proportional::new(), users).expect("game")
-            } else {
-                Game::new(FairShare::new(), users).expect("game")
-            };
-            let sol = match game.solve_nash(&NashOptions::default()) {
-                Ok(s) if s.converged && s.rates.iter().all(|&r| r > 1e-6) => s,
-                _ => continue,
-            };
-            cases += 1;
-            let resid: f64 = pareto::fdc_residuals(&game, &sol.rates)
-                .iter()
-                .map(|r| r.abs())
-                .fold(0.0, f64::max);
-            resid_sum += resid;
-            if resid < 1e-4 {
-                pareto_count += 1;
-            }
-            if pareto::scaling_improvement(&game, &sol.rates).is_some() {
-                dominated += 1;
-            }
-        }
-        stats.push((name, pareto_count, dominated, resid_sum / cases.max(1) as f64));
-        let _ = &mut sampler;
-    }
-    println!(
-        "\n  {:<12}{:>14}{:>22}{:>18}",
-        "discipline", "Pareto Nash", "scaling-dominated", "mean |FDC resid|"
-    );
-    for (name, p, d, m) in stats {
-        println!("  {name:<12}{p:>14}{d:>22}{m:>18.4}");
-    }
-    note("paper (Thm 1): zero Pareto Nash equilibria for any MAC discipline on");
-    note("heterogeneous profiles; FIFO equilibria are Pareto-dominated by a");
-    note("uniform backoff (tragedy of the commons).");
+    greednet_bench::exp_cli::exp_main("e1");
 }

@@ -1,69 +1,8 @@
-//! Experiment E2 — Theorem 3: fairness as (unilateral) envy-freeness.
-//!
-//! Sweeps sampled heterogeneous profiles; at each discipline's Nash
-//! equilibrium records the maximum envy, and also tests the stronger
-//! *unilateral* property: a user at its own optimum must envy no one,
-//! no matter what the others play.
-
-use greednet_bench::{header, note, standard_disciplines, ProfileSampler};
-use greednet_core::game::{Game, NashOptions};
+//! Thin wrapper running experiment `e2` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E2: envy-freeness (Theorem 3)");
-    let profiles = 80;
-    let n = 3;
-    note(&format!("{profiles} sampled heterogeneous profiles, N = {n}"));
-
-    println!(
-        "\n  {:<12}{:>14}{:>14}{:>20}{:>22}",
-        "discipline", "envious Nash", "max envy", "unilateral envy", "max unilateral envy"
-    );
-    for (name, alloc) in standard_disciplines() {
-        let mut envious = 0usize;
-        let mut max_envy = f64::NEG_INFINITY;
-        let mut unilateral_envy = 0usize;
-        let mut max_uni = f64::NEG_INFINITY;
-        let mut sampler = ProfileSampler::new(4242);
-        let mut cases = 0usize;
-        for _ in 0..profiles {
-            let users = sampler.profile(n);
-            let rates_bg = sampler.rates(n, 0.8);
-            let game = Game::from_boxed(alloc.clone_box(), users).expect("game");
-            // Nash envy.
-            if let Ok(sol) = game.solve_nash(&NashOptions::default()) {
-                if sol.converged {
-                    cases += 1;
-                    let e = game.max_envy(&sol.rates).expect("envy");
-                    max_envy = max_envy.max(e);
-                    if e > 1e-6 {
-                        envious += 1;
-                    }
-                }
-            }
-            // Unilateral envy: user 0 optimizes against arbitrary others.
-            let mut rates = rates_bg;
-            if let Ok(br) = game.best_response(&rates, 0, 128) {
-                rates[0] = br;
-                let c = game.allocation().congestion(&rates);
-                let own = game.users()[0].value(rates[0], c[0]);
-                for j in 1..n {
-                    let other = game.users()[0].value(rates[j], c[j]);
-                    let e = other - own;
-                    if e.is_finite() {
-                        max_uni = max_uni.max(e);
-                        if e > 1e-6 {
-                            unilateral_envy += 1;
-                            break;
-                        }
-                    }
-                }
-            }
-        }
-        println!(
-            "  {name:<12}{:>10}/{cases:<3}{max_envy:>14.5}{unilateral_envy:>17}/{profiles:<3}{max_uni:>19.5}",
-            envious
-        );
-    }
-    note("paper (Thm 3): Fair Share is unilaterally envy-free — and is the ONLY");
-    note("MAC discipline with that property; expect zero envy rows only for it.");
+    greednet_bench::exp_cli::exp_main("e2");
 }

@@ -1,49 +1,8 @@
-//! Experiment E3 — Theorem 4: uniqueness of Nash equilibria.
-//!
-//! For each sampled profile, runs best-response iteration from many random
-//! starting points and clusters the converged equilibria. Fair Share must
-//! always produce exactly one cluster.
-
-use greednet_bench::{header, note, standard_disciplines, ProfileSampler};
-use greednet_core::game::{distinct_equilibria, Game, NashOptions};
+//! Thin wrapper running experiment `e3` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E3: uniqueness of Nash equilibria (Theorem 4)");
-    let profiles = 40;
-    let starts_per = 12;
-    let n = 3;
-    note(&format!(
-        "{profiles} profiles x {starts_per} random starts each, N = {n}, cluster tol 1e-4"
-    ));
-
-    println!(
-        "\n  {:<12}{:>10}{:>18}{:>18}",
-        "discipline", "profiles", "multi-equilibria", "max #equilibria"
-    );
-    for (name, alloc) in standard_disciplines() {
-        let mut sampler = ProfileSampler::new(777);
-        let mut multi = 0usize;
-        let mut max_count = 0usize;
-        let mut solved = 0usize;
-        for _ in 0..profiles {
-            let users = sampler.profile(n);
-            let starts: Vec<Vec<f64>> =
-                (0..starts_per).map(|_| sampler.rates(n, 0.85)).collect();
-            let game = Game::from_boxed(alloc.clone_box(), users).expect("game");
-            let eqs = match distinct_equilibria(&game, &starts, &NashOptions::default(), 1e-4) {
-                Ok(e) if !e.is_empty() => e,
-                _ => continue,
-            };
-            solved += 1;
-            max_count = max_count.max(eqs.len());
-            if eqs.len() > 1 {
-                multi += 1;
-            }
-        }
-        println!("  {name:<12}{solved:>10}{multi:>18}{max_count:>18}");
-    }
-    note("paper (Thm 4): Fair Share always has a unique Nash equilibrium and is");
-    note("the only MAC discipline guaranteeing it. (Best-response iteration can");
-    note("only find equilibria it converges to; multiplicity counts are lower");
-    note("bounds for the others.)");
+    greednet_bench::exp_cli::exp_main("e3");
 }

@@ -1,38 +1,8 @@
-//! Experiment E4 — Theorem 5: Stackelberg leadership.
-//!
-//! Sweeps N and congestion-aversion gamma for identical linear users and
-//! reports the leader's utility premium from committing first (followers
-//! re-equilibrate). Fair Share rows must be ~0.
-
-use greednet_bench::{header, identical_linear_game, note};
-use greednet_core::stackelberg::{leader_advantage, StackelbergOptions};
-use greednet_queueing::{FairShare, Proportional};
+//! Thin wrapper running experiment `e4` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E4: Stackelberg leader advantage (Theorem 5)");
-    note("identical linear users U = r - gamma*c; leader = user 0");
-
-    println!(
-        "\n  {:<6}{:<8}{:>16}{:>16}{:>14}{:>14}",
-        "N", "gamma", "FIFO adv.", "FS adv.", "FIFO r_L/r_N", "FS r_L/r_N"
-    );
-    let opts = StackelbergOptions::default();
-    for &n in &[2usize, 3, 5] {
-        for &gamma in &[0.1, 0.25, 0.5] {
-            let fifo = identical_linear_game(Box::new(Proportional::new()), n, gamma);
-            let fs = identical_linear_game(Box::new(FairShare::new()), n, gamma);
-            let (sf, nf) = leader_advantage(&fifo, 0, &opts).expect("fifo stackelberg");
-            let (ss, ns) = leader_advantage(&fs, 0, &opts).expect("fs stackelberg");
-            let adv_f = sf.leader_utility - nf.utilities[0];
-            let adv_s = ss.leader_utility - ns.utilities[0];
-            let ratio_f = sf.leader_rate / nf.rates[0].max(1e-12);
-            let ratio_s = ss.leader_rate / ns.rates[0].max(1e-12);
-            println!(
-                "  {n:<6}{gamma:<8}{adv_f:>16.6}{adv_s:>16.6}{ratio_f:>14.3}{ratio_s:>14.3}"
-            );
-        }
-    }
-    note("paper (Thm 5): every FS Nash equilibrium is a Stackelberg equilibrium,");
-    note("so the FS advantage column must vanish; under FIFO leading pays and the");
-    note("leader over-grabs (rate ratio > 1).");
+    greednet_bench::exp_cli::exp_main("e4");
 }

@@ -1,65 +1,8 @@
-//! Experiment E5 — Theorem 6: the direct mechanism `B^FS` is a revelation
-//! mechanism (truth-telling is optimal), while the same construction over
-//! FIFO invites lying.
-
-use greednet_bench::{header, note};
-use greednet_core::utility::{BoxedUtility, LinearUtility, LogUtility, PowerUtility, UtilityExt};
-use greednet_mechanisms::revelation::{max_misreport_gain, DirectMechanism};
-use greednet_queueing::{FairShare, Proportional};
-
-fn candidate_lies() -> Vec<BoxedUtility> {
-    let mut v: Vec<BoxedUtility> = Vec::new();
-    for w in [0.1, 0.25, 0.5, 1.0, 1.8, 3.0] {
-        for g in [0.3, 0.8, 1.3, 2.2] {
-            v.push(LogUtility::new(w, g).boxed());
-        }
-    }
-    for a in [0.3, 0.5, 0.7] {
-        v.push(PowerUtility::new(a, 1.0).boxed());
-    }
-    for g in [0.1, 0.3, 0.6] {
-        v.push(LinearUtility::new(1.0, g).boxed());
-    }
-    v
-}
+//! Thin wrapper running experiment `e5` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E5: revelation mechanism B^FS (Theorem 6)");
-    let truths: Vec<(&str, Vec<BoxedUtility>)> = vec![
-        (
-            "3 log users",
-            vec![
-                LogUtility::new(0.4, 1.0).boxed(),
-                LogUtility::new(0.8, 1.2).boxed(),
-                LogUtility::new(1.2, 0.8).boxed(),
-            ],
-        ),
-        (
-            "mixed families",
-            vec![
-                LogUtility::new(0.5, 1.5).boxed(),
-                PowerUtility::new(0.5, 0.8).boxed(),
-                LinearUtility::new(1.0, 0.35).boxed(),
-            ],
-        ),
-    ];
-    let lies = candidate_lies();
-    note(&format!("{} candidate misreports per user", lies.len()));
-
-    println!(
-        "\n  {:<16}{:<6}{:>20}{:>22}",
-        "profile", "user", "B^FS best lie gain", "B^FIFO best lie gain"
-    );
-    let fs = DirectMechanism::new(Box::new(FairShare::new()));
-    let fifo = DirectMechanism::new(Box::new(Proportional::new()));
-    for (label, truth) in &truths {
-        for i in 0..truth.len() {
-            let (g_fs, _) = max_misreport_gain(&fs, truth, i, &lies).expect("fs mechanism");
-            let (g_fifo, _) =
-                max_misreport_gain(&fifo, truth, i, &lies).expect("fifo mechanism");
-            println!("  {label:<16}{i:<6}{g_fs:>20.6}{g_fifo:>20.6}");
-        }
-    }
-    note("paper (Thm 6): under B^FS no misreport improves true utility (column");
-    note("~0); B^FIFO is manipulable (strictly positive best-lie gains).");
+    greednet_bench::exp_cli::exp_main("e5");
 }

@@ -1,52 +1,8 @@
-//! Experiment E7 — Theorem 8: out-of-equilibrium protection.
-//!
-//! For each discipline, sweeps victim rates against adversarial opponents
-//! and compares the worst observed congestion with the paper's bound
-//! `r_i / (1 − N r_i)`.
-
-use greednet_bench::{header, note, standard_disciplines};
-use greednet_core::protection::{adversarial_congestion, protection_bound, protection_sweep};
+//! Thin wrapper running experiment `e7` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E7: protection bounds (Theorem 8)");
-    let n = 4;
-    let victims = [0.02, 0.05, 0.1, 0.15, 0.2, 0.24];
-    let levels = [0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 0.95, 2.0, 10.0];
-    note(&format!("N = {n}; victim rates {victims:?}; adversary levels up to 10x capacity"));
-
-    println!(
-        "\n  {:<12}{:>14}{:>14}{:>12}",
-        "discipline", "protective?", "worst ratio", "violations"
-    );
-    for (name, alloc) in standard_disciplines() {
-        let report = protection_sweep(alloc.as_ref(), n, &victims, &levels);
-        println!(
-            "  {name:<12}{:>14}{:>14.4}{:>12}",
-            report.protective(),
-            report.worst_ratio,
-            report.violations.len()
-        );
-    }
-
-    println!("\n  Detail: victim at r = 0.1, single flooder at rate L (N = {n}):");
-    println!(
-        "  {:<8}{:>14}{:>14}{:>14}{:>16}",
-        "L", "FIFO c_i", "FS c_i", "SP c_i", "bound r/(1-Nr)"
-    );
-    let discs = standard_disciplines();
-    let bound = protection_bound(n, 0.1);
-    for level in [0.2, 0.5, 0.85, 0.95, 2.0, 10.0] {
-        let c: Vec<f64> = discs
-            .iter()
-            .map(|(_, a)| adversarial_congestion(a.as_ref(), n, 0.1, &[level]))
-            .collect();
-        println!(
-            "  {level:<8}{:>14.4}{:>14.4}{:>14.4}{bound:>16.4}",
-            c[0], c[1], c[2]
-        );
-    }
-    note("paper (Thm 8): Fair Share respects the bound with equality in the worst");
-    note("case (all peers at the victim's own rate) and is the only MAC");
-    note("discipline that is protective; FIFO congestion diverges as the flooder");
-    note("approaches capacity.");
+    greednet_bench::exp_cli::exp_main("e7");
 }

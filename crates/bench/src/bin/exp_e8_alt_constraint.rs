@@ -1,51 +1,8 @@
-//! Experiment E8 — Corollary 2: alternative constraint functions.
-//!
-//! Under the quadratic constraint `Σ c = Σ r²` with the separable
-//! allocation `C_i = r_i²`, every Nash equilibrium is Pareto optimal; the
-//! M/M/1 constraint admits no separable decomposition (its full mixed
-//! partial is bounded away from zero), which is the root of Theorem 1.
-
-use greednet_bench::{header, note, ProfileSampler};
-use greednet_mechanisms::constraints::{
-    mixed_partial_defect, Mm1Constraint, QuadraticConstraint, SeparableAllocation,
-};
+//! Thin wrapper running experiment `e8` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E8: alternative constraint functions (Corollary 2)");
-
-    note("(a) Pareto optimality of Nash under the quadratic constraint:");
-    println!(
-        "\n  {:<10}{:>20}{:>24}",
-        "profile", "max |Nash residual|", "max |Pareto residual|"
-    );
-    let s = SeparableAllocation;
-    let mut sampler = ProfileSampler::new(515);
-    for p in 0..6 {
-        let users = sampler.profile(3);
-        let nash = s.nash(&users).expect("separable nash");
-        // Nash residual: users sit at their unconstrained optima, so the
-        // Pareto residuals below double as the Nash FDC residuals.
-        let res: f64 = s
-            .pareto_residuals(&users, &nash)
-            .iter()
-            .map(|r| r.abs())
-            .fold(0.0, f64::max);
-        println!("  {p:<10}{res:>20.2e}{res:>24.2e}");
-    }
-    note("(identical columns: with C_i = r_i^2 the Nash FDC IS the Pareto FDC)");
-
-    note("\n(b) separability obstruction: full mixed partial d^N f / dr_1..dr_N");
-    println!(
-        "\n  {:<10}{:>22}{:>24}",
-        "N", "M/M/1 |d^N g(sum r)|", "quadratic |d^N sum r^2|"
-    );
-    for n in [2usize, 3, 4] {
-        let rates = vec![0.08; n];
-        let mm1 = mixed_partial_defect(&Mm1Constraint, &rates, 0.01).abs();
-        let quad = mixed_partial_defect(&QuadraticConstraint, &rates, 0.01).abs();
-        println!("  {n:<10}{mm1:>22.4}{quad:>24.2e}");
-    }
-    note("paper (Cor. 2 / Thm 1 proof): a constraint supports Pareto Nash via");
-    note("C_i = f - h_i iff it decomposes with dh_i/dr_i = 0, which forces the");
-    note("full mixed partial to vanish — true for sum-of-squares, false for M/M/1.");
+    greednet_bench::exp_cli::exp_main("e8");
 }

@@ -1,72 +1,8 @@
-//! Experiment E9 — §3.1: closed-form allocation functions vs simulated
-//! packets, for every discipline, with confidence intervals.
-
-use greednet_bench::{header, note};
-use greednet_des::scenarios::DisciplineKind;
-use greednet_des::{SimConfig, Simulator};
-use greednet_queueing::{mm1, AllocationFunction, FairShare, Proportional, SerialPriority};
+//! Thin wrapper running experiment `e9` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("E9: packet-level validation of the allocation formulas (§3.1)");
-    let rates = vec![0.08, 0.22, 0.35];
-    let horizon = 400_000.0;
-    note(&format!("rates {rates:?} (load {:.2}), horizon {horizon}", rates.iter().sum::<f64>()));
-
-    let closed: Vec<(DisciplineKind, Vec<f64>)> = vec![
-        (DisciplineKind::Fifo, Proportional::new().congestion(&rates)),
-        (DisciplineKind::LifoPreemptive, Proportional::new().congestion(&rates)),
-        (DisciplineKind::ProcessorSharing, Proportional::new().congestion(&rates)),
-        (DisciplineKind::SerialPriority, SerialPriority::new().congestion(&rates)),
-        (DisciplineKind::FsTable, FairShare::new().congestion(&rates)),
-    ];
-
-    println!(
-        "\n  {:<12}{:<6}{:>12}{:>12}{:>10}{:>12}{:>10}",
-        "discipline", "user", "closed", "simulated", "rel.err", "CI half", "in CI?"
-    );
-    for (kind, expect) in closed {
-        let sim =
-            Simulator::new(SimConfig::new(rates.clone(), horizon, 20_262_626)).expect("config");
-        let mut d = kind.build(&rates, 5).expect("discipline");
-        let r = sim.run(d.as_mut()).expect("simulate");
-        for (u, &exp_u) in expect.iter().enumerate() {
-            let rel = (r.mean_queue[u] - exp_u).abs() / exp_u;
-            println!(
-                "  {:<12}{:<6}{:>12.5}{:>12.5}{:>9.2}%{:>12.5}{:>10}",
-                kind.label(),
-                u,
-                exp_u,
-                r.mean_queue[u],
-                rel * 100.0,
-                r.queue_ci[u].half_width,
-                r.queue_ci[u].contains(expect[u])
-            );
-        }
-        let total: f64 = r.mean_queue.iter().sum();
-        println!(
-            "  {:<12}{:<6}{:>12.5}{:>12.5}   (work conservation: g(sum r))",
-            kind.label(),
-            "TOTAL",
-            mm1::g(rates.iter().sum()),
-            total
-        );
-    }
-    note("SFQ has no closed form here (non-preemptive FQ approximation); its");
-    note("work-conservation total is checked in the integration tests.");
-
-    // Total-queue occupancy distribution: geometric for M/M/1 under any
-    // non-anticipating work-conserving discipline.
-    println!("\n  Occupancy distribution P(N = k) vs the geometric law (load {:.2}):", rates.iter().sum::<f64>());
-    let sim = Simulator::new(SimConfig::new(rates.clone(), horizon, 777)).expect("config");
-    let mut d = DisciplineKind::FsTable.build(&rates, 9).expect("discipline");
-    let r = sim.run(d.as_mut()).expect("simulate");
-    let rho: f64 = rates.iter().sum();
-    println!("  {:<6}{:>14}{:>14}{:>10}", "k", "geometric", "simulated", "abs.err");
-    for k in 0..8usize {
-        let expect = (1.0 - rho) * rho.powi(k as i32);
-        let got = r.total_queue_dist[k];
-        println!("  {k:<6}{expect:>14.5}{got:>14.5}{:>10.5}", (got - expect).abs());
-    }
-    note("(run under the Fair Share table: total occupancy is discipline-");
-    note("invariant for M/M/1, and matches (1-rho) rho^k.)");
+    greednet_bench::exp_cli::exp_main("e9");
 }

@@ -1,58 +1,8 @@
-//! Experiment T1 — reproduces **Table 1** of the paper: the priority-level
-//! decomposition that realizes the Fair Share allocation, and validates it
-//! by packet simulation.
-
-use greednet_bench::{header, note};
-use greednet_des::{FsPriorityTable, SimConfig, Simulator};
-use greednet_queueing::fair_share::priority_table;
-use greednet_queueing::{AllocationFunction, FairShare};
+//! Thin wrapper running experiment `t1` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
 
 fn main() {
-    header("T1: Table 1 — priority queueing that implements Fair Share");
-    // Four users, ascending rates, as in the paper's example table.
-    let rates = [0.05, 0.10, 0.20, 0.30];
-    note(&format!("rates r = {rates:?} (ascending, as in the paper)"));
-
-    let table = priority_table(&rates);
-    println!("\n  {:<6}{:>9}{:>9}{:>9}{:>9}", "user", "A", "B", "C", "D");
-    for (u, row) in table.iter().enumerate() {
-        print!("  {:<6}", u + 1);
-        for &v in row {
-            if v > 0.0 {
-                print!("{v:>9.3}");
-            } else {
-                print!("{:>9}", "-");
-            }
-        }
-        println!();
-    }
-    note("(paper: user k sends r_1, r_2-r_1, ..., r_k-r_{k-1} into levels A..)");
-
-    println!("\n  Packet validation (preemptive priority on these levels):");
-    let expect = FairShare::new().congestion(&rates);
-    let sim = Simulator::new(SimConfig::new(rates.to_vec(), 300_000.0, 11)).expect("config");
-    let mut d = FsPriorityTable::new(&rates, 23).expect("discipline");
-    let r = sim.run(&mut d).expect("simulate");
-    println!(
-        "  {:<6}{:>14}{:>14}{:>10}{:>12}",
-        "user", "C^FS closed", "simulated", "rel.err", "CI (95%)"
-    );
-    let mut worst = 0.0f64;
-    for (u, &exp_u) in expect.iter().enumerate() {
-        let rel = (r.mean_queue[u] - exp_u).abs() / exp_u;
-        worst = worst.max(rel);
-        println!(
-            "  {:<6}{:>14.5}{:>14.5}{:>9.2}%{:>12.5}",
-            u + 1,
-            exp_u,
-            r.mean_queue[u],
-            rel * 100.0,
-            r.queue_ci[u].half_width
-        );
-    }
-    println!(
-        "\n  RESULT: priority table realizes C^FS within {:.2}% over {} packet events.",
-        worst * 100.0,
-        r.events
-    );
+    greednet_bench::exp_cli::exp_main("t1");
 }

@@ -1,60 +1,39 @@
-//! Runs every experiment binary in sequence (T1, E1–E11), producing the
-//! full paper-reproduction report captured in EXPERIMENTS.md.
+//! Runs every registered experiment in-process (T1, E1–E15), producing
+//! the full paper-reproduction report captured in EXPERIMENTS.md.
 //!
-//! Build all binaries first: `cargo build --release -p greednet-bench --bins`
-//! then `cargo run --release -p greednet-bench --bin run_all`.
+//! `cargo run --release -p greednet-bench --bin run_all -- [--seed N]
+//! [--threads N] [--json|--csv] [--smoke]`. Per-experiment wall time goes
+//! to stderr so it never pollutes piped report output.
 
-use std::process::Command;
-
-const EXPERIMENTS: &[&str] = &[
-    "exp_t1_priority_table",
-    "exp_e1_efficiency",
-    "exp_e2_envy",
-    "exp_e3_uniqueness",
-    "exp_e4_stackelberg",
-    "exp_e5_revelation",
-    "exp_e6_convergence",
-    "exp_e7_protection",
-    "exp_e8_alt_constraint",
-    "exp_e9_des_validation",
-    "exp_e10_dynamics",
-    "exp_e10_ftp_telnet",
-    "exp_e11_elimination",
-    "exp_e12_network",
-    "exp_e13_mg1",
-    "exp_e14_coalitions",
-    "exp_e15_blend_ablation",
-];
+use greednet_bench::exp_cli::ExpArgs;
+use greednet_bench::experiments::registry;
+use std::time::Instant;
 
 fn main() {
-    let me = std::env::current_exe().expect("current_exe");
-    let dir = me.parent().expect("binary directory").to_path_buf();
-    let mut failures = Vec::new();
-    for name in EXPERIMENTS {
-        let path = dir.join(name);
-        if !path.exists() {
-            eprintln!("[run_all] missing binary {name}; build with `cargo build --release -p greednet-bench --bins`");
-            failures.push(*name);
-            continue;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match ExpArgs::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: run_all [--seed N] [--threads N] [--json|--csv|--format F] [--smoke]"
+            );
+            std::process::exit(2);
         }
-        let status = Command::new(&path).status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("[run_all] {name} exited with {s}");
-                failures.push(*name);
-            }
-            Err(e) => {
-                eprintln!("[run_all] failed to launch {name}: {e}");
-                failures.push(*name);
-            }
-        }
+    };
+    let ctx = args.ctx();
+    let reg = registry();
+    let total = Instant::now();
+    for exp in reg.iter() {
+        let start = Instant::now();
+        let report = exp.run(&ctx);
+        print!("{}", report.render(args.format));
+        println!();
+        eprintln!("[run_all] {} finished in {:.2?}", exp.id(), start.elapsed());
     }
-    println!("\n==============================================================");
-    if failures.is_empty() {
-        println!("run_all: all {} experiments completed.", EXPERIMENTS.len());
-    } else {
-        println!("run_all: FAILURES in {failures:?}");
-        std::process::exit(1);
-    }
+    eprintln!(
+        "[run_all] {} experiments in {:.2?}",
+        reg.len(),
+        total.elapsed()
+    );
 }

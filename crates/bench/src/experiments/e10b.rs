@@ -1,0 +1,85 @@
+//! Experiment E10(b) — §5.2: the Fair Queueing claims on the FTP / Telnet
+//! / blaster workload, at packet level; the scenario × discipline grid
+//! runs in parallel.
+
+use greednet_des::scenarios::{DisciplineKind, Scenario};
+use greednet_runtime::{Cell, ExpCtx, Experiment, ParallelSweep, RunReport, Table};
+
+/// E10b: FTP/Telnet/blaster scenarios (§5.2).
+pub struct E10bFtpTelnet;
+
+impl Experiment for E10bFtpTelnet {
+    fn id(&self) -> &'static str {
+        "e10b"
+    }
+
+    fn title(&self) -> &'static str {
+        "E10b: FTP/Telnet/blaster scenarios (§5.2)"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> RunReport {
+        let mut report = ctx.report(self.id(), self.title());
+        let horizon = ctx.budget.horizon(60_000.0);
+        report.note(format!("horizon {horizon} per (scenario, discipline) cell"));
+
+        let kinds = [
+            DisciplineKind::Fifo,
+            DisciplineKind::ProcessorSharing,
+            DisciplineKind::Sfq,
+            DisciplineKind::FsTable,
+        ];
+        for (stage, (label, blaster)) in [
+            ("2 FTP @0.30 + 3 Telnet @0.02", false),
+            ("2 FTP @0.30 + 3 Telnet @0.02 + blaster @1.0", true),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let scenario = if blaster {
+                Scenario::ftp_telnet(2, 0.30, 3, 0.02).with_blaster(1.0)
+            } else {
+                Scenario::ftp_telnet(2, 0.30, 3, 0.02)
+            };
+            report.section(format!("scenario: {label} (load {:.2})", scenario.load()));
+            let rows = ParallelSweep::new(ctx.threads).map_seeded(
+                ctx.stage_seed(stage as u64),
+                &kinds,
+                |seed, &kind| {
+                    let r = scenario.run(kind, horizon, seed).expect("simulate");
+                    (
+                        kind.label(),
+                        r.mean_delay_of("telnet"),
+                        r.p99_delay_of("telnet"),
+                        r.throughput_of("ftp"),
+                        r.throughput_of("blaster"),
+                        r.throughput_of("telnet"),
+                    )
+                },
+            );
+            let mut t = Table::new(&[
+                "discipline",
+                "telnet delay",
+                "telnet p99",
+                "ftp throughput",
+                "blaster tput",
+                "telnet tput",
+            ]);
+            for (label, delay, p99, ftp, blast, telnet) in rows {
+                t.row(vec![
+                    label.into(),
+                    Cell::num_text(delay, format!("{delay:.3}")),
+                    Cell::num_text(p99, format!("{p99:.3}")),
+                    Cell::num_text(ftp, format!("{ftp:.4}")),
+                    Cell::num_text(blast, format!("{blast:.4}")),
+                    Cell::num_text(telnet, format!("{telnet:.4}")),
+                ]);
+            }
+            report.table(t);
+        }
+        report.note("paper (§5.2): Fair-Share-family scheduling gives (1) fair throughput");
+        report.note("allocation, (2) lower delay to sources using less than their share,");
+        report.note("and (3) protection from ill-behaved sources, versus FIFO where the");
+        report.note("blaster captures the switch and Telnet delay explodes.");
+        report
+    }
+}

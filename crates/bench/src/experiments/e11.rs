@@ -1,0 +1,133 @@
+//! Experiment E11 — §4.2.2: generalized hill climbing as candidate-set
+//! elimination. Fair Share candidate sets collapse to the unique Nash
+//! equilibrium; FIFO sets stay fat (no robust convergence guarantee).
+//! The learning-automata replications run as a parallel batch.
+
+use crate::DisciplineSet;
+use greednet_core::game::{Game, NashOptions};
+use greednet_core::utility::{BoxedUtility, LogUtility, UtilityExt};
+use greednet_learning::automata::{run as automata_run, AutomataConfig};
+use greednet_learning::elimination::{run as elimination_run, EliminationConfig};
+use greednet_learning::hill::ExactEnv;
+use greednet_queueing::FairShare;
+use greednet_runtime::{Cell, ExpCtx, Experiment, ParallelSweep, RunReport, Table};
+
+/// E11: candidate-elimination dynamics (generalized hill climbing).
+pub struct E11Elimination;
+
+fn log_users() -> Vec<BoxedUtility> {
+    vec![
+        LogUtility::new(0.3, 1.0).boxed(),
+        LogUtility::new(0.6, 1.0).boxed(),
+        LogUtility::new(0.9, 1.0).boxed(),
+    ]
+}
+
+impl Experiment for E11Elimination {
+    fn id(&self) -> &'static str {
+        "e11"
+    }
+
+    fn title(&self) -> &'static str {
+        "E11: candidate-elimination dynamics (generalized hill climbing)"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> RunReport {
+        let mut report = ctx.report(self.id(), self.title());
+        let users = log_users();
+        let cfg = EliminationConfig {
+            grid: 61,
+            lo: 0.005,
+            hi: 0.5,
+            max_rounds: 120,
+        };
+        let step = (cfg.hi - cfg.lo) / (cfg.grid - 1) as f64;
+        report.note(format!(
+            "3 log users; {}-point candidate grids on [{}, {}] (step {:.4})",
+            cfg.grid, cfg.lo, cfg.hi, step
+        ));
+
+        let disciplines = DisciplineSet::standard();
+        let mut t = Table::new(&[
+            "discipline",
+            "rounds",
+            "eliminated",
+            "surviving widths",
+            "collapsed",
+        ]);
+        for (name, alloc) in disciplines.iter() {
+            let out = elimination_run(alloc, &users, &cfg).expect("elimination");
+            let widths: Vec<String> = out.widths().iter().map(|w| format!("{w:.3}")).collect();
+            t.row(vec![
+                name.into(),
+                out.rounds.into(),
+                out.eliminated.into(),
+                widths.join("/").into(),
+                out.collapsed(3.0 * step).into(),
+            ]);
+            if name == "FairShare" {
+                let game = Game::from_boxed(alloc.clone_box(), users.clone()).expect("game");
+                let nash = game.solve_nash(&NashOptions::default()).expect("nash");
+                let mids: Vec<String> = out.midpoints().iter().map(|m| format!("{m:.4}")).collect();
+                let nr: Vec<String> = nash.rates.iter().map(|r| format!("{r:.4}")).collect();
+                report.note(format!(
+                    "FS survivors center on {} vs Nash {}",
+                    mids.join("/"),
+                    nr.join("/")
+                ));
+            }
+        }
+        report.table(t);
+        report.note("paper (§4.2.2, Thm 5 via [8]): any combination of 'reasonable'");
+        report.note("optimization procedures converges to the unique Nash equilibrium under");
+        report.note("Fair Share — S^infinity is a point; no such guarantee elsewhere.");
+
+        // A second instance of [8]: linear reward-inaction learning automata.
+        let rounds = ctx.budget.count(20_000);
+        let seeds_per = ctx.budget.count(3);
+        report.section(format!(
+            "learning automata (pursuit, {rounds} rounds, 21-point grids, {seeds_per} seeds)"
+        ));
+        let names = disciplines.names();
+        let mut grid: Vec<(usize, u64)> = Vec::new();
+        for d in 0..names.len() {
+            for s in 0..seeds_per as u64 {
+                grid.push((d, s));
+            }
+        }
+        let rows = ParallelSweep::new(ctx.threads).map_seeded(
+            ctx.stage_seed(100),
+            &grid,
+            |seed, &(d, _)| {
+                let alloc = disciplines.get(names[d]).expect("discipline");
+                let acfg = AutomataConfig {
+                    seed,
+                    rounds,
+                    ..Default::default()
+                };
+                let mut env = ExactEnv::new(alloc.clone_box(), users.len());
+                let out = automata_run(&users, &mut env, &acfg).expect("automata");
+                let rates: Vec<String> = out.mean_rates.iter().map(|r| format!("{r:.3}")).collect();
+                let conc = out.concentration.iter().sum::<f64>() / out.concentration.len() as f64;
+                (d, rates.join("/"), conc)
+            },
+        );
+        let mut t = Table::new(&["discipline", "mean rates (per user)", "mean concentration"]);
+        for (d, rates, conc) in rows {
+            t.row(vec![
+                names[d].into(),
+                rates.into(),
+                Cell::num_text(conc, format!("{conc:.3}")),
+            ]);
+        }
+        report.table(t);
+        let game = Game::new(FairShare::new(), users.clone()).expect("game");
+        let nash = game.solve_nash(&NashOptions::default()).expect("nash");
+        let nr: Vec<String> = nash.rates.iter().map(|r| format!("{r:.3}")).collect();
+        report.note(format!("(Fair Share Nash for reference: {})", nr.join("/")));
+        report.note("automata — which see only their own sampled payoffs — settle on the");
+        report.note("Fair Share equilibrium regardless of seed (Thm 5(1) via [8]); under the");
+        report.note("other disciplines the same automata land somewhere different every run.");
+        report
+    }
+}

@@ -1,0 +1,143 @@
+//! Experiment E12 — §5.4: networks of switches (the paper's named open
+//! problem, under its own suggested Poisson approximation).
+//!
+//! Parking-lot topologies: one through user crossing `k` switches, one
+//! local user per switch. Checks which single-switch results survive:
+//! unique reachable equilibria, same-route envy-freeness and per-route
+//! protection under Fair Share — and the continued failure of all three
+//! under FIFO — while cross-route envy illustrates why §5.4 says fairness
+//! needs a new definition.
+
+use greednet_core::game::NashOptions;
+use greednet_core::utility::{BoxedUtility, LogUtility, UtilityExt};
+use greednet_network::{NetworkGame, Topology};
+use greednet_queueing::{AllocationFunction, FairShare, Proportional};
+use greednet_runtime::{Cell, ExpCtx, Experiment, ParallelSweep, RunReport, Table};
+
+/// E12: networks of switches (§5.4 extension).
+pub struct E12Network;
+
+fn users(k: usize) -> Vec<BoxedUtility> {
+    (0..=k).map(|_| LogUtility::new(0.5, 1.0).boxed()).collect()
+}
+
+fn parking_lot(k: usize, fair: bool) -> NetworkGame {
+    let alloc: Box<dyn AllocationFunction> = if fair {
+        Box::new(FairShare::new())
+    } else {
+        Box::new(Proportional::new())
+    };
+    NetworkGame::new(Topology::parking_lot(k).expect("topology"), alloc, users(k)).expect("game")
+}
+
+impl Experiment for E12Network {
+    fn id(&self) -> &'static str {
+        "e12"
+    }
+
+    fn title(&self) -> &'static str {
+        "E12: networks of switches (§5.4; extension under the paper's Poisson approximation)"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> RunReport {
+        let mut report = ctx.report(self.id(), self.title());
+        report.note("parking lot: 1 through user crossing k switches + 1 local user per switch");
+
+        let mut grid: Vec<(usize, bool)> = Vec::new();
+        for k in [2usize, 3, 5] {
+            for fair in [true, false] {
+                grid.push((k, fair));
+            }
+        }
+        let rows = ParallelSweep::new(ctx.threads).map(&grid, |_, &(k, fair)| {
+            let net = parking_lot(k, fair);
+            let nash = net.solve_nash(&NashOptions::default()).expect("nash");
+            let gain = net.max_deviation_gain(&nash.rates, 192).expect("verify");
+            (
+                k,
+                fair,
+                nash.converged,
+                nash.rates[0],
+                nash.rates[1],
+                gain,
+                nash.congestions[0] / nash.congestions[1],
+            )
+        });
+        let mut t = Table::new(&[
+            "k",
+            "discipline",
+            "converged",
+            "r(through)",
+            "r(local)",
+            "deviation gain",
+            "thru/local c",
+        ]);
+        for (k, fair, converged, r_thru, r_local, gain, c_ratio) in rows {
+            t.row(vec![
+                k.into(),
+                if fair { "FairShare" } else { "FIFO" }.into(),
+                converged.into(),
+                Cell::num_text(r_thru, format!("{r_thru:.4}")),
+                Cell::num_text(r_local, format!("{r_local:.4}")),
+                Cell::num_text(gain, format!("{gain:.2e}")),
+                Cell::num_text(c_ratio, format!("{c_ratio:.3}")),
+            ]);
+        }
+        report.table(t);
+        report.note("long routes rationally send less; equilibria exist, converge and verify");
+        report.note("under both disciplines in this benign setting.");
+
+        // Protection across routes.
+        report.section("protection of the through user (r = 0.08) vs flooding locals (k = 3)");
+        let mut t = Table::new(&[
+            "discipline",
+            "worst congestion",
+            "summed bound",
+            "protected?",
+        ]);
+        for fair in [true, false] {
+            let net = parking_lot(3, fair);
+            let observed = net.adversarial_congestion(0, 0.08, &[0.1, 0.3, 0.8, 0.95, 2.0]);
+            let bound = net.protection_bound(0, 0.08);
+            t.row(vec![
+                if fair { "FairShare" } else { "FIFO" }.into(),
+                Cell::num_text(observed, format!("{observed:.4}")),
+                Cell::num_text(bound, format!("{bound:.4}")),
+                (observed <= bound * (1.0 + 1e-9)).into(),
+            ]);
+        }
+        report.table(t);
+
+        // Fairness needs redefinition: cross-route envy under FS.
+        report.section("envy in a network under Fair Share (2 switches, 2 through + 2 local)");
+        let t2 =
+            Topology::new(2, vec![vec![0, 1], vec![0, 1], vec![0], vec![1]]).expect("topology");
+        let u: Vec<BoxedUtility> = vec![
+            LogUtility::new(0.3, 1.0).boxed(),
+            LogUtility::new(0.9, 1.0).boxed(),
+            LogUtility::new(0.5, 1.0).boxed(),
+            LogUtility::new(0.5, 1.0).boxed(),
+        ];
+        let net = NetworkGame::new(t2, Box::new(FairShare::new()), u).expect("game");
+        let nash = net.solve_nash(&NashOptions::default()).expect("nash");
+        let same = net.max_same_route_envy(&nash.rates);
+        let mut cross = f64::NEG_INFINITY;
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j && net.topology().route(i) != net.topology().route(j) {
+                    cross = cross.max(net.envy(&nash.rates, i, j));
+                }
+            }
+        }
+        report.metric("same_route_max_envy", same);
+        report.metric("cross_route_max_envy", cross);
+        report.note(format!(
+            "same-route max envy : {same:+.6}  (envy-freeness survives)"
+        ));
+        report.note(format!(
+            "cross-route max env : {cross:+.6}  (positive: short routes look 'better';"
+        ));
+        report.note("§5.4: fairness across routes needs a new definition)");
+        report
+    }
+}

@@ -1,0 +1,146 @@
+//! Experiment E6 — Theorem 7 and §4.2.3: rapid convergence.
+//!
+//! Computes the relaxation matrix of the synchronous Newton dynamics at
+//! the Nash equilibrium for identical linear users: Fair Share must be
+//! nilpotent (spectral radius 0, convergence in ≤ N steps); FIFO's leading
+//! eigenvalue matches the closed form `-(N-1)(u+2r)/(2u+2r)` and tends to
+//! the paper's `1 − N` as spare capacity vanishes; FIFO dynamics diverge
+//! for N ≥ 3.
+
+use crate::identical_linear_game;
+use greednet_core::game::NashOptions;
+use greednet_core::relaxation::{fifo_linear_leading_eigenvalue, is_nilpotent_at, spectral_radius};
+use greednet_learning::newton;
+use greednet_queueing::{FairShare, Proportional};
+use greednet_runtime::{Cell, ExpCtx, Experiment, ParallelSweep, RunReport, Table};
+
+/// E6: relaxation spectra and Newton dynamics (Theorem 7, §4.2.3).
+pub struct E6Convergence;
+
+impl Experiment for E6Convergence {
+    fn id(&self) -> &'static str {
+        "e6"
+    }
+
+    fn title(&self) -> &'static str {
+        "E6: relaxation spectra and Newton dynamics (Theorem 7, §4.2.3)"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(&self, ctx: &ExpCtx) -> RunReport {
+        let mut report = ctx.report(self.id(), self.title());
+        let gamma = 0.2;
+        report.note(format!(
+            "identical linear users, U = r - {gamma} c, at the Nash point"
+        ));
+
+        let populations = [2usize, 3, 4, 6, 8];
+        let rows = ParallelSweep::new(ctx.threads).map(&populations, |_, &n| {
+            let fifo = identical_linear_game(Box::new(Proportional::new()), n, gamma);
+            let fs = identical_linear_game(Box::new(FairShare::new()), n, gamma);
+            let nf = fifo.solve_nash(&NashOptions::default()).expect("fifo nash");
+            let ns = fs.solve_nash(&NashOptions::default()).expect("fs nash");
+            let rho_f = spectral_radius(&fifo, &nf.rates).expect("spectrum");
+            let closed = fifo_linear_leading_eigenvalue(n, nf.rates[0]).abs();
+            // Break rate ties slightly so FS stays in its C^2 region.
+            let mut fs_point = ns.rates.clone();
+            for (i, r) in fs_point.iter_mut().enumerate() {
+                *r *= 1.0 + 1e-4 * i as f64;
+            }
+            let rho_s = spectral_radius(&fs, &fs_point).expect("spectrum");
+            let nil = is_nilpotent_at(&fs, &fs_point, 1e-8).expect("nilpotency");
+            (n, rho_f, closed, rho_s, nil)
+        });
+        let mut t = Table::new(&[
+            "N",
+            "FIFO rho",
+            "FIFO closed",
+            "FS rho",
+            "FS nilpotent?",
+            "paper 1-N",
+        ]);
+        for (n, rho_f, closed, rho_s, nil) in rows {
+            t.row(vec![
+                n.into(),
+                Cell::num_text(rho_f, format!("{rho_f:.4}")),
+                Cell::num_text(closed, format!("{closed:.4}")),
+                Cell::num_text(rho_s, format!("{rho_s:.2e}")),
+                nil.into(),
+                (1i64 - n as i64).into(),
+            ]);
+        }
+        report.table(t);
+        report.note("FIFO rho > 1 for N >= 3 (unstable); FS rho = 0 (nilpotent). As load");
+        report.note("grows the FIFO eigenvalue approaches the paper's 1 - N exactly:");
+
+        report.section("FIFO leading eigenvalue vs spare capacity u = 1 - N r (N = 4)");
+        let mut t = Table::new(&["r", "eigenvalue", "paper -3"]);
+        for r in [0.15, 0.2, 0.23, 0.2475, 0.24975] {
+            let lam = fifo_linear_leading_eigenvalue(4, r);
+            t.row(vec![
+                Cell::num_text(r, format!("{r}")),
+                Cell::num_text(lam, format!("{lam:.4}")),
+                (-3i64).into(),
+            ]);
+        }
+        report.table(t);
+
+        report.section("Newton trajectories (FS: heterogeneous log users; FIFO: identical linear)");
+        let mut t = Table::new(&["discipline", "N", "steps to 1e-8", "final residual / ratio"]);
+        for n in [3usize, 4, 6] {
+            let log_users = || -> Vec<greednet_core::utility::BoxedUtility> {
+                use greednet_core::utility::{LogUtility, UtilityExt};
+                (0..n)
+                    .map(|i| LogUtility::new(0.3 + 0.25 * i as f64, 1.0).boxed())
+                    .collect()
+            };
+            let fs = greednet_core::game::Game::new(FairShare::new(), log_users()).expect("game");
+            let ns = fs.solve_nash(&NashOptions::default()).expect("fs nash");
+            let start: Vec<f64> = ns
+                .rates
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| x * (1.0 + 0.01 * (1.0 + i as f64)))
+                .collect();
+            let traj = newton::run(&fs, &start, n + 3).expect("newton");
+            let steps = traj
+                .steps_to_converge(1e-8)
+                .map_or_else(|| "-".into(), |s| s.to_string());
+            let resid = *traj.residuals.last().expect("residuals");
+            t.row(vec![
+                "FairShare".into(),
+                n.into(),
+                steps.into(),
+                Cell::num_text(resid, format!("{resid:.3e}")),
+            ]);
+
+            // FIFO rows use the paper's identical-linear population (the
+            // unstable case); heterogeneous log users can damp FIFO dynamics.
+            let fifo = identical_linear_game(Box::new(Proportional::new()), n, gamma);
+            let nf = fifo.solve_nash(&NashOptions::default()).expect("fifo nash");
+            let start: Vec<f64> = nf.rates.iter().map(|&x| x + 1e-4).collect();
+            let traj = newton::run(&fifo, &start, 6).expect("newton");
+            let ratio = traj.residuals.last().expect("residuals") / traj.residuals[0].max(1e-300);
+            let verdict = if traj.steps_to_converge(1e-8).is_some() {
+                "converged"
+            } else if traj.diverged(3.0) {
+                "diverged"
+            } else {
+                "slow"
+            };
+            t.row(vec![
+                "FIFO(linear)".into(),
+                n.into(),
+                verdict.into(),
+                Cell::num_text(ratio, format!("{ratio:.1}x")),
+            ]);
+        }
+        report.table(t);
+        report.note("paper (Thm 7): FS relaxation matrix is nilpotent — convergence within");
+        report.note("N synchronous Newton steps wherever rates are distinct (the C^2 region;");
+        report.note("identical users sit exactly on the rate-tie manifold, where the");
+        report.note("dynamics remain stable but finite-step convergence degrades to");
+        report.note("geometric — see EXPERIMENTS.md).");
+        report
+    }
+}

@@ -1,0 +1,70 @@
+//! Experiment E8 — Corollary 2: alternative constraint functions.
+//!
+//! Under the quadratic constraint `Σ c = Σ r²` with the separable
+//! allocation `C_i = r_i²`, every Nash equilibrium is Pareto optimal; the
+//! M/M/1 constraint admits no separable decomposition (its full mixed
+//! partial is bounded away from zero), which is the root of Theorem 1.
+
+use crate::ProfileSampler;
+use greednet_mechanisms::constraints::{
+    mixed_partial_defect, Mm1Constraint, QuadraticConstraint, SeparableAllocation,
+};
+use greednet_runtime::{Cell, ExpCtx, Experiment, RunReport, Table};
+
+/// E8: alternative constraint functions (Corollary 2).
+pub struct E8AltConstraint;
+
+impl Experiment for E8AltConstraint {
+    fn id(&self) -> &'static str {
+        "e8"
+    }
+
+    fn title(&self) -> &'static str {
+        "E8: alternative constraint functions (Corollary 2)"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> RunReport {
+        let mut report = ctx.report(self.id(), self.title());
+
+        report.section("(a) Pareto optimality of Nash under the quadratic constraint");
+        let mut t = Table::new(&["profile", "max |Nash residual|", "max |Pareto residual|"]);
+        let s = SeparableAllocation;
+        let mut sampler = ProfileSampler::new(ctx.stage_seed(1));
+        for p in 0..ctx.budget.count(6) {
+            let users = sampler.profile(3);
+            let nash = s.nash(&users).expect("separable nash");
+            // Nash residual: users sit at their unconstrained optima, so the
+            // Pareto residuals below double as the Nash FDC residuals.
+            let res: f64 = s
+                .pareto_residuals(&users, &nash)
+                .iter()
+                .map(|r| r.abs())
+                .fold(0.0, f64::max);
+            t.row(vec![
+                p.into(),
+                Cell::num_text(res, format!("{res:.2e}")),
+                Cell::num_text(res, format!("{res:.2e}")),
+            ]);
+        }
+        report.table(t);
+        report.note("(identical columns: with C_i = r_i^2 the Nash FDC IS the Pareto FDC)");
+
+        report.section("(b) separability obstruction: full mixed partial d^N f / dr_1..dr_N");
+        let mut t = Table::new(&["N", "M/M/1 |d^N g(sum r)|", "quadratic |d^N sum r^2|"]);
+        for n in [2usize, 3, 4] {
+            let rates = vec![0.08; n];
+            let mm1 = mixed_partial_defect(&Mm1Constraint, &rates, 0.01).abs();
+            let quad = mixed_partial_defect(&QuadraticConstraint, &rates, 0.01).abs();
+            t.row(vec![
+                n.into(),
+                Cell::num_text(mm1, format!("{mm1:.4}")),
+                Cell::num_text(quad, format!("{quad:.2e}")),
+            ]);
+        }
+        report.table(t);
+        report.note("paper (Cor. 2 / Thm 1 proof): a constraint supports Pareto Nash via");
+        report.note("C_i = f - h_i iff it decomposes with dh_i/dr_i = 0, which forces the");
+        report.note("full mixed partial to vanish — true for sum-of-squares, false for M/M/1.");
+        report
+    }
+}

@@ -1,0 +1,144 @@
+//! Experiment E9 — §3.1: closed-form allocation functions vs simulated
+//! packets, for every discipline, with across-replication confidence
+//! intervals. The replication batch is the workspace's flagship parallel
+//! workload: each discipline runs `budget.count(16)` independent
+//! replications whose seeds split off the root seed by index, so the
+//! report is identical at any `--threads` setting.
+
+use crate::experiments::mean_and_hw;
+use greednet_des::scenarios::DisciplineKind;
+use greednet_des::{SimConfig, Simulator};
+use greednet_queueing::{mm1, AllocationFunction, FairShare, Proportional, SerialPriority};
+use greednet_runtime::{child_seed, Cell, ExpCtx, Experiment, Replications, RunReport, Table};
+
+/// E9: packet-level validation of the allocation formulas (§3.1).
+pub struct E9DesValidation;
+
+fn replicate(
+    ctx: &ExpCtx,
+    kind: DisciplineKind,
+    rates: &[f64],
+    horizon: f64,
+    reps: usize,
+    stage: u64,
+) -> Vec<(Vec<f64>, Vec<f64>)> {
+    Replications::new(reps, ctx.stage_seed(stage)).run(ctx.threads, |_, seed| {
+        let cfg = SimConfig::builder(rates.to_vec())
+            .horizon(horizon)
+            .seed(seed)
+            .build()
+            .expect("valid config");
+        let sim = Simulator::new(cfg).expect("simulator");
+        let mut d = kind.build(rates, child_seed(seed, 1)).expect("discipline");
+        let r = sim.run(d.as_mut()).expect("simulate");
+        (r.mean_queue, r.total_queue_dist)
+    })
+}
+
+impl Experiment for E9DesValidation {
+    fn id(&self) -> &'static str {
+        "e9"
+    }
+
+    fn title(&self) -> &'static str {
+        "E9: packet-level validation of the allocation formulas (§3.1)"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> RunReport {
+        let mut report = ctx.report(self.id(), self.title());
+        let rates = vec![0.08, 0.22, 0.35];
+        let horizon = ctx.budget.horizon(100_000.0);
+        let reps = ctx.budget.count(16);
+        let load: f64 = rates.iter().sum();
+        report.note(format!(
+            "rates {rates:?} (load {load:.2}), {reps} replications x horizon {horizon} per discipline"
+        ));
+
+        let closed: Vec<(DisciplineKind, Vec<f64>)> = vec![
+            (DisciplineKind::Fifo, Proportional::new().congestion(&rates)),
+            (
+                DisciplineKind::LifoPreemptive,
+                Proportional::new().congestion(&rates),
+            ),
+            (
+                DisciplineKind::ProcessorSharing,
+                Proportional::new().congestion(&rates),
+            ),
+            (
+                DisciplineKind::SerialPriority,
+                SerialPriority::new().congestion(&rates),
+            ),
+            (DisciplineKind::FsTable, FairShare::new().congestion(&rates)),
+        ];
+
+        let mut t = Table::new(&[
+            "discipline",
+            "user",
+            "closed",
+            "simulated",
+            "rel.err",
+            "CI half",
+            "in CI?",
+        ]);
+        let mut worst = 0.0f64;
+        let mut last_dists: Vec<Vec<f64>> = Vec::new();
+        for (stage, (kind, expect)) in closed.iter().enumerate() {
+            let runs = replicate(ctx, *kind, &rates, horizon, reps, stage as u64);
+            for (u, &exp_u) in expect.iter().enumerate() {
+                let samples: Vec<f64> = runs.iter().map(|(q, _)| q[u]).collect();
+                let (mean, hw) = mean_and_hw(&samples);
+                let rel = (mean - exp_u).abs() / exp_u;
+                worst = worst.max(rel);
+                t.row(vec![
+                    kind.label().into(),
+                    u.into(),
+                    Cell::num(exp_u),
+                    Cell::num(mean),
+                    Cell::num_text(rel, format!("{:.2}%", rel * 100.0)),
+                    Cell::num(hw),
+                    ((mean - exp_u).abs() <= hw).into(),
+                ]);
+            }
+            let total: f64 =
+                runs.iter().map(|(q, _)| q.iter().sum::<f64>()).sum::<f64>() / runs.len() as f64;
+            t.row(vec![
+                kind.label().into(),
+                "TOTAL".into(),
+                Cell::num(mm1::g(load)),
+                Cell::num(total),
+                "(work conservation)".into(),
+                "".into(),
+                "".into(),
+            ]);
+            if *kind == DisciplineKind::FsTable {
+                last_dists = runs.into_iter().map(|(_, d)| d).collect();
+            }
+        }
+        report.table(t);
+        report.metric("worst_rel_err", worst);
+        report.note("SFQ has no closed form here (non-preemptive FQ approximation); its");
+        report.note("work-conservation total is checked in the integration tests.");
+
+        // Total-queue occupancy distribution: geometric for M/M/1 under any
+        // non-anticipating work-conserving discipline.
+        report.section(format!(
+            "occupancy distribution P(N = k) vs the geometric law (load {load:.2})"
+        ));
+        let mut t = Table::new(&["k", "geometric", "simulated", "abs.err"]);
+        for k in 0..8usize {
+            let expect = (1.0 - load) * load.powi(i32::try_from(k).unwrap_or(i32::MAX));
+            let got = last_dists.iter().filter_map(|d| d.get(k)).sum::<f64>()
+                / last_dists.len().max(1) as f64;
+            t.row(vec![
+                k.into(),
+                Cell::num(expect),
+                Cell::num(got),
+                Cell::num((got - expect).abs()),
+            ]);
+        }
+        report.table(t);
+        report.note("(run under the Fair Share table: total occupancy is discipline-");
+        report.note("invariant for M/M/1, and matches (1-rho) rho^k.)");
+        report
+    }
+}

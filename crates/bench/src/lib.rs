@@ -27,48 +27,126 @@
 //! | `exp_e15_blend_ablation` | ablation along the FIFO→FS blend |
 //!
 //! Criterion micro-benchmarks of the library kernels live in `benches/`.
-//! This `lib` target holds the small shared utilities (table printing,
-//! sampled utility profiles, standard game builders).
+//!
+//! Every experiment implements [`greednet_runtime::Experiment`] in
+//! [`experiments`] and is listed in the central [`experiments::registry`];
+//! the `src/bin/` targets are thin wrappers over [`exp_cli::exp_main`],
+//! and the same registry backs `greednet exp <id>` in the CLI crate. This
+//! `lib` target additionally holds the shared utilities (the
+//! [`DisciplineSet`], sampled utility profiles, standard game builders).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod exp_cli;
+pub mod experiments;
+
 use greednet_core::game::Game;
 use greednet_core::utility::{
-    BoxedUtility, LinearUtility, LogUtility, PowerUtility, QuadraticCongestionUtility,
-    UtilityExt,
+    BoxedUtility, LinearUtility, LogUtility, PowerUtility, QuadraticCongestionUtility, UtilityExt,
 };
 use greednet_queueing::alloc::AllocationFunction;
 use greednet_queueing::{Blend, FairShare, Proportional, SerialPriority};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
-/// Prints a section header.
-pub fn header(title: &str) {
-    println!("\n==============================================================");
-    println!("{title}");
-    println!("==============================================================");
+/// A typed, ordered set of named allocation disciplines.
+///
+/// Replaces the old free function returning `Vec<(&str, Box<dyn ...>)>`:
+/// experiments now share one value with named constructors, iteration in
+/// reporting order, and lookup by name.
+pub struct DisciplineSet {
+    entries: Vec<(&'static str, Box<dyn AllocationFunction>)>,
 }
 
-/// Prints a sub-note line.
-pub fn note(text: &str) {
-    println!("  {text}");
+impl DisciplineSet {
+    /// Empty set (extend with [`with`](Self::with)).
+    #[must_use]
+    pub fn empty() -> Self {
+        DisciplineSet {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The four disciplines every experiment sweeps, in reporting order:
+    /// FIFO, Fair Share, serial priority, and the 50/50 blend.
+    #[must_use]
+    pub fn standard() -> Self {
+        DisciplineSet::fifo_vs_fair_share()
+            .with("SerialPrio", Box::new(SerialPriority::new()))
+            .with("Blend(0.5)", Box::new(blend(0.5)))
+    }
+
+    /// Just the paper's two protagonists: FIFO and Fair Share.
+    #[must_use]
+    pub fn fifo_vs_fair_share() -> Self {
+        DisciplineSet::empty()
+            .with("FIFO", Box::new(Proportional::new()))
+            .with("FairShare", Box::new(FairShare::new()))
+    }
+
+    /// Appends a named discipline.
+    ///
+    /// # Panics
+    /// If the name is already present (lookup would be ambiguous).
+    #[must_use]
+    pub fn with(mut self, name: &'static str, alloc: Box<dyn AllocationFunction>) -> Self {
+        assert!(
+            self.get(name).is_none(),
+            "duplicate discipline name {name:?}"
+        );
+        self.entries.push((name, alloc));
+        self
+    }
+
+    /// Looks a discipline up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&dyn AllocationFunction> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, a)| a.as_ref())
+    }
+
+    /// Names in reporting order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Iterates `(name, discipline)` pairs in reporting order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &dyn AllocationFunction)> {
+        self.entries.iter().map(|(n, a)| (*n, a.as_ref()))
+    }
+
+    /// Number of disciplines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
-/// The disciplines every experiment sweeps, in reporting order.
-pub fn standard_disciplines() -> Vec<(&'static str, Box<dyn AllocationFunction>)> {
-    vec![
-        ("FIFO", Box::new(Proportional::new())),
-        ("FairShare", Box::new(FairShare::new())),
-        ("SerialPrio", Box::new(SerialPriority::new())),
-        (
-            "Blend(0.5)",
-            Box::new(
-                Blend::new(Box::new(Proportional::new()), Box::new(FairShare::new()), 0.5)
-                    .expect("valid blend"),
-            ),
-        ),
-    ]
+impl std::fmt::Debug for DisciplineSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("DisciplineSet").field(&self.names()).finish()
+    }
+}
+
+/// The FIFO→Fair-Share blend `C^θ = (1−θ)·C^FIFO + θ·C^FS`.
+#[must_use]
+pub fn blend(theta: f64) -> Blend {
+    Blend::new(
+        Box::new(Proportional::new()),
+        Box::new(FairShare::new()),
+        theta,
+    )
+    .expect("valid blend")
 }
 
 /// A deterministic sampler of heterogeneous AU utility profiles.
@@ -80,7 +158,9 @@ pub struct ProfileSampler {
 impl ProfileSampler {
     /// Creates a sampler with a fixed seed.
     pub fn new(seed: u64) -> Self {
-        ProfileSampler { rng: SmallRng::seed_from_u64(seed) }
+        ProfileSampler {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
@@ -115,12 +195,10 @@ impl ProfileSampler {
 }
 
 /// Builds a game of `n` identical linear users over `alloc`.
-pub fn identical_linear_game(
-    alloc: Box<dyn AllocationFunction>,
-    n: usize,
-    gamma: f64,
-) -> Game {
-    let users = (0..n).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect();
+pub fn identical_linear_game(alloc: Box<dyn AllocationFunction>, n: usize, gamma: f64) -> Game {
+    let users = (0..n)
+        .map(|_| LinearUtility::new(1.0, gamma).boxed())
+        .collect();
     Game::from_boxed(alloc, users).expect("non-empty game")
 }
 
@@ -156,14 +234,27 @@ mod tests {
     }
 
     #[test]
-    fn standard_disciplines_nonempty() {
-        let d = standard_disciplines();
+    fn standard_discipline_set() {
+        let d = DisciplineSet::standard();
         assert_eq!(d.len(), 4);
-        for (name, alloc) in d {
+        assert_eq!(
+            d.names(),
+            vec!["FIFO", "FairShare", "SerialPrio", "Blend(0.5)"]
+        );
+        assert!(d.get("FairShare").is_some());
+        assert!(d.get("nope").is_none());
+        for (name, alloc) in d.iter() {
             assert!(!name.is_empty());
             let c = alloc.congestion(&[0.1, 0.2]);
             assert_eq!(c.len(), 2);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate discipline name")]
+    fn duplicate_discipline_names_rejected() {
+        let _ = DisciplineSet::fifo_vs_fair_share()
+            .with("FIFO", Box::new(greednet_queueing::Proportional::new()));
     }
 
     #[test]

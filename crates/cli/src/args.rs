@@ -32,6 +32,10 @@ COMMANDS:
                user crossing k switches + one local user per switch)
                --switches K              (default 3)
                --discipline fifo|fs|sp   (default fs)
+    exp        Run a paper-reproduction experiment from the registry
+               (no id: list all experiments)
+               greednet exp <ID> [--seed N] [--threads N]
+                                 [--json|--csv|--format F] [--smoke]
     help       Show this message
 
 EXAMPLES:
@@ -39,6 +43,7 @@ EXAMPLES:
     greednet simulate --rates 0.1,0.3 --discipline sfq --horizon 50000
     greednet table --rates 0.05,0.1,0.2,0.3
     greednet protect --n 4 --victim 0.1 --discipline fifo
+    greednet exp e9 --threads 4 --json
 ";
 
 /// A parsed CLI command.
@@ -54,6 +59,8 @@ pub enum Command {
     Protect(ProtectArgs),
     /// Parking-lot network equilibrium.
     Network(NetworkArgs),
+    /// Registry experiment runner.
+    Exp(ExpCmdArgs),
     /// Show usage.
     Help,
 }
@@ -98,6 +105,16 @@ pub struct ProtectArgs {
     pub victim: f64,
     /// Discipline name.
     pub discipline: String,
+}
+
+/// Arguments for `exp`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpCmdArgs {
+    /// Experiment id (`t1`, `e1`..`e15`); `None` lists the registry.
+    pub id: Option<String>,
+    /// Remaining flags, handed verbatim to the shared experiment-runner
+    /// parser (`--seed`, `--threads`, `--json`, ...).
+    pub rest: Vec<String>,
 }
 
 /// Arguments for `network`.
@@ -153,7 +170,10 @@ fn options(args: &[String]) -> Result<Vec<(String, String)>, ParseError> {
 }
 
 fn get<'a>(opts: &'a [(String, String)], key: &str) -> Option<&'a str> {
-    opts.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    opts.iter()
+        .rev()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
 }
 
 /// Parses a comma-separated list of rates.
@@ -238,7 +258,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let Some(rates) = get(&opts, "rates") else {
                 return err("table requires --rates");
             };
-            Ok(Command::Table(TableArgs { rates: parse_rates(rates)? }))
+            Ok(Command::Table(TableArgs {
+                rates: parse_rates(rates)?,
+            }))
         }
         "network" => {
             let opts = options(rest)?;
@@ -250,6 +272,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 switches,
                 discipline: get(&opts, "discipline").unwrap_or("fs").to_string(),
             }))
+        }
+        "exp" => {
+            let (id, rest) = match rest.first() {
+                Some(first) if !first.starts_with("--") => {
+                    (Some(first.clone()), rest[1..].to_vec())
+                }
+                _ => (None, rest.to_vec()),
+            };
+            Ok(Command::Exp(ExpCmdArgs { id, rest }))
         }
         "protect" => {
             let opts = options(rest)?;
@@ -288,7 +319,9 @@ mod tests {
 
     #[test]
     fn nash_defaults_and_overrides() {
-        let Command::Nash(a) = parse(&argv("nash")).unwrap() else { panic!() };
+        let Command::Nash(a) = parse(&argv("nash")).unwrap() else {
+            panic!()
+        };
         assert_eq!(a.discipline, "fs");
         assert_eq!(a.users.len(), 3);
         let Command::Nash(a) =
@@ -297,7 +330,14 @@ mod tests {
             panic!()
         };
         assert_eq!(a.discipline, "fifo");
-        assert_eq!(a.users, vec![UtilitySpec { family: "linear".into(), a: 1.0, b: 0.5 }]);
+        assert_eq!(
+            a.users,
+            vec![UtilitySpec {
+                family: "linear".into(),
+                a: 1.0,
+                b: 0.5
+            }]
+        );
     }
 
     #[test]
@@ -335,15 +375,35 @@ mod tests {
 
     #[test]
     fn network_parsing() {
-        let Command::Network(n) =
-            parse(&argv("network --switches 5 --discipline fifo")).unwrap()
+        let Command::Network(n) = parse(&argv("network --switches 5 --discipline fifo")).unwrap()
         else {
             panic!()
         };
         assert_eq!(n.switches, 5);
         assert_eq!(n.discipline, "fifo");
-        let Command::Network(n) = parse(&argv("network")).unwrap() else { panic!() };
+        let Command::Network(n) = parse(&argv("network")).unwrap() else {
+            panic!()
+        };
         assert_eq!(n.switches, 3);
+    }
+
+    #[test]
+    fn exp_parsing() {
+        let Command::Exp(e) = parse(&argv("exp e9 --threads 4 --json")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(e.id.as_deref(), Some("e9"));
+        assert_eq!(e.rest, argv("--threads 4 --json"));
+        let Command::Exp(e) = parse(&argv("exp")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(e.id, None);
+        assert!(e.rest.is_empty());
+        let Command::Exp(e) = parse(&argv("exp --smoke")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(e.id, None);
+        assert_eq!(e.rest, argv("--smoke"));
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Implementations of the CLI commands.
 
-use crate::args::{NashArgs, NetworkArgs, ProtectArgs, SimulateArgs, TableArgs, UtilitySpec};
+use crate::args::{
+    ExpCmdArgs, NashArgs, NetworkArgs, ProtectArgs, SimulateArgs, TableArgs, UtilitySpec,
+};
 use greednet_core::game::{Game, NashOptions};
 use greednet_core::protection::{adversarial_congestion, protection_bound};
 use greednet_core::utility::{
-    BoxedUtility, LinearUtility, LogUtility, PowerUtility, QuadraticCongestionUtility,
-    UtilityExt,
+    BoxedUtility, LinearUtility, LogUtility, PowerUtility, QuadraticCongestionUtility, UtilityExt,
 };
 use greednet_des::scenarios::DisciplineKind;
 use greednet_des::{ServiceDist, SimConfig, Simulator};
@@ -32,7 +33,11 @@ pub fn build_kind(name: &str) -> Result<DisciplineKind, String> {
         "sp" | "serial" => DisciplineKind::SerialPriority,
         "fs" | "fairshare" | "fair-share" => DisciplineKind::FsTable,
         "sfq" | "fq" => DisciplineKind::Sfq,
-        other => return Err(format!("unknown discipline '{other}' (use fifo/lifo/ps/sp/fs/sfq)")),
+        other => {
+            return Err(format!(
+                "unknown discipline '{other}' (use fifo/lifo/ps/sp/fs/sfq)"
+            ))
+        }
     })
 }
 
@@ -90,7 +95,9 @@ pub fn build_service(spec: &str) -> Result<ServiceDist, String> {
             .filter(|&c| c > 1.0)
             .map(|cs2| ServiceDist::Hyperexponential { cs2 })
             .ok_or_else(|| format!("bad H2 spec '{s}' (use e.g. H2:4.0)")),
-        other => Err(format!("unknown service '{other}' (use M, D, E<k> or H2:<cs2>)")),
+        other => Err(format!(
+            "unknown service '{other}' (use M, D, E<k> or H2:<cs2>)"
+        )),
     }
 }
 
@@ -100,13 +107,18 @@ pub fn nash(a: NashArgs) -> Result<(), String> {
     let name = alloc.name();
     let users = build_users(&a.users)?;
     let game = Game::from_boxed(alloc, users).map_err(|e| e.to_string())?;
-    let sol = game.solve_nash(&NashOptions::default()).map_err(|e| e.to_string())?;
+    let sol = game
+        .solve_nash(&NashOptions::default())
+        .map_err(|e| e.to_string())?;
     println!("Nash equilibrium under {name}:");
     println!(
         "  converged: {} in {} sweeps (residual {:.1e})",
         sol.converged, sol.iterations, sol.residual
     );
-    println!("  {:<6}{:>12}{:>12}{:>12}", "user", "rate", "congestion", "utility");
+    println!(
+        "  {:<6}{:>12}{:>12}{:>12}",
+        "user", "rate", "congestion", "utility"
+    );
     for i in 0..game.n() {
         println!(
             "  {i:<6}{:>12.5}{:>12.5}{:>12.5}",
@@ -122,11 +134,17 @@ pub fn nash(a: NashArgs) -> Result<(), String> {
 pub fn simulate(a: SimulateArgs) -> Result<(), String> {
     let kind = build_kind(&a.discipline)?;
     let service = build_service(&a.service)?;
-    let mut cfg = SimConfig::new(a.rates.clone(), a.horizon, a.seed);
-    cfg.service = service;
-    cfg.allow_overload = true;
+    let cfg = SimConfig::builder(a.rates.clone())
+        .horizon(a.horizon)
+        .seed(a.seed)
+        .service(service)
+        .allow_overload(true)
+        .build()
+        .map_err(|e| e.to_string())?;
     let sim = Simulator::new(cfg).map_err(|e| e.to_string())?;
-    let mut d = kind.build(&a.rates, a.seed ^ 0xC11).map_err(|e| e.to_string())?;
+    let mut d = kind
+        .build(&a.rates, a.seed ^ 0xC11)
+        .map_err(|e| e.to_string())?;
     let r = sim.run(d.as_mut()).map_err(|e| e.to_string())?;
     println!(
         "Simulated {} under {} service for {} time units ({} events):",
@@ -153,7 +171,10 @@ pub fn simulate(a: SimulateArgs) -> Result<(), String> {
 pub fn table(a: TableArgs) -> Result<(), String> {
     let n = a.rates.len();
     let t = priority_table(&a.rates);
-    println!("Fair Share priority table (paper Table 1) for rates {:?}:", a.rates);
+    println!(
+        "Fair Share priority table (paper Table 1) for rates {:?}:",
+        a.rates
+    );
     print!("  {:<6}", "user");
     for k in 0..n {
         print!("{:>9}", format!("L{k}"));
@@ -202,7 +223,10 @@ pub fn protect(a: ProtectArgs) -> Result<(), String> {
         &[0.05, 0.1, 0.2, 0.4, 0.8, 0.95, 2.0, 10.0],
     );
     let ok = worst <= bound * (1.0 + 1e-9);
-    println!("  worst observed: {worst:.5} -> {}", if ok { "PROTECTED" } else { "BOUND VIOLATED" });
+    println!(
+        "  worst observed: {worst:.5} -> {}",
+        if ok { "PROTECTED" } else { "BOUND VIOLATED" }
+    );
     Ok(())
 }
 
@@ -215,8 +239,7 @@ pub fn network(a: NetworkArgs) -> Result<(), String> {
     let alloc = build_alloc(&a.discipline)?;
     let name = alloc.name();
     let k = a.switches;
-    let users: Vec<BoxedUtility> =
-        (0..=k).map(|_| LogUtility::new(0.5, 1.0).boxed()).collect();
+    let users: Vec<BoxedUtility> = (0..=k).map(|_| LogUtility::new(0.5, 1.0).boxed()).collect();
     let net = NetworkGame::new(
         Topology::parking_lot(k).map_err(|e| e.to_string())?,
         alloc,
@@ -231,7 +254,10 @@ pub fn network(a: NetworkArgs) -> Result<(), String> {
         "  converged: {} in {} sweeps (residual {:.1e})",
         nash.converged, nash.iterations, nash.residual
     );
-    println!("  {:<10}{:>8}{:>12}{:>12}{:>12}", "user", "hops", "rate", "congestion", "utility");
+    println!(
+        "  {:<10}{:>8}{:>12}{:>12}{:>12}",
+        "user", "hops", "rate", "congestion", "utility"
+    );
     for i in 0..net.n() {
         let role = if i == 0 { "through" } else { "local" };
         println!(
@@ -242,8 +268,27 @@ pub fn network(a: NetworkArgs) -> Result<(), String> {
             nash.utilities[i]
         );
     }
-    let gain = net.max_deviation_gain(&nash.rates, 128).map_err(|e| e.to_string())?;
+    let gain = net
+        .max_deviation_gain(&nash.rates, 128)
+        .map_err(|e| e.to_string())?;
     println!("  max unilateral deviation gain: {gain:.2e}");
+    Ok(())
+}
+
+/// `greednet exp` — run one registry experiment (or list them all).
+pub fn exp(a: ExpCmdArgs) -> Result<(), String> {
+    use greednet_bench::exp_cli::{run_experiment, ExpArgs};
+    use greednet_bench::experiments::registry;
+    let Some(id) = a.id else {
+        println!("available experiments (greednet exp <ID> [--seed N] [--threads N] [--json|--csv] [--smoke]):");
+        for e in registry().iter() {
+            println!("  {:<5} {}", e.id(), e.title());
+        }
+        return Ok(());
+    };
+    let opts = ExpArgs::parse(&a.rest)?;
+    let report = run_experiment(&id, &opts.ctx())?;
+    print!("{}", report.render(opts.format));
     Ok(())
 }
 
@@ -276,10 +321,24 @@ mod tests {
 
     #[test]
     fn user_builders_validate() {
-        let ok = build_users(&[UtilitySpec { family: "log".into(), a: 0.5, b: 1.0 }]);
+        let ok = build_users(&[UtilitySpec {
+            family: "log".into(),
+            a: 0.5,
+            b: 1.0,
+        }]);
         assert_eq!(ok.unwrap().len(), 1);
-        assert!(build_users(&[UtilitySpec { family: "power".into(), a: 1.5, b: 1.0 }]).is_err());
-        assert!(build_users(&[UtilitySpec { family: "linear".into(), a: -1.0, b: 1.0 }]).is_err());
+        assert!(build_users(&[UtilitySpec {
+            family: "power".into(),
+            a: 1.5,
+            b: 1.0
+        }])
+        .is_err());
+        assert!(build_users(&[UtilitySpec {
+            family: "linear".into(),
+            a: -1.0,
+            b: 1.0
+        }])
+        .is_err());
     }
 
     #[test]
@@ -287,8 +346,16 @@ mod tests {
         let args = NashArgs {
             discipline: "fs".into(),
             users: vec![
-                UtilitySpec { family: "log".into(), a: 0.5, b: 1.0 },
-                UtilitySpec { family: "linear".into(), a: 1.0, b: 0.4 },
+                UtilitySpec {
+                    family: "log".into(),
+                    a: 0.5,
+                    b: 1.0,
+                },
+                UtilitySpec {
+                    family: "linear".into(),
+                    a: 1.0,
+                    b: 0.4,
+                },
             ],
         };
         nash(args).unwrap();
@@ -308,16 +375,46 @@ mod tests {
 
     #[test]
     fn network_command_end_to_end() {
-        network(NetworkArgs { switches: 2, discipline: "fs".into() }).unwrap();
-        assert!(network(NetworkArgs { switches: 0, discipline: "fs".into() }).is_err());
-        assert!(network(NetworkArgs { switches: 2, discipline: "bogus".into() }).is_err());
+        network(NetworkArgs {
+            switches: 2,
+            discipline: "fs".into(),
+        })
+        .unwrap();
+        assert!(network(NetworkArgs {
+            switches: 0,
+            discipline: "fs".into()
+        })
+        .is_err());
+        assert!(network(NetworkArgs {
+            switches: 2,
+            discipline: "bogus".into()
+        })
+        .is_err());
     }
 
     #[test]
     fn table_and_protect_end_to_end() {
-        table(TableArgs { rates: vec![0.05, 0.1, 0.2] }).unwrap();
-        protect(ProtectArgs { n: 4, victim: 0.1, discipline: "fs".into() }).unwrap();
-        assert!(protect(ProtectArgs { n: 0, victim: 0.1, discipline: "fs".into() }).is_err());
-        assert!(protect(ProtectArgs { n: 4, victim: 2.0, discipline: "fs".into() }).is_err());
+        table(TableArgs {
+            rates: vec![0.05, 0.1, 0.2],
+        })
+        .unwrap();
+        protect(ProtectArgs {
+            n: 4,
+            victim: 0.1,
+            discipline: "fs".into(),
+        })
+        .unwrap();
+        assert!(protect(ProtectArgs {
+            n: 0,
+            victim: 0.1,
+            discipline: "fs".into()
+        })
+        .is_err());
+        assert!(protect(ProtectArgs {
+            n: 4,
+            victim: 2.0,
+            discipline: "fs".into()
+        })
+        .is_err());
     }
 }

@@ -11,7 +11,9 @@
 //! * `table` — print the Table 1 priority decomposition for a rate
 //!   vector;
 //! * `protect` — sweep adversarial opponents against a victim and compare
-//!   with the Theorem 8 bound.
+//!   with the Theorem 8 bound;
+//! * `exp` — run (or list) the paper-reproduction experiments from the
+//!   central registry, with `--seed/--threads/--json/--csv/--smoke`.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -33,6 +35,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Table(a) => commands::table(a),
         Command::Protect(a) => commands::protect(a),
         Command::Network(a) => commands::network(a),
+        Command::Exp(a) => commands::exp(a),
         Command::Help => {
             print!("{}", args::USAGE);
             Ok(())

@@ -86,7 +86,11 @@ pub fn coalition_deviation(
     if best > 1e-9 {
         let u = game.utilities_at(&r);
         let gains = coalition.iter().map(|&i| u[i] - base[i]).collect();
-        Some(CoalitionImprovement { coalition: coalition.to_vec(), rates: r, gains })
+        Some(CoalitionImprovement {
+            coalition: coalition.to_vec(),
+            rates: r,
+            gains,
+        })
     } else {
         None
     }
@@ -104,7 +108,10 @@ pub fn find_manipulating_coalition(
     let n = game.n();
     let max_size = max_size.min(n);
     // Enumerate subsets by bitmask (n is small in this model).
-    assert!(n <= 20, "coalition enumeration is exponential; n = {n} too large");
+    assert!(
+        n <= 20,
+        "coalition enumeration is exponential; n = {n} too large"
+    );
     for mask in 1u32..(1u32 << n) {
         let size = mask.count_ones() as usize;
         if size < 2 || size > max_size {
@@ -127,7 +134,9 @@ mod tests {
 
     #[test]
     fn fifo_pairs_can_collude() {
-        let users: Vec<_> = (0..3).map(|_| LinearUtility::new(1.0, 0.2).boxed()).collect();
+        let users: Vec<_> = (0..3)
+            .map(|_| LinearUtility::new(1.0, 0.2).boxed())
+            .collect();
         let game = Game::new(Proportional::new(), users).unwrap();
         let nash = game.solve_nash(&NashOptions::default()).unwrap();
         let dev = coalition_deviation(&game, &nash.rates, &[0, 1], 120)
@@ -155,7 +164,9 @@ mod tests {
 
     #[test]
     fn fair_share_identical_users_also_coalition_proof() {
-        let users: Vec<_> = (0..4).map(|_| LinearUtility::new(1.0, 0.3).boxed()).collect();
+        let users: Vec<_> = (0..4)
+            .map(|_| LinearUtility::new(1.0, 0.3).boxed())
+            .collect();
         let game = Game::new(FairShare::new(), users).unwrap();
         let nash = game.solve_nash(&NashOptions::default()).unwrap();
         let dev = find_manipulating_coalition(&game, &nash.rates, 4, 100);
@@ -166,7 +177,9 @@ mod tests {
     fn grand_coalition_under_fifo_is_the_cartel() {
         // All users jointly backing off is exactly the Pareto improvement
         // of E1 — the grand coalition always profits under FIFO.
-        let users: Vec<_> = (0..4).map(|_| LinearUtility::new(1.0, 0.25).boxed()).collect();
+        let users: Vec<_> = (0..4)
+            .map(|_| LinearUtility::new(1.0, 0.25).boxed())
+            .collect();
         let game = Game::new(Proportional::new(), users).unwrap();
         let nash = game.solve_nash(&NashOptions::default()).unwrap();
         let dev = coalition_deviation(&game, &nash.rates, &[0, 1, 2, 3], 120)
@@ -176,7 +189,9 @@ mod tests {
 
     #[test]
     fn empty_and_singleton_coalitions() {
-        let users: Vec<_> = (0..2).map(|_| LinearUtility::new(1.0, 0.3).boxed()).collect();
+        let users: Vec<_> = (0..2)
+            .map(|_| LinearUtility::new(1.0, 0.3).boxed())
+            .collect();
         let game = Game::new(Proportional::new(), users).unwrap();
         let nash = game.solve_nash(&NashOptions::default()).unwrap();
         assert!(coalition_deviation(&game, &nash.rates, &[], 50).is_none());

@@ -40,11 +40,20 @@ impl fmt::Display for CoreError {
             CoreError::Queueing(e) => write!(f, "queueing error: {e}"),
             CoreError::Numerics(e) => write!(f, "numerics error: {e}"),
             CoreError::EmptyGame => write!(f, "a game needs at least one user"),
-            CoreError::UserCountMismatch { utilities, expected } => {
+            CoreError::UserCountMismatch {
+                utilities,
+                expected,
+            } => {
                 write!(f, "{utilities} utilities supplied for {expected} users")
             }
-            CoreError::NoConvergence { iterations, residual } => {
-                write!(f, "no convergence after {iterations} iterations (residual {residual:.3e})")
+            CoreError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:.3e})"
+                )
             }
             CoreError::InvalidArgument { detail } => write!(f, "invalid argument: {detail}"),
         }

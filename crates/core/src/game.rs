@@ -123,7 +123,10 @@ pub struct Game {
 
 impl Clone for Game {
     fn clone(&self) -> Self {
-        Game { alloc: self.alloc.clone_box(), users: self.users.clone() }
+        Game {
+            alloc: self.alloc.clone_box(),
+            users: self.users.clone(),
+        }
     }
 }
 
@@ -132,10 +135,7 @@ impl Game {
     ///
     /// # Errors
     /// [`CoreError::EmptyGame`] if no users are supplied.
-    pub fn new(
-        alloc: impl AllocationFunction + 'static,
-        users: Vec<BoxedUtility>,
-    ) -> Result<Self> {
+    pub fn new(alloc: impl AllocationFunction + 'static, users: Vec<BoxedUtility>) -> Result<Self> {
         Self::from_boxed(Box::new(alloc), users)
     }
 
@@ -180,7 +180,11 @@ impl Game {
     /// All users' utilities at `rates`.
     pub fn utilities_at(&self, rates: &[f64]) -> Vec<f64> {
         let c = self.alloc.congestion(rates);
-        self.users.iter().enumerate().map(|(i, u)| u.value(rates[i], c[i])).collect()
+        self.users
+            .iter()
+            .enumerate()
+            .map(|(i, u)| u.value(rates[i], c[i]))
+            .collect()
     }
 
     /// The Nash first-derivative residual of user `i`:
@@ -192,7 +196,9 @@ impl Game {
 
     /// All users' Nash residuals.
     pub fn nash_residuals(&self, rates: &[f64]) -> Vec<f64> {
-        (0..self.n()).map(|i| self.nash_residual(rates, i)).collect()
+        (0..self.n())
+            .map(|i| self.nash_residual(rates, i))
+            .collect()
     }
 
     /// The derivative of user `i`'s payoff with respect to its own rate at
@@ -300,7 +306,10 @@ impl Game {
     ) -> Result<NashSolution> {
         let n = self.n();
         if fixed.len() != n {
-            return Err(CoreError::UserCountMismatch { utilities: fixed.len(), expected: n });
+            return Err(CoreError::UserCountMismatch {
+                utilities: fixed.len(),
+                expected: n,
+            });
         }
         let mut rates: Vec<f64> = match &opts.start {
             Some(s) => {
@@ -399,8 +408,13 @@ impl Game {
             let local_lo = (rates[i] - 0.02).max(MIN_RATE);
             let local_hi = (rates[i] + 0.02).min(hi);
             let local = if local_lo < local_hi {
-                brent_max(|x| self.utility_replacing(rates, i, x), local_lo, local_hi, 1e-12)?
-                    .fx
+                brent_max(
+                    |x| self.utility_replacing(rates, i, x),
+                    local_lo,
+                    local_hi,
+                    1e-12,
+                )?
+                .fx
             } else {
                 base[i]
             };
@@ -412,7 +426,11 @@ impl Game {
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .expect("non-empty game");
-        Ok(NashCheck { max_gain, worst_user, gains })
+        Ok(NashCheck {
+            max_gain,
+            worst_user,
+            gains,
+        })
     }
 
     /// The envy matrix at `rates`: entry `(i, j)` is how much user `i`
@@ -464,11 +482,32 @@ pub fn distinct_equilibria(
     opts: &NashOptions,
     cluster_tol: f64,
 ) -> Result<Vec<NashSolution>> {
-    let mut found: Vec<NashSolution> = Vec::new();
-    for s in starts {
+    distinct_equilibria_par(game, starts, opts, cluster_tol, 1)
+}
+
+/// Parallel multi-start search for distinct Nash equilibria.
+///
+/// The per-start best-response solves run on up to `threads` workers;
+/// clustering then happens serially in start order, so the result is
+/// identical to [`distinct_equilibria`] for every thread count.
+///
+/// # Errors
+/// Propagates the first solver error, in start order.
+pub fn distinct_equilibria_par(
+    game: &Game,
+    starts: &[Vec<f64>],
+    opts: &NashOptions,
+    cluster_tol: f64,
+    threads: usize,
+) -> Result<Vec<NashSolution>> {
+    let solutions = greednet_runtime::ParallelSweep::new(threads).map(starts, |_, s| {
         let mut o = opts.clone();
         o.start = Some(s.clone());
-        let sol = game.solve_nash(&o)?;
+        game.solve_nash(&o)
+    });
+    let mut found: Vec<NashSolution> = Vec::new();
+    for sol in solutions {
+        let sol = sol?;
         if !sol.converged {
             continue;
         }
@@ -490,9 +529,7 @@ pub fn distinct_equilibria(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::utility::{
-        ExpExpUtility, LinearUtility, LogUtility, PowerUtility, UtilityExt,
-    };
+    use crate::utility::{ExpExpUtility, LinearUtility, LogUtility, PowerUtility, UtilityExt};
     use greednet_queueing::{mm1, FairShare, Proportional};
 
     fn assert_close(a: f64, b: f64, tol: f64) {
@@ -501,7 +538,10 @@ mod tests {
 
     #[test]
     fn empty_game_rejected() {
-        assert!(matches!(Game::new(Proportional::new(), vec![]), Err(CoreError::EmptyGame)));
+        assert!(matches!(
+            Game::new(Proportional::new(), vec![]),
+            Err(CoreError::EmptyGame)
+        ));
     }
 
     #[test]
@@ -509,8 +549,11 @@ mod tests {
         // One user, FIFO, U = r - gamma c: FDC gives dC/dr = 1/gamma with
         // dC/dr = 1/(1-r)^2, so r* = 1 - sqrt(gamma).
         let gamma = 0.25;
-        let game = Game::new(Proportional::new(), vec![LinearUtility::new(1.0, gamma).boxed()])
-            .unwrap();
+        let game = Game::new(
+            Proportional::new(),
+            vec![LinearUtility::new(1.0, gamma).boxed()],
+        )
+        .unwrap();
         let sol = game.solve_nash(&NashOptions::default()).unwrap();
         assert!(sol.converged);
         assert_close(sol.rates[0], 1.0 - gamma.sqrt(), 1e-6);
@@ -524,7 +567,9 @@ mod tests {
         // (u + r)/u^2 = 1/gamma with u = 1 - N r.
         let n = 3;
         let gamma = 0.2;
-        let users = (0..n).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect();
+        let users = (0..n)
+            .map(|_| LinearUtility::new(1.0, gamma).boxed())
+            .collect();
         let game = Game::new(Proportional::new(), users).unwrap();
         let sol = game.solve_nash(&NashOptions::default()).unwrap();
         assert!(sol.converged, "residual {}", sol.residual);
@@ -543,7 +588,9 @@ mod tests {
         // -> 1 - Nr = sqrt(gamma).
         let n = 4;
         let gamma = 0.36;
-        let users = (0..n).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect();
+        let users = (0..n)
+            .map(|_| LinearUtility::new(1.0, gamma).boxed())
+            .collect();
         let game = Game::new(FairShare::new(), users).unwrap();
         let sol = game.solve_nash(&NashOptions::default()).unwrap();
         assert!(sol.converged);
@@ -573,10 +620,16 @@ mod tests {
 
     #[test]
     fn jacobi_and_gauss_seidel_agree_on_fair_share() {
-        let users: Vec<_> = (0..3).map(|i| LogUtility::new(0.3 + 0.2 * i as f64, 1.5).boxed()).collect();
+        let users: Vec<_> = (0..3)
+            .map(|i| LogUtility::new(0.3 + 0.2 * i as f64, 1.5).boxed())
+            .collect();
         let game = Game::new(FairShare::new(), users).unwrap();
         let gs = game.solve_nash(&NashOptions::default()).unwrap();
-        let mut jopts = NashOptions { update: UpdateOrder::Jacobi, damping: 0.7, ..Default::default() };
+        let mut jopts = NashOptions {
+            update: UpdateOrder::Jacobi,
+            damping: 0.7,
+            ..Default::default()
+        };
         jopts.max_iter = 2000;
         let jc = game.solve_nash(&jopts).unwrap();
         assert!(gs.converged && jc.converged);
@@ -588,8 +641,11 @@ mod tests {
     #[test]
     fn congestion_averse_user_sends_almost_nothing() {
         // gamma >= 1 under FIFO with a single user: corner at ~0.
-        let game = Game::new(Proportional::new(), vec![LinearUtility::new(1.0, 2.0).boxed()])
-            .unwrap();
+        let game = Game::new(
+            Proportional::new(),
+            vec![LinearUtility::new(1.0, 2.0).boxed()],
+        )
+        .unwrap();
         let sol = game.solve_nash(&NashOptions::default()).unwrap();
         assert!(sol.rates[0] <= 2.0 * MIN_RATE);
     }
@@ -675,9 +731,7 @@ mod tests {
         let target = vec![0.15, 0.25];
         let c = fs.congestion(&target);
         let users: Vec<_> = (0..2)
-            .map(|i| {
-                ExpExpUtility::pinning(target[i], c[i], fs.d_own(&target, i), 60.0).boxed()
-            })
+            .map(|i| ExpExpUtility::pinning(target[i], c[i], fs.d_own(&target, i), 60.0).boxed())
             .collect();
         let game = Game::new(FairShare::new(), users).unwrap();
         let check = game.verify_nash(&target, 1024).unwrap();
@@ -702,7 +756,10 @@ mod tests {
     fn invalid_damping_rejected() {
         let users = vec![LinearUtility::new(1.0, 0.5).boxed()];
         let game = Game::new(Proportional::new(), users).unwrap();
-        let opts = NashOptions { damping: 0.0, ..Default::default() };
+        let opts = NashOptions {
+            damping: 0.0,
+            ..Default::default()
+        };
         assert!(game.solve_nash(&opts).is_err());
     }
 
@@ -710,7 +767,13 @@ mod tests {
     fn mismatched_start_rejected() {
         let users = vec![LinearUtility::new(1.0, 0.5).boxed()];
         let game = Game::new(Proportional::new(), users).unwrap();
-        let opts = NashOptions { start: Some(vec![0.1, 0.2]), ..Default::default() };
-        assert!(matches!(game.solve_nash(&opts), Err(CoreError::UserCountMismatch { .. })));
+        let opts = NashOptions {
+            start: Some(vec![0.1, 0.2]),
+            ..Default::default()
+        };
+        assert!(matches!(
+            game.solve_nash(&opts),
+            Err(CoreError::UserCountMismatch { .. })
+        ));
     }
 }

@@ -253,7 +253,11 @@ pub fn pattern_search_dominance(
             .enumerate()
             .map(|(i, u)| u.value(r[i], c[i]) - base_u[i])
             .collect();
-        Some(DominatingAllocation { rates: r, congestions: c, gains })
+        Some(DominatingAllocation {
+            rates: r,
+            congestions: c,
+            gains,
+        })
     } else {
         None
     }
@@ -275,7 +279,9 @@ mod tests {
         n: usize,
         gamma: f64,
     ) -> Game {
-        let users = (0..n).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect();
+        let users = (0..n)
+            .map(|_| LinearUtility::new(1.0, gamma).boxed())
+            .collect();
         Game::new(alloc, users).unwrap()
     }
 
@@ -315,8 +321,11 @@ mod tests {
         let fs = identical_linear_game(FairShare::new(), n, gamma);
         let nash_fs = fs.solve_nash(&NashOptions::default()).unwrap();
         assert!(nash_fs.converged);
-        assert!(is_pareto_fdc(&fs, &nash_fs.rates, 1e-4),
-            "residuals: {:?}", fdc_residuals(&fs, &nash_fs.rates));
+        assert!(
+            is_pareto_fdc(&fs, &nash_fs.rates, 1e-4),
+            "residuals: {:?}",
+            fdc_residuals(&fs, &nash_fs.rates)
+        );
         // And it coincides with the symmetric Pareto computation.
         let u = LinearUtility::new(1.0, gamma);
         let (rp, _) = symmetric_pareto(&u, n).unwrap();
@@ -346,8 +355,8 @@ mod tests {
     fn pattern_search_dominates_fifo_nash() {
         let game = identical_linear_game(Proportional::new(), 3, 0.25);
         let nash = game.solve_nash(&NashOptions::default()).unwrap();
-        let dom = pattern_search_dominance(&game, &nash.rates, 200)
-            .expect("FIFO Nash must be dominated");
+        let dom =
+            pattern_search_dominance(&game, &nash.rates, 200).expect("FIFO Nash must be dominated");
         assert!(dom.gains.iter().all(|&g| g > 0.0));
         // The dominating allocation is feasible.
         let a = Allocation::new(dom.rates.clone(), dom.congestions.clone()).unwrap();

@@ -98,7 +98,11 @@ pub fn protection_sweep(
                 report.worst_ratio = f64::INFINITY;
             }
             if observed > bound * (1.0 + 1e-9) {
-                report.violations.push(ProtectionViolation { r_i, observed, bound });
+                report.violations.push(ProtectionViolation {
+                    r_i,
+                    observed,
+                    bound,
+                });
             }
         }
     }

@@ -30,8 +30,7 @@ pub fn de_dr(game: &Game, rates: &[f64], i: usize, j: usize) -> f64 {
     let alloc = game.allocation();
     let c = alloc.congestion_of(rates, i);
     let u = &game.users()[i];
-    let mut v = u.dm_dc(rates[i], c) * alloc.d_cross(rates, i, j)
-        + alloc.d2_own_cross(rates, i, j);
+    let mut v = u.dm_dc(rates[i], c) * alloc.d_cross(rates, i, j) + alloc.d2_own_cross(rates, i, j);
     if i == j {
         v += u.dm_dr(rates[i], c);
     }
@@ -115,8 +114,14 @@ mod tests {
         assert!((a - b).abs() < tol, "{a} vs {b}");
     }
 
-    fn identical_linear(alloc: impl greednet_queueing::AllocationFunction + 'static, n: usize, gamma: f64) -> Game {
-        let users = (0..n).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect();
+    fn identical_linear(
+        alloc: impl greednet_queueing::AllocationFunction + 'static,
+        n: usize,
+        gamma: f64,
+    ) -> Game {
+        let users = (0..n)
+            .map(|_| LinearUtility::new(1.0, gamma).boxed())
+            .collect();
         Game::new(alloc, users).unwrap()
     }
 
@@ -222,8 +227,12 @@ mod tests {
         let game = Game::new(FairShare::new(), users).unwrap();
         let nash = game.solve_nash(&NashOptions::default()).unwrap();
         // Perturb slightly (linear regime) and iterate N+2 steps.
-        let mut r: Vec<f64> =
-            nash.rates.iter().enumerate().map(|(i, &x)| x * (1.0 + 0.01 * (i as f64 + 1.0))).collect();
+        let mut r: Vec<f64> = nash
+            .rates
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * (1.0 + 0.01 * (i as f64 + 1.0)))
+            .collect();
         for _ in 0..game.n() + 2 {
             r = newton_step(&game, &r);
         }

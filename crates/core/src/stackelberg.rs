@@ -44,7 +44,11 @@ impl Default for StackelbergOptions {
         StackelbergOptions {
             leader_grid: 48,
             refinements: 24,
-            nash: NashOptions { max_iter: 300, tol: 1e-10, ..Default::default() },
+            nash: NashOptions {
+                max_iter: 300,
+                tol: 1e-10,
+                ..Default::default()
+            },
         }
     }
 }

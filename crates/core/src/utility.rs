@@ -176,7 +176,14 @@ impl ExpExpUtility {
             alpha > 0.0 && beta > 0.0 && gamma > 0.0 && nu > 0.0,
             "ExpExpUtility needs positive alpha, beta, gamma, nu"
         );
-        ExpExpUtility { alpha, beta, gamma, nu, r_ref, c_ref }
+        ExpExpUtility {
+            alpha,
+            beta,
+            gamma,
+            nu,
+            r_ref,
+            c_ref,
+        }
     }
 
     /// Lemma 5 construction: a utility whose first-derivative condition is
@@ -236,7 +243,10 @@ pub struct PowerUtility {
 impl PowerUtility {
     /// Creates `U = r^a − γ·c` with `0 < a < 1`, `γ > 0`.
     pub fn new(a: f64, gamma: f64) -> Self {
-        assert!(a > 0.0 && a < 1.0 && gamma > 0.0, "PowerUtility needs 0<a<1, gamma>0");
+        assert!(
+            a > 0.0 && a < 1.0 && gamma > 0.0,
+            "PowerUtility needs 0<a<1, gamma>0"
+        );
         PowerUtility { a, gamma }
     }
 }
@@ -332,7 +342,10 @@ pub struct QuadraticCongestionUtility {
 impl QuadraticCongestionUtility {
     /// Creates `U = a·r − γ·c²`; both parameters must be positive.
     pub fn new(a: f64, gamma: f64) -> Self {
-        assert!(a > 0.0 && gamma > 0.0, "QuadraticCongestionUtility needs a, gamma > 0");
+        assert!(
+            a > 0.0 && gamma > 0.0,
+            "QuadraticCongestionUtility needs a, gamma > 0"
+        );
         QuadraticCongestionUtility { a, gamma }
     }
 }
@@ -534,7 +547,12 @@ mod tests {
     #[test]
     fn infinite_congestion_is_worst() {
         for u in families() {
-            assert_eq!(u.value(0.3, f64::INFINITY), f64::NEG_INFINITY, "{}", u.name());
+            assert_eq!(
+                u.value(0.3, f64::INFINITY),
+                f64::NEG_INFINITY,
+                "{}",
+                u.name()
+            );
         }
     }
 

@@ -61,7 +61,10 @@ fn single_share(out: &mut Vec<f64>, len: usize, winner: usize) {
     out[winner] = 1.0;
 }
 
-fn oldest(active: &[ActivePacket], mut eligible: impl FnMut(&ActivePacket) -> bool) -> Option<usize> {
+fn oldest(
+    active: &[ActivePacket],
+    mut eligible: impl FnMut(&ActivePacket) -> bool,
+) -> Option<usize> {
     let mut best: Option<usize> = None;
     for (idx, p) in active.iter().enumerate() {
         if !eligible(p) {
@@ -157,7 +160,9 @@ impl PreemptivePriority {
     /// [`DesError::InvalidDiscipline`] if `class` is empty.
     pub fn new(class: Vec<usize>) -> Result<Self> {
         if class.is_empty() {
-            return Err(DesError::InvalidDiscipline { detail: "no user classes".into() });
+            return Err(DesError::InvalidDiscipline {
+                detail: "no user classes".into(),
+            });
         }
         Ok(PreemptivePriority { class })
     }
@@ -166,10 +171,16 @@ impl PreemptivePriority {
     /// priority), the ordering that realizes the serial allocation.
     pub fn by_ascending_rate(rates: &[f64]) -> Result<Self> {
         if rates.is_empty() {
-            return Err(DesError::InvalidDiscipline { detail: "no users".into() });
+            return Err(DesError::InvalidDiscipline {
+                detail: "no users".into(),
+            });
         }
         let mut order: Vec<usize> = (0..rates.len()).collect();
-        order.sort_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            rates[a]
+                .partial_cmp(&rates[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut class = vec![0usize; rates.len()];
         for (rank, &u) in order.iter().enumerate() {
             class[u] = rank;
@@ -189,8 +200,11 @@ impl Discipline for PreemptivePriority {
         if active.is_empty() {
             return;
         }
-        let best_class =
-            active.iter().map(|p| self.class[p.user]).min().expect("non-empty active set");
+        let best_class = active
+            .iter()
+            .map(|p| self.class[p.user])
+            .min()
+            .expect("non-empty active set");
         let idx = oldest(active, |p| self.class[p.user] == best_class).expect("candidate exists");
         single_share(out, active.len(), idx);
     }
@@ -218,7 +232,9 @@ impl FsPriorityTable {
     /// [`DesError::InvalidDiscipline`] if `rates` is empty.
     pub fn new(rates: &[f64], seed: u64) -> Result<Self> {
         if rates.is_empty() {
-            return Err(DesError::InvalidDiscipline { detail: "no users".into() });
+            return Err(DesError::InvalidDiscipline {
+                detail: "no users".into(),
+            });
         }
         let table = priority_table(rates);
         let cumulative = table
@@ -240,7 +256,11 @@ impl FsPriorityTable {
                 c
             })
             .collect();
-        Ok(FsPriorityTable { cumulative, levels: HashMap::new(), rng: ExpStream::new(seed) })
+        Ok(FsPriorityTable {
+            cumulative,
+            levels: HashMap::new(),
+            rng: ExpStream::new(seed),
+        })
     }
 }
 
@@ -294,7 +314,9 @@ impl StartTimeFairQueueing {
     /// [`DesError::InvalidDiscipline`] if `n == 0`.
     pub fn new(n: usize) -> Result<Self> {
         if n == 0 {
-            return Err(DesError::InvalidDiscipline { detail: "no users".into() });
+            return Err(DesError::InvalidDiscipline {
+                detail: "no users".into(),
+            });
         }
         Ok(StartTimeFairQueueing {
             v: 0.0,
@@ -339,7 +361,9 @@ impl Discipline for StartTimeFairQueueing {
             .min_by(|(_, a), (_, b)| {
                 let sa = self.start_tags[&a.id];
                 let sb = self.start_tags[&b.id];
-                sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+                sa.partial_cmp(&sb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.id.cmp(&b.id))
             })
             .map(|(i, _)| i)
             .expect("non-empty active set");
@@ -354,7 +378,13 @@ mod tests {
     use super::*;
 
     fn pkt(id: u64, user: usize, arrival: f64) -> ActivePacket {
-        ActivePacket { id, user, arrival, size: 1.0, remaining: 1.0 }
+        ActivePacket {
+            id,
+            user,
+            arrival,
+            size: 1.0,
+            remaining: 1.0,
+        }
     }
 
     #[test]
@@ -378,7 +408,12 @@ mod tests {
     #[test]
     fn ps_splits_evenly() {
         let mut d = ProcessorSharing;
-        let active = vec![pkt(1, 0, 0.1), pkt(2, 1, 0.2), pkt(3, 0, 0.3), pkt(4, 2, 0.4)];
+        let active = vec![
+            pkt(1, 0, 0.1),
+            pkt(2, 1, 0.2),
+            pkt(3, 0, 0.3),
+            pkt(4, 2, 0.4),
+        ];
         let mut out = Vec::new();
         d.shares(&active, 1.0, &mut out);
         assert_eq!(out, vec![0.25; 4]);
@@ -446,21 +481,39 @@ mod tests {
     #[test]
     fn sfq_is_non_preemptive_and_alternates_users() {
         let mut d = StartTimeFairQueueing::new(2).unwrap();
-        let p1 = ActivePacket { id: 1, user: 0, arrival: 0.0, size: 1.0, remaining: 1.0 };
-        let p2 = ActivePacket { id: 2, user: 0, arrival: 0.0, size: 1.0, remaining: 1.0 };
-        let p3 = ActivePacket { id: 3, user: 1, arrival: 0.1, size: 1.0, remaining: 1.0 };
+        let p1 = ActivePacket {
+            id: 1,
+            user: 0,
+            arrival: 0.0,
+            size: 1.0,
+            remaining: 1.0,
+        };
+        let p2 = ActivePacket {
+            id: 2,
+            user: 0,
+            arrival: 0.0,
+            size: 1.0,
+            remaining: 1.0,
+        };
+        let p3 = ActivePacket {
+            id: 3,
+            user: 1,
+            arrival: 0.1,
+            size: 1.0,
+            remaining: 1.0,
+        };
         d.on_arrival(&p1, 0.0);
         d.on_arrival(&p2, 0.0);
         let mut out = Vec::new();
         let active = vec![p1.clone(), p2.clone()];
         d.shares(&active, 0.0, &mut out);
         assert_eq!(out, vec![1.0, 0.0]); // p1 in service
-        // User 1 arrives with an earlier start tag than p2 (v = 0 still).
+                                         // User 1 arrives with an earlier start tag than p2 (v = 0 still).
         d.on_arrival(&p3, 0.1);
         let active = vec![p1.clone(), p2.clone(), p3.clone()];
         d.shares(&active, 0.1, &mut out);
         assert_eq!(out, vec![1.0, 0.0, 0.0]); // non-preemptive: p1 keeps it
-        // After p1 departs, p3 (start tag 0) beats p2 (start tag 1).
+                                              // After p1 departs, p3 (start tag 0) beats p2 (start tag 1).
         d.on_departure(&p1, 1.0);
         let active = vec![p2.clone(), p3.clone()];
         d.shares(&active, 1.0, &mut out);

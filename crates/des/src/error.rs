@@ -59,6 +59,8 @@ mod tests {
     #[test]
     fn display() {
         assert!(DesError::EmptySystem.to_string().contains("at least one"));
-        assert!(DesError::Saturated { load: 1.2 }.to_string().contains("1.2"));
+        assert!(DesError::Saturated { load: 1.2 }
+            .to_string()
+            .contains("1.2"));
     }
 }

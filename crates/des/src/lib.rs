@@ -44,7 +44,7 @@ pub use disciplines::{
 };
 pub use error::DesError;
 pub use service::ServiceDist;
-pub use sim::{SimConfig, SimResult, Simulator};
+pub use sim::{SimConfig, SimConfigBuilder, SimResult, Simulator};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, DesError>;

@@ -17,7 +17,9 @@ pub struct ExpStream {
 impl ExpStream {
     /// Creates a stream from a seed.
     pub fn new(seed: u64) -> Self {
-        ExpStream { rng: SmallRng::seed_from_u64(seed) }
+        ExpStream {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Next `Exp(rate)` variate (mean `1/rate`).

@@ -96,17 +96,29 @@ impl Scenario {
     pub fn ftp_telnet(n_ftp: usize, ftp_rate: f64, n_telnet: usize, telnet_rate: f64) -> Self {
         let mut sources = Vec::new();
         for i in 0..n_ftp {
-            sources.push(Source { label: format!("ftp-{}", i + 1), rate: ftp_rate });
+            sources.push(Source {
+                label: format!("ftp-{}", i + 1),
+                rate: ftp_rate,
+            });
         }
         for i in 0..n_telnet {
-            sources.push(Source { label: format!("telnet-{}", i + 1), rate: telnet_rate });
+            sources.push(Source {
+                label: format!("telnet-{}", i + 1),
+                rate: telnet_rate,
+            });
         }
-        Scenario { name: "ftp-telnet".into(), sources }
+        Scenario {
+            name: "ftp-telnet".into(),
+            sources,
+        }
     }
 
     /// Adds an ill-behaved source that ignores all congestion feedback.
     pub fn with_blaster(mut self, rate: f64) -> Self {
-        self.sources.push(Source { label: "blaster".into(), rate });
+        self.sources.push(Source {
+            label: "blaster".into(),
+            rate,
+        });
         self.name = format!("{}+blaster", self.name);
         self
     }
@@ -132,7 +144,11 @@ impl Scenario {
         let sim = Simulator::new(cfg)?;
         let mut discipline = kind.build(&rates, seed ^ 0xD15C)?;
         let result = sim.run(discipline.as_mut())?;
-        Ok(ScenarioResult { scenario: self.clone(), kind, result })
+        Ok(ScenarioResult {
+            scenario: self.clone(),
+            kind,
+            result,
+        })
     }
 }
 

@@ -59,7 +59,11 @@ impl ServiceDist {
                 // rate_i = 2 p_i (so each branch contributes mean 1/2).
                 let c = *cs2;
                 let p1 = 0.5 * (1.0 + ((c - 1.0) / (c + 1.0)).sqrt());
-                let (p, rate) = if rng.uniform() < p1 { (p1, 2.0 * p1) } else { (1.0 - p1, 2.0 * (1.0 - p1)) };
+                let (p, rate) = if rng.uniform() < p1 {
+                    (p1, 2.0 * p1)
+                } else {
+                    (1.0 - p1, 2.0 * (1.0 - p1))
+                };
                 let _ = p;
                 rng.sample(rate)
             }
@@ -141,7 +145,9 @@ mod tests {
     fn labels() {
         assert_eq!(ServiceDist::Exponential.label(), "M");
         assert_eq!(ServiceDist::Erlang(3).label(), "E3");
-        assert!(ServiceDist::Hyperexponential { cs2: 2.0 }.label().contains("H2"));
+        assert!(ServiceDist::Hyperexponential { cs2: 2.0 }
+            .label()
+            .contains("H2"));
     }
 
     #[test]

@@ -53,6 +53,20 @@ impl SimConfig {
         }
     }
 
+    /// Starts a validating builder over the given arrival rates.
+    ///
+    /// Unlike mutating a [`SimConfig`] in place, the builder checks every
+    /// invariant (non-empty finite rates, `Σ r < 1` unless overload is
+    /// allowed, positive horizon, warm-up before the horizon, ≥ 4 CI
+    /// windows) once at [`SimConfigBuilder::build`] time, so an invalid
+    /// configuration can never reach the simulator.
+    pub fn builder(rates: Vec<f64>) -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig::new(rates, 100_000.0, 0),
+            explicit_warmup: false,
+        }
+    }
+
     fn validate(&self) -> Result<()> {
         if self.rates.is_empty() {
             return Err(DesError::EmptySystem);
@@ -62,7 +76,11 @@ impl SimConfig {
                 return Err(DesError::InvalidRate { user, value: r });
             }
         }
-        if self.horizon <= 0.0 || self.horizon.is_nan() || self.warmup < 0.0 || self.warmup >= self.horizon {
+        if self.horizon <= 0.0
+            || self.horizon.is_nan()
+            || self.warmup < 0.0
+            || self.warmup >= self.horizon
+        {
             return Err(DesError::InvalidHorizon {
                 detail: format!("horizon {} / warmup {}", self.horizon, self.warmup),
             });
@@ -77,6 +95,71 @@ impl SimConfig {
             return Err(DesError::Saturated { load });
         }
         Ok(())
+    }
+}
+
+/// Validating builder for [`SimConfig`]; see [`SimConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+    explicit_warmup: bool,
+}
+
+impl SimConfigBuilder {
+    /// Sets the simulated time horizon. Unless a warm-up was set
+    /// explicitly, the warm-up follows as 10% of the horizon.
+    #[must_use]
+    pub fn horizon(mut self, horizon: f64) -> Self {
+        self.config.horizon = horizon;
+        if !self.explicit_warmup {
+            self.config.warmup = horizon * 0.1;
+        }
+        self
+    }
+
+    /// Sets the warm-up period discarded from statistics.
+    #[must_use]
+    pub fn warmup(mut self, warmup: f64) -> Self {
+        self.config.warmup = warmup;
+        self.explicit_warmup = true;
+        self
+    }
+
+    /// Sets the master RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the number of batch-means windows (≥ 4).
+    #[must_use]
+    pub fn windows(mut self, windows: usize) -> Self {
+        self.config.windows = windows;
+        self
+    }
+
+    /// Permits total offered load ≥ 1 (overload experiments).
+    #[must_use]
+    pub fn allow_overload(mut self, allow: bool) -> Self {
+        self.config.allow_overload = allow;
+        self
+    }
+
+    /// Sets the packet service-time distribution.
+    #[must_use]
+    pub fn service(mut self, service: ServiceDist) -> Self {
+        self.config.service = service;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    /// Any violated invariant listed at [`SimConfig::builder`].
+    pub fn build(self) -> Result<SimConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -177,37 +260,35 @@ impl Simulator {
         let mut completed = vec![0u64; n];
         const DIST_CAP: usize = 64;
         let mut dist_time = vec![0.0f64; DIST_CAP + 1];
-        let mut delay_samples: Vec<Reservoir> =
-            (0..n).map(|u| Reservoir::new(4096, cfg.seed ^ (u as u64 + 1))).collect();
+        let mut delay_samples: Vec<Reservoir> = (0..n)
+            .map(|u| Reservoir::new(4096, cfg.seed ^ (u as u64 + 1)))
+            .collect();
 
         // Integrates the (constant) per-user counts over [t0, t1).
-        let accumulate = |t0: f64,
-                          t1: f64,
-                          counts: &[usize],
-                          area: &mut [f64],
-                          window_area: &mut [Vec<f64>]| {
-            let lo = t0.max(cfg.warmup);
-            if t1 <= lo {
-                return;
-            }
-            for u in 0..n {
-                area[u] += counts[u] as f64 * (t1 - lo);
-            }
-            // Split across windows.
-            let mut t = lo;
-            while t < t1 {
-                let w = (((t - cfg.warmup) / window_len) as usize).min(cfg.windows - 1);
-                let w_end = cfg.warmup + (w + 1) as f64 * window_len;
-                let seg_end = t1.min(w_end);
+        let accumulate =
+            |t0: f64, t1: f64, counts: &[usize], area: &mut [f64], window_area: &mut [Vec<f64>]| {
+                let lo = t0.max(cfg.warmup);
+                if t1 <= lo {
+                    return;
+                }
                 for u in 0..n {
-                    window_area[u][w] += counts[u] as f64 * (seg_end - t);
+                    area[u] += counts[u] as f64 * (t1 - lo);
                 }
-                if seg_end <= t {
-                    break; // numerical guard
+                // Split across windows.
+                let mut t = lo;
+                while t < t1 {
+                    let w = (((t - cfg.warmup) / window_len) as usize).min(cfg.windows - 1);
+                    let w_end = cfg.warmup + (w + 1) as f64 * window_len;
+                    let seg_end = t1.min(w_end);
+                    for u in 0..n {
+                        window_area[u][w] += counts[u] as f64 * (seg_end - t);
+                    }
+                    if seg_end <= t {
+                        break; // numerical guard
+                    }
+                    t = seg_end;
                 }
-                t = seg_end;
-            }
-        };
+            };
 
         discipline.shares(&active, now, &mut shares);
         loop {
@@ -272,7 +353,13 @@ impl Simulator {
                 // Arrival.
                 let u = arr_user;
                 let size = cfg.service.sample(&mut size_streams[u]);
-                let pkt = ActivePacket { id: next_id, user: u, arrival: now, size, remaining: size };
+                let pkt = ActivePacket {
+                    id: next_id,
+                    user: u,
+                    arrival: now,
+                    size,
+                    remaining: size,
+                };
                 next_id += 1;
                 counts[u] += 1;
                 discipline.on_arrival(&pkt, now);
@@ -286,15 +373,16 @@ impl Simulator {
         let mean_queue: Vec<f64> = area.iter().map(|a| a / measured).collect();
         let queue_ci: Vec<MeanCi> = (0..n)
             .map(|u| {
-                let samples: Vec<f64> =
-                    window_area[u].iter().map(|a| a / window_len).collect();
-                batch_means_ci(&samples, cfg.windows / 2)
-                    .unwrap_or(MeanCi { mean: mean_queue[u], half_width: f64::INFINITY, batches: 0 })
+                let samples: Vec<f64> = window_area[u].iter().map(|a| a / window_len).collect();
+                batch_means_ci(&samples, cfg.windows / 2).unwrap_or(MeanCi {
+                    mean: mean_queue[u],
+                    half_width: f64::INFINITY,
+                    batches: 0,
+                })
             })
             .collect();
         let mean_delay: Vec<f64> = delays.iter().map(Welford::mean).collect();
-        let throughput: Vec<f64> =
-            completed.iter().map(|&c| c as f64 / measured).collect();
+        let throughput: Vec<f64> = completed.iter().map(|&c| c as f64 / measured).collect();
         let total_mean_queue: f64 = mean_queue.iter().sum();
         let delay_percentiles: Vec<(f64, f64, f64)> = delay_samples
             .iter()
@@ -310,8 +398,7 @@ impl Simulator {
                 }
             })
             .collect();
-        let total_queue_dist: Vec<f64> =
-            dist_time.iter().map(|t| t / measured).collect();
+        let total_queue_dist: Vec<f64> = dist_time.iter().map(|t| t / measured).collect();
 
         Ok(SimResult {
             mean_queue,
@@ -387,7 +474,10 @@ mod tests {
         for u in 0..2 {
             let lhs = r.mean_queue[u];
             let rhs = r.throughput[u] * r.mean_delay[u];
-            assert!((lhs - rhs).abs() < 0.05 * lhs.max(0.1), "Little: {lhs} vs {rhs}");
+            assert!(
+                (lhs - rhs).abs() < 0.05 * lhs.max(0.1),
+                "Little: {lhs} vs {rhs}"
+            );
         }
     }
 
@@ -404,7 +494,12 @@ mod tests {
             let r = run(&rates, horizon, 1234, d);
             for (u, &exp_u) in expect.iter().enumerate() {
                 let rel = (r.mean_queue[u] - exp_u).abs() / exp_u;
-                assert!(rel < 0.05, "{name} user {u}: {} vs {}", r.mean_queue[u], exp_u);
+                assert!(
+                    rel < 0.05,
+                    "{name} user {u}: {} vs {}",
+                    r.mean_queue[u],
+                    exp_u
+                );
             }
         }
     }
@@ -445,7 +540,13 @@ mod tests {
             run(&rates, horizon, 3, &mut Fifo).total_mean_queue,
             run(&rates, horizon, 3, &mut LifoPreemptive).total_mean_queue,
             run(&rates, horizon, 3, &mut ProcessorSharing).total_mean_queue,
-            run(&rates, horizon, 3, &mut StartTimeFairQueueing::new(2).unwrap()).total_mean_queue,
+            run(
+                &rates,
+                horizon,
+                3,
+                &mut StartTimeFairQueueing::new(2).unwrap(),
+            )
+            .total_mean_queue,
         ];
         for t in totals {
             assert!((t - expect).abs() / expect < 0.05, "total {t} vs {expect}");
@@ -459,7 +560,12 @@ mod tests {
         let rates = [0.1, 0.7];
         let horizon = 150_000.0;
         let fifo = run(&rates, horizon, 11, &mut Fifo);
-        let sfq = run(&rates, horizon, 11, &mut StartTimeFairQueueing::new(2).unwrap());
+        let sfq = run(
+            &rates,
+            horizon,
+            11,
+            &mut StartTimeFairQueueing::new(2).unwrap(),
+        );
         assert!(
             sfq.mean_delay[0] < 0.6 * fifo.mean_delay[0],
             "SFQ delay {} vs FIFO delay {}",
@@ -561,8 +667,7 @@ mod tests {
         use greednet_queueing::mm1::Mg1Kernel;
         use std::sync::Arc;
         let rates = vec![0.15, 0.35];
-        let expect =
-            KernelFairShare::new(Arc::new(Mg1Kernel::new(0.0))).congestion(&rates);
+        let expect = KernelFairShare::new(Arc::new(Mg1Kernel::new(0.0))).congestion(&rates);
         let mut cfg = SimConfig::new(rates.clone(), 250_000.0, 66);
         cfg.service = ServiceDist::Deterministic;
         let sim = Simulator::new(cfg).unwrap();
@@ -570,7 +675,12 @@ mod tests {
         let r = sim.run(&mut d).unwrap();
         // Lightest user: exact (its level is served ahead of everything).
         let rel0 = (r.mean_queue[0] - expect[0]).abs() / expect[0];
-        assert!(rel0 < 0.04, "light user: {} vs {}", r.mean_queue[0], expect[0]);
+        assert!(
+            rel0 < 0.04,
+            "light user: {} vs {}",
+            r.mean_queue[0],
+            expect[0]
+        );
         // Heavier user: biased HIGH by preemption, but within ~15%.
         assert!(
             r.mean_queue[1] > expect[1],
@@ -579,7 +689,12 @@ mod tests {
             expect[1]
         );
         let rel1 = (r.mean_queue[1] - expect[1]).abs() / expect[1];
-        assert!(rel1 < 0.15, "heavy user: {} vs {}", r.mean_queue[1], expect[1]);
+        assert!(
+            rel1 < 0.15,
+            "heavy user: {} vs {}",
+            r.mean_queue[1],
+            expect[1]
+        );
     }
 
     #[test]
@@ -632,5 +747,43 @@ mod tests {
         let r = sim.run(&mut Fifo).unwrap();
         assert!(r.measured_time == 100.0);
         assert!(r.mean_queue[0] >= 0.0);
+    }
+
+    #[test]
+    fn builder_produces_validated_config() {
+        let cfg = SimConfig::builder(vec![0.2, 0.3])
+            .horizon(50_000.0)
+            .seed(9)
+            .windows(16)
+            .service(ServiceDist::Erlang(2))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.windows, 16);
+        assert!((cfg.warmup - 5_000.0).abs() < 1e-9, "warmup tracks horizon");
+        assert!(Simulator::new(cfg).is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_saturated_load_at_construction() {
+        let err = SimConfig::builder(vec![0.6, 0.6]).horizon(1000.0).build();
+        assert!(matches!(err, Err(DesError::Saturated { .. })));
+        // ... unless overload is explicitly allowed.
+        assert!(SimConfig::builder(vec![0.6, 0.6])
+            .horizon(1000.0)
+            .allow_overload(true)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_bad_horizon_and_windows() {
+        assert!(SimConfig::builder(vec![0.2]).horizon(-1.0).build().is_err());
+        assert!(SimConfig::builder(vec![0.2])
+            .horizon(100.0)
+            .warmup(200.0)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder(vec![0.2]).windows(2).build().is_err());
     }
 }

@@ -96,7 +96,10 @@ pub fn run(
     }
     if config.grid < 2 || !(config.lo > 0.0 && config.lo < config.hi) {
         return Err(LearningError::InvalidConfig {
-            detail: format!("grid {} interval [{}, {}]", config.grid, config.lo, config.hi),
+            detail: format!(
+                "grid {} interval [{}, {}]",
+                config.grid, config.lo, config.hi
+            ),
         });
     }
     let lambda_ok = 0.0 < config.lambda && config.lambda < 1.0;
@@ -187,7 +190,13 @@ pub fn run(
         concentration.push(*mp);
         mean_rates.push(pi.iter().zip(&grid).map(|(p, g)| p * g).sum());
     }
-    Ok(AutomataOutcome { probabilities: p, grid, modal_rates, mean_rates, concentration })
+    Ok(AutomataOutcome {
+        probabilities: p,
+        grid,
+        modal_rates,
+        mean_rates,
+        concentration,
+    })
 }
 
 #[cfg(test)]
@@ -199,7 +208,10 @@ mod tests {
     use greednet_queueing::{FairShare, Proportional};
 
     fn log_users() -> Vec<BoxedUtility> {
-        vec![LogUtility::new(0.4, 1.0).boxed(), LogUtility::new(0.9, 1.0).boxed()]
+        vec![
+            LogUtility::new(0.4, 1.0).boxed(),
+            LogUtility::new(0.9, 1.0).boxed(),
+        ]
     }
 
     #[test]
@@ -232,7 +244,11 @@ mod tests {
             LinearUtility::new(1.0, 0.45).boxed(),
             LinearUtility::new(1.0, 0.45).boxed(),
         ];
-        let cfg = AutomataConfig { rounds: 6000, seed: 5, ..Default::default() };
+        let cfg = AutomataConfig {
+            rounds: 6000,
+            seed: 5,
+            ..Default::default()
+        };
         let mut env_fs = ExactEnv::new(Box::new(FairShare::new()), 3);
         let mut env_fifo = ExactEnv::new(Box::new(Proportional::new()), 3);
         let out_fs = run(&users, &mut env_fs, &cfg).unwrap();
@@ -252,8 +268,15 @@ mod tests {
     fn probabilities_stay_normalized() {
         let users = log_users();
         let mut env = ExactEnv::new(Box::new(FairShare::new()), 2);
-        let out = run(&users, &mut env, &AutomataConfig { rounds: 500, ..Default::default() })
-            .unwrap();
+        let out = run(
+            &users,
+            &mut env,
+            &AutomataConfig {
+                rounds: 500,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for pi in &out.probabilities {
             let total: f64 = pi.iter().sum();
             assert!((total - 1.0).abs() < 1e-9, "sum {total}");
@@ -266,15 +289,30 @@ mod tests {
         let users = log_users();
         let mut env = ExactEnv::new(Box::new(FairShare::new()), 2);
         for bad in [
-            AutomataConfig { grid: 1, ..Default::default() },
-            AutomataConfig { lo: 0.5, hi: 0.1, ..Default::default() },
-            AutomataConfig { lambda: 1.5, ..Default::default() },
-            AutomataConfig { rho: 0.0, ..Default::default() },
-            AutomataConfig { epsilon: 0.2, ..Default::default() },
+            AutomataConfig {
+                grid: 1,
+                ..Default::default()
+            },
+            AutomataConfig {
+                lo: 0.5,
+                hi: 0.1,
+                ..Default::default()
+            },
+            AutomataConfig {
+                lambda: 1.5,
+                ..Default::default()
+            },
+            AutomataConfig {
+                rho: 0.0,
+                ..Default::default()
+            },
+            AutomataConfig {
+                epsilon: 0.2,
+                ..Default::default()
+            },
         ] {
             assert!(run(&users, &mut env, &bad).is_err());
         }
         assert!(run(&[], &mut env, &AutomataConfig::default()).is_err());
     }
-
 }

@@ -38,7 +38,12 @@ pub struct EliminationConfig {
 
 impl Default for EliminationConfig {
     fn default() -> Self {
-        EliminationConfig { grid: 41, lo: 0.005, hi: 0.6, max_rounds: 60 }
+        EliminationConfig {
+            grid: 41,
+            lo: 0.005,
+            hi: 0.6,
+            max_rounds: 60,
+        }
     }
 }
 
@@ -99,7 +104,9 @@ pub fn run(
 ) -> Result<EliminationOutcome> {
     let n = users.len();
     if n == 0 {
-        return Err(LearningError::InvalidConfig { detail: "no users".into() });
+        return Err(LearningError::InvalidConfig {
+            detail: "no users".into(),
+        });
     }
     if config.grid < 3 || !(config.lo > 0.0 && config.lo < config.hi) {
         return Err(LearningError::InvalidConfig {
@@ -155,7 +162,13 @@ pub fn run(
                 .enumerate()
                 .filter(|(k, _)| alive[i][*k])
                 .map(|(k, &w)| (k, w))
-                .fold((usize::MAX, f64::NEG_INFINITY), |acc, x| if x.1 > acc.1 { x } else { acc });
+                .fold((usize::MAX, f64::NEG_INFINITY), |acc, x| {
+                    if x.1 > acc.1 {
+                        x
+                    } else {
+                        acc
+                    }
+                });
             if champion == usize::MAX {
                 continue;
             }
@@ -182,7 +195,11 @@ pub fn run(
                 .collect()
         })
         .collect();
-    Ok(EliminationOutcome { survivors, rounds, eliminated })
+    Ok(EliminationOutcome {
+        survivors,
+        rounds,
+        eliminated,
+    })
 }
 
 #[cfg(test)]
@@ -193,13 +210,20 @@ mod tests {
     use greednet_queueing::{FairShare, Proportional};
 
     fn log_users(n: usize) -> Vec<BoxedUtility> {
-        (0..n).map(|i| LogUtility::new(0.3 + 0.3 * i as f64, 1.0).boxed()).collect()
+        (0..n)
+            .map(|i| LogUtility::new(0.3 + 0.3 * i as f64, 1.0).boxed())
+            .collect()
     }
 
     #[test]
     fn fair_share_sets_collapse_to_nash() {
         let users = log_users(3);
-        let cfg = EliminationConfig { grid: 61, lo: 0.005, hi: 0.5, max_rounds: 100 };
+        let cfg = EliminationConfig {
+            grid: 61,
+            lo: 0.005,
+            hi: 0.5,
+            max_rounds: 100,
+        };
         let out = run(&FairShare::new(), &users, &cfg).unwrap();
         let step = (cfg.hi - cfg.lo) / (cfg.grid - 1) as f64;
         assert!(
@@ -220,9 +244,15 @@ mod tests {
         // Under FIFO the worst case (others flooding) is catastrophic for
         // every candidate, so guaranteed-domination can barely eliminate:
         // S^infinity stays a fat interval — no robust convergence.
-        let users: Vec<BoxedUtility> =
-            (0..3).map(|_| LinearUtility::new(1.0, 0.2).boxed()).collect();
-        let cfg = EliminationConfig { grid: 61, lo: 0.005, hi: 0.5, max_rounds: 100 };
+        let users: Vec<BoxedUtility> = (0..3)
+            .map(|_| LinearUtility::new(1.0, 0.2).boxed())
+            .collect();
+        let cfg = EliminationConfig {
+            grid: 61,
+            lo: 0.005,
+            hi: 0.5,
+            max_rounds: 100,
+        };
         let out = run(&Proportional::new(), &users, &cfg).unwrap();
         let step = (cfg.hi - cfg.lo) / (cfg.grid - 1) as f64;
         assert!(
@@ -246,9 +276,16 @@ mod tests {
     #[test]
     fn invalid_configs() {
         let users = log_users(2);
-        let bad_grid = EliminationConfig { grid: 2, ..Default::default() };
+        let bad_grid = EliminationConfig {
+            grid: 2,
+            ..Default::default()
+        };
         assert!(run(&FairShare::new(), &users, &bad_grid).is_err());
-        let bad_interval = EliminationConfig { lo: 0.5, hi: 0.1, ..Default::default() };
+        let bad_interval = EliminationConfig {
+            lo: 0.5,
+            hi: 0.1,
+            ..Default::default()
+        };
         assert!(run(&FairShare::new(), &users, &bad_interval).is_err());
         assert!(run(&FairShare::new(), &[], &EliminationConfig::default()).is_err());
     }

@@ -69,7 +69,12 @@ impl SimEnv {
     /// measurement noise (the user's "sampling time constant" from
     /// §4.2.2).
     pub fn new(kind: DisciplineKind, n: usize, measure_time: f64, seed: u64) -> Self {
-        SimEnv { kind, n, measure_time, seeds: ExpStream::new(seed) }
+        SimEnv {
+            kind,
+            n,
+            measure_time,
+            seeds: ExpStream::new(seed),
+        }
     }
 }
 
@@ -163,7 +168,11 @@ impl HillTrajectory {
     /// First round whose iterate is within `tol` (L∞) of `target`, if any.
     pub fn rounds_to_reach(&self, target: &[f64], tol: f64) -> Option<usize> {
         self.history.iter().position(|r| {
-            r.iter().zip(target).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max) <= tol
+            r.iter()
+                .zip(target)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max)
+                <= tol
         })
     }
 }
@@ -197,8 +206,12 @@ pub fn climb(
         });
     }
     let mut rates = start.to_vec();
-    let mut climbers: Vec<Climber> =
-        (0..n).map(|_| Climber { step: config.initial_step, direction: 1.0 }).collect();
+    let mut climbers: Vec<Climber> = (0..n)
+        .map(|_| Climber {
+            step: config.initial_step,
+            direction: 1.0,
+        })
+        .collect();
     let mut history = vec![rates.clone()];
     let mut observations = 0usize;
 
@@ -208,7 +221,8 @@ pub fn climb(
         match config.schedule {
             Schedule::RoundRobin => {
                 for i in 0..n {
-                    observations += probe_one(users, env, &mut rates, &mut climbers, i, config, clamp);
+                    observations +=
+                        probe_one(users, env, &mut rates, &mut climbers, i, config, clamp);
                 }
             }
             Schedule::Simultaneous => {
@@ -225,7 +239,11 @@ pub fn climb(
         }
         history.push(rates.clone());
     }
-    Ok(HillTrajectory { history, final_rates: rates.clone(), observations })
+    Ok(HillTrajectory {
+        history,
+        final_rates: rates.clone(),
+        observations,
+    })
 }
 
 /// One user's probe: measure here, measure at a nudged rate, keep the
@@ -296,7 +314,10 @@ mod tests {
         assert!(nash.converged);
 
         let mut env = ExactEnv::new(Box::new(FairShare::new()), 3);
-        let config = HillConfig { rounds: 220, ..Default::default() };
+        let config = HillConfig {
+            rounds: 220,
+            ..Default::default()
+        };
         let traj = climb(&users, &mut env, &[0.05, 0.05, 0.05], &config).unwrap();
         assert!(
             traj.distance_to(&nash.rates) < 5e-3,
@@ -318,9 +339,16 @@ mod tests {
         let game = Game::new(Proportional::new(), users.clone()).unwrap();
         let nash = game.solve_nash(&NashOptions::default()).unwrap();
         let mut env = ExactEnv::new(Box::new(Proportional::new()), 2);
-        let config = HillConfig { rounds: 200, ..Default::default() };
+        let config = HillConfig {
+            rounds: 200,
+            ..Default::default()
+        };
         let traj = climb(&users, &mut env, &[0.1, 0.3], &config).unwrap();
-        assert!(traj.distance_to(&nash.rates) < 1e-2, "{:?}", traj.final_rates);
+        assert!(
+            traj.distance_to(&nash.rates) < 1e-2,
+            "{:?}",
+            traj.final_rates
+        );
     }
 
     #[test]
@@ -335,7 +363,11 @@ mod tests {
             ..Default::default()
         };
         let traj = climb(&users, &mut env, &[0.02, 0.1, 0.2], &config).unwrap();
-        assert!(traj.distance_to(&nash.rates) < 1e-2, "{:?}", traj.final_rates);
+        assert!(
+            traj.distance_to(&nash.rates) < 1e-2,
+            "{:?}",
+            traj.final_rates
+        );
     }
 
     #[test]
@@ -381,7 +413,10 @@ mod tests {
         let users = fs_users();
         let mut env = ExactEnv::new(Box::new(FairShare::new()), 3);
         assert!(climb(&users, &mut env, &[0.1, 0.1], &HillConfig::default()).is_err());
-        let bad = HillConfig { shrink: 1.5, ..Default::default() };
+        let bad = HillConfig {
+            shrink: 1.5,
+            ..Default::default()
+        };
         assert!(climb(&users, &mut env, &[0.1; 3], &bad).is_err());
     }
 

@@ -31,7 +31,11 @@ impl Default for LeaderConfig {
             rounds: 40,
             initial_step: 0.05,
             shrink: 0.6,
-            nash: NashOptions { max_iter: 300, tol: 1e-10, ..Default::default() },
+            nash: NashOptions {
+                max_iter: 300,
+                tol: 1e-10,
+                ..Default::default()
+            },
         }
     }
 }
@@ -177,7 +181,15 @@ mod tests {
             LinearUtility::new(1.0, 0.3).boxed(),
         ];
         let game = Game::new(Proportional::new(), users).unwrap();
-        let out = play(&game, 1, &LeaderConfig { rounds: 10, ..Default::default() }).unwrap();
+        let out = play(
+            &game,
+            1,
+            &LeaderConfig {
+                rounds: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(out.leader_history.len() >= 2);
         assert_eq!(out.leader, 1);
     }

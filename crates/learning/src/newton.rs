@@ -53,7 +53,13 @@ pub fn run(game: &Game, start: &[f64], steps: usize) -> Result<NewtonTrajectory>
     let residual = |r: &[f64]| {
         game.nash_residuals(r)
             .iter()
-            .map(|e| if e.is_finite() { e.abs() } else { f64::INFINITY })
+            .map(|e| {
+                if e.is_finite() {
+                    e.abs()
+                } else {
+                    f64::INFINITY
+                }
+            })
             .fold(0.0, f64::max)
     };
     let mut rates = start.to_vec();
@@ -85,8 +91,12 @@ mod tests {
         let game = Game::new(FairShare::new(), users).unwrap();
         let nash = game.solve_nash(&NashOptions::default()).unwrap();
         // Start near (linear regime), run exactly N+2 steps.
-        let start: Vec<f64> =
-            nash.rates.iter().enumerate().map(|(i, &x)| x * (1.0 + 0.02 * (1.0 + i as f64))).collect();
+        let start: Vec<f64> = nash
+            .rates
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * (1.0 + 0.02 * (1.0 + i as f64)))
+            .collect();
         let traj = run(&game, &start, game.n() + 2).unwrap();
         assert!(
             traj.residuals.last().unwrap() < &1e-6,
@@ -97,7 +107,9 @@ mod tests {
 
     #[test]
     fn fifo_diverges_for_four_users() {
-        let users: Vec<_> = (0..4).map(|_| LinearUtility::new(1.0, 0.2).boxed()).collect();
+        let users: Vec<_> = (0..4)
+            .map(|_| LinearUtility::new(1.0, 0.2).boxed())
+            .collect();
         let game = Game::new(Proportional::new(), users).unwrap();
         let nash = game.solve_nash(&NashOptions::default()).unwrap();
         let start: Vec<f64> = nash.rates.iter().map(|&x| x + 1e-4).collect();
@@ -107,13 +119,19 @@ mod tests {
 
     #[test]
     fn fifo_two_users_contracts() {
-        let users: Vec<_> = (0..2).map(|_| LinearUtility::new(1.0, 0.2).boxed()).collect();
+        let users: Vec<_> = (0..2)
+            .map(|_| LinearUtility::new(1.0, 0.2).boxed())
+            .collect();
         let game = Game::new(Proportional::new(), users).unwrap();
         let nash = game.solve_nash(&NashOptions::default()).unwrap();
         let start: Vec<f64> = nash.rates.iter().map(|&x| x + 1e-3).collect();
         // Contraction ratio is |lambda| ~ 0.7 here, so give it room.
         let traj = run(&game, &start, 60).unwrap();
-        assert!(traj.steps_to_converge(1e-8).is_some(), "residuals: {:?}", traj.residuals);
+        assert!(
+            traj.steps_to_converge(1e-8).is_some(),
+            "residuals: {:?}",
+            traj.residuals
+        );
     }
 
     #[test]

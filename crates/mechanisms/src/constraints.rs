@@ -95,9 +95,14 @@ impl SeparableAllocation {
     /// Propagates optimizer failures.
     pub fn nash(&self, users: &[BoxedUtility]) -> Result<Vec<f64>> {
         if users.is_empty() {
-            return Err(MechanismError::InvalidConfig { detail: "no users".into() });
+            return Err(MechanismError::InvalidConfig {
+                detail: "no users".into(),
+            });
         }
-        users.iter().map(|u| self.best_response(u.as_ref())).collect()
+        users
+            .iter()
+            .map(|u| self.best_response(u.as_ref()))
+            .collect()
     }
 
     /// Pareto FDC residuals `M_i(r_i, c_i) + ∂f̂/∂r_i` at `rates` (zero at
@@ -118,12 +123,7 @@ impl SeparableAllocation {
 /// argument in the proof of Theorem 1, a constraint admitting the
 /// separable decomposition must have this identically zero.
 pub fn mixed_partial_defect(constraint: &dyn ConstraintFn, rates: &[f64], step: f64) -> f64 {
-    fn recurse(
-        constraint: &dyn ConstraintFn,
-        rates: &mut Vec<f64>,
-        dim: usize,
-        step: f64,
-    ) -> f64 {
+    fn recurse(constraint: &dyn ConstraintFn, rates: &mut Vec<f64>, dim: usize, step: f64) -> f64 {
         if dim == rates.len() {
             return constraint.f(rates);
         }

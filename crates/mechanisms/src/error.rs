@@ -54,6 +54,8 @@ mod tests {
         let e: MechanismError = CoreError::EmptyGame.into();
         assert!(e.to_string().contains("core"));
         assert!(std::error::Error::source(&e).is_some());
-        assert!(MechanismError::NoEquilibrium.to_string().contains("equilibrium"));
+        assert!(MechanismError::NoEquilibrium
+            .to_string()
+            .contains("equilibrium"));
     }
 }

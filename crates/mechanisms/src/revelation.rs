@@ -34,7 +34,14 @@ pub struct Assignment {
 impl DirectMechanism {
     /// Creates a direct mechanism over `alloc`.
     pub fn new(alloc: Box<dyn AllocationFunction>) -> Self {
-        DirectMechanism { alloc, opts: NashOptions { max_iter: 400, tol: 1e-10, ..Default::default() } }
+        DirectMechanism {
+            alloc,
+            opts: NashOptions {
+                max_iter: 400,
+                tol: 1e-10,
+                ..Default::default()
+            },
+        }
     }
 
     /// Computes the allocation assigned to the reported profile.
@@ -48,7 +55,10 @@ impl DirectMechanism {
         if !sol.converged {
             return Err(MechanismError::NoEquilibrium);
         }
-        Ok(Assignment { rates: sol.rates, congestions: sol.congestions })
+        Ok(Assignment {
+            rates: sol.rates,
+            congestions: sol.congestions,
+        })
     }
 }
 

@@ -61,14 +61,20 @@ impl SignallingGame {
     /// [`MechanismError::InvalidConfig`] on invalid bounds or no users.
     pub fn new(users: Vec<BoxedUtility>, alpha_lo: f64, alpha_hi: f64) -> Result<Self> {
         if users.is_empty() {
-            return Err(MechanismError::InvalidConfig { detail: "no users".into() });
+            return Err(MechanismError::InvalidConfig {
+                detail: "no users".into(),
+            });
         }
         if !(alpha_lo > 0.0 && alpha_lo < alpha_hi && alpha_hi.is_finite()) {
             return Err(MechanismError::InvalidConfig {
                 detail: format!("need 0 < alpha_lo < alpha_hi, got [{alpha_lo}, {alpha_hi}]"),
             });
         }
-        Ok(SignallingGame { users, alpha_lo, alpha_hi })
+        Ok(SignallingGame {
+            users,
+            alpha_lo,
+            alpha_hi,
+        })
     }
 
     /// Number of users.
@@ -80,14 +86,21 @@ impl SignallingGame {
     pub fn congestion(&self, rates: &[f64], alphas: &[f64]) -> Vec<f64> {
         let total: f64 = rates.iter().sum();
         if total >= 1.0 {
-            return rates.iter().map(|&r| if r > 0.0 { f64::INFINITY } else { 0.0 }).collect();
+            return rates
+                .iter()
+                .map(|&r| if r > 0.0 { f64::INFINITY } else { 0.0 })
+                .collect();
         }
         let f = mm1::g(total);
         let weight: f64 = rates.iter().zip(alphas).map(|(r, a)| r * a).sum();
         if weight <= 0.0 {
             return vec![0.0; rates.len()];
         }
-        rates.iter().zip(alphas).map(|(r, a)| f * r * a / weight).collect()
+        rates
+            .iter()
+            .zip(alphas)
+            .map(|(r, a)| f * r * a / weight)
+            .collect()
     }
 
     /// User `i`'s utility at a joint profile.
@@ -97,7 +110,12 @@ impl SignallingGame {
     }
 
     fn best_rate(&self, rates: &[f64], alphas: &[f64], i: usize) -> Result<f64> {
-        let others: f64 = rates.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, r)| r).sum();
+        let others: f64 = rates
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, r)| r)
+            .sum();
         let hi = (1.0 - others - 1e-9).max(2e-9);
         let mut r = rates.to_vec();
         let res = grid_refine_max(
@@ -186,7 +204,9 @@ mod tests {
     use greednet_core::utility::{LinearUtility, UtilityExt};
 
     fn users() -> Vec<BoxedUtility> {
-        (0..3).map(|_| LinearUtility::new(1.0, 0.25).boxed()).collect()
+        (0..3)
+            .map(|_| LinearUtility::new(1.0, 0.25).boxed())
+            .collect()
     }
 
     #[test]
@@ -206,7 +226,12 @@ mod tests {
         let plain = Game::new(Proportional::new(), users()).unwrap();
         let nash = plain.solve_nash(&NashOptions::default()).unwrap();
         for (a, b) in eq.profile.rates.iter().zip(&nash.rates) {
-            assert!((a - b).abs() < 1e-3, "{:?} vs {:?}", eq.profile.rates, nash.rates);
+            assert!(
+                (a - b).abs() < 1e-3,
+                "{:?} vs {:?}",
+                eq.profile.rates,
+                nash.rates
+            );
         }
     }
 

@@ -41,8 +41,15 @@ pub enum NetworkError {
 impl fmt::Display for NetworkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetworkError::BadSwitch { user, switch, switches } => {
-                write!(f, "user {user} routes through switch {switch}, but only {switches} exist")
+            NetworkError::BadSwitch {
+                user,
+                switch,
+                switches,
+            } => {
+                write!(
+                    f,
+                    "user {user} routes through switch {switch}, but only {switches} exist"
+                )
             }
             NetworkError::EmptyRoute { user } => write!(f, "user {user} has an empty route"),
             NetworkError::DuplicateSwitch { user, switch } => {
@@ -77,7 +84,11 @@ mod tests {
     #[test]
     fn display_variants() {
         for e in [
-            NetworkError::BadSwitch { user: 0, switch: 5, switches: 2 },
+            NetworkError::BadSwitch {
+                user: 0,
+                switch: 5,
+                switches: 2,
+            },
             NetworkError::EmptyRoute { user: 1 },
             NetworkError::DuplicateSwitch { user: 2, switch: 0 },
             NetworkError::EmptyTopology,

@@ -82,7 +82,11 @@ impl NetworkGame {
                 ),
             });
         }
-        Ok(NetworkGame { topology, alloc, users })
+        Ok(NetworkGame {
+            topology,
+            alloc,
+            users,
+        })
     }
 
     /// The topology.
@@ -118,7 +122,11 @@ impl NetworkGame {
     /// All users' utilities at `rates`.
     pub fn utilities_at(&self, rates: &[f64]) -> Vec<f64> {
         let c = self.congestion(rates);
-        self.users.iter().enumerate().map(|(i, u)| u.value(rates[i], c[i])).collect()
+        self.users
+            .iter()
+            .enumerate()
+            .map(|(i, u)| u.value(rates[i], c[i]))
+            .collect()
     }
 
     fn utility_replacing(&self, rates: &[f64], i: usize, x: f64) -> f64 {
@@ -432,8 +440,15 @@ mod tests {
         )
         .unwrap();
         let mut solutions = Vec::new();
-        for start in [vec![0.01, 0.01, 0.01], vec![0.3, 0.05, 0.2], vec![0.1, 0.4, 0.02]] {
-            let opts = NashOptions { start: Some(start), ..Default::default() };
+        for start in [
+            vec![0.01, 0.01, 0.01],
+            vec![0.3, 0.05, 0.2],
+            vec![0.1, 0.4, 0.02],
+        ] {
+            let opts = NashOptions {
+                start: Some(start),
+                ..Default::default()
+            };
             let s = net.solve_nash(&opts).unwrap();
             assert!(s.converged);
             solutions.push(s.rates);
@@ -494,8 +509,9 @@ mod tests {
         // FIFO network Nash is still Pareto-dominated by uniform backoff
         // (check via utilities directly).
         let k = 2;
-        let users: Vec<BoxedUtility> =
-            (0..=k).map(|_| LinearUtility::new(1.0, 0.15).boxed()).collect();
+        let users: Vec<BoxedUtility> = (0..=k)
+            .map(|_| LinearUtility::new(1.0, 0.15).boxed())
+            .collect();
         let net = NetworkGame::new(
             Topology::parking_lot(k).unwrap(),
             Box::new(Proportional::new()),
@@ -513,7 +529,10 @@ mod tests {
             let u = net.utilities_at(&scaled);
             u.iter().zip(&u_nash).all(|(a, b)| a > b)
         });
-        assert!(improving, "no uniform backoff Pareto-improves the FIFO network Nash");
+        assert!(
+            improving,
+            "no uniform backoff Pareto-improves the FIFO network Nash"
+        );
         let _ = mm1::g(0.1);
     }
 

@@ -28,7 +28,11 @@ impl Topology {
             let mut seen = vec![false; switches];
             for &s in route {
                 if s >= switches {
-                    return Err(NetworkError::BadSwitch { user, switch: s, switches });
+                    return Err(NetworkError::BadSwitch {
+                        user,
+                        switch: s,
+                        switches,
+                    });
                 }
                 if seen[s] {
                     return Err(NetworkError::DuplicateSwitch { user, switch: s });
@@ -139,7 +143,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_routes() {
-        assert!(matches!(Topology::new(0, vec![]), Err(NetworkError::EmptyTopology)));
+        assert!(matches!(
+            Topology::new(0, vec![]),
+            Err(NetworkError::EmptyTopology)
+        ));
         assert!(matches!(
             Topology::new(2, vec![vec![]]),
             Err(NetworkError::EmptyRoute { .. })

@@ -31,7 +31,9 @@ fn rates_for(n: usize) -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn log_users(n: usize) -> Vec<BoxedUtility> {
-    (0..n).map(|i| LogUtility::new(0.3 + 0.1 * i as f64, 1.0).boxed()).collect()
+    (0..n)
+        .map(|i| LogUtility::new(0.3 + 0.1 * i as f64, 1.0).boxed())
+        .collect()
 }
 
 proptest! {

@@ -19,7 +19,10 @@ fn check(v: f64, ctx: &'static str) -> Result<f64> {
     if v.is_finite() {
         Ok(v)
     } else {
-        Err(NumericsError::NonFinite { context: ctx, value: v })
+        Err(NumericsError::NonFinite {
+            context: ctx,
+            value: v,
+        })
     }
 }
 
@@ -222,7 +225,12 @@ mod tests {
 
     #[test]
     fn jacobian_of_linear_map() {
-        let jac = jacobian(|x| vec![2.0 * x[0] + x[1], x[0] - 3.0 * x[1]], &[0.5, 0.25], 2).unwrap();
+        let jac = jacobian(
+            |x| vec![2.0 * x[0] + x[1], x[0] - 3.0 * x[1]],
+            &[0.5, 0.25],
+            2,
+        )
+        .unwrap();
         assert_close(jac[(0, 0)], 2.0, 1e-6);
         assert_close(jac[(0, 1)], 1.0, 1e-6);
         assert_close(jac[(1, 0)], 1.0, 1e-6);
@@ -238,8 +246,11 @@ mod tests {
     #[test]
     fn hessian_of_quadratic() {
         // f = x0^2 + 4 x0 x1 + 5 x1^2 ; H = [[2,4],[4,10]].
-        let h = hessian(|x| x[0] * x[0] + 4.0 * x[0] * x[1] + 5.0 * x[1] * x[1], &[0.3, -0.7])
-            .unwrap();
+        let h = hessian(
+            |x| x[0] * x[0] + 4.0 * x[0] * x[1] + 5.0 * x[1] * x[1],
+            &[0.3, -0.7],
+        )
+        .unwrap();
         assert_close(h[(0, 0)], 2.0, 1e-3);
         assert_close(h[(0, 1)], 4.0, 1e-3);
         assert_close(h[(1, 0)], 4.0, 1e-3);

@@ -62,7 +62,11 @@ impl std::fmt::Display for Complex {
 pub fn hessenberg(a: &Matrix) -> Result<Matrix> {
     if !a.is_square() {
         return Err(NumericsError::ShapeMismatch {
-            detail: format!("hessenberg requires square matrix, got {}x{}", a.rows(), a.cols()),
+            detail: format!(
+                "hessenberg requires square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            ),
         });
     }
     let n = a.rows();
@@ -133,7 +137,11 @@ pub fn hessenberg(a: &Matrix) -> Result<Matrix> {
 pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>> {
     let h = hessenberg(a)?;
     let mut eig = hqr(h)?;
-    eig.sort_by(|x, y| y.abs().partial_cmp(&x.abs()).unwrap_or(std::cmp::Ordering::Equal));
+    eig.sort_by(|x, y| {
+        y.abs()
+            .partial_cmp(&x.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Ok(eig)
 }
 
@@ -174,7 +182,8 @@ fn hqr(mut a: Matrix) -> Result<Vec<Complex>> {
             // Find l: smallest index such that a[l][l-1] is negligible.
             let mut l = nn;
             while l >= 1 {
-                let s = a[(l as usize - 1, l as usize - 1)].abs() + a[(l as usize, l as usize)].abs();
+                let s =
+                    a[(l as usize - 1, l as usize - 1)].abs() + a[(l as usize, l as usize)].abs();
                 let s = if s == 0.0 { anorm } else { s };
                 if a[(l as usize, l as usize - 1)].abs() + s == s {
                     a[(l as usize, l as usize - 1)] = 0.0;
@@ -252,8 +261,7 @@ fn hqr(mut a: Matrix) -> Result<Vec<Complex>> {
                     break;
                 }
                 let u = a[(mu, mu - 1)].abs() * (q.abs() + r.abs());
-                let v = p.abs()
-                    * (a[(mu - 1, mu - 1)].abs() + z.abs() + a[(mu + 1, mu + 1)].abs());
+                let v = p.abs() * (a[(mu - 1, mu - 1)].abs() + z.abs() + a[(mu + 1, mu + 1)].abs());
                 if u + v == v {
                     break;
                 }
@@ -334,7 +342,11 @@ fn hqr(mut a: Matrix) -> Result<Vec<Complex>> {
 pub fn jacobi_symmetric(a: &Matrix) -> Result<Vec<f64>> {
     if !a.is_square() {
         return Err(NumericsError::ShapeMismatch {
-            detail: format!("jacobi requires square matrix, got {}x{}", a.rows(), a.cols()),
+            detail: format!(
+                "jacobi requires square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            ),
         });
     }
     let n = a.rows();
@@ -391,7 +403,11 @@ pub fn jacobi_symmetric(a: &Matrix) -> Result<Vec<f64>> {
         }
     }
     let mut eig: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    eig.sort_by(|x, y| y.abs().partial_cmp(&x.abs()).unwrap_or(std::cmp::Ordering::Equal));
+    eig.sort_by(|x, y| {
+        y.abs()
+            .partial_cmp(&x.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Ok(eig)
 }
 

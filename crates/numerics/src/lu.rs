@@ -66,7 +66,11 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { lu, perm, perm_sign: sign })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign: sign,
+        })
     }
 
     /// Dimension of the factorized matrix.
@@ -204,7 +208,10 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Lu::new(&a), Err(NumericsError::ShapeMismatch { .. })));
+        assert!(matches!(
+            Lu::new(&a),
+            Err(NumericsError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -213,7 +220,9 @@ mod tests {
         let n = 10;
         let mut seed = 42u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let a = Matrix::from_fn(n, n, |i, j| next() + if i == j { 4.0 } else { 0.0 });

@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -37,7 +41,11 @@ impl Matrix {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
         if data.len() != rows * cols {
             return Err(NumericsError::ShapeMismatch {
-                detail: format!("expected {} elements for {rows}x{cols}, got {}", rows * cols, data.len()),
+                detail: format!(
+                    "expected {} elements for {rows}x{cols}, got {}",
+                    rows * cols,
+                    data.len()
+                ),
             });
         }
         Ok(Matrix { rows, cols, data })
@@ -48,9 +56,15 @@ impl Matrix {
         let r = rows.len();
         let c = rows.first().map_or(0, |row| row.len());
         if rows.iter().any(|row| row.len() != c) {
-            return Err(NumericsError::ShapeMismatch { detail: "ragged rows".to_string() });
+            return Err(NumericsError::ShapeMismatch {
+                detail: "ragged rows".to_string(),
+            });
         }
-        Ok(Matrix { rows: r, cols: c, data: rows.concat() })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data: rows.concat(),
+        })
     }
 
     /// Builds an `n x n` matrix from an element function `f(i, j)`.
@@ -101,7 +115,11 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.cols {
             return Err(NumericsError::ShapeMismatch {
-                detail: format!("mul_vec: matrix has {} cols, vector has {}", self.cols, x.len()),
+                detail: format!(
+                    "mul_vec: matrix has {} cols, vector has {}",
+                    self.cols,
+                    x.len()
+                ),
             });
         }
         Ok((0..self.rows)
@@ -132,7 +150,9 @@ impl Matrix {
     /// Returns [`NumericsError::ShapeMismatch`] for non-square matrices.
     pub fn pow(&self, mut k: u32) -> Result<Matrix> {
         if !self.is_square() {
-            return Err(NumericsError::ShapeMismatch { detail: "pow requires a square matrix".into() });
+            return Err(NumericsError::ShapeMismatch {
+                detail: "pow requires a square matrix".into(),
+            });
         }
         let mut result = Matrix::identity(self.rows);
         let mut base = self.clone();
@@ -179,14 +199,20 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -194,11 +220,20 @@ impl IndexMut<(usize, usize)> for Matrix {
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix add shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -206,11 +241,20 @@ impl Add for &Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix sub shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }
@@ -273,7 +317,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = &a * &b;
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ pub fn golden_section_max<F: FnMut(f64) -> f64>(
         evals += 1;
     }
     let (x, fx) = if f1 >= f2 { (x1, f1) } else { (x2, f2) };
-    Ok(MaxResult { x, fx, evaluations: evals })
+    Ok(MaxResult {
+        x,
+        fx,
+        evaluations: evals,
+    })
 }
 
 /// Brent's method for maximization on `[a, b]` (parabolic interpolation
@@ -93,7 +97,11 @@ pub fn brent_max<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Re
         let tol1 = tol * x.abs() + 1e-15;
         let tol2 = 2.0 * tol1;
         if (x - xm).abs() <= tol2 - 0.5 * (hi - lo) {
-            return Ok(MaxResult { x, fx: -fx, evaluations: evals });
+            return Ok(MaxResult {
+                x,
+                fx: -fx,
+                evaluations: evals,
+            });
         }
         let mut use_golden = true;
         if e.abs() > tol1 {
@@ -121,7 +129,11 @@ pub fn brent_max<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Re
             e = if x >= xm { lo - x } else { hi - x };
             d = cgold * e;
         }
-        let u = if d.abs() >= tol1 { x + d } else { x + tol1.copysign(d) };
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else {
+            x + tol1.copysign(d)
+        };
         let fu = g(u);
         evals += 1;
         if fu <= fx {
@@ -200,9 +212,16 @@ pub fn grid_refine_max<F: FnMut(f64) -> f64>(
     let refined = brent_max(&mut f, lo, hi, tol)?;
     let evals = grid + refined.evaluations;
     if refined.fx >= best_f {
-        Ok(MaxResult { evaluations: evals, ..refined })
+        Ok(MaxResult {
+            evaluations: evals,
+            ..refined
+        })
     } else {
-        Ok(MaxResult { x: a + step * best_i as f64, fx: best_f, evaluations: evals })
+        Ok(MaxResult {
+            x: a + step * best_i as f64,
+            fx: best_f,
+            evaluations: evals,
+        })
     }
 }
 

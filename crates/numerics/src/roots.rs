@@ -36,13 +36,26 @@ pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Resul
     let fhi = check_finite("bisect f(b)", f(hi))?;
     let mut evals = 2;
     if flo == 0.0 {
-        return Ok(RootResult { x: lo, fx: flo, evaluations: evals });
+        return Ok(RootResult {
+            x: lo,
+            fx: flo,
+            evaluations: evals,
+        });
     }
     if fhi == 0.0 {
-        return Ok(RootResult { x: hi, fx: fhi, evaluations: evals });
+        return Ok(RootResult {
+            x: hi,
+            fx: fhi,
+            evaluations: evals,
+        });
     }
     if flo.signum() == fhi.signum() {
-        return Err(NumericsError::NoBracket { a: lo, b: hi, fa: flo, fb: fhi });
+        return Err(NumericsError::NoBracket {
+            a: lo,
+            b: hi,
+            fa: flo,
+            fb: fhi,
+        });
     }
     #[allow(clippy::explicit_counter_loop)] // `evals` counts f-evaluations
     for _ in 0..4 * DEFAULT_MAX_ITER {
@@ -50,7 +63,11 @@ pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Resul
         let fmid = check_finite("bisect f(mid)", f(mid))?;
         evals += 1;
         if fmid == 0.0 || (hi - lo) < tol {
-            return Ok(RootResult { x: mid, fx: fmid, evaluations: evals });
+            return Ok(RootResult {
+                x: mid,
+                fx: fmid,
+                evaluations: evals,
+            });
         }
         if fmid.signum() == flo.signum() {
             lo = mid;
@@ -77,10 +94,18 @@ pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result
     let mut fb = check_finite("brent f(b)", f(b))?;
     let mut evals = 2;
     if fa == 0.0 {
-        return Ok(RootResult { x: a, fx: fa, evaluations: evals });
+        return Ok(RootResult {
+            x: a,
+            fx: fa,
+            evaluations: evals,
+        });
     }
     if fb == 0.0 {
-        return Ok(RootResult { x: b, fx: fb, evaluations: evals });
+        return Ok(RootResult {
+            x: b,
+            fx: fb,
+            evaluations: evals,
+        });
     }
     if fa.signum() == fb.signum() {
         return Err(NumericsError::NoBracket { a, b, fa, fb });
@@ -114,7 +139,11 @@ pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result
         let tol1 = 2.0 * f64::EPSILON * b.abs() + 0.5 * tol;
         let xm = 0.5 * (c - b);
         if xm.abs() <= tol1 || fb == 0.0 {
-            return Ok(RootResult { x: b, fx: fb, evaluations: evals });
+            return Ok(RootResult {
+                x: b,
+                fx: fb,
+                evaluations: evals,
+            });
         }
         if e.abs() >= tol1 && fa.abs() > fb.abs() {
             // Attempt interpolation.
@@ -182,13 +211,26 @@ pub fn newton_safeguarded<F: FnMut(f64) -> (f64, f64)>(
     check_finite("newton f(a)", flo)?;
     check_finite("newton f(b)", fhi)?;
     if flo == 0.0 {
-        return Ok(RootResult { x: lo, fx: flo, evaluations: evals });
+        return Ok(RootResult {
+            x: lo,
+            fx: flo,
+            evaluations: evals,
+        });
     }
     if fhi == 0.0 {
-        return Ok(RootResult { x: hi, fx: fhi, evaluations: evals });
+        return Ok(RootResult {
+            x: hi,
+            fx: fhi,
+            evaluations: evals,
+        });
     }
     if flo.signum() == fhi.signum() {
-        return Err(NumericsError::NoBracket { a: lo, b: hi, fa: flo, fb: fhi });
+        return Err(NumericsError::NoBracket {
+            a: lo,
+            b: hi,
+            fa: flo,
+            fb: fhi,
+        });
     }
     let increasing = fhi > 0.0;
     let mut x = 0.5 * (lo + hi);
@@ -197,7 +239,11 @@ pub fn newton_safeguarded<F: FnMut(f64) -> (f64, f64)>(
         evals += 1;
         check_finite("newton f(x)", fx)?;
         if fx == 0.0 || (hi - lo) < tol {
-            return Ok(RootResult { x, fx, evaluations: evals });
+            return Ok(RootResult {
+                x,
+                fx,
+                evaluations: evals,
+            });
         }
         // Maintain the bracket.
         if (fx > 0.0) == increasing {
@@ -215,7 +261,11 @@ pub fn newton_safeguarded<F: FnMut(f64) -> (f64, f64)>(
         // from a lopsided bracket); accept a sub-tolerance step too.
         if (next - x).abs() < tol {
             let (fx, _) = f(next);
-            return Ok(RootResult { x: next, fx, evaluations: evals + 1 });
+            return Ok(RootResult {
+                x: next,
+                fx,
+                evaluations: evals + 1,
+            });
         }
         x = next;
     }

@@ -23,7 +23,13 @@ pub struct Welford {
 impl Welford {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Welford { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds an observation.
@@ -125,7 +131,11 @@ impl TimeWeighted {
     /// Times must be non-decreasing.
     pub fn record(&mut self, t: f64, value: f64) {
         if self.started {
-            debug_assert!(t >= self.last_time, "time went backwards: {t} < {}", self.last_time);
+            debug_assert!(
+                t >= self.last_time,
+                "time went backwards: {t} < {}",
+                self.last_time
+            );
             let dt = t - self.last_time;
             self.integral += self.last_value * dt;
             self.total_time += dt;
@@ -191,9 +201,9 @@ impl MeanCi {
 /// Table for small df, normal approximation beyond.
 fn t_975(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -227,11 +237,18 @@ pub fn batch_means_ci(samples: &[f64], batches: usize) -> Result<MeanCi> {
         batch_means.push(chunk.iter().sum::<f64>() / per as f64);
     }
     let mean = batch_means.iter().sum::<f64>() / batches as f64;
-    let var = batch_means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>()
+    let var = batch_means
+        .iter()
+        .map(|m| (m - mean) * (m - mean))
+        .sum::<f64>()
         / (batches - 1) as f64;
     let half = t_975(batches - 1) * (var / batches as f64).sqrt();
     let _ = used;
-    Ok(MeanCi { mean, half_width: half, batches })
+    Ok(MeanCi {
+        mean,
+        half_width: half,
+        batches,
+    })
 }
 
 /// Empirical quantile (linear interpolation between order statistics).
@@ -241,7 +258,10 @@ pub fn batch_means_ci(samples: &[f64], batches: usize) -> Result<MeanCi> {
 pub fn quantile(samples: &[f64], q: f64) -> Result<f64> {
     if samples.is_empty() || !(0.0..=1.0).contains(&q) {
         return Err(NumericsError::InvalidArgument {
-            detail: format!("quantile requires non-empty samples and q in [0,1], got len={} q={q}", samples.len()),
+            detail: format!(
+                "quantile requires non-empty samples and q in [0,1], got len={} q={q}",
+                samples.len()
+            ),
         });
     }
     let mut sorted = samples.to_vec();

@@ -220,7 +220,13 @@ mod tests {
             let total: f64 = rates.iter().sum();
             rates
                 .iter()
-                .map(|&r| if total >= 1.0 { f64::INFINITY } else { r / (1.0 - total) })
+                .map(|&r| {
+                    if total >= 1.0 {
+                        f64::INFINITY
+                    } else {
+                        r / (1.0 - total)
+                    }
+                })
                 .collect()
         }
         fn clone_box(&self) -> Box<dyn AllocationFunction> {

@@ -63,7 +63,11 @@ impl Blend {
 
 impl Clone for Blend {
     fn clone(&self) -> Self {
-        Blend { a: self.a.clone_box(), b: self.b.clone_box(), theta: self.theta }
+        Blend {
+            a: self.a.clone_box(),
+            b: self.b.clone_box(),
+            theta: self.theta,
+        }
     }
 }
 
@@ -75,11 +79,17 @@ impl AllocationFunction for Blend {
     fn congestion(&self, rates: &[f64]) -> Vec<f64> {
         let ca = self.a.congestion(rates);
         let cb = self.b.congestion(rates);
-        ca.into_iter().zip(cb).map(|(x, y)| self.mix(x, y)).collect()
+        ca.into_iter()
+            .zip(cb)
+            .map(|(x, y)| self.mix(x, y))
+            .collect()
     }
 
     fn congestion_of(&self, rates: &[f64], i: usize) -> f64 {
-        self.mix(self.a.congestion_of(rates, i), self.b.congestion_of(rates, i))
+        self.mix(
+            self.a.congestion_of(rates, i),
+            self.b.congestion_of(rates, i),
+        )
     }
 
     fn d_own(&self, rates: &[f64], i: usize) -> f64 {
@@ -95,7 +105,10 @@ impl AllocationFunction for Blend {
     }
 
     fn d2_own_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {
-        self.mix(self.a.d2_own_cross(rates, i, j), self.b.d2_own_cross(rates, i, j))
+        self.mix(
+            self.a.d2_own_cross(rates, i, j),
+            self.b.d2_own_cross(rates, i, j),
+        )
     }
 
     fn is_smooth(&self) -> bool {
@@ -119,7 +132,12 @@ mod tests {
     }
 
     fn fifo_fs_blend(theta: f64) -> Blend {
-        Blend::new(Box::new(Proportional::new()), Box::new(FairShare::new()), theta).unwrap()
+        Blend::new(
+            Box::new(Proportional::new()),
+            Box::new(FairShare::new()),
+            theta,
+        )
+        .unwrap()
     }
 
     #[test]

@@ -78,12 +78,27 @@ mod tests {
     #[test]
     fn display_variants() {
         let cases: Vec<QueueingError> = vec![
-            QueueingError::InvalidRates { index: 2, value: -1.0 },
-            QueueingError::LengthMismatch { rates: 3, congestions: 2 },
-            QueueingError::TotalConstraintViolated { total_congestion: 1.0, required: 2.0 },
-            QueueingError::SubsetConstraintViolated { prefix: 1, subset_congestion: 0.1, required: 0.2 },
+            QueueingError::InvalidRates {
+                index: 2,
+                value: -1.0,
+            },
+            QueueingError::LengthMismatch {
+                rates: 3,
+                congestions: 2,
+            },
+            QueueingError::TotalConstraintViolated {
+                total_congestion: 1.0,
+                required: 2.0,
+            },
+            QueueingError::SubsetConstraintViolated {
+                prefix: 1,
+                subset_congestion: 0.1,
+                required: 0.2,
+            },
             QueueingError::EmptySystem,
-            QueueingError::InvalidParameter { detail: "theta".into() },
+            QueueingError::InvalidParameter {
+                detail: "theta".into(),
+            },
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

@@ -53,7 +53,11 @@ impl FairShare {
 /// their original order — the allocation value is tie-invariant).
 pub fn ascending_order(rates: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..rates.len()).collect();
-    order.sort_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        rates[a]
+            .partial_cmp(&rates[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     order
 }
 
@@ -110,7 +114,10 @@ impl AllocationFunction for FairShare {
         let order = ascending_order(rates);
         let sorted: Vec<f64> = order.iter().map(|&idx| rates[idx]).collect();
         let s = serial_loads(&sorted);
-        let k = order.iter().position(|&idx| idx == i).expect("index in range");
+        let k = order
+            .iter()
+            .position(|&idx| idx == i)
+            .expect("index in range");
         g_prime(s[k])
     }
 
@@ -126,8 +133,14 @@ impl AllocationFunction for FairShare {
         let order = ascending_order(rates);
         let sorted: Vec<f64> = order.iter().map(|&idx| rates[idx]).collect();
         let s = serial_loads(&sorted);
-        let q = order.iter().position(|&idx| idx == i).expect("index in range");
-        let p = order.iter().position(|&idx| idx == j).expect("index in range");
+        let q = order
+            .iter()
+            .position(|&idx| idx == i)
+            .expect("index in range");
+        let p = order
+            .iter()
+            .position(|&idx| idx == j)
+            .expect("index in range");
         debug_assert!(p < q, "r_j < r_i must sort j before i");
         // dC_(q)/dr_(p) = sum over k = p..=q of
         //   [g'(s_k) ds_k/dr_p - g'(s_{k-1}) ds_{k-1}/dr_p] / (n - k)
@@ -156,7 +169,10 @@ impl AllocationFunction for FairShare {
         let order = ascending_order(rates);
         let sorted: Vec<f64> = order.iter().map(|&idx| rates[idx]).collect();
         let s = serial_loads(&sorted);
-        let k = order.iter().position(|&idx| idx == i).expect("index in range");
+        let k = order
+            .iter()
+            .position(|&idx| idx == i)
+            .expect("index in range");
         (n - k) as f64 * g_double_prime(s[k])
     }
 
@@ -171,7 +187,10 @@ impl AllocationFunction for FairShare {
         let order = ascending_order(rates);
         let sorted: Vec<f64> = order.iter().map(|&idx| rates[idx]).collect();
         let s = serial_loads(&sorted);
-        let q = order.iter().position(|&idx| idx == i).expect("index in range");
+        let q = order
+            .iter()
+            .position(|&idx| idx == i)
+            .expect("index in range");
         g_double_prime(s[q])
     }
 
@@ -198,7 +217,11 @@ pub fn priority_table(rates: &[f64]) -> Vec<Vec<f64>> {
     let mut table = vec![vec![0.0; n]; n];
     for (k, &u) in order.iter().enumerate() {
         for m in 0..=k {
-            let delta = if m == 0 { sorted[0] } else { sorted[m] - sorted[m - 1] };
+            let delta = if m == 0 {
+                sorted[0]
+            } else {
+                sorted[m] - sorted[m - 1]
+            };
             table[u][m] = delta;
         }
     }
@@ -282,7 +305,11 @@ mod tests {
         let ba = fs.congestion(&[0.1, 0.3]);
         assert_close(ab[0], ba[1], 1e-14);
         assert_close(ab[1], ba[0], 1e-14);
-        let pts = vec![vec![0.2, 0.05, 0.3], vec![0.4, 0.1, 0.1], vec![0.25, 0.25, 0.2]];
+        let pts = vec![
+            vec![0.2, 0.05, 0.3],
+            vec![0.4, 0.1, 0.1],
+            vec![0.25, 0.25, 0.2],
+        ];
         assert!(symmetry_defect(&fs, &pts) < 1e-12);
     }
 
@@ -299,7 +326,11 @@ mod tests {
     #[test]
     fn analytic_jacobian_matches_numeric() {
         let fs = FairShare::new();
-        for rates in [vec![0.1, 0.2], vec![0.05, 0.15, 0.3], vec![0.12, 0.21, 0.04, 0.3]] {
+        for rates in [
+            vec![0.1, 0.2],
+            vec![0.05, 0.15, 0.3],
+            vec![0.12, 0.21, 0.04, 0.3],
+        ] {
             assert!(
                 jacobian_defect(&fs, &rates) < 1e-4,
                 "jacobian defect too large for {rates:?}: {}",
@@ -359,14 +390,13 @@ mod tests {
             assert!(fs.d2_own(&rates, i) > 0.0);
         }
         // Mixed: d2 C_2 / dr_2 dr_0 (user 2 heaviest, user 0 lightest).
-        let num = greednet_numerics::diff::mixed_second(
-            |r| fs.congestion_of(r, 2),
-            &rates,
-            2,
-            0,
-        )
-        .unwrap();
-        assert_close(fs.d2_own_cross(&rates, 2, 0), num, 2e-2 * num.abs().max(1.0));
+        let num = greednet_numerics::diff::mixed_second(|r| fs.congestion_of(r, 2), &rates, 2, 0)
+            .unwrap();
+        assert_close(
+            fs.d2_own_cross(&rates, 2, 0),
+            num,
+            2e-2 * num.abs().max(1.0),
+        );
         assert_eq!(fs.d2_own_cross(&rates, 0, 2), 0.0);
     }
 

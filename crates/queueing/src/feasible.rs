@@ -176,7 +176,10 @@ pub fn validate_rates(rates: &[f64]) -> Result<()> {
 /// criterion used by [`Allocation::validate`] is equivalent.
 pub fn validate_all_subsets(alloc: &Allocation) -> Result<()> {
     let n = alloc.len();
-    assert!(n <= 20, "exhaustive subset check is exponential; use validate()");
+    assert!(
+        n <= 20,
+        "exhaustive subset check is exponential; use validate()"
+    );
     for mask in 1u32..((1u32 << n) - 1) {
         let mut sr = 0.0;
         let mut sc = 0.0;
@@ -229,7 +232,10 @@ mod tests {
     #[test]
     fn broken_total_is_rejected() {
         let a = Allocation::new(vec![0.2, 0.2], vec![0.1, 0.1]).unwrap();
-        assert!(matches!(a.validate(), Err(QueueingError::TotalConstraintViolated { .. })));
+        assert!(matches!(
+            a.validate(),
+            Err(QueueingError::TotalConstraintViolated { .. })
+        ));
     }
 
     #[test]
@@ -290,7 +296,10 @@ mod tests {
 
     #[test]
     fn constructor_validation() {
-        assert!(matches!(Allocation::new(vec![], vec![]), Err(QueueingError::EmptySystem)));
+        assert!(matches!(
+            Allocation::new(vec![], vec![]),
+            Err(QueueingError::EmptySystem)
+        ));
         assert!(matches!(
             Allocation::new(vec![0.1], vec![0.1, 0.2]),
             Err(QueueingError::LengthMismatch { .. })

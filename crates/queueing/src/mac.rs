@@ -152,7 +152,13 @@ pub fn sample_grid(n: usize, levels: &[f64], max_load: f64) -> Vec<Vec<f64>> {
     points
 }
 
-fn fill(points: &mut Vec<Vec<f64>>, current: &mut Vec<f64>, idx: usize, levels: &[f64], max_load: f64) {
+fn fill(
+    points: &mut Vec<Vec<f64>>,
+    current: &mut Vec<f64>,
+    idx: usize,
+    levels: &[f64],
+    max_load: f64,
+) {
     if idx == current.len() {
         let total: f64 = current.iter().sum();
         if total < max_load && current.iter().all(|&r| r > 0.0) {
@@ -209,8 +215,12 @@ mod tests {
 
     #[test]
     fn blend_is_monotone() {
-        let b = Blend::new(Box::new(Proportional::new()), Box::new(FairShare::new()), 0.5)
-            .unwrap();
+        let b = Blend::new(
+            Box::new(Proportional::new()),
+            Box::new(FairShare::new()),
+            0.5,
+        )
+        .unwrap();
         let r = check_monotonicity(&b, &grid3());
         assert!(r.passed(), "violations: {:?}", r.violations);
     }

@@ -154,19 +154,13 @@ mod tests {
     fn second_derivatives_match_numeric() {
         let p = Proportional::new();
         let r = [0.2, 0.3];
-        let num = greednet_numerics::diff::second_derivative(
-            |x| p.congestion_of(&[x, 0.3], 0),
-            0.2,
-        )
-        .unwrap();
+        let num =
+            greednet_numerics::diff::second_derivative(|x| p.congestion_of(&[x, 0.3], 0), 0.2)
+                .unwrap();
         assert_close(p.d2_own(&r, 0), num, 1e-3 * num.abs());
-        let num_c = greednet_numerics::diff::mixed_second(
-            |x| p.congestion_of(x, 0),
-            &[0.2, 0.3],
-            0,
-            1,
-        )
-        .unwrap();
+        let num_c =
+            greednet_numerics::diff::mixed_second(|x| p.congestion_of(x, 0), &[0.2, 0.3], 0, 1)
+                .unwrap();
         assert_close(p.d2_own_cross(&r, 0, 1), num_c, 1e-2 * num_c.abs());
     }
 

@@ -38,7 +38,9 @@ impl WeightedFairShare {
     /// weights.
     pub fn new(weights: Vec<f64>) -> Result<Self> {
         if weights.is_empty() {
-            return Err(QueueingError::InvalidParameter { detail: "no weights".into() });
+            return Err(QueueingError::InvalidParameter {
+                detail: "no weights".into(),
+            });
         }
         if weights.iter().any(|&w| !w.is_finite() || w <= 0.0) {
             return Err(QueueingError::InvalidParameter {
@@ -171,7 +173,11 @@ mod tests {
     fn equal_weights_reduce_to_fair_share() {
         let w = WeightedFairShare::new(vec![1.0; 3]).unwrap();
         let fs = FairShare::new();
-        for rates in [vec![0.1, 0.2, 0.3], vec![0.3, 0.05, 0.2], vec![0.15, 0.15, 0.15]] {
+        for rates in [
+            vec![0.1, 0.2, 0.3],
+            vec![0.3, 0.05, 0.2],
+            vec![0.15, 0.15, 0.15],
+        ] {
             let a = w.congestion(&rates);
             let b = fs.congestion(&rates);
             for (x, y) in a.iter().zip(&b) {
@@ -231,7 +237,10 @@ mod tests {
         // Adversaries at various levels never push user 0 past the bound.
         for level in [0.05, 0.2, 0.5, 2.0] {
             let c = w.congestion(&[r0, level, level])[0];
-            assert!(c <= bound * (1.0 + 1e-9), "c {c} > bound {bound} at {level}");
+            assert!(
+                c <= bound * (1.0 + 1e-9),
+                "c {c} > bound {bound} at {level}"
+            );
         }
         // Mirror adversaries (same normalized demand) achieve it exactly.
         let mirror = [r0, 2.0 * r0, r0];

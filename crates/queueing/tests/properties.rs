@@ -29,7 +29,12 @@ fn disciplines() -> Vec<Box<dyn AllocationFunction>> {
         Box::new(FairShare::new()),
         Box::new(SerialPriority::new()),
         Box::new(
-            Blend::new(Box::new(Proportional::new()), Box::new(FairShare::new()), 0.5).unwrap(),
+            Blend::new(
+                Box::new(Proportional::new()),
+                Box::new(FairShare::new()),
+                0.5,
+            )
+            .unwrap(),
         ),
     ]
 }

@@ -1,0 +1,123 @@
+//! Deterministic self-scheduling thread pool on `std::thread::scope`.
+//!
+//! Workers claim task indices from a shared atomic counter (dynamic load
+//! balancing, like work stealing but without per-thread deques) and stash
+//! `(index, result)` pairs locally; after the scope joins, results are
+//! merged back into task-index order. Scheduling therefore affects only
+//! wall-clock time, never the output — provided each task is itself a
+//! pure function of its index (see [`crate::seed`] for deriving per-task
+//! RNG streams).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of hardware threads, with a fallback of 1.
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f(0..tasks)` on up to `threads` worker threads and returns the
+/// results in task-index order.
+///
+/// `threads == 1` (or a single task) short-circuits to a plain serial
+/// loop on the calling thread; `threads == 0` is treated as 1. The
+/// output is bitwise-identical for every thread count as long as `f` is
+/// a pure function of its index.
+///
+/// # Panics
+/// Propagates a panic from any task (the scope joins all workers first).
+pub fn parallel_map_indexed<T, F>(threads: usize, tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(tasks.max(1));
+    if threads <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        produced.push((i, f(i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            let produced = match handle.join() {
+                Ok(p) => p,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (i, value) in produced {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every task index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_task_order() {
+        let out = parallel_map_indexed(4, 100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let serial = parallel_map_indexed(1, 37, |i| crate::seed::child_seed(7, i as u64));
+        for threads in [2, 3, 8] {
+            let par = parallel_map_indexed(threads, 37, |i| crate::seed::child_seed(7, i as u64));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_and_zero_threads() {
+        assert!(parallel_map_indexed(0, 0, |i| i).is_empty());
+        assert_eq!(parallel_map_indexed(0, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uneven_task_durations_balance() {
+        // Tasks with wildly uneven costs still come back in order.
+        let out = parallel_map_indexed(4, 16, |i| {
+            let mut acc = 0u64;
+            for k in 0..(if i % 4 == 0 { 200_000 } else { 10 }) {
+                acc = acc.wrapping_add(crate::seed::child_seed(k, i as u64));
+            }
+            (i, acc)
+        });
+        for (slot, (i, _)) in out.iter().enumerate() {
+            assert_eq!(slot, *i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "task 3 exploded")]
+    fn task_panics_propagate() {
+        let _ = parallel_map_indexed(2, 8, |i| {
+            assert!(i != 3, "task 3 exploded");
+            i
+        });
+    }
+}

@@ -18,13 +18,21 @@ fn main() {
     println!("FTP vs Telnet vs blaster — packet-level simulation (§5.2)\n");
 
     for (title, scenario) in [
-        ("well-behaved mix (2 FTP @ 0.30, 3 Telnet @ 0.02)",
-         Scenario::ftp_telnet(2, 0.30, 3, 0.02)),
-        ("same mix + blaster @ 1.00 (overloads the switch alone)",
-         Scenario::ftp_telnet(2, 0.30, 3, 0.02).with_blaster(1.0)),
+        (
+            "well-behaved mix (2 FTP @ 0.30, 3 Telnet @ 0.02)",
+            Scenario::ftp_telnet(2, 0.30, 3, 0.02),
+        ),
+        (
+            "same mix + blaster @ 1.00 (overloads the switch alone)",
+            Scenario::ftp_telnet(2, 0.30, 3, 0.02).with_blaster(1.0),
+        ),
     ] {
         println!("--- {title}   (offered load {:.2})\n", scenario.load());
-        for kind in [DisciplineKind::Fifo, DisciplineKind::Sfq, DisciplineKind::FsTable] {
+        for kind in [
+            DisciplineKind::Fifo,
+            DisciplineKind::Sfq,
+            DisciplineKind::FsTable,
+        ] {
             let r = scenario.run(kind, horizon, seed).expect("simulation");
             println!("[{}]", kind.label());
             print!("{}", r.table());

@@ -22,7 +22,12 @@ fn main() {
         ]
     };
     let start = vec![0.03, 0.10, 0.20];
-    let config = HillConfig { rounds: 30, initial_step: 0.04, min_step: 4e-3, ..Default::default() };
+    let config = HillConfig {
+        rounds: 30,
+        initial_step: 0.04,
+        min_step: 4e-3,
+        ..Default::default()
+    };
 
     println!("Noisy self-optimization against the packet simulator\n");
 
@@ -55,7 +60,10 @@ fn main() {
         }
         println!(
             "  closed-form Nash: {:?}",
-            nash.rates.iter().map(|r| (r * 1e4).round() / 1e4).collect::<Vec<_>>()
+            nash.rates
+                .iter()
+                .map(|r| (r * 1e4).round() / 1e4)
+                .collect::<Vec<_>>()
         );
         println!(
             "  final distance to Nash: {:.4} after {} packet measurements\n",

@@ -9,16 +9,21 @@ use greednet::network::{NetworkGame, Topology};
 use greednet::prelude::*;
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
     println!("Parking-lot network with {k} switches (§5.4, Poisson approximation)\n");
     println!("  user 0 ('through') crosses all {k} switches; users 1..={k} are local.\n");
 
-    let users = || -> Vec<BoxedUtility> {
-        (0..=k).map(|_| LogUtility::new(0.5, 1.0).boxed()).collect()
-    };
+    let users =
+        || -> Vec<BoxedUtility> { (0..=k).map(|_| LogUtility::new(0.5, 1.0).boxed()).collect() };
 
     for (name, alloc) in [
-        ("Fair Share at every switch", Box::new(FairShare::new()) as Box<dyn AllocationFunction>),
+        (
+            "Fair Share at every switch",
+            Box::new(FairShare::new()) as Box<dyn AllocationFunction>,
+        ),
         ("FIFO at every switch", Box::new(Proportional::new())),
     ] {
         let net = NetworkGame::new(Topology::parking_lot(k).expect("topology"), alloc, users())
@@ -44,7 +49,11 @@ fn main() {
         let worst = net.adversarial_congestion(0, nash.rates[0], &[0.3, 0.8, 0.95, 2.0]);
         println!(
             "   through-user protection: worst c = {worst:.4} vs summed bound {bound:.4} ({})",
-            if worst <= bound * (1.0 + 1e-9) { "PROTECTED" } else { "VIOLATED" }
+            if worst <= bound * (1.0 + 1e-9) {
+                "PROTECTED"
+            } else {
+                "VIOLATED"
+            }
         );
         println!();
     }

@@ -16,7 +16,11 @@ fn main() {
         .map(|a| a.parse().expect("rates must be numbers"))
         .collect();
     // Default: the 4-user ascending example shaped like the paper's Table 1.
-    let rates = if args.is_empty() { vec![0.05, 0.10, 0.20, 0.30] } else { args };
+    let rates = if args.is_empty() {
+        vec![0.05, 0.10, 0.20, 0.30]
+    } else {
+        args
+    };
     let n = rates.len();
 
     println!("Fair Share priority table (paper Table 1) for rates {rates:?}\n");
@@ -43,7 +47,12 @@ fn main() {
     // Validate by simulation.
     println!("\nValidating against simulated packets (horizon 200k):");
     let expect = FairShare::new().congestion(&rates);
-    let sim = Simulator::new(SimConfig::new(rates.clone(), 200_000.0, 7)).expect("config");
+    let cfg = SimConfig::builder(rates.clone())
+        .horizon(200_000.0)
+        .seed(7)
+        .build()
+        .expect("config");
+    let sim = Simulator::new(cfg).expect("config");
     let mut d = FsPriorityTable::new(&rates, 99).expect("table");
     let r = sim.run(&mut d).expect("run");
     println!(

@@ -32,8 +32,14 @@ fn main() {
     println!("{} candidate misreports per user\n", lies.len());
 
     for (label, mech) in [
-        ("B^FS (Fair Share inside)", DirectMechanism::new(Box::new(FairShare::new()))),
-        ("B^FIFO (FIFO inside)", DirectMechanism::new(Box::new(Proportional::new()))),
+        (
+            "B^FS (Fair Share inside)",
+            DirectMechanism::new(Box::new(FairShare::new())),
+        ),
+        (
+            "B^FIFO (FIFO inside)",
+            DirectMechanism::new(Box::new(Proportional::new())),
+        ),
     ] {
         println!("== {label}");
         let truth = truthful();

@@ -33,7 +33,10 @@ fn report(label: &str, game: &Game) {
                 format!("user {i}: {:+.5} -> {:+.5}", nash.utilities[i], u_stack)
             })
             .collect();
-        println!("   follower utilities (Nash -> Stackelberg): {}", victims.join(", "));
+        println!(
+            "   follower utilities (Nash -> Stackelberg): {}",
+            victims.join(", ")
+        );
     }
     println!();
 }

@@ -1,0 +1,108 @@
+//! Unified error type for the facade crate.
+//!
+//! Each workspace crate keeps its own precise error enum; applications
+//! that compose several layers (queueing + game + simulator, say) can use
+//! [`Error`] and `?` instead of hand-converting at every boundary.
+
+use std::fmt;
+
+/// Any error from any greednet layer.
+///
+/// ```
+/// use greednet::prelude::*;
+///
+/// fn pipeline() -> Result<f64, greednet::Error> {
+///     let users = vec![LinearUtility::new(1.0, 0.5).boxed(); 2];
+///     let game = Game::new(FairShare::new(), users)?; // CoreError -> Error
+///     let nash = game.solve_nash(&NashOptions::default())?;
+///     Ok(nash.rates.iter().sum())
+/// }
+/// assert!(pipeline().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Allocation-theory layer ([`greednet_queueing`]).
+    Queueing(greednet_queueing::QueueingError),
+    /// Game-theoretic layer ([`greednet_core`]).
+    Core(greednet_core::CoreError),
+    /// Packet simulator ([`greednet_des`]).
+    Des(greednet_des::DesError),
+    /// Learning dynamics ([`greednet_learning`]).
+    Learning(greednet_learning::LearningError),
+    /// Mechanism design layer ([`greednet_mechanisms`]).
+    Mechanism(greednet_mechanisms::MechanismError),
+    /// Network-of-switches layer ([`greednet_network`]).
+    Network(greednet_network::NetworkError),
+    /// Numerical substrate ([`greednet_numerics`]).
+    Numerics(greednet_numerics::NumericsError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Queueing(e) => write!(f, "queueing: {e}"),
+            Error::Core(e) => write!(f, "core: {e}"),
+            Error::Des(e) => write!(f, "des: {e}"),
+            Error::Learning(e) => write!(f, "learning: {e}"),
+            Error::Mechanism(e) => write!(f, "mechanisms: {e}"),
+            Error::Network(e) => write!(f, "network: {e}"),
+            Error::Numerics(e) => write!(f, "numerics: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Queueing(e) => Some(e),
+            Error::Core(e) => Some(e),
+            Error::Des(e) => Some(e),
+            Error::Learning(e) => Some(e),
+            Error::Mechanism(e) => Some(e),
+            Error::Network(e) => Some(e),
+            Error::Numerics(e) => Some(e),
+        }
+    }
+}
+
+impl From<greednet_queueing::QueueingError> for Error {
+    fn from(e: greednet_queueing::QueueingError) -> Self {
+        Error::Queueing(e)
+    }
+}
+
+impl From<greednet_core::CoreError> for Error {
+    fn from(e: greednet_core::CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<greednet_des::DesError> for Error {
+    fn from(e: greednet_des::DesError) -> Self {
+        Error::Des(e)
+    }
+}
+
+impl From<greednet_learning::LearningError> for Error {
+    fn from(e: greednet_learning::LearningError) -> Self {
+        Error::Learning(e)
+    }
+}
+
+impl From<greednet_mechanisms::MechanismError> for Error {
+    fn from(e: greednet_mechanisms::MechanismError) -> Self {
+        Error::Mechanism(e)
+    }
+}
+
+impl From<greednet_network::NetworkError> for Error {
+    fn from(e: greednet_network::NetworkError) -> Self {
+        Error::Network(e)
+    }
+}
+
+impl From<greednet_numerics::NumericsError> for Error {
+    fn from(e: greednet_numerics::NumericsError) -> Self {
+        Error::Numerics(e)
+    }
+}

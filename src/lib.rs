@@ -31,6 +31,9 @@
 //!   Poisson approximation, network games).
 //! * [`numerics`] — the numerical substrate.
 //!
+//! Cross-layer applications can funnel every crate's error enum into the
+//! unified [`Error`] via `?` (each layer keeps its precise error type).
+//!
 //! ## Quick start
 //!
 //! ```
@@ -50,6 +53,10 @@
 //! assert!(envy <= 1e-6);
 //! ```
 
+mod error;
+
+pub use error::Error;
+
 pub use greednet_core as core;
 pub use greednet_des as des;
 pub use greednet_learning as learning;
@@ -65,7 +72,5 @@ pub mod prelude {
         BoxedUtility, ExpExpUtility, LinearUtility, LogUtility, PowerUtility,
         QuadraticCongestionUtility, Utility, UtilityExt,
     };
-    pub use greednet_queueing::{
-        AllocationFunction, FairShare, Proportional, SerialPriority,
-    };
+    pub use greednet_queueing::{AllocationFunction, FairShare, Proportional, SerialPriority};
 }

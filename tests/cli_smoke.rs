@@ -7,7 +7,11 @@ use std::process::Command;
 /// depend on artifact layout.
 fn run_cli(args: &[&str]) -> (bool, String, String) {
     let mut cmd = Command::new(env!("CARGO"));
-    cmd.arg("run").arg("--quiet").arg("-p").arg("greednet-cli").arg("--");
+    cmd.arg("run")
+        .arg("--quiet")
+        .arg("-p")
+        .arg("greednet-cli")
+        .arg("--");
     cmd.args(args);
     let out = cmd.output().expect("failed to launch cargo run");
     (

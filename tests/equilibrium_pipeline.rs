@@ -18,22 +18,24 @@ fn heterogeneous_users() -> Vec<BoxedUtility> {
 }
 
 #[test]
-fn all_roads_lead_to_the_fair_share_nash() {
+fn all_roads_lead_to_the_fair_share_nash() -> Result<(), greednet::Error> {
     // Best-response iteration, Newton dynamics, hill climbing, candidate
     // elimination and the revelation mechanism must all agree on the same
-    // unique Fair Share equilibrium.
+    // unique Fair Share equilibrium. The stages cross four crate
+    // boundaries (core, learning x2, mechanisms); the facade
+    // `greednet::Error` lets `?` thread through all of them.
     let users = heterogeneous_users();
-    let game = Game::new(FairShare::new(), users.clone()).unwrap();
-    let nash = game.solve_nash(&NashOptions::default()).unwrap();
+    let game = Game::new(FairShare::new(), users.clone())?;
+    let nash = game.solve_nash(&NashOptions::default())?;
     assert!(nash.converged);
 
     // 1. Global deviation audit.
-    let check = game.verify_nash(&nash.rates, 512).unwrap();
+    let check = game.verify_nash(&nash.rates, 512)?;
     assert!(check.is_nash(1e-6), "deviation gain {}", check.max_gain);
 
     // 2. Newton dynamics from a perturbed start.
     let start: Vec<f64> = nash.rates.iter().map(|&x| x * 1.05).collect();
-    let newton_traj = newton::run(&game, &start, 10).unwrap();
+    let newton_traj = newton::run(&game, &start, 10)?;
     for (a, b) in newton_traj.final_rates().iter().zip(&nash.rates) {
         assert!((a - b).abs() < 1e-6, "newton {a} vs nash {b}");
     }
@@ -44,36 +46,76 @@ fn all_roads_lead_to_the_fair_share_nash() {
         &users,
         &mut env,
         &[0.05, 0.05, 0.05],
-        &HillConfig { rounds: 250, ..Default::default() },
-    )
-    .unwrap();
-    assert!(hill.distance_to(&nash.rates) < 5e-3, "hill {:?}", hill.final_rates);
+        &HillConfig {
+            rounds: 250,
+            ..Default::default()
+        },
+    )?;
+    assert!(
+        hill.distance_to(&nash.rates) < 5e-3,
+        "hill {:?}",
+        hill.final_rates
+    );
 
     // 4. Candidate elimination (generalized hill climbing).
     let elim = elimination::run(
         &FairShare::new(),
         &users,
-        &EliminationConfig { grid: 81, lo: 0.004, hi: 0.5, max_rounds: 120 },
-    )
-    .unwrap();
+        &EliminationConfig {
+            grid: 81,
+            lo: 0.004,
+            hi: 0.5,
+            max_rounds: 120,
+        },
+    )?;
     let step = (0.5 - 0.004) / 80.0;
     for (mid, r) in elim.midpoints().iter().zip(&nash.rates) {
-        assert!((mid - r).abs() < 4.0 * step, "elimination mid {mid} vs nash {r}");
+        assert!(
+            (mid - r).abs() < 4.0 * step,
+            "elimination mid {mid} vs nash {r}"
+        );
     }
 
     // 5. The revelation mechanism assigns exactly this equilibrium.
     let mech = DirectMechanism::new(Box::new(FairShare::new()));
-    let assigned = mech.assign(&users).unwrap();
+    let assigned = mech.assign(&users)?;
     for (a, b) in assigned.rates.iter().zip(&nash.rates) {
         assert!((a - b).abs() < 1e-6);
     }
+    Ok(())
+}
+
+#[test]
+fn facade_error_carries_layer_detail() {
+    // Every layer's error funnels into greednet::Error with the source
+    // chain intact.
+    fn saturated_sim() -> Result<(), greednet::Error> {
+        let cfg = greednet::des::SimConfig::builder(vec![0.7, 0.8]).build()?;
+        let _ = cfg;
+        Ok(())
+    }
+    let err = saturated_sim().unwrap_err();
+    assert!(matches!(err, greednet::Error::Des(_)), "{err:?}");
+    assert!(err.to_string().contains("des:"), "{err}");
+    assert!(std::error::Error::source(&err).is_some());
+
+    fn empty_game() -> Result<(), greednet::Error> {
+        let game = Game::new(FairShare::new(), Vec::new())?;
+        let _ = game;
+        Ok(())
+    }
+    assert!(matches!(
+        empty_game().unwrap_err(),
+        greednet::Error::Core(_)
+    ));
 }
 
 #[test]
 fn fifo_pipeline_shows_all_pathologies_at_once() {
     let gamma = 0.2;
-    let users: Vec<BoxedUtility> =
-        (0..4).map(|_| LinearUtility::new(1.0, gamma).boxed()).collect();
+    let users: Vec<BoxedUtility> = (0..4)
+        .map(|_| LinearUtility::new(1.0, gamma).boxed())
+        .collect();
     let game = Game::new(Proportional::new(), users).unwrap();
     let nash = game.solve_nash(&NashOptions::default()).unwrap();
     assert!(nash.converged);

@@ -1,0 +1,69 @@
+//! Tier-1 guarantees for the experiment runtime: the central registry is
+//! complete and runnable, and every experiment's report is bitwise
+//! identical at any worker-thread count (the deterministic-parallelism
+//! contract of `greednet-runtime`).
+
+use greednet_bench::experiments::registry;
+use greednet_runtime::{Budget, ExpCtx, Format};
+
+fn ctx(seed: u64, threads: usize) -> ExpCtx {
+    ExpCtx::new(seed, threads).with_budget(Budget::smoke())
+}
+
+#[test]
+fn registry_ids_are_unique_and_all_experiments_run_on_a_tiny_budget() {
+    let reg = registry();
+    assert_eq!(reg.len(), 17, "T1 + E1..E15 (E10 split in two)");
+    let ids = reg.ids();
+    let unique: std::collections::HashSet<_> = ids.iter().collect();
+    assert_eq!(unique.len(), ids.len(), "duplicate experiment id");
+    let c = ctx(3, 2);
+    for exp in reg.iter() {
+        let report = exp.run(&c);
+        let text = report.render(Format::Text);
+        assert!(
+            text.contains(exp.title()),
+            "{} report lacks its title",
+            exp.id()
+        );
+        // Every format must render without panicking.
+        assert!(!report.render(Format::Json).is_empty());
+        assert!(!report.render(Format::Csv).is_empty());
+    }
+}
+
+#[test]
+fn parallel_runs_are_bitwise_identical_to_serial() {
+    // The flagship contract: for the same root seed, an N-thread run of a
+    // replication batch (E9, DES packet simulations) or a parallel sweep
+    // produces exactly the same report as the serial run — every float,
+    // every digit.
+    // The report intentionally records the thread count it ran with
+    // (`"threads":N` in the run params); mask that one metadata field so
+    // the comparison covers exactly the scientific content.
+    fn masked(report: &greednet_runtime::RunReport, threads: usize) -> String {
+        report
+            .render(Format::Json)
+            .replace(&format!("\"threads\":{threads}"), "\"threads\":#")
+    }
+    let reg = registry();
+    for id in ["e9", "e1", "e3", "e10a"] {
+        let exp = reg.get(id).expect(id);
+        let serial = masked(&exp.run(&ctx(42, 1)), 1);
+        let four = masked(&exp.run(&ctx(42, 4)), 4);
+        let eight = masked(&exp.run(&ctx(42, 8)), 8);
+        assert_eq!(serial, four, "{id}: 4-thread run diverged from serial");
+        assert_eq!(serial, eight, "{id}: 8-thread run diverged from serial");
+    }
+}
+
+#[test]
+fn the_seed_changes_the_numbers_but_the_thread_count_never_does() {
+    // Guards against accidentally ignoring ctx.seed (reports would be
+    // trivially "deterministic" if nothing consumed the seed).
+    let reg = registry();
+    let exp = reg.get("e9").expect("e9");
+    let a = exp.run(&ctx(1, 2)).render(Format::Json);
+    let b = exp.run(&ctx(2, 2)).render(Format::Json);
+    assert_ne!(a, b, "different root seeds must change stochastic results");
+}

@@ -18,8 +18,14 @@ fn closed_forms_match_packets_across_disciplines() {
     let horizon = 250_000.0;
     let cases: Vec<(DisciplineKind, Vec<f64>)> = vec![
         (DisciplineKind::Fifo, Proportional::new().congestion(&rates)),
-        (DisciplineKind::ProcessorSharing, Proportional::new().congestion(&rates)),
-        (DisciplineKind::SerialPriority, SerialPriority::new().congestion(&rates)),
+        (
+            DisciplineKind::ProcessorSharing,
+            Proportional::new().congestion(&rates),
+        ),
+        (
+            DisciplineKind::SerialPriority,
+            SerialPriority::new().congestion(&rates),
+        ),
         (DisciplineKind::FsTable, FairShare::new().congestion(&rates)),
     ];
     for (kind, expect) in cases {
@@ -62,8 +68,12 @@ fn protection_bound_holds_in_packets() {
     let bound = victim / (1.0 - n as f64 * victim);
     for blaster in [0.3, 0.6, 1.2] {
         let rates = vec![victim, blaster, 0.05];
-        let mut cfg = SimConfig::new(rates.clone(), 60_000.0, 808);
-        cfg.allow_overload = true;
+        let cfg = SimConfig::builder(rates.clone())
+            .horizon(60_000.0)
+            .seed(808)
+            .allow_overload(true)
+            .build()
+            .unwrap();
         let sim = Simulator::new(cfg).unwrap();
         let mut d = DisciplineKind::FsTable.build(&rates, 1).unwrap();
         let q = sim.run(d.as_mut()).unwrap().mean_queue[0];

@@ -1,0 +1,347 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! range/tuple/`Just` strategies, `prop_map` / `prop_flat_map` /
+//! `prop_filter_map`, `collection::vec`, the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` attribute, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream: failing cases are **not shrunk** (the
+//! failing inputs are printed as generated), and generation streams are
+//! seeded deterministically from the test name, so runs are exactly
+//! reproducible.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Case execution: configuration, RNG, and case outcomes.
+
+    /// Test-campaign configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic generation stream (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from a test-name string.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h = 0xcbf29ce484222325u64; // FNV-1a
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `u64` below `bound` (> 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound.max(1)
+        }
+    }
+
+    /// Outcome of one property-test case body.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case does not apply (from `prop_assume!` / filters).
+        Reject(String),
+        /// The property failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Constructs a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Constructs a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Admissible length specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.saturating_sub(1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of values drawn from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs one property: generates inputs until `cases` accepted runs pass
+/// (or a generation/assume budget is exhausted), panicking on failure.
+/// Called by the [`proptest!`] macro expansion.
+pub fn run_property(
+    name: &str,
+    config: &test_runner::ProptestConfig,
+    mut case: impl FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    let mut rng = test_runner::TestRng::deterministic(name);
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let budget = (config.cases as u64) * 64 + 256;
+    while accepted < config.cases {
+        if attempts >= budget {
+            panic!(
+                "proptest '{name}': gave up after {attempts} attempts with only \
+                 {accepted}/{} accepted cases (over-restrictive assume/filter?)",
+                config.cases
+            );
+        }
+        attempts += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => continue,
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {accepted}: {msg}")
+            }
+        }
+    }
+}
+
+/// Defines property tests. Mirrors upstream's grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0.0..1.0f64, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$attr:meta])+ fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])+
+            fn $name() {
+                let config = $cfg;
+                $crate::run_property(stringify!($name), &config, |__rng| {
+                    $(
+                        let $pat = match $crate::strategy::Strategy::generate(&($strat), __rng) {
+                            Some(v) => v,
+                            None => return Err($crate::test_runner::TestCaseError::reject("filtered")),
+                        };
+                    )+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($lhs),
+                stringify!($rhs),
+                l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = (u8, f64)> {
+        (0u8..4, 0.5..1.5f64)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0..1.0f64, k in 2usize..=5) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((2..=5).contains(&k));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0.0..1.0f64, 2..=4)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 4, "len {}", v.len());
+        }
+
+        #[test]
+        fn tuples_and_destructuring((tag, x) in pairs()) {
+            prop_assert!(tag < 4);
+            prop_assert!((0.5..1.5).contains(&x));
+        }
+
+        #[test]
+        fn map_and_flat_map(v in (2usize..=4).prop_flat_map(|n| crate::collection::vec(Just(n), n))) {
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(v.len(), v[0]);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0.0..1.0f64) {
+            prop_assume!((0.0..0.9).contains(&x));
+            prop_assert!((0.0..0.9).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! minimal, dependency-free implementation of exactly the API surface the
+//! repo uses: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`RngExt`] sampling methods (`random`, `random_range`). The generator
+//! is xoshiro256++ (the same family the real `SmallRng` uses on 64-bit
+//! targets), seeded through SplitMix64 — high-quality, fast, and fully
+//! deterministic across thread counts and platforms.
+//!
+//! Streams are **not** bit-compatible with the upstream crate; every
+//! consumer in this workspace only relies on seeded determinism and
+//! statistical quality, both of which hold.
+
+/// Seeding support (the subset the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their full domain (the stand-in for
+/// rand's `StandardUniform` distribution).
+pub trait UniformPrimitive: Sized {
+    /// Draws one value from `rng`.
+    fn draw(rng: &mut rngs::SmallRng) -> Self;
+}
+
+/// Types usable as `random_range` bounds.
+pub trait RangePrimitive: Sized + Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`.
+    fn draw_range(rng: &mut rngs::SmallRng, lo: Self, hi: Self) -> Self;
+}
+
+/// Sampling methods on random generators (rand 0.10's `Rng`/`RngExt`).
+pub trait RngExt {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniform value of type `T` (`f64` in `[0, 1)`, integers
+    /// over their full range).
+    fn random<T: UniformPrimitive>(&mut self) -> T
+    where
+        Self: AsSmallRng,
+    {
+        T::draw(self.as_small_rng())
+    }
+
+    /// Draws uniformly from a half-open range `lo..hi`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T: RangePrimitive>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: AsSmallRng,
+    {
+        assert!(range.start < range.end, "cannot sample from an empty range");
+        T::draw_range(self.as_small_rng(), range.start, range.end)
+    }
+}
+
+/// Helper giving the blanket [`RngExt`] methods access to the concrete
+/// generator state.
+pub trait AsSmallRng {
+    /// The underlying small generator.
+    fn as_small_rng(&mut self) -> &mut rngs::SmallRng;
+}
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{AsSmallRng, RngExt, SeedableRng};
+
+    /// xoshiro256++ generator seeded via SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SmallRng {
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngExt for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl AsSmallRng for SmallRng {
+        fn as_small_rng(&mut self) -> &mut SmallRng {
+            self
+        }
+    }
+}
+
+impl UniformPrimitive for f64 {
+    fn draw(rng: &mut rngs::SmallRng) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformPrimitive for u64 {
+    fn draw(rng: &mut rngs::SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl UniformPrimitive for u32 {
+    fn draw(rng: &mut rngs::SmallRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl UniformPrimitive for bool {
+    fn draw(rng: &mut rngs::SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl RangePrimitive for $t {
+            fn draw_range(rng: &mut rngs::SmallRng, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift rejection-free mapping; the modulo bias is
+                // negligible for the tiny spans this workspace samples.
+                let x = rng.next_u64() as u128 % span;
+                (lo as i128 + x as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangePrimitive for f64 {
+    fn draw_range(rng: &mut rngs::SmallRng, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * f64::draw(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_sane_mean() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            let k = r.random_range(0..4u8);
+            seen[k as usize] = true;
+            let x = r.random_range(-1.5..2.5f64);
+            assert!((-1.5..2.5).contains(&x));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
