@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use greednet_des::scenarios::DisciplineKind;
-use greednet_des::{SimConfig, Simulator};
+use greednet_des::{MetricsProbe, NoopProbe, SimConfig, Simulator};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -29,6 +29,89 @@ fn bench_event_throughput(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+fn bench_probe_overhead(c: &mut Criterion) {
+    // The zero-cost claim of `greednet-telemetry`: `run` (which delegates
+    // to `run_probed::<NoopProbe>`) must sit within noise (≤ 2%) of the
+    // explicitly probed no-op run, because `Probe::ENABLED = false`
+    // statically removes every instrumentation site. The MetricsProbe row
+    // quantifies the real cost of live histogram instrumentation.
+    let mut group = c.benchmark_group("des_probe_overhead");
+    group.sample_size(20);
+    let rates = vec![0.15, 0.2, 0.25];
+    let horizon = 20_000.0;
+    let sim = Simulator::new(SimConfig::new(rates.clone(), horizon, 1)).unwrap();
+    let mut d = DisciplineKind::Fifo.build(&rates, 1).unwrap();
+    let events = sim.run(d.as_mut()).unwrap().events;
+    group.throughput(Throughput::Elements(events));
+
+    group.bench_function("run", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(SimConfig::new(black_box(rates.clone()), horizon, 1)).unwrap();
+            let mut d = DisciplineKind::Fifo.build(&rates, 1).unwrap();
+            sim.run(d.as_mut()).unwrap().events
+        })
+    });
+    group.bench_function("run_probed/noop", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(SimConfig::new(black_box(rates.clone()), horizon, 1)).unwrap();
+            let mut d = DisciplineKind::Fifo.build(&rates, 1).unwrap();
+            sim.run_probed(d.as_mut(), &mut NoopProbe).unwrap().events
+        })
+    });
+    group.bench_function("run_probed/metrics", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(SimConfig::new(black_box(rates.clone()), horizon, 1)).unwrap();
+            let mut d = DisciplineKind::Fifo.build(&rates, 1).unwrap();
+            let mut probe = MetricsProbe::new(rates.len());
+            sim.run_probed(d.as_mut(), &mut probe).unwrap().events
+        })
+    });
+    group.finish();
+
+    // The rows above time each path in a separate measurement window, and
+    // wall-clock drift between windows routinely exceeds the effect size
+    // (the same FIFO workload appears in `des_events` with a different
+    // median). The ≤2% no-op claim therefore needs a paired measurement:
+    // alternate the two paths within one window, flipping the order each
+    // pair so slow drift cancels, and compare medians.
+    let once_plain = || {
+        let sim = Simulator::new(SimConfig::new(black_box(rates.clone()), horizon, 1)).unwrap();
+        let mut d = DisciplineKind::Fifo.build(&rates, 1).unwrap();
+        let t = std::time::Instant::now();
+        black_box(sim.run(d.as_mut()).unwrap().events);
+        t.elapsed().as_secs_f64()
+    };
+    let once_noop = || {
+        let sim = Simulator::new(SimConfig::new(black_box(rates.clone()), horizon, 1)).unwrap();
+        let mut d = DisciplineKind::Fifo.build(&rates, 1).unwrap();
+        let t = std::time::Instant::now();
+        black_box(sim.run_probed(d.as_mut(), &mut NoopProbe).unwrap().events);
+        t.elapsed().as_secs_f64()
+    };
+    for _ in 0..5 {
+        once_plain();
+        once_noop();
+    }
+    let (mut plain, mut noop) = (Vec::new(), Vec::new());
+    for pair in 0..61 {
+        if pair % 2 == 0 {
+            plain.push(once_plain());
+            noop.push(once_noop());
+        } else {
+            noop.push(once_noop());
+            plain.push(once_plain());
+        }
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let ratio = median(&mut noop) / median(&mut plain);
+    println!(
+        "bench des_probe_overhead/paired            noop/run ratio {ratio:.4} over 61 interleaved pairs"
+    );
 }
 
 fn bench_load_scaling(c: &mut Criterion) {
@@ -58,6 +141,6 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_secs(1));
-    targets = bench_event_throughput, bench_load_scaling
+    targets = bench_event_throughput, bench_probe_overhead, bench_load_scaling
 }
 criterion_main!(benches);

@@ -16,7 +16,7 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: run_all [--seed N] [--threads N] [--json|--csv|--format F] [--smoke]"
+                "usage: run_all [--seed N] [--threads N] [--json|--csv|--format F] [--smoke] [--metrics]"
             );
             std::process::exit(2);
         }
@@ -29,6 +29,9 @@ fn main() {
         let report = exp.run(&ctx);
         print!("{}", report.render(args.format));
         println!();
+        if args.metrics && !report.telemetry().is_empty() {
+            eprint!("{}", report.render_telemetry());
+        }
         eprintln!("[run_all] {} finished in {:.2?}", exp.id(), start.elapsed());
     }
     eprintln!(

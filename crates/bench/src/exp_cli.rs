@@ -19,6 +19,9 @@ pub struct ExpArgs {
     pub format: Format,
     /// Run with the tiny smoke budget instead of paper fidelity.
     pub smoke: bool,
+    /// Gather telemetry (histogram sections + pool-utilization side
+    /// channel); never changes the deterministic numeric results.
+    pub metrics: bool,
 }
 
 impl Default for ExpArgs {
@@ -28,13 +31,14 @@ impl Default for ExpArgs {
             threads: available_threads(),
             format: Format::Text,
             smoke: false,
+            metrics: false,
         }
     }
 }
 
 impl ExpArgs {
     /// Parses `--seed N`, `--threads N`, `--json` / `--csv` /
-    /// `--format F`, and `--smoke` from an argument list.
+    /// `--format F`, `--smoke`, and `--metrics` from an argument list.
     ///
     /// # Errors
     /// A human-readable message naming the offending flag or value.
@@ -46,6 +50,7 @@ impl ExpArgs {
                 "--json" => out.format = Format::Json,
                 "--csv" => out.format = Format::Csv,
                 "--smoke" => out.smoke = true,
+                "--metrics" => out.metrics = true,
                 "--format" => {
                     let v = it.next().ok_or("--format needs a value (text|json|csv)")?;
                     out.format = Format::parse(v).ok_or_else(|| format!("unknown format {v:?}"))?;
@@ -78,7 +83,9 @@ impl ExpArgs {
         } else {
             Budget::full()
         };
-        ExpCtx::new(self.seed, self.threads).with_budget(budget)
+        ExpCtx::new(self.seed, self.threads)
+            .with_budget(budget)
+            .with_telemetry(self.metrics)
     }
 }
 
@@ -105,12 +112,21 @@ pub fn exp_main(id: &str) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: [--seed N] [--threads N] [--json|--csv|--format F] [--smoke]");
+            eprintln!(
+                "usage: [--seed N] [--threads N] [--json|--csv|--format F] [--smoke] [--metrics]"
+            );
             std::process::exit(2);
         }
     };
     match run_experiment(id, &args.ctx()) {
-        Ok(report) => print!("{}", report.render(args.format)),
+        Ok(report) => {
+            print!("{}", report.render(args.format));
+            // Non-deterministic wall-clock telemetry goes to stderr so the
+            // deterministic report on stdout stays bitwise reproducible.
+            if args.metrics && !report.telemetry().is_empty() {
+                eprint!("{}", report.render_telemetry());
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -133,13 +149,24 @@ mod tests {
         assert_eq!(d.format, Format::Text);
         assert!(!d.smoke);
 
-        let a =
-            ExpArgs::parse(&s(&["--seed", "7", "--threads", "4", "--json", "--smoke"])).unwrap();
+        let a = ExpArgs::parse(&s(&[
+            "--seed",
+            "7",
+            "--threads",
+            "4",
+            "--json",
+            "--smoke",
+            "--metrics",
+        ]))
+        .unwrap();
         assert_eq!(a.seed, 7);
         assert_eq!(a.threads, 4);
         assert_eq!(a.format, Format::Json);
         assert!(a.smoke);
+        assert!(a.metrics);
         assert_eq!(a.ctx().threads, 4);
+        assert!(a.ctx().telemetry);
+        assert!(!ExpArgs::parse(&[]).unwrap().ctx().telemetry);
     }
 
     #[test]

@@ -5,15 +5,25 @@
 //! replications whose seeds split off the root seed by index, so the
 //! report is identical at any `--threads` setting.
 
-use crate::experiments::mean_and_hw;
+use crate::experiments::{histogram_rows, mean_and_hw};
 use greednet_des::scenarios::DisciplineKind;
-use greednet_des::{SimConfig, Simulator};
+use greednet_des::{MetricsProbe, SimConfig, SimMetrics, Simulator};
 use greednet_queueing::{mm1, AllocationFunction, FairShare, Proportional, SerialPriority};
-use greednet_runtime::{child_seed, Cell, ExpCtx, Experiment, Replications, RunReport, Table};
+use greednet_runtime::{
+    child_seed, Cell, ExpCtx, Experiment, PoolStats, Replications, RunReport, Table,
+};
 
 /// E9: packet-level validation of the allocation formulas (§3.1).
 pub struct E9DesValidation;
 
+/// Per-replication estimates: `(mean_queue, total_queue_dist)` pairs.
+type BatchEstimates = Vec<(Vec<f64>, Vec<f64>)>;
+
+/// Runs one discipline's replication batch. With `ctx.telemetry` the
+/// simulations run probed: the per-replication estimates are bitwise
+/// identical to the unprobed path (the probe only observes), and the
+/// per-replication [`SimMetrics`] are merged in task order so the merged
+/// histograms are thread-count independent too.
 fn replicate(
     ctx: &ExpCtx,
     kind: DisciplineKind,
@@ -21,18 +31,40 @@ fn replicate(
     horizon: f64,
     reps: usize,
     stage: u64,
-) -> Vec<(Vec<f64>, Vec<f64>)> {
-    Replications::new(reps, ctx.stage_seed(stage)).run(ctx.threads, |_, seed| {
+) -> (BatchEstimates, Option<(SimMetrics, PoolStats)>) {
+    let batch = Replications::new(reps, ctx.stage_seed(stage));
+    let simulate = |seed: u64| {
         let cfg = SimConfig::builder(rates.to_vec())
             .horizon(horizon)
             .seed(seed)
             .build()
             .expect("valid config");
         let sim = Simulator::new(cfg).expect("simulator");
-        let mut d = kind.build(rates, child_seed(seed, 1)).expect("discipline");
-        let r = sim.run(d.as_mut()).expect("simulate");
-        (r.mean_queue, r.total_queue_dist)
-    })
+        let d = kind.build(rates, child_seed(seed, 1)).expect("discipline");
+        (sim, d)
+    };
+    if ctx.telemetry {
+        let (out, pool) = batch.run_profiled(ctx.threads, |_, seed| {
+            let (sim, mut d) = simulate(seed);
+            let mut probe = MetricsProbe::new(rates.len());
+            let r = sim.run_probed(d.as_mut(), &mut probe).expect("simulate");
+            ((r.mean_queue, r.total_queue_dist), probe.into_metrics())
+        });
+        let mut merged = SimMetrics::new(rates.len());
+        let mut data = Vec::with_capacity(out.len());
+        for (rep, metrics) in out {
+            merged.merge(&metrics);
+            data.push(rep);
+        }
+        (data, Some((merged, pool)))
+    } else {
+        let data = batch.run(ctx.threads, |_, seed| {
+            let (sim, mut d) = simulate(seed);
+            let r = sim.run(d.as_mut()).expect("simulate");
+            (r.mean_queue, r.total_queue_dist)
+        });
+        (data, None)
+    }
 }
 
 impl Experiment for E9DesValidation {
@@ -82,8 +114,17 @@ impl Experiment for E9DesValidation {
         ]);
         let mut worst = 0.0f64;
         let mut last_dists: Vec<Vec<f64>> = Vec::new();
+        let mut fs_metrics: Option<SimMetrics> = None;
         for (stage, (kind, expect)) in closed.iter().enumerate() {
-            let runs = replicate(ctx, *kind, &rates, horizon, reps, stage as u64);
+            let (runs, tele) = replicate(ctx, *kind, &rates, horizon, reps, stage as u64);
+            if let Some((metrics, pool)) = tele {
+                report
+                    .telemetry_mut()
+                    .add_pool(format!("replications:{}", kind.label()), pool);
+                if *kind == DisciplineKind::FsTable {
+                    fs_metrics = Some(metrics);
+                }
+            }
             for (u, &exp_u) in expect.iter().enumerate() {
                 let samples: Vec<f64> = runs.iter().map(|(q, _)| q[u]).collect();
                 let (mean, hw) = mean_and_hw(&samples);
@@ -139,6 +180,30 @@ impl Experiment for E9DesValidation {
         report.table(t);
         report.note("(run under the Fair Share table: total occupancy is discipline-");
         report.note("invariant for M/M/1, and matches (1-rho) rho^k.)");
+
+        if let Some(m) = fs_metrics {
+            report
+                .section("telemetry: log2 histograms (Fair Share table, all replications merged)");
+            let mut t = Table::new(&["histogram", "bucket", "count"]);
+            for u in 0..rates.len() {
+                histogram_rows(&mut t, &format!("delay user {u}"), &m.delay[u]);
+            }
+            histogram_rows(&mut t, "occupancy@arrival", &m.occupancy);
+            histogram_rows(&mut t, "busy period", &m.busy_periods);
+            report.table(t);
+            let arrivals: u64 = m
+                .arrivals
+                .iter()
+                .map(greednet_telemetry::Counter::get)
+                .sum();
+            report.metric("telemetry_arrivals", arrivals as f64);
+            report.metric("telemetry_preemptions", m.preemptions.get() as f64);
+            report.metric(
+                "telemetry_delay_p50_user0",
+                m.delay[0].quantile(0.5).unwrap_or(f64::NAN),
+            );
+            report.note("(histograms merge in task order: identical at any --threads.)");
+        }
         report
     }
 }

@@ -4,7 +4,7 @@
 //! Each module ports one former ad-hoc binary to the structured
 //! [`greednet_runtime::RunReport`] API: the computation is identical, but
 //! output goes into tables/notes/metrics instead of `println!`, stochastic
-//! stages derive their seeds from the [`ExpCtx`] root seed via
+//! stages derive their seeds from the [`greednet_runtime::ExpCtx`] root seed via
 //! index-keyed splitting, and embarrassingly-parallel stages (replication
 //! batches, profile sweeps, multi-start solves) run on the deterministic
 //! thread pool — so `--threads N` never changes any number in the report.
@@ -57,6 +57,29 @@ pub fn registry() -> Registry {
         r.register(e);
     }
     r
+}
+
+/// Appends one `[histogram, bucket, count]` row per non-empty bucket of
+/// a telemetry histogram. Bucket bounds and counts are exact (integer
+/// counts, power-of-two bounds), so these rows are part of the
+/// deterministic report payload.
+pub(crate) fn histogram_rows(
+    t: &mut greednet_runtime::Table,
+    label: &str,
+    h: &greednet_telemetry::Log2Histogram,
+) {
+    for (lo, hi, n) in h.nonzero_buckets() {
+        let bucket = if lo == 0.0 && hi == 0.0 {
+            "0".to_string()
+        } else {
+            format!("[{lo:.4e}, {hi:.4e})")
+        };
+        t.row(vec![
+            label.into(),
+            bucket.into(),
+            i64::try_from(n).unwrap_or(i64::MAX).into(),
+        ]);
+    }
 }
 
 /// Statistics of a batch of replication estimates: mean and the 95%

@@ -2,8 +2,8 @@
 //! decomposition that realizes the Fair Share allocation, validated by a
 //! parallel batch of packet-simulation replications.
 
-use crate::experiments::mean_and_hw;
-use greednet_des::{FsPriorityTable, SimConfig, Simulator};
+use crate::experiments::{histogram_rows, mean_and_hw};
+use greednet_des::{FsPriorityTable, MetricsProbe, SimConfig, SimMetrics, Simulator};
 use greednet_queueing::fair_share::priority_table;
 use greednet_queueing::{AllocationFunction, FairShare};
 use greednet_runtime::{child_seed, Cell, ExpCtx, Experiment, Replications, RunReport, Table};
@@ -49,17 +49,43 @@ impl Experiment for T1PriorityTable {
             "{} replications of horizon {horizon} each",
             reps.count()
         ));
-        let runs = reps.run(ctx.threads, |_, seed| {
+        let simulate = |seed: u64| {
             let cfg = SimConfig::builder(rates.to_vec())
                 .horizon(horizon)
                 .seed(seed)
                 .build()
                 .expect("valid config");
             let sim = Simulator::new(cfg).expect("simulator");
-            let mut d = FsPriorityTable::new(&rates, child_seed(seed, 1)).expect("discipline");
-            let r = sim.run(&mut d).expect("simulate");
-            (r.mean_queue, r.events)
-        });
+            let d = FsPriorityTable::new(&rates, child_seed(seed, 1)).expect("discipline");
+            (sim, d)
+        };
+        // Telemetry runs probed: same estimates bitwise (the probe only
+        // observes), with per-replication metrics merged in task order.
+        let (runs, metrics) = if ctx.telemetry {
+            let (out, pool) = reps.run_profiled(ctx.threads, |_, seed| {
+                let (sim, mut d) = simulate(seed);
+                let mut probe = MetricsProbe::new(rates.len());
+                let r = sim.run_probed(&mut d, &mut probe).expect("simulate");
+                ((r.mean_queue, r.events), probe.into_metrics())
+            });
+            report
+                .telemetry_mut()
+                .add_pool("replications:fs-table", pool);
+            let mut merged = SimMetrics::new(rates.len());
+            let mut data = Vec::with_capacity(out.len());
+            for (rep, m) in out {
+                merged.merge(&m);
+                data.push(rep);
+            }
+            (data, Some(merged))
+        } else {
+            let data = reps.run(ctx.threads, |_, seed| {
+                let (sim, mut d) = simulate(seed);
+                let r = sim.run(&mut d).expect("simulate");
+                (r.mean_queue, r.events)
+            });
+            (data, None)
+        };
         let events: u64 = runs.iter().map(|(_, e)| e).sum();
         let expect = FairShare::new().congestion(&rates);
 
@@ -85,6 +111,20 @@ impl Experiment for T1PriorityTable {
             "RESULT: priority table realizes C^FS within {:.2}% over {events} packet events.",
             worst * 100.0
         ));
+
+        if let Some(m) = metrics {
+            report.section("telemetry: log2 histograms (all replications merged)");
+            let mut t = Table::new(&["histogram", "bucket", "count"]);
+            for u in 0..rates.len() {
+                histogram_rows(&mut t, &format!("delay user {}", u + 1), &m.delay[u]);
+            }
+            histogram_rows(&mut t, "occupancy@arrival", &m.occupancy);
+            histogram_rows(&mut t, "busy period", &m.busy_periods);
+            report.table(t);
+            report.metric("telemetry_preemptions", m.preemptions.get() as f64);
+            report.metric("telemetry_service_starts", m.service_starts.get() as f64);
+            report.note("(histograms merge in task order: identical at any --threads.)");
+        }
         report
     }
 }

@@ -16,12 +16,18 @@ COMMANDS:
                --users SPEC              semicolon-separated utilities:
                                          linear:A,GAMMA | log:W,GAMMA |
                                          power:A,GAMMA  | quad:A,GAMMA
+               --trace FILE              write solver iterates as JSONL
     simulate   Run the packet-level simulator
                --rates R1,R2,...         Poisson rates (required)
                --discipline fifo|lifo|ps|sp|fs|sfq   (default fs)
                --horizon T               (default 100000)
+               --warmup T                (default horizon/10)
+               --windows K               batch-means windows (default 20)
                --seed S                  (default 1)
                --service M|D|E<k>|H2:<cs2>   (default M)
+               --trace FILE              write packet events as JSONL
+               --metrics                 print delay/occupancy/busy-period
+                                         histograms and event counters
     table      Print the Table 1 priority decomposition
                --rates R1,R2,...         (required)
     protect    Adversarial congestion vs the Theorem 8 bound
@@ -36,11 +42,13 @@ COMMANDS:
                (no id: list all experiments)
                greednet exp <ID> [--seed N] [--threads N]
                                  [--json|--csv|--format F] [--smoke]
+                                 [--metrics]
     help       Show this message
 
 EXAMPLES:
     greednet nash --discipline fs --users 'log:0.5,1.0;linear:1.0,0.3'
     greednet simulate --rates 0.1,0.3 --discipline sfq --horizon 50000
+    greednet simulate --rates 0.3,0.3 --trace /tmp/t.jsonl --metrics
     greednet table --rates 0.05,0.1,0.2,0.3
     greednet protect --n 4 --victim 0.1 --discipline fifo
     greednet exp e9 --threads 4 --json
@@ -72,6 +80,8 @@ pub struct NashArgs {
     pub discipline: String,
     /// Utility specs.
     pub users: Vec<UtilitySpec>,
+    /// Write best-response solver iterates to this file as JSONL.
+    pub trace: Option<String>,
 }
 
 /// Arguments for `simulate`.
@@ -83,10 +93,18 @@ pub struct SimulateArgs {
     pub discipline: String,
     /// Simulated horizon.
     pub horizon: f64,
+    /// Warm-up interval (`None` keeps the builder default, horizon/10).
+    pub warmup: Option<f64>,
+    /// Batch-means window count (`None` keeps the builder default).
+    pub windows: Option<usize>,
     /// RNG seed.
     pub seed: u64,
     /// Service-time spec (`M`/`D`/`E<k>`/`H2:<cs2>`).
     pub service: String,
+    /// Write packet lifecycle events to this file as JSONL.
+    pub trace: Option<String>,
+    /// Print telemetry histograms and event counters after the run.
+    pub metrics: bool,
 }
 
 /// Arguments for `table`.
@@ -151,6 +169,23 @@ impl std::error::Error for ParseError {}
 
 fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError(msg.into()))
+}
+
+/// Removes every occurrence of the boolean flag (which takes no value),
+/// returning the remaining arguments and whether it was present — run
+/// this *before* [`options`], which pairs every `--key` with a value.
+fn strip_flag(args: &[String], flag: &str) -> (Vec<String>, bool) {
+    let mut found = false;
+    let kept = args
+        .iter()
+        .filter(|a| {
+            let hit = a.as_str() == flag;
+            found |= hit;
+            !hit
+        })
+        .cloned()
+        .collect();
+    (kept, found)
 }
 
 /// Extracts `--key value` options from the tail of an argument list.
@@ -230,10 +265,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Nash(NashArgs {
                 discipline: get(&opts, "discipline").unwrap_or("fs").to_string(),
                 users,
+                trace: get(&opts, "trace").map(String::from),
             }))
         }
         "simulate" => {
-            let opts = options(rest)?;
+            let (rest, metrics) = strip_flag(rest, "--metrics");
+            let opts = options(&rest)?;
             let Some(rates) = get(&opts, "rates") else {
                 return err("simulate requires --rates");
             };
@@ -241,6 +278,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 .unwrap_or("100000")
                 .parse()
                 .map_err(|_| ParseError("bad --horizon".into()))?;
+            let warmup: Option<f64> = match get(&opts, "warmup") {
+                Some(v) => Some(v.parse().map_err(|_| ParseError("bad --warmup".into()))?),
+                None => None,
+            };
+            let windows: Option<usize> = match get(&opts, "windows") {
+                Some(v) => Some(v.parse().map_err(|_| ParseError("bad --windows".into()))?),
+                None => None,
+            };
             let seed: u64 = get(&opts, "seed")
                 .unwrap_or("1")
                 .parse()
@@ -249,8 +294,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 rates: parse_rates(rates)?,
                 discipline: get(&opts, "discipline").unwrap_or("fs").to_string(),
                 horizon,
+                warmup,
+                windows,
                 seed,
                 service: get(&opts, "service").unwrap_or("M").to_string(),
+                trace: get(&opts, "trace").map(String::from),
+                metrics,
             }))
         }
         "table" => {
@@ -353,8 +402,44 @@ mod tests {
         assert_eq!(a.horizon, 5000.0);
         assert_eq!(a.seed, 9);
         assert_eq!(a.service, "D");
+        assert_eq!(a.warmup, None);
+        assert_eq!(a.windows, None);
+        assert_eq!(a.trace, None);
+        assert!(!a.metrics);
         assert!(parse(&argv("simulate")).is_err());
         assert!(parse(&argv("simulate --rates abc")).is_err());
+    }
+
+    #[test]
+    fn simulate_telemetry_flags() {
+        let Command::Simulate(a) = parse(&argv(
+            "simulate --rates 0.3,0.3 --warmup 500 --windows 8 --trace /tmp/t.jsonl --metrics",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.warmup, Some(500.0));
+        assert_eq!(a.windows, Some(8));
+        assert_eq!(a.trace.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(a.metrics);
+        // --metrics is a bare flag: it must not swallow the next option.
+        let Command::Simulate(a) =
+            parse(&argv("simulate --metrics --rates 0.1,0.1 --seed 3")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(a.metrics);
+        assert_eq!(a.seed, 3);
+        assert!(parse(&argv("simulate --rates 0.1 --warmup x")).is_err());
+        assert!(parse(&argv("simulate --rates 0.1 --windows x")).is_err());
+    }
+
+    #[test]
+    fn nash_trace_flag() {
+        let Command::Nash(a) = parse(&argv("nash --trace /tmp/solver.jsonl")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.trace.as_deref(), Some("/tmp/solver.jsonl"));
     }
 
     #[test]

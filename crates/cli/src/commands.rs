@@ -9,10 +9,27 @@ use greednet_core::utility::{
     BoxedUtility, LinearUtility, LogUtility, PowerUtility, QuadraticCongestionUtility, UtilityExt,
 };
 use greednet_des::scenarios::DisciplineKind;
-use greednet_des::{ServiceDist, SimConfig, Simulator};
+use greednet_des::{MetricsProbe, ServiceDist, SimConfig, Simulator, TraceBuffer};
 use greednet_queueing::alloc::AllocationFunction;
 use greednet_queueing::fair_share::priority_table;
 use greednet_queueing::{FairShare, Proportional, SerialPriority};
+
+/// Ring-buffer capacity for `--trace`: keeps the most recent events of
+/// long runs while bounding memory.
+const TRACE_CAP: usize = 65_536;
+
+/// Writes a trace buffer as JSONL and prints a one-line summary.
+fn write_trace(path: &str, trace: &TraceBuffer) -> Result<(), String> {
+    std::fs::write(path, trace.to_jsonl())
+        .map_err(|e| format!("cannot write trace file '{path}': {e}"))?;
+    println!(
+        "  trace: {} events -> {path} ({} observed, {} evicted)",
+        trace.len(),
+        trace.observed(),
+        trace.evicted()
+    );
+    Ok(())
+}
 
 /// Builds an allocation function from a CLI discipline name.
 pub fn build_alloc(name: &str) -> Result<Box<dyn AllocationFunction>, String> {
@@ -107,9 +124,15 @@ pub fn nash(a: NashArgs) -> Result<(), String> {
     let name = alloc.name();
     let users = build_users(&a.users)?;
     let game = Game::from_boxed(alloc, users).map_err(|e| e.to_string())?;
-    let sol = game
-        .solve_nash(&NashOptions::default())
-        .map_err(|e| e.to_string())?;
+    let mut trace = a.trace.as_ref().map(|_| TraceBuffer::new(TRACE_CAP));
+    let sol = match trace.as_mut() {
+        Some(t) => game
+            .solve_nash_probed(&vec![None; game.n()], &NashOptions::default(), t)
+            .map_err(|e| e.to_string())?,
+        None => game
+            .solve_nash(&NashOptions::default())
+            .map_err(|e| e.to_string())?,
+    };
     println!("Nash equilibrium under {name}:");
     println!(
         "  converged: {} in {} sweeps (residual {:.1e})",
@@ -127,6 +150,9 @@ pub fn nash(a: NashArgs) -> Result<(), String> {
     }
     let envy = game.max_envy(&sol.rates).map_err(|e| e.to_string())?;
     println!("  max envy: {envy:+.6} (<= 0 means envy-free)");
+    if let (Some(path), Some(t)) = (&a.trace, &trace) {
+        write_trace(path, t)?;
+    }
     Ok(())
 }
 
@@ -134,18 +160,37 @@ pub fn nash(a: NashArgs) -> Result<(), String> {
 pub fn simulate(a: SimulateArgs) -> Result<(), String> {
     let kind = build_kind(&a.discipline)?;
     let service = build_service(&a.service)?;
-    let cfg = SimConfig::builder(a.rates.clone())
+    let mut builder = SimConfig::builder(a.rates.clone())
         .horizon(a.horizon)
         .seed(a.seed)
         .service(service)
-        .allow_overload(true)
-        .build()
-        .map_err(|e| e.to_string())?;
+        .allow_overload(true);
+    if let Some(w) = a.warmup {
+        builder = builder.warmup(w);
+    }
+    if let Some(k) = a.windows {
+        builder = builder.windows(k);
+    }
+    let cfg = builder.build().map_err(|e| e.to_string())?;
     let sim = Simulator::new(cfg).map_err(|e| e.to_string())?;
     let mut d = kind
         .build(&a.rates, a.seed ^ 0xC11)
         .map_err(|e| e.to_string())?;
-    let r = sim.run(d.as_mut()).map_err(|e| e.to_string())?;
+    // With --trace/--metrics the run is probed; the probe only observes,
+    // so every reported number matches the unprobed run bitwise.
+    let mut telemetry = None;
+    let r = if a.trace.is_some() || a.metrics {
+        let mut probe = (
+            TraceBuffer::new(TRACE_CAP),
+            MetricsProbe::new(a.rates.len()),
+        );
+        let r = sim.run_probed(d.as_mut(), &mut probe);
+        telemetry = Some(probe);
+        r
+    } else {
+        sim.run(d.as_mut())
+    }
+    .map_err(|e| e.to_string())?;
     println!(
         "Simulated {} under {} service for {} time units ({} events):",
         kind.label(),
@@ -164,6 +209,14 @@ pub fn simulate(a: SimulateArgs) -> Result<(), String> {
         );
     }
     println!("  total mean queue: {:.4}", r.total_mean_queue);
+    if let Some((trace, probe)) = telemetry {
+        if let Some(path) = &a.trace {
+            write_trace(path, &trace)?;
+        }
+        if a.metrics {
+            print!("{}", probe.metrics().to_text());
+        }
+    }
     Ok(())
 }
 
@@ -280,7 +333,7 @@ pub fn exp(a: ExpCmdArgs) -> Result<(), String> {
     use greednet_bench::exp_cli::{run_experiment, ExpArgs};
     use greednet_bench::experiments::registry;
     let Some(id) = a.id else {
-        println!("available experiments (greednet exp <ID> [--seed N] [--threads N] [--json|--csv] [--smoke]):");
+        println!("available experiments (greednet exp <ID> [--seed N] [--threads N] [--json|--csv] [--smoke] [--metrics]):");
         for e in registry().iter() {
             println!("  {:<5} {}", e.id(), e.title());
         }
@@ -289,6 +342,11 @@ pub fn exp(a: ExpCmdArgs) -> Result<(), String> {
     let opts = ExpArgs::parse(&a.rest)?;
     let report = run_experiment(&id, &opts.ctx())?;
     print!("{}", report.render(opts.format));
+    // Wall-clock telemetry is non-deterministic, so it goes to stderr;
+    // stdout stays bitwise reproducible for a fixed seed.
+    if opts.metrics && !report.telemetry().is_empty() {
+        eprint!("{}", report.render_telemetry());
+    }
     Ok(())
 }
 
@@ -357,20 +415,67 @@ mod tests {
                     b: 0.4,
                 },
             ],
+            trace: None,
         };
         nash(args).unwrap();
     }
 
-    #[test]
-    fn simulate_command_end_to_end() {
-        let args = SimulateArgs {
+    fn sim_args() -> SimulateArgs {
+        SimulateArgs {
             rates: vec![0.2, 0.1],
             discipline: "fs".into(),
             horizon: 3000.0,
+            warmup: None,
+            windows: None,
             seed: 5,
             service: "M".into(),
-        };
+            trace: None,
+            metrics: false,
+        }
+    }
+
+    #[test]
+    fn simulate_command_end_to_end() {
+        simulate(sim_args()).unwrap();
+    }
+
+    #[test]
+    fn simulate_with_telemetry_and_explicit_stats_windows() {
+        let path = std::env::temp_dir().join("greednet_cli_cmd_trace.jsonl");
+        let mut args = sim_args();
+        args.warmup = Some(200.0);
+        args.windows = Some(8);
+        args.trace = Some(path.to_string_lossy().into_owned());
+        args.metrics = true;
         simulate(args).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.lines().count() > 10);
+        assert!(body.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        std::fs::remove_file(&path).ok();
+
+        // Invalid window counts surface the simulator's validation error.
+        let mut bad = sim_args();
+        bad.windows = Some(2);
+        let err = simulate(bad).unwrap_err();
+        assert!(err.contains("at least 4 windows"), "{err}");
+    }
+
+    #[test]
+    fn nash_command_writes_solver_trace() {
+        let path = std::env::temp_dir().join("greednet_cli_nash_trace.jsonl");
+        let args = NashArgs {
+            discipline: "fs".into(),
+            users: vec![UtilitySpec {
+                family: "log".into(),
+                a: 0.5,
+                b: 1.0,
+            }],
+            trace: Some(path.to_string_lossy().into_owned()),
+        };
+        nash(args).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("best_response"), "{body}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -14,6 +14,7 @@ use greednet_numerics::optimize::{brent_max, grid_refine_max};
 use greednet_numerics::roots::brent;
 use greednet_queueing::alloc::AllocationFunction;
 use greednet_queueing::feasible::validate_rates;
+use greednet_telemetry::{NoopProbe, Probe, SolverEvent};
 
 /// Smallest rate considered by solvers (the paper requires `r_i > 0`).
 pub const MIN_RATE: f64 = 1e-9;
@@ -304,6 +305,22 @@ impl Game {
         fixed: &[Option<f64>],
         opts: &NashOptions,
     ) -> Result<NashSolution> {
+        self.solve_nash_probed(fixed, opts, &mut NoopProbe)
+    }
+
+    /// [`solve_nash_fixed`](Game::solve_nash_fixed) with per-user
+    /// best-response iterates reported to `probe` as
+    /// [`SolverEvent::BestResponse`]. Observation is passive: the
+    /// returned solution is identical for every probe.
+    ///
+    /// # Errors
+    /// Propagates optimizer failures and invalid starting points.
+    pub fn solve_nash_probed<P: Probe>(
+        &self,
+        fixed: &[Option<f64>],
+        opts: &NashOptions,
+        probe: &mut P,
+    ) -> Result<NashSolution> {
         let n = self.n();
         if fixed.len() != n {
             return Err(CoreError::UserCountMismatch {
@@ -345,8 +362,17 @@ impl Game {
                         }
                         let br = self.best_response(&rates, i, opts.br_grid)?;
                         let next = (1.0 - opts.damping) * rates[i] + opts.damping * br;
-                        residual = residual.max((next - rates[i]).abs());
+                        let delta = (next - rates[i]).abs();
+                        residual = residual.max(delta);
                         rates[i] = next;
+                        if P::ENABLED {
+                            probe.on_solver(&SolverEvent::BestResponse {
+                                iteration: iter as u64,
+                                user: i,
+                                rate: next,
+                                residual: delta,
+                            });
+                        }
                     }
                 }
                 UpdateOrder::Jacobi => {
@@ -357,8 +383,17 @@ impl Game {
                         }
                         let br = self.best_response(&snapshot, i, opts.br_grid)?;
                         let next = (1.0 - opts.damping) * snapshot[i] + opts.damping * br;
-                        residual = residual.max((next - snapshot[i]).abs());
+                        let delta = (next - snapshot[i]).abs();
+                        residual = residual.max(delta);
                         rates[i] = next;
+                        if P::ENABLED {
+                            probe.on_solver(&SolverEvent::BestResponse {
+                                iteration: iter as u64,
+                                user: i,
+                                rate: next,
+                                residual: delta,
+                            });
+                        }
                     }
                 }
             }

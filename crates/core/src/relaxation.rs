@@ -20,6 +20,7 @@ use crate::game::Game;
 use crate::Result;
 use greednet_numerics::eig::{eigenvalues, Complex};
 use greednet_numerics::Matrix;
+use greednet_telemetry::{NoopProbe, Probe, SolverEvent};
 
 /// `∂E_i/∂r_j` where `E_i = M_i(r_i, C_i(r)) + ∂C_i/∂r_i`:
 ///
@@ -76,6 +77,20 @@ pub fn is_nilpotent_at(game: &Game, rates: &[f64], tol: f64) -> Result<bool> {
 /// One synchronous Newton step: `r_i ← r_i − E_i/(∂E_i/∂r_i)`, clamped to
 /// stay strictly positive and inside the stable region.
 pub fn newton_step(game: &Game, rates: &[f64]) -> Vec<f64> {
+    newton_step_probed(game, rates, 0, &mut NoopProbe)
+}
+
+/// [`newton_step`] with each user's update reported to `probe` as
+/// [`SolverEvent::RelaxationStep`] (carrying the caller-supplied `step`
+/// index and the consumed residual `E_i`). Users skipped over a
+/// non-finite or zero denominator emit nothing. Observation is passive:
+/// the returned rates are identical for every probe.
+pub fn newton_step_probed<P: Probe>(
+    game: &Game,
+    rates: &[f64],
+    step: u64,
+    probe: &mut P,
+) -> Vec<f64> {
     let n = game.n();
     let mut next = rates.to_vec();
     for i in 0..n {
@@ -86,6 +101,14 @@ pub fn newton_step(game: &Game, rates: &[f64]) -> Vec<f64> {
         }
         let candidate = rates[i] - e / d;
         next[i] = candidate.clamp(1e-9, 0.999);
+        if P::ENABLED {
+            probe.on_solver(&SolverEvent::RelaxationStep {
+                step,
+                user: i,
+                rate: next[i],
+                residual: e,
+            });
+        }
     }
     next
 }

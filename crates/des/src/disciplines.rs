@@ -294,7 +294,7 @@ impl Discipline for FsPriorityTable {
 
 /// Start-time Fair Queueing (SFQ): a practical, non-preemptive
 /// approximation of head-of-line processor sharing in the spirit of the
-/// Fair Queueing of Demers–Keshav–Shenker [3] discussed in §5.2. Each
+/// Fair Queueing of Demers–Keshav–Shenker \[3\] discussed in §5.2. Each
 /// packet gets a start tag `S = max(v, F_prev(user))` and finish tag
 /// `F = S + size`; the server (non-preemptively) serves the packet with
 /// the smallest start tag and the virtual time `v` is the start tag of the

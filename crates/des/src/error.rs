@@ -19,6 +19,11 @@ pub enum DesError {
         /// Explanation of the problem.
         detail: String,
     },
+    /// Too few batch-means windows for confidence intervals.
+    InvalidWindows {
+        /// The rejected window count.
+        windows: usize,
+    },
     /// The simulated system is (near-)saturated and steady-state
     /// statistics were requested.
     Saturated {
@@ -40,6 +45,13 @@ impl fmt::Display for DesError {
             }
             DesError::EmptySystem => write!(f, "at least one user is required"),
             DesError::InvalidHorizon { detail } => write!(f, "invalid horizon: {detail}"),
+            DesError::InvalidWindows { windows } => {
+                write!(
+                    f,
+                    "invalid window count: batch-means confidence intervals need \
+                     at least 4 windows, got {windows}"
+                )
+            }
             DesError::Saturated { load } => {
                 write!(f, "offered load {load} >= 1: no steady state exists")
             }
@@ -62,5 +74,7 @@ mod tests {
         assert!(DesError::Saturated { load: 1.2 }
             .to_string()
             .contains("1.2"));
+        let w = DesError::InvalidWindows { windows: 2 }.to_string();
+        assert!(w.contains("at least 4") && w.contains("got 2"), "{w}");
     }
 }

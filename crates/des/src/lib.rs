@@ -46,5 +46,11 @@ pub use error::DesError;
 pub use service::ServiceDist;
 pub use sim::{SimConfig, SimConfigBuilder, SimResult, Simulator};
 
+// Instrumentation surface for `Simulator::run_probed`, re-exported so
+// simulation callers don't need a direct greednet-telemetry dependency.
+pub use greednet_telemetry::{
+    MetricsProbe, NoopProbe, PacketEvent, PacketEventKind, Probe, SimMetrics, TraceBuffer,
+};
+
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, DesError>;

@@ -14,6 +14,7 @@ use crate::rng::ExpStream;
 use crate::service::ServiceDist;
 use crate::Result;
 use greednet_numerics::stats::{batch_means_ci, MeanCi, Reservoir, Welford};
+use greednet_telemetry::{NoopProbe, PacketEvent, PacketEventKind, Probe};
 
 /// Simulation configuration.
 #[derive(Debug, Clone)]
@@ -86,8 +87,8 @@ impl SimConfig {
             });
         }
         if self.windows < 4 {
-            return Err(DesError::InvalidHorizon {
-                detail: format!("need >= 4 windows, got {}", self.windows),
+            return Err(DesError::InvalidWindows {
+                windows: self.windows,
             });
         }
         let load: f64 = self.rates.iter().sum();
@@ -223,9 +224,35 @@ impl Simulator {
 
     /// Runs the simulation under `discipline`.
     ///
+    /// Delegates to [`run_probed`](Simulator::run_probed) with a
+    /// [`NoopProbe`], whose statically-disabled instrumentation sites
+    /// compile away — this path is exactly the un-instrumented engine.
+    ///
     /// # Errors
     /// Returns configuration errors; the run itself is infallible.
     pub fn run(&self, discipline: &mut dyn Discipline) -> Result<SimResult> {
+        self.run_probed(discipline, &mut NoopProbe)
+    }
+
+    /// Runs the simulation under `discipline`, reporting packet-lifecycle
+    /// events (arrival, service start, preemption, departure) to `probe`.
+    ///
+    /// Observation is purely passive: the returned [`SimResult`] is
+    /// bitwise identical for every probe, including [`NoopProbe`]
+    /// (property-tested in `tests/telemetry.rs` at the workspace root).
+    /// Service starts and preemptions are derived from share
+    /// transitions: a packet whose share becomes positive emits
+    /// [`PacketEventKind::ServiceStart`] (a resume after preemption
+    /// emits a fresh one), and a packet whose share drops to zero while
+    /// it remains in the system emits [`PacketEventKind::Preemption`].
+    ///
+    /// # Errors
+    /// Returns configuration errors; the run itself is infallible.
+    pub fn run_probed<P: Probe>(
+        &self,
+        discipline: &mut dyn Discipline,
+        probe: &mut P,
+    ) -> Result<SimResult> {
         let cfg = &self.config;
         let n = cfg.rates.len();
         let mut master = ExpStream::new(cfg.seed);
@@ -251,6 +278,10 @@ impl Simulator {
         let mut now = 0.0f64;
         let mut next_id = 0u64;
         let mut events = 0u64;
+        // Packet ids currently holding a positive share — probe
+        // bookkeeping only; stays empty (never allocates) when the
+        // probe's instrumentation sites are compiled out.
+        let mut serving: Vec<u64> = Vec::new();
 
         // Statistics.
         let window_len = (cfg.horizon - cfg.warmup) / cfg.windows as f64;
@@ -291,6 +322,9 @@ impl Simulator {
             };
 
         discipline.shares(&active, now, &mut shares);
+        if P::ENABLED {
+            emit_share_transitions(&active, &shares, &mut serving, now, probe);
+        }
         loop {
             // Earliest completion under current shares.
             let mut t_done = f64::INFINITY;
@@ -344,6 +378,17 @@ impl Simulator {
                 pkt.remaining = 0.0;
                 counts[pkt.user] -= 1;
                 discipline.on_departure(&pkt, now);
+                if P::ENABLED {
+                    probe.on_packet(&PacketEvent {
+                        time: now,
+                        user: pkt.user,
+                        packet: pkt.id,
+                        queue_len: active.len(),
+                        kind: PacketEventKind::Departure {
+                            delay: now - pkt.arrival,
+                        },
+                    });
+                }
                 if pkt.arrival >= cfg.warmup {
                     delays[pkt.user].push(now - pkt.arrival);
                     delay_samples[pkt.user].push(now - pkt.arrival);
@@ -363,10 +408,22 @@ impl Simulator {
                 next_id += 1;
                 counts[u] += 1;
                 discipline.on_arrival(&pkt, now);
+                if P::ENABLED {
+                    probe.on_packet(&PacketEvent {
+                        time: now,
+                        user: u,
+                        packet: pkt.id,
+                        queue_len: active.len(),
+                        kind: PacketEventKind::Arrival { size },
+                    });
+                }
                 active.push(pkt);
                 next_arrival[u] = now + arrival_streams[u].sample(cfg.rates[u]);
             }
             discipline.shares(&active, now, &mut shares);
+            if P::ENABLED {
+                emit_share_transitions(&active, &shares, &mut serving, now, probe);
+            }
         }
 
         let measured = cfg.horizon - cfg.warmup;
@@ -413,6 +470,54 @@ impl Simulator {
             total_queue_dist,
         })
     }
+}
+
+/// Diffs the set of packets holding a positive share against the
+/// previous call's set and reports the transitions: newly positive →
+/// [`PacketEventKind::ServiceStart`] (resumes re-emit), dropped to zero
+/// while still active → [`PacketEventKind::Preemption`]. Packets that
+/// left the system are handled by the departure event, not here.
+/// Preemptions are emitted before starts; both follow active-set order,
+/// so the event stream is deterministic.
+fn emit_share_transitions<P: Probe>(
+    active: &[ActivePacket],
+    shares: &[f64],
+    serving: &mut Vec<u64>,
+    now: f64,
+    probe: &mut P,
+) {
+    let queue_len = active.len();
+    let share_of = |i: usize| shares.get(i).copied().unwrap_or(0.0);
+    for (i, p) in active.iter().enumerate() {
+        if share_of(i) <= 0.0 && serving.contains(&p.id) {
+            probe.on_packet(&PacketEvent {
+                time: now,
+                user: p.user,
+                packet: p.id,
+                queue_len,
+                kind: PacketEventKind::Preemption,
+            });
+        }
+    }
+    for (i, p) in active.iter().enumerate() {
+        if share_of(i) > 0.0 && !serving.contains(&p.id) {
+            probe.on_packet(&PacketEvent {
+                time: now,
+                user: p.user,
+                packet: p.id,
+                queue_len,
+                kind: PacketEventKind::ServiceStart,
+            });
+        }
+    }
+    serving.clear();
+    serving.extend(
+        active
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| share_of(i) > 0.0)
+            .map(|(_, p)| p.id),
+    );
 }
 
 #[cfg(test)]
@@ -602,6 +707,65 @@ mod tests {
         assert_eq!(r.completed[0], 0);
         assert_eq!(r.mean_queue[0], 0.0);
         assert!(r.mean_queue[1] > 0.0);
+    }
+
+    #[test]
+    fn run_probed_emits_consistent_lifecycle_events() {
+        use greednet_telemetry::MetricsProbe;
+        let sim = Simulator::new(SimConfig::new(vec![0.2, 0.3], 5_000.0, 17)).unwrap();
+        let mut probe = MetricsProbe::new(2);
+        let r = sim.run_probed(&mut Fifo, &mut probe).unwrap();
+        let m = probe.metrics();
+        let arrivals: u64 = m.arrivals.iter().map(|c| c.get()).sum();
+        let departures: u64 = m.departures.iter().map(|c| c.get()).sum();
+        // Every departure had an arrival; at most the final active set
+        // is still in flight at the horizon.
+        assert!(arrivals >= departures);
+        assert!(arrivals - departures < 100, "{arrivals} vs {departures}");
+        // FIFO is non-preemptive: each packet starts service exactly
+        // once, and nothing is ever preempted.
+        assert_eq!(m.preemptions.get(), 0);
+        assert!(m.service_starts.get() >= departures);
+        assert!(m.service_starts.get() <= departures + 1);
+        // The probe saw at least the completed measurement-window
+        // packets the engine reported.
+        let completed: u64 = r.completed.iter().sum();
+        assert!(departures >= completed);
+        // Busy periods and occupancy were populated.
+        assert!(m.busy_periods.count() > 0);
+        assert_eq!(m.occupancy.count(), arrivals);
+    }
+
+    #[test]
+    fn preemptive_discipline_emits_preemptions_and_resumes() {
+        use greednet_telemetry::MetricsProbe;
+        let sim = Simulator::new(SimConfig::new(vec![0.3, 0.3], 5_000.0, 23)).unwrap();
+        let mut probe = MetricsProbe::new(2);
+        sim.run_probed(&mut LifoPreemptive, &mut probe).unwrap();
+        let m = probe.metrics();
+        let departures: u64 = m.departures.iter().map(|c| c.get()).sum();
+        assert!(m.preemptions.get() > 0, "LIFO-preemptive must preempt");
+        // Every preempted packet resumes later (or is still preempted at
+        // the horizon), so starts exceed departures by about the
+        // preemption count.
+        assert!(m.service_starts.get() > departures);
+    }
+
+    #[test]
+    fn probe_does_not_change_results() {
+        use greednet_telemetry::MetricsProbe;
+        let cfg = SimConfig::new(vec![0.2, 0.25], 20_000.0, 5);
+        let a = Simulator::new(cfg.clone()).unwrap().run(&mut Fifo).unwrap();
+        let mut probe = MetricsProbe::new(2);
+        let b = Simulator::new(cfg)
+            .unwrap()
+            .run_probed(&mut Fifo, &mut probe)
+            .unwrap();
+        assert_eq!(a.mean_queue, b.mean_queue);
+        assert_eq!(a.mean_delay, b.mean_delay);
+        assert_eq!(a.total_queue_dist, b.total_queue_dist);
+        assert_eq!(a.events, b.events);
+        assert!(probe.metrics().occupancy.count() > 0);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::hill::Environment;
 use crate::Result;
 use greednet_core::utility::BoxedUtility;
 use greednet_des::rng::ExpStream;
+use greednet_telemetry::{NoopProbe, Probe, SolverEvent};
 
 /// Configuration of the automata population.
 #[derive(Debug, Clone)]
@@ -88,6 +89,22 @@ pub fn run(
     env: &mut dyn Environment,
     config: &AutomataConfig,
 ) -> Result<AutomataOutcome> {
+    run_probed(users, env, config, &mut NoopProbe)
+}
+
+/// [`run`] with every automaton update reported to `probe` as
+/// [`SolverEvent::AutomataUpdate`] (one event per user per round,
+/// carrying the sampled action index and observed payoff). Observation
+/// is passive: the returned outcome is identical for every probe.
+///
+/// # Errors
+/// [`LearningError::InvalidConfig`] on shape or parameter errors.
+pub fn run_probed<P: Probe>(
+    users: &[BoxedUtility],
+    env: &mut dyn Environment,
+    config: &AutomataConfig,
+    probe: &mut P,
+) -> Result<AutomataOutcome> {
     let n = users.len();
     if n == 0 || env.n() != n {
         return Err(LearningError::InvalidConfig {
@@ -124,7 +141,7 @@ pub fn run(
 
     let mut actions = vec![0usize; n];
     let mut rates = vec![0.0f64; n];
-    for _ in 0..config.rounds {
+    for round in 0..config.rounds {
         // Sample everyone's action (with an epsilon exploration floor).
         for i in 0..n {
             let explore = rng.uniform() < config.epsilon * g as f64;
@@ -153,6 +170,14 @@ pub fn run(
             let payoff = users[i].value(rates[i], c[i]);
             let payoff = if payoff.is_finite() { payoff } else { -1e12 };
             let a = actions[i];
+            if P::ENABLED {
+                probe.on_solver(&SolverEvent::AutomataUpdate {
+                    round: round as u64,
+                    user: i,
+                    action: a,
+                    payoff,
+                });
+            }
             if q[i][a].is_nan() {
                 q[i][a] = payoff;
             } else {

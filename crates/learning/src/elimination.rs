@@ -7,7 +7,7 @@
 //! other users might still play** (`U_i(s, C_i(r|s)) < U_i(ŝ, C_i(r|ŝ))`
 //! for all `r ∈ S^t`). If all users run such dynamics, play settles into
 //! the surviving set `S^∞`; robust convergence means `S^∞` is a single
-//! point — which Theorem 5 (via [8]) guarantees for Fair Share and which
+//! point — which Theorem 5 (via \[8\]) guarantees for Fair Share and which
 //! fails for FIFO.
 //!
 //! Implementation: candidate sets are finite grids over `[lo, hi]`. For

@@ -17,7 +17,7 @@
 //!   each user maintains a set of candidate rates and discards a rate only
 //!   when some other candidate is better against **every** profile the
 //!   others might still play; under Fair Share the surviving sets collapse
-//!   to the unique Nash equilibrium (Theorem 5 via [8]), under FIFO they
+//!   to the unique Nash equilibrium (Theorem 5 via \[8\]), under FIFO they
 //!   can stall at fat intervals;
 //! * [`leader`] — a sophisticated slow-timescale leader playing against
 //!   naive fast hill climbers (the Stackelberg story of §4.2.2).

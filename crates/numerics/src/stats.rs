@@ -254,7 +254,7 @@ pub fn batch_means_ci(samples: &[f64], batches: usize) -> Result<MeanCi> {
 /// Empirical quantile (linear interpolation between order statistics).
 ///
 /// # Errors
-/// [`NumericsError::InvalidArgument`] for empty input or `q` outside [0,1].
+/// [`NumericsError::InvalidArgument`] for empty input or `q` outside \[0,1\].
 pub fn quantile(samples: &[f64], q: f64) -> Result<f64> {
     if samples.is_empty() || !(0.0..=1.0).contains(&q) {
         return Err(NumericsError::InvalidArgument {

@@ -8,7 +8,7 @@
 //! the Pollaczek–Khinchine M/G/1 curve), so the game-theoretic machinery
 //! can be exercised — and the theorems re-verified — beyond M/M/1.
 //!
-//! With [`Mm1Kernel`] these reduce exactly to [`crate::Proportional`] and
+//! With [`crate::mm1::Mm1Kernel`] these reduce exactly to [`crate::Proportional`] and
 //! [`crate::FairShare`] (property-tested).
 //!
 //! One realizability caveat, verified by the packet simulator: for

@@ -66,6 +66,12 @@ pub struct ExpCtx {
     pub threads: usize,
     /// Horizon/count scaling.
     pub budget: Budget,
+    /// Whether experiments should gather telemetry: extra
+    /// histogram/metrics report sections (deterministic, task-order
+    /// merged) plus stage timings and per-worker pool statistics in the
+    /// report's non-deterministic telemetry side-channel. Must never
+    /// change any numeric result — only add observability.
+    pub telemetry: bool,
 }
 
 impl ExpCtx {
@@ -76,6 +82,7 @@ impl ExpCtx {
             seed,
             threads: threads.max(1),
             budget: Budget::full(),
+            telemetry: false,
         }
     }
 
@@ -83,6 +90,14 @@ impl ExpCtx {
     #[must_use]
     pub fn with_budget(mut self, budget: Budget) -> ExpCtx {
         self.budget = budget;
+        self
+    }
+
+    /// Enables or disables telemetry gathering (see
+    /// [`ExpCtx::telemetry`]).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: bool) -> ExpCtx {
+        self.telemetry = telemetry;
         self
     }
 

@@ -24,7 +24,12 @@ pub mod seed;
 pub mod sweep;
 
 pub use experiment::{Budget, ExpCtx, Experiment, Registry};
-pub use pool::{available_threads, parallel_map_indexed};
+pub use pool::{available_threads, parallel_map_indexed, parallel_map_indexed_profiled};
 pub use report::{Cell, Format, RunReport, Table};
 pub use seed::{child_seed, SeedStream};
 pub use sweep::{ParallelSweep, Replications};
+
+// Profiling types from greednet-telemetry, re-exported so experiment
+// crates can fill the RunReport telemetry side-channel without a direct
+// dependency.
+pub use greednet_telemetry::{PoolStats, ScopedTimer, StageTimings, Telemetry, WorkerStats};

@@ -9,6 +9,9 @@
 //! RNG streams).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use greednet_telemetry::{PoolStats, WorkerStats};
 
 /// Number of hardware threads, with a fallback of 1.
 #[must_use]
@@ -72,6 +75,89 @@ where
         .collect()
 }
 
+/// [`parallel_map_indexed`] with per-worker wall-clock accounting.
+///
+/// Returns the task results (in task-index order, exactly as the
+/// unprofiled variant — profiling never touches the result path) plus a
+/// [`PoolStats`] recording, per worker, how many tasks it executed and
+/// how long it spent inside them, along with the fork-to-join wall time.
+/// A serial run (`threads <= 1` or a single task) reports one
+/// pseudo-worker. The stats are wall-clock data and therefore
+/// non-deterministic: they belong in a telemetry side-channel, never in
+/// deterministic output.
+///
+/// # Panics
+/// Propagates a panic from any task (the scope joins all workers first).
+pub fn parallel_map_indexed_profiled<T, F>(
+    threads: usize,
+    tasks: usize,
+    f: F,
+) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(tasks.max(1));
+    let wall_start = Instant::now();
+    if threads <= 1 {
+        let mut worker = WorkerStats::default();
+        let out = (0..tasks)
+            .map(|i| {
+                let t0 = Instant::now();
+                let value = f(i);
+                worker.record_task(t0.elapsed());
+                value
+            })
+            .collect();
+        let mut stats = PoolStats::new(1);
+        stats.workers[0] = worker;
+        stats.wall = wall_start.elapsed();
+        return (out, stats);
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+    let mut stats = PoolStats::new(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    let mut worker = WorkerStats::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        produced.push((i, f(i)));
+                        worker.record_task(t0.elapsed());
+                    }
+                    (produced, worker)
+                })
+            })
+            .collect();
+        for (w, handle) in handles.into_iter().enumerate() {
+            let (produced, worker) = match handle.join() {
+                Ok(p) => p,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            stats.workers[w] = worker;
+            for (i, value) in produced {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    stats.wall = wall_start.elapsed();
+    let out = slots
+        .into_iter()
+        .map(|slot| slot.expect("every task index was claimed exactly once"))
+        .collect();
+    (out, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +196,23 @@ mod tests {
         for (slot, (i, _)) in out.iter().enumerate() {
             assert_eq!(slot, *i);
         }
+    }
+
+    #[test]
+    fn profiled_results_match_unprofiled_and_account_every_task() {
+        let plain = parallel_map_indexed(4, 50, |i| crate::seed::child_seed(3, i as u64));
+        for threads in [1usize, 4] {
+            let (out, stats) = parallel_map_indexed_profiled(threads, 50, |i| {
+                crate::seed::child_seed(3, i as u64)
+            });
+            assert_eq!(out, plain, "threads={threads}");
+            assert_eq!(stats.total_tasks(), 50);
+            assert_eq!(stats.workers.len(), threads);
+        }
+        // Zero tasks: no workers panic, nothing accounted.
+        let (empty, stats) = parallel_map_indexed_profiled(4, 0, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(stats.total_tasks(), 0);
     }
 
     #[test]

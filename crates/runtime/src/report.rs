@@ -8,6 +8,8 @@
 
 use std::fmt::Write as _;
 
+use greednet_telemetry::Telemetry;
+
 /// One table cell. Numeric cells carry both the value (emitted to JSON)
 /// and the display text (emitted to text/CSV), so experiments keep full
 /// control of printed precision without losing machine readability.
@@ -220,6 +222,12 @@ pub struct RunReport {
     seed: u64,
     threads: usize,
     sections: Vec<Section>,
+    /// Wall-clock telemetry side-channel. Deliberately EXCLUDED from
+    /// every [`render`](RunReport::render) format: timing data is
+    /// non-deterministic, and the rendered report is the payload the
+    /// bitwise N-thread determinism tests compare. Render it separately
+    /// with [`render_telemetry`](RunReport::render_telemetry).
+    telemetry: Telemetry,
 }
 
 /// Output format for [`RunReport::render`].
@@ -256,6 +264,7 @@ impl RunReport {
             seed: 0,
             threads: 1,
             sections: vec![Section::default()],
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -338,6 +347,27 @@ impl RunReport {
         self.sections
             .last_mut()
             .expect("a report always has at least one section")
+    }
+
+    /// The wall-clock telemetry side-channel (read-only).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access to the telemetry side-channel, for experiments to
+    /// record stage timings and pool statistics into.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Renders the telemetry side-channel as text (empty string when no
+    /// telemetry was recorded). Kept separate from
+    /// [`render`](RunReport::render) on purpose: callers that diff
+    /// reports for bitwise determinism must never see wall-clock data.
+    #[must_use]
+    pub fn render_telemetry(&self) -> String {
+        self.telemetry.to_text()
     }
 
     /// Renders the report in `format`.
@@ -647,6 +677,25 @@ mod tests {
         let r = sample();
         assert_eq!(r.metric_value("worst"), Some(0.5));
         assert_eq!(r.metric_value("missing"), None);
+    }
+
+    #[test]
+    fn telemetry_side_channel_never_leaks_into_rendered_output() {
+        use std::time::Duration;
+        let mut with = sample();
+        with.telemetry_mut()
+            .timer("stage-x", Duration::from_millis(7));
+        let mut pool = greednet_telemetry::PoolStats::new(2);
+        pool.wall = Duration::from_millis(9);
+        with.telemetry_mut().add_pool("reps", pool);
+        let without = sample();
+        for fmt in [Format::Text, Format::Json, Format::Csv] {
+            assert_eq!(with.render(fmt), without.render(fmt));
+        }
+        let side = with.render_telemetry();
+        assert!(side.contains("stage-x"));
+        assert!(side.contains("pool [reps]"));
+        assert_eq!(without.render_telemetry(), "");
     }
 
     #[test]

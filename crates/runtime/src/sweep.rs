@@ -1,8 +1,9 @@
 //! High-level parallel drivers: [`ParallelSweep`] for sweeps over
 //! parameter lists, [`Replications`] for batches of seeded replications.
 
-use crate::pool::parallel_map_indexed;
+use crate::pool::{parallel_map_indexed, parallel_map_indexed_profiled};
 use crate::seed::child_seed;
+use greednet_telemetry::PoolStats;
 
 /// Parallel sweep over a slice of parameter points.
 ///
@@ -47,6 +48,18 @@ impl ParallelSweep {
         F: Fn(u64, &I) -> T + Sync,
     {
         self.map(items, |i, item| f(child_seed(root_seed, i as u64), item))
+    }
+
+    /// [`map`](ParallelSweep::map) with per-worker pool accounting. The
+    /// results are identical to the unprofiled call; the [`PoolStats`]
+    /// are wall-clock data for the telemetry side-channel only.
+    pub fn map_profiled<I, T, F>(&self, items: &[I], f: F) -> (Vec<T>, PoolStats)
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        parallel_map_indexed_profiled(self.threads, items.len(), |i| f(i, &items[i]))
     }
 }
 
@@ -99,6 +112,20 @@ impl Replications {
             f(i, child_seed(self.root_seed, i as u64))
         })
     }
+
+    /// [`run`](Replications::run) with per-worker pool accounting. The
+    /// replication results are identical to the unprofiled call; the
+    /// [`PoolStats`] are wall-clock data for the telemetry side-channel
+    /// only.
+    pub fn run_profiled<T, F>(&self, threads: usize, f: F) -> (Vec<T>, PoolStats)
+    where
+        T: Send,
+        F: Fn(usize, u64) -> T + Sync,
+    {
+        parallel_map_indexed_profiled(threads, self.count, |i| {
+            f(i, child_seed(self.root_seed, i as u64))
+        })
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +155,19 @@ mod tests {
         let observed = reps.run(3, |_, seed| seed);
         assert_eq!(seeds, observed);
         assert_eq!(reps.run(1, |_, seed| seed), observed);
+    }
+
+    #[test]
+    fn profiled_variants_return_same_results() {
+        let reps = Replications::new(9, 55);
+        let (out, stats) = reps.run_profiled(3, |_, seed| seed);
+        assert_eq!(out, reps.seeds());
+        assert_eq!(stats.total_tasks(), 9);
+
+        let items = [10u32, 20, 30];
+        let sweep = ParallelSweep::new(2);
+        let (mapped, pstats) = sweep.map_profiled(&items, |_, &x| x * 2);
+        assert_eq!(mapped, vec![20, 40, 60]);
+        assert_eq!(pstats.total_tasks(), 3);
     }
 }

@@ -1,0 +1,221 @@
+//! The [`Probe`] trait: statically dispatched event observation.
+//!
+//! Instrumented code is generic over `P: Probe` and guards every
+//! observation site with `if P::ENABLED { probe.on_packet(..) }`. For
+//! [`NoopProbe`] the guard is a compile-time `false`, so the optimizer
+//! removes the site *and* any event-construction work behind it — the
+//! un-probed hot path pays nothing, not even a branch.
+
+/// A packet-lifecycle event emitted by the discrete-event simulator.
+///
+/// `queue_len` is the total number of packets in the system *as seen by
+/// the event*: for [`PacketEventKind::Arrival`] it excludes the arriving
+/// packet itself (so, by PASTA, the arrival-sampled occupancy
+/// distribution estimates the time-stationary one), and for
+/// [`PacketEventKind::Departure`] it excludes the departing packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketEvent {
+    /// Simulation time of the event.
+    pub time: f64,
+    /// Originating user index.
+    pub user: usize,
+    /// Unique packet id (monotonically increasing per run).
+    pub packet: u64,
+    /// Total packets in system as seen by the event (see type docs).
+    pub queue_len: usize,
+    /// What happened.
+    pub kind: PacketEventKind,
+}
+
+/// The kind of a [`PacketEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacketEventKind {
+    /// The packet entered the system.
+    Arrival {
+        /// Total service requirement drawn at arrival.
+        size: f64,
+    },
+    /// The packet's service share became positive (start **or** resume
+    /// after a preemption — a re-entry emits a fresh `ServiceStart`).
+    ServiceStart,
+    /// The packet's service share dropped to zero while it remained in
+    /// the system (preemptive disciplines only).
+    Preemption,
+    /// The packet completed service and left.
+    Departure {
+        /// Sojourn time (departure minus arrival).
+        delay: f64,
+    },
+    /// The packet was discarded before completing service. The current
+    /// lossless engine never emits this; it is part of the stable trace
+    /// schema for drop-based disciplines.
+    Drop,
+}
+
+/// A solver-iterate event emitted by the analytical layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverEvent {
+    /// One damped best-response update inside a Nash sweep.
+    BestResponse {
+        /// Sweep number (1-based).
+        iteration: u64,
+        /// User whose rate was updated.
+        user: usize,
+        /// The user's rate after the update.
+        rate: f64,
+        /// Magnitude of this update (`|next - prev|`).
+        residual: f64,
+    },
+    /// One user's update within a synchronous Newton relaxation step
+    /// (§4.2.3).
+    RelaxationStep {
+        /// Step number (caller-supplied, 0-based).
+        step: u64,
+        /// User whose rate was updated.
+        user: usize,
+        /// The user's rate after the step.
+        rate: f64,
+        /// The Nash first-derivative-condition residual `E_i` consumed
+        /// by the step.
+        residual: f64,
+    },
+    /// One pursuit-automaton update (per user, per round).
+    AutomataUpdate {
+        /// Round number (0-based).
+        round: u64,
+        /// User whose automaton updated.
+        user: usize,
+        /// Index of the sampled action on the rate grid.
+        action: usize,
+        /// Observed payoff fed into the estimate update.
+        payoff: f64,
+    },
+}
+
+/// A statically dispatched observer of simulator and solver events.
+///
+/// Implementors only override the callbacks they care about; both default
+/// to no-ops. Instrumented code must guard observation sites with
+/// `if P::ENABLED`, so a probe with `ENABLED = false` ([`NoopProbe`])
+/// costs literally zero in the hot loop.
+pub trait Probe {
+    /// Whether instrumentation sites for this probe are live. Sites
+    /// guarded by `if P::ENABLED` are removed at compile time when this
+    /// is `false`.
+    const ENABLED: bool = true;
+
+    /// Observes a packet-lifecycle event.
+    #[inline]
+    fn on_packet(&mut self, event: &PacketEvent) {
+        let _ = event;
+    }
+
+    /// Observes a solver-iterate event.
+    #[inline]
+    fn on_solver(&mut self, event: &SolverEvent) {
+        let _ = event;
+    }
+}
+
+/// The do-nothing probe: `ENABLED = false`, so probed code paths compile
+/// to exactly the un-probed code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn on_packet(&mut self, _event: &PacketEvent) {}
+
+    #[inline(always)]
+    fn on_solver(&mut self, _event: &SolverEvent) {}
+}
+
+/// Fan-out: a pair of probes observes every event in order (`self.0`
+/// first). Enabled if either side is; a disabled side still receives no
+/// calls at runtime because its own `ENABLED` gates nothing here — the
+/// pair forwards unconditionally, which is fine since pairing with
+/// [`NoopProbe`] forwards to an empty inlined body.
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn on_packet(&mut self, event: &PacketEvent) {
+        self.0.on_packet(event);
+        self.1.on_packet(event);
+    }
+
+    #[inline]
+    fn on_solver(&mut self, event: &SolverEvent) {
+        self.0.on_solver(event);
+        self.1.on_solver(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct CountingProbe {
+        packets: usize,
+        solver: usize,
+    }
+
+    impl Probe for CountingProbe {
+        fn on_packet(&mut self, _event: &PacketEvent) {
+            self.packets += 1;
+        }
+        fn on_solver(&mut self, _event: &SolverEvent) {
+            self.solver += 1;
+        }
+    }
+
+    fn arrival() -> PacketEvent {
+        PacketEvent {
+            time: 1.0,
+            user: 0,
+            packet: 7,
+            queue_len: 2,
+            kind: PacketEventKind::Arrival { size: 0.5 },
+        }
+    }
+
+    #[test]
+    fn noop_probe_is_statically_disabled() {
+        const { assert!(!NoopProbe::ENABLED) };
+        let mut p = NoopProbe;
+        p.on_packet(&arrival()); // must be callable anyway
+        p.on_solver(&SolverEvent::BestResponse {
+            iteration: 1,
+            user: 0,
+            rate: 0.1,
+            residual: 0.0,
+        });
+    }
+
+    #[test]
+    fn pair_forwards_to_both_sides() {
+        let mut pair = (CountingProbe::default(), CountingProbe::default());
+        const { assert!(<(CountingProbe, CountingProbe) as Probe>::ENABLED) };
+        pair.on_packet(&arrival());
+        pair.on_packet(&arrival());
+        pair.on_solver(&SolverEvent::AutomataUpdate {
+            round: 0,
+            user: 1,
+            action: 3,
+            payoff: -1.0,
+        });
+        assert_eq!(pair.0.packets, 2);
+        assert_eq!(pair.1.packets, 2);
+        assert_eq!(pair.0.solver, 1);
+        assert_eq!(pair.1.solver, 1);
+    }
+
+    #[test]
+    fn pair_with_noop_is_enabled() {
+        const { assert!(<(CountingProbe, NoopProbe) as Probe>::ENABLED) };
+        const { assert!(!<(NoopProbe, NoopProbe) as Probe>::ENABLED) };
+    }
+}

@@ -1,0 +1,385 @@
+//! Bounded event-trace ring buffer with JSONL export.
+//!
+//! # JSONL schema
+//!
+//! [`TraceBuffer::to_jsonl`] emits one JSON object per line, in sequence
+//! order. Every line carries:
+//!
+//! * `seq` — integer: global 0-based event sequence number, counted over
+//!   **all** observed events (so with sampling the retained `seq` values
+//!   are spaced `sample_every` apart, and after eviction they no longer
+//!   start at 0).
+//! * `type` — `"packet"` or `"solver"`.
+//! * `kind` — the event variant, snake_case.
+//!
+//! Packet lines (`"type":"packet"`) add `time`, `user`, `packet`,
+//! `queue_len`, plus per-kind payload:
+//!
+//! ```json
+//! {"seq":0,"type":"packet","kind":"arrival","time":0.31,"user":0,"packet":0,"queue_len":0,"size":1.7}
+//! {"seq":1,"type":"packet","kind":"service_start","time":0.31,"user":0,"packet":0,"queue_len":1}
+//! {"seq":2,"type":"packet","kind":"preemption","time":0.52,"user":0,"packet":0,"queue_len":2}
+//! {"seq":3,"type":"packet","kind":"departure","time":2.4,"user":0,"packet":0,"queue_len":1,"delay":2.09}
+//! {"seq":4,"type":"packet","kind":"drop","time":2.5,"user":1,"packet":3,"queue_len":1}
+//! ```
+//!
+//! Solver lines (`"type":"solver"`) carry the variant fields verbatim:
+//!
+//! ```json
+//! {"seq":0,"type":"solver","kind":"best_response","iteration":1,"user":0,"rate":0.21,"residual":0.04}
+//! {"seq":1,"type":"solver","kind":"relaxation_step","step":0,"user":1,"rate":0.2,"residual":0.01}
+//! {"seq":2,"type":"solver","kind":"automata_update","round":7,"user":0,"action":3,"payoff":-0.8}
+//! ```
+//!
+//! Floats are rendered as shortest round-trip decimal; non-finite values
+//! (which no current producer emits) are rendered as `null` to keep every
+//! line parseable as strict JSON.
+
+use std::collections::VecDeque;
+
+use crate::probe::{PacketEvent, PacketEventKind, Probe, SolverEvent};
+
+/// Either side of the instrumentation surface, for storage in one buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A packet-lifecycle event from the simulator.
+    Packet(PacketEvent),
+    /// A solver-iterate event.
+    Solver(SolverEvent),
+}
+
+/// One retained trace entry: the event plus its global sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// 0-based sequence number over all observed (not just retained)
+    /// events.
+    pub seq: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// A bounded, optionally sampling, ring buffer of trace events.
+///
+/// Observes events as a [`Probe`]. Keeps every `sample_every`-th event;
+/// once `capacity` records are held, the oldest is evicted per insert
+/// (and counted in [`evicted`](TraceBuffer::evicted)), so memory is
+/// bounded regardless of run length.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    sample_every: u64,
+    seq: u64,
+    evicted: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer retaining at most `capacity` events, sampling every event.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> TraceBuffer {
+        TraceBuffer::with_sampling(capacity, 1)
+    }
+
+    /// A buffer retaining at most `capacity` events, keeping only every
+    /// `sample_every`-th observed event (1 = keep all).
+    ///
+    /// # Panics
+    /// If `capacity` or `sample_every` is zero.
+    #[must_use]
+    pub fn with_sampling(capacity: usize, sample_every: u64) -> TraceBuffer {
+        assert!(capacity > 0, "trace capacity must be positive");
+        assert!(sample_every > 0, "sample_every must be positive");
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            sample_every,
+            seq: 0,
+            evicted: 0,
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        let seq = self.seq;
+        self.seq += 1;
+        if !seq.is_multiple_of(self.sample_every) {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.evicted += 1;
+        }
+        self.records.push_back(TraceRecord { seq, event });
+    }
+
+    /// Number of records currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total events observed (retained or not).
+    #[must_use]
+    pub fn observed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Sampled records that were later pushed out by the capacity bound.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Serializes the retained records to JSONL (see the module docs for
+    /// the schema). The string ends with a newline unless empty.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 96);
+        for rec in &self.records {
+            record_to_json(rec, &mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Probe for TraceBuffer {
+    #[inline]
+    fn on_packet(&mut self, event: &PacketEvent) {
+        self.push(TraceEvent::Packet(event.clone()));
+    }
+
+    #[inline]
+    fn on_solver(&mut self, event: &SolverEvent) {
+        self.push(TraceEvent::Solver(event.clone()));
+    }
+}
+
+/// Appends `value` to `out` as a strict-JSON number (`null` if
+/// non-finite).
+fn push_f64(out: &mut String, value: f64) {
+    use std::fmt::Write as _;
+    if value.is_finite() {
+        let _ = write!(out, "{value:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn record_to_json(rec: &TraceRecord, out: &mut String) {
+    use std::fmt::Write as _;
+    match &rec.event {
+        TraceEvent::Packet(ev) => {
+            let kind = match ev.kind {
+                PacketEventKind::Arrival { .. } => "arrival",
+                PacketEventKind::ServiceStart => "service_start",
+                PacketEventKind::Preemption => "preemption",
+                PacketEventKind::Departure { .. } => "departure",
+                PacketEventKind::Drop => "drop",
+            };
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"type\":\"packet\",\"kind\":\"{}\",\"time\":",
+                rec.seq, kind
+            );
+            push_f64(out, ev.time);
+            let _ = write!(
+                out,
+                ",\"user\":{},\"packet\":{},\"queue_len\":{}",
+                ev.user, ev.packet, ev.queue_len
+            );
+            match ev.kind {
+                PacketEventKind::Arrival { size } => {
+                    out.push_str(",\"size\":");
+                    push_f64(out, size);
+                }
+                PacketEventKind::Departure { delay } => {
+                    out.push_str(",\"delay\":");
+                    push_f64(out, delay);
+                }
+                _ => {}
+            }
+            out.push('}');
+        }
+        TraceEvent::Solver(ev) => {
+            let _ = write!(out, "{{\"seq\":{},\"type\":\"solver\",", rec.seq);
+            match *ev {
+                SolverEvent::BestResponse {
+                    iteration,
+                    user,
+                    rate,
+                    residual,
+                } => {
+                    let _ = write!(
+                        out,
+                        "\"kind\":\"best_response\",\"iteration\":{iteration},\"user\":{user},\"rate\":"
+                    );
+                    push_f64(out, rate);
+                    out.push_str(",\"residual\":");
+                    push_f64(out, residual);
+                }
+                SolverEvent::RelaxationStep {
+                    step,
+                    user,
+                    rate,
+                    residual,
+                } => {
+                    let _ = write!(
+                        out,
+                        "\"kind\":\"relaxation_step\",\"step\":{step},\"user\":{user},\"rate\":"
+                    );
+                    push_f64(out, rate);
+                    out.push_str(",\"residual\":");
+                    push_f64(out, residual);
+                }
+                SolverEvent::AutomataUpdate {
+                    round,
+                    user,
+                    action,
+                    payoff,
+                } => {
+                    let _ = write!(
+                        out,
+                        "\"kind\":\"automata_update\",\"round\":{round},\"user\":{user},\"action\":{action},\"payoff\":"
+                    );
+                    push_f64(out, payoff);
+                }
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(seq_time: f64) -> PacketEvent {
+        PacketEvent {
+            time: seq_time,
+            user: 0,
+            packet: 1,
+            queue_len: 0,
+            kind: PacketEventKind::Arrival { size: 0.5 },
+        }
+    }
+
+    #[test]
+    fn ring_buffer_bounds_memory_and_counts_evictions() {
+        let mut buf = TraceBuffer::new(3);
+        for i in 0..5 {
+            buf.on_packet(&arrival(i as f64));
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.observed(), 5);
+        assert_eq!(buf.evicted(), 2);
+        let seqs: Vec<u64> = buf.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sampling_keeps_every_kth_event() {
+        let mut buf = TraceBuffer::with_sampling(100, 3);
+        for i in 0..10 {
+            buf.on_packet(&arrival(i as f64));
+        }
+        let seqs: Vec<u64> = buf.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 3, 6, 9]);
+        assert_eq!(buf.observed(), 10);
+    }
+
+    #[test]
+    fn jsonl_lines_cover_every_kind_and_parse_shallowly() {
+        let mut buf = TraceBuffer::new(16);
+        buf.on_packet(&arrival(0.25));
+        buf.on_packet(&PacketEvent {
+            time: 0.25,
+            user: 0,
+            packet: 1,
+            queue_len: 1,
+            kind: PacketEventKind::ServiceStart,
+        });
+        buf.on_packet(&PacketEvent {
+            time: 0.5,
+            user: 1,
+            packet: 2,
+            queue_len: 2,
+            kind: PacketEventKind::Preemption,
+        });
+        buf.on_packet(&PacketEvent {
+            time: 1.5,
+            user: 0,
+            packet: 1,
+            queue_len: 0,
+            kind: PacketEventKind::Departure { delay: 1.25 },
+        });
+        buf.on_packet(&PacketEvent {
+            time: 1.5,
+            user: 0,
+            packet: 3,
+            queue_len: 0,
+            kind: PacketEventKind::Drop,
+        });
+        buf.on_solver(&SolverEvent::BestResponse {
+            iteration: 2,
+            user: 1,
+            rate: 0.25,
+            residual: 0.001,
+        });
+        buf.on_solver(&SolverEvent::RelaxationStep {
+            step: 4,
+            user: 0,
+            rate: 0.5,
+            residual: 0.25,
+        });
+        buf.on_solver(&SolverEvent::AutomataUpdate {
+            round: 9,
+            user: 1,
+            action: 7,
+            payoff: -2.0,
+        });
+        let jsonl = buf.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 8);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with(&format!("{{\"seq\":{i},")), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            assert_eq!(line.matches('{').count(), 1, "flat object: {line}");
+        }
+        assert!(lines[0].contains("\"kind\":\"arrival\"") && lines[0].contains("\"size\":0.5"));
+        assert!(lines[3].contains("\"delay\":1.25"));
+        assert!(lines[5].contains("\"kind\":\"best_response\""));
+        assert!(lines[6].contains("\"kind\":\"relaxation_step\""));
+        assert!(lines[7].contains("\"payoff\":-2.0"));
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        out.push(',');
+        push_f64(&mut out, f64::INFINITY);
+        out.push(',');
+        push_f64(&mut out, 1e-5);
+        assert_eq!(out, "null,null,1e-5");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TraceBuffer::new(0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the telemetry metric types: the merge laws that
+//! the task-order determinism contract rests on.
+//!
+//! `greednet-runtime` folds per-task metric sets strictly in task-index
+//! order, but *which worker produced which task* varies with the thread
+//! count. Bitwise N-thread determinism therefore needs merge to be
+//! exactly associative (so partial folds group arbitrarily) and, for the
+//! histogram's pure-count state, commutative. These tests assert both as
+//! exact structural equality — no tolerances.
+
+use greednet_telemetry::{Log2Histogram, SimMetrics};
+use proptest::prelude::*;
+
+/// Observation values spanning the zero bucket, subnormal-ish tails,
+/// the human range, and the clamped upper end.
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        (0u64..6, 0.0..1.0f64).prop_map(|(kind, x)| match kind {
+            0 => 0.0,
+            1 => -x,
+            2 => x * 1e-12,
+            3 => x * 2.0,
+            4 => x * 1e4,
+            _ => x * 1e12,
+        }),
+        0..40,
+    )
+}
+
+fn hist_of(values: &[f64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(a: &Log2Histogram, b: &Log2Histogram) -> Log2Histogram {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_is_associative(
+        (va, vb, vc) in (values(), values(), values())
+    ) {
+        let (a, b, c) = (hist_of(&va), hist_of(&vb), hist_of(&vc));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative(
+        (va, vb) in (values(), values())
+    ) {
+        let (a, b) = (hist_of(&va), hist_of(&vb));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn histogram_merge_equals_joint_recording(
+        (va, vb) in (values(), values())
+    ) {
+        // Merging partial histograms is indistinguishable from having
+        // recorded every observation into one histogram — the serial
+        // baseline the N-thread fold must reproduce.
+        let joint = hist_of(&va.iter().chain(&vb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(merged(&hist_of(&va), &hist_of(&vb)), joint);
+    }
+
+    #[test]
+    fn task_order_fold_is_independent_of_grouping(
+        (parts, split) in (proptest::collection::vec(values(), 2..6), 0usize..5)
+    ) {
+        // Fold all task histograms left-to-right (the runtime's merge
+        // order), then compare against first pre-merging an arbitrary
+        // prefix — the grouping a work-stealing schedule would produce.
+        let hists: Vec<Log2Histogram> = parts.iter().map(|v| hist_of(v)).collect();
+        let serial = hists.iter().fold(Log2Histogram::new(), |acc, h| merged(&acc, h));
+        let cut = split % hists.len().max(1);
+        let prefix = hists[..cut].iter().fold(Log2Histogram::new(), |acc, h| merged(&acc, h));
+        let suffix = hists[cut..].iter().fold(Log2Histogram::new(), |acc, h| merged(&acc, h));
+        prop_assert_eq!(merged(&prefix, &suffix), serial);
+    }
+
+    #[test]
+    fn sim_metrics_merge_is_associative(
+        (va, vb, vc) in (values(), values(), values())
+    ) {
+        let mk = |vals: &[f64]| {
+            let mut m = SimMetrics::new(2);
+            for (i, &v) in vals.iter().enumerate() {
+                let u = i % 2;
+                m.arrivals[u].inc();
+                m.delay[u].record(v);
+                m.occupancy.record(v);
+            }
+            m
+        };
+        let (a, b, c) = (mk(&va), mk(&vb), mk(&vc));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_are_consistent(
+        (x, y) in (1e-40..1e40f64, 1e-40..1e40f64)
+    ) {
+        let (lo_v, hi_v) = if x <= y { (x, y) } else { (y, x) };
+        let i = Log2Histogram::bucket_index(lo_v).unwrap();
+        let j = Log2Histogram::bucket_index(hi_v).unwrap();
+        prop_assert!(i <= j, "index not monotone: {lo_v} -> {i}, {hi_v} -> {j}");
+        let (blo, bhi) = Log2Histogram::bucket_bounds(i);
+        // In-span values sit inside their bucket; clamped tails only
+        // need containment on the clamped side.
+        if (1e-9..1e9).contains(&lo_v) {
+            prop_assert!(blo <= lo_v && lo_v < bhi, "{lo_v} not in [{blo}, {bhi})");
+        }
+    }
+}

@@ -78,6 +78,67 @@ fn table_and_protect_and_network_work() {
 }
 
 #[test]
+fn simulate_warmup_windows_and_telemetry_flags_work() {
+    let trace = std::env::temp_dir().join("greednet_cli_smoke_trace.jsonl");
+    let trace_s = trace.to_string_lossy().into_owned();
+    let (ok, stdout, stderr) = run_cli(&[
+        "simulate",
+        "--rates",
+        "0.3,0.3",
+        "--horizon",
+        "5000",
+        "--warmup",
+        "500",
+        "--windows",
+        "8",
+        "--trace",
+        &trace_s,
+        "--metrics",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("total mean queue"));
+    assert!(stdout.contains("trace:"), "{stdout}");
+    assert!(stdout.contains("delay histogram"), "{stdout}");
+    assert!(stdout.contains("counters:"), "{stdout}");
+    let body = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(body.lines().count() > 100);
+    for line in body.lines().take(50) {
+        assert!(line.starts_with("{\"seq\":"), "{line}");
+        assert!(line.contains("\"type\":\"packet\""), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+    std::fs::remove_file(&trace).ok();
+
+    // Validation errors from the new flags surface as CLI errors.
+    let (ok, _, stderr) = run_cli(&["simulate", "--rates", "0.2", "--windows", "2"]);
+    assert!(!ok);
+    assert!(stderr.contains("at least 4 windows"), "{stderr}");
+    let (ok, _, stderr) = run_cli(&[
+        "simulate",
+        "--rates",
+        "0.2",
+        "--horizon",
+        "1000",
+        "--warmup",
+        "2000",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("horizon"), "{stderr}");
+}
+
+#[test]
+fn exp_subcommand_smoke_with_metrics_reports_pool_utilization() {
+    let (ok, stdout, stderr) = run_cli(&["exp", "e9", "--smoke", "--metrics", "--seed", "1"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("telemetry: log2 histograms"), "{stdout}");
+    assert!(stdout.contains("occupancy@arrival"), "{stdout}");
+    // Wall-clock pool stats go to stderr, keeping stdout deterministic.
+    assert!(stderr.contains("utilization"), "{stderr}");
+    assert!(stderr.contains("worker 0"), "{stderr}");
+    assert!(!stdout.contains("utilization"), "{stdout}");
+}
+
+#[test]
 fn bad_input_exits_nonzero_with_message() {
     let (ok, _, stderr) = run_cli(&["frobnicate"]);
     assert!(!ok);

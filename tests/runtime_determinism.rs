@@ -32,20 +32,21 @@ fn registry_ids_are_unique_and_all_experiments_run_on_a_tiny_budget() {
     }
 }
 
+// The report intentionally records the thread count it ran with
+// (`"threads":N` in the run params); mask that one metadata field so
+// comparisons cover exactly the scientific content.
+fn masked(report: &greednet_runtime::RunReport, threads: usize) -> String {
+    report
+        .render(Format::Json)
+        .replace(&format!("\"threads\":{threads}"), "\"threads\":#")
+}
+
 #[test]
 fn parallel_runs_are_bitwise_identical_to_serial() {
     // The flagship contract: for the same root seed, an N-thread run of a
     // replication batch (E9, DES packet simulations) or a parallel sweep
     // produces exactly the same report as the serial run — every float,
     // every digit.
-    // The report intentionally records the thread count it ran with
-    // (`"threads":N` in the run params); mask that one metadata field so
-    // the comparison covers exactly the scientific content.
-    fn masked(report: &greednet_runtime::RunReport, threads: usize) -> String {
-        report
-            .render(Format::Json)
-            .replace(&format!("\"threads\":{threads}"), "\"threads\":#")
-    }
     let reg = registry();
     for id in ["e9", "e1", "e3", "e10a"] {
         let exp = reg.get(id).expect(id);
@@ -54,6 +55,52 @@ fn parallel_runs_are_bitwise_identical_to_serial() {
         let eight = masked(&exp.run(&ctx(42, 8)), 8);
         assert_eq!(serial, four, "{id}: 4-thread run diverged from serial");
         assert_eq!(serial, eight, "{id}: 8-thread run diverged from serial");
+    }
+}
+
+#[test]
+fn telemetry_mode_is_bitwise_deterministic_and_only_adds_to_reports() {
+    // With `ctx.telemetry` the probed experiments (E9, T1) append
+    // histogram sections whose integer bucket counts merge in task order,
+    // so the determinism contract must hold with telemetry on too — and
+    // wall-clock profiling must stay in the non-rendered side channel.
+    let reg = registry();
+    for id in ["e9", "t1"] {
+        let exp = reg.get(id).expect(id);
+        let run =
+            |threads: usize, telemetry: bool| exp.run(&ctx(42, threads).with_telemetry(telemetry));
+        for telemetry in [false, true] {
+            let serial = masked(&run(1, telemetry), 1);
+            assert_eq!(
+                serial,
+                masked(&run(4, telemetry), 4),
+                "{id} (telemetry={telemetry}): 4-thread run diverged"
+            );
+            assert_eq!(
+                serial,
+                masked(&run(8, telemetry), 8),
+                "{id} (telemetry={telemetry}): 8-thread run diverged"
+            );
+        }
+        // Telemetry only *adds* report content; every line of the plain
+        // report survives verbatim in the telemetry-enabled one.
+        let plain = run(1, false);
+        let with = run(1, true);
+        let with_text = with.render(Format::Text);
+        for line in plain.render(Format::Text).lines() {
+            assert!(
+                with_text.contains(line),
+                "{id}: telemetry dropped/changed report line {line:?}"
+            );
+        }
+        assert!(
+            with_text.contains("telemetry:"),
+            "{id}: telemetry-enabled report lacks its histogram section"
+        );
+        // Profiling lives only in the side channel, never in renders.
+        assert!(!with.telemetry().is_empty(), "{id}: side channel empty");
+        assert!(!with_text.contains("utilization"));
+        assert!(with.render_telemetry().contains("utilization"));
     }
 }
 
