@@ -34,7 +34,7 @@ fn bench_congestion(c: &mut Criterion) {
         let r = rates(n);
         for (name, d) in &discs {
             group.bench_with_input(BenchmarkId::new(*name, n), &r, |b, r| {
-                b.iter(|| d.congestion(black_box(r)))
+                b.iter(|| d.congestion(black_box(r)));
             });
         }
     }
@@ -48,10 +48,10 @@ fn bench_derivatives(c: &mut Criterion) {
     for n in [4usize, 16] {
         let r = rates(n);
         group.bench_with_input(BenchmarkId::new("fair_share_analytic", n), &r, |b, r| {
-            b.iter(|| fs.jacobian(black_box(r)))
+            b.iter(|| fs.jacobian(black_box(r)));
         });
         group.bench_with_input(BenchmarkId::new("fifo_analytic", n), &r, |b, r| {
-            b.iter(|| p.jacobian(black_box(r)))
+            b.iter(|| p.jacobian(black_box(r)));
         });
     }
     group.finish();

@@ -25,7 +25,7 @@ fn bench_event_throughput(c: &mut Criterion) {
                     Simulator::new(SimConfig::new(black_box(rates.clone()), horizon, 1)).unwrap();
                 let mut d = kind.build(&rates, 1).unwrap();
                 sim.run(d.as_mut()).unwrap().events
-            })
+            });
         });
     }
     group.finish();
@@ -51,14 +51,14 @@ fn bench_probe_overhead(c: &mut Criterion) {
             let sim = Simulator::new(SimConfig::new(black_box(rates.clone()), horizon, 1)).unwrap();
             let mut d = DisciplineKind::Fifo.build(&rates, 1).unwrap();
             sim.run(d.as_mut()).unwrap().events
-        })
+        });
     });
     group.bench_function("run_probed/noop", |b| {
         b.iter(|| {
             let sim = Simulator::new(SimConfig::new(black_box(rates.clone()), horizon, 1)).unwrap();
             let mut d = DisciplineKind::Fifo.build(&rates, 1).unwrap();
             sim.run_probed(d.as_mut(), &mut NoopProbe).unwrap().events
-        })
+        });
     });
     group.bench_function("run_probed/metrics", |b| {
         b.iter(|| {
@@ -66,7 +66,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
             let mut d = DisciplineKind::Fifo.build(&rates, 1).unwrap();
             let mut probe = MetricsProbe::new(rates.len());
             sim.run_probed(d.as_mut(), &mut probe).unwrap().events
-        })
+        });
     });
     group.finish();
 
@@ -127,7 +127,7 @@ fn bench_load_scaling(c: &mut Criterion) {
                     let sim = Simulator::new(SimConfig::new(r.clone(), 10_000.0, 2)).unwrap();
                     let mut d = DisciplineKind::Fifo.build(r, 2).unwrap();
                     sim.run(d.as_mut()).unwrap().events
-                })
+                });
             },
         );
     }

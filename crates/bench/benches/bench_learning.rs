@@ -30,7 +30,7 @@ fn bench_hill(c: &mut Criterion) {
                     ..Default::default()
                 };
                 climb(&users, &mut env, black_box(&vec![0.05; n]), &cfg).unwrap()
-            })
+            });
         });
     }
     group.finish();
@@ -42,7 +42,7 @@ fn bench_newton(c: &mut Criterion) {
         let game = Game::new(FairShare::new(), log_users(n)).unwrap();
         let start = vec![0.4 / n as f64; n];
         group.bench_function(BenchmarkId::new("fair_share", n), |b| {
-            b.iter(|| newton::run(&game, black_box(&start), n + 2).unwrap())
+            b.iter(|| newton::run(&game, black_box(&start), n + 2).unwrap());
         });
     }
     group.finish();
@@ -59,7 +59,7 @@ fn bench_elimination(c: &mut Criterion) {
         max_rounds: 60,
     };
     group.bench_function("fair_share_grid41", |b| {
-        b.iter(|| elim_run(&FairShare::new(), black_box(&users), &cfg).unwrap())
+        b.iter(|| elim_run(&FairShare::new(), black_box(&users), &cfg).unwrap());
     });
     group.finish();
 }

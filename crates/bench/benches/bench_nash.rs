@@ -22,7 +22,7 @@ fn bench_best_response(c: &mut Criterion) {
         let game = Game::new(FairShare::new(), log_users(n)).unwrap();
         let rates = vec![0.5 / n as f64; n];
         group.bench_with_input(BenchmarkId::new("fair_share", n), &rates, |b, r| {
-            b.iter(|| game.best_response(black_box(r), 0, 96).unwrap())
+            b.iter(|| game.best_response(black_box(r), 0, 96).unwrap());
         });
     }
     group.finish();
@@ -43,7 +43,7 @@ fn bench_solve_nash(c: &mut Criterion) {
             ),
         ] {
             group.bench_function(BenchmarkId::new(name, n), |b| {
-                b.iter(|| game.solve_nash(black_box(&NashOptions::default())).unwrap())
+                b.iter(|| game.solve_nash(black_box(&NashOptions::default())).unwrap());
             });
         }
     }
@@ -54,10 +54,10 @@ fn bench_verify_and_relaxation(c: &mut Criterion) {
     let game = Game::new(FairShare::new(), log_users(4)).unwrap();
     let nash = game.solve_nash(&NashOptions::default()).unwrap();
     c.bench_function("verify_nash_n4", |b| {
-        b.iter(|| game.verify_nash(black_box(&nash.rates), 128).unwrap())
+        b.iter(|| game.verify_nash(black_box(&nash.rates), 128).unwrap());
     });
     c.bench_function("relaxation_matrix_n4", |b| {
-        b.iter(|| relaxation_matrix(&game, black_box(&nash.rates)))
+        b.iter(|| relaxation_matrix(&game, black_box(&nash.rates)));
     });
 }
 
@@ -71,7 +71,7 @@ fn bench_stackelberg(c: &mut Criterion) {
         ..Default::default()
     };
     group.bench_function("fifo_n3_grid16", |b| {
-        b.iter(|| stackelberg_solve(&game, 0, black_box(&opts)).unwrap())
+        b.iter(|| stackelberg_solve(&game, 0, black_box(&opts)).unwrap());
     });
     group.finish();
 }

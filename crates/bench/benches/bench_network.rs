@@ -23,7 +23,7 @@ fn bench_congestion(c: &mut Criterion) {
         let net = NetworkGame::new(t, Box::new(FairShare::new()), users(n)).unwrap();
         let rates = vec![0.3 / n as f64; n];
         group.bench_with_input(BenchmarkId::new("parking_lot", k), &rates, |b, r| {
-            b.iter(|| net.congestion(black_box(r)))
+            b.iter(|| net.congestion(black_box(r)));
         });
     }
     group.finish();
@@ -37,7 +37,7 @@ fn bench_solve(c: &mut Criterion) {
         let n = t.users();
         let net = NetworkGame::new(t, Box::new(FairShare::new()), users(n)).unwrap();
         group.bench_function(BenchmarkId::new("parking_lot", k), |b| {
-            b.iter(|| net.solve_nash(black_box(&NashOptions::default())).unwrap())
+            b.iter(|| net.solve_nash(black_box(&NashOptions::default())).unwrap());
         });
     }
     group.finish();

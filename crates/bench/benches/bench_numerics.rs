@@ -23,7 +23,7 @@ fn bench_eigenvalues(c: &mut Criterion) {
     for n in [4usize, 8, 16, 32] {
         let m = test_matrix(n);
         group.bench_with_input(BenchmarkId::new("hqr", n), &m, |b, m| {
-            b.iter(|| eigenvalues(black_box(m)).unwrap())
+            b.iter(|| eigenvalues(black_box(m)).unwrap());
         });
     }
     group.finish();
@@ -40,7 +40,7 @@ fn bench_lu(c: &mut Criterion) {
                     .unwrap()
                     .solve(black_box(&rhs))
                     .unwrap()
-            })
+            });
         });
     }
     group.finish();
@@ -48,13 +48,15 @@ fn bench_lu(c: &mut Criterion) {
 
 fn bench_scalar(c: &mut Criterion) {
     c.bench_function("brent_root", |b| {
-        b.iter(|| brent(|x| black_box(x) * x * x - 2.0, 0.0, 2.0, 1e-12).unwrap())
+        b.iter(|| brent(|x| black_box(x) * x * x - 2.0, 0.0, 2.0, 1e-12).unwrap());
     });
     c.bench_function("brent_max", |b| {
-        b.iter(|| brent_max(|x| -(black_box(x) - 0.37).powi(2), 0.0, 1.0, 1e-12).unwrap())
+        b.iter(|| brent_max(|x| -(black_box(x) - 0.37).powi(2), 0.0, 1.0, 1e-12).unwrap());
     });
     c.bench_function("grid_refine_max_96", |b| {
-        b.iter(|| grid_refine_max(|x| -(black_box(x) - 0.37).powi(2), 0.0, 1.0, 96, 1e-12).unwrap())
+        b.iter(|| {
+            grid_refine_max(|x| -(black_box(x) - 0.37).powi(2), 0.0, 1.0, 96, 1e-12).unwrap()
+        });
     });
 }
 

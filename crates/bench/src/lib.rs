@@ -35,6 +35,7 @@
 //! `lib` target additionally holds the shared utilities (the
 //! [`DisciplineSet`], sampled utility profiles, standard game builders).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
@@ -187,7 +188,7 @@ impl ProfileSampler {
         let mut r: Vec<f64> = (0..n).map(|_| self.uniform(0.01, 1.0)).collect();
         let total: f64 = r.iter().sum();
         let scale = self.uniform(0.3, 0.95) * max_load / total;
-        for x in r.iter_mut() {
+        for x in &mut r {
             *x *= scale;
         }
         r

@@ -15,6 +15,7 @@
 //! * `exp` — run (or list) the paper-reproduction experiments from the
 //!   central registry, with `--seed/--threads/--json/--csv/--smoke`.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -456,11 +456,21 @@ impl Game {
             let best_utility = best.fx.max(local).max(base[i]);
             gains.push(best_utility - base[i]);
         }
-        let (worst_user, &max_gain) = gains
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .expect("non-empty game");
+        // `gains` has one entry per user and the game is non-empty by
+        // construction, so a fold (which cannot panic) replaces max_by.
+        let (worst_user, max_gain) =
+            gains
+                .iter()
+                .enumerate()
+                .fold((0, f64::NEG_INFINITY), |acc, (i, &g)| {
+                    // `>=` keeps the last maximum on exact ties, matching the
+                    // max_by this fold replaced.
+                    if g >= acc.1 {
+                        (i, g)
+                    } else {
+                        acc
+                    }
+                });
         Ok(NashCheck {
             max_gain,
             worst_user,

@@ -23,6 +23,7 @@
 //! * [`relaxation`] — the Newton self-optimization relaxation matrix and
 //!   its spectrum (§4.2.3, Theorem 7).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

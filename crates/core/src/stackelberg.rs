@@ -133,12 +133,16 @@ pub fn solve(game: &Game, leader: usize, opts: &StackelbergOptions) -> Result<St
     }
     let x_star = if f1 >= f2 { x1 } else { x2 };
     let u_star = f1.max(f2);
-    let (final_u, final_sol) = if u_star > best_u {
-        let (u, sol) = leader_value(game, leader, x_star, opts, &mut warm)?;
-        evals += 1;
-        (u, sol)
-    } else {
-        (best_u, best_sol.expect("grid search produced a solution"))
+    // Re-solve at the refined point when it beat the grid — or, in the
+    // (impossible by construction, but panic-free) case where the grid
+    // pass retained no solution, fall back to re-solving as well.
+    let (final_u, final_sol) = match best_sol {
+        Some(sol) if u_star <= best_u => (best_u, sol),
+        _ => {
+            let (u, sol) = leader_value(game, leader, x_star, opts, &mut warm)?;
+            evals += 1;
+            (u, sol)
+        }
     };
     Ok(StackelbergOutcome {
         leader,

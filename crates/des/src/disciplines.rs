@@ -19,7 +19,7 @@ use crate::error::DesError;
 use crate::rng::ExpStream;
 use crate::Result;
 use greednet_queueing::fair_share::priority_table;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Debug;
 
 /// A packet currently in the system.
@@ -200,13 +200,12 @@ impl Discipline for PreemptivePriority {
         if active.is_empty() {
             return;
         }
-        let best_class = active
-            .iter()
-            .map(|p| self.class[p.user])
-            .min()
-            .expect("non-empty active set");
-        let idx = oldest(active, |p| self.class[p.user] == best_class).expect("candidate exists");
-        single_share(out, active.len(), idx);
+        let Some(best_class) = active.iter().map(|p| self.class[p.user]).min() else {
+            return;
+        };
+        if let Some(idx) = oldest(active, |p| self.class[p.user] == best_class) {
+            single_share(out, active.len(), idx);
+        }
     }
 }
 
@@ -219,7 +218,12 @@ impl Discipline for PreemptivePriority {
 pub struct FsPriorityTable {
     /// Per-user cumulative level probabilities.
     cumulative: Vec<Vec<f64>>,
-    levels: HashMap<u64, usize>,
+    /// Per-packet assigned priority level, keyed by packet id. A
+    /// `BTreeMap` (not `HashMap`): the map is consulted during the
+    /// deterministic event loop, and ordered containers keep every code
+    /// path (including any future iteration) independent of process-level
+    /// hash seeds (GN01).
+    levels: BTreeMap<u64, usize>,
     rng: ExpStream,
 }
 
@@ -258,7 +262,7 @@ impl FsPriorityTable {
             .collect();
         Ok(FsPriorityTable {
             cumulative,
-            levels: HashMap::new(),
+            levels: BTreeMap::new(),
             rng: ExpStream::new(seed),
         })
     }
@@ -282,13 +286,17 @@ impl Discipline for FsPriorityTable {
         if active.is_empty() {
             return;
         }
-        let best_level = active
-            .iter()
-            .map(|p| *self.levels.get(&p.id).expect("level assigned at arrival"))
-            .min()
-            .expect("non-empty active set");
-        let idx = oldest(active, |p| self.levels[&p.id] == best_level).expect("candidate exists");
-        single_share(out, active.len(), idx);
+        // Every active packet got a level in `on_arrival`; a missing id
+        // would mean the engine skipped the arrival hook, so fall back to
+        // treating such a packet as lowest priority rather than panic.
+        debug_assert!(active.iter().all(|p| self.levels.contains_key(&p.id)));
+        let level_of = |p: &ActivePacket| self.levels.get(&p.id).copied().unwrap_or(usize::MAX);
+        let Some(best_level) = active.iter().map(level_of).min() else {
+            return;
+        };
+        if let Some(idx) = oldest(active, |p| level_of(p) == best_level) {
+            single_share(out, active.len(), idx);
+        }
     }
 }
 
@@ -303,7 +311,9 @@ impl Discipline for FsPriorityTable {
 pub struct StartTimeFairQueueing {
     v: f64,
     finish_prev: Vec<f64>,
-    start_tags: HashMap<u64, f64>,
+    /// Per-packet start tag, keyed by packet id. Ordered (`BTreeMap`) for
+    /// the same determinism reason as [`FsPriorityTable::levels`] (GN01).
+    start_tags: BTreeMap<u64, f64>,
     current: Option<u64>,
 }
 
@@ -321,7 +331,7 @@ impl StartTimeFairQueueing {
         Ok(StartTimeFairQueueing {
             v: 0.0,
             finish_prev: vec![0.0; n],
-            start_tags: HashMap::new(),
+            start_tags: BTreeMap::new(),
             current: None,
         })
     }
@@ -355,20 +365,27 @@ impl Discipline for StartTimeFairQueueing {
             }
             self.current = None;
         }
-        let idx = active
+        // Tags are assigned in `on_arrival`; a missing id would mean the
+        // engine skipped the hook, so such a packet sorts last instead of
+        // panicking.
+        debug_assert!(active.iter().all(|p| self.start_tags.contains_key(&p.id)));
+        let tag_of =
+            |p: &ActivePacket| self.start_tags.get(&p.id).copied().unwrap_or(f64::INFINITY);
+        let Some(idx) = active
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
-                let sa = self.start_tags[&a.id];
-                let sb = self.start_tags[&b.id];
-                sa.partial_cmp(&sb)
+                tag_of(a)
+                    .partial_cmp(&tag_of(b))
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.id.cmp(&b.id))
             })
             .map(|(i, _)| i)
-            .expect("non-empty active set");
+        else {
+            return;
+        };
         self.current = Some(active[idx].id);
-        self.v = self.start_tags[&active[idx].id];
+        self.v = tag_of(&active[idx]);
         single_share(out, active.len(), idx);
     }
 }

@@ -28,6 +28,7 @@
 //! are i.i.d. `Exp(1)`, arrivals are Poisson, so every discipline sees the
 //! same M/M/1 workload modulo scheduling.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -716,8 +716,16 @@ mod tests {
         let mut probe = MetricsProbe::new(2);
         let r = sim.run_probed(&mut Fifo, &mut probe).unwrap();
         let m = probe.metrics();
-        let arrivals: u64 = m.arrivals.iter().map(|c| c.get()).sum();
-        let departures: u64 = m.departures.iter().map(|c| c.get()).sum();
+        let arrivals: u64 = m
+            .arrivals
+            .iter()
+            .map(greednet_telemetry::Counter::get)
+            .sum();
+        let departures: u64 = m
+            .departures
+            .iter()
+            .map(greednet_telemetry::Counter::get)
+            .sum();
         // Every departure had an arrival; at most the final active set
         // is still in flight at the horizon.
         assert!(arrivals >= departures);
@@ -743,7 +751,11 @@ mod tests {
         let mut probe = MetricsProbe::new(2);
         sim.run_probed(&mut LifoPreemptive, &mut probe).unwrap();
         let m = probe.metrics();
-        let departures: u64 = m.departures.iter().map(|c| c.get()).sum();
+        let departures: u64 = m
+            .departures
+            .iter()
+            .map(greednet_telemetry::Counter::get)
+            .sum();
         assert!(m.preemptions.get() > 0, "LIFO-preemptive must preempt");
         // Every preempted packet resumes later (or is still preempted at
         // the horizon), so starts exceed departures by about the

@@ -12,7 +12,7 @@ fn workloads() -> impl Strategy<Value = (Vec<f64>, u64)> {
             let total: f64 = v.iter().sum();
             if total > 0.85 {
                 let s = 0.8 / total;
-                for x in v.iter_mut() {
+                for x in &mut v {
                     *x *= s;
                 }
             }

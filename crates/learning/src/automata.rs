@@ -206,13 +206,23 @@ pub fn run_probed<P: Probe>(
     let mut mean_rates = Vec::with_capacity(n);
     let mut concentration = Vec::with_capacity(n);
     for pi in &p {
-        let (mk, mp) = pi
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .expect("non-empty grid");
-        modal_rates.push(grid[mk]);
-        concentration.push(*mp);
+        // The grid is validated non-empty above; a panic-free fold keeps
+        // the probability mode search total anyway (index 0 for an empty
+        // row, which cannot occur).
+        let (mk, mp) =
+            pi.iter()
+                .enumerate()
+                .fold((0usize, f64::NEG_INFINITY), |acc, (k, &prob)| {
+                    // `>=` keeps the last maximum on exact ties, matching the
+                    // max_by this fold replaced.
+                    if prob >= acc.1 {
+                        (k, prob)
+                    } else {
+                        acc
+                    }
+                });
+        modal_rates.push(grid.get(mk).copied().unwrap_or(0.0));
+        concentration.push(mp);
         mean_rates.push(pi.iter().zip(&grid).map(|(p, g)| p * g).sum());
     }
     Ok(AutomataOutcome {

@@ -63,12 +63,9 @@ impl EliminationOutcome {
     pub fn widths(&self) -> Vec<f64> {
         self.survivors
             .iter()
-            .map(|s| {
-                if s.is_empty() {
-                    0.0
-                } else {
-                    s.last().unwrap() - s.first().unwrap()
-                }
+            .map(|s| match (s.first(), s.last()) {
+                (Some(first), Some(last)) => last - first,
+                _ => 0.0,
             })
             .collect()
     }
@@ -82,12 +79,9 @@ impl EliminationOutcome {
     pub fn midpoints(&self) -> Vec<f64> {
         self.survivors
             .iter()
-            .map(|s| {
-                if s.is_empty() {
-                    0.0
-                } else {
-                    0.5 * (s.first().unwrap() + s.last().unwrap())
-                }
+            .map(|s| match (s.first(), s.last()) {
+                (Some(first), Some(last)) => 0.5 * (first + last),
+                _ => 0.0,
             })
             .collect()
     }

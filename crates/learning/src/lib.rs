@@ -22,6 +22,7 @@
 //! * [`leader`] — a sophisticated slow-timescale leader playing against
 //!   naive fast hill climbers (the Stackelberg story of §4.2.2).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -21,9 +21,11 @@ pub struct NewtonTrajectory {
 }
 
 impl NewtonTrajectory {
-    /// Final iterate.
+    /// Final iterate (empty slice for an empty trajectory — `run` always
+    /// records the starting point, so this arises only for hand-built
+    /// trajectories).
     pub fn final_rates(&self) -> &[f64] {
-        self.history.last().expect("non-empty trajectory")
+        self.history.last().map_or(&[], Vec::as_slice)
     }
 
     /// First step index at which the residual drops below `tol`, if any.

@@ -1,0 +1,17 @@
+// Fixture: GN02 stays quiet for simulated time and for `Instant` uses
+// that never read the clock (type positions, elapsed on a passed-in
+// anchor), and for annotated sites.
+use std::time::Instant;
+
+pub fn simulated_time(now: f64, dt: f64) -> f64 {
+    now + dt
+}
+
+pub fn elapsed_since(anchor: Instant) -> f64 {
+    anchor.elapsed().as_secs_f64()
+}
+
+pub fn banner_stamp() -> Instant {
+    // greednet-lint: allow(GN02, reason = "one-shot startup banner, not on a deterministic path")
+    Instant::now()
+}

@@ -1,0 +1,26 @@
+// Fixture: GN03 stays quiet for non-panicking combinators, for test
+// modules, and for annotated invariants.
+pub fn graceful(xs: &[f64]) -> Result<f64, String> {
+    match (xs.first(), xs.last()) {
+        (Some(first), Some(last)) => Ok(first + last),
+        _ => Err("empty slice".to_string()),
+    }
+}
+
+pub fn defaulted(x: Option<f64>) -> f64 {
+    x.unwrap_or(0.0)
+}
+
+pub fn proven(xs: &[f64]) -> f64 {
+    // greednet-lint: allow(GN03, reason = "caller validated non-emptiness one frame up")
+    *xs.first().expect("validated non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let xs = [1.0, 2.0];
+        assert_eq!(*xs.first().unwrap(), 1.0);
+    }
+}

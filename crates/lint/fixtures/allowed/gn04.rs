@@ -1,0 +1,4 @@
+// Fixture: GN04 is satisfied by the attribute on the crate root.
+#![forbid(unsafe_code)]
+
+pub mod constraints {}

@@ -1,0 +1,10 @@
+// Fixture: GN05 stays quiet when pacing comes from simulated time and
+// report stamping happens outside the deterministic pipeline.
+pub fn advance(now: f64, dt: f64) -> f64 {
+    now + dt
+}
+
+pub fn heartbeat() {
+    // greednet-lint: allow(GN05, reason = "operator-facing progress heartbeat; results never read it")
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

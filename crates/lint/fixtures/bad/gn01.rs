@@ -1,0 +1,11 @@
+// Fixture: GN01 must fire on hash containers in a deterministic crate.
+// Checked as crates/des/src/fixture.rs (library code).
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn order_dependent() -> Vec<u64> {
+    let mut m: HashMap<u64, f64> = HashMap::new();
+    m.insert(1, 2.0);
+    let s: HashSet<u64> = m.keys().copied().collect();
+    s.into_iter().collect()
+}

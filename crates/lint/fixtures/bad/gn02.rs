@@ -1,0 +1,9 @@
+// Fixture: GN02 must fire on wall-clock reads outside the designated
+// profiling files. Checked as crates/core/src/fixture.rs.
+use std::time::{Instant, SystemTime};
+
+pub fn leaky_timing() -> f64 {
+    let t0 = Instant::now();
+    let _stamp = SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}

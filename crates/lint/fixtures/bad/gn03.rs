@@ -1,0 +1,13 @@
+// Fixture: GN03 must fire on panicking constructs on library paths.
+// Checked as crates/queueing/src/fixture.rs.
+pub fn panicky(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap();
+    let last = xs.last().expect("non-empty");
+    if first > last {
+        panic!("unsorted");
+    }
+    if xs.len() > 3 {
+        todo!()
+    }
+    first + last
+}

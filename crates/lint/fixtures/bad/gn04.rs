@@ -1,0 +1,3 @@
+// Fixture: GN04 must fire on a crate root missing the unsafe ban.
+// Checked as crates/mechanisms/src/lib.rs (a crate root).
+pub mod constraints {}

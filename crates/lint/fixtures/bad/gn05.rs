@@ -1,0 +1,12 @@
+// Fixture: GN05 must fire on wall-clock state in experiment code paths.
+// Checked as crates/runtime/src/fixture.rs.
+use std::time::{Duration, UNIX_EPOCH};
+
+pub fn paced_poll() {
+    std::thread::sleep(Duration::from_millis(10));
+}
+
+pub fn stamped() -> u64 {
+    let _epoch = UNIX_EPOCH;
+    0
+}

@@ -1,0 +1,40 @@
+//! **greednet-lint** — the workspace's own static analyzer.
+//!
+//! PR 2 and PR 3 made *bitwise determinism at any thread count* a
+//! headline guarantee: the paper's closed-form allocations are validated
+//! against simulated replications, so any nondeterminism silently
+//! corrupts the paper-vs-measured tables. This crate turns that (and two
+//! sibling guarantees: panic-freedom on library paths, unsafe-freedom
+//! everywhere) from reviewer vigilance into machine-checked invariants.
+//!
+//! The analyzer is **dependency-free**: the build container has no
+//! crates.io access, so it hand-rolls a small Rust lexer
+//! ([`lexer`]) instead of using `syn`. The rules ([`rules`]) only need
+//! comment/string-stripped tokens with line numbers, which the lexer
+//! guarantees.
+//!
+//! Rules are individually suppressible at a site with
+//!
+//! ```text
+//! // greednet-lint: allow(GN01, reason = "keys are sorted before iteration")
+//! ```
+//!
+//! on (or immediately above) the offending line; the reason is
+//! mandatory and surfaced in reports. See `LINTS.md` at the workspace
+//! root for each rule's rationale.
+//!
+//! Run it as `cargo run -p greednet-lint` (human table) or with
+//! `-- --json` (machine report; CI uploads it as an artifact). The
+//! binary exits 0 on a clean workspace, 1 on findings, 2 on usage or
+//! I/O errors.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use report::Analysis;
+pub use rules::{check_file, FileContext, FileKind, Finding};
+pub use workspace::{analyze, find_root};

@@ -1,0 +1,83 @@
+//! The `greednet-lint` binary: analyze the workspace, print a report,
+//! exit nonzero on unsuppressed findings.
+//!
+//! ```text
+//! greednet-lint [--root PATH] [--json] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for (id, summary) in greednet_lint::rules::RULES {
+                    println!("{id}  {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("greednet-lint [--root PATH] [--json] [--list-rules]");
+                println!("Enforces the greednet workspace invariants GN01-GN05; see LINTS.md.");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match greednet_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match greednet_lint::analyze(&root) {
+        Ok(analysis) => {
+            if json {
+                print!("{}", analysis.json());
+            } else {
+                print!("{}", analysis.human());
+            }
+            if analysis.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

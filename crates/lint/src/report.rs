@@ -1,0 +1,192 @@
+//! Rendering of analysis results: a human-readable table and a `--json`
+//! machine report (hand-rolled serialization — the analyzer is
+//! dependency-free by construction).
+
+use crate::rules::Finding;
+use std::fmt::Write as _;
+
+/// The outcome of analyzing a workspace.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Workspace root the paths in findings are relative to.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Every finding, suppressed or live, in (file, line, rule) order.
+    pub findings: Vec<Finding>,
+}
+
+impl Analysis {
+    /// Findings not covered by an allow annotation.
+    pub fn live(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// Findings covered by an allow annotation.
+    pub fn suppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_some())
+    }
+
+    /// True if the workspace passes (no live findings).
+    pub fn clean(&self) -> bool {
+        self.live().next().is_none()
+    }
+
+    /// The human-readable report.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        let live: Vec<&Finding> = self.live().collect();
+        if live.is_empty() {
+            let _ = writeln!(
+                out,
+                "greednet-lint: {} files scanned, 0 findings ({} allowed)",
+                self.files_scanned,
+                self.suppressed().count()
+            );
+            return out;
+        }
+        let width = live
+            .iter()
+            .map(|f| f.file.len() + digits(f.line) + 1)
+            .max()
+            .unwrap_or(0);
+        for f in &live {
+            let span = format!("{}:{}", f.file, f.line);
+            let _ = writeln!(out, "{}  {span:width$}  {}", f.rule, f.message);
+        }
+        let _ = writeln!(
+            out,
+            "\ngreednet-lint: {} files scanned, {} findings ({} allowed)",
+            self.files_scanned,
+            live.len(),
+            self.suppressed().count()
+        );
+        out
+    }
+
+    /// The `--json` machine report.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"root\": {},", json_str(&self.root));
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"clean\": {},", self.clean());
+        out.push_str("  \"findings\": [");
+        let mut first = true;
+        for f in self.live() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            );
+        }
+        out.push_str(if first { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"allowed\": [");
+        let mut first = true;
+        for f in self.suppressed() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let reason = f.suppressed.as_deref().unwrap_or("");
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(reason)
+            );
+        }
+        out.push_str(if first { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn digits(mut n: u32) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32, suppressed: Option<&str>) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line,
+            message: "msg \"quoted\"".into(),
+            suppressed: suppressed.map(String::from),
+        }
+    }
+
+    #[test]
+    fn clean_analysis_reports_zero() {
+        let a = Analysis {
+            root: ".".into(),
+            files_scanned: 7,
+            findings: vec![finding("GN03", "a.rs", 1, Some("proven"))],
+        };
+        assert!(a.clean());
+        assert!(a.human().contains("0 findings (1 allowed)"));
+        assert!(a.json().contains("\"clean\": true"));
+        assert!(a.json().contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_lists_findings() {
+        let a = Analysis {
+            root: "/w".into(),
+            files_scanned: 1,
+            findings: vec![finding("GN01", "crates/des/src/x.rs", 42, None)],
+        };
+        assert!(!a.clean());
+        let j = a.json();
+        assert!(j.contains("\"line\": 42"));
+        assert!(j.contains("msg \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn human_table_contains_span() {
+        let a = Analysis {
+            root: "/w".into(),
+            files_scanned: 1,
+            findings: vec![finding("GN02", "crates/cli/src/x.rs", 9, None)],
+        };
+        assert!(a.human().contains("crates/cli/src/x.rs:9"));
+    }
+}

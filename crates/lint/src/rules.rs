@@ -1,0 +1,555 @@
+//! The greednet invariant rules, GN01–GN05.
+//!
+//! Each rule guards a guarantee the paper-reproduction pipeline depends
+//! on (see `LINTS.md` at the workspace root for the full rationale):
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | GN01 | no `HashMap`/`HashSet` in deterministic crates |
+//! | GN02 | no `Instant::now`/`SystemTime` outside pool/profile |
+//! | GN03 | no `unwrap`/`expect`/`panic!`/`todo!` in library code |
+//! | GN04 | every first-party crate root carries `#![forbid(unsafe_code)]` |
+//! | GN05 | no wall-clock or `thread::sleep` in experiment code paths |
+//!
+//! Rules apply to *library* code: integration tests, benches, binaries,
+//! and inline `#[cfg(test)]` modules are exempt (they own their I/O,
+//! timing displays, and assertion style; none of them sit on the
+//! deterministic replication path).
+
+use crate::lexer::{LexedFile, Token};
+
+/// How a source file participates in its crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `src/` — the full rule set applies.
+    Lib,
+    /// Integration test under `tests/`.
+    Test,
+    /// Benchmark under `benches/`.
+    Bench,
+    /// Binary: `src/main.rs` or under `src/bin/`.
+    Bin,
+    /// `build.rs` build script.
+    BuildScript,
+}
+
+/// Per-file context the rules need: which crate, which role, which path.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Short crate directory name (`des`, `core`, ...); the facade crate
+    /// at the workspace root is `greednet`.
+    pub crate_name: String,
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    pub kind: FileKind,
+    /// True for `src/lib.rs` of a first-party crate.
+    pub is_crate_root: bool,
+}
+
+/// One rule violation (or suppressed would-be violation).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id, e.g. `GN01` (`GN00` marks a malformed allow annotation).
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    /// `Some(reason)` if an allow annotation suppressed this finding.
+    pub suppressed: Option<String>,
+}
+
+/// Crates whose outputs feed the paper-vs-measured tables and must be
+/// bitwise deterministic at any thread count (GN01 scope; `runtime`
+/// covers the deterministic scheduling layer).
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "des",
+    "core",
+    "queueing",
+    "numerics",
+    "learning",
+    "mechanisms",
+    "network",
+    "runtime",
+];
+
+/// Files allowed to read the wall clock: the pool's profiling
+/// side-channel and the telemetry profiler (GN02/GN05 carve-out).
+pub const WALL_CLOCK_FILES: &[&str] = &[
+    "crates/runtime/src/pool.rs",
+    "crates/telemetry/src/profile.rs",
+];
+
+/// Crates exempt from GN03: the bench crate is the experiment harness —
+/// its panics abort an experiment run on a violated physics invariant
+/// rather than crash a library consumer, and its outputs are regenerated,
+/// never served.
+pub const GN03_EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// Crates that hold experiment code paths (GN05 scope): replications must
+/// merge deterministically and runs must be resumable, so no wall-clock
+/// state may leak into them.
+pub const GN05_CRATES: &[&str] = &["bench", "runtime"];
+
+/// All rule ids, for `--list-rules` and fixture coverage checks.
+pub const RULES: &[(&str, &str)] = &[
+    ("GN01", "no HashMap/HashSet in deterministic crates"),
+    ("GN02", "no Instant::now/SystemTime outside pool/profile"),
+    ("GN03", "no unwrap/expect/panic!/todo! in library code"),
+    ("GN04", "crate roots must #![forbid(unsafe_code)]"),
+    (
+        "GN05",
+        "no wall-clock/thread::sleep in experiment code paths",
+    ),
+];
+
+/// Runs every rule over one lexed file, applying suppressions.
+pub fn check_file(ctx: &FileContext, lexed: &LexedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Malformed annotations are findings themselves: a typo must not
+    // silently disable a rule.
+    for m in &lexed.malformed {
+        findings.push(Finding {
+            rule: "GN00",
+            file: ctx.rel_path.clone(),
+            line: m.line,
+            message: format!("malformed greednet-lint annotation: {}", m.detail),
+            suppressed: None,
+        });
+    }
+    let exempt_kind = matches!(
+        ctx.kind,
+        FileKind::Test | FileKind::Bench | FileKind::Bin | FileKind::BuildScript
+    );
+    if !exempt_kind {
+        gn01(ctx, lexed, &mut findings);
+        gn02(ctx, lexed, &mut findings);
+        gn03(ctx, lexed, &mut findings);
+        gn05(ctx, lexed, &mut findings);
+    }
+    gn04(ctx, lexed, &mut findings);
+    apply_suppressions(lexed, &mut findings);
+    findings
+}
+
+/// Marks findings covered by a matching allow annotation as suppressed.
+fn apply_suppressions(lexed: &LexedFile, findings: &mut [Finding]) {
+    for f in findings.iter_mut() {
+        if f.rule == "GN00" {
+            continue;
+        }
+        if let Some(s) = lexed
+            .suppressions
+            .iter()
+            .find(|s| s.rule == f.rule && s.target_line == f.line)
+        {
+            f.suppressed = Some(s.reason.clone());
+        }
+    }
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    rule: &'static str,
+    ctx: &FileContext,
+    line: u32,
+    message: String,
+) {
+    findings.push(Finding {
+        rule,
+        file: ctx.rel_path.clone(),
+        line,
+        message,
+        suppressed: None,
+    });
+}
+
+/// GN01: nondeterministic hash containers in deterministic crates.
+/// `HashMap`/`HashSet` iteration order varies per process (SipHash keys
+/// are randomized), which silently corrupts the paper-vs-measured tables
+/// replications are merged into.
+fn gn01(ctx: &FileContext, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    if !DETERMINISTIC_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for t in &lexed.tokens {
+        let Some(name) = t.ident() else { continue };
+        if (name == "HashMap" || name == "HashSet") && !lexed.in_test_code(t.line) {
+            push(
+                findings,
+                "GN01",
+                ctx,
+                t.line,
+                format!(
+                    "{name} in deterministic crate `{}`: iteration order is \
+                     randomized per process; use BTreeMap/BTreeSet or an \
+                     index-keyed Vec",
+                    ctx.crate_name
+                ),
+            );
+        }
+    }
+}
+
+/// GN02: wall-clock reads outside the two designated profiling files.
+fn gn02(ctx: &FileContext, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    if WALL_CLOCK_FILES.contains(&ctx.rel_path.as_str()) {
+        return;
+    }
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if lexed.in_test_code(t.line) {
+            continue;
+        }
+        match t.ident() {
+            Some("SystemTime") => push(
+                findings,
+                "GN02",
+                ctx,
+                t.line,
+                "SystemTime outside runtime::pool/telemetry::profile: wall-clock \
+                 state breaks bitwise replication"
+                    .into(),
+            ),
+            Some("Instant") if followed_by_now(&lexed.tokens, i) => push(
+                findings,
+                "GN02",
+                ctx,
+                t.line,
+                "Instant::now outside runtime::pool/telemetry::profile: timing \
+                 belongs in the telemetry side-channel"
+                    .into(),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// True if tokens `i..` spell `Instant :: now`.
+fn followed_by_now(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 3).and_then(Token::ident) == Some("now")
+}
+
+/// GN03: panicking constructs on library paths.
+fn gn03(ctx: &FileContext, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    if GN03_EXEMPT_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if lexed.in_test_code(t.line) {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        match name {
+            // `.unwrap()` / `.expect(` method calls only: a leading `.`
+            // keeps idents like `unwrap_or` and free fns out.
+            "unwrap" | "expect" => {
+                let is_method = i > 0
+                    && tokens[i - 1].is_punct('.')
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+                if is_method {
+                    push(
+                        findings,
+                        "GN03",
+                        ctx,
+                        t.line,
+                        format!(
+                            ".{name}() on a library path: return a Result or \
+                             annotate the proven invariant"
+                        ),
+                    );
+                }
+            }
+            "panic" | "todo" | "unimplemented"
+                if tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                push(
+                    findings,
+                    "GN03",
+                    ctx,
+                    t.line,
+                    format!("{name}! on a library path: return an error instead"),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// GN04: crate roots must forbid unsafe code at the attribute level, so
+/// the compiler (not this analyzer) rejects any future `unsafe` block.
+fn gn04(ctx: &FileContext, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    if !ctx.is_crate_root {
+        return;
+    }
+    if !has_forbid_unsafe(&lexed.tokens) {
+        push(
+            findings,
+            "GN04",
+            ctx,
+            1,
+            "crate root is missing #![forbid(unsafe_code)]".into(),
+        );
+    }
+}
+
+/// Scans for the token sequence `# ! [ forbid ( unsafe_code ) ]`.
+fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    tokens.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].ident() == Some("forbid")
+            && w[4].is_punct('(')
+            && w[5].ident() == Some("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+/// GN05: wall-clock state in experiment code paths. Experiments are
+/// resumable and replication-merged; `thread::sleep` and clock reads make
+/// the merge order (and any cached resume) diverge from a fresh run.
+fn gn05(ctx: &FileContext, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    if !GN05_CRATES.contains(&ctx.crate_name.as_str())
+        || WALL_CLOCK_FILES.contains(&ctx.rel_path.as_str())
+    {
+        return;
+    }
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if lexed.in_test_code(t.line) {
+            continue;
+        }
+        match t.ident() {
+            Some("thread")
+                if tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(i + 3).and_then(Token::ident) == Some("sleep") =>
+            {
+                push(
+                    findings,
+                    "GN05",
+                    ctx,
+                    t.line,
+                    "thread::sleep in an experiment code path: pacing must come \
+                     from simulated time, never the host clock"
+                        .into(),
+                );
+            }
+            Some("UNIX_EPOCH") => push(
+                findings,
+                "GN05",
+                ctx,
+                t.line,
+                "UNIX_EPOCH (wall-clock date) in an experiment code path: stamp \
+                 reports outside the deterministic pipeline"
+                    .into(),
+            ),
+            Some("Instant") if followed_by_now(tokens, i) => push(
+                findings,
+                "GN05",
+                ctx,
+                t.line,
+                "Instant::now in an experiment code path: timings belong in the \
+                 telemetry side-channel (runtime::pool profiling)"
+                    .into(),
+            ),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx(crate_name: &str, rel_path: &str, kind: FileKind, root: bool) -> FileContext {
+        FileContext {
+            crate_name: crate_name.into(),
+            rel_path: rel_path.into(),
+            kind,
+            is_crate_root: root,
+        }
+    }
+
+    fn rules_fired(findings: &[Finding]) -> Vec<&str> {
+        findings
+            .iter()
+            .filter(|f| f.suppressed.is_none())
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn gn01_fires_only_in_deterministic_crates() {
+        let lexed = lex("use std::collections::HashMap;\n");
+        let des = check_file(
+            &ctx("des", "crates/des/src/x.rs", FileKind::Lib, false),
+            &lexed,
+        );
+        assert_eq!(rules_fired(&des), vec!["GN01"]);
+        let tel = check_file(
+            &ctx(
+                "telemetry",
+                "crates/telemetry/src/x.rs",
+                FileKind::Lib,
+                false,
+            ),
+            &lexed,
+        );
+        assert!(rules_fired(&tel).is_empty());
+    }
+
+    #[test]
+    fn gn01_spans_carry_the_right_line() {
+        let lexed = lex("\n\nlet m: HashMap<u64, f64> = HashMap::new();\n");
+        let f = check_file(
+            &ctx("des", "crates/des/src/x.rs", FileKind::Lib, false),
+            &lexed,
+        );
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.line == 3));
+    }
+
+    #[test]
+    fn gn02_exempts_designated_files_and_bins() {
+        let lexed = lex("let t = Instant::now();\n");
+        let pool = check_file(
+            &ctx(
+                "runtime",
+                "crates/runtime/src/pool.rs",
+                FileKind::Lib,
+                false,
+            ),
+            &lexed,
+        );
+        assert!(rules_fired(&pool).is_empty());
+        let lib = check_file(
+            &ctx("cli", "crates/cli/src/x.rs", FileKind::Lib, false),
+            &lexed,
+        );
+        assert_eq!(rules_fired(&lib), vec!["GN02"]);
+        let bin = check_file(
+            &ctx("cli", "crates/cli/src/main.rs", FileKind::Bin, false),
+            &lexed,
+        );
+        assert!(rules_fired(&bin).is_empty());
+    }
+
+    #[test]
+    fn gn03_matches_methods_not_lookalikes() {
+        let lexed = lex("let a = x.unwrap();\nlet b = x.unwrap_or(0);\nlet c = x.expect(\"m\");\n");
+        let f = check_file(
+            &ctx("core", "crates/core/src/x.rs", FileKind::Lib, false),
+            &lexed,
+        );
+        let lines: Vec<u32> = f.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 3]);
+    }
+
+    #[test]
+    fn gn03_exempts_cfg_test_modules_and_bench_crate() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let lexed = lex(src);
+        let f = check_file(
+            &ctx("core", "crates/core/src/x.rs", FileKind::Lib, false),
+            &lexed,
+        );
+        assert!(rules_fired(&f).is_empty());
+        let lexed2 = lex("fn run() { x.expect(\"physics\"); }\n");
+        let f2 = check_file(
+            &ctx(
+                "bench",
+                "crates/bench/src/experiments/e1.rs",
+                FileKind::Lib,
+                false,
+            ),
+            &lexed2,
+        );
+        assert!(rules_fired(&f2).is_empty());
+    }
+
+    #[test]
+    fn gn03_catches_panic_todo_unimplemented() {
+        let lexed = lex("panic!(\"boom\");\ntodo!();\nunimplemented!();\n");
+        let f = check_file(
+            &ctx("des", "crates/des/src/x.rs", FileKind::Lib, false),
+            &lexed,
+        );
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn gn04_requires_forbid_on_roots_only() {
+        let bare = lex("pub mod x;\n");
+        let root = check_file(
+            &ctx("des", "crates/des/src/lib.rs", FileKind::Lib, true),
+            &bare,
+        );
+        assert_eq!(rules_fired(&root), vec!["GN04"]);
+        let non_root = check_file(
+            &ctx("des", "crates/des/src/x.rs", FileKind::Lib, false),
+            &bare,
+        );
+        assert!(rules_fired(&non_root).is_empty());
+        let good = lex("#![forbid(unsafe_code)]\npub mod x;\n");
+        let ok = check_file(
+            &ctx("des", "crates/des/src/lib.rs", FileKind::Lib, true),
+            &good,
+        );
+        assert!(rules_fired(&ok).is_empty());
+    }
+
+    #[test]
+    fn gn05_fires_in_experiment_crates() {
+        let lexed = lex("std::thread::sleep(d);\n");
+        let f = check_file(
+            &ctx(
+                "runtime",
+                "crates/runtime/src/sweep.rs",
+                FileKind::Lib,
+                false,
+            ),
+            &lexed,
+        );
+        assert_eq!(rules_fired(&f), vec!["GN05"]);
+        let core = check_file(
+            &ctx("core", "crates/core/src/x.rs", FileKind::Lib, false),
+            &lexed,
+        );
+        assert!(rules_fired(&core).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_exactly_its_rule_and_line() {
+        let src = "let m = HashMap::new(); // greednet-lint: allow(GN01, reason = \"keys sorted before iteration\")\nlet n = HashMap::new();\n";
+        let lexed = lex(src);
+        let f = check_file(
+            &ctx("des", "crates/des/src/x.rs", FileKind::Lib, false),
+            &lexed,
+        );
+        let live: Vec<u32> = f
+            .iter()
+            .filter(|f| f.suppressed.is_none())
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(live, vec![2]);
+        assert!(f.iter().any(|f| f.suppressed.is_some() && f.line == 1));
+    }
+
+    #[test]
+    fn malformed_annotation_is_a_finding_and_does_not_suppress() {
+        let src = "// greednet-lint: allow(GN01)\nlet m = HashMap::new();\n";
+        let lexed = lex(src);
+        let f = check_file(
+            &ctx("des", "crates/des/src/x.rs", FileKind::Lib, false),
+            &lexed,
+        );
+        let rules = rules_fired(&f);
+        assert!(rules.contains(&"GN00"));
+        assert!(rules.contains(&"GN01"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Golden-file tests over the fixture corpus: every rule has one
+//! known-bad snippet that must fire and one allowed/compliant snippet
+//! that must not. A rule that stops firing on its bad fixture (or starts
+//! firing on its allowed one) is a regression in the analyzer itself.
+
+use greednet_lint::{check_file, lexer, FileContext, FileKind, Finding};
+use std::path::Path;
+
+/// The per-rule fixture contexts: each bad snippet is checked *as if* it
+/// lived at a path/role where its rule applies.
+fn context_for(rule: &str) -> FileContext {
+    let (crate_name, rel_path, is_root) = match rule {
+        "GN01" => ("des", "crates/des/src/fixture.rs", false),
+        "GN02" => ("core", "crates/core/src/fixture.rs", false),
+        "GN03" => ("queueing", "crates/queueing/src/fixture.rs", false),
+        "GN04" => ("mechanisms", "crates/mechanisms/src/lib.rs", true),
+        "GN05" => ("runtime", "crates/runtime/src/fixture.rs", false),
+        other => panic!("no fixture context for {other}"),
+    };
+    FileContext {
+        crate_name: crate_name.to_string(),
+        rel_path: rel_path.to_string(),
+        kind: FileKind::Lib,
+        is_crate_root: is_root,
+    }
+}
+
+fn check_fixture(kind: &str, rule: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(kind)
+        .join(format!("{}.rs", rule.to_lowercase()));
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    check_file(&context_for(rule), &lexer::lex(&src))
+}
+
+fn live<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && f.suppressed.is_none())
+        .collect()
+}
+
+#[test]
+fn every_rule_has_both_fixtures() {
+    for (rule, _) in greednet_lint::rules::RULES {
+        for kind in ["bad", "allowed"] {
+            let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("fixtures")
+                .join(kind)
+                .join(format!("{}.rs", rule.to_lowercase()));
+            assert!(path.is_file(), "missing fixture {}", path.display());
+        }
+    }
+}
+
+#[test]
+fn bad_fixtures_fire_their_rule() {
+    let expected_min = [
+        ("GN01", 4),
+        ("GN02", 2),
+        ("GN03", 4),
+        ("GN04", 1),
+        ("GN05", 2),
+    ];
+    for (rule, min_count) in expected_min {
+        let findings = check_fixture("bad", rule);
+        let hits = live(&findings, rule);
+        assert!(
+            hits.len() >= min_count,
+            "{rule}: expected >= {min_count} findings, got {}: {findings:?}",
+            hits.len()
+        );
+    }
+}
+
+#[test]
+fn bad_fixture_spans_point_at_the_offending_lines() {
+    // Spot-check exact file:line spans against the fixture sources.
+    let gn01 = check_fixture("bad", "GN01");
+    let lines: Vec<u32> = live(&gn01, "GN01").iter().map(|f| f.line).collect();
+    assert!(lines.contains(&3), "use HashMap line: {lines:?}");
+    assert!(lines.contains(&7), "HashMap::new line: {lines:?}");
+
+    let gn03 = check_fixture("bad", "GN03");
+    let lines: Vec<u32> = live(&gn03, "GN03").iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![4, 5, 7, 10], "unwrap/expect/panic!/todo! spans");
+
+    let gn04 = check_fixture("bad", "GN04");
+    assert_eq!(live(&gn04, "GN04")[0].line, 1, "GN04 anchors at line 1");
+}
+
+#[test]
+fn allowed_fixtures_are_clean() {
+    for (rule, _) in greednet_lint::rules::RULES {
+        let findings = check_fixture("allowed", rule);
+        let all_live: Vec<&Finding> = findings.iter().filter(|f| f.suppressed.is_none()).collect();
+        assert!(
+            all_live.is_empty(),
+            "{rule} allowed fixture should be clean, got {all_live:?}"
+        );
+    }
+}
+
+#[test]
+fn allowed_fixtures_record_suppression_reasons() {
+    // The annotated fixtures must show up as *suppressed* findings (the
+    // rule still matched — an allow is visible, not invisible).
+    for rule in ["GN01", "GN02", "GN03", "GN05"] {
+        let findings = check_fixture("allowed", rule);
+        let suppressed: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == rule && f.suppressed.is_some())
+            .collect();
+        assert_eq!(
+            suppressed.len(),
+            1,
+            "{rule} allowed fixture should carry exactly one annotated site"
+        );
+        let reason = suppressed[0].suppressed.as_deref().unwrap_or("");
+        assert!(!reason.is_empty(), "{rule} suppression must carry a reason");
+    }
+}
+
+#[test]
+fn bad_fixture_is_not_quieted_by_wrong_rule_annotation() {
+    // An allow for a different rule on the same line must not suppress.
+    let src = "let m = std::collections::HashMap::new(); // greednet-lint: allow(GN03, reason = \"wrong rule\")\n";
+    let findings = check_file(&context_for("GN01"), &lexer::lex(src));
+    assert_eq!(live(&findings, "GN01").len(), 1);
+}

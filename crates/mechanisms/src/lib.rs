@@ -17,6 +17,7 @@
 //!   with cheap-talk parameters `α` (here, weighted-share signalling on
 //!   top of FIFO) still cannot make Nash equilibria Pareto optimal.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

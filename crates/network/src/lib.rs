@@ -22,6 +22,7 @@
 //! vanishes — while cross-route "envy" is indeed meaningless and can be
 //! nonzero.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

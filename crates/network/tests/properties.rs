@@ -17,7 +17,7 @@ fn topologies() -> impl Strategy<Value = Topology> {
             users..=users,
         )
         .prop_filter_map("valid routes", move |mut routes| {
-            for r in routes.iter_mut() {
+            for r in &mut routes {
                 r.sort_unstable();
                 r.dedup();
             }

@@ -15,6 +15,7 @@
 //! LU, and Hessenberg reduction followed by the Francis double-shift QR
 //! iteration for eigenvalues.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

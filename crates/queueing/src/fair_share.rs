@@ -61,6 +61,19 @@ pub fn ascending_order(rates: &[f64]) -> Vec<usize> {
     order
 }
 
+/// Inverts the permutation returned by [`ascending_order`]: entry `i` is
+/// user `i`'s sorted position `k`. Indexing the result with a valid user
+/// index can never fail, unlike a linear `position(..)` search whose
+/// `Option` would otherwise have to be unwrapped on every derivative
+/// evaluation (GN03).
+fn sorted_positions(order: &[usize]) -> Vec<usize> {
+    let mut pos = vec![0usize; order.len()];
+    for (k, &user) in order.iter().enumerate() {
+        pos[user] = k;
+    }
+    pos
+}
+
 /// The serialized loads `s_k = (n-k)·r_(k) + Σ_{l<k} r_(l)` in sorted
 /// order. `s` is non-decreasing and `s_{n-1} = Σ r`.
 fn serial_loads(sorted_rates: &[f64]) -> Vec<f64> {
@@ -114,10 +127,7 @@ impl AllocationFunction for FairShare {
         let order = ascending_order(rates);
         let sorted: Vec<f64> = order.iter().map(|&idx| rates[idx]).collect();
         let s = serial_loads(&sorted);
-        let k = order
-            .iter()
-            .position(|&idx| idx == i)
-            .expect("index in range");
+        let k = sorted_positions(&order)[i];
         g_prime(s[k])
     }
 
@@ -133,14 +143,9 @@ impl AllocationFunction for FairShare {
         let order = ascending_order(rates);
         let sorted: Vec<f64> = order.iter().map(|&idx| rates[idx]).collect();
         let s = serial_loads(&sorted);
-        let q = order
-            .iter()
-            .position(|&idx| idx == i)
-            .expect("index in range");
-        let p = order
-            .iter()
-            .position(|&idx| idx == j)
-            .expect("index in range");
+        let pos = sorted_positions(&order);
+        let q = pos[i];
+        let p = pos[j];
         debug_assert!(p < q, "r_j < r_i must sort j before i");
         // dC_(q)/dr_(p) = sum over k = p..=q of
         //   [g'(s_k) ds_k/dr_p - g'(s_{k-1}) ds_{k-1}/dr_p] / (n - k)
@@ -169,10 +174,7 @@ impl AllocationFunction for FairShare {
         let order = ascending_order(rates);
         let sorted: Vec<f64> = order.iter().map(|&idx| rates[idx]).collect();
         let s = serial_loads(&sorted);
-        let k = order
-            .iter()
-            .position(|&idx| idx == i)
-            .expect("index in range");
+        let k = sorted_positions(&order)[i];
         (n - k) as f64 * g_double_prime(s[k])
     }
 
@@ -187,10 +189,7 @@ impl AllocationFunction for FairShare {
         let order = ascending_order(rates);
         let sorted: Vec<f64> = order.iter().map(|&idx| rates[idx]).collect();
         let s = serial_loads(&sorted);
-        let q = order
-            .iter()
-            .position(|&idx| idx == i)
-            .expect("index in range");
+        let q = sorted_positions(&order)[i];
         g_double_prime(s[q])
     }
 

@@ -250,7 +250,7 @@ mod tests {
         for _case in 0..200 {
             let n = 4;
             let mut r = vec![0.0; n];
-            for x in r.iter_mut() {
+            for x in &mut r {
                 *x = 0.05 + 0.15 * next();
             }
             let total: f64 = r.iter().sum();

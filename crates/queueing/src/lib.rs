@@ -32,6 +32,7 @@
 //! * [`mac`] — numerical checks of the paper's MAC monotonicity conditions
 //!   (Definition 2).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -15,7 +15,7 @@ fn rate_vectors() -> impl Strategy<Value = Vec<f64>> {
             let total: f64 = v.iter().sum();
             if total >= 0.95 {
                 let scale = 0.9 / total;
-                for x in v.iter_mut() {
+                for x in &mut v {
                     *x *= scale;
                 }
             }

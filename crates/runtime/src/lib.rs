@@ -17,6 +17,8 @@
 //!    [`experiment::Registry`], and [`report::RunReport`] with text /
 //!    JSON / CSV emitters.
 
+#![forbid(unsafe_code)]
+
 pub mod experiment;
 pub mod pool;
 pub mod report;

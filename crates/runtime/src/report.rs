@@ -344,9 +344,14 @@ impl RunReport {
     }
 
     fn current(&mut self) -> &mut Section {
-        self.sections
-            .last_mut()
-            .expect("a report always has at least one section")
+        // `new` seeds one section; re-seed defensively (instead of
+        // unwrapping) so `current` is total even for a report whose
+        // sections were drained by a future refactor.
+        if self.sections.is_empty() {
+            self.sections.push(Section::default());
+        }
+        let last = self.sections.len() - 1;
+        &mut self.sections[last]
     }
 
     /// The wall-clock telemetry side-channel (read-only).

@@ -26,6 +26,7 @@
 //!    payload; `Telemetry` exists precisely so runners can carry it
 //!    alongside (not inside) their reproducible output.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

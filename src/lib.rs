@@ -53,6 +53,8 @@
 //! assert!(envy <= 1e-6);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod error;
 
 pub use error::Error;

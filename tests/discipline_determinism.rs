@@ -1,0 +1,82 @@
+//! Regression guard for the GN01 container migration in
+//! `greednet_des::disciplines`: the map-backed disciplines
+//! (`FsPriorityTable` priority levels, `StartTimeFairQueueing` start
+//! tags) must produce **bitwise identical per-user allocations** however
+//! many worker threads run the replication batch. The maps used to be
+//! `HashMap`s; these tests pin the deterministic-container behavior so a
+//! future regression (or revert) is caught by `cargo test`, not by a
+//! corrupted paper-vs-measured table.
+
+use greednet_des::disciplines::{Discipline, FsPriorityTable, StartTimeFairQueueing};
+use greednet_des::sim::{SimConfig, Simulator};
+use greednet_runtime::Replications;
+
+const RATES: [f64; 3] = [0.1, 0.2, 0.35];
+const HORIZON: f64 = 3_000.0;
+const REPLICATIONS: usize = 8;
+
+/// Runs one replication batch of `make` under `threads` workers and
+/// returns the exact f64 bit patterns of every per-user mean queue, in
+/// replication order.
+fn batch_bits<D, F>(threads: usize, make: F) -> Vec<Vec<u64>>
+where
+    D: Discipline,
+    F: Fn(u64) -> D + Sync,
+{
+    Replications::new(REPLICATIONS, 0xD15C_0171).run(threads, |_, seed| {
+        let cfg = SimConfig::new(RATES.to_vec(), HORIZON, seed);
+        let sim = Simulator::new(cfg).expect("valid config");
+        let mut d = make(seed);
+        let r = sim.run(&mut d).expect("simulation runs");
+        r.mean_queue.iter().map(|q| q.to_bits()).collect()
+    })
+}
+
+fn assert_thread_invariant<D, F>(make: F, label: &str)
+where
+    D: Discipline,
+    F: Fn(u64) -> D + Sync + Copy,
+{
+    let serial = batch_bits(1, make);
+    for threads in [4, 8] {
+        let parallel = batch_bits(threads, make);
+        assert_eq!(
+            serial, parallel,
+            "{label}: {threads}-thread replication batch diverged bitwise from serial"
+        );
+    }
+    // Sanity: the simulations did something (non-zero queues) and are
+    // per-user (3 users).
+    assert!(serial.iter().all(|rep| rep.len() == RATES.len()));
+    assert!(serial.iter().flatten().any(|&b| b != 0));
+}
+
+#[test]
+fn fs_priority_table_allocations_are_thread_count_invariant() {
+    assert_thread_invariant(
+        |seed| FsPriorityTable::new(&RATES, seed ^ 0xA5).expect("discipline"),
+        "FsPriorityTable (BTreeMap levels)",
+    );
+}
+
+#[test]
+fn start_time_fair_queueing_allocations_are_thread_count_invariant() {
+    assert_thread_invariant(
+        |_| StartTimeFairQueueing::new(RATES.len()).expect("discipline"),
+        "StartTimeFairQueueing (BTreeMap start tags)",
+    );
+}
+
+#[test]
+fn repeated_runs_of_the_same_seed_are_bitwise_identical() {
+    // Within-process repeatability: two identical batches must agree bit
+    // for bit (this is what HashMap's randomized state would break if it
+    // ever influenced scheduling decisions).
+    let a = batch_bits(4, |seed| {
+        FsPriorityTable::new(&RATES, seed).expect("discipline")
+    });
+    let b = batch_bits(4, |seed| {
+        FsPriorityTable::new(&RATES, seed).expect("discipline")
+    });
+    assert_eq!(a, b, "same-seed batches diverged");
+}

@@ -176,7 +176,11 @@ fn metrics_probe_counts_are_consistent_with_the_result() {
         assert!(arr > 0, "user {u}: no arrivals observed");
         assert_eq!(m.delay[u].count(), dep);
     }
-    let total_arrivals: u64 = m.arrivals.iter().map(|c| c.get()).sum();
+    let total_arrivals: u64 = m
+        .arrivals
+        .iter()
+        .map(greednet_telemetry::Counter::get)
+        .sum();
     assert_eq!(
         m.occupancy.count(),
         total_arrivals,
