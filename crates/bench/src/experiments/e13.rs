@@ -107,7 +107,7 @@ impl Experiment for E13Mg1 {
             .rates
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite rates"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .expect("non-empty");
         let mut bumped = nash_fs.rates.clone();

@@ -113,7 +113,7 @@ pub fn find_manipulating_coalition(
         "coalition enumeration is exponential; n = {n} too large"
     );
     for mask in 1u32..(1u32 << n) {
-        let size = mask.count_ones() as usize;
+        let size = greednet_numerics::conv::u32_to_usize(mask.count_ones());
         if size < 2 || size > max_size {
             continue;
         }

@@ -367,7 +367,7 @@ impl Game {
                         rates[i] = next;
                         if P::ENABLED {
                             probe.on_solver(&SolverEvent::BestResponse {
-                                iteration: iter as u64,
+                                iteration: greednet_numerics::conv::index_to_u64(iter),
                                 user: i,
                                 rate: next,
                                 residual: delta,
@@ -388,7 +388,7 @@ impl Game {
                         rates[i] = next;
                         if P::ENABLED {
                             probe.on_solver(&SolverEvent::BestResponse {
-                                iteration: iter as u64,
+                                iteration: greednet_numerics::conv::index_to_u64(iter),
                                 user: i,
                                 rate: next,
                                 residual: delta,

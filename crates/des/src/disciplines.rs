@@ -176,11 +176,10 @@ impl PreemptivePriority {
             });
         }
         let mut order: Vec<usize> = (0..rates.len()).collect();
-        order.sort_by(|&a, &b| {
-            rates[a]
-                .partial_cmp(&rates[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // Total comparator (GN07): identical to `partial_cmp` on the
+        // finite rates SimConfig validates; NaN would sort last instead of
+        // silently breaking the priority ranking.
+        order.sort_by(|&a, &b| rates[a].total_cmp(&rates[b]));
         let mut class = vec![0usize; rates.len()];
         for (rank, &u) in order.iter().enumerate() {
             class[u] = rank;
@@ -374,12 +373,7 @@ impl Discipline for StartTimeFairQueueing {
         let Some(idx) = active
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                tag_of(a)
-                    .partial_cmp(&tag_of(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.id.cmp(&b.id))
-            })
+            .min_by(|(_, a), (_, b)| tag_of(a).total_cmp(&tag_of(b)).then(a.id.cmp(&b.id)))
             .map(|(i, _)| i)
         else {
             return;

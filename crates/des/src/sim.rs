@@ -13,6 +13,7 @@ use crate::error::DesError;
 use crate::rng::ExpStream;
 use crate::service::ServiceDist;
 use crate::Result;
+use greednet_numerics::conv;
 use greednet_numerics::stats::{batch_means_ci, MeanCi, Reservoir, Welford};
 use greednet_telemetry::{NoopProbe, PacketEvent, PacketEventKind, Probe};
 
@@ -256,10 +257,12 @@ impl Simulator {
         let cfg = &self.config;
         let n = cfg.rates.len();
         let mut master = ExpStream::new(cfg.seed);
-        let mut arrival_streams: Vec<ExpStream> =
-            (0..n).map(|u| master.split(u as u64 * 2 + 1)).collect();
-        let mut size_streams: Vec<ExpStream> =
-            (0..n).map(|u| master.split(u as u64 * 2 + 2)).collect();
+        let mut arrival_streams: Vec<ExpStream> = (0..n)
+            .map(|u| master.split(conv::index_to_u64(u) * 2 + 1))
+            .collect();
+        let mut size_streams: Vec<ExpStream> = (0..n)
+            .map(|u| master.split(conv::index_to_u64(u) * 2 + 2))
+            .collect();
 
         // Next arrival time per user (infinity for silent users).
         let mut next_arrival: Vec<f64> = (0..n)
@@ -292,7 +295,7 @@ impl Simulator {
         const DIST_CAP: usize = 64;
         let mut dist_time = vec![0.0f64; DIST_CAP + 1];
         let mut delay_samples: Vec<Reservoir> = (0..n)
-            .map(|u| Reservoir::new(4096, cfg.seed ^ (u as u64 + 1)))
+            .map(|u| Reservoir::new(4096, cfg.seed ^ (conv::index_to_u64(u) + 1)))
             .collect();
 
         // Integrates the (constant) per-user counts over [t0, t1).
@@ -308,7 +311,9 @@ impl Simulator {
                 // Split across windows.
                 let mut t = lo;
                 while t < t1 {
-                    let w = (((t - cfg.warmup) / window_len) as usize).min(cfg.windows - 1);
+                    // `t >= warmup` inside this loop, so the quotient is
+                    // non-negative; the `min` caps rounding spillover.
+                    let w = conv::f64_to_usize((t - cfg.warmup) / window_len).min(cfg.windows - 1);
                     let w_end = cfg.warmup + (w + 1) as f64 * window_len;
                     let seg_end = t1.min(w_end);
                     for u in 0..n {

@@ -146,7 +146,9 @@ pub fn run_probed<P: Probe>(
         for i in 0..n {
             let explore = rng.uniform() < config.epsilon * g as f64;
             let chosen = if explore {
-                (rng.uniform() * g as f64) as usize % g
+                // uniform() ∈ [0, 1) keeps the product inside [0, g); the
+                // `% g` guards the (impossible) rounding-to-g edge.
+                greednet_numerics::conv::f64_to_usize(rng.uniform() * g as f64) % g
             } else {
                 let u = rng.uniform();
                 let mut acc = 0.0;
@@ -172,7 +174,7 @@ pub fn run_probed<P: Probe>(
             let a = actions[i];
             if P::ENABLED {
                 probe.on_solver(&SolverEvent::AutomataUpdate {
-                    round: round as u64,
+                    round: greednet_numerics::conv::index_to_u64(round),
                     user: i,
                     action: a,
                     payoff,

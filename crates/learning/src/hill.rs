@@ -83,7 +83,8 @@ impl Environment for SimEnv {
         self.n
     }
     fn observe(&mut self, rates: &[f64]) -> Vec<f64> {
-        let seed = (self.seeds.uniform() * u32::MAX as f64) as u64;
+        // uniform() ∈ [0, 1), so the product stays inside u64 range.
+        let seed = greednet_numerics::conv::f64_to_u64(self.seeds.uniform() * f64::from(u32::MAX));
         let mut cfg = SimConfig::new(rates.to_vec(), self.measure_time, seed);
         cfg.allow_overload = true;
         cfg.warmup = self.measure_time * 0.2;

@@ -1,0 +1,24 @@
+// Fixture: GN06 stays quiet for Result-returning chains, for
+// GN03-annotated invariants (their proof covers every caller), and for
+// an entry fn carrying its own annotated caller contract.
+pub fn careful(xs: &[f64]) -> Result<f64, String> {
+    helper(xs).ok_or_else(|| "empty slice".to_string())
+}
+
+fn helper(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+pub fn audited(xs: &[f64]) -> f64 {
+    // greednet-lint: allow(GN03, reason = "caller validated non-emptiness one frame up")
+    *xs.first().expect("validated non-empty")
+}
+
+// greednet-lint: allow(GN06, reason = "caller contract: rates slice is non-empty; documented on the trait")
+pub fn contracted(xs: &[f64]) -> f64 {
+    leaf(xs)
+}
+
+fn leaf(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,18 @@
+// Fixture: GN07 stays quiet for total_cmp comparators, for non-float
+// ordering, and for a sort carrying a NaN-freedom proof.
+pub fn ascending(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}
+
+pub fn keyed(v: &mut [(u32, f64)]) {
+    v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+}
+
+pub fn integral(v: &mut [u64]) {
+    v.sort_by(|a, b| b.cmp(a));
+}
+
+pub fn proven(v: &mut [f64]) {
+    // greednet-lint: allow(GN07, reason = "rates are validated finite at the public API boundary; no NaN reaches this sort")
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,26 @@
+// Fixture: GN08 stays quiet for handled Results, for the fmt::Write
+// into-String carve-out (infallible by contract), for `.ok()` whose
+// Option is actually used, and for an annotated best-effort site.
+use std::fmt::Write as _;
+
+pub fn render(lines: &[&str]) -> String {
+    let mut out = String::new();
+    for l in lines {
+        let _ = writeln!(out, "{l}");
+    }
+    out
+}
+
+pub fn handled(r: Result<u32, String>) -> u32 {
+    r.unwrap_or(0)
+}
+
+pub fn bound(r: Result<u32, String>) -> Option<u32> {
+    let v = r.ok();
+    v
+}
+
+pub fn best_effort(sink: &mut dyn std::io::Write) {
+    // greednet-lint: allow(GN08, reason = "best-effort flush of the telemetry side-channel; losing it must never fail a run")
+    let _ = sink.flush();
+}

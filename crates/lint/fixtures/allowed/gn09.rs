@@ -1,0 +1,14 @@
+// Fixture: GN09 stays quiet for try_from/From conversions and for a
+// cast whose allow annotation proves the range.
+pub fn lossless(n: u32) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}
+
+pub fn widened(x: u32) -> f64 {
+    f64::from(x)
+}
+
+pub fn range_proven(trial: u64) -> usize {
+    // greednet-lint: allow(GN09, reason = "trial % 8 < 8 fits any usize")
+    (trial % 8) as usize
+}

@@ -1,0 +1,14 @@
+// Fixture: GN06 must fire when a pub fn reaches a panicking construct
+// through its call-graph closure, including via private helpers.
+// Checked as crates/core/src/fixture.rs.
+pub fn solve(xs: &[f64]) -> f64 {
+    inner_step(xs)
+}
+
+fn inner_step(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+pub fn direct(x: Option<f64>) -> f64 {
+    x.expect("present")
+}

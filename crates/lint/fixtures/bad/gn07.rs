@@ -1,0 +1,26 @@
+// Fixture: GN07 must fire on partial_cmp + unwrap-family comparators in
+// sort/min/max/binary-search calls — including inside test modules,
+// where a NaN still panics the comparator or scrambles the order.
+// Checked as crates/numerics/src/fixture.rs.
+pub fn ascending(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn descending(v: &mut [f64]) {
+    v.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn extremum(v: &[f64]) -> Option<f64> {
+    v.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn even_tests_must_order_totally() {
+        let mut v = vec![2.0, 1.0];
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: GN08 must fire on swallowed Results: `.ok();` as a statement
+// and `let _ =` binding a fallible call. Checked as
+// crates/telemetry/src/fixture.rs.
+pub fn fire_and_forget(sink: &mut dyn std::io::Write) {
+    writeln!(sink, "event").ok();
+    let _ = sink.flush();
+}
+
+pub fn dropped(r: Result<u32, String>) {
+    let _ = validate(r);
+}
+
+fn validate(r: Result<u32, String>) -> Result<u32, String> {
+    r
+}

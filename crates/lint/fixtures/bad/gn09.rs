@@ -1,0 +1,11 @@
+// Fixture: GN09 must fire on lossy `as` integer casts in a
+// deterministic crate. Checked as crates/des/src/fixture.rs.
+pub fn truncating(x: f64, n: i64, big: u128) -> usize {
+    let a = x as usize;
+    let b = n as usize;
+    let c = big as u64;
+    let d = x as i64;
+    let widened = n as f64; // not flagged: documented under-approximation
+    let _sink = widened;
+    a + b + c as usize + d as usize
+}

@@ -9,9 +9,12 @@
 //!
 //! The analyzer is **dependency-free**: the build container has no
 //! crates.io access, so it hand-rolls a small Rust lexer
-//! ([`lexer`]) instead of using `syn`. The rules ([`rules`]) only need
+//! ([`lexer`]) instead of using `syn`. Most rules ([`rules`]) only need
 //! comment/string-stripped tokens with line numbers, which the lexer
-//! guarantees.
+//! guarantees; on top of the token stream an item parser ([`parse`])
+//! recovers each file's `fn` items and `use` declarations, and a
+//! deliberately over-approximate intra-workspace call graph ([`graph`])
+//! drives the panic-reachability rule GN06.
 //!
 //! Rules are individually suppressible at a site with
 //!
@@ -30,11 +33,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod workspace;
 
+pub use graph::SourceFile;
 pub use report::Analysis;
 pub use rules::{check_file, FileContext, FileKind, Finding};
 pub use workspace::{analyze, find_root};

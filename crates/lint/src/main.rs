@@ -27,6 +27,11 @@ fn main() -> ExitCode {
                 }
             },
             "--list-rules" => {
+                // Diagnostics first (GN00 sorts before GN01), then rules,
+                // so the listing stays in id order.
+                for (id, summary) in greednet_lint::rules::DIAGNOSTICS {
+                    println!("{id}  {summary}");
+                }
                 for (id, summary) in greednet_lint::rules::RULES {
                     println!("{id}  {summary}");
                 }
@@ -34,7 +39,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!("greednet-lint [--root PATH] [--json] [--list-rules]");
-                println!("Enforces the greednet workspace invariants GN01-GN05; see LINTS.md.");
+                println!("Enforces the greednet workspace invariants GN01-GN09; see LINTS.md.");
                 return ExitCode::SUCCESS;
             }
             other => {

@@ -1,0 +1,340 @@
+//! A recursive-descent item parser over the lexer's token stream.
+//!
+//! The lexer gives a comment/string-stripped token soup; this layer
+//! recovers the *item structure* the semantic rules need: which `fn`
+//! items exist (name, visibility, whether they sit inside a trait
+//! `impl`, whether they are test-only), the token span of each body, and
+//! which `use` declarations the file carries. It is deliberately **not**
+//! a full Rust parser — the grammar subset below is exactly what the
+//! call-graph layer ([`crate::graph`]) consumes, and every shortcut errs
+//! toward *over*-approximation (more items, more edges) so the analysis
+//! never silently loses a panic path. See DESIGN.md §7 for the contract.
+//!
+//! Shortcuts worth knowing:
+//! * bodies are found by scanning from the `fn` keyword to the first
+//!   `{` outside parens/brackets (where-clauses with brace-carrying
+//!   const generics would confuse this; the workspace has none);
+//! * `pub(crate)`/`pub(super)` count as `pub` — a crate-visible fn is
+//!   an entry point for panic-reachability just like an exported one;
+//! * nested `fn` items are hoisted to the file's flat item list (their
+//!   bodies nest inside the parent's span, which only adds edges).
+
+use crate::lexer::{LexedFile, Token};
+
+/// One `fn` item recovered from the token stream.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The fn's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Carries a `pub` (any restriction) in its item prelude.
+    pub is_pub: bool,
+    /// Defined inside an `impl Trait for Type` block.
+    pub in_trait_impl: bool,
+    /// Defined inside any `impl` block (trait or inherent).
+    pub in_impl: bool,
+    /// Lies inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Token index range `[start, end)` of the body (inside the braces);
+    /// empty for bodiless trait-method declarations.
+    pub body: (usize, usize),
+}
+
+/// One `use` declaration, flattened: the leading path segment (crate or
+/// keyword such as `std`, `crate`, `super`, `greednet_numerics`) plus
+/// every identifier appearing in the tree (so `use a::{b, c::d}` yields
+/// leaves `b`, `c`, `d` — over-approximate on purpose).
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// First path segment.
+    pub root: String,
+    /// All identifiers in the declaration after the root.
+    pub leaves: Vec<String>,
+}
+
+/// The parsed item view of one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnItem>,
+    pub uses: Vec<UseDecl>,
+}
+
+/// Keywords that may precede `fn` in an item prelude.
+const FN_PRELUDE: &[&str] = &["const", "unsafe", "async", "extern", "default"];
+
+/// Parses the item structure out of a lexed file.
+pub fn parse(lexed: &LexedFile) -> ParsedFile {
+    let tokens = &lexed.tokens;
+    let impls = find_impl_blocks(tokens);
+    let mut fns = Vec::new();
+    let mut uses = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match tokens[i].ident() {
+            Some("fn") => {
+                if let Some(item) = parse_fn(lexed, &impls, i) {
+                    fns.push(item);
+                }
+                i += 1;
+            }
+            Some("use") => {
+                let (decl, next) = parse_use(tokens, i);
+                if let Some(d) = decl {
+                    uses.push(d);
+                }
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+    ParsedFile { fns, uses }
+}
+
+/// An `impl` block's body token range plus whether it is a trait impl.
+struct ImplBlock {
+    body: (usize, usize),
+    is_trait: bool,
+}
+
+/// Finds every `impl ... {` block and whether a `for` appears in its
+/// header (trait impl) — `for` cannot otherwise occur between `impl` and
+/// the body brace (no loops in type position).
+fn find_impl_blocks(tokens: &[Token]) -> Vec<ImplBlock> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].ident() == Some("impl") {
+            let mut is_trait = false;
+            let mut j = i + 1;
+            // Scan the header to the body brace, skipping nested
+            // parens/brackets (e.g. `impl Trait for (A, B)`).
+            let mut depth = 0i64;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && t.ident() == Some("for") {
+                    is_trait = true;
+                } else if depth == 0 && t.is_punct('{') {
+                    break;
+                } else if depth == 0 && t.is_punct(';') {
+                    // `impl Trait for Type;` (never valid Rust, but stay
+                    // total on malformed input).
+                    break;
+                }
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('{') {
+                let close = match_brace(tokens, j);
+                out.push(ImplBlock {
+                    body: (j + 1, close),
+                    is_trait,
+                });
+                // Continue *inside* the impl so its fns are still seen by
+                // the main scan; nothing to skip here.
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the `}` matching the `{` at `open` (or `tokens.len()` on
+/// unbalanced input).
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Parses the `fn` item whose `fn` keyword sits at token `at`.
+fn parse_fn(lexed: &LexedFile, impls: &[ImplBlock], at: usize) -> Option<FnItem> {
+    let tokens = &lexed.tokens;
+    let name = tokens.get(at + 1)?.ident()?.to_string();
+    // Walk the item prelude backwards for a `pub`. Tolerate
+    // `pub(crate)`/`pub(in path)` by skipping one paren group.
+    let mut is_pub = false;
+    let mut k = at;
+    while k > 0 {
+        k -= 1;
+        let t = &tokens[k];
+        if let Some(id) = t.ident() {
+            if id == "pub" {
+                is_pub = true;
+                break;
+            }
+            if FN_PRELUDE.contains(&id) || id == "crate" || id == "super" || id == "in" {
+                continue;
+            }
+            break;
+        }
+        if t.is_punct(')') || t.is_punct('(') {
+            continue; // inside a pub(...) restriction
+        }
+        if matches!(t.kind, crate::lexer::TokenKind::Literal) {
+            continue; // extern "C"
+        }
+        break;
+    }
+    // Find the body: first `{` after the signature outside
+    // parens/brackets; a `;` first means a bodiless declaration.
+    let mut depth = 0i64;
+    let mut j = at + 2;
+    let mut body = (at + 2, at + 2);
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(';') {
+            break;
+        } else if depth == 0 && t.is_punct('{') {
+            let close = match_brace(tokens, j);
+            body = (j + 1, close);
+            break;
+        }
+        j += 1;
+    }
+    let in_impl = impls.iter().any(|b| b.body.0 <= at && at < b.body.1);
+    let in_trait_impl = impls
+        .iter()
+        .any(|b| b.is_trait && b.body.0 <= at && at < b.body.1);
+    Some(FnItem {
+        line: tokens[at].line,
+        in_test: lexed.in_test_code(tokens[at].line),
+        name,
+        is_pub,
+        in_trait_impl,
+        in_impl,
+        body,
+    })
+}
+
+/// Parses a `use` declaration starting at the `use` keyword; returns the
+/// declaration (if well-formed enough) and the index past its `;`.
+fn parse_use(tokens: &[Token], at: usize) -> (Option<UseDecl>, usize) {
+    let mut j = at + 1;
+    let mut root: Option<String> = None;
+    let mut leaves = Vec::new();
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct(';') {
+            j += 1;
+            break;
+        }
+        if let Some(id) = t.ident() {
+            if root.is_none() {
+                root = Some(id.to_string());
+            } else {
+                leaves.push(id.to_string());
+            }
+        }
+        j += 1;
+    }
+    (root.map(|root| UseDecl { root, leaves }), j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn fn_items_carry_visibility_and_lines() {
+        let p = parse_src("fn private() {}\n\npub fn public() {}\npub(crate) fn scoped() {}\n");
+        let names: Vec<(&str, bool, u32)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_pub, f.line))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("private", false, 1),
+                ("public", true, 3),
+                ("scoped", true, 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_impl_fns_are_marked() {
+        let src = "struct S;\nimpl S { fn inherent(&self) {} }\nimpl Clone for S { fn clone(&self) -> S { S } }\n";
+        let p = parse_src(src);
+        let inherent = p.fns.iter().find(|f| f.name == "inherent").unwrap();
+        assert!(inherent.in_impl && !inherent.in_trait_impl);
+        let clone = p.fns.iter().find(|f| f.name == "clone").unwrap();
+        assert!(clone.in_impl && clone.in_trait_impl);
+    }
+
+    #[test]
+    fn body_spans_cover_exactly_the_braces() {
+        let src = "fn f() { g(); }\nfn g() {}\n";
+        let p = parse_src(src);
+        let f = &p.fns[0];
+        let lexed = lex(src);
+        let body: Vec<&str> = lexed.tokens[f.body.0..f.body.1]
+            .iter()
+            .filter_map(Token::ident)
+            .collect();
+        assert_eq!(body, vec!["g"]);
+    }
+
+    #[test]
+    fn bodiless_trait_methods_have_empty_spans() {
+        let p = parse_src("trait T { fn required(&self) -> usize; }\n");
+        let f = p.fns.iter().find(|f| f.name == "required").unwrap();
+        assert_eq!(f.body.0, f.body.1);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let p = parse_src(src);
+        assert!(!p.fns.iter().find(|f| f.name == "lib").unwrap().in_test);
+        assert!(p.fns.iter().find(|f| f.name == "helper").unwrap().in_test);
+    }
+
+    #[test]
+    fn use_decls_flatten_roots_and_leaves() {
+        let p = parse_src(
+            "use std::collections::BTreeMap;\nuse greednet_numerics::{conv, stats::Welford};\n",
+        );
+        assert_eq!(p.uses.len(), 2);
+        assert_eq!(p.uses[0].root, "std");
+        assert_eq!(p.uses[1].root, "greednet_numerics");
+        assert!(p.uses[1].leaves.iter().any(|l| l == "conv"));
+        assert!(p.uses[1].leaves.iter().any(|l| l == "Welford"));
+    }
+
+    #[test]
+    fn generic_signatures_do_not_confuse_body_detection() {
+        let src = "pub fn f<T: Into<Vec<u8>>>(x: T) -> Vec<u8> where T: Clone { x.into() }\n";
+        let p = parse_src(src);
+        let lexed = lex(src);
+        let f = &p.fns[0];
+        let body: Vec<&str> = lexed.tokens[f.body.0..f.body.1]
+            .iter()
+            .filter_map(Token::ident)
+            .collect();
+        assert_eq!(body, vec!["x", "into"]);
+    }
+}

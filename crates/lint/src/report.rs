@@ -65,10 +65,19 @@ impl Analysis {
     }
 
     /// The `--json` machine report.
+    ///
+    /// The `"rules"` array lists every rule id this analyzer build
+    /// enforces, independent of whether it fired; CI diffs it against the
+    /// previous run's artifact so a rule can never be dropped silently.
     pub fn json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"root\": {},", json_str(&self.root));
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let rule_ids: Vec<String> = crate::rules::RULES
+            .iter()
+            .map(|(id, _)| json_str(id))
+            .collect();
+        let _ = writeln!(out, "  \"rules\": [{}],", rule_ids.join(", "));
         let _ = writeln!(out, "  \"clean\": {},", self.clean());
         out.push_str("  \"findings\": [");
         let mut first = true;
@@ -165,6 +174,20 @@ mod tests {
         assert!(a.human().contains("0 findings (1 allowed)"));
         assert!(a.json().contains("\"clean\": true"));
         assert!(a.json().contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn json_lists_every_enforced_rule() {
+        let a = Analysis {
+            root: ".".into(),
+            files_scanned: 0,
+            findings: vec![],
+        };
+        let j = a.json();
+        for (id, _) in crate::rules::RULES {
+            assert!(j.contains(&format!("\"{id}\"")), "missing {id} in {j}");
+        }
+        assert!(j.contains("\"rules\": [\"GN01\""));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The greednet invariant rules, GN01–GN05.
+//! The greednet invariant rules, GN01–GN09.
 //!
 //! Each rule guards a guarantee the paper-reproduction pipeline depends
 //! on (see `LINTS.md` at the workspace root for the full rationale):
@@ -10,11 +10,19 @@
 //! | GN03 | no `unwrap`/`expect`/`panic!`/`todo!` in library code |
 //! | GN04 | every first-party crate root carries `#![forbid(unsafe_code)]` |
 //! | GN05 | no wall-clock or `thread::sleep` in experiment code paths |
+//! | GN06 | no panic reachable from a pub library fn ([`crate::graph`]) |
+//! | GN07 | float comparators must use `total_cmp`, not `partial_cmp` |
+//! | GN08 | no swallowed `Result`s (`.ok();` / `let _ =` a fallible call) |
+//! | GN09 | no lossy `as` integer casts in deterministic crates |
 //!
 //! Rules apply to *library* code: integration tests, benches, binaries,
 //! and inline `#[cfg(test)]` modules are exempt (they own their I/O,
 //! timing displays, and assertion style; none of them sit on the
-//! deterministic replication path).
+//! deterministic replication path). GN07 is the exception: it also runs
+//! over test code in deterministic crates, because a NaN-partial
+//! comparator in a *test* panics since Rust 1.81 and silently reorders
+//! before that — either way the test stops pinning the behaviour it was
+//! written for.
 
 use crate::lexer::{LexedFile, Token};
 
@@ -100,7 +108,28 @@ pub const RULES: &[(&str, &str)] = &[
         "GN05",
         "no wall-clock/thread::sleep in experiment code paths",
     ),
+    (
+        "GN06",
+        "no panic reachable from a pub library fn (call-graph closure)",
+    ),
+    (
+        "GN07",
+        "float comparators must use total_cmp, not partial_cmp+unwrap",
+    ),
+    ("GN08", "no swallowed Results in library code"),
+    (
+        "GN09",
+        "no lossy `as` integer casts in deterministic crates",
+    ),
 ];
+
+/// Diagnostic ids the analyzer emits that are not suppressible rules;
+/// `--list-rules` prints these too so LINTS.md can document every id the
+/// `--json` report may contain.
+pub const DIAGNOSTICS: &[(&str, &str)] = &[(
+    "GN00",
+    "malformed greednet-lint annotation (diagnostic, not suppressible)",
+)];
 
 /// Runs every rule over one lexed file, applying suppressions.
 pub fn check_file(ctx: &FileContext, lexed: &LexedFile) -> Vec<Finding> {
@@ -125,8 +154,12 @@ pub fn check_file(ctx: &FileContext, lexed: &LexedFile) -> Vec<Finding> {
         gn02(ctx, lexed, &mut findings);
         gn03(ctx, lexed, &mut findings);
         gn05(ctx, lexed, &mut findings);
+        gn08(ctx, lexed, &mut findings);
+        gn09(ctx, lexed, &mut findings);
     }
     gn04(ctx, lexed, &mut findings);
+    // GN07 deliberately runs for tests and benches too (see module docs).
+    gn07(ctx, lexed, &mut findings);
     apply_suppressions(lexed, &mut findings);
     findings
 }
@@ -361,6 +394,221 @@ fn gn05(ctx: &FileContext, lexed: &LexedFile, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Comparator-taking slice/iterator methods GN07 inspects.
+const SORT_METHODS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "min_by",
+    "max_by",
+    "binary_search_by",
+];
+
+/// `Option`/`Result` extractors that make a `partial_cmp` comparator
+/// non-total (or NaN-collapsing) instead of NaN-ordering.
+const PARTIAL_ESCAPES: &[&str] = &["unwrap", "unwrap_or", "unwrap_or_else", "expect"];
+
+/// GN07: float comparators built from `partial_cmp` + an unwrap-family
+/// escape. On NaN the comparator either panics (`unwrap`, a hard error
+/// since Rust 1.81's sort algorithms assert totality) or claims equality
+/// (`unwrap_or(Equal)`), which makes the sort order depend on the input
+/// permutation — and hence, in this workspace, on thread count. Bitwise
+/// replication needs `f64::total_cmp` (or a NaN-freedom proof in an
+/// allow annotation).
+fn gn07(ctx: &FileContext, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    if !DETERMINISTIC_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if !SORT_METHODS.contains(&name)
+            || i == 0
+            || !tokens[i - 1].is_punct('.')
+            || !tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        let args = paren_span(tokens, i + 1);
+        let uses_partial = tokens[args.clone()]
+            .iter()
+            .any(|t| t.ident() == Some("partial_cmp"));
+        let escapes = tokens[args]
+            .iter()
+            .any(|t| t.ident().is_some_and(|id| PARTIAL_ESCAPES.contains(&id)));
+        if uses_partial && escapes {
+            push(
+                findings,
+                "GN07",
+                ctx,
+                t.line,
+                format!(
+                    ".{name}() comparator uses partial_cmp + unwrap: non-total \
+                     on NaN (panics or input-order-dependent); use \
+                     f64::total_cmp or prove NaN-freedom in an allow"
+                ),
+            );
+        }
+    }
+}
+
+/// True if the statement containing token `i` drops its value: walking
+/// back to the previous `;`/`{`/`}` finds neither an `=` (binding or
+/// assignment) nor a `return`/`break` handing the value out.
+fn statement_discards_value(tokens: &[Token], i: usize) -> bool {
+    for t in tokens[..i].iter().rev() {
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return true;
+        }
+        if t.is_punct('=') || matches!(t.ident(), Some("return" | "break")) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Token index range strictly inside the paren group opening at `open`
+/// (which must be `(`); empty on malformed input.
+fn paren_span(tokens: &[Token], open: usize) -> std::ops::Range<usize> {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return open + 1..k;
+            }
+        }
+    }
+    open + 1..open + 1
+}
+
+/// GN08: silently swallowed `Result`s. A `.ok();` statement or a
+/// `let _ = fallible_call(...);` binding throws the error away without a
+/// trace; library code must propagate, handle, or log it. Carve-out:
+/// `write!`/`writeln!` through `fmt::Write` into a `String` is
+/// infallible by contract, so `let _ = write!(..)` is the idiomatic
+/// discard and stays legal when the file imports `fmt::Write`.
+fn gn08(ctx: &FileContext, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    let tokens = &lexed.tokens;
+    let has_fmt_write = tokens.windows(4).any(|w| {
+        w[0].ident() == Some("fmt")
+            && w[1].is_punct(':')
+            && w[2].is_punct(':')
+            && w[3].ident() == Some("Write")
+    });
+    for (i, t) in tokens.iter().enumerate() {
+        if lexed.in_test_code(t.line) {
+            continue;
+        }
+        // `.ok();` ending a statement whose value is discarded (a `=` or
+        // `return` earlier in the statement means the Option is used).
+        if t.ident() == Some("ok")
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(')'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct(';'))
+            && statement_discards_value(tokens, i)
+        {
+            push(
+                findings,
+                "GN08",
+                ctx,
+                t.line,
+                ".ok(); discards a Result and its error: propagate it, handle \
+                 it, or destructure the success value"
+                    .into(),
+            );
+        }
+        // `let _ = <expr containing a call> ;`
+        if t.ident() == Some("let")
+            && tokens.get(i + 1).and_then(Token::ident) == Some("_")
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('='))
+        {
+            let is_fmt_macro = tokens
+                .get(i + 3)
+                .and_then(Token::ident)
+                .is_some_and(|id| id == "write" || id == "writeln")
+                && tokens.get(i + 4).is_some_and(|t| t.is_punct('!'));
+            if is_fmt_macro && has_fmt_write {
+                continue;
+            }
+            // Scan to the statement's `;` at bracket depth 0; a `(`
+            // anywhere in the expression marks a (possibly fallible)
+            // call being discarded.
+            let mut depth = 0i64;
+            let mut has_call = false;
+            for tk in tokens.iter().skip(i + 3) {
+                if tk.is_punct('(') || tk.is_punct('[') || tk.is_punct('{') {
+                    depth += 1;
+                    has_call = has_call || tk.is_punct('(');
+                } else if tk.is_punct(')') || tk.is_punct(']') || tk.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 0 && tk.is_punct(';') {
+                    break;
+                }
+            }
+            if has_call {
+                push(
+                    findings,
+                    "GN08",
+                    ctx,
+                    t.line,
+                    "let _ = on a call discards any error it returns: bind the \
+                     Result and handle it (write!-into-String via fmt::Write \
+                     is the only sanctioned discard)"
+                        .into(),
+                );
+            }
+        }
+    }
+}
+
+/// Integer target types an `as` cast may silently truncate or
+/// reinterpret into (GN09). `as f64`, `as i32`, and `as isize` are
+/// deliberately *not* flagged: a token-level analyzer cannot see the
+/// source type, and those targets are dominated by lossless
+/// widening/shrink-free uses here — flagging them would be noise, which
+/// is documented as an under-approximation in DESIGN.md §7.
+const LOSSY_AS_TARGETS: &[&str] = &["usize", "u32", "u64", "i64"];
+
+/// GN09: lossy `as` casts in deterministic crates. `as` silently
+/// truncates, saturates, and sign-flips; the replication tables must
+/// never depend on such a cast being "probably in range". Use
+/// `try_from`/`From`, or one of `greednet_numerics::conv`'s audited
+/// helpers (which carry the range proof in their allow annotations).
+fn gn09(ctx: &FileContext, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    if !DETERMINISTIC_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if lexed.in_test_code(t.line) {
+            continue;
+        }
+        if t.ident() != Some("as") {
+            continue;
+        }
+        let Some(target) = tokens.get(i + 1).and_then(Token::ident) else {
+            continue;
+        };
+        if LOSSY_AS_TARGETS.contains(&target) {
+            push(
+                findings,
+                "GN09",
+                ctx,
+                t.line,
+                format!(
+                    "`as {target}` can silently truncate or sign-flip: use \
+                     try_from/From or a greednet_numerics::conv helper whose \
+                     allow annotation proves the range"
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,6 +786,128 @@ mod tests {
             .collect();
         assert_eq!(live, vec![2]);
         assert!(f.iter().any(|f| f.suppressed.is_some() && f.line == 1));
+    }
+
+    #[test]
+    fn gn07_flags_partial_cmp_comparators_even_in_tests() {
+        let src = "v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                   v.sort_by(f64::total_cmp);\n\
+                   let m = v.iter().min_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));\n";
+        let f = check_file(
+            &ctx("queueing", "crates/queueing/src/x.rs", FileKind::Lib, false),
+            &lex(src),
+        );
+        // (`.unwrap()` on line 1 additionally draws GN03; look at GN07 only.)
+        let lines: Vec<u32> = f
+            .iter()
+            .filter(|f| f.rule == "GN07")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, vec![1, 3]);
+        // Test files in deterministic crates are NOT exempt from GN07.
+        let in_test = check_file(
+            &ctx(
+                "queueing",
+                "crates/queueing/tests/t.rs",
+                FileKind::Test,
+                false,
+            ),
+            &lex("v.sort_by(|a, b| a.partial_cmp(b).expect(\"finite\"));\n"),
+        );
+        assert_eq!(rules_fired(&in_test), vec!["GN07"]);
+        // Non-deterministic crates are out of scope for GN07.
+        let tel = check_file(
+            &ctx(
+                "telemetry",
+                "crates/telemetry/src/x.rs",
+                FileKind::Lib,
+                false,
+            ),
+            &lex("v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n"),
+        );
+        assert!(!tel.iter().any(|f| f.rule == "GN07"));
+    }
+
+    #[test]
+    fn gn07_ignores_partial_cmp_outside_sort_comparators() {
+        let src = "let o = a.partial_cmp(&b);\nlet k = v.sort_by_cached_key(|x| x.id);\n";
+        let f = check_file(
+            &ctx("numerics", "crates/numerics/src/x.rs", FileKind::Lib, false),
+            &lex(src),
+        );
+        assert!(rules_fired(&f).is_empty());
+    }
+
+    #[test]
+    fn gn08_flags_ok_statements_and_let_underscore_calls() {
+        let src = "do_thing().ok();\nlet _ = send(msg);\nlet _ = config;\nlet ok = x.ok();\n";
+        let f = check_file(
+            &ctx(
+                "telemetry",
+                "crates/telemetry/src/x.rs",
+                FileKind::Lib,
+                false,
+            ),
+            &lex(src),
+        );
+        let lines: Vec<u32> = f.iter().map(|f| f.line).collect();
+        // `let _ = config;` (no call) and `let ok = x.ok()` (used) pass.
+        assert_eq!(lines, vec![1, 2]);
+    }
+
+    #[test]
+    fn gn08_carves_out_fmt_write_into_string() {
+        let src = "use std::fmt::Write as _;\nlet _ = writeln!(out, \"x\");\nlet _ = write!(out, \"y\");\n";
+        let f = check_file(
+            &ctx("runtime", "crates/runtime/src/x.rs", FileKind::Lib, false),
+            &lex(src),
+        );
+        assert!(rules_fired(&f).is_empty());
+        // Without the fmt::Write import the discard is suspicious again.
+        let bare = check_file(
+            &ctx("runtime", "crates/runtime/src/x.rs", FileKind::Lib, false),
+            &lex("let _ = writeln!(out, \"x\");\n"),
+        );
+        assert_eq!(rules_fired(&bare), vec!["GN08"]);
+    }
+
+    #[test]
+    fn gn09_flags_lossy_casts_in_deterministic_lib_code_only() {
+        let src = "let a = x as usize;\nlet b = y as u64;\nlet c = z as f64;\nlet d = w as i64;\n";
+        let f = check_file(
+            &ctx("des", "crates/des/src/x.rs", FileKind::Lib, false),
+            &lex(src),
+        );
+        let lines: Vec<u32> = f.iter().map(|f| f.line).collect();
+        // `as f64` is the documented under-approximation.
+        assert_eq!(lines, vec![1, 2, 4]);
+        let tel = check_file(
+            &ctx(
+                "telemetry",
+                "crates/telemetry/src/x.rs",
+                FileKind::Lib,
+                false,
+            ),
+            &lex(src),
+        );
+        assert!(rules_fired(&tel).is_empty());
+        let test_code = check_file(
+            &ctx("des", "crates/des/src/x.rs", FileKind::Lib, false),
+            &lex("#[cfg(test)]\nmod tests {\n    fn t() { let a = x as usize; }\n}\n"),
+        );
+        assert!(rules_fired(&test_code).is_empty());
+    }
+
+    #[test]
+    fn gn08_gn09_respect_allow_annotations() {
+        let src = "let a = x as usize; // greednet-lint: allow(GN09, reason = \"x < 64 by loop bound\")\n";
+        let f = check_file(
+            &ctx("des", "crates/des/src/x.rs", FileKind::Lib, false),
+            &lex(src),
+        );
+        assert!(rules_fired(&f).is_empty());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed.is_some());
     }
 
     #[test]

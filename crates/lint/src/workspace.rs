@@ -1,13 +1,14 @@
 //! Workspace discovery and the file walk: finds every first-party `.rs`
 //! file, classifies its role (lib / test / bench / bin), and runs the
-//! rules over it.
+//! rules over it in two passes — the per-file rules first, then the
+//! whole-workspace call-graph rule GN06 over the full file set.
 //!
 //! First-party means the facade package at the workspace root plus every
 //! crate under `crates/`. `vendor/` (offline dependency stand-ins),
 //! `target/`, and the analyzer's own `fixtures/` corpus (deliberately
 //! rule-violating snippets) are never walked.
 
-use crate::lexer;
+use crate::graph::{self, SourceFile};
 use crate::report::Analysis;
 use crate::rules::{self, FileContext, FileKind};
 use std::fs;
@@ -60,14 +61,19 @@ pub fn analyze(root: &Path) -> Result<Analysis, String> {
     }
     files.sort();
 
+    // Pass 1: lex+parse every file once and run the per-file rules.
     let mut findings = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for path in &files {
         let ctx = classify(root, path);
         let src = fs::read_to_string(path)
             .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
-        let lexed = lexer::lex(&src);
-        findings.extend(rules::check_file(&ctx, &lexed));
+        let sf = SourceFile::new(ctx, &src);
+        findings.extend(rules::check_file(&sf.ctx, &sf.lexed));
+        sources.push(sf);
     }
+    // Pass 2: the call-graph rule needs the whole workspace at once.
+    findings.extend(graph::gn06(&sources));
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(Analysis {

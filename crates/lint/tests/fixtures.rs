@@ -3,7 +3,7 @@
 //! that must not. A rule that stops firing on its bad fixture (or starts
 //! firing on its allowed one) is a regression in the analyzer itself.
 
-use greednet_lint::{check_file, lexer, FileContext, FileKind, Finding};
+use greednet_lint::{check_file, graph, lexer, FileContext, FileKind, Finding, SourceFile};
 use std::path::Path;
 
 /// The per-rule fixture contexts: each bad snippet is checked *as if* it
@@ -15,6 +15,10 @@ fn context_for(rule: &str) -> FileContext {
         "GN03" => ("queueing", "crates/queueing/src/fixture.rs", false),
         "GN04" => ("mechanisms", "crates/mechanisms/src/lib.rs", true),
         "GN05" => ("runtime", "crates/runtime/src/fixture.rs", false),
+        "GN06" => ("core", "crates/core/src/fixture.rs", false),
+        "GN07" => ("numerics", "crates/numerics/src/fixture.rs", false),
+        "GN08" => ("telemetry", "crates/telemetry/src/fixture.rs", false),
+        "GN09" => ("des", "crates/des/src/fixture.rs", false),
         other => panic!("no fixture context for {other}"),
     };
     FileContext {
@@ -32,7 +36,13 @@ fn check_fixture(kind: &str, rule: &str) -> Vec<Finding> {
         .join(format!("{}.rs", rule.to_lowercase()));
     let src = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
-    check_file(&context_for(rule), &lexer::lex(&src))
+    if rule == "GN06" {
+        // The call-graph rule runs over a file *set*, not check_file; the
+        // fixture is a one-file workspace.
+        graph::gn06(&[SourceFile::new(context_for(rule), &src)])
+    } else {
+        check_file(&context_for(rule), &lexer::lex(&src))
+    }
 }
 
 fn live<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
@@ -63,6 +73,10 @@ fn bad_fixtures_fire_their_rule() {
         ("GN03", 4),
         ("GN04", 1),
         ("GN05", 2),
+        ("GN06", 2),
+        ("GN07", 4),
+        ("GN08", 3),
+        ("GN09", 6),
     ];
     for (rule, min_count) in expected_min {
         let findings = check_fixture("bad", rule);
@@ -89,6 +103,47 @@ fn bad_fixture_spans_point_at_the_offending_lines() {
 
     let gn04 = check_fixture("bad", "GN04");
     assert_eq!(live(&gn04, "GN04")[0].line, 1, "GN04 anchors at line 1");
+
+    let gn06 = check_fixture("bad", "GN06");
+    let lines: Vec<u32> = live(&gn06, "GN06").iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![4, 12], "GN06 anchors at the entry fns");
+
+    let gn07 = check_fixture("bad", "GN07");
+    let lines: Vec<u32> = live(&gn07, "GN07").iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![6, 10, 16, 24], "sort/min/max/test-sort spans");
+
+    let gn08 = check_fixture("bad", "GN08");
+    let lines: Vec<u32> = live(&gn08, "GN08").iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![5, 6, 10], ".ok(); and let _ = spans");
+
+    let gn09 = check_fixture("bad", "GN09");
+    let lines: Vec<u32> = live(&gn09, "GN09").iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![4, 5, 6, 7, 10, 10], "lossy cast spans");
+}
+
+#[test]
+fn gn06_diagnostic_prints_the_call_graph_path() {
+    // The panic-reachability message must show *how* the panic is
+    // reached: the fn chain plus the offending construct's file:line.
+    let gn06 = check_fixture("bad", "GN06");
+    let through_helper = live(&gn06, "GN06")
+        .into_iter()
+        .find(|f| f.line == 4)
+        .expect("entry fn `solve` flagged");
+    assert!(
+        through_helper
+            .message
+            .contains("solve → inner_step → .unwrap()"),
+        "path diagnostic missing: {}",
+        through_helper.message
+    );
+    assert!(
+        through_helper
+            .message
+            .contains("crates/core/src/fixture.rs:9"),
+        "panic-site span missing: {}",
+        through_helper.message
+    );
 }
 
 #[test]
@@ -107,7 +162,9 @@ fn allowed_fixtures_are_clean() {
 fn allowed_fixtures_record_suppression_reasons() {
     // The annotated fixtures must show up as *suppressed* findings (the
     // rule still matched — an allow is visible, not invisible).
-    for rule in ["GN01", "GN02", "GN03", "GN05"] {
+    for rule in [
+        "GN01", "GN02", "GN03", "GN05", "GN06", "GN07", "GN08", "GN09",
+    ] {
         let findings = check_fixture("allowed", rule);
         let suppressed: Vec<&Finding> = findings
             .iter()

@@ -137,11 +137,11 @@ pub fn hessenberg(a: &Matrix) -> Result<Matrix> {
 pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>> {
     let h = hessenberg(a)?;
     let mut eig = hqr(h)?;
-    eig.sort_by(|x, y| {
-        y.abs()
-            .partial_cmp(&x.abs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // `total_cmp` keeps the comparator total (GN07): magnitudes are
+    // non-negative, so the ordering is identical to `partial_cmp` on any
+    // NaN-free spectrum, and a NaN (instead of corrupting the sort) sorts
+    // deterministically last.
+    eig.sort_by(|x, y| y.abs().total_cmp(&x.abs()));
     Ok(eig)
 }
 
@@ -156,6 +156,9 @@ pub fn spectral_radius(a: &Matrix) -> Result<f64> {
 /// Francis double-shift QR on an upper Hessenberg matrix (0-indexed port
 /// of the classical `hqr` routine).
 fn hqr(mut a: Matrix) -> Result<Vec<Complex>> {
+    // The classical routine indexes with signed counters (`nn`, `l`, `m`)
+    // that the loop guards keep non-negative at every conversion site.
+    let iu = crate::conv::isize_to_usize;
     let n = a.rows();
     let mut eig: Vec<Complex> = Vec::with_capacity(n);
     if n == 0 {
@@ -182,24 +185,23 @@ fn hqr(mut a: Matrix) -> Result<Vec<Complex>> {
             // Find l: smallest index such that a[l][l-1] is negligible.
             let mut l = nn;
             while l >= 1 {
-                let s =
-                    a[(l as usize - 1, l as usize - 1)].abs() + a[(l as usize, l as usize)].abs();
+                let s = a[(iu(l) - 1, iu(l) - 1)].abs() + a[(iu(l), iu(l))].abs();
                 let s = if s == 0.0 { anorm } else { s };
-                if a[(l as usize, l as usize - 1)].abs() + s == s {
-                    a[(l as usize, l as usize - 1)] = 0.0;
+                if a[(iu(l), iu(l) - 1)].abs() + s == s {
+                    a[(iu(l), iu(l) - 1)] = 0.0;
                     break;
                 }
                 l -= 1;
             }
-            let x = a[(nn as usize, nn as usize)];
+            let x = a[(iu(nn), iu(nn))];
             if l == nn {
                 // One real eigenvalue isolated.
                 eig.push(Complex::real(x + t));
                 nn -= 1;
                 break;
             }
-            let y = a[(nn as usize - 1, nn as usize - 1)];
-            let w = a[(nn as usize, nn as usize - 1)] * a[(nn as usize - 1, nn as usize)];
+            let y = a[(iu(nn) - 1, iu(nn) - 1)];
+            let w = a[(iu(nn), iu(nn) - 1)] * a[(iu(nn) - 1, iu(nn))];
             if l == nn - 1 {
                 // 2x2 block: a real pair or a complex conjugate pair.
                 let p = 0.5 * (y - x);
@@ -224,18 +226,17 @@ fn hqr(mut a: Matrix) -> Result<Vec<Complex>> {
                 return Err(NumericsError::MaxIterations {
                     algorithm: "hqr",
                     iterations: 60,
-                    residual: a[(nn as usize, nn as usize - 1)].abs(),
+                    residual: a[(iu(nn), iu(nn) - 1)].abs(),
                 });
             }
             let (mut x, mut y, mut w) = (x, y, w);
             if its == 10 || its == 20 || its == 30 || its == 40 || its == 50 {
                 // Exceptional shift.
                 t += x;
-                for i in 0..=(nn as usize) {
+                for i in 0..=iu(nn) {
                     a[(i, i)] -= x;
                 }
-                let s = a[(nn as usize, nn as usize - 1)].abs()
-                    + a[(nn as usize - 1, nn as usize - 2)].abs();
+                let s = a[(iu(nn), iu(nn) - 1)].abs() + a[(iu(nn) - 1, iu(nn) - 2)].abs();
                 x = 0.75 * s;
                 y = x;
                 w = -0.4375 * s * s;
@@ -246,7 +247,7 @@ fn hqr(mut a: Matrix) -> Result<Vec<Complex>> {
             let mut m = nn - 2;
             let (mut p, mut q, mut r) = (0.0f64, 0.0f64, 0.0f64);
             while m >= l {
-                let mu = m as usize;
+                let mu = iu(m);
                 let z = a[(mu, mu)];
                 let rr = x - z;
                 let ss = y - z;
@@ -267,9 +268,9 @@ fn hqr(mut a: Matrix) -> Result<Vec<Complex>> {
                 }
                 m -= 1;
             }
-            let m = m.max(l) as usize;
-            let nnu = nn as usize;
-            let lu = l as usize;
+            let m = iu(m.max(l));
+            let nnu = iu(nn);
+            let lu = iu(l);
             for i in (m + 2)..=nnu {
                 a[(i, i - 2)] = 0.0;
                 if i != m + 2 {
@@ -403,11 +404,7 @@ pub fn jacobi_symmetric(a: &Matrix) -> Result<Vec<f64>> {
         }
     }
     let mut eig: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    eig.sort_by(|x, y| {
-        y.abs()
-            .partial_cmp(&x.abs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    eig.sort_by(|x, y| y.abs().total_cmp(&x.abs()));
     Ok(eig)
 }
 
@@ -503,7 +500,7 @@ mod tests {
         // Companion matrix of x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3).
         let a = mat(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
         let mut e: Vec<f64> = eigenvalues(&a).unwrap().iter().map(|z| z.re).collect();
-        e.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        e.sort_by(f64::total_cmp);
         assert_close(e[0], 1.0, 1e-8);
         assert_close(e[1], 2.0, 1e-8);
         assert_close(e[2], 3.0, 1e-8);
@@ -549,8 +546,8 @@ mod tests {
         ]);
         let mut qr: Vec<f64> = eigenvalues(&a).unwrap().iter().map(|z| z.re).collect();
         let mut jc = jacobi_symmetric(&a).unwrap();
-        qr.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        jc.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        qr.sort_by(f64::total_cmp);
+        jc.sort_by(f64::total_cmp);
         for (u, v) in qr.iter().zip(&jc) {
             assert_close(*u, *v, 1e-8);
         }

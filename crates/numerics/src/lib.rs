@@ -19,6 +19,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod conv;
 pub mod diff;
 pub mod eig;
 pub mod error;

@@ -191,7 +191,10 @@ impl Matrix {
     /// # Errors
     /// Returns [`NumericsError::ShapeMismatch`] for non-square matrices.
     pub fn is_nilpotent(&self, tol: f64) -> Result<bool> {
-        let p = self.pow(self.rows as u32)?;
+        let n = u32::try_from(self.rows).map_err(|_| NumericsError::ShapeMismatch {
+            detail: format!("matrix dimension {} exceeds u32 range", self.rows),
+        })?;
+        let p = self.pow(n)?;
         Ok(p.max_abs() <= tol * (1.0 + self.max_abs().powi(self.rows as i32)))
     }
 }

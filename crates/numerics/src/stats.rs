@@ -230,7 +230,6 @@ pub fn batch_means_ci(samples: &[f64], batches: usize) -> Result<MeanCi> {
         });
     }
     let per = samples.len() / batches;
-    let used = per * batches;
     let mut batch_means = Vec::with_capacity(batches);
     for b in 0..batches {
         let chunk = &samples[b * per..(b + 1) * per];
@@ -243,7 +242,6 @@ pub fn batch_means_ci(samples: &[f64], batches: usize) -> Result<MeanCi> {
         .sum::<f64>()
         / (batches - 1) as f64;
     let half = t_975(batches - 1) * (var / batches as f64).sqrt();
-    let _ = used;
     Ok(MeanCi {
         mean,
         half_width: half,
@@ -265,10 +263,14 @@ pub fn quantile(samples: &[f64], q: f64) -> Result<f64> {
         });
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // Total comparator (GN07): identical to `partial_cmp` on NaN-free
+    // samples; any NaN sorts deterministically last instead of scrambling
+    // the order statistics.
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
+    // `pos` is finite and within [0, len-1] by the argument checks above.
+    let lo = crate::conv::f64_to_usize(pos.floor());
+    let hi = crate::conv::f64_to_usize(pos.ceil());
     let frac = pos - lo as f64;
     Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
@@ -438,8 +440,10 @@ impl Reservoir {
             self.samples.push(x);
         } else {
             let j = self.next_u64() % self.seen;
-            if (j as usize) < self.capacity {
-                self.samples[j as usize] = x;
+            if let Ok(j) = usize::try_from(j) {
+                if j < self.capacity {
+                    self.samples[j] = x;
+                }
             }
         }
     }

@@ -61,8 +61,8 @@ proptest! {
         let sym = Matrix::from_fn(4, 4, |i, j| 0.5 * (m[(i, j)] + m[(j, i)]));
         let mut qr: Vec<f64> = eigenvalues(&sym).unwrap().iter().map(|z| z.re).collect();
         let mut jc = jacobi_symmetric(&sym).unwrap();
-        qr.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        jc.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        qr.sort_by(f64::total_cmp);
+        jc.sort_by(f64::total_cmp);
         for (u, v) in qr.iter().zip(&jc) {
             prop_assert!((u - v).abs() < 1e-6, "{u} vs {v}");
         }

@@ -53,11 +53,10 @@ impl FairShare {
 /// their original order — the allocation value is tie-invariant).
 pub fn ascending_order(rates: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..rates.len()).collect();
-    order.sort_by(|&a, &b| {
-        rates[a]
-            .partial_cmp(&rates[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // Total comparator (GN07): identical ordering to `partial_cmp` for the
+    // finite non-negative rates every caller validates; a stray NaN sorts
+    // deterministically last instead of silently breaking transitivity.
+    order.sort_by(|&a, &b| rates[a].total_cmp(&rates[b]));
     order
 }
 
@@ -65,8 +64,9 @@ pub fn ascending_order(rates: &[f64]) -> Vec<usize> {
 /// user `i`'s sorted position `k`. Indexing the result with a valid user
 /// index can never fail, unlike a linear `position(..)` search whose
 /// `Option` would otherwise have to be unwrapped on every derivative
-/// evaluation (GN03).
-fn sorted_positions(order: &[usize]) -> Vec<usize> {
+/// evaluation (GN03). Shared with the other serial disciplines, whose
+/// per-user lookups would otherwise end in `unreachable!` (GN06).
+pub(crate) fn sorted_positions(order: &[usize]) -> Vec<usize> {
     let mut pos = vec![0usize; order.len()];
     for (k, &user) in order.iter().enumerate() {
         pos[user] = k;

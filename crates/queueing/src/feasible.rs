@@ -44,6 +44,13 @@ impl Allocation {
             });
         }
         validate_rates(&rates)?;
+        // Congestions may be infinite (overloaded users) but a NaN would
+        // poison every feasibility comparison downstream.
+        if let Some((i, &c)) = congestions.iter().enumerate().find(|(_, c)| c.is_nan()) {
+            return Err(QueueingError::InvalidParameter {
+                detail: format!("congestion {i} is NaN (got {c})"),
+            });
+        }
         Ok(Allocation { rates, congestions })
     }
 
@@ -102,10 +109,13 @@ impl Allocation {
         // Subset constraints: sort by c/r ascending (r = 0 users sort first
         // with ratio 0; their constraint is trivially satisfied).
         let mut order: Vec<usize> = (0..self.len()).collect();
+        // Total comparator (GN07): rates are validated finite and
+        // congestions NaN-free at construction, so the ratios admit a NaN
+        // only from inf/inf — which `total_cmp` still orders consistently.
         order.sort_by(|&a, &b| {
             let ra = ratio(self.congestions[a], self.rates[a]);
             let rb = ratio(self.congestions[b], self.rates[b]);
-            ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+            ra.total_cmp(&rb)
         });
         let mut prefix_r = 0.0;
         let mut prefix_c = 0.0;
@@ -135,7 +145,7 @@ impl Allocation {
         order.sort_by(|&a, &b| {
             let ra = ratio(self.congestions[a], self.rates[a]);
             let rb = ratio(self.congestions[b], self.rates[b]);
-            ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+            ra.total_cmp(&rb)
         });
         let mut prefix_r = 0.0;
         let mut prefix_c = 0.0;
@@ -192,7 +202,7 @@ pub fn validate_all_subsets(alloc: &Allocation) -> Result<()> {
         let need = mm1::g(sr);
         if sc + FEASIBILITY_TOL * (1.0 + need) < need {
             return Err(QueueingError::SubsetConstraintViolated {
-                prefix: mask.count_ones() as usize,
+                prefix: greednet_numerics::conv::u32_to_usize(mask.count_ones()),
                 subset_congestion: sc,
                 required: need,
             });
@@ -312,6 +322,12 @@ mod tests {
             Allocation::new(vec![f64::NAN], vec![0.1]),
             Err(QueueingError::InvalidRates { .. })
         ));
+        assert!(matches!(
+            Allocation::new(vec![0.1], vec![f64::NAN]),
+            Err(QueueingError::InvalidParameter { .. })
+        ));
+        // Infinite congestion stays legal: it encodes overloaded users.
+        assert!(Allocation::new(vec![0.7], vec![f64::INFINITY]).is_ok());
     }
 
     #[test]

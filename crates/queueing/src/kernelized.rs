@@ -147,17 +147,14 @@ impl AllocationFunction for KernelFairShare {
     }
 
     fn d_own(&self, rates: &[f64], i: usize) -> f64 {
+        // Inverted-permutation lookup is total for any valid `i`: no
+        // search loop, no panic path (GN06).
         let n = rates.len();
         let order = ascending_order(rates);
-        let mut prefix = 0.0;
-        for (k, &idx) in order.iter().enumerate() {
-            if idx == i {
-                let m = (n - k) as f64;
-                return self.kernel.g_prime(m * rates[idx] + prefix);
-            }
-            prefix += rates[idx];
-        }
-        unreachable!("user index {i} not found");
+        let k = crate::fair_share::sorted_positions(&order)[i];
+        let m = (n - k) as f64;
+        let prefix: f64 = order[..k].iter().map(|&idx| rates[idx]).sum();
+        self.kernel.g_prime(m * rates[i] + prefix)
     }
 
     fn d_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {
@@ -176,15 +173,10 @@ impl AllocationFunction for KernelFairShare {
     fn d2_own(&self, rates: &[f64], i: usize) -> f64 {
         let n = rates.len();
         let order = ascending_order(rates);
-        let mut prefix = 0.0;
-        for (k, &idx) in order.iter().enumerate() {
-            if idx == i {
-                let m = (n - k) as f64;
-                return m * self.kernel.g_double_prime(m * rates[idx] + prefix);
-            }
-            prefix += rates[idx];
-        }
-        unreachable!("user index {i} not found");
+        let k = crate::fair_share::sorted_positions(&order)[i];
+        let m = (n - k) as f64;
+        let prefix: f64 = order[..k].iter().map(|&idx| rates[idx]).sum();
+        m * self.kernel.g_double_prime(m * rates[i] + prefix)
     }
 
     fn clone_box(&self) -> Box<dyn AllocationFunction> {

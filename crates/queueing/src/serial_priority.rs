@@ -117,17 +117,13 @@ impl AllocationFunction for SerialPriority {
 }
 
 /// Cumulative loads `(Λ_k, Λ_{k-1})` around user `i`'s sorted position.
+/// Total for any valid user index — the inverted-permutation lookup
+/// replaces a search loop that needed an `unreachable!` arm (GN06).
 fn cumulative_to(rates: &[f64], i: usize) -> (f64, f64) {
     let order = ascending_order(rates);
-    let mut lambda = 0.0;
-    for &idx in &order {
-        let prev = lambda;
-        lambda += rates[idx];
-        if idx == i {
-            return (lambda, prev);
-        }
-    }
-    unreachable!("user index {i} not found");
+    let k = crate::fair_share::sorted_positions(&order)[i];
+    let prev: f64 = order[..k].iter().map(|&idx| rates[idx]).sum();
+    (prev + rates[i], prev)
 }
 
 #[cfg(test)]

@@ -57,11 +57,15 @@ impl WeightedFairShare {
 
     /// User order by ascending normalized demand `r_i / w_i`.
     fn t_order(&self, rates: &[f64]) -> Vec<usize> {
+        // Rates are debug-asserted finite at the public entry points and
+        // weights are validated positive in `new`, so the normalized
+        // demands are NaN-free; `total_cmp` (GN07) keeps the comparator
+        // total even if that contract is ever violated.
         let mut order: Vec<usize> = (0..rates.len()).collect();
         order.sort_by(|&a, &b| {
             let ta = rates[a] / self.weights[a];
             let tb = rates[b] / self.weights[b];
-            ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+            ta.total_cmp(&tb)
         });
         order
     }
@@ -90,6 +94,10 @@ impl AllocationFunction for WeightedFairShare {
             "rate vector length {} != weight count {}",
             rates.len(),
             self.weights.len()
+        );
+        debug_assert!(
+            rates.iter().all(|r| r.is_finite()),
+            "non-finite rate in {rates:?}"
         );
         let n = rates.len();
         let order = self.t_order(rates);
@@ -123,23 +131,18 @@ impl AllocationFunction for WeightedFairShare {
 
     fn d_own(&self, rates: &[f64], i: usize) -> f64 {
         // dC_(k)/dr_(k) = w_k * g'(s_k) * (ds_k/dr_k) / W_k = g'(s_k)
-        // since ds_k/dr_k = W_k / w_k.
+        // since ds_k/dr_k = W_k / w_k. Looking `i` up through the inverted
+        // permutation is total — no search loop, no panic path (GN06).
+        debug_assert!(
+            rates.iter().all(|r| r.is_finite()),
+            "non-finite rate in {rates:?}"
+        );
         let order = self.t_order(rates);
-        let n = rates.len();
-        let mut suffix_w = vec![0.0; n + 1];
-        for k in (0..n).rev() {
-            suffix_w[k] = suffix_w[k + 1] + self.weights[order[k]];
-        }
-        let mut prefix_r = 0.0;
-        for (k, &idx) in order.iter().enumerate() {
-            let t_k = rates[idx] / self.weights[idx];
-            let s_k = prefix_r + t_k * suffix_w[k];
-            if idx == i {
-                return g_prime(s_k);
-            }
-            prefix_r += rates[idx];
-        }
-        unreachable!("user index {i} not found");
+        let k = crate::fair_share::sorted_positions(&order)[i];
+        let suffix_w: f64 = order[k..].iter().map(|&idx| self.weights[idx]).sum();
+        let prefix_r: f64 = order[..k].iter().map(|&idx| rates[idx]).sum();
+        let s_k = prefix_r + rates[i] / self.weights[i] * suffix_w;
+        g_prime(s_k)
     }
 
     fn d_cross(&self, rates: &[f64], i: usize, j: usize) -> f64 {

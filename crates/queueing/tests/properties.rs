@@ -117,7 +117,7 @@ proptest! {
         let cfs = fs.congestion(&rates);
         // The lightest user can only do better under SP than FS.
         let light = (0..rates.len())
-            .min_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap())
+            .min_by(|&a, &b| rates[a].total_cmp(&rates[b]))
             .unwrap();
         prop_assert!(csp[light] <= cfs[light] + 1e-9);
     }
@@ -128,7 +128,7 @@ proptest! {
         // congestion under Fair Share.
         let fs = FairShare::new();
         let heavy = (0..rates.len())
-            .max_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap())
+            .max_by(|&a, &b| rates[a].total_cmp(&rates[b]))
             .unwrap();
         let before = fs.congestion(&rates);
         let mut bumped = rates.clone();
@@ -172,7 +172,7 @@ proptest! {
         // Level loads: level m is fed by (n - m) users at equal rate.
         let n = rates.len();
         let mut sorted = rates.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         for m in 0..n {
             let level_total: f64 = (0..n).map(|u| t[u][m]).sum();
             let delta = if m == 0 { sorted[0] } else { sorted[m] - sorted[m - 1] };

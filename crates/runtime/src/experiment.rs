@@ -40,12 +40,8 @@ impl Budget {
     /// variance estimates remain defined.
     #[must_use]
     pub fn count(&self, base: usize) -> usize {
-        #[allow(
-            clippy::cast_precision_loss,
-            clippy::cast_possible_truncation,
-            clippy::cast_sign_loss
-        )]
-        let scaled = (base as f64 * self.scale).ceil() as usize;
+        #[allow(clippy::cast_precision_loss)]
+        let scaled = greednet_numerics::conv::f64_to_usize((base as f64 * self.scale).ceil());
         scaled.clamp(2, base.max(2))
     }
 }

@@ -47,7 +47,12 @@ impl ParallelSweep {
         T: Send,
         F: Fn(u64, &I) -> T + Sync,
     {
-        self.map(items, |i, item| f(child_seed(root_seed, i as u64), item))
+        self.map(items, |i, item| {
+            f(
+                child_seed(root_seed, greednet_numerics::conv::index_to_u64(i)),
+                item,
+            )
+        })
     }
 
     /// [`map`](ParallelSweep::map) with per-worker pool accounting. The
@@ -96,7 +101,7 @@ impl Replications {
     /// The per-replication seeds, in replication order.
     #[must_use]
     pub fn seeds(&self) -> Vec<u64> {
-        (0..self.count as u64)
+        (0..greednet_numerics::conv::index_to_u64(self.count))
             .map(|i| child_seed(self.root_seed, i))
             .collect()
     }
@@ -109,7 +114,10 @@ impl Replications {
         F: Fn(usize, u64) -> T + Sync,
     {
         parallel_map_indexed(threads, self.count, |i| {
-            f(i, child_seed(self.root_seed, i as u64))
+            f(
+                i,
+                child_seed(self.root_seed, greednet_numerics::conv::index_to_u64(i)),
+            )
         })
     }
 
@@ -123,7 +131,10 @@ impl Replications {
         F: Fn(usize, u64) -> T + Sync,
     {
         parallel_map_indexed_profiled(threads, self.count, |i| {
-            f(i, child_seed(self.root_seed, i as u64))
+            f(
+                i,
+                child_seed(self.root_seed, greednet_numerics::conv::index_to_u64(i)),
+            )
         })
     }
 }

@@ -1,13 +1,18 @@
-//! Regression guard for the GN01 container migration in
-//! `greednet_des::disciplines`: the map-backed disciplines
-//! (`FsPriorityTable` priority levels, `StartTimeFairQueueing` start
-//! tags) must produce **bitwise identical per-user allocations** however
-//! many worker threads run the replication batch. The maps used to be
-//! `HashMap`s; these tests pin the deterministic-container behavior so a
-//! future regression (or revert) is caught by `cargo test`, not by a
-//! corrupted paper-vs-measured table.
+//! Regression guard for the GN01 container migration and the GN07
+//! comparator migration in `greednet_des::disciplines`: the map-backed
+//! disciplines (`FsPriorityTable` priority levels,
+//! `StartTimeFairQueueing` start tags) and the `total_cmp`-ordered ones
+//! (`PreemptivePriority::by_ascending_rate`, SFQ's tagged `min_by`
+//! selection) must produce **bitwise identical per-user allocations**
+//! however many worker threads run the replication batch. The maps used
+//! to be `HashMap`s and the comparators used to be
+//! `partial_cmp(..).unwrap()`; these tests pin the deterministic
+//! behavior so a future regression (or revert) is caught by
+//! `cargo test`, not by a corrupted paper-vs-measured table.
 
-use greednet_des::disciplines::{Discipline, FsPriorityTable, StartTimeFairQueueing};
+use greednet_des::disciplines::{
+    Discipline, FsPriorityTable, PreemptivePriority, StartTimeFairQueueing,
+};
 use greednet_des::sim::{SimConfig, Simulator};
 use greednet_runtime::Replications;
 
@@ -65,6 +70,51 @@ fn start_time_fair_queueing_allocations_are_thread_count_invariant() {
         |_| StartTimeFairQueueing::new(RATES.len()).expect("discipline"),
         "StartTimeFairQueueing (BTreeMap start tags)",
     );
+}
+
+#[test]
+fn preemptive_priority_total_cmp_order_is_thread_count_invariant() {
+    // `by_ascending_rate` now orders rates with `f64::total_cmp` (GN07
+    // migration); equal-rate users must still tie-break by index, and the
+    // resulting allocations must stay bitwise thread-invariant.
+    assert_thread_invariant(
+        |_| PreemptivePriority::by_ascending_rate(&RATES).expect("discipline"),
+        "PreemptivePriority (total_cmp rate order)",
+    );
+}
+
+#[test]
+fn equal_rate_ties_keep_index_order_under_total_cmp() {
+    // Duplicate rates exercise exactly the comparator's Equal branch —
+    // the case where a partial_cmp/unwrap_or(Equal) comparator could
+    // let the input permutation leak into the priority order.
+    let tied = [0.2, 0.2, 0.2];
+    let serial = Replications::new(REPLICATIONS, 0xD15C_0172).run(1, |_, seed| {
+        let cfg = SimConfig::new(tied.to_vec(), HORIZON, seed);
+        let sim = Simulator::new(cfg).expect("valid config");
+        let mut d = PreemptivePriority::by_ascending_rate(&tied).expect("discipline");
+        let r = sim.run(&mut d).expect("simulation runs");
+        r.mean_queue
+            .iter()
+            .map(|q| q.to_bits())
+            .collect::<Vec<u64>>()
+    });
+    for threads in [4, 8] {
+        let parallel = Replications::new(REPLICATIONS, 0xD15C_0172).run(threads, |_, seed| {
+            let cfg = SimConfig::new(tied.to_vec(), HORIZON, seed);
+            let sim = Simulator::new(cfg).expect("valid config");
+            let mut d = PreemptivePriority::by_ascending_rate(&tied).expect("discipline");
+            let r = sim.run(&mut d).expect("simulation runs");
+            r.mean_queue
+                .iter()
+                .map(|q| q.to_bits())
+                .collect::<Vec<u64>>()
+        });
+        assert_eq!(
+            serial, parallel,
+            "tied-rate batch diverged at {threads} threads"
+        );
+    }
 }
 
 #[test]
