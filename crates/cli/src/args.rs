@@ -43,6 +43,15 @@ COMMANDS:
                greednet exp <ID> [--seed N] [--threads N]
                                  [--json|--csv|--format F] [--smoke]
                                  [--metrics]
+    serve      Long-running scenario service: newline-delimited JSON
+               requests on stdin (or a TCP socket), streaming
+               accepted/progress/result records back, with a canonical-
+               hash LRU cache answering repeated scenarios bitwise-
+               identically (see README § greednet serve)
+               --tcp ADDR                listen on ADDR instead of stdio
+                                         (use 127.0.0.1:0 for any port)
+               --threads N               batch fan-out threads (default 1)
+               --cache N                 result-cache entries (default 1024)
     help       Show this message
 
 EXAMPLES:
@@ -52,6 +61,7 @@ EXAMPLES:
     greednet table --rates 0.05,0.1,0.2,0.3
     greednet protect --n 4 --victim 0.1 --discipline fifo
     greednet exp e9 --threads 4 --json
+    echo '{\"kind\":\"nash\"}' | greednet serve
 ";
 
 /// A parsed CLI command.
@@ -69,6 +79,8 @@ pub enum Command {
     Network(NetworkArgs),
     /// Registry experiment runner.
     Exp(ExpCmdArgs),
+    /// Long-running scenario service.
+    Serve(ServeArgs),
     /// Show usage.
     Help,
 }
@@ -123,6 +135,19 @@ pub struct ProtectArgs {
     pub victim: f64,
     /// Discipline name.
     pub discipline: String,
+}
+
+/// Arguments for `serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// TCP listen address (e.g. `127.0.0.1:4650`); `None` serves
+    /// stdin/stdout.
+    pub tcp: Option<String>,
+    /// Worker threads for `batch` fan-out (response bytes are identical
+    /// at any width).
+    pub threads: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache: usize,
 }
 
 /// Arguments for `exp`.
@@ -330,6 +355,25 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 _ => (None, rest.to_vec()),
             };
             Ok(Command::Exp(ExpCmdArgs { id, rest }))
+        }
+        "serve" => {
+            let opts = options(rest)?;
+            let threads: usize = get(&opts, "threads")
+                .unwrap_or("1")
+                .parse()
+                .map_err(|_| ParseError("bad --threads".into()))?;
+            if threads == 0 {
+                return err("--threads must be >= 1");
+            }
+            let cache: usize = get(&opts, "cache")
+                .unwrap_or("1024")
+                .parse()
+                .map_err(|_| ParseError("bad --cache".into()))?;
+            Ok(Command::Serve(ServeArgs {
+                tcp: get(&opts, "tcp").map(String::from),
+                threads,
+                cache,
+            }))
         }
         "protect" => {
             let opts = options(rest)?;

@@ -1,18 +1,21 @@
 //! Implementations of the CLI commands.
+//!
+//! The scenario commands (`nash`/`simulate`/`table`/`protect`) are thin
+//! wrappers over the shared data path in `greednet_serve::ops`: the spec
+//! computes an outcome as data, and the command prints the outcome's
+//! `render_text()` — byte-identical to the output these commands printed
+//! when they formatted results inline (pinned by the golden tests in
+//! `tests/golden_output.rs`). The `greednet serve` service renders the
+//! same outcomes as JSON, so CLI and service can never drift apart.
 
 use crate::args::{
-    ExpCmdArgs, NashArgs, NetworkArgs, ProtectArgs, SimulateArgs, TableArgs, UtilitySpec,
+    ExpCmdArgs, NashArgs, NetworkArgs, ProtectArgs, ServeArgs, SimulateArgs, TableArgs, UtilitySpec,
 };
-use greednet_core::game::{Game, NashOptions};
-use greednet_core::protection::{adversarial_congestion, protection_bound};
-use greednet_core::utility::{
-    BoxedUtility, LinearUtility, LogUtility, PowerUtility, QuadraticCongestionUtility, UtilityExt,
-};
-use greednet_des::scenarios::DisciplineKind;
-use greednet_des::{MetricsProbe, ServiceDist, SimConfig, Simulator, TraceBuffer};
-use greednet_queueing::alloc::AllocationFunction;
-use greednet_queueing::fair_share::priority_table;
-use greednet_queueing::{FairShare, Proportional, SerialPriority};
+use greednet_core::game::NashOptions;
+use greednet_core::utility::{BoxedUtility, LogUtility, UtilityExt};
+use greednet_des::{MetricsProbe, TraceBuffer};
+use greednet_serve::ops::{NashSpec, ProtectSpec, SimulateSpec, TableSpec, UtilityParam};
+use greednet_serve::{ServeOptions, Service};
 
 /// Ring-buffer capacity for `--trace`: keeps the most recent events of
 /// long runs while bounding memory.
@@ -31,125 +34,31 @@ fn write_trace(path: &str, trace: &TraceBuffer) -> Result<(), String> {
     Ok(())
 }
 
-/// Builds an allocation function from a CLI discipline name.
-pub fn build_alloc(name: &str) -> Result<Box<dyn AllocationFunction>, String> {
-    match name {
-        "fifo" => Ok(Box::new(Proportional::new())),
-        "fs" | "fairshare" | "fair-share" => Ok(Box::new(FairShare::new())),
-        "sp" | "serial" => Ok(Box::new(SerialPriority::new())),
-        other => Err(format!("unknown discipline '{other}' (use fifo/fs/sp)")),
-    }
-}
-
-/// Builds a simulator discipline kind from a CLI name.
-pub fn build_kind(name: &str) -> Result<DisciplineKind, String> {
-    Ok(match name {
-        "fifo" => DisciplineKind::Fifo,
-        "lifo" => DisciplineKind::LifoPreemptive,
-        "ps" => DisciplineKind::ProcessorSharing,
-        "sp" | "serial" => DisciplineKind::SerialPriority,
-        "fs" | "fairshare" | "fair-share" => DisciplineKind::FsTable,
-        "sfq" | "fq" => DisciplineKind::Sfq,
-        other => {
-            return Err(format!(
-                "unknown discipline '{other}' (use fifo/lifo/ps/sp/fs/sfq)"
-            ))
-        }
-    })
-}
-
-/// Builds utilities from parsed specs.
-pub fn build_users(specs: &[UtilitySpec]) -> Result<Vec<BoxedUtility>, String> {
+/// Converts parsed CLI utility specs to the shared data-path form.
+fn to_params(specs: &[UtilitySpec]) -> Vec<UtilityParam> {
     specs
         .iter()
-        .map(|s| -> Result<BoxedUtility, String> {
-            let bad = |msg: &str| format!("{}:{},{}: {msg}", s.family, s.a, s.b);
-            match s.family.as_str() {
-                "linear" => {
-                    if s.a <= 0.0 || s.b <= 0.0 {
-                        return Err(bad("needs a, gamma > 0"));
-                    }
-                    Ok(LinearUtility::new(s.a, s.b).boxed())
-                }
-                "log" => {
-                    if s.a <= 0.0 || s.b <= 0.0 {
-                        return Err(bad("needs w, gamma > 0"));
-                    }
-                    Ok(LogUtility::new(s.a, s.b).boxed())
-                }
-                "power" => {
-                    if !(0.0 < s.a && s.a < 1.0) || s.b <= 0.0 {
-                        return Err(bad("needs 0 < a < 1, gamma > 0"));
-                    }
-                    Ok(PowerUtility::new(s.a, s.b).boxed())
-                }
-                "quad" => {
-                    if s.a <= 0.0 || s.b <= 0.0 {
-                        return Err(bad("needs a, gamma > 0"));
-                    }
-                    Ok(QuadraticCongestionUtility::new(s.a, s.b).boxed())
-                }
-                other => Err(format!("unknown family '{other}'")),
-            }
+        .map(|s| UtilityParam {
+            family: s.family.clone(),
+            a: s.a,
+            b: s.b,
         })
         .collect()
 }
 
-/// Parses a service spec (`M`, `D`, `E<k>`, `H2:<cs2>`).
-pub fn build_service(spec: &str) -> Result<ServiceDist, String> {
-    match spec {
-        "M" | "m" => Ok(ServiceDist::Exponential),
-        "D" | "d" => Ok(ServiceDist::Deterministic),
-        s if s.starts_with('E') || s.starts_with('e') => s[1..]
-            .parse::<u32>()
-            .ok()
-            .filter(|&k| k >= 1)
-            .map(ServiceDist::Erlang)
-            .ok_or_else(|| format!("bad Erlang spec '{s}' (use e.g. E4)")),
-        s if s.to_uppercase().starts_with("H2:") => s[3..]
-            .parse::<f64>()
-            .ok()
-            .filter(|&c| c > 1.0)
-            .map(|cs2| ServiceDist::Hyperexponential { cs2 })
-            .ok_or_else(|| format!("bad H2 spec '{s}' (use e.g. H2:4.0)")),
-        other => Err(format!(
-            "unknown service '{other}' (use M, D, E<k> or H2:<cs2>)"
-        )),
-    }
-}
-
 /// `greednet nash`.
 pub fn nash(a: NashArgs) -> Result<(), String> {
-    let alloc = build_alloc(&a.discipline)?;
-    let name = alloc.name();
-    let users = build_users(&a.users)?;
-    let game = Game::from_boxed(alloc, users).map_err(|e| e.to_string())?;
-    let mut trace = a.trace.as_ref().map(|_| TraceBuffer::new(TRACE_CAP));
-    let sol = match trace.as_mut() {
-        Some(t) => game
-            .solve_nash_probed(&vec![None; game.n()], &NashOptions::default(), t)
-            .map_err(|e| e.to_string())?,
-        None => game
-            .solve_nash(&NashOptions::default())
-            .map_err(|e| e.to_string())?,
+    let spec = NashSpec {
+        discipline: a.discipline.clone(),
+        users: to_params(&a.users),
     };
-    println!("Nash equilibrium under {name}:");
-    println!(
-        "  converged: {} in {} sweeps (residual {:.1e})",
-        sol.converged, sol.iterations, sol.residual
-    );
-    println!(
-        "  {:<6}{:>12}{:>12}{:>12}",
-        "user", "rate", "congestion", "utility"
-    );
-    for i in 0..game.n() {
-        println!(
-            "  {i:<6}{:>12.5}{:>12.5}{:>12.5}",
-            sol.rates[i], sol.congestions[i], sol.utilities[i]
-        );
+    let mut trace = a.trace.as_ref().map(|_| TraceBuffer::new(TRACE_CAP));
+    let out = match trace.as_mut() {
+        Some(t) => spec.solve_probed(t),
+        None => spec.solve(),
     }
-    let envy = game.max_envy(&sol.rates).map_err(|e| e.to_string())?;
-    println!("  max envy: {envy:+.6} (<= 0 means envy-free)");
+    .map_err(|e| e.to_string())?;
+    print!("{}", out.render_text());
     if let (Some(path), Some(t)) = (&a.trace, &trace) {
         write_trace(path, t)?;
     }
@@ -158,57 +67,31 @@ pub fn nash(a: NashArgs) -> Result<(), String> {
 
 /// `greednet simulate`.
 pub fn simulate(a: SimulateArgs) -> Result<(), String> {
-    let kind = build_kind(&a.discipline)?;
-    let service = build_service(&a.service)?;
-    let mut builder = SimConfig::builder(a.rates.clone())
-        .horizon(a.horizon)
-        .seed(a.seed)
-        .service(service)
-        .allow_overload(true);
-    if let Some(w) = a.warmup {
-        builder = builder.warmup(w);
-    }
-    if let Some(k) = a.windows {
-        builder = builder.windows(k);
-    }
-    let cfg = builder.build().map_err(|e| e.to_string())?;
-    let sim = Simulator::new(cfg).map_err(|e| e.to_string())?;
-    let mut d = kind
-        .build(&a.rates, a.seed ^ 0xC11)
-        .map_err(|e| e.to_string())?;
+    let spec = SimulateSpec {
+        rates: a.rates.clone(),
+        discipline: a.discipline.clone(),
+        horizon: a.horizon,
+        warmup: a.warmup,
+        windows: a.windows,
+        seed: a.seed,
+        service: a.service.clone(),
+    };
     // With --trace/--metrics the run is probed; the probe only observes,
     // so every reported number matches the unprobed run bitwise.
     let mut telemetry = None;
-    let r = if a.trace.is_some() || a.metrics {
+    let out = if a.trace.is_some() || a.metrics {
         let mut probe = (
             TraceBuffer::new(TRACE_CAP),
             MetricsProbe::new(a.rates.len()),
         );
-        let r = sim.run_probed(d.as_mut(), &mut probe);
+        let out = spec.outcome_probed(&mut probe);
         telemetry = Some(probe);
-        r
+        out
     } else {
-        sim.run(d.as_mut())
+        spec.outcome()
     }
     .map_err(|e| e.to_string())?;
-    println!(
-        "Simulated {} under {} service for {} time units ({} events):",
-        kind.label(),
-        a.service,
-        a.horizon,
-        r.events
-    );
-    println!(
-        "  {:<6}{:>10}{:>12}{:>12}{:>12}{:>14}",
-        "user", "rate", "queue", "ci(95%)", "delay", "throughput"
-    );
-    for (i, &rate) in a.rates.iter().enumerate() {
-        println!(
-            "  {i:<6}{rate:>10.4}{:>12.4}{:>12.4}{:>12.4}{:>14.4}",
-            r.mean_queue[i], r.queue_ci[i].half_width, r.mean_delay[i], r.throughput[i]
-        );
-    }
-    println!("  total mean queue: {:.4}", r.total_mean_queue);
+    print!("{}", out.render_text());
     if let Some((trace, probe)) = telemetry {
         if let Some(path) = &a.trace {
             write_trace(path, &trace)?;
@@ -222,65 +105,40 @@ pub fn simulate(a: SimulateArgs) -> Result<(), String> {
 
 /// `greednet table`.
 pub fn table(a: TableArgs) -> Result<(), String> {
-    let n = a.rates.len();
-    let t = priority_table(&a.rates);
-    println!(
-        "Fair Share priority table (paper Table 1) for rates {:?}:",
-        a.rates
-    );
-    print!("  {:<6}", "user");
-    for k in 0..n {
-        print!("{:>9}", format!("L{k}"));
-    }
-    println!("{:>10}", "total");
-    for (u, row) in t.iter().enumerate() {
-        print!("  {u:<6}");
-        for &v in row {
-            if v > 0.0 {
-                print!("{v:>9.4}");
-            } else {
-                print!("{:>9}", "-");
-            }
-        }
-        println!("{:>10.4}", row.iter().sum::<f64>());
-    }
+    print!("{}", TableSpec { rates: a.rates }.outcome().render_text());
     Ok(())
 }
 
 /// `greednet protect`.
 pub fn protect(a: ProtectArgs) -> Result<(), String> {
-    if a.n < 1 {
-        return Err("--n must be >= 1".into());
+    let out = ProtectSpec {
+        n: a.n,
+        victim: a.victim,
+        discipline: a.discipline,
     }
-    if !(a.victim > 0.0 && a.victim < 1.0) {
-        return Err("--victim must lie in (0, 1)".into());
-    }
-    let alloc = build_alloc(&a.discipline)?;
-    let bound = protection_bound(a.n, a.victim);
-    println!(
-        "Protection of a victim at rate {} among {} users under {}:",
-        a.victim,
-        a.n,
-        alloc.name()
-    );
-    println!("  Theorem 8 bound r/(1-Nr): {bound:.5}");
-    println!("  {:<18}{:>14}", "adversary level", "victim queue");
-    for level in [0.05, 0.1, 0.2, 0.4, 0.8, 0.95, 2.0, 10.0] {
-        let c = adversarial_congestion(alloc.as_ref(), a.n, a.victim, &[level]);
-        println!("  {level:<18}{c:>14.5}");
-    }
-    let worst = adversarial_congestion(
-        alloc.as_ref(),
-        a.n,
-        a.victim,
-        &[0.05, 0.1, 0.2, 0.4, 0.8, 0.95, 2.0, 10.0],
-    );
-    let ok = worst <= bound * (1.0 + 1e-9);
-    println!(
-        "  worst observed: {worst:.5} -> {}",
-        if ok { "PROTECTED" } else { "BOUND VIOLATED" }
-    );
+    .outcome()
+    .map_err(|e| e.to_string())?;
+    print!("{}", out.render_text());
     Ok(())
+}
+
+/// `greednet serve` — run the long-running scenario service.
+pub fn serve(a: ServeArgs) -> Result<(), String> {
+    let service = Service::new(ServeOptions {
+        threads: a.threads,
+        cache_capacity: a.cache,
+    });
+    match a.tcp {
+        Some(addr) => service
+            .serve_tcp(&addr, |local| {
+                // Announce the bound address (stderr: stdout carries no
+                // protocol in TCP mode, but scripts parse stderr for the
+                // ephemeral port when binding :0).
+                eprintln!("greednet serve: listening on {local}");
+            })
+            .map_err(|e| e.to_string()),
+        None => service.serve_stdio().map_err(|e| e.to_string()),
+    }
 }
 
 /// `greednet network`.
@@ -289,7 +147,7 @@ pub fn network(a: NetworkArgs) -> Result<(), String> {
     if a.switches == 0 || a.switches > 16 {
         return Err("--switches must lie in 1..=16".into());
     }
-    let alloc = build_alloc(&a.discipline)?;
+    let alloc = greednet_serve::ops::build_alloc(&a.discipline).map_err(|e| e.to_string())?;
     let name = alloc.name();
     let k = a.switches;
     let users: Vec<BoxedUtility> = (0..=k).map(|_| LogUtility::new(0.5, 1.0).boxed()).collect();
@@ -355,48 +213,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn alloc_and_kind_builders() {
-        assert!(build_alloc("fifo").is_ok());
-        assert!(build_alloc("fs").is_ok());
-        assert!(build_alloc("nope").is_err());
-        assert!(build_kind("sfq").is_ok());
-        assert!(build_kind("nope").is_err());
-    }
-
-    #[test]
-    fn service_specs() {
-        assert_eq!(build_service("M").unwrap(), ServiceDist::Exponential);
-        assert_eq!(build_service("D").unwrap(), ServiceDist::Deterministic);
-        assert_eq!(build_service("E4").unwrap(), ServiceDist::Erlang(4));
-        assert!(matches!(
-            build_service("H2:3.5").unwrap(),
-            ServiceDist::Hyperexponential { .. }
-        ));
-        assert!(build_service("E0").is_err());
-        assert!(build_service("H2:0.5").is_err());
-        assert!(build_service("X").is_err());
-    }
-
-    #[test]
-    fn user_builders_validate() {
-        let ok = build_users(&[UtilitySpec {
-            family: "log".into(),
-            a: 0.5,
-            b: 1.0,
-        }]);
-        assert_eq!(ok.unwrap().len(), 1);
-        assert!(build_users(&[UtilitySpec {
-            family: "power".into(),
-            a: 1.5,
-            b: 1.0
-        }])
-        .is_err());
-        assert!(build_users(&[UtilitySpec {
-            family: "linear".into(),
-            a: -1.0,
-            b: 1.0
-        }])
-        .is_err());
+    fn serve_command_stdio_contract_is_exercised_via_service() {
+        // The serve command itself blocks on stdin; its data path is the
+        // Service type, which the serve crate tests end-to-end. Here we
+        // only pin the wrapper's option plumbing.
+        let service = Service::new(ServeOptions {
+            threads: 2,
+            cache_capacity: 8,
+        });
+        let mut out = Vec::new();
+        service
+            .serve_stream(
+                "{\"kind\":\"table\",\"id\":\"t\",\"rates\":[0.05,0.1,0.2]}\n".as_bytes(),
+                &mut out,
+            )
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"type\":\"result\""), "{text}");
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! * `protect` — sweep adversarial opponents against a victim and compare
 //!   with the Theorem 8 bound;
 //! * `exp` — run (or list) the paper-reproduction experiments from the
-//!   central registry, with `--seed/--threads/--json/--csv/--smoke`.
+//!   central registry, with `--seed/--threads/--json/--csv/--smoke`;
+//! * `serve` — the long-running scenario service: JSONL requests over
+//!   stdin/stdout or TCP, answered through a canonical-hash result cache
+//!   (see `greednet_serve`).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -37,6 +40,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Protect(a) => commands::protect(a),
         Command::Network(a) => commands::network(a),
         Command::Exp(a) => commands::exp(a),
+        Command::Serve(a) => commands::serve(a),
         Command::Help => {
             print!("{}", args::USAGE);
             Ok(())

@@ -1,0 +1,138 @@
+//! Golden tests: CLI output is byte-identical across the refactor that
+//! moved result computation into `greednet_serve::ops`.
+//!
+//! The files under `tests/golden/` were captured from the `greednet`
+//! binary *before* the commands were split into compute-then-render;
+//! every future change to the shared data path must keep these bytes.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_greednet"))
+        .args(args)
+        .output()
+        .expect("spawn greednet");
+    assert!(
+        out.status.success(),
+        "greednet {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn nash_fs_is_golden() {
+    assert_eq!(
+        run(&[
+            "nash",
+            "--discipline",
+            "fs",
+            "--users",
+            "log:0.5,1.0;linear:1.0,0.4"
+        ]),
+        golden("nash_fs.txt")
+    );
+}
+
+#[test]
+fn nash_fifo_with_default_user_profile_is_golden() {
+    assert_eq!(
+        run(&[
+            "nash",
+            "--discipline",
+            "fifo",
+            "--users",
+            "log:0.5,1.0;log:1.0,1.0;linear:1.0,0.3"
+        ]),
+        golden("nash_fifo_default_users.txt")
+    );
+    // The explicit profile above IS the default: omitting --users must
+    // print the same bytes.
+    assert_eq!(
+        run(&["nash", "--discipline", "fifo"]),
+        golden("nash_fifo_default_users.txt")
+    );
+}
+
+#[test]
+fn simulate_fs_is_golden() {
+    assert_eq!(
+        run(&[
+            "simulate",
+            "--rates",
+            "0.2,0.1",
+            "--discipline",
+            "fs",
+            "--horizon",
+            "3000",
+            "--seed",
+            "5"
+        ]),
+        golden("simulate_fs.txt")
+    );
+}
+
+#[test]
+fn simulate_sfq_erlang_with_explicit_windows_is_golden() {
+    assert_eq!(
+        run(&[
+            "simulate",
+            "--rates",
+            "0.3,0.3",
+            "--discipline",
+            "sfq",
+            "--horizon",
+            "2000",
+            "--seed",
+            "9",
+            "--service",
+            "E4",
+            "--warmup",
+            "200",
+            "--windows",
+            "8"
+        ]),
+        golden("simulate_sfq_e4.txt")
+    );
+}
+
+#[test]
+fn table_is_golden() {
+    assert_eq!(
+        run(&["table", "--rates", "0.05,0.1,0.2"]),
+        golden("table.txt")
+    );
+}
+
+#[test]
+fn protect_is_golden_under_both_disciplines() {
+    assert_eq!(
+        run(&[
+            "protect",
+            "--n",
+            "4",
+            "--victim",
+            "0.1",
+            "--discipline",
+            "fs"
+        ]),
+        golden("protect_fs.txt")
+    );
+    assert_eq!(
+        run(&[
+            "protect",
+            "--n",
+            "4",
+            "--victim",
+            "0.1",
+            "--discipline",
+            "fifo"
+        ]),
+        golden("protect_fifo.txt")
+    );
+}

@@ -1,0 +1,126 @@
+//! End-to-end test of `greednet serve` over stdin/stdout: all five
+//! request kinds, a repeated request served from the cache with
+//! bitwise-identical payload bytes, per-request errors that leave the
+//! stream alive, and the exit-code contract (EOF and `shutdown` both
+//! exit 0).
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_serve(input: &str) -> (Vec<String>, i32) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_greednet"))
+        .args(["serve", "--threads", "2", "--cache", "64"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn greednet serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("wait");
+    let lines = String::from_utf8(out.stdout)
+        .expect("utf8")
+        .lines()
+        .map(String::from)
+        .collect();
+    (lines, out.status.code().unwrap_or(-1))
+}
+
+fn data_of<'a>(lines: &'a [String], id: &str) -> &'a str {
+    lines
+        .iter()
+        .find(|l| l.contains(r#""type":"result""#) && l.contains(&format!(r#""id":"{id}""#)))
+        .unwrap_or_else(|| panic!("no result for {id}"))
+        .split(r#""data":"#)
+        .nth(1)
+        .expect("data field")
+}
+
+#[test]
+fn all_five_kinds_roundtrip_and_repeats_hit_the_cache() {
+    let input = concat!(
+        r#"{"kind":"nash","id":"r-nash","users":"log:0.5,1.0;linear:1.0,0.4"}"#,
+        "\n",
+        r#"{"kind":"simulate","id":"r-sim","rates":[0.2,0.1],"horizon":500,"seed":5}"#,
+        "\n",
+        r#"{"kind":"table","id":"r-table","rates":[0.05,0.1,0.2]}"#,
+        "\n",
+        r#"{"kind":"protect","id":"r-protect","n":4,"victim":0.1}"#,
+        "\n",
+        r#"{"kind":"exp","id":"r-exp","exp":"t1","smoke":true}"#,
+        "\n",
+        r#"{"kind":"table","id":"r-again","rates":[0.05,0.1,0.2]}"#,
+        "\n",
+        r#"{"kind":"stats","id":"r-stats"}"#,
+        "\n",
+    );
+    let (lines, code) = run_serve(input);
+    assert_eq!(code, 0, "EOF is a clean shutdown");
+    for id in ["r-nash", "r-sim", "r-table", "r-protect", "r-exp"] {
+        let record = lines
+            .iter()
+            .find(|l| l.contains(&format!(r#""id":"{id}""#)) && l.contains(r#""type":"result""#))
+            .unwrap_or_else(|| panic!("no result for {id}"));
+        assert!(record.contains(r#""cached":false"#), "{record}");
+    }
+    // The repeat is a cache hit with bitwise-identical payload bytes.
+    let repeat = lines
+        .iter()
+        .find(|l| l.contains(r#""id":"r-again""#) && l.contains(r#""type":"result""#))
+        .expect("repeat result");
+    assert!(repeat.contains(r#""cached":true"#), "{repeat}");
+    assert_eq!(data_of(&lines, "r-table"), data_of(&lines, "r-again"));
+    // The stats record shows exactly one hit.
+    let stats = lines
+        .iter()
+        .find(|l| l.contains(r#""type":"stats""#))
+        .expect("stats");
+    assert!(stats.contains(r#""hits":1"#), "{stats}");
+    assert!(stats.contains(r#""misses":5"#), "{stats}");
+}
+
+#[test]
+fn errors_are_records_and_shutdown_exits_zero() {
+    let input = concat!(
+        "this is not json\n",
+        r#"{"kind":"protect","id":"bad","n":0}"#,
+        "\n",
+        r#"{"kind":"nash","id":"worse","discipline":"zap"}"#,
+        "\n",
+        r#"{"kind":"shutdown","id":"bye"}"#,
+        "\n",
+        r#"{"kind":"table","id":"never","rates":[0.1]}"#,
+        "\n",
+    );
+    let (lines, code) = run_serve(input);
+    assert_eq!(code, 0, "shutdown request is a clean exit");
+    assert!(lines[0].contains(r#""error":"parse""#), "{}", lines[0]);
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains(r#""id":"bad""#) && l.contains("--n must be >= 1")),
+        "bad_request error carries the CLI's message"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains(r#""id":"worse""#) && l.contains("unknown discipline 'zap'")),
+        "unknown discipline reported"
+    );
+    // Nothing after shutdown is served.
+    assert!(!lines.iter().any(|l| l.contains(r#""id":"never""#)));
+    assert!(lines.last().expect("records").contains("stopping"));
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_greednet"))
+        .args(["serve", "--threads", "0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -68,7 +68,8 @@ pub struct Finding {
 
 /// Crates whose outputs feed the paper-vs-measured tables and must be
 /// bitwise deterministic at any thread count (GN01 scope; `runtime`
-/// covers the deterministic scheduling layer).
+/// covers the deterministic scheduling layer, `serve` the scenario
+/// service whose cached payloads must be bitwise reproducible).
 pub const DETERMINISTIC_CRATES: &[&str] = &[
     "des",
     "core",
@@ -78,6 +79,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "mechanisms",
     "network",
     "runtime",
+    "serve",
 ];
 
 /// Files allowed to read the wall clock: the pool's profiling

@@ -1,0 +1,254 @@
+//! serve-bench: closed-loop throughput/latency benchmark for
+//! `greednet serve` over TCP.
+//!
+//! Starts an in-process service, then drives it with K concurrent
+//! clients, each issuing a deterministic mix of requests: with
+//! probability `--hit-ratio` a request is drawn from a small shared hot
+//! set (cache hits after warm-up), otherwise it is a fresh scenario
+//! (cache miss). Reports requests/sec, p50/p99 latency, and the service's
+//! own cache counters as JSON — the repo's serving-performance baseline,
+//! checked in as `BENCH_serve.json`.
+//!
+//! Wall-clock timing lives here, in a binary: the GN02 no-wall-clock rule
+//! covers library code, and nothing measured here feeds back into any
+//! deterministic result.
+//!
+//! Usage: serve-bench [--clients K] [--requests N] [--hit-ratio R]
+//!                    [--threads T] [--cache CAP] [--seed S] [--out PATH]
+
+use greednet_runtime::child_seed;
+use greednet_serve::{ServeOptions, Service};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    hit_ratio: f64,
+    threads: usize,
+    cache: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        clients: 4,
+        requests: 200,
+        hit_ratio: 0.5,
+        threads: 4,
+        cache: 1024,
+        seed: 0,
+        out: Some("BENCH_serve.json".into()),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--clients" => args.clients = val("--clients")?.parse().map_err(|e| format!("{e}"))?,
+            "--requests" => {
+                args.requests = val("--requests")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--hit-ratio" => {
+                args.hit_ratio = val("--hit-ratio")?.parse().map_err(|e| format!("{e}"))?;
+                if !(0.0..=1.0).contains(&args.hit_ratio) {
+                    return Err("--hit-ratio must lie in [0, 1]".into());
+                }
+            }
+            "--threads" => args.threads = val("--threads")?.parse().map_err(|e| format!("{e}"))?,
+            "--cache" => args.cache = val("--cache")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = Some(val("--out")?.to_string()),
+            "--no-out" => args.out = None,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.clients == 0 || args.requests == 0 {
+        return Err("--clients and --requests must be >= 1".into());
+    }
+    Ok(args)
+}
+
+/// SplitMix64 step: the same generator the runtime uses for seed
+/// splitting, good enough to drive the request mix deterministically.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn uniform(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The hot set: a handful of scenarios every client keeps re-asking.
+fn hot_request(slot: u64, id: &str) -> String {
+    match slot % 4 {
+        0 => format!(r#"{{"kind":"table","id":"{id}","rates":[0.05,0.1,0.2]}}"#),
+        1 => format!(r#"{{"kind":"protect","id":"{id}","n":4,"victim":0.1,"discipline":"fs"}}"#),
+        2 => format!(r#"{{"kind":"protect","id":"{id}","n":6,"victim":0.05,"discipline":"fifo"}}"#),
+        _ => format!(r#"{{"kind":"table","id":"{id}","rates":[0.1,0.2,0.3,0.4]}}"#),
+    }
+}
+
+/// A fresh scenario: rates derived from the draw, never repeated.
+fn cold_request(draw: u64, id: &str) -> String {
+    let a = 0.01 + (draw % 911) as f64 / 2000.0;
+    let b = 0.01 + (draw % 577) as f64 / 3000.0;
+    format!(r#"{{"kind":"table","id":"{id}","rates":[{a},{b}]}}"#)
+}
+
+/// One closed-loop client: sends `requests` requests, waits for each
+/// result before the next, records per-request latency in nanoseconds.
+fn run_client(
+    addr: std::net::SocketAddr,
+    client: usize,
+    requests: usize,
+    hit_ratio: f64,
+    seed: u64,
+) -> Result<Vec<u128>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut rng = child_seed(seed, 1 + client as u64);
+    let mut latencies = Vec::with_capacity(requests);
+    for r in 0..requests {
+        let id = format!("c{client}-{r}");
+        let draw = splitmix64(&mut rng);
+        let line = if uniform(&mut rng) < hit_ratio {
+            hot_request(draw, &id)
+        } else {
+            cold_request(draw, &id)
+        };
+        let started = Instant::now();
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        // Drain records until this request's result (or error) arrives.
+        loop {
+            let mut record = String::new();
+            let n = reader
+                .read_line(&mut record)
+                .map_err(|e| format!("recv: {e}"))?;
+            if n == 0 {
+                return Err("server closed the connection mid-request".into());
+            }
+            if (record.contains("\"type\":\"result\"") || record.contains("\"type\":\"error\""))
+                && record.contains(&format!("\"id\":\"{id}\""))
+            {
+                if record.contains("\"type\":\"error\"") {
+                    return Err(format!("request failed: {}", record.trim()));
+                }
+                break;
+            }
+        }
+        latencies.push(started.elapsed().as_nanos());
+    }
+    Ok(latencies)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let service = Service::new(ServeOptions {
+        threads: args.threads,
+        cache_capacity: args.cache,
+    });
+    let report = std::thread::scope(|scope| -> Result<String, String> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server = &service;
+        scope.spawn(move || {
+            server
+                .serve_tcp("127.0.0.1:0", move |addr| {
+                    let _ = tx.send(addr);
+                })
+                .map_err(|e| eprintln!("server: {e}"))
+                .ok();
+        });
+        let addr = rx.recv().map_err(|_| "server failed to bind".to_string())?;
+        let started = Instant::now();
+        let mut handles = Vec::new();
+        for client in 0..args.clients {
+            let (requests, hit_ratio, seed) = (args.requests, args.hit_ratio, args.seed);
+            handles.push(scope.spawn(move || run_client(addr, client, requests, hit_ratio, seed)));
+        }
+        let mut latencies_ms: Vec<f64> = Vec::new();
+        for handle in handles {
+            let client_latencies = handle
+                .join()
+                .map_err(|_| "client thread panicked".to_string())??;
+            latencies_ms.extend(client_latencies.iter().map(|&ns| ns as f64 / 1e6));
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        // Stop the server before reading final counters.
+        let mut stop = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stop.write_all(b"{\"kind\":\"shutdown\"}\n")
+            .map_err(|e| format!("shutdown: {e}"))?;
+        latencies_ms.sort_by(f64::total_cmp);
+        let total = args.clients * args.requests;
+        let stats = service.stats();
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"clients\": {},\n", args.clients));
+        out.push_str(&format!("  \"requests_per_client\": {},\n", args.requests));
+        out.push_str(&format!("  \"total_requests\": {total},\n"));
+        out.push_str(&format!("  \"hit_ratio_target\": {},\n", args.hit_ratio));
+        out.push_str(&format!("  \"service_threads\": {},\n", args.threads));
+        out.push_str(&format!("  \"cache_capacity\": {},\n", args.cache));
+        out.push_str(&format!("  \"elapsed_s\": {elapsed:.3},\n"));
+        out.push_str(&format!(
+            "  \"requests_per_sec\": {:.1},\n",
+            total as f64 / elapsed
+        ));
+        out.push_str(&format!(
+            "  \"latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3} }},\n",
+            percentile(&latencies_ms, 0.50),
+            percentile(&latencies_ms, 0.99),
+            latencies_ms.last().copied().unwrap_or(0.0)
+        ));
+        out.push_str(&format!(
+            "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"hit_rate\": {:.4} }}\n",
+            stats.hits, stats.misses, stats.evictions, stats.entries,
+            stats.hit_rate()
+        ));
+        out.push_str("}\n");
+        Ok(out)
+    })?;
+    print!("{report}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &report).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(
+            if e.contains("unknown argument") || e.contains("needs a value") {
+                2
+            } else {
+                1
+            },
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Bounded LRU cache from canonical request keys to rendered result
+//! payloads.
+//!
+//! The cache stores the exact bytes of the `data` payload that answered
+//! the original miss, so a hit is bitwise-identical to the computation it
+//! replaces — that is the whole point: the deterministic engine
+//! guarantees recomputation would produce the same bytes, so serving the
+//! stored bytes is indistinguishable from solving again, only O(1).
+//!
+//! Recency is tracked with a logical tick counter (never wall-clock time:
+//! the service is subject to the workspace's GN02 no-wall-clock rule and
+//! its behavior must not depend on timing). Both indexes are `BTreeMap`s
+//! — deterministic iteration order, GN01-clean — giving O(log n) hits,
+//! inserts, and evictions.
+
+use greednet_telemetry::Counter;
+use std::collections::BTreeMap;
+
+/// Snapshot of the cache's counters and occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required computation.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Maximum entries (0 disables storage entirely).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when nothing was looked up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    payload: String,
+    stamp: u64,
+}
+
+/// A bounded least-recently-used map `canonical key -> payload bytes`.
+pub struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    by_key: BTreeMap<u128, Entry>,
+    by_stamp: BTreeMap<u64, u128>,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+impl ResultCache {
+    /// Cache holding at most `capacity` entries (`0` disables storage:
+    /// every lookup misses and nothing is retained).
+    #[must_use]
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            tick: 0,
+            by_key: BTreeMap::new(),
+            by_stamp: BTreeMap::new(),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+        }
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit. Counts the
+    /// lookup as a hit or miss.
+    pub fn get(&mut self, key: u128) -> Option<String> {
+        let stamp = self.next_tick();
+        match self.by_key.get_mut(&key) {
+            Some(entry) => {
+                self.by_stamp.remove(&entry.stamp);
+                entry.stamp = stamp;
+                let payload = entry.payload.clone();
+                self.by_stamp.insert(stamp, key);
+                self.hits.inc();
+                Some(payload)
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` under `key`, evicting the least-recently-used
+    /// entry if the cache is full. Re-inserting an existing key refreshes
+    /// its recency and keeps the first payload (the engine is
+    /// deterministic, so a recomputed payload is bitwise the same).
+    pub fn insert(&mut self, key: u128, payload: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        let stamp = self.next_tick();
+        if let Some(entry) = self.by_key.get_mut(&key) {
+            self.by_stamp.remove(&entry.stamp);
+            entry.stamp = stamp;
+            self.by_stamp.insert(stamp, key);
+            return;
+        }
+        if self.by_key.len() >= self.capacity {
+            // The smallest stamp is the least recently used entry.
+            if let Some((&oldest, &victim)) = self.by_stamp.iter().next() {
+                self.by_stamp.remove(&oldest);
+                self.by_key.remove(&victim);
+                self.evictions.inc();
+            }
+        }
+        self.by_key.insert(key, Entry { payload, stamp });
+        self.by_stamp.insert(stamp, key);
+    }
+
+    /// Whether `key` is present, without touching recency or counters
+    /// (used to decide whether a `progress` record is worth emitting).
+    #[must_use]
+    pub fn contains(&self, key: u128) -> bool {
+        self.by_key.contains_key(&key)
+    }
+
+    /// Counter and occupancy snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            entries: self.by_key.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_returns_identical_bytes() {
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.get(1), None);
+        c.insert(1, "{\"x\":1.0}".into());
+        assert_eq!(c.get(1).as_deref(), Some("{\"x\":1.0}"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, "a".into());
+        c.insert(2, "b".into());
+        assert!(c.get(1).is_some()); // 2 is now LRU
+        c.insert(3, "c".into());
+        assert_eq!(c.get(2), None, "LRU entry evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, "a".into());
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency_without_duplicating() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, "a".into());
+        c.insert(2, "b".into());
+        c.insert(1, "a".into()); // refresh: 2 becomes LRU
+        c.insert(3, "c".into());
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1).as_deref(), Some("a"));
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn hit_rate_is_a_fraction() {
+        let mut c = ResultCache::new(2);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.insert(1, "a".into());
+        let _ = c.get(1);
+        let _ = c.get(9);
+        let r = c.stats().hit_rate();
+        assert!((r - 0.5).abs() < 1e-12, "{r}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Request canonicalization and the dependency-free hash behind the
+//! result cache.
+//!
+//! Two requests that mean the same scenario must map to the same cache
+//! key, and any semantic difference must change it. The contract:
+//!
+//! 1. **Typed canonical form.** The service canonicalizes the *typed*
+//!    request (see `Request::canonical_json`), not the raw text: every
+//!    optional field is filled with its explicit default and alias names
+//!    (`fairshare` vs `fs`) are resolved before hashing, so
+//!    explicit-vs-default and alias spellings collide as intended.
+//!    Whitespace and key order in the wire text are already erased by
+//!    parsing.
+//! 2. **Sorted keys.** [`canonical_string`] emits object keys in sorted
+//!    byte order regardless of their stored order.
+//! 3. **Normalized floats.** Numbers are encoded by their IEEE-754 bit
+//!    pattern after collapsing `-0.0` to `0.0` (and any NaN to the one
+//!    canonical quiet NaN), the same `total_cmp`-safe treatment the
+//!    workspace applies to float ordering. Two floats hash alike iff
+//!    they are the same real value; `0.1 + 0.2` and `0.3` differ, by
+//!    design — the cache must never conflate bitwise-distinct inputs.
+//! 4. **Length-prefixed strings.** String content is length-prefixed so
+//!    concatenation ambiguities (`"ab"+"c"` vs `"a"+"bc"`) cannot
+//!    collide.
+//!
+//! The key is the 128-bit FNV-1a hash of the canonical encoding —
+//! implemented locally (like `SplitMix64` in `greednet-runtime`) to keep
+//! the crate dependency-free. 128 bits makes accidental collisions
+//! negligible at any realistic cache population; a 64-bit variant is
+//! exposed for cheap fingerprints.
+
+use crate::json::Json;
+
+/// FNV-1a offset basis, 64-bit.
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime, 64-bit.
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// FNV-1a offset basis, 128-bit.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a prime, 128-bit (2^88 + 2^8 + 0x3b).
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// 64-bit FNV-1a over `bytes`.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV64_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+/// 128-bit FNV-1a over `bytes`.
+#[must_use]
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// Collapses the float cases the cache must not distinguish: `-0.0`
+/// becomes `0.0` and every NaN becomes the canonical quiet NaN. All
+/// other values (including subnormals and infinities) keep their exact
+/// bit pattern.
+#[must_use]
+pub fn normalize_f64_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0 // +0.0 and -0.0 compare equal; both map to the +0.0 pattern.
+    } else if x.is_nan() {
+        0x7ff8_0000_0000_0000
+    } else {
+        x.to_bits()
+    }
+}
+
+/// Canonical, self-delimiting encoding of a JSON value (see module docs).
+#[must_use]
+pub fn canonical_string(value: &Json) -> String {
+    let mut out = String::new();
+    encode(value, &mut out);
+    out
+}
+
+fn encode(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push('n'),
+        Json::Bool(true) => out.push('t'),
+        Json::Bool(false) => out.push('f'),
+        Json::Num(x) => {
+            out.push('d');
+            out.push_str(&format!("{:016x}", normalize_f64_bits(*x)));
+        }
+        Json::Str(s) => encode_str(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for item in items {
+                encode(item, out);
+                out.push(',');
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            let mut keys: Vec<usize> = (0..pairs.len()).collect();
+            keys.sort_by(|&a, &b| pairs[a].0.cmp(&pairs[b].0));
+            out.push('{');
+            for i in keys {
+                let (k, v) = &pairs[i];
+                encode_str(k, out);
+                out.push('=');
+                encode(v, out);
+                out.push(';');
+            }
+            out.push('}');
+        }
+        // Raw is a writer-side splice for responses; it never appears in
+        // a request, but encode it defensively by content.
+        Json::Raw(body) => {
+            out.push('r');
+            encode_str(body, out);
+        }
+    }
+}
+
+fn encode_str(s: &str, out: &mut String) {
+    out.push('s');
+    out.push_str(&format!("{}:", s.len()));
+    out.push_str(s);
+}
+
+/// The cache key of a canonical-form value: 128-bit FNV-1a of
+/// [`canonical_string`].
+#[must_use]
+pub fn canonical_key(value: &Json) -> u128 {
+    fnv1a_128(canonical_string(value).as_bytes())
+}
+
+/// Fixed-width lowercase hex rendering of a cache key.
+#[must_use]
+pub fn key_hex(key: u128) -> String {
+    format!("{key:032x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+        assert_eq!(fnv1a_128(b""), FNV128_OFFSET);
+        assert_ne!(fnv1a_128(b"a"), fnv1a_128(b"b"));
+    }
+
+    #[test]
+    fn key_order_and_whitespace_do_not_matter() {
+        let a = parse(r#"{"x":1,"y":[2,3]}"#).unwrap();
+        let b = parse(" { \"y\" : [ 2 , 3 ] , \"x\" : 1 } ").unwrap();
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn negative_zero_collapses_and_values_distinguish() {
+        let a = parse(r#"{"v":0.0}"#).unwrap();
+        let b = parse(r#"{"v":-0.0}"#).unwrap();
+        let c = parse(r#"{"v":1e-300}"#).unwrap();
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+        assert_ne!(canonical_key(&a), canonical_key(&c));
+    }
+
+    #[test]
+    fn string_length_prefix_prevents_concatenation_collisions() {
+        let a = parse(r#"["ab","c"]"#).unwrap();
+        let b = parse(r#"["a","bc"]"#).unwrap();
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn type_tags_prevent_cross_type_collisions() {
+        for (a, b) in [
+            ("null", "\"n\""),
+            ("true", "\"t\""),
+            ("[]", "{}"),
+            ("0", "false"),
+        ] {
+            assert_ne!(
+                canonical_key(&parse(a).unwrap()),
+                canonical_key(&parse(b).unwrap()),
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn key_hex_is_fixed_width() {
+        assert_eq!(key_hex(0).len(), 32);
+        assert_eq!(key_hex(u128::MAX).len(), 32);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests of the canonical-hash contract (the cache's
+//! correctness boundary): requests that mean the same scenario must hash
+//! alike, and any semantic difference must change the key.
+
+use greednet_serve::{Request, ResultCache};
+use proptest::prelude::*;
+
+fn key_of(line: &str) -> u128 {
+    Request::parse_line(line)
+        .expect("valid request line")
+        .kind
+        .cache_key()
+        .expect("cacheable kind")
+}
+
+/// Strategy: a protect request's scalar fields.
+fn protect_fields() -> impl Strategy<Value = (usize, f64)> {
+    ((1usize..50), 0.001..0.999f64)
+}
+
+/// Strategy: a simulate request's rates plus seed.
+fn sim_fields() -> impl Strategy<Value = (Vec<f64>, u64)> {
+    (
+        proptest::collection::vec(0.01..0.45f64, 1..4),
+        0u64..1_000_000,
+    )
+}
+
+fn rates_json(rates: &[f64]) -> String {
+    let items: Vec<String> = rates.iter().map(|r| format!("{r}")).collect();
+    format!("[{}]", items.join(","))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn key_order_and_whitespace_never_change_the_key((n, victim) in protect_fields()) {
+        let a = format!(r#"{{"kind":"protect","n":{n},"victim":{victim},"discipline":"fs"}}"#);
+        let b = format!(
+            "  {{ \"discipline\" : \"fs\" ,\n  \"victim\": {victim}, \"n\": {n}, \"kind\": \"protect\" }}  "
+        );
+        prop_assert_eq!(key_of(&a), key_of(&b));
+    }
+
+    #[test]
+    fn omitted_fields_hash_like_explicit_defaults((rates, seed) in sim_fields()) {
+        let r = rates_json(&rates);
+        let sparse = format!(r#"{{"kind":"simulate","rates":{r},"seed":{seed}}}"#);
+        let full = format!(
+            r#"{{"kind":"simulate","rates":{r},"seed":{seed},"discipline":"fairshare","horizon":100000,"warmup":10000,"windows":32,"service":"m"}}"#
+        );
+        prop_assert_eq!(key_of(&sparse), key_of(&full));
+    }
+
+    #[test]
+    fn client_id_never_enters_the_key((n, victim) in protect_fields()) {
+        let bare = format!(r#"{{"kind":"protect","n":{n},"victim":{victim}}}"#);
+        let tagged = format!(r#"{{"kind":"protect","id":"client-{n}","n":{n},"victim":{victim}}}"#);
+        prop_assert_eq!(key_of(&bare), key_of(&tagged));
+    }
+
+    #[test]
+    fn negative_zero_rates_hash_like_positive_zero(seed in 0u64..1000) {
+        let a = format!(r#"{{"kind":"simulate","rates":[0.0,0.3],"seed":{seed}}}"#);
+        let b = format!(r#"{{"kind":"simulate","rates":[-0.0,0.3],"seed":{seed}}}"#);
+        prop_assert_eq!(key_of(&a), key_of(&b));
+    }
+
+    #[test]
+    fn any_changed_scalar_changes_the_key((n, victim) in protect_fields(), (rates, seed) in sim_fields()) {
+        // protect: perturb each scalar in turn.
+        let base = format!(r#"{{"kind":"protect","n":{n},"victim":{victim},"discipline":"fs"}}"#);
+        let bumped_n = format!(r#"{{"kind":"protect","n":{},"victim":{victim},"discipline":"fs"}}"#, n + 1);
+        let bumped_victim = format!(
+            r#"{{"kind":"protect","n":{n},"victim":{},"discipline":"fs"}}"#,
+            victim * 0.5 + 1e-4
+        );
+        let other_disc = format!(r#"{{"kind":"protect","n":{n},"victim":{victim},"discipline":"fifo"}}"#);
+        prop_assert_ne!(key_of(&base), key_of(&bumped_n));
+        prop_assert_ne!(key_of(&base), key_of(&other_disc));
+        if (victim * 0.5 + 1e-4 - victim).abs() > 0.0 {
+            prop_assert_ne!(key_of(&base), key_of(&bumped_victim));
+        }
+        // simulate: seed and rates are part of the scenario.
+        let r = rates_json(&rates);
+        let sim = format!(r#"{{"kind":"simulate","rates":{r},"seed":{seed}}}"#);
+        let sim_seed = format!(r#"{{"kind":"simulate","rates":{r},"seed":{}}}"#, seed + 1);
+        prop_assert_ne!(key_of(&sim), key_of(&sim_seed));
+        let mut bumped = rates.clone();
+        bumped[0] += 1e-3;
+        let sim_rates = format!(r#"{{"kind":"simulate","rates":{},"seed":{seed}}}"#, rates_json(&bumped));
+        prop_assert_ne!(key_of(&sim), key_of(&sim_rates));
+    }
+
+    #[test]
+    fn kinds_with_identical_fields_do_not_collide((rates, _seed) in sim_fields()) {
+        let r = rates_json(&rates);
+        let table = format!(r#"{{"kind":"table","rates":{r}}}"#);
+        let sim = format!(r#"{{"kind":"simulate","rates":{r}}}"#);
+        prop_assert_ne!(key_of(&table), key_of(&sim));
+    }
+
+    #[test]
+    fn cache_hits_return_bitwise_identical_bytes(payload_bits in proptest::collection::vec(0u64..u64::MAX, 1..8)) {
+        // Payload with awkward float bytes rendered in: the cache must
+        // return them untouched.
+        let payload: String = payload_bits
+            .iter()
+            .map(|b| format!("{:.17e},", f64::from_bits(*b | 1)))
+            .collect();
+        let mut cache = ResultCache::new(8);
+        let key = u128::from(payload_bits[0]);
+        cache.insert(key, payload.clone());
+        let hit = cache.get(key).expect("hit");
+        prop_assert_eq!(hit.as_bytes(), payload.as_bytes());
+    }
+}

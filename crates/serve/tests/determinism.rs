@@ -1,0 +1,170 @@
+//! End-to-end determinism: the service must return bitwise-identical
+//! payload bytes for every request id regardless of the pool thread
+//! count (1/4/8), of how clients interleave over TCP, and of whether an
+//! answer came from the cache or was recomputed.
+
+use greednet_serve::json::{parse, Json};
+use greednet_serve::{ServeOptions, Service};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// The scenario mix: all five request kinds, with some repeats so both
+/// cache paths are exercised. `exp` pins its own `threads` (part of the
+/// request), so its payload is independent of the service pool.
+fn scenario_mix() -> Vec<String> {
+    vec![
+        r#"{"kind":"nash","id":"m-nash","users":"log:0.5,1.0;linear:1.0,0.4"}"#.into(),
+        r#"{"kind":"simulate","id":"m-sim","rates":[0.2,0.1],"discipline":"fs","horizon":500,"seed":5}"#.into(),
+        r#"{"kind":"table","id":"m-table","rates":[0.05,0.1,0.2]}"#.into(),
+        r#"{"kind":"protect","id":"m-protect","n":4,"victim":0.1}"#.into(),
+        r#"{"kind":"exp","id":"m-exp","exp":"t1","smoke":true,"threads":1}"#.into(),
+        r#"{"kind":"table","id":"m-table-again","rates":[0.05,0.1,0.2]}"#.into(),
+        r#"{"kind":"batch","id":"m-batch","requests":[{"kind":"table","id":"b-1","rates":[0.1,0.2]},{"kind":"protect","id":"b-2","n":6,"victim":0.05},{"kind":"table","id":"b-3","rates":[0.1,0.2]}]}"#.into(),
+    ]
+}
+
+/// Extracts `"id" -> compact(data)` from the result records of a JSONL
+/// response transcript.
+fn payloads(records: &[String]) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for record in records {
+        let value = parse(record).expect("valid record json");
+        if value.get("type").and_then(Json::as_str) != Some("result") {
+            continue;
+        }
+        let id = value
+            .get("id")
+            .and_then(Json::as_str)
+            .expect("result id")
+            .to_string();
+        let data = value.get("data").expect("result data").to_compact();
+        out.insert(id, data);
+    }
+    out
+}
+
+/// Runs one client over TCP, returning every record line it received.
+fn run_client(addr: std::net::SocketAddr, lines: &[String]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut records = Vec::new();
+    for line in lines {
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        // Closed loop: read until this request's terminal record so
+        // interleaving with the other client happens at request
+        // granularity (ids in a batch line terminate with the last
+        // sub-result, which carries the batch's final sub-id).
+        let terminal_ids: Vec<String> = {
+            let parsed = parse(line).expect("valid request json");
+            match parsed.get("requests") {
+                Some(Json::Arr(subs)) => subs
+                    .last()
+                    .and_then(|s| s.get("id"))
+                    .and_then(Json::as_str)
+                    .map(|s| vec![s.to_string()])
+                    .unwrap_or_default(),
+                _ => parsed
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .map(|s| vec![s.to_string()])
+                    .unwrap_or_default(),
+            }
+        };
+        loop {
+            let mut record = String::new();
+            let n = reader.read_line(&mut record).expect("recv");
+            assert!(n > 0, "server closed mid-request");
+            let record = record.trim().to_string();
+            let value = parse(&record).expect("valid record");
+            let kind = value.get("type").and_then(Json::as_str);
+            let id = value.get("id").and_then(Json::as_str);
+            records.push(record);
+            if matches!(kind, Some("result" | "error"))
+                && id.is_some_and(|i| terminal_ids.iter().any(|t| t == i))
+            {
+                break;
+            }
+        }
+    }
+    records
+}
+
+/// Serves `client_lines` (one Vec per concurrent client) on a fresh
+/// service with the given pool width; returns the union of id->payload.
+fn serve_mix(threads: usize, client_lines: &[Vec<String>]) -> BTreeMap<String, String> {
+    let service = Service::new(ServeOptions {
+        threads,
+        cache_capacity: 256,
+    });
+    let mut merged = BTreeMap::new();
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server = &service;
+        scope.spawn(move || {
+            server
+                .serve_tcp("127.0.0.1:0", move |addr| {
+                    tx.send(addr).expect("send addr");
+                })
+                .expect("serve_tcp");
+        });
+        let addr = rx.recv().expect("bound");
+        let mut handles = Vec::new();
+        for lines in client_lines {
+            handles.push(scope.spawn(move || run_client(addr, lines)));
+        }
+        for handle in handles {
+            let records = handle.join().expect("client");
+            for (id, data) in payloads(&records) {
+                // The same id must never map to different bytes, even
+                // when two clients race on the same scenario.
+                let prev = merged.insert(id.clone(), data.clone());
+                assert!(
+                    prev.is_none() || prev.as_deref() == Some(data.as_str()),
+                    "id {id} diverged"
+                );
+            }
+        }
+        // Stop the accept loop.
+        let mut stop = TcpStream::connect(addr).expect("connect");
+        stop.write_all(b"{\"kind\":\"shutdown\"}\n").expect("send");
+    });
+    merged
+}
+
+#[test]
+fn payloads_are_invariant_across_pool_widths_and_client_interleavings() {
+    let mix = scenario_mix();
+    // Client split A: one client runs the whole mix in order.
+    let split_a = vec![mix.clone()];
+    // Client split B: two clients interleave — one takes the even lines,
+    // the other the odds, in reverse order, so arrival order at the
+    // service differs run to run.
+    let evens: Vec<String> = mix.iter().step_by(2).cloned().collect();
+    let mut odds: Vec<String> = mix.iter().skip(1).step_by(2).cloned().collect();
+    odds.reverse();
+    let split_b = vec![evens, odds];
+
+    let mut reference: Option<BTreeMap<String, String>> = None;
+    for threads in [1usize, 4, 8] {
+        for split in [&split_a, &split_b] {
+            let got = serve_mix(threads, split);
+            assert_eq!(
+                got.len(),
+                9,
+                "expected one payload per distinct id at {threads} threads"
+            );
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(want, &got, "payload bytes changed at {threads} threads"),
+            }
+        }
+    }
+    // Identical scenarios got identical bytes across distinct ids too.
+    let map = reference.expect("reference run");
+    assert_eq!(map["m-table"], map["m-table-again"]);
+    assert_eq!(map["b-1"], map["b-3"]);
+}

@@ -35,6 +35,8 @@ pub enum Error {
     Network(greednet_network::NetworkError),
     /// Numerical substrate ([`greednet_numerics`]).
     Numerics(greednet_numerics::NumericsError),
+    /// Scenario service ([`greednet_serve`]).
+    Serve(greednet_serve::ServeError),
 }
 
 impl fmt::Display for Error {
@@ -47,6 +49,7 @@ impl fmt::Display for Error {
             Error::Mechanism(e) => write!(f, "mechanisms: {e}"),
             Error::Network(e) => write!(f, "network: {e}"),
             Error::Numerics(e) => write!(f, "numerics: {e}"),
+            Error::Serve(e) => write!(f, "serve: {e}"),
         }
     }
 }
@@ -61,6 +64,7 @@ impl std::error::Error for Error {
             Error::Mechanism(e) => Some(e),
             Error::Network(e) => Some(e),
             Error::Numerics(e) => Some(e),
+            Error::Serve(e) => Some(e),
         }
     }
 }
@@ -104,5 +108,11 @@ impl From<greednet_network::NetworkError> for Error {
 impl From<greednet_numerics::NumericsError> for Error {
     fn from(e: greednet_numerics::NumericsError) -> Self {
         Error::Numerics(e)
+    }
+}
+
+impl From<greednet_serve::ServeError> for Error {
+    fn from(e: greednet_serve::ServeError) -> Self {
+        Error::Serve(e)
     }
 }

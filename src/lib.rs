@@ -66,6 +66,7 @@ pub use greednet_mechanisms as mechanisms;
 pub use greednet_network as network;
 pub use greednet_numerics as numerics;
 pub use greednet_queueing as queueing;
+pub use greednet_serve as serve;
 
 /// Convenient glob-import surface covering the most common types.
 pub mod prelude {
