@@ -1,4 +1,4 @@
-//! All 17 paper-reproduction experiments as [`Experiment`]
+//! All 18 paper-reproduction experiments as [`Experiment`]
 //! implementations, plus the central [`registry`].
 //!
 //! Each module ports one former ad-hoc binary to the structured
@@ -19,6 +19,7 @@ pub mod e12;
 pub mod e13;
 pub mod e14;
 pub mod e15;
+pub mod e16;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -30,7 +31,7 @@ pub mod e9;
 pub mod t1;
 
 /// The central registry of every experiment, in reporting order
-/// (T1, E1..E15).
+/// (T1, E1..E16).
 #[must_use]
 pub fn registry() -> Registry {
     let mut r = Registry::new();
@@ -52,6 +53,7 @@ pub fn registry() -> Registry {
         Box::new(e13::E13Mg1),
         Box::new(e14::E14Coalitions),
         Box::new(e15::E15BlendAblation),
+        Box::new(e16::E16ClosedLoop),
     ];
     for e in all {
         r.register(e);
@@ -104,13 +106,13 @@ mod tests {
     use greednet_runtime::{Budget, ExpCtx};
 
     #[test]
-    fn registry_has_all_seventeen_unique_ids() {
+    fn registry_has_all_eighteen_unique_ids() {
         let reg = registry();
-        assert_eq!(reg.len(), 17);
+        assert_eq!(reg.len(), 18);
         let ids = reg.ids();
         let unique: std::collections::HashSet<_> = ids.iter().collect();
         assert_eq!(unique.len(), ids.len(), "ids must be unique");
-        for id in ["t1", "e1", "e9", "e10a", "e10b", "e15"] {
+        for id in ["t1", "e1", "e9", "e10a", "e10b", "e15", "e16"] {
             assert!(reg.get(id).is_some(), "missing {id}");
         }
     }

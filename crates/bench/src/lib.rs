@@ -25,6 +25,7 @@
 //! | `exp_e13_mg1` | footnote 5: M/G/1 kernels |
 //! | `exp_e14_coalitions` | footnote 14: coalition resilience |
 //! | `exp_e15_blend_ablation` | ablation along the FIFO→FS blend |
+//! | `exp_e16_closed_loop` | §5.2 closed-loop AIMD sources + ECN marking |
 //!
 //! Criterion micro-benchmarks of the library kernels live in `benches/`.
 //!

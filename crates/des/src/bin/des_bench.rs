@@ -1,0 +1,137 @@
+//! des-bench: events/sec throughput baseline for the event-calendar
+//! engine, checked in as `BENCH_des.json`.
+//!
+//! Runs three representative workloads — an open-loop M/M/1 mix under
+//! FIFO, the same mix under SFQ (the most queue-churny discipline), and
+//! a closed-loop AIMD+ECN scenario — and reports wall-clock events/sec
+//! for each plus the total. The `events` counter is the engine's own
+//! (one per calendar pop or bottleneck completion), so the number is
+//! comparable across engine revisions as long as the workloads match.
+//!
+//! Wall-clock timing lives here, in a binary: the GN02 no-wall-clock rule
+//! covers library code, and nothing measured here feeds back into any
+//! deterministic result.
+//!
+//! Usage: des-bench [--horizon H] [--seed S] [--out PATH] [--no-out]
+
+use greednet_des::scenarios::{ClosedScenario, DisciplineKind};
+use greednet_des::{SimConfig, Simulator};
+use std::time::Instant;
+
+struct Args {
+    horizon: f64,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        horizon: 200_000.0,
+        seed: 1,
+        out: Some("BENCH_des.json".into()),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--horizon" => args.horizon = val("--horizon")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = Some(val("--out")?.to_string()),
+            "--no-out" => args.out = None,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !(args.horizon.is_finite() && args.horizon > 0.0) {
+        return Err("--horizon must be a positive finite number".into());
+    }
+    Ok(args)
+}
+
+/// One measured workload: name, events processed, elapsed seconds.
+struct Sample {
+    name: &'static str,
+    events: u64,
+    elapsed: f64,
+}
+
+fn open_loop(kind: DisciplineKind, horizon: f64, seed: u64) -> Result<Sample, String> {
+    let rates = vec![0.08, 0.22, 0.35];
+    let cfg = SimConfig::new(rates.clone(), horizon, seed);
+    let sim = Simulator::new(cfg).map_err(|e| format!("{e}"))?;
+    let mut d = kind
+        .build(&rates, seed ^ 0xBE)
+        .map_err(|e| format!("{e}"))?;
+    let started = Instant::now();
+    let r = sim.run(d.as_mut()).map_err(|e| format!("{e}"))?;
+    Ok(Sample {
+        name: match kind {
+            DisciplineKind::Fifo => "open_loop_fifo",
+            _ => "open_loop_sfq",
+        },
+        events: r.events,
+        elapsed: started.elapsed().as_secs_f64(),
+    })
+}
+
+fn closed_loop(horizon: f64, seed: u64) -> Result<Sample, String> {
+    let scenario = ClosedScenario::aimd_ftp_telnet(2, 3, 0.02).marking(5);
+    let started = Instant::now();
+    let r = scenario
+        .run(DisciplineKind::Fifo, horizon, seed)
+        .map_err(|e| format!("{e}"))?;
+    Ok(Sample {
+        name: "closed_loop_aimd_ecn",
+        events: r.report.result.events,
+        elapsed: started.elapsed().as_secs_f64(),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let samples = [
+        open_loop(DisciplineKind::Fifo, args.horizon, args.seed)?,
+        open_loop(DisciplineKind::Sfq, args.horizon, args.seed)?,
+        closed_loop(args.horizon, args.seed)?,
+    ];
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"horizon\": {},\n", args.horizon));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str("  \"workloads\": {\n");
+    for (i, s) in samples.iter().enumerate() {
+        let sep = if i + 1 == samples.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{}\": {{ \"events\": {}, \"elapsed_s\": {:.3}, \"events_per_sec\": {:.0} }}{sep}\n",
+            s.name,
+            s.events,
+            s.elapsed,
+            s.events as f64 / s.elapsed
+        ));
+    }
+    out.push_str("  },\n");
+    let total_events: u64 = samples.iter().map(|s| s.events).sum();
+    let total_elapsed: f64 = samples.iter().map(|s| s.elapsed).sum();
+    out.push_str(&format!(
+        "  \"total\": {{ \"events\": {total_events}, \"elapsed_s\": {total_elapsed:.3}, \"events_per_sec\": {:.0} }}\n",
+        total_events as f64 / total_elapsed
+    ));
+    out.push_str("}\n");
+    print!("{out}");
+    if let Some(path) = args.out {
+        std::fs::write(&path, &out).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("des-bench: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,452 @@
+//! Simulation entities — sources, the bottleneck, flows — and the typed
+//! commands they exchange through the event calendar.
+//!
+//! The engine is structured in the minim style: *entities* hold state and
+//! react to [`Cmd`]s popped from the calendar; reactions mutate entity
+//! state and schedule further commands. Two source families exist:
+//!
+//! * **Open-loop** Poisson sources (the paper's model): each `Fire`
+//!   injects one packet and schedules the next `Fire` one exponential
+//!   inter-arrival ahead. Exactly one `Fire` per open-loop source is
+//!   outstanding at any time, so the calendar stays O(#sources).
+//! * **Closed-loop** ACK-clocked sources (minim's DCTCP-style path): a
+//!   window of packets is kept in flight; each departure generates an
+//!   [`Cmd::Ack`] delivered after the flow's feedback delay, carrying an
+//!   ECN-style congestion mark when the bottleneck queue was at or above
+//!   its marking threshold. Marked ACKs shrink the window
+//!   multiplicatively; clean ACKs grow it additively (AIMD), so the mix
+//!   self-regulates instead of offering a fixed load.
+//!
+//! The `Bottleneck` entity owns the active-packet set and the share
+//! vector its [`QDisc`](crate::qdisc::QDisc) writes; its next completion
+//! is a *derived* event (recomputed from shares after every state
+//! change), not a calendar entry — see `crate::calendar`.
+
+use crate::error::DesError;
+use crate::qdisc::ActivePacket;
+use crate::rng::ExpStream;
+use crate::units::{Rate, SimTime};
+use crate::Result;
+use greednet_numerics::conv;
+
+/// A command in flight on the event calendar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cmd {
+    /// Wake source `source`: an open-loop source emits its next Poisson
+    /// arrival; a closed-loop source fills its initial window.
+    Fire {
+        /// Index of the source to wake.
+        source: usize,
+    },
+    /// Deliver an acknowledgement to closed-loop source `source`.
+    Ack {
+        /// Index of the flow the ACK belongs to.
+        source: usize,
+        /// ECN-style congestion mark: the bottleneck queue was at or
+        /// above its marking threshold when the packet departed.
+        marked: bool,
+    },
+}
+
+/// Parameters of a closed-loop (ACK-clocked, AIMD) source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedLoopSpec {
+    /// Initial congestion window (packets; ≥ 1).
+    pub initial_window: f64,
+    /// Upper bound on the window (packets).
+    pub max_window: f64,
+    /// Delay between a packet's departure and its ACK reaching the
+    /// source (the feedback loop's round-trip latency).
+    pub feedback_delay: SimTime,
+    /// Additive increase per clean-ACK round-trip (the classic
+    /// `ai / window` per ACK).
+    pub additive_increase: f64,
+    /// Multiplicative decrease factor applied on a marked ACK
+    /// (in `(0, 1)`).
+    pub multiplicative_decrease: f64,
+}
+
+impl ClosedLoopSpec {
+    /// The default AIMD flow: window 2→64, unit feedback delay,
+    /// increase 1 per RTT, halve on mark.
+    #[must_use]
+    pub fn new() -> Self {
+        ClosedLoopSpec {
+            initial_window: 2.0,
+            max_window: 64.0,
+            feedback_delay: SimTime::raw(1.0),
+            additive_increase: 1.0,
+            multiplicative_decrease: 0.5,
+        }
+    }
+
+    /// Sets the feedback (ACK) delay.
+    #[must_use]
+    pub fn feedback_delay(mut self, delay: f64) -> Self {
+        self.feedback_delay = SimTime::raw(delay);
+        self
+    }
+
+    /// Sets the initial window.
+    #[must_use]
+    pub fn initial_window(mut self, w: f64) -> Self {
+        self.initial_window = w;
+        self
+    }
+
+    /// Sets the maximum window.
+    #[must_use]
+    pub fn max_window(mut self, w: f64) -> Self {
+        self.max_window = w;
+        self
+    }
+
+    /// Validates the spec for source index `source`.
+    ///
+    /// # Errors
+    /// [`DesError::InvalidSource`] naming the offending field.
+    pub fn validate(&self, source: usize) -> Result<()> {
+        let fail = |detail: &str| {
+            Err(DesError::InvalidSource {
+                source,
+                detail: detail.into(),
+            })
+        };
+        if !(self.initial_window.is_finite() && self.initial_window >= 1.0) {
+            return fail("initial window must be finite and >= 1");
+        }
+        if !(self.max_window.is_finite() && self.max_window >= self.initial_window) {
+            return fail("max window must be finite and >= the initial window");
+        }
+        if !(self.feedback_delay.get().is_finite() && self.feedback_delay.get() > 0.0) {
+            return fail("feedback delay must be finite and positive");
+        }
+        if !(self.additive_increase.is_finite() && self.additive_increase > 0.0) {
+            return fail("additive increase must be finite and positive");
+        }
+        if !(self.multiplicative_decrease > 0.0 && self.multiplicative_decrease < 1.0) {
+            return fail("multiplicative decrease must lie in (0, 1)");
+        }
+        Ok(())
+    }
+}
+
+impl Default for ClosedLoopSpec {
+    fn default() -> Self {
+        ClosedLoopSpec::new()
+    }
+}
+
+/// Specification of one traffic source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceSpec {
+    /// Open-loop Poisson source at the given arrival rate (zero-rate
+    /// sources are allowed and never send).
+    OpenLoop {
+        /// Poisson packet arrival rate.
+        rate: Rate,
+    },
+    /// Closed-loop ACK-clocked source.
+    ClosedLoop(ClosedLoopSpec),
+}
+
+impl SourceSpec {
+    /// An open-loop source from an unvalidated `f64` rate (validated at
+    /// engine-config build time, like the legacy `SimConfig` rates).
+    #[must_use]
+    pub fn open(rate: f64) -> Self {
+        SourceSpec::OpenLoop {
+            rate: Rate::raw(rate),
+        }
+    }
+
+    /// The declared open-loop rate (`0.0` for closed-loop sources, which
+    /// offer load adaptively rather than by declaration).
+    #[must_use]
+    pub fn rate_value(&self) -> f64 {
+        match self {
+            SourceSpec::OpenLoop { rate } => rate.get(),
+            SourceSpec::ClosedLoop(_) => 0.0,
+        }
+    }
+
+    /// Whether this is a closed-loop source.
+    #[must_use]
+    pub fn is_closed_loop(&self) -> bool {
+        matches!(self, SourceSpec::ClosedLoop(_))
+    }
+}
+
+/// Per-flow accounting returned by the engine alongside the aggregate
+/// statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowRecord {
+    /// Source index.
+    pub source: usize,
+    /// Packets injected into the bottleneck.
+    pub sent: u64,
+    /// ACKs delivered (closed-loop only; zero for open-loop).
+    pub acked: u64,
+    /// Of those, ACKs carrying a congestion mark.
+    pub marked: u64,
+    /// Final congestion window (zero for open-loop sources).
+    pub final_window: f64,
+}
+
+/// Runtime state of an open-loop Poisson source.
+#[derive(Debug)]
+pub(crate) struct OpenLoopSource {
+    pub rate: f64,
+    pub arrivals: ExpStream,
+    pub sizes: ExpStream,
+    pub sent: u64,
+}
+
+impl OpenLoopSource {
+    /// Draws the next inter-arrival gap.
+    pub fn next_gap(&mut self) -> SimTime {
+        SimTime::raw(self.arrivals.sample(self.rate))
+    }
+}
+
+/// Runtime state of a closed-loop AIMD source.
+#[derive(Debug)]
+pub(crate) struct ClosedLoopSource {
+    pub spec: ClosedLoopSpec,
+    pub sizes: ExpStream,
+    pub window: f64,
+    pub outstanding: usize,
+    pub sent: u64,
+    pub acked: u64,
+    pub marked: u64,
+}
+
+impl ClosedLoopSource {
+    pub fn new(spec: ClosedLoopSpec, sizes: ExpStream) -> Self {
+        let window = spec.initial_window;
+        ClosedLoopSource {
+            spec,
+            sizes,
+            window,
+            outstanding: 0,
+            sent: 0,
+            acked: 0,
+            marked: 0,
+        }
+    }
+
+    /// Whether the window admits another in-flight packet.
+    pub fn can_send(&self) -> bool {
+        self.outstanding < conv::f64_to_usize(self.window)
+    }
+
+    /// Records one packet injected.
+    pub fn on_sent(&mut self) {
+        self.outstanding += 1;
+        self.sent += 1;
+    }
+
+    /// Applies one ACK: AIMD window update (halve on mark, grow
+    /// `ai / window` on clean) and releases one in-flight slot.
+    pub fn on_ack(&mut self, marked: bool) {
+        self.acked += 1;
+        self.outstanding = self.outstanding.saturating_sub(1);
+        if marked {
+            self.marked += 1;
+            self.window = (self.window * self.spec.multiplicative_decrease).max(1.0);
+        } else {
+            self.window =
+                (self.window + self.spec.additive_increase / self.window).min(self.spec.max_window);
+        }
+    }
+}
+
+/// Runtime state of one source (either family).
+#[derive(Debug)]
+pub(crate) enum SourceState {
+    Open(OpenLoopSource),
+    Closed(ClosedLoopSource),
+}
+
+impl SourceState {
+    pub fn flow_record(&self, source: usize) -> FlowRecord {
+        match self {
+            SourceState::Open(s) => FlowRecord {
+                source,
+                sent: s.sent,
+                acked: 0,
+                marked: 0,
+                final_window: 0.0,
+            },
+            SourceState::Closed(s) => FlowRecord {
+                source,
+                sent: s.sent,
+                acked: s.acked,
+                marked: s.marked,
+                final_window: s.window,
+            },
+        }
+    }
+}
+
+/// The switch: the active-packet set, the share vector its `QDisc`
+/// writes, per-user counts, and the ECN marking threshold.
+#[derive(Debug)]
+pub(crate) struct Bottleneck {
+    pub active: Vec<ActivePacket>,
+    pub shares: Vec<f64>,
+    pub counts: Vec<usize>,
+    pub marking_threshold: Option<usize>,
+}
+
+impl Bottleneck {
+    pub fn new(n: usize, marking_threshold: Option<usize>) -> Self {
+        Bottleneck {
+            active: Vec::new(),
+            shares: Vec::new(),
+            counts: vec![0usize; n],
+            marking_threshold,
+        }
+    }
+
+    /// The earliest completion time under the current shares, as
+    /// `(time, index)` — `(∞, usize::MAX)` when nothing is draining.
+    ///
+    /// This is the engine's *derived* event: the exact scan (strict `<`,
+    /// first index wins) of the pre-calendar engine, preserved
+    /// op-for-op for bitwise equivalence.
+    pub fn peek_completion(&self, now: f64) -> (f64, usize) {
+        let mut t_done = f64::INFINITY;
+        let mut done_idx = usize::MAX;
+        for (i, p) in self.active.iter().enumerate() {
+            let s = self.shares.get(i).copied().unwrap_or(0.0);
+            if s > 0.0 {
+                let t = now + p.remaining.get() / s;
+                if t < t_done {
+                    t_done = t;
+                    done_idx = i;
+                }
+            }
+        }
+        (t_done, done_idx)
+    }
+
+    /// Drains `share × dt` of remaining work from every served packet.
+    pub fn drain(&mut self, dt: f64) {
+        for (i, p) in self.active.iter_mut().enumerate() {
+            let s = self.shares.get(i).copied().unwrap_or(0.0);
+            if s > 0.0 {
+                p.remaining -= crate::units::Work::raw(s * dt);
+            }
+        }
+    }
+
+    /// ECN decision for a departing packet: the queue (after removal) is
+    /// at or above the marking threshold.
+    pub fn ecn_mark(&self) -> bool {
+        self.marking_threshold
+            .is_some_and(|th| self.active.len() >= th)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation_names_the_field() {
+        assert!(ClosedLoopSpec::new().validate(0).is_ok());
+        let bad = ClosedLoopSpec::new().initial_window(0.5);
+        let err = bad.validate(3).unwrap_err();
+        assert!(matches!(err, DesError::InvalidSource { source: 3, .. }));
+        assert!(err.to_string().contains("initial window"));
+        let bad = ClosedLoopSpec {
+            multiplicative_decrease: 1.0,
+            ..ClosedLoopSpec::new()
+        };
+        assert!(bad.validate(0).is_err());
+        let bad = ClosedLoopSpec::new().feedback_delay(0.0);
+        assert!(bad.validate(0).is_err());
+        let bad = ClosedLoopSpec::new().initial_window(8.0).max_window(4.0);
+        assert!(bad.validate(0).is_err());
+    }
+
+    #[test]
+    fn source_spec_helpers() {
+        let open = SourceSpec::open(0.3);
+        assert_eq!(open.rate_value(), 0.3);
+        assert!(!open.is_closed_loop());
+        let closed = SourceSpec::ClosedLoop(ClosedLoopSpec::new());
+        assert_eq!(closed.rate_value(), 0.0);
+        assert!(closed.is_closed_loop());
+    }
+
+    #[test]
+    fn aimd_window_dynamics() {
+        let mut s = ClosedLoopSource::new(ClosedLoopSpec::new(), ExpStream::new(1));
+        assert!(s.can_send());
+        s.on_sent();
+        s.on_sent();
+        assert_eq!(s.outstanding, 2);
+        assert!(!s.can_send(), "window 2 fully in flight");
+        // Clean ACK: additive increase, slot released.
+        s.on_ack(false);
+        assert_eq!(s.acked, 1);
+        assert!((s.window - 2.5).abs() < 1e-12);
+        assert!(s.can_send());
+        // Marked ACK: halved, floored at 1.
+        s.on_ack(true);
+        assert_eq!(s.marked, 1);
+        assert!((s.window - 1.25).abs() < 1e-12);
+        for _ in 0..10 {
+            s.on_ack(true);
+        }
+        assert_eq!(s.window, 1.0, "window floors at one packet");
+        // Growth saturates at max_window.
+        let mut g = ClosedLoopSource::new(
+            ClosedLoopSpec::new().initial_window(3.0).max_window(4.0),
+            ExpStream::new(2),
+        );
+        for _ in 0..100 {
+            g.on_ack(false);
+        }
+        assert_eq!(g.window, 4.0);
+    }
+
+    #[test]
+    fn flow_records_distinguish_families() {
+        let open = SourceState::Open(OpenLoopSource {
+            rate: 0.2,
+            arrivals: ExpStream::new(1),
+            sizes: ExpStream::new(2),
+            sent: 7,
+        });
+        let r = open.flow_record(0);
+        assert_eq!((r.sent, r.acked, r.final_window), (7, 0, 0.0));
+        let mut c = ClosedLoopSource::new(ClosedLoopSpec::new(), ExpStream::new(3));
+        c.on_sent();
+        c.on_ack(true);
+        let r = SourceState::Closed(c).flow_record(1);
+        assert_eq!(r.source, 1);
+        assert_eq!((r.sent, r.acked, r.marked), (1, 1, 1));
+        assert_eq!(r.final_window, 1.0);
+    }
+
+    #[test]
+    fn ecn_marks_at_threshold() {
+        use crate::units::Work;
+        let mut b = Bottleneck::new(1, Some(2));
+        assert!(!b.ecn_mark());
+        for id in 0..2 {
+            b.active.push(ActivePacket {
+                id,
+                user: 0,
+                arrival: SimTime::ZERO,
+                size: Work::raw(1.0),
+                remaining: Work::raw(1.0),
+            });
+        }
+        assert!(b.ecn_mark());
+        assert!(!Bottleneck::new(1, None).ecn_mark());
+    }
+}

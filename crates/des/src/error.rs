@@ -35,6 +35,22 @@ pub enum DesError {
         /// Explanation of the problem.
         detail: String,
     },
+    /// A typed unit (`SimTime`, `Rate`, `Work`) was constructed from a
+    /// value outside its domain (NaN, infinite, or negative).
+    InvalidUnit {
+        /// Which unit rejected the value.
+        unit: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A closed-loop source specification was inconsistent (non-positive
+    /// window, bad decrease factor, negative feedback delay).
+    InvalidSource {
+        /// Source index.
+        source: usize,
+        /// Explanation of the problem.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DesError {
@@ -58,6 +74,12 @@ impl fmt::Display for DesError {
             DesError::InvalidDiscipline { detail } => {
                 write!(f, "invalid discipline configuration: {detail}")
             }
+            DesError::InvalidUnit { unit, value } => {
+                write!(f, "value {value} is outside the domain of {unit}")
+            }
+            DesError::InvalidSource { source, detail } => {
+                write!(f, "source {source} is misconfigured: {detail}")
+            }
         }
     }
 }
@@ -76,5 +98,17 @@ mod tests {
             .contains("1.2"));
         let w = DesError::InvalidWindows { windows: 2 }.to_string();
         assert!(w.contains("at least 4") && w.contains("got 2"), "{w}");
+        let u = DesError::InvalidUnit {
+            unit: "Rate",
+            value: f64::NAN,
+        }
+        .to_string();
+        assert!(u.contains("Rate") && u.contains("NaN"), "{u}");
+        let s = DesError::InvalidSource {
+            source: 3,
+            detail: "window".into(),
+        }
+        .to_string();
+        assert!(s.contains("source 3") && s.contains("window"), "{s}");
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! The analytical layers (`greednet-queueing`, `greednet-core`) work with
 //! closed-form M/M/1 allocation functions; this crate builds the actual
-//! switch those formulas describe: `N` Poisson packet sources feeding an
+//! switch those formulas describe: `N` packet sources feeding an
 //! exponential unit-rate server under a configurable service discipline.
 //! It exists for three reasons:
 //!
@@ -14,43 +14,80 @@
 //!    than exact formulas, reproducing the paper's "adjust the knob until
 //!    the picture looks best" story (§2.2);
 //! 3. **The §5.2 scenarios** — FTP/Telnet/ill-behaved source mixes under
-//!    FIFO vs Fair Queueing.
+//!    FIFO vs Fair Queueing, including closed-loop ACK-clocked sources
+//!    with ECN-style congestion marking.
 //!
 //! # Architecture
 //!
-//! A single work-conserving engine ([`sim::Simulator`]) advances a set of
-//! active packets whose remaining work drains at rates chosen by a
-//! [`disciplines::Discipline`]: each discipline maps the active set to a
-//! vector of non-negative *service shares* summing to 1 (FIFO puts all
-//! service on the oldest packet; processor sharing splits it evenly;
-//! priority disciplines serve the highest non-empty level; fair queueing
-//! serves the smallest virtual start tag, non-preemptively). Packet sizes
-//! are i.i.d. `Exp(1)`, arrivals are Poisson, so every discipline sees the
-//! same M/M/1 workload modulo scheduling.
+//! The crate is layered as a small event-calendar DES framework
+//! specialized to the paper's single-bottleneck topology:
+//!
+//! * [`units`] — [`SimTime`], [`Rate`], [`Work`]: `#[repr(transparent)]`
+//!   `f64` newtypes with checked constructors, so physically distinct
+//!   quantities cannot be swapped at an API boundary.
+//! * [`calendar`] — the pending-event set: a binary-heap
+//!   [`calendar::EventCalendar`] behind the swappable
+//!   [`calendar::EventQueue`] trait, ordered by `f64::total_cmp` with
+//!   FIFO sequence tie-breaking.
+//! * [`qdisc`] — the [`QDisc`] trait (queueing discipline): maps the
+//!   active packet set to a vector of non-negative *service shares*
+//!   summing to 1 (FIFO puts all service on the oldest packet; processor
+//!   sharing splits it evenly; priority disciplines serve the highest
+//!   non-empty level; fair queueing serves the smallest virtual start
+//!   tag, non-preemptively).
+//! * [`entities`] — [`entities::SourceSpec`] sources (open-loop Poisson
+//!   or closed-loop AIMD), the bottleneck, and the typed
+//!   [`entities::Cmd`]s they exchange through the calendar.
+//! * [`engine`] — the [`engine::Engine`] event loop: pops commands,
+//!   dispatches them to entities, drains work between events at the
+//!   QDisc's shares, and integrates statistics. Bottleneck completions
+//!   are *derived* events recomputed from the shares after every state
+//!   change, so share-shuffling disciplines never leave stale entries on
+//!   the calendar.
+//! * [`sim`] — the classic open-loop facade ([`Simulator`] /
+//!   [`SimConfig`]), bitwise-compatible with the pre-calendar engine.
+//!
+//! Packet sizes are i.i.d. unit-mean (`Exp(1)` by default), open-loop
+//! arrivals are Poisson, so every discipline sees the same M/M/1
+//! workload modulo scheduling.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod calendar;
 pub mod disciplines;
+pub mod engine;
+pub mod entities;
 pub mod error;
+pub mod qdisc;
 pub mod rng;
 pub mod scenarios;
 pub mod service;
 pub mod sim;
+pub mod units;
 
-pub use disciplines::{
-    Discipline, Fifo, FsPriorityTable, LifoPreemptive, PreemptivePriority, ProcessorSharing,
-    StartTimeFairQueueing,
-};
+pub use engine::{Engine, EngineConfig, EngineReport};
+pub use entities::{ClosedLoopSpec, Cmd, FlowRecord, SourceSpec};
 pub use error::DesError;
+pub use qdisc::{
+    ActivePacket, Fifo, FsPriorityTable, LifoPreemptive, PreemptivePriority, ProcessorSharing,
+    QDisc, StartTimeFairQueueing,
+};
 pub use service::ServiceDist;
 pub use sim::{SimConfig, SimConfigBuilder, SimResult, Simulator};
+pub use units::{Rate, SimTime, Work};
+
+/// Legacy name of the [`QDisc`] trait, kept so pre-rework callers keep
+/// compiling.
+#[deprecated(since = "0.2.0", note = "renamed to `greednet_des::QDisc`")]
+pub use qdisc::QDisc as Discipline;
 
 // Instrumentation surface for `Simulator::run_probed`, re-exported so
 // simulation callers don't need a direct greednet-telemetry dependency.
 pub use greednet_telemetry::{
-    MetricsProbe, NoopProbe, PacketEvent, PacketEventKind, Probe, SimMetrics, TraceBuffer,
+    CalendarEvent, CalendarEventKind, MetricsProbe, NoopProbe, PacketEvent, PacketEventKind, Probe,
+    SimMetrics, TraceBuffer,
 };
 
 /// Result alias for this crate.

@@ -1,32 +1,42 @@
-//! The work-conserving discrete-event engine.
+//! The classic simulator facade: open-loop Poisson sources only.
 //!
-//! Between events, each active packet's remaining work drains at the rate
-//! assigned by the discipline's share vector; the next event is whichever
-//! comes first of (a) the earliest packet completion under the current
-//! shares, (b) the next Poisson arrival, (c) the simulation horizon.
-//! Per-user queue lengths are integrated exactly (they are step functions
-//! between events), warm-up time is discarded, and the measurement window
-//! is split into batches for confidence intervals.
+//! [`Simulator`] is the stable entry point for the paper's experiments:
+//! `n` Poisson sources, one work-conserving switch, a
+//! [`QDisc`] deciding the share vector. Since the event-calendar
+//! rework it is a thin typed facade over [`crate::engine::Engine`] —
+//! [`SimConfig`] (typed units, open-loop rates) converts into an
+//! all-open-loop [`EngineConfig`] and the run delegates; results are
+//! bitwise identical to the pre-calendar drain-loop engine
+//! (pinned in `tests/engine_equivalence.rs`).
+//!
+//! Closed-loop (ACK-clocked) sources and ECN marking are only reachable
+//! through [`crate::engine::Engine`] directly, which also returns
+//! per-flow records next to the [`SimResult`].
 
-use crate::disciplines::{ActivePacket, Discipline};
-use crate::error::DesError;
-use crate::rng::ExpStream;
+use crate::engine::{Engine, EngineConfig};
+use crate::qdisc::QDisc;
 use crate::service::ServiceDist;
+use crate::units::{Rate, SimTime};
 use crate::Result;
-use greednet_numerics::conv;
-use greednet_numerics::stats::{batch_means_ci, MeanCi, Reservoir, Welford};
-use greednet_telemetry::{NoopProbe, PacketEvent, PacketEventKind, Probe};
+use greednet_numerics::stats::MeanCi;
+use greednet_telemetry::{NoopProbe, Probe};
 
-/// Simulation configuration.
+/// Simulation configuration for the open-loop facade.
+///
+/// Quantities carry their units in the type: rates are [`Rate`]s, the
+/// horizon and warm-up are [`SimTime`]s. The unchecked `From<f64>`
+/// conversions keep field mutation ergonomic (`cfg.warmup = 200.0.into()`);
+/// validation happens once, at [`Simulator::new`] /
+/// [`SimConfigBuilder::build`] time.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Poisson arrival rate per user (packets per unit time; service rate
     /// is 1). Zero-rate users are allowed and simply never send.
-    pub rates: Vec<f64>,
+    pub rates: Vec<Rate>,
     /// Simulated time horizon (measurement ends here).
-    pub horizon: f64,
+    pub horizon: SimTime,
     /// Warm-up period discarded from all statistics.
-    pub warmup: f64,
+    pub warmup: SimTime,
     /// Master RNG seed.
     pub seed: u64,
     /// Number of batch windows for confidence intervals (≥ 4).
@@ -43,11 +53,15 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// A config with sensible defaults for validation runs.
+    ///
+    /// This is the legacy `f64` constructor, kept as a thin shim over the
+    /// typed fields: rates and horizon are wrapped unvalidated (exactly
+    /// like the old bare-float config) and checked at `Simulator::new`.
     pub fn new(rates: Vec<f64>, horizon: f64, seed: u64) -> Self {
         SimConfig {
-            rates,
-            horizon,
-            warmup: horizon * 0.1,
+            rates: rates.into_iter().map(Rate::raw).collect(),
+            horizon: SimTime::raw(horizon),
+            warmup: SimTime::raw(horizon * 0.1),
             seed,
             windows: 32,
             allow_overload: false,
@@ -69,38 +83,41 @@ impl SimConfig {
         }
     }
 
+    /// The rates as bare `f64`s (for rate-aware disciplines and
+    /// analytical cross-checks).
+    #[must_use]
+    pub fn rate_values(&self) -> Vec<f64> {
+        self.rates.iter().map(|r| r.get()).collect()
+    }
+
+    /// The equivalent all-open-loop engine configuration.
+    #[must_use]
+    pub fn to_engine(&self) -> EngineConfig {
+        EngineConfig {
+            sources: self
+                .rates
+                .iter()
+                .map(|&rate| crate::entities::SourceSpec::OpenLoop { rate })
+                .collect(),
+            horizon: self.horizon,
+            warmup: self.warmup,
+            seed: self.seed,
+            windows: self.windows,
+            allow_overload: self.allow_overload,
+            service: self.service,
+            marking_threshold: None,
+        }
+    }
+
     fn validate(&self) -> Result<()> {
-        if self.rates.is_empty() {
-            return Err(DesError::EmptySystem);
-        }
-        for (user, &r) in self.rates.iter().enumerate() {
-            if !r.is_finite() || r < 0.0 {
-                return Err(DesError::InvalidRate { user, value: r });
-            }
-        }
-        if self.horizon <= 0.0
-            || self.horizon.is_nan()
-            || self.warmup < 0.0
-            || self.warmup >= self.horizon
-        {
-            return Err(DesError::InvalidHorizon {
-                detail: format!("horizon {} / warmup {}", self.horizon, self.warmup),
-            });
-        }
-        if self.windows < 4 {
-            return Err(DesError::InvalidWindows {
-                windows: self.windows,
-            });
-        }
-        let load: f64 = self.rates.iter().sum();
-        if load >= 0.999 && !self.allow_overload {
-            return Err(DesError::Saturated { load });
-        }
-        Ok(())
+        self.to_engine().validate()
     }
 }
 
 /// Validating builder for [`SimConfig`]; see [`SimConfig::builder`].
+///
+/// Setter arguments are `impl Into<...>` over the typed units, so both
+/// the legacy `f64` call sites and typed callers compile unchanged.
 #[derive(Debug, Clone)]
 pub struct SimConfigBuilder {
     config: SimConfig,
@@ -111,18 +128,19 @@ impl SimConfigBuilder {
     /// Sets the simulated time horizon. Unless a warm-up was set
     /// explicitly, the warm-up follows as 10% of the horizon.
     #[must_use]
-    pub fn horizon(mut self, horizon: f64) -> Self {
+    pub fn horizon(mut self, horizon: impl Into<SimTime>) -> Self {
+        let horizon = horizon.into();
         self.config.horizon = horizon;
         if !self.explicit_warmup {
-            self.config.warmup = horizon * 0.1;
+            self.config.warmup = SimTime::raw(horizon.get() * 0.1);
         }
         self
     }
 
     /// Sets the warm-up period discarded from statistics.
     #[must_use]
-    pub fn warmup(mut self, warmup: f64) -> Self {
-        self.config.warmup = warmup;
+    pub fn warmup(mut self, warmup: impl Into<SimTime>) -> Self {
+        self.config.warmup = warmup.into();
         self.explicit_warmup = true;
         self
     }
@@ -184,7 +202,7 @@ pub struct SimResult {
     /// Number of events processed.
     pub events: u64,
     /// Length of the measurement window.
-    pub measured_time: f64,
+    pub measured_time: SimTime,
     /// Per-user delay percentiles `(p50, p95, p99)` estimated from a
     /// 4096-sample reservoir per user (`(0, 0, 0)` for users with no
     /// completed packets).
@@ -197,7 +215,8 @@ pub struct SimResult {
     pub total_queue_dist: Vec<f64>,
 }
 
-/// The discrete-event simulator.
+/// The discrete-event simulator (open-loop facade over the calendar
+/// engine).
 ///
 /// ```
 /// use greednet_des::{Fifo, SimConfig, Simulator};
@@ -223,7 +242,7 @@ impl Simulator {
         Ok(Simulator { config })
     }
 
-    /// Runs the simulation under `discipline`.
+    /// Runs the simulation under `qdisc`.
     ///
     /// Delegates to [`run_probed`](Simulator::run_probed) with a
     /// [`NoopProbe`], whose statically-disabled instrumentation sites
@@ -231,310 +250,43 @@ impl Simulator {
     ///
     /// # Errors
     /// Returns configuration errors; the run itself is infallible.
-    pub fn run(&self, discipline: &mut dyn Discipline) -> Result<SimResult> {
-        self.run_probed(discipline, &mut NoopProbe)
+    pub fn run(&self, qdisc: &mut dyn QDisc) -> Result<SimResult> {
+        self.run_probed(qdisc, &mut NoopProbe)
     }
 
-    /// Runs the simulation under `discipline`, reporting packet-lifecycle
-    /// events (arrival, service start, preemption, departure) to `probe`.
+    /// Runs the simulation under `qdisc`, reporting packet-lifecycle
+    /// events (arrival, service start, preemption, departure) and
+    /// calendar schedule/fire events to `probe`.
     ///
     /// Observation is purely passive: the returned [`SimResult`] is
     /// bitwise identical for every probe, including [`NoopProbe`]
     /// (property-tested in `tests/telemetry.rs` at the workspace root).
     /// Service starts and preemptions are derived from share
     /// transitions: a packet whose share becomes positive emits
-    /// [`PacketEventKind::ServiceStart`] (a resume after preemption
-    /// emits a fresh one), and a packet whose share drops to zero while
-    /// it remains in the system emits [`PacketEventKind::Preemption`].
+    /// [`ServiceStart`](greednet_telemetry::PacketEventKind::ServiceStart)
+    /// (a resume after preemption emits a fresh one), and a packet whose
+    /// share drops to zero while it remains in the system emits
+    /// [`Preemption`](greednet_telemetry::PacketEventKind::Preemption).
     ///
     /// # Errors
     /// Returns configuration errors; the run itself is infallible.
-    pub fn run_probed<P: Probe>(
-        &self,
-        discipline: &mut dyn Discipline,
-        probe: &mut P,
-    ) -> Result<SimResult> {
-        let cfg = &self.config;
-        let n = cfg.rates.len();
-        let mut master = ExpStream::new(cfg.seed);
-        let mut arrival_streams: Vec<ExpStream> = (0..n)
-            .map(|u| master.split(conv::index_to_u64(u) * 2 + 1))
-            .collect();
-        let mut size_streams: Vec<ExpStream> = (0..n)
-            .map(|u| master.split(conv::index_to_u64(u) * 2 + 2))
-            .collect();
-
-        // Next arrival time per user (infinity for silent users).
-        let mut next_arrival: Vec<f64> = (0..n)
-            .map(|u| {
-                if cfg.rates[u] > 0.0 {
-                    arrival_streams[u].sample(cfg.rates[u])
-                } else {
-                    f64::INFINITY
-                }
-            })
-            .collect();
-
-        let mut active: Vec<ActivePacket> = Vec::new();
-        let mut shares: Vec<f64> = Vec::new();
-        let mut counts = vec![0usize; n];
-        let mut now = 0.0f64;
-        let mut next_id = 0u64;
-        let mut events = 0u64;
-        // Packet ids currently holding a positive share — probe
-        // bookkeeping only; stays empty (never allocates) when the
-        // probe's instrumentation sites are compiled out.
-        let mut serving: Vec<u64> = Vec::new();
-
-        // Statistics.
-        let window_len = (cfg.horizon - cfg.warmup) / cfg.windows as f64;
-        let mut window_area = vec![vec![0.0f64; cfg.windows]; n];
-        let mut area = vec![0.0f64; n];
-        let mut delays: Vec<Welford> = (0..n).map(|_| Welford::new()).collect();
-        let mut completed = vec![0u64; n];
-        const DIST_CAP: usize = 64;
-        let mut dist_time = vec![0.0f64; DIST_CAP + 1];
-        let mut delay_samples: Vec<Reservoir> = (0..n)
-            .map(|u| Reservoir::new(4096, cfg.seed ^ (conv::index_to_u64(u) + 1)))
-            .collect();
-
-        // Integrates the (constant) per-user counts over [t0, t1).
-        let accumulate =
-            |t0: f64, t1: f64, counts: &[usize], area: &mut [f64], window_area: &mut [Vec<f64>]| {
-                let lo = t0.max(cfg.warmup);
-                if t1 <= lo {
-                    return;
-                }
-                for u in 0..n {
-                    area[u] += counts[u] as f64 * (t1 - lo);
-                }
-                // Split across windows.
-                let mut t = lo;
-                while t < t1 {
-                    // `t >= warmup` inside this loop, so the quotient is
-                    // non-negative; the `min` caps rounding spillover.
-                    let w = conv::f64_to_usize((t - cfg.warmup) / window_len).min(cfg.windows - 1);
-                    let w_end = cfg.warmup + (w + 1) as f64 * window_len;
-                    let seg_end = t1.min(w_end);
-                    for u in 0..n {
-                        window_area[u][w] += counts[u] as f64 * (seg_end - t);
-                    }
-                    if seg_end <= t {
-                        break; // numerical guard
-                    }
-                    t = seg_end;
-                }
-            };
-
-        discipline.shares(&active, now, &mut shares);
-        if P::ENABLED {
-            emit_share_transitions(&active, &shares, &mut serving, now, probe);
-        }
-        loop {
-            // Earliest completion under current shares.
-            let mut t_done = f64::INFINITY;
-            let mut done_idx = usize::MAX;
-            for (i, p) in active.iter().enumerate() {
-                let s = shares.get(i).copied().unwrap_or(0.0);
-                if s > 0.0 {
-                    let t = now + p.remaining / s;
-                    if t < t_done {
-                        t_done = t;
-                        done_idx = i;
-                    }
-                }
-            }
-            // Earliest arrival.
-            let mut t_arr = f64::INFINITY;
-            let mut arr_user = usize::MAX;
-            for (u, &t) in next_arrival.iter().enumerate() {
-                if t < t_arr {
-                    t_arr = t;
-                    arr_user = u;
-                }
-            }
-            let t_next = t_done.min(t_arr).min(cfg.horizon);
-
-            // Advance work and statistics.
-            let dt = t_next - now;
-            if dt > 0.0 {
-                for (i, p) in active.iter_mut().enumerate() {
-                    let s = shares.get(i).copied().unwrap_or(0.0);
-                    if s > 0.0 {
-                        p.remaining -= s * dt;
-                    }
-                }
-                accumulate(now, t_next, &counts, &mut area, &mut window_area);
-                let lo = now.max(cfg.warmup);
-                if t_next > lo {
-                    let k = active.len().min(DIST_CAP);
-                    dist_time[k] += t_next - lo;
-                }
-                now = t_next;
-            }
-
-            events += 1;
-            if now >= cfg.horizon {
-                break;
-            }
-            if t_done <= t_arr {
-                // Departure.
-                let mut pkt = active.swap_remove(done_idx);
-                pkt.remaining = 0.0;
-                counts[pkt.user] -= 1;
-                discipline.on_departure(&pkt, now);
-                if P::ENABLED {
-                    probe.on_packet(&PacketEvent {
-                        time: now,
-                        user: pkt.user,
-                        packet: pkt.id,
-                        queue_len: active.len(),
-                        kind: PacketEventKind::Departure {
-                            delay: now - pkt.arrival,
-                        },
-                    });
-                }
-                if pkt.arrival >= cfg.warmup {
-                    delays[pkt.user].push(now - pkt.arrival);
-                    delay_samples[pkt.user].push(now - pkt.arrival);
-                    completed[pkt.user] += 1;
-                }
-            } else {
-                // Arrival.
-                let u = arr_user;
-                let size = cfg.service.sample(&mut size_streams[u]);
-                let pkt = ActivePacket {
-                    id: next_id,
-                    user: u,
-                    arrival: now,
-                    size,
-                    remaining: size,
-                };
-                next_id += 1;
-                counts[u] += 1;
-                discipline.on_arrival(&pkt, now);
-                if P::ENABLED {
-                    probe.on_packet(&PacketEvent {
-                        time: now,
-                        user: u,
-                        packet: pkt.id,
-                        queue_len: active.len(),
-                        kind: PacketEventKind::Arrival { size },
-                    });
-                }
-                active.push(pkt);
-                next_arrival[u] = now + arrival_streams[u].sample(cfg.rates[u]);
-            }
-            discipline.shares(&active, now, &mut shares);
-            if P::ENABLED {
-                emit_share_transitions(&active, &shares, &mut serving, now, probe);
-            }
-        }
-
-        let measured = cfg.horizon - cfg.warmup;
-        let mean_queue: Vec<f64> = area.iter().map(|a| a / measured).collect();
-        let queue_ci: Vec<MeanCi> = (0..n)
-            .map(|u| {
-                let samples: Vec<f64> = window_area[u].iter().map(|a| a / window_len).collect();
-                batch_means_ci(&samples, cfg.windows / 2).unwrap_or(MeanCi {
-                    mean: mean_queue[u],
-                    half_width: f64::INFINITY,
-                    batches: 0,
-                })
-            })
-            .collect();
-        let mean_delay: Vec<f64> = delays.iter().map(Welford::mean).collect();
-        let throughput: Vec<f64> = completed.iter().map(|&c| c as f64 / measured).collect();
-        let total_mean_queue: f64 = mean_queue.iter().sum();
-        let delay_percentiles: Vec<(f64, f64, f64)> = delay_samples
-            .iter()
-            .map(|r| {
-                if r.samples().is_empty() {
-                    (0.0, 0.0, 0.0)
-                } else {
-                    (
-                        r.quantile(0.50).unwrap_or(0.0),
-                        r.quantile(0.95).unwrap_or(0.0),
-                        r.quantile(0.99).unwrap_or(0.0),
-                    )
-                }
-            })
-            .collect();
-        let total_queue_dist: Vec<f64> = dist_time.iter().map(|t| t / measured).collect();
-
-        Ok(SimResult {
-            mean_queue,
-            queue_ci,
-            mean_delay,
-            throughput,
-            completed,
-            total_mean_queue,
-            events,
-            measured_time: measured,
-            delay_percentiles,
-            total_queue_dist,
-        })
+    pub fn run_probed<P: Probe>(&self, qdisc: &mut dyn QDisc, probe: &mut P) -> Result<SimResult> {
+        let engine = Engine::new(self.config.to_engine())?;
+        Ok(engine.run_probed(qdisc, probe)?.result)
     }
-}
-
-/// Diffs the set of packets holding a positive share against the
-/// previous call's set and reports the transitions: newly positive →
-/// [`PacketEventKind::ServiceStart`] (resumes re-emit), dropped to zero
-/// while still active → [`PacketEventKind::Preemption`]. Packets that
-/// left the system are handled by the departure event, not here.
-/// Preemptions are emitted before starts; both follow active-set order,
-/// so the event stream is deterministic.
-fn emit_share_transitions<P: Probe>(
-    active: &[ActivePacket],
-    shares: &[f64],
-    serving: &mut Vec<u64>,
-    now: f64,
-    probe: &mut P,
-) {
-    let queue_len = active.len();
-    let share_of = |i: usize| shares.get(i).copied().unwrap_or(0.0);
-    for (i, p) in active.iter().enumerate() {
-        if share_of(i) <= 0.0 && serving.contains(&p.id) {
-            probe.on_packet(&PacketEvent {
-                time: now,
-                user: p.user,
-                packet: p.id,
-                queue_len,
-                kind: PacketEventKind::Preemption,
-            });
-        }
-    }
-    for (i, p) in active.iter().enumerate() {
-        if share_of(i) > 0.0 && !serving.contains(&p.id) {
-            probe.on_packet(&PacketEvent {
-                time: now,
-                user: p.user,
-                packet: p.id,
-                queue_len,
-                kind: PacketEventKind::ServiceStart,
-            });
-        }
-    }
-    serving.clear();
-    serving.extend(
-        active
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| share_of(i) > 0.0)
-            .map(|(_, p)| p.id),
-    );
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::disciplines::{
-        Fifo, FsPriorityTable, LifoPreemptive, PreemptivePriority, ProcessorSharing,
+    use crate::error::DesError;
+    use crate::qdisc::{
+        Fifo, FsPriorityTable, LifoPreemptive, PreemptivePriority, ProcessorSharing, QDisc,
         StartTimeFairQueueing,
     };
     use greednet_queueing::{mm1, AllocationFunction, FairShare, Proportional, SerialPriority};
 
-    fn run(rates: &[f64], horizon: f64, seed: u64, d: &mut dyn Discipline) -> SimResult {
+    fn run(rates: &[f64], horizon: f64, seed: u64, d: &mut dyn QDisc) -> SimResult {
         let sim = Simulator::new(SimConfig::new(rates.to_vec(), horizon, seed)).unwrap();
         sim.run(d).unwrap()
     }
@@ -548,7 +300,7 @@ mod tests {
         over.allow_overload = true;
         assert!(Simulator::new(over).is_ok());
         let mut bad = SimConfig::new(vec![0.2], 100.0, 0);
-        bad.warmup = 200.0;
+        bad.warmup = 200.0.into();
         assert!(Simulator::new(bad).is_err());
         let mut badw = SimConfig::new(vec![0.2], 100.0, 0);
         badw.windows = 2;
@@ -597,7 +349,7 @@ mod tests {
         let expect = Proportional::new().congestion(&rates);
         let horizon = 200_000.0;
         for (name, d) in [
-            ("fifo", &mut Fifo as &mut dyn Discipline),
+            ("fifo", &mut Fifo as &mut dyn QDisc),
             ("lifo", &mut LifoPreemptive),
             ("ps", &mut ProcessorSharing),
         ] {
@@ -747,6 +499,10 @@ mod tests {
         // Busy periods and occupancy were populated.
         assert!(m.busy_periods.count() > 0);
         assert_eq!(m.occupancy.count(), arrivals);
+        // Calendar bookkeeping: every open-loop arrival is one fired
+        // calendar command, and every fire was first scheduled.
+        assert_eq!(m.fires.get(), arrivals);
+        assert!(m.schedules.get() >= m.fires.get());
     }
 
     #[test]
@@ -923,10 +679,10 @@ mod tests {
     fn warmup_is_discarded() {
         // A tiny horizon with most of it warm-up still produces sane output.
         let mut cfg = SimConfig::new(vec![0.3], 1000.0, 5);
-        cfg.warmup = 900.0;
+        cfg.warmup = 900.0.into();
         let sim = Simulator::new(cfg).unwrap();
         let r = sim.run(&mut Fifo).unwrap();
-        assert!(r.measured_time == 100.0);
+        assert_eq!(r.measured_time, SimTime::raw(100.0));
         assert!(r.mean_queue[0] >= 0.0);
     }
 
@@ -941,7 +697,10 @@ mod tests {
             .unwrap();
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.windows, 16);
-        assert!((cfg.warmup - 5_000.0).abs() < 1e-9, "warmup tracks horizon");
+        assert!(
+            (cfg.warmup.get() - 5_000.0).abs() < 1e-9,
+            "warmup tracks horizon"
+        );
         assert!(Simulator::new(cfg).is_ok());
     }
 

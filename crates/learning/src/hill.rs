@@ -87,7 +87,7 @@ impl Environment for SimEnv {
         let seed = greednet_numerics::conv::f64_to_u64(self.seeds.uniform() * f64::from(u32::MAX));
         let mut cfg = SimConfig::new(rates.to_vec(), self.measure_time, seed);
         cfg.allow_overload = true;
-        cfg.warmup = self.measure_time * 0.2;
+        cfg.warmup = (self.measure_time * 0.2).into();
         // Infallible for valid rates; fall back to formula-free zeros on
         // misconfiguration (cannot occur for clamped rates).
         let sim = match Simulator::new(cfg) {

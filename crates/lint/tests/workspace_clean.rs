@@ -50,6 +50,41 @@ fn allow_budget_is_respected() {
 }
 
 #[test]
+fn des_entity_modules_are_in_deterministic_scope() {
+    // The event-calendar engine's entity/engine/calendar/units modules
+    // carry the determinism contract (GN01/GN09 scope): "des" must stay
+    // in the deterministic-crate set and the walk must actually visit
+    // the modules, so a rename cannot silently drop them from scope.
+    assert!(
+        greednet_lint::rules::DETERMINISTIC_CRATES.contains(&"des"),
+        "des left the deterministic-crate set"
+    );
+    let root = workspace_root();
+    for module in [
+        "crates/des/src/engine.rs",
+        "crates/des/src/entities.rs",
+        "crates/des/src/calendar.rs",
+        "crates/des/src/units.rs",
+    ] {
+        assert!(root.join(module).is_file(), "missing module {module}");
+    }
+}
+
+#[test]
+fn gn09_allow_budget_is_at_most_four() {
+    // Lossy-cast allows are the narrowest budget: the typed-unit API
+    // routes conversions through numerics::conv, so new GN09 sites
+    // should be conversions added there deliberately, not drive-bys.
+    let analysis = greednet_lint::analyze(&workspace_root()).expect("workspace analyzable");
+    let gn09: Vec<_> = analysis.suppressed().filter(|f| f.rule == "GN09").collect();
+    assert!(
+        gn09.len() <= 4,
+        "GN09 allow budget exceeded ({} sites): {gn09:?}",
+        gn09.len()
+    );
+}
+
+#[test]
 fn cargo_run_json_exits_zero_on_the_workspace() {
     let root = workspace_root();
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());

@@ -47,6 +47,25 @@ pub fn isize_to_usize(i: isize) -> usize {
     usize::try_from(i).unwrap_or(0)
 }
 
+/// Validates that `x` is a finite, non-negative quantity, returning it
+/// unchanged or `None`.
+///
+/// The typed-unit constructors in `greednet-des` (`SimTime`, `Rate`,
+/// `Work`) route their checked entry points through here so the
+/// "physical quantity" validation lives next to the other numeric
+/// boundary checks rather than being re-derived per newtype.
+#[must_use]
+pub fn checked_nonneg(x: f64) -> Option<f64> {
+    (x.is_finite() && x >= 0.0).then_some(x)
+}
+
+/// Validates that `x` is finite and strictly positive, returning it
+/// unchanged or `None`.
+#[must_use]
+pub fn checked_pos(x: f64) -> Option<f64> {
+    (x.is_finite() && x > 0.0).then_some(x)
+}
+
 /// Truncates a non-negative float to a `usize`, clamping to
 /// `[0, usize::MAX]`. NaN (debug-asserted against) maps to 0.
 #[must_use]
@@ -89,6 +108,19 @@ mod tests {
         assert_eq!(f64_to_u64(3.99), 3);
         assert_eq!(f64_to_u64(1e6), 1_000_000);
         assert_eq!(f64_to_u64(f64::INFINITY), u64::MAX);
+    }
+
+    #[test]
+    fn checked_quantities_accept_finite_and_reject_the_rest() {
+        assert_eq!(checked_nonneg(0.0), Some(0.0));
+        assert_eq!(checked_nonneg(1.5), Some(1.5));
+        assert_eq!(checked_nonneg(-1e-9), None);
+        assert_eq!(checked_nonneg(f64::INFINITY), None);
+        assert_eq!(checked_nonneg(f64::NAN), None);
+        assert_eq!(checked_pos(1.5), Some(1.5));
+        assert_eq!(checked_pos(0.0), None);
+        assert_eq!(checked_pos(f64::NEG_INFINITY), None);
+        assert_eq!(checked_pos(f64::NAN), None);
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //! its default would poison the cache key contract), and every omitted
 //! field is filled with the same default the CLI uses.
 //!
+//! Every request may carry an optional `"v"` schema-version field
+//! (default 1). This build speaks exactly v=1 and rejects anything else,
+//! so clients can pin the version today and get a clean `bad_request`
+//! (instead of a silent reinterpretation) if the wire schema ever moves.
+//! Version 1 never enters the canonical form: `{"kind":"nash","v":1}`
+//! and `{"kind":"nash"}` share one cache key, byte-identical to builds
+//! that predate the field.
+//!
 //! ## Response records
 //!
 //! The service answers each request with a stream of records:
@@ -98,6 +106,15 @@ impl Request {
             ServeError::Parse("request needs a \"kind\" field (nash/simulate/table/protect/exp/batch/stats/shutdown)".into())
         })?;
         let id = fields.take_str("id")?;
+        // Schema version: only v=1 exists. A v>1 canonical form would
+        // include the version; v=1 stays out so the keys of today's
+        // requests match every build since the cache key contract began.
+        let v = fields.take_u64("v")?.unwrap_or(1);
+        if v != 1 {
+            return Err(ServeError::BadRequest(format!(
+                "unsupported schema version {v} (this build speaks v=1)"
+            )));
+        }
         let kind = match kind_name.as_str() {
             "nash" => RequestKind::Nash(NashSpec {
                 discipline: fields.take_str("discipline")?.unwrap_or_else(|| "fs".into()),
@@ -600,6 +617,62 @@ mod tests {
             r#"{"kind":"nash","users":[{"family":"log","a":0.5,"b":1.0},{"family":"linear","a":1.0,"b":0.4}]}"#,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schema_version_one_is_invisible_to_the_cache_key() {
+        // Pinned pre-versioning cache keys: the `v` field must not move
+        // them, with the version omitted or spelled out as 1. These hex
+        // strings were produced by a build that predates the field.
+        for (line, golden) in [
+            (r#"{"kind":"nash"}"#, "00df36bb180264cdcd7c242e11e228f9"),
+            (
+                r#"{"kind":"simulate","rates":[0.2,0.1]}"#,
+                "5adf255ce8c306ecad76b2e0c1ded28a",
+            ),
+            (
+                r#"{"kind":"simulate","rates":[0.08,0.22,0.35],"discipline":"sfq","horizon":20000,"seed":3,"service":"D"}"#,
+                "9ad0116091517f2a3d3aba26f8754775",
+            ),
+            (
+                r#"{"kind":"table","rates":[0.05,0.1,0.2]}"#,
+                "0e97fe9a43558c8fea161c21575cac15",
+            ),
+            (
+                r#"{"kind":"protect","n":4,"victim":0.1,"discipline":"fs"}"#,
+                "c6f897b006e3b841ae604a4330707715",
+            ),
+            (
+                r#"{"kind":"exp","exp":"t1","smoke":true}"#,
+                "f412015ca46963af1c5f4bb4c1ce8867",
+            ),
+        ] {
+            assert_eq!(key_hex(key_of(line)), golden, "{line}");
+            let versioned = format!("{},\"v\":1}}", &line[..line.len() - 1]);
+            assert_eq!(key_hex(key_of(&versioned)), golden, "{versioned}");
+        }
+    }
+
+    #[test]
+    fn unsupported_schema_versions_are_rejected() {
+        for line in [
+            r#"{"kind":"nash","v":2}"#,
+            r#"{"kind":"table","rates":[0.1],"v":0}"#,
+            r#"{"kind":"batch","requests":[{"kind":"stats","v":7}]}"#,
+        ] {
+            let err = Request::parse_line(line);
+            assert!(
+                matches!(err, Err(ServeError::BadRequest(ref m)) if m.contains("schema version")),
+                "{line}: {err:?}"
+            );
+        }
+        // Sub-requests of a batch may pin the version individually.
+        assert!(Request::parse_line(
+            r#"{"kind":"batch","requests":[{"kind":"table","rates":[0.1],"v":1}],"v":1}"#
+        )
+        .is_ok());
+        // The version must still be an integer.
+        assert!(Request::parse_line(r#"{"kind":"nash","v":1.5}"#).is_err());
     }
 
     #[test]

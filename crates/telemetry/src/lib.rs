@@ -36,6 +36,8 @@ pub mod profile;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Log2Histogram, MetricsProbe, SimMetrics};
-pub use probe::{NoopProbe, PacketEvent, PacketEventKind, Probe, SolverEvent};
+pub use probe::{
+    CalendarEvent, CalendarEventKind, NoopProbe, PacketEvent, PacketEventKind, Probe, SolverEvent,
+};
 pub use profile::{PoolStats, ScopedTimer, StageTimings, Telemetry, WorkerStats};
 pub use trace::{TraceBuffer, TraceEvent, TraceRecord};

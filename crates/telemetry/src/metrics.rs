@@ -11,7 +11,7 @@
 //! There are deliberately *no* floating-point accumulators in the merge
 //! path.
 
-use crate::probe::{PacketEvent, PacketEventKind, Probe};
+use crate::probe::{CalendarEvent, CalendarEventKind, PacketEvent, PacketEventKind, Probe};
 
 /// A monotone event counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -315,6 +315,13 @@ pub struct SimMetrics {
     pub preemptions: Counter,
     /// Packet drops across all users (always 0 for the lossless engine).
     pub drops: Counter,
+    /// ECN congestion marks applied to departing packets of closed-loop
+    /// sources (always 0 without a marking threshold).
+    pub marks: Counter,
+    /// Commands scheduled onto the event calendar.
+    pub schedules: Counter,
+    /// Commands popped off the event calendar for dispatch.
+    pub fires: Counter,
     /// Per-user packet sojourn times.
     pub delay: Vec<Log2Histogram>,
     /// Total number-in-system sampled at arrival instants. By PASTA
@@ -337,6 +344,9 @@ impl SimMetrics {
             service_starts: Counter::new(),
             preemptions: Counter::new(),
             drops: Counter::new(),
+            marks: Counter::new(),
+            schedules: Counter::new(),
+            fires: Counter::new(),
             delay: vec![Log2Histogram::new(); users],
             occupancy: Log2Histogram::new(),
             busy_periods: Log2Histogram::new(),
@@ -369,6 +379,9 @@ impl SimMetrics {
         self.service_starts.merge(&other.service_starts);
         self.preemptions.merge(&other.preemptions);
         self.drops.merge(&other.drops);
+        self.marks.merge(&other.marks);
+        self.schedules.merge(&other.schedules);
+        self.fires.merge(&other.fires);
         for (a, b) in self.delay.iter_mut().zip(&other.delay) {
             a.merge(b);
         }
@@ -383,10 +396,17 @@ impl SimMetrics {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "counters: service_starts={} preemptions={} drops={}",
+            "counters: service_starts={} preemptions={} drops={} marks={}",
             self.service_starts.get(),
             self.preemptions.get(),
-            self.drops.get()
+            self.drops.get(),
+            self.marks.get()
+        );
+        let _ = writeln!(
+            out,
+            "calendar: schedules={} fires={}",
+            self.schedules.get(),
+            self.fires.get()
         );
         for u in 0..self.users() {
             let _ = writeln!(
@@ -460,6 +480,15 @@ impl Probe for MetricsProbe {
                 }
             }
             PacketEventKind::Drop => self.metrics.drops.inc(),
+            PacketEventKind::Marked => self.metrics.marks.inc(),
+        }
+    }
+
+    #[inline]
+    fn on_calendar(&mut self, event: &CalendarEvent) {
+        match event.kind {
+            CalendarEventKind::Schedule => self.metrics.schedules.inc(),
+            CalendarEventKind::Fire => self.metrics.fires.inc(),
         }
     }
 }
@@ -569,7 +598,21 @@ mod tests {
         p.on_packet(&ev(2.0, 0, 0, PacketEventKind::ServiceStart));
         p.on_packet(&ev(3.0, 1, 1, PacketEventKind::Departure { delay: 1.5 }));
         p.on_packet(&ev(4.0, 0, 0, PacketEventKind::Departure { delay: 3.0 }));
+        p.on_packet(&ev(4.0, 0, 0, PacketEventKind::Marked));
+        p.on_calendar(&CalendarEvent {
+            time: 5.0,
+            seq: 0,
+            kind: CalendarEventKind::Schedule,
+        });
+        p.on_calendar(&CalendarEvent {
+            time: 5.0,
+            seq: 0,
+            kind: CalendarEventKind::Fire,
+        });
         let m = p.metrics();
+        assert_eq!(m.marks.get(), 1);
+        assert_eq!(m.schedules.get(), 1);
+        assert_eq!(m.fires.get(), 1);
         assert_eq!(m.arrivals[0].get(), 1);
         assert_eq!(m.arrivals[1].get(), 1);
         assert_eq!(m.departures[0].get(), 1);

@@ -50,6 +50,32 @@ pub enum PacketEventKind {
     /// lossless engine never emits this; it is part of the stable trace
     /// schema for drop-based disciplines.
     Drop,
+    /// The departing packet's acknowledgement will carry an ECN-style
+    /// congestion mark: the bottleneck queue was at or above its marking
+    /// threshold at departure (closed-loop sources only). Emitted right
+    /// after the corresponding [`PacketEventKind::Departure`].
+    Marked,
+}
+
+/// An event-calendar bookkeeping event emitted by the discrete-event
+/// engine: a command scheduled onto the calendar or popped off it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalendarEvent {
+    /// Absolute fire time of the scheduled command.
+    pub time: f64,
+    /// The calendar's tie-breaking sequence number for the command.
+    pub seq: u64,
+    /// Schedule or fire.
+    pub kind: CalendarEventKind,
+}
+
+/// The kind of a [`CalendarEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalendarEventKind {
+    /// A command was pushed onto the calendar.
+    Schedule,
+    /// The command reached its fire time and was popped for dispatch.
+    Fire,
 }
 
 /// A solver-iterate event emitted by the analytical layers.
@@ -115,6 +141,12 @@ pub trait Probe {
     fn on_solver(&mut self, event: &SolverEvent) {
         let _ = event;
     }
+
+    /// Observes an event-calendar schedule/fire.
+    #[inline]
+    fn on_calendar(&mut self, event: &CalendarEvent) {
+        let _ = event;
+    }
 }
 
 /// The do-nothing probe: `ENABLED = false`, so probed code paths compile
@@ -130,6 +162,9 @@ impl Probe for NoopProbe {
 
     #[inline(always)]
     fn on_solver(&mut self, _event: &SolverEvent) {}
+
+    #[inline(always)]
+    fn on_calendar(&mut self, _event: &CalendarEvent) {}
 }
 
 /// Fan-out: a pair of probes observes every event in order (`self.0`
@@ -151,6 +186,12 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
         self.0.on_solver(event);
         self.1.on_solver(event);
     }
+
+    #[inline]
+    fn on_calendar(&mut self, event: &CalendarEvent) {
+        self.0.on_calendar(event);
+        self.1.on_calendar(event);
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +202,7 @@ mod tests {
     struct CountingProbe {
         packets: usize,
         solver: usize,
+        calendar: usize,
     }
 
     impl Probe for CountingProbe {
@@ -169,6 +211,9 @@ mod tests {
         }
         fn on_solver(&mut self, _event: &SolverEvent) {
             self.solver += 1;
+        }
+        fn on_calendar(&mut self, _event: &CalendarEvent) {
+            self.calendar += 1;
         }
     }
 
@@ -211,6 +256,13 @@ mod tests {
         assert_eq!(pair.1.packets, 2);
         assert_eq!(pair.0.solver, 1);
         assert_eq!(pair.1.solver, 1);
+        pair.on_calendar(&CalendarEvent {
+            time: 2.5,
+            seq: 4,
+            kind: CalendarEventKind::Schedule,
+        });
+        assert_eq!(pair.0.calendar, 1);
+        assert_eq!(pair.1.calendar, 1);
     }
 
     #[test]

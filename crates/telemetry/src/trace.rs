@@ -189,6 +189,7 @@ fn record_to_json(rec: &TraceRecord, out: &mut String) {
                 PacketEventKind::Preemption => "preemption",
                 PacketEventKind::Departure { .. } => "departure",
                 PacketEventKind::Drop => "drop",
+                PacketEventKind::Marked => "marked",
             };
             let _ = write!(
                 out,
@@ -333,6 +334,13 @@ mod tests {
             queue_len: 0,
             kind: PacketEventKind::Drop,
         });
+        buf.on_packet(&PacketEvent {
+            time: 1.5,
+            user: 0,
+            packet: 1,
+            queue_len: 2,
+            kind: PacketEventKind::Marked,
+        });
         buf.on_solver(&SolverEvent::BestResponse {
             iteration: 2,
             user: 1,
@@ -353,7 +361,7 @@ mod tests {
         });
         let jsonl = buf.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 8);
+        assert_eq!(lines.len(), 9);
         for (i, line) in lines.iter().enumerate() {
             assert!(line.starts_with(&format!("{{\"seq\":{i},")), "{line}");
             assert!(line.ends_with('}'), "{line}");
@@ -361,9 +369,10 @@ mod tests {
         }
         assert!(lines[0].contains("\"kind\":\"arrival\"") && lines[0].contains("\"size\":0.5"));
         assert!(lines[3].contains("\"delay\":1.25"));
-        assert!(lines[5].contains("\"kind\":\"best_response\""));
-        assert!(lines[6].contains("\"kind\":\"relaxation_step\""));
-        assert!(lines[7].contains("\"payoff\":-2.0"));
+        assert!(lines[5].contains("\"kind\":\"marked\""));
+        assert!(lines[6].contains("\"kind\":\"best_response\""));
+        assert!(lines[7].contains("\"kind\":\"relaxation_step\""));
+        assert!(lines[8].contains("\"payoff\":-2.0"));
     }
 
     #[test]

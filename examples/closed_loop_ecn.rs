@@ -1,0 +1,46 @@
+//! The §5.2 workload with the feedback loop closed: the FTP transfers
+//! are ACK-clocked AIMD windows (they probe for bandwidth instead of
+//! declaring a rate), optionally held back by an ECN-style marking
+//! threshold at the switch, against open-loop Telnet sessions.
+//!
+//! The punchline mirrors the paper's: Fair-Share-family scheduling
+//! protects the interactive sources whether or not the greedy sources
+//! respond to congestion signals; FIFO needs everyone to back off.
+//!
+//! Run with: `cargo run --release --example closed_loop_ecn`
+
+use greednet::des::scenarios::{ClosedScenario, DisciplineKind};
+
+fn main() {
+    let horizon = 40_000.0;
+    let seed = 20260809;
+
+    println!("Closed-loop AIMD FTP vs Telnet, with and without ECN marking\n");
+
+    for (title, scenario) in [
+        (
+            "no marking: AIMD grows to its window cap",
+            ClosedScenario::aimd_ftp_telnet(2, 3, 0.02),
+        ),
+        (
+            "marking at queue >= 5: ACKs carry congestion bits",
+            ClosedScenario::aimd_ftp_telnet(2, 3, 0.02).marking(5),
+        ),
+    ] {
+        println!("--- {title}\n");
+        for kind in [
+            DisciplineKind::Fifo,
+            DisciplineKind::Sfq,
+            DisciplineKind::FsTable,
+        ] {
+            let r = scenario.run(kind, horizon, seed).expect("simulation");
+            println!("[{}]", kind.label());
+            print!("{}", r.table());
+            println!(
+                "  telnet mean delay: {:.3}   ftp total throughput: {:.3}\n",
+                r.mean_delay_of("telnet"),
+                r.throughput_of("ftp"),
+            );
+        }
+    }
+}

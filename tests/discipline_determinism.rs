@@ -10,9 +10,7 @@
 //! behavior so a future regression (or revert) is caught by
 //! `cargo test`, not by a corrupted paper-vs-measured table.
 
-use greednet_des::disciplines::{
-    Discipline, FsPriorityTable, PreemptivePriority, StartTimeFairQueueing,
-};
+use greednet_des::qdisc::{FsPriorityTable, PreemptivePriority, QDisc, StartTimeFairQueueing};
 use greednet_des::sim::{SimConfig, Simulator};
 use greednet_runtime::Replications;
 
@@ -25,7 +23,7 @@ const REPLICATIONS: usize = 8;
 /// replication order.
 fn batch_bits<D, F>(threads: usize, make: F) -> Vec<Vec<u64>>
 where
-    D: Discipline,
+    D: QDisc,
     F: Fn(u64) -> D + Sync,
 {
     Replications::new(REPLICATIONS, 0xD15C_0171).run(threads, |_, seed| {
@@ -39,7 +37,7 @@ where
 
 fn assert_thread_invariant<D, F>(make: F, label: &str)
 where
-    D: Discipline,
+    D: QDisc,
     F: Fn(u64) -> D + Sync + Copy,
 {
     let serial = batch_bits(1, make);

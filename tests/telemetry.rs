@@ -12,7 +12,7 @@ fn simulate(
     rates: &[f64],
     seed: u64,
     kind: DisciplineKind,
-) -> (Simulator, Box<dyn greednet_des::Discipline>) {
+) -> (Simulator, Box<dyn greednet_des::QDisc>) {
     let cfg = SimConfig::builder(rates.to_vec())
         .horizon(8_000.0)
         .seed(seed)
