@@ -1,0 +1,8 @@
+//! Thin wrapper running experiment `e17` from the central registry.
+//! All logic lives in `greednet_bench::experiments`; common flags
+//! (`--seed`, `--threads`, `--json`/`--csv`, `--smoke`) are parsed by
+//! `greednet_bench::exp_cli`.
+
+fn main() {
+    greednet_bench::exp_cli::exp_main("e17");
+}

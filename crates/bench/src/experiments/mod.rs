@@ -1,4 +1,4 @@
-//! All 18 paper-reproduction experiments as [`Experiment`]
+//! All 20 paper-reproduction experiments as [`Experiment`]
 //! implementations, plus the central [`registry`].
 //!
 //! Each module ports one former ad-hoc binary to the structured
@@ -20,6 +20,8 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
+pub mod e18;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -31,7 +33,7 @@ pub mod e9;
 pub mod t1;
 
 /// The central registry of every experiment, in reporting order
-/// (T1, E1..E16).
+/// (T1, E1..E18).
 #[must_use]
 pub fn registry() -> Registry {
     let mut r = Registry::new();
@@ -54,6 +56,8 @@ pub fn registry() -> Registry {
         Box::new(e14::E14Coalitions),
         Box::new(e15::E15BlendAblation),
         Box::new(e16::E16ClosedLoop),
+        Box::new(e17::E17LargeN),
+        Box::new(e18::E18HeavyTraffic),
     ];
     for e in all {
         r.register(e);
@@ -106,13 +110,13 @@ mod tests {
     use greednet_runtime::{Budget, ExpCtx};
 
     #[test]
-    fn registry_has_all_eighteen_unique_ids() {
+    fn registry_has_all_twenty_unique_ids() {
         let reg = registry();
-        assert_eq!(reg.len(), 18);
+        assert_eq!(reg.len(), 20);
         let ids = reg.ids();
         let unique: std::collections::HashSet<_> = ids.iter().collect();
         assert_eq!(unique.len(), ids.len(), "ids must be unique");
-        for id in ["t1", "e1", "e9", "e10a", "e10b", "e15", "e16"] {
+        for id in ["t1", "e1", "e9", "e10a", "e10b", "e15", "e16", "e17", "e18"] {
             assert!(reg.get(id).is_some(), "missing {id}");
         }
     }

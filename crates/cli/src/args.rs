@@ -38,6 +38,19 @@ COMMANDS:
                user crossing k switches + one local user per switch)
                --switches K              (default 3)
                --discipline fifo|fs|sp   (default fs)
+    largen     Large-N equilibrium via the mean-field engine
+               --discipline fifo|fs|sfq  (default fs)
+               --n N                     users; 0 solves the continuum
+                                         limit (default 10000)
+               --classes SPEC            semicolon-separated class
+                                         utilities, family:a,b (default
+                                         three log classes w=0.6/0.5/0.4)
+               --weights W1,W2,...       class mass fractions (default
+                                         equal; normalized to sum 1)
+               --seed S                  (default 1)
+               --threads N               sweep shards; results are
+                                         bitwise identical at any count
+                                         (default 1)
     exp        Run a paper-reproduction experiment from the registry
                (no id: list all experiments)
                greednet exp <ID> [--seed N] [--threads N]
@@ -60,6 +73,7 @@ EXAMPLES:
     greednet simulate --rates 0.3,0.3 --trace /tmp/t.jsonl --metrics
     greednet table --rates 0.05,0.1,0.2,0.3
     greednet protect --n 4 --victim 0.1 --discipline fifo
+    greednet largen --discipline fs --n 100000 --threads 4
     greednet exp e9 --threads 4 --json
     echo '{\"kind\":\"nash\"}' | greednet serve
 ";
@@ -77,6 +91,8 @@ pub enum Command {
     Protect(ProtectArgs),
     /// Parking-lot network equilibrium.
     Network(NetworkArgs),
+    /// Large-N mean-field equilibrium.
+    Largen(LargenArgs),
     /// Registry experiment runner.
     Exp(ExpCmdArgs),
     /// Long-running scenario service.
@@ -135,6 +151,23 @@ pub struct ProtectArgs {
     pub victim: f64,
     /// Discipline name.
     pub discipline: String,
+}
+
+/// Arguments for `largen`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LargenArgs {
+    /// Discipline name (fifo/fs/sfq).
+    pub discipline: String,
+    /// User count; `0` solves the continuum limit.
+    pub n: u64,
+    /// Class utility specs.
+    pub classes: Vec<UtilitySpec>,
+    /// Class mass fractions (empty = equal split).
+    pub weights: Vec<f64>,
+    /// RNG seed for the jittered start.
+    pub seed: u64,
+    /// Sweep shards (bitwise identical at any count).
+    pub threads: usize,
 }
 
 /// Arguments for `serve`.
@@ -375,6 +408,41 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 cache,
             }))
         }
+        "largen" => {
+            let opts = options(rest)?;
+            let n: u64 = get(&opts, "n")
+                .unwrap_or("10000")
+                .parse()
+                .map_err(|_| ParseError("bad --n".into()))?;
+            let classes = parse_users(
+                get(&opts, "classes").unwrap_or("log:0.6,1.0;log:0.5,1.0;log:0.4,1.0"),
+            )?;
+            let weights: Vec<f64> = match get(&opts, "weights") {
+                Some(s) => {
+                    parse_rates(s).map_err(|_| ParseError(format!("invalid weight list '{s}'")))?
+                }
+                None => Vec::new(),
+            };
+            let seed: u64 = get(&opts, "seed")
+                .unwrap_or("1")
+                .parse()
+                .map_err(|_| ParseError("bad --seed".into()))?;
+            let threads: usize = get(&opts, "threads")
+                .unwrap_or("1")
+                .parse()
+                .map_err(|_| ParseError("bad --threads".into()))?;
+            if threads == 0 {
+                return err("--threads must be >= 1");
+            }
+            Ok(Command::Largen(LargenArgs {
+                discipline: get(&opts, "discipline").unwrap_or("fs").to_string(),
+                n,
+                classes,
+                weights,
+                seed,
+                threads,
+            }))
+        }
         "protect" => {
             let opts = options(rest)?;
             let n: usize = get(&opts, "n")
@@ -533,6 +601,34 @@ mod tests {
         };
         assert_eq!(e.id, None);
         assert_eq!(e.rest, argv("--smoke"));
+    }
+
+    #[test]
+    fn largen_parsing() {
+        let Command::Largen(a) = parse(&argv("largen")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.discipline, "fs");
+        assert_eq!(a.n, 10_000);
+        assert_eq!(a.classes.len(), 3);
+        assert!(a.weights.is_empty());
+        assert_eq!(a.seed, 1);
+        assert_eq!(a.threads, 1);
+        let Command::Largen(a) = parse(&argv(
+            "largen --discipline sfq --n 0 --classes log:0.6,1.0;log:0.4,1.0 --weights 3,1 --seed 7 --threads 4",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.discipline, "sfq");
+        assert_eq!(a.n, 0);
+        assert_eq!(a.classes.len(), 2);
+        assert_eq!(a.weights, vec![3.0, 1.0]);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.threads, 4);
+        assert!(parse(&argv("largen --n x")).is_err());
+        assert!(parse(&argv("largen --threads 0")).is_err());
+        assert!(parse(&argv("largen --weights 1,abc")).is_err());
     }
 
     #[test]

@@ -9,12 +9,15 @@
 //! same outcomes as JSON, so CLI and service can never drift apart.
 
 use crate::args::{
-    ExpCmdArgs, NashArgs, NetworkArgs, ProtectArgs, ServeArgs, SimulateArgs, TableArgs, UtilitySpec,
+    ExpCmdArgs, LargenArgs, NashArgs, NetworkArgs, ProtectArgs, ServeArgs, SimulateArgs, TableArgs,
+    UtilitySpec,
 };
 use greednet_core::game::NashOptions;
 use greednet_core::utility::{BoxedUtility, LogUtility, UtilityExt};
 use greednet_des::{MetricsProbe, TraceBuffer};
-use greednet_serve::ops::{NashSpec, ProtectSpec, SimulateSpec, TableSpec, UtilityParam};
+use greednet_serve::ops::{
+    LargenSpec, NashSpec, ProtectSpec, SimulateSpec, TableSpec, UtilityParam,
+};
 use greednet_serve::{ServeOptions, Service};
 
 /// Ring-buffer capacity for `--trace`: keeps the most recent events of
@@ -117,6 +120,22 @@ pub fn protect(a: ProtectArgs) -> Result<(), String> {
         discipline: a.discipline,
     }
     .outcome()
+    .map_err(|e| e.to_string())?;
+    print!("{}", out.render_text());
+    Ok(())
+}
+
+/// `greednet largen`.
+pub fn largen(a: LargenArgs) -> Result<(), String> {
+    let out = LargenSpec {
+        discipline: a.discipline,
+        n: a.n,
+        classes: to_params(&a.classes),
+        weights: a.weights,
+        seed: a.seed,
+        threads: a.threads,
+    }
+    .solve()
     .map_err(|e| e.to_string())?;
     print!("{}", out.render_text());
     Ok(())
@@ -326,6 +345,57 @@ mod tests {
         assert!(network(NetworkArgs {
             switches: 2,
             discipline: "bogus".into()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn largen_command_end_to_end() {
+        let args = LargenArgs {
+            discipline: "fs".into(),
+            n: 1_000,
+            classes: vec![
+                UtilitySpec {
+                    family: "log".into(),
+                    a: 0.6,
+                    b: 1.0,
+                },
+                UtilitySpec {
+                    family: "log".into(),
+                    a: 0.4,
+                    b: 1.0,
+                },
+            ],
+            weights: vec![3.0, 1.0],
+            seed: 1,
+            threads: 2,
+        };
+        largen(args).unwrap();
+        // Continuum mode (n = 0) and validation errors surface cleanly.
+        largen(LargenArgs {
+            discipline: "fifo".into(),
+            n: 0,
+            classes: vec![UtilitySpec {
+                family: "log".into(),
+                a: 0.5,
+                b: 1.0,
+            }],
+            weights: Vec::new(),
+            seed: 1,
+            threads: 1,
+        })
+        .unwrap();
+        assert!(largen(LargenArgs {
+            discipline: "fs".into(),
+            n: 100,
+            classes: vec![UtilitySpec {
+                family: "log".into(),
+                a: 0.5,
+                b: 1.0,
+            }],
+            weights: vec![1.0, 2.0],
+            seed: 1,
+            threads: 1,
         })
         .is_err());
     }

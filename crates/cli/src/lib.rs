@@ -12,6 +12,8 @@
 //!   vector;
 //! * `protect` — sweep adversarial opponents against a victim and compare
 //!   with the Theorem 8 bound;
+//! * `largen` — solve the large-N (or continuum) mean-field equilibrium
+//!   for a K-class population (see `greednet_largen`);
 //! * `exp` — run (or list) the paper-reproduction experiments from the
 //!   central registry, with `--seed/--threads/--json/--csv/--smoke`;
 //! * `serve` — the long-running scenario service: JSONL requests over
@@ -39,6 +41,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Table(a) => commands::table(a),
         Command::Protect(a) => commands::protect(a),
         Command::Network(a) => commands::network(a),
+        Command::Largen(a) => commands::largen(a),
         Command::Exp(a) => commands::exp(a),
         Command::Serve(a) => commands::serve(a),
         Command::Help => {

@@ -483,6 +483,64 @@ impl Utility for MonotoneTransform {
     }
 }
 
+/// The population-scaled utility `V(r, c) = U(s·r, s·c)`.
+///
+/// The large-N mean-field formulation (`greednet-largen`, DESIGN.md §10)
+/// works in *share-scale* variables `x = N·r`, `Φ = N·C`: a user in a
+/// population of `N` cares about its rate and congestion relative to the
+/// equal share `1/N`, so its preferences over raw `(r, C)` are
+/// `U(N·r, N·C)`. Wrapping a utility with `scale = N` expresses exactly
+/// that finite-`N` game in the ordinary `greednet-core` machinery, which
+/// is how the mean-field engine is cross-validated against
+/// [`crate::game::Game::solve_nash`] at small `N`.
+///
+/// By the chain rule `V_r = s·U_r(sr, sc)` and `V_c = s·U_c(sr, sc)`, so
+/// the marginal ratio transforms as `M_V(r, c) = M_U(s·r, s·c)` — the
+/// factor `s` cancels.
+#[derive(Debug, Clone)]
+pub struct ScaledUtility {
+    inner: BoxedUtility,
+    scale: f64,
+}
+
+impl ScaledUtility {
+    /// Wraps `inner` at population scale `s > 0` (finite and positive).
+    pub fn new(inner: BoxedUtility, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "ScaledUtility needs a positive finite scale"
+        );
+        ScaledUtility { inner, scale }
+    }
+}
+
+impl Utility for ScaledUtility {
+    fn name(&self) -> &'static str {
+        "scaled"
+    }
+    fn value(&self, r: f64, c: f64) -> f64 {
+        self.inner.value(self.scale * r, self.scale * c)
+    }
+    fn du_dr(&self, r: f64, c: f64) -> f64 {
+        self.scale * self.inner.du_dr(self.scale * r, self.scale * c)
+    }
+    fn du_dc(&self, r: f64, c: f64) -> f64 {
+        self.scale * self.inner.du_dc(self.scale * r, self.scale * c)
+    }
+    fn d2u_drr(&self, r: f64, c: f64) -> f64 {
+        self.scale * self.scale * self.inner.d2u_drr(self.scale * r, self.scale * c)
+    }
+    fn d2u_dcc(&self, r: f64, c: f64) -> f64 {
+        self.scale * self.scale * self.inner.d2u_dcc(self.scale * r, self.scale * c)
+    }
+    fn d2u_drc(&self, r: f64, c: f64) -> f64 {
+        self.scale * self.scale * self.inner.d2u_drc(self.scale * r, self.scale * c)
+    }
+    fn clone_box(&self) -> BoxedUtility {
+        Box::new(self.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -638,6 +696,30 @@ mod tests {
         assert_close(t.du_dr(r, c), ur, 1e-3 * (1.0 + ur.abs()));
         let ucc = diff::second_derivative(|x| t.value(r, x), c).unwrap();
         assert_close(t.d2u_dcc(r, c), ucc, 1e-2 * (1.0 + ucc.abs()));
+    }
+
+    #[test]
+    fn scaled_utility_is_the_inner_at_scaled_arguments() {
+        for base in families() {
+            let s = 250.0;
+            let v = ScaledUtility::new(base.clone(), s);
+            for &(r, c) in &[(0.4 / s, 0.3 / s), (1.2 / s, 2.0 / s)] {
+                assert_close(v.value(r, c), base.value(s * r, s * c), 1e-12);
+                // Marginal ratio at (r, c) equals the inner's at (sr, sc):
+                // the scale factor cancels between U_r and U_c.
+                let m = base.marginal_ratio(s * r, s * c);
+                assert_close(v.marginal_ratio(r, c), m, 1e-10 * (1.0 + m.abs()));
+                // Derivatives pick up one factor of s each.
+                let ur = diff::derivative(|x| v.value(x, c), r).unwrap();
+                assert_close(v.du_dr(r, c), ur, 1e-3 * (1.0 + ur.abs()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ScaledUtility")]
+    fn scaled_utility_rejects_bad_scale() {
+        let _ = ScaledUtility::new(LinearUtility::new(1.0, 1.0).boxed(), 0.0);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use greednet_des::scenarios::{ClosedScenario, DisciplineKind};
 use greednet_des::{SimConfig, Simulator};
+use greednet_runtime::BenchJson;
 use std::time::Instant;
 
 struct Args {
@@ -98,35 +99,29 @@ fn run() -> Result<(), String> {
         open_loop(DisciplineKind::Sfq, args.horizon, args.seed)?,
         closed_loop(args.horizon, args.seed)?,
     ];
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"horizon\": {},\n", args.horizon));
-    out.push_str(&format!("  \"seed\": {},\n", args.seed));
-    out.push_str("  \"workloads\": {\n");
-    for (i, s) in samples.iter().enumerate() {
-        let sep = if i + 1 == samples.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    \"{}\": {{ \"events\": {}, \"elapsed_s\": {:.3}, \"events_per_sec\": {:.0} }}{sep}\n",
-            s.name,
-            s.events,
-            s.elapsed,
-            s.events as f64 / s.elapsed
-        ));
+    let mut workloads = BenchJson::new();
+    for s in &samples {
+        let mut entry = BenchJson::new();
+        entry
+            .uint("events", s.events)
+            .fixed("elapsed_s", s.elapsed, 3)
+            .fixed("events_per_sec", s.events as f64 / s.elapsed, 0);
+        workloads.obj(s.name, entry);
     }
-    out.push_str("  },\n");
     let total_events: u64 = samples.iter().map(|s| s.events).sum();
     let total_elapsed: f64 = samples.iter().map(|s| s.elapsed).sum();
-    out.push_str(&format!(
-        "  \"total\": {{ \"events\": {total_events}, \"elapsed_s\": {total_elapsed:.3}, \"events_per_sec\": {:.0} }}\n",
-        total_events as f64 / total_elapsed
-    ));
-    out.push_str("}\n");
-    print!("{out}");
-    if let Some(path) = args.out {
-        std::fs::write(&path, &out).map_err(|e| format!("write {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-    Ok(())
+    let mut total = BenchJson::new();
+    total
+        .uint("events", total_events)
+        .fixed("elapsed_s", total_elapsed, 3)
+        .fixed("events_per_sec", total_events as f64 / total_elapsed, 0);
+    let mut report = BenchJson::new();
+    report
+        .num("horizon", args.horizon)
+        .uint("seed", args.seed)
+        .obj("workloads", workloads)
+        .obj("total", total);
+    report.emit(args.out.as_deref())
 }
 
 fn main() {

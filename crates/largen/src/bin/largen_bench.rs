@@ -1,0 +1,113 @@
+//! `largen-bench` — throughput baseline for the large-N engine.
+//!
+//! Solves a 3-class log-utility population with every discipline at the
+//! requested `N` and reports users/sec per sweep plus
+//! iterations-to-converge as `BENCH_largen.json` (compare against the
+//! checked-in baseline at N = 10^6).
+
+use greednet_core::utility::{LogUtility, UtilityExt};
+use greednet_largen::{solve_finite, ClassSpec, LargenDiscipline, SolveOptions};
+use greednet_runtime::{available_threads, BenchJson};
+use std::time::Instant;
+
+struct Args {
+    n: usize,
+    seed: u64,
+    threads: usize,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        n: 1_000_000,
+        seed: 7,
+        threads: available_threads(),
+        out: Some("BENCH_largen.json".to_string()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--n" => {
+                let v = it.next().ok_or("--n needs a value")?;
+                args.n = v.parse().map_err(|e| format!("--n: {e}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out needs a path")?);
+            }
+            "--no-out" => args.out = None,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.n == 0 {
+        return Err("--n must be > 0".to_string());
+    }
+    Ok(args)
+}
+
+fn classes() -> Vec<ClassSpec> {
+    vec![
+        ClassSpec::new(LogUtility::new(0.6, 1.0).boxed(), 1.0),
+        ClassSpec::new(LogUtility::new(0.5, 1.0).boxed(), 1.0),
+        ClassSpec::new(LogUtility::new(0.4, 1.0).boxed(), 1.0),
+    ]
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("largen-bench: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let opts = SolveOptions::default();
+    let mut json = BenchJson::new();
+    json.uint("n", args.n as u64)
+        .uint("seed", args.seed)
+        .uint("threads", args.threads as u64);
+
+    let mut disciplines = BenchJson::new();
+    for disc in LargenDiscipline::ALL {
+        let start = Instant::now();
+        let sol = solve_finite(disc, &classes(), args.n, args.seed, args.threads, &opts)
+            .unwrap_or_else(|e| panic!("{} solve failed: {e}", disc.name()));
+        let elapsed = start.elapsed().as_secs_f64();
+        let sweeps = f64::from(sol.sweeps);
+        let users_per_sec_per_sweep = if elapsed > 0.0 {
+            args.n as f64 * sweeps / elapsed
+        } else {
+            f64::INFINITY
+        };
+        eprintln!(
+            "{}: {} sweeps, residual {:.3e}, load {:.6}, {:.3}s",
+            disc.name(),
+            sol.sweeps,
+            sol.residual,
+            sol.load,
+            elapsed
+        );
+        let mut entry = BenchJson::new();
+        entry
+            .uint("sweeps", u64::from(sol.sweeps))
+            .bool("converged", sol.converged)
+            .fixed("load", sol.load, 6)
+            .fixed("elapsed_s", elapsed, 3)
+            .fixed("users_per_sec_per_sweep", users_per_sec_per_sweep, 0);
+        disciplines.obj(disc.name(), entry);
+    }
+    json.obj("disciplines", disciplines);
+
+    if let Err(e) = json.emit(args.out.as_deref()) {
+        eprintln!("largen-bench: {e}");
+        std::process::exit(1);
+    }
+}

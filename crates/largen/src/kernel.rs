@@ -1,0 +1,364 @@
+//! Shared numeric kernels: the deviator's congestion slope per
+//! discipline, the population congestion profile, and the safeguarded
+//! Newton/bisection inner solve.
+//!
+//! Both solvers summarize the opposing population the same way — scaled
+//! rates sorted ascending with cumulative masses and mass-weighted loads
+//! — so one kernel serves the finite-`N` engine (uniform masses `1/N`,
+//! self-exclusion, capacity cap) and the continuum fixed point (class
+//! masses `w_c`, measure-zero deviator) alike.
+
+use crate::model::{LargenDiscipline, SFQ_BETA};
+use greednet_core::utility::Utility;
+use greednet_queueing::mm1::{g, g_double_prime, g_prime};
+
+/// A borrowed view of the previous-iterate population in sorted order.
+///
+/// `cum_mass[k]` / `cum_load[k]` are the total mass and mass-weighted
+/// scaled load of the first `k` sorted members (so index `n` holds the
+/// totals); `total_load` is the aggregate offered load `R`.
+pub(crate) struct PopView<'a> {
+    pub sorted_x: &'a [f64],
+    pub cum_mass: &'a [f64],
+    pub cum_load: &'a [f64],
+    pub total_load: f64,
+}
+
+impl PopView<'_> {
+    /// Mass and load of members with scaled rate strictly below `x`.
+    /// Strict inequality makes the serialized load tie-invariant: members
+    /// tied with the deviator are clamped at `x` either way.
+    fn below(&self, x: f64) -> (f64, f64) {
+        let k = self.sorted_x.partition_point(|&v| v < x);
+        (self.cum_mass[k], self.cum_load[k])
+    }
+}
+
+/// First and second derivatives of the deviator's scaled congestion
+/// `Φ(x)` when it plays `x` against the frozen population.
+///
+/// `self_mass` is the deviator's own population mass: `1/N` in the
+/// finite engine (its deviation moves the aggregate, and its previous
+/// rate `self_prev` must be excluded from the opposing population) and
+/// `0` in the continuum (a measure-zero deviation leaves every aggregate
+/// untouched, and the exclusion terms vanish identically).
+pub(crate) fn phi_slope(
+    disc: LargenDiscipline,
+    pop: &PopView<'_>,
+    x: f64,
+    self_prev: f64,
+    self_mass: f64,
+) -> (f64, f64) {
+    match disc {
+        LargenDiscipline::Fifo => {
+            // Φ(x) = x/(1−R(x)) with R(x) = R_others + self_mass·x.
+            let r = pop.total_load - self_mass * self_prev + self_mass * x;
+            if r >= 1.0 {
+                return (f64::INFINITY, f64::INFINITY);
+            }
+            let om = 1.0 - r;
+            let d1 = 1.0 / om + self_mass * x / (om * om);
+            let d2 = 2.0 * self_mass / (om * om) + 2.0 * self_mass * self_mass * x / (om * om * om);
+            (d1, d2)
+        }
+        LargenDiscipline::FairShare | LargenDiscipline::Sfq => {
+            // dΦ/dx = g'(s(x)) with the serialized load
+            // s(x) = load_below + (1 − mass_below)·x  (everyone at or
+            // above the deviator clamped down to x).
+            let (mut mb, mut lb) = pop.below(x);
+            if self_prev < x {
+                mb -= self_mass;
+                lb -= self_mass * self_prev;
+            }
+            let s = lb + (1.0 - mb) * x;
+            let mut d1 = g_prime(s);
+            let d2 = g_double_prime(s) * (1.0 - mb);
+            if disc == LargenDiscipline::Sfq {
+                d1 += SFQ_BETA;
+            }
+            (d1, d2)
+        }
+    }
+}
+
+/// Scaled congestion `Φ` of every population member, in sorted order.
+///
+/// Fair Share uses the serial recursion on mass-weighted serialized loads
+/// `S_k = load_below(k) + W_k·x_(k)` (with `W_k` the mass at or above
+/// member `k`): `Φ_(k) = Φ_(k-1) + (g(S_k) − g(S_{k-1})) / W_k` — the
+/// mass-measure generalization of the sorted-prefix evaluation in
+/// `greednet_queueing::fair_share`. Members whose serialized subsystem is
+/// overloaded (`S_k ≥ 1`) get `+∞`, as do all heavier members.
+pub(crate) fn phi_sorted(
+    disc: LargenDiscipline,
+    sorted_x: &[f64],
+    cum_mass: &[f64],
+    cum_load: &[f64],
+    total_load: f64,
+    out: &mut Vec<f64>,
+) {
+    let n = sorted_x.len();
+    out.clear();
+    match disc {
+        LargenDiscipline::Fifo => {
+            if total_load >= 1.0 {
+                out.resize(n, f64::INFINITY);
+            } else {
+                let om = 1.0 - total_load;
+                out.extend(sorted_x.iter().map(|&x| x / om));
+            }
+        }
+        LargenDiscipline::FairShare | LargenDiscipline::Sfq => {
+            let mut phi_prev = 0.0;
+            let mut s_prev = 0.0;
+            for k in 0..n {
+                let w_rem = 1.0 - cum_mass[k];
+                let s_k = cum_load[k] + w_rem * sorted_x[k];
+                let phik = if s_k >= 1.0 {
+                    f64::INFINITY
+                } else {
+                    phi_prev + (g(s_k) - g(s_prev)) / w_rem
+                };
+                out.push(phik);
+                phi_prev = phik;
+                s_prev = s_k;
+                if phik.is_infinite() {
+                    out.resize(n, f64::INFINITY);
+                    break;
+                }
+            }
+            if disc == LargenDiscipline::Sfq {
+                for (p, &x) in out.iter_mut().zip(sorted_x.iter()) {
+                    *p += SFQ_BETA * x;
+                }
+            }
+        }
+    }
+}
+
+/// Safeguarded Newton on an increasing function with a validated bracket
+/// `F(lo) < 0 < F(hi)`: Newton proposals are accepted only inside the
+/// shrinking bracket, otherwise the step falls back to bisection, so the
+/// iteration is unconditionally convergent and fully deterministic.
+pub(crate) fn solve_increasing<F: Fn(f64) -> (f64, f64)>(
+    eval: &F,
+    mut lo: f64,
+    mut hi: f64,
+    x0: f64,
+    tol: f64,
+) -> f64 {
+    let mut x = x0.clamp(lo, hi);
+    for _ in 0..100 {
+        let (f, fp) = eval(x);
+        if f > 0.0 {
+            hi = x;
+        } else if f < 0.0 {
+            lo = x;
+        } else {
+            return x;
+        }
+        let newton = x - f / fp;
+        x = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+        if hi - lo <= tol * (1.0 + x.abs()) {
+            return x;
+        }
+    }
+    x
+}
+
+/// Smallest scaled rate a best response considers (below this the first
+/// derivative condition is treated as cornered at zero).
+const X_FLOOR: f64 = 1e-12;
+
+/// The finite-`N` best response: the deviator (mass `1/N`) re-optimizes
+/// its scaled rate against the frozen population, with its congestion
+/// sensitivity `M` evaluated at the previous sweep's `Φ` (exact at the
+/// fixed point). The response is capped at the residual capacity
+/// `(1 − R_others)·N`, where both FIFO and the serial disciplines
+/// saturate.
+pub(crate) fn best_response_finite(
+    disc: LargenDiscipline,
+    pop: &PopView<'_>,
+    utility: &dyn Utility,
+    phi_frozen: f64,
+    self_prev: f64,
+    self_mass: f64,
+    tol: f64,
+) -> f64 {
+    let load_others = pop.total_load - self_mass * self_prev;
+    let cap = (1.0 - load_others) / self_mass;
+    if cap <= X_FLOOR {
+        return 0.0;
+    }
+    let eval = |x: f64| {
+        let (d1, d2) = phi_slope(disc, pop, x, self_prev, self_mass);
+        (
+            utility.marginal_ratio(x, phi_frozen) + d1,
+            utility.dm_dr(x, phi_frozen) + d2,
+        )
+    };
+    let hi = cap * (1.0 - 1e-9);
+    let (f_lo, _) = eval(X_FLOOR);
+    if f_lo >= 0.0 || f_lo.is_nan() {
+        return 0.0;
+    }
+    let (f_hi, _) = eval(hi);
+    if f_hi <= 0.0 {
+        // Capacity-clamped: the damped outer iteration pulls the
+        // aggregate back under control on the next sweep.
+        return hi;
+    }
+    solve_increasing(&eval, X_FLOOR, hi, self_prev, tol)
+}
+
+/// The continuum best response: a measure-zero deviator re-optimizes
+/// against the fixed aggregate. There is no capacity cap — the bracket
+/// grows by doubling — so a utility that outruns the discipline's
+/// marginal congestion forever yields `None` (an unbounded best
+/// response, surfaced as an error by the fixed-point solver).
+pub(crate) fn best_response_continuum(
+    disc: LargenDiscipline,
+    pop: &PopView<'_>,
+    utility: &dyn Utility,
+    phi_frozen: f64,
+    self_prev: f64,
+    tol: f64,
+) -> Option<f64> {
+    let eval = |x: f64| {
+        let (d1, d2) = phi_slope(disc, pop, x, self_prev, 0.0);
+        (
+            utility.marginal_ratio(x, phi_frozen) + d1,
+            utility.dm_dr(x, phi_frozen) + d2,
+        )
+    };
+    let (f_lo, _) = eval(X_FLOOR);
+    if f_lo >= 0.0 || f_lo.is_nan() {
+        return Some(0.0);
+    }
+    let mut hi = (2.0 * self_prev).max(1.0);
+    let mut bracketed = false;
+    for _ in 0..64 {
+        let (f_hi, _) = eval(hi);
+        if f_hi > 0.0 {
+            bracketed = true;
+            break;
+        }
+        hi *= 2.0;
+    }
+    if !bracketed {
+        return None;
+    }
+    Some(solve_increasing(&eval, X_FLOOR, hi, self_prev, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greednet_core::utility::LogUtility;
+
+    fn singleton_pop<'a>(
+        sorted_x: &'a [f64],
+        cum_mass: &'a [f64],
+        cum_load: &'a [f64],
+    ) -> PopView<'a> {
+        PopView {
+            sorted_x,
+            cum_mass,
+            cum_load,
+            total_load: cum_load[cum_load.len() - 1],
+        }
+    }
+
+    #[test]
+    fn fifo_slope_matches_closed_form() {
+        // Two continuum classes at x = 0.3, 0.4 with masses 0.5/0.5:
+        // R = 0.35, dΦ/dx = 1/(1−R), d² = 0 for a measure-zero deviator.
+        let sorted = [0.3, 0.4];
+        let mass = [0.0, 0.5, 1.0];
+        let load = [0.0, 0.15, 0.35];
+        let pop = singleton_pop(&sorted, &mass, &load);
+        let (d1, d2) = phi_slope(LargenDiscipline::Fifo, &pop, 0.7, 0.3, 0.0);
+        assert!((d1 - 1.0 / 0.65).abs() < 1e-12);
+        assert_eq!(d2, 0.0);
+    }
+
+    #[test]
+    fn serial_slope_is_g_prime_of_clamped_load() {
+        // Deviator at x between the two classes: s = w1·x1 + (1−w1)·x.
+        let sorted = [0.2, 0.6];
+        let mass = [0.0, 0.5, 1.0];
+        let load = [0.0, 0.1, 0.4];
+        let pop = singleton_pop(&sorted, &mass, &load);
+        let x = 0.4;
+        let s = 0.1 + 0.5 * x;
+        let (d1, _) = phi_slope(LargenDiscipline::FairShare, &pop, x, 0.6, 0.0);
+        assert!((d1 - g_prime(s)).abs() < 1e-12);
+        // SFQ adds the packetization slack.
+        let (d1_sfq, _) = phi_slope(LargenDiscipline::Sfq, &pop, x, 0.6, 0.0);
+        assert!((d1_sfq - (g_prime(s) + SFQ_BETA)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_sorted_matches_queueing_fair_share_at_uniform_mass() {
+        // Uniform masses 1/n reduce the mass recursion to the per-user
+        // serial recursion: Φ_i must equal n·C_i from the queueing crate.
+        use greednet_queueing::{AllocationFunction, FairShare};
+        let x = [0.9, 0.3, 0.6, 0.3];
+        let n = x.len();
+        let nf = n as f64;
+        let rates: Vec<f64> = x.iter().map(|&v| v / nf).collect();
+        let c = FairShare::new().congestion(&rates);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| x[a].total_cmp(&x[b]));
+        let sorted: Vec<f64> = order.iter().map(|&i| x[i]).collect();
+        let mut cum_mass = vec![0.0];
+        let mut cum_load = vec![0.0];
+        for &v in &sorted {
+            cum_mass.push(cum_mass[cum_mass.len() - 1] + 1.0 / nf);
+            cum_load.push(cum_load[cum_load.len() - 1] + v / nf);
+        }
+        let total = cum_load[n];
+        let mut phi = Vec::new();
+        phi_sorted(
+            LargenDiscipline::FairShare,
+            &sorted,
+            &cum_mass,
+            &cum_load,
+            total,
+            &mut phi,
+        );
+        for (k, &i) in order.iter().enumerate() {
+            assert!(
+                (phi[k] - nf * c[i]).abs() < 1e-9,
+                "user {i}: {} vs {}",
+                phi[k],
+                nf * c[i]
+            );
+        }
+    }
+
+    #[test]
+    fn solve_increasing_finds_the_root() {
+        // F(x) = x² − 2 on [0, 4]: root √2, derivative 2x.
+        let eval = |x: f64| (x * x - 2.0, 2.0 * x);
+        let root = solve_increasing(&eval, 0.0, 4.0, 3.5, 1e-14);
+        assert!((root - 2.0f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn continuum_fifo_log_best_response_is_closed_form() {
+        // −w/(γx) + 1/(1−R) = 0  ⇒  x* = (w/γ)(1−R).
+        let u = LogUtility::new(0.8, 1.0);
+        let sorted = [0.5];
+        let mass = [0.0, 1.0];
+        let load = [0.0, 0.5];
+        let pop = singleton_pop(&sorted, &mass, &load);
+        let x = best_response_continuum(LargenDiscipline::Fifo, &pop, &u, 1.0, 0.5, 1e-14)
+            .expect("bounded");
+        assert!((x - 0.8 * 0.5).abs() < 1e-10, "{x}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # greednet-largen — large-`N` mean-field equilibrium engine
+//!
+//! Solves the switch-sharing game of the paper at populations far beyond
+//! the dense-matrix Nash solver in `greednet-core`: `N = 10^4..10^6`
+//! users in the finite engine, and the exact `N → ∞` continuum limit as
+//! a `K`-class fixed point.
+//!
+//! Both solvers share one numeric kernel (see DESIGN.md §10 for the
+//! formulation and the fixed-point contract):
+//!
+//! - **share-scale variables** `x = N·r`, `Φ = N·C`, aggregate load
+//!   `R = (1/N)·Σ x_i`, so equilibria have a well-defined limit;
+//! - a **sorted-prefix congestion profile** — Fair Share for the whole
+//!   population in `O(N log N)` per sweep;
+//! - a **safeguarded Newton best response** per user/class against the
+//!   frozen previous iterate, damped Jacobi outside.
+//!
+//! The finite engine shards its `O(N)` best-response sweep across the
+//! deterministic `greednet-runtime` pool in fixed-size chunks, so
+//! results are bitwise identical at any thread count. Determinism is
+//! enforced by `greednet-lint` (this crate is in its deterministic
+//! scope).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod finite;
+pub(crate) mod kernel;
+pub mod meanfield;
+pub mod model;
+
+pub use finite::{solve_finite, solve_finite_probed, FiniteSolution};
+pub use meanfield::{solve_mean_field, solve_mean_field_probed, MeanFieldSolution};
+pub use model::{apportion, ClassSpec, LargenDiscipline, LargenError, SolveOptions, SFQ_BETA};

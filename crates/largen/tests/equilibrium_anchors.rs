@@ -1,0 +1,228 @@
+//! Equilibrium anchors for the large-N engine: closed-form continuum
+//! fixed points, finite-`N` agreement with the dense `greednet-core`
+//! Nash solver on the *same* game (via [`ScaledUtility`]), and
+//! independence of the converged point from the init jitter seed.
+
+use greednet_core::utility::{LinearUtility, LogUtility, ScaledUtility, UtilityExt};
+use greednet_core::{Game, NashOptions};
+use greednet_largen::{
+    solve_finite, solve_mean_field, ClassSpec, LargenDiscipline, LargenError, SolveOptions,
+    SFQ_BETA,
+};
+use greednet_queueing::FairShare;
+
+/// FIFO + log utilities, K classes: the first-derivative condition
+/// `−w_c/(γ_c·x_c) + 1/(1−R) = 0` gives `x_c = (w_c/γ_c)(1−R)`, so with
+/// `A = Σ m_c·w_c/γ_c` the aggregate is `R = A/(1+A)` in closed form.
+#[test]
+fn continuum_fifo_log_matches_closed_form() {
+    let specs = [(0.6, 1.0, 0.2), (0.5, 2.0, 0.3), (0.4, 0.5, 0.5)];
+    let classes: Vec<ClassSpec> = specs
+        .iter()
+        .map(|&(w, g, m)| ClassSpec::new(LogUtility::new(w, g).boxed(), m))
+        .collect();
+    let a: f64 = specs.iter().map(|&(w, g, m)| m * w / g).sum();
+    let sol = solve_mean_field(LargenDiscipline::Fifo, &classes, &SolveOptions::default())
+        .expect("solves");
+    assert!(sol.converged, "residual {}", sol.residual);
+    assert!(
+        (sol.load - a / (1.0 + a)).abs() < 1e-9,
+        "load {} vs {}",
+        sol.load,
+        a / (1.0 + a)
+    );
+    for (c, &(w, g, _)) in specs.iter().enumerate() {
+        let expect = (w / g) / (1.0 + a);
+        assert!(
+            (sol.x[c] - expect).abs() < 1e-9,
+            "class {c}: {} vs {expect}",
+            sol.x[c]
+        );
+        // Φ_c must satisfy the FIFO profile at the fixed point.
+        let phi = sol.x[c] / (1.0 - sol.load);
+        assert!((sol.phi[c] - phi).abs() < 1e-9);
+    }
+}
+
+/// Fair Share + symmetric linear utility `a·x − γ·Φ`: the serial slope
+/// at a symmetric profile is `g'(R)`, so `1 − R* = sqrt(γ/a)`. The init
+/// starts *above* the equilibrium load because a linear `M` makes the
+/// continuum best response bang-bang from below (`F` is constant in `x`
+/// above the symmetric point).
+#[test]
+fn continuum_fair_share_linear_matches_sqrt_slack() {
+    let classes = vec![ClassSpec::new(LinearUtility::new(4.0, 1.0).boxed(), 1.0)];
+    let opts = SolveOptions {
+        init: Some(vec![0.6]),
+        ..SolveOptions::default()
+    };
+    let sol = solve_mean_field(LargenDiscipline::FairShare, &classes, &opts).expect("solves");
+    assert!(sol.converged, "residual {}", sol.residual);
+    let slack = (1.0f64 / 4.0).sqrt();
+    assert!(
+        (sol.load - (1.0 - slack)).abs() < 1e-9,
+        "load {} vs {}",
+        sol.load,
+        1.0 - slack
+    );
+}
+
+/// SFQ shifts the serial first-order condition by the packetization
+/// slack: `g'(R*) = a/γ − β`, i.e. `1 − R* = 1/sqrt(a/γ − β)`.
+#[test]
+fn continuum_sfq_linear_shifts_by_beta() {
+    let classes = vec![ClassSpec::new(LinearUtility::new(4.0, 1.0).boxed(), 1.0)];
+    let opts = SolveOptions {
+        init: Some(vec![0.6]),
+        ..SolveOptions::default()
+    };
+    let sol = solve_mean_field(LargenDiscipline::Sfq, &classes, &opts).expect("solves");
+    assert!(sol.converged, "residual {}", sol.residual);
+    let slack = 1.0 / (4.0 - SFQ_BETA).sqrt();
+    assert!(
+        (sol.load - (1.0 - slack)).abs() < 1e-9,
+        "load {} vs {}",
+        sol.load,
+        1.0 - slack
+    );
+}
+
+/// FIFO + linear in the *continuum* is degenerate — `M` and the slope
+/// are both constant in the deviation, so any utility steeper than the
+/// congestion charge diverges. The solver must surface that as
+/// [`LargenError::Unbounded`], not hang or panic.
+#[test]
+fn continuum_fifo_linear_reports_unbounded() {
+    let classes = vec![ClassSpec::new(LinearUtility::new(4.0, 1.0).boxed(), 1.0)];
+    let err = solve_mean_field(LargenDiscipline::Fifo, &classes, &SolveOptions::default())
+        .expect_err("bang-bang best response");
+    assert_eq!(err, LargenError::Unbounded { class: 0 });
+}
+
+/// The finite engine at symmetric FIFO + log: the continuum fixed point
+/// is `x* = w/(γ + w)` in closed form and the finite equilibrium lands
+/// within `O(1/N)` of it. (A *linear* `M` is constant in own rate, so a
+/// finite-`N` deviator must move the aggregate itself — its best
+/// response scales like `N` and the Jacobi sweep rightly oscillates; the
+/// finite-engine contract is interior-forcing utilities like log/power,
+/// which is what the sampled experiments use.)
+#[test]
+fn finite_fifo_log_approaches_closed_form() {
+    let (w, g) = (3.0, 1.0);
+    let classes = vec![ClassSpec::new(LogUtility::new(w, g).boxed(), 1.0)];
+    let n = 10_000;
+    let sol = solve_finite(
+        LargenDiscipline::Fifo,
+        &classes,
+        n,
+        11,
+        2,
+        &SolveOptions::default(),
+    )
+    .expect("solves");
+    assert!(sol.converged, "residual {}", sol.residual);
+    let star = w / (g + w);
+    assert!(
+        (sol.load - star).abs() < 5e-3,
+        "load {} vs continuum {star}",
+        sol.load
+    );
+}
+
+/// The finite engine must agree with the dense `greednet-core` solver on
+/// the *identical* game: `N` raw-rate users with
+/// `V(r, c) = U(N·r, N·c)` (`ScaledUtility`) over the Fair Share
+/// allocation are the share-scale game largen solves directly.
+#[test]
+fn finite_fair_share_matches_dense_nash_solver() {
+    let n = 24usize;
+    let class_u = [LogUtility::new(0.6, 1.0), LogUtility::new(0.3, 1.0)];
+    let classes: Vec<ClassSpec> = class_u
+        .iter()
+        .map(|u| ClassSpec::new((*u).boxed(), 1.0))
+        .collect();
+    let sol = solve_finite(
+        LargenDiscipline::FairShare,
+        &classes,
+        n,
+        3,
+        1,
+        &SolveOptions::default(),
+    )
+    .expect("largen solves");
+    assert!(sol.converged);
+
+    let scale = n as f64;
+    let users: Vec<_> = (0..n)
+        .map(|i| {
+            let u = &class_u[if i < n / 2 { 0 } else { 1 }];
+            ScaledUtility::new((*u).boxed(), scale).boxed()
+        })
+        .collect();
+    let game = Game::new(FairShare::new(), users).expect("game");
+    let dense = game
+        .solve_nash(&NashOptions {
+            tol: 1e-12,
+            ..NashOptions::default()
+        })
+        .expect("dense solves");
+    assert!(dense.converged);
+
+    for (c, lo_hi) in [(0usize, 0..n / 2), (1usize, n / 2..n)] {
+        for i in lo_hi {
+            let scaled = scale * dense.rates[i];
+            assert!(
+                (scaled - sol.class_x[c]).abs() < 1e-6,
+                "user {i} (class {c}): dense N·r = {scaled} vs largen x = {}",
+                sol.class_x[c]
+            );
+        }
+    }
+}
+
+/// The converged fixed point must not depend on the jitter seed — only
+/// the iteration path may.
+#[test]
+fn finite_fixed_point_is_seed_independent() {
+    let classes = vec![
+        ClassSpec::new(LogUtility::new(0.6, 1.0).boxed(), 1.0),
+        ClassSpec::new(LogUtility::new(0.4, 1.0).boxed(), 2.0),
+    ];
+    for disc in LargenDiscipline::ALL {
+        let a = solve_finite(disc, &classes, 5_000, 1, 2, &SolveOptions::default())
+            .expect("seed 1 solves");
+        let b = solve_finite(disc, &classes, 5_000, 99, 2, &SolveOptions::default())
+            .expect("seed 99 solves");
+        assert!(a.converged && b.converged);
+        for (xa, xb) in a.class_x.iter().zip(b.class_x.iter()) {
+            assert!(
+                (xa - xb).abs() < 1e-9,
+                "{}: {xa} vs {xb} across seeds",
+                disc.name()
+            );
+        }
+    }
+}
+
+/// Finite-`N` class rates converge on the continuum fixed point (the
+/// contract experiment E17 quantifies per discipline).
+#[test]
+fn finite_solution_tracks_the_continuum_limit() {
+    let classes = vec![
+        ClassSpec::new(LogUtility::new(0.6, 1.0).boxed(), 1.0),
+        ClassSpec::new(LogUtility::new(0.4, 1.0).boxed(), 1.0),
+    ];
+    for disc in LargenDiscipline::ALL {
+        let mf = solve_mean_field(disc, &classes, &SolveOptions::default()).expect("continuum");
+        let fin =
+            solve_finite(disc, &classes, 10_000, 5, 2, &SolveOptions::default()).expect("finite");
+        assert!(mf.converged && fin.converged);
+        for (c, (xf, xm)) in fin.class_x.iter().zip(mf.x.iter()).enumerate() {
+            assert!(
+                (xf - xm).abs() < 1e-2 * (1.0 + xm.abs()),
+                "{} class {c}: finite {xf} vs continuum {xm}",
+                disc.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The finite engine's contract with the deterministic pool: the solved
+//! equilibrium is **bitwise identical** at any `--threads`, because the
+//! chunk decomposition is fixed and results merge in task order. Checked
+//! at an `N` spanning several chunks (and not a multiple of the chunk
+//! size) for every discipline.
+
+use greednet_core::utility::{LogUtility, UtilityExt};
+use greednet_largen::{solve_finite, ClassSpec, LargenDiscipline, SolveOptions};
+
+fn classes() -> Vec<ClassSpec> {
+    vec![
+        ClassSpec::new(LogUtility::new(0.6, 1.0).boxed(), 1.0),
+        ClassSpec::new(LogUtility::new(0.5, 1.0).boxed(), 1.0),
+        ClassSpec::new(LogUtility::new(0.4, 1.0).boxed(), 1.0),
+    ]
+}
+
+#[test]
+fn mean_field_sweep_is_bitwise_identical_across_thread_counts() {
+    // 3001 users: two full 2048-chunks minus a remainder — the chunk
+    // boundary at 2048 falls inside the population.
+    let n = 3_001;
+    for disc in LargenDiscipline::ALL {
+        let base = solve_finite(disc, &classes(), n, 7, 1, &SolveOptions::default())
+            .expect("single-thread solve");
+        assert!(
+            base.converged,
+            "{}: residual {}",
+            disc.name(),
+            base.residual
+        );
+        for threads in [4usize, 8] {
+            let sol = solve_finite(disc, &classes(), n, 7, threads, &SolveOptions::default())
+                .expect("multi-thread solve");
+            assert_eq!(base.sweeps, sol.sweeps, "{} sweeps", disc.name());
+            assert_eq!(
+                base.residual.to_bits(),
+                sol.residual.to_bits(),
+                "{} residual at {threads} threads",
+                disc.name()
+            );
+            assert_eq!(
+                base.load.to_bits(),
+                sol.load.to_bits(),
+                "{} load at {threads} threads",
+                disc.name()
+            );
+            for (c, (a, b)) in base.class_x.iter().zip(sol.class_x.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} class {c} rate at {threads} threads: {a} vs {b}",
+                    disc.name()
+                );
+            }
+            for (c, (a, b)) in base.class_phi.iter().zip(sol.class_phi.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} class {c} phi at {threads} threads",
+                    disc.name()
+                );
+            }
+        }
+    }
+}

@@ -75,6 +75,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "core",
     "queueing",
     "numerics",
+    "largen",
     "learning",
     "mechanisms",
     "network",

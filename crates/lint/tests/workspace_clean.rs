@@ -71,6 +71,27 @@ fn des_entity_modules_are_in_deterministic_scope() {
 }
 
 #[test]
+fn largen_solver_modules_are_in_deterministic_scope() {
+    // The large-N engine promises bitwise thread-invariant equilibria,
+    // so its kernel/solver modules must stay under the deterministic
+    // rules (GN01/GN02/GN09) and a rename must not drop them from the
+    // walk.
+    assert!(
+        greednet_lint::rules::DETERMINISTIC_CRATES.contains(&"largen"),
+        "largen left the deterministic-crate set"
+    );
+    let root = workspace_root();
+    for module in [
+        "crates/largen/src/kernel.rs",
+        "crates/largen/src/finite.rs",
+        "crates/largen/src/meanfield.rs",
+        "crates/largen/src/model.rs",
+    ] {
+        assert!(root.join(module).is_file(), "missing module {module}");
+    }
+}
+
+#[test]
 fn gn09_allow_budget_is_at_most_four() {
     // Lossy-cast allows are the narrowest budget: the typed-unit API
     // routes conversions through numerics::conv, so new GN09 sites

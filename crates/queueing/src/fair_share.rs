@@ -198,6 +198,69 @@ impl AllocationFunction for FairShare {
     }
 }
 
+/// Reusable scratch space for [`congestion_into`]: the sort permutation
+/// and the sorted rate vector. Holding one of these across calls makes
+/// repeated Fair Share evaluation allocation-free after warmup — the
+/// large-N mean-field engine (`greednet-largen`) evaluates the allocation
+/// every sweep at N up to 10^6, where per-call allocation would dominate.
+#[derive(Debug, Clone, Default)]
+pub struct FairShareBufs {
+    order: Vec<usize>,
+    sorted: Vec<f64>,
+}
+
+impl FairShareBufs {
+    /// Creates empty scratch space (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> FairShareBufs {
+        FairShareBufs::default()
+    }
+}
+
+/// Sorted-prefix Fair Share evaluation into caller-provided storage:
+/// one O(N log N) stable sort, then a single fused O(N) pass computing
+/// the serial loads and the congestion recursion together (no
+/// intermediate `s` vector, no allocation once `bufs`/`out` are warm).
+///
+/// Performs **bit-for-bit** the same float operations in the same order
+/// as [`FairShare::congestion`] — the identical `total_cmp` stable sort
+/// followed by `s_k = (n-k)·r_(k) + prefix` and
+/// `C_(k) = C_(k-1) + (g(s_k) − g(s_{k-1}))/(n-k)` — so the two paths
+/// are bitwise interchangeable (pinned by the property tests in
+/// `tests/fair_share_sorted_prefix.rs`).
+pub fn congestion_into(rates: &[f64], bufs: &mut FairShareBufs, out: &mut Vec<f64>) {
+    let n = rates.len();
+    bufs.order.clear();
+    bufs.order.extend(0..n);
+    bufs.order.sort_by(|&a, &b| rates[a].total_cmp(&rates[b]));
+    bufs.sorted.clear();
+    bufs.sorted.extend(bufs.order.iter().map(|&i| rates[i]));
+    out.clear();
+    out.resize(n, 0.0);
+    let mut prefix = 0.0;
+    let mut c_prev = 0.0;
+    let mut s_prev = 0.0;
+    for (k, &r) in bufs.sorted.iter().enumerate() {
+        let m = (n - k) as f64;
+        let s_k = m * r + prefix;
+        let ck = if s_k >= 1.0 {
+            f64::INFINITY
+        } else {
+            c_prev + (g(s_k) - g(s_prev)) / m
+        };
+        out[bufs.order[k]] = ck;
+        c_prev = ck;
+        s_prev = s_k;
+        if ck.is_infinite() {
+            for &idx in bufs.order.iter().skip(k + 1) {
+                out[idx] = f64::INFINITY;
+            }
+            break;
+        }
+        prefix += r;
+    }
+}
+
 /// The Table 1 priority-table realization of Fair Share.
 ///
 /// Entry `[u][m]` is user `u`'s Poisson arrival rate into priority level

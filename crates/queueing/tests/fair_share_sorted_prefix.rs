@@ -1,0 +1,136 @@
+//! The sorted-prefix Fair Share evaluation ([`congestion_into`]) must be
+//! **bitwise** interchangeable with the allocating [`FairShare::congestion`]
+//! path — the large-N engine leans on the buffered path at N = 10^6 while
+//! every theorem test pins the allocating one, so the two must agree to
+//! the last bit (`to_bits`), including ties, zero rates, and overload.
+//! A separate check validates both against a truly naive O(N²)
+//! clamped-sum water-filling reference (to tolerance: its summation
+//! order differs, so bitwise equality is not expected there).
+
+use greednet_queueing::fair_share::{congestion_into, FairShareBufs};
+use greednet_queueing::mm1::g;
+use greednet_queueing::{AllocationFunction, FairShare};
+use proptest::prelude::*;
+
+/// Naive O(N²) water-filling straight from the defining equation:
+/// `s_i = Σ_j min(r_j, r_i)` by brute-force clamped sum, then in
+/// ascending order `C_(k)` solves `Σ_{l<k} C_(l) + (n−k)·C_(k) = g(s_k)`.
+fn naive_water_filling(rates: &[f64]) -> Vec<f64> {
+    let n = rates.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| rates[a].total_cmp(&rates[b]));
+    let mut c = vec![0.0; n];
+    let mut assigned_sum = 0.0;
+    for (k, &i) in order.iter().enumerate() {
+        let s_i: f64 = rates.iter().map(|&rj| rj.min(rates[i])).sum();
+        let ck = if s_i >= 1.0 {
+            f64::INFINITY
+        } else {
+            (g(s_i) - assigned_sum) / (n - k) as f64
+        };
+        c[i] = ck;
+        assigned_sum += ck;
+    }
+    c
+}
+
+fn assert_bitwise_eq(rates: &[f64]) {
+    let reference = FairShare::new().congestion(rates);
+    let mut bufs = FairShareBufs::new();
+    let mut fast = Vec::new();
+    congestion_into(rates, &mut bufs, &mut fast);
+    assert_eq!(reference.len(), fast.len());
+    for (i, (a, b)) in reference.iter().zip(fast.iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "user {i} differs for rates {rates:?}: {a} vs {b}"
+        );
+    }
+}
+
+/// Rate vectors exercising ties (duplicated entries), zero rates, and
+/// loads straddling 1 (overload).
+fn rate_vectors() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0u32..400, 1..40).prop_map(|grid| {
+        // Coarse dyadic grid (v/1024 is exact in binary, and partial sums
+        // of ≤40 such terms are exact in f64 in ANY order): bitwise ties
+        // are common, totals span under/overload, and the naive clamped
+        // sum computes the very same serial loads despite its different
+        // summation order — so the s ≥ 1 overload branch can never
+        // disagree between the two references at the boundary.
+        grid.iter().map(|&v| f64::from(v) / 1024.0).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn sorted_prefix_matches_allocating_path_bitwise(rates in rate_vectors()) {
+        assert_bitwise_eq(&rates);
+    }
+
+    #[test]
+    fn sorted_prefix_matches_naive_water_filling(rates in rate_vectors()) {
+        let mut bufs = FairShareBufs::new();
+        let mut fast = Vec::new();
+        congestion_into(&rates, &mut bufs, &mut fast);
+        let naive = naive_water_filling(&rates);
+        for (i, (a, b)) in fast.iter().zip(naive.iter()).enumerate() {
+            if a.is_finite() || b.is_finite() {
+                prop_assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                    "user {} differs: fast {} vs naive {} for {:?}",
+                    i, a, b, rates
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn large_n_vectors_are_bitwise_identical() {
+    // Deterministic SplitMix64 streams at N = 10, 1_000, 10_000 with
+    // forced ties and zeros; total load spans under- and overload.
+    for &(n, scale) in &[(10usize, 0.05), (1_000, 8e-4), (10_000, 1.5e-4)] {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ n as u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut rates: Vec<f64> = (0..n)
+            .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 * scale)
+            .collect();
+        // Force exact ties and zero rates into the vector.
+        for i in (0..n).step_by(7) {
+            rates[i] = rates[n / 2];
+        }
+        for i in (0..n).step_by(13) {
+            rates[i] = 0.0;
+        }
+        assert_bitwise_eq(&rates);
+        // Push one user over the top so the overload tail path runs too.
+        rates[n - 1] = 2.0;
+        assert_bitwise_eq(&rates);
+    }
+}
+
+#[test]
+fn reused_buffers_across_different_lengths_stay_exact() {
+    let mut bufs = FairShareBufs::new();
+    let mut out = Vec::new();
+    for rates in [
+        vec![0.3, 0.1, 0.2, 0.1],
+        vec![0.5],
+        vec![0.2, 0.2, 0.2, 0.2, 0.19],
+        vec![0.9, 0.9],
+    ] {
+        congestion_into(&rates, &mut bufs, &mut out);
+        let reference = FairShare::new().congestion(&rates);
+        for (a, b) in reference.iter().zip(out.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

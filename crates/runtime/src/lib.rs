@@ -19,12 +19,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bench_json;
 pub mod experiment;
 pub mod pool;
 pub mod report;
 pub mod seed;
 pub mod sweep;
 
+pub use bench_json::BenchJson;
 pub use experiment::{Budget, ExpCtx, Experiment, Registry};
 pub use pool::{available_threads, parallel_map_indexed, parallel_map_indexed_profiled};
 pub use report::{Cell, Format, RunReport, Table};

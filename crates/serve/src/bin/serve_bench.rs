@@ -16,7 +16,7 @@
 //! Usage: serve-bench [--clients K] [--requests N] [--hit-ratio R]
 //!                    [--threads T] [--cache CAP] [--seed S] [--out PATH]
 
-use greednet_runtime::child_seed;
+use greednet_runtime::{child_seed, BenchJson};
 use greednet_serve::{ServeOptions, Service};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -172,7 +172,7 @@ fn run() -> Result<(), String> {
         threads: args.threads,
         cache_capacity: args.cache,
     });
-    let report = std::thread::scope(|scope| -> Result<String, String> {
+    let report = std::thread::scope(|scope| -> Result<BenchJson, String> {
         let (tx, rx) = std::sync::mpsc::channel();
         let server = &service;
         scope.spawn(move || {
@@ -205,39 +205,33 @@ fn run() -> Result<(), String> {
         latencies_ms.sort_by(f64::total_cmp);
         let total = args.clients * args.requests;
         let stats = service.stats();
-        let mut out = String::new();
-        out.push_str("{\n");
-        out.push_str(&format!("  \"clients\": {},\n", args.clients));
-        out.push_str(&format!("  \"requests_per_client\": {},\n", args.requests));
-        out.push_str(&format!("  \"total_requests\": {total},\n"));
-        out.push_str(&format!("  \"hit_ratio_target\": {},\n", args.hit_ratio));
-        out.push_str(&format!("  \"service_threads\": {},\n", args.threads));
-        out.push_str(&format!("  \"cache_capacity\": {},\n", args.cache));
-        out.push_str(&format!("  \"elapsed_s\": {elapsed:.3},\n"));
-        out.push_str(&format!(
-            "  \"requests_per_sec\": {:.1},\n",
-            total as f64 / elapsed
-        ));
-        out.push_str(&format!(
-            "  \"latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3} }},\n",
-            percentile(&latencies_ms, 0.50),
-            percentile(&latencies_ms, 0.99),
-            latencies_ms.last().copied().unwrap_or(0.0)
-        ));
-        out.push_str(&format!(
-            "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"hit_rate\": {:.4} }}\n",
-            stats.hits, stats.misses, stats.evictions, stats.entries,
-            stats.hit_rate()
-        ));
-        out.push_str("}\n");
-        Ok(out)
+        let mut latency = BenchJson::new();
+        latency
+            .fixed("p50", percentile(&latencies_ms, 0.50), 3)
+            .fixed("p99", percentile(&latencies_ms, 0.99), 3)
+            .fixed("max", latencies_ms.last().copied().unwrap_or(0.0), 3);
+        let mut cache = BenchJson::new();
+        cache
+            .uint("hits", stats.hits)
+            .uint("misses", stats.misses)
+            .uint("evictions", stats.evictions)
+            .uint("entries", stats.entries as u64)
+            .fixed("hit_rate", stats.hit_rate(), 4);
+        let mut report = BenchJson::new();
+        report
+            .uint("clients", args.clients as u64)
+            .uint("requests_per_client", args.requests as u64)
+            .uint("total_requests", total as u64)
+            .num("hit_ratio_target", args.hit_ratio)
+            .uint("service_threads", args.threads as u64)
+            .uint("cache_capacity", args.cache as u64)
+            .fixed("elapsed_s", elapsed, 3)
+            .fixed("requests_per_sec", total as f64 / elapsed, 1)
+            .obj("latency_ms", latency)
+            .obj("cache", cache);
+        Ok(report)
     })?;
-    print!("{report}");
-    if let Some(path) = &args.out {
-        std::fs::write(path, &report).map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-    Ok(())
+    report.emit(args.out.as_deref())
 }
 
 fn main() {

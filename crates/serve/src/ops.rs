@@ -18,6 +18,7 @@ use greednet_core::utility::{
 };
 use greednet_des::scenarios::DisciplineKind;
 use greednet_des::{ServiceDist, SimConfig, Simulator};
+use greednet_largen::{solve_finite, solve_mean_field, ClassSpec, LargenDiscipline, SolveOptions};
 use greednet_queueing::alloc::AllocationFunction;
 use greednet_queueing::fair_share::priority_table;
 use greednet_queueing::{FairShare, Proportional, SerialPriority};
@@ -691,6 +692,248 @@ impl ProtectOutcome {
             ("levels".into(), Json::Arr(levels)),
             ("worst".into(), Json::Num(self.worst)),
             ("protected".into(), Json::Bool(self.protected)),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// largen
+
+/// Resolves large-N discipline aliases to the canonical short name used
+/// by the cache key. Unknown names pass through — they fail later,
+/// uncached.
+#[must_use]
+pub fn canonical_largen_name(name: &str) -> &str {
+    match LargenDiscipline::parse(name) {
+        Some(d) => d.name(),
+        None => name,
+    }
+}
+
+/// Specification of a large-N (mean-field) equilibrium solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LargenSpec {
+    /// Discipline name (`fifo`/`fs`/`sfq`, aliases accepted).
+    pub discipline: String,
+    /// Population size; `0` solves the mean-field continuum (`N = ∞`).
+    pub n: u64,
+    /// Per-class utility specs (rates and congestions are share-scaled:
+    /// `x = N·r`, `Φ = N·C`).
+    pub classes: Vec<UtilityParam>,
+    /// Per-class population weights (empty = equal); only ratios matter.
+    pub weights: Vec<f64>,
+    /// Seed for the finite engine's jittered start (ignored at `n = 0`;
+    /// the converged fixed point is seed-independent, but the sweep
+    /// count is part of the payload, so the seed stays in the key).
+    pub seed: u64,
+    /// Worker threads for the finite engine's best-response sharding.
+    /// Unlike [`ExpSpec`], this is *not* part of the cache key: the
+    /// solver is bitwise identical at any thread count, so clients at
+    /// different widths share one cache entry.
+    pub threads: usize,
+}
+
+/// One class row of a computed large-N equilibrium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LargenClassRow {
+    /// Normalized population weight.
+    pub weight: f64,
+    /// Users apportioned to the class (`None` in the continuum).
+    pub users: Option<u64>,
+    /// Mean scaled rate `x = N·r`.
+    pub x: f64,
+    /// Mean scaled congestion `Φ = N·C`.
+    pub phi: f64,
+}
+
+/// Computed large-N equilibrium, ready for rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LargenOutcome {
+    /// Canonical discipline name (`fifo`/`fs`/`sfq`).
+    pub discipline: String,
+    /// Population size (`0` = continuum).
+    pub n: u64,
+    /// Per-class results.
+    pub classes: Vec<LargenClassRow>,
+    /// Aggregate offered load at the final iterate.
+    pub load: f64,
+    /// Sweeps (finite) or fixed-point steps (continuum) performed.
+    pub sweeps: u32,
+    /// Final max best-response deviation.
+    pub residual: f64,
+    /// Whether the solve converged within its budget.
+    pub converged: bool,
+}
+
+impl LargenSpec {
+    fn normalized_weights(&self) -> Result<Vec<f64>, ServeError> {
+        let k = self.classes.len();
+        let raw: Vec<f64> = if self.weights.is_empty() {
+            vec![1.0; k]
+        } else {
+            self.weights.clone()
+        };
+        if raw.len() != k {
+            return Err(ServeError::BadRequest(format!(
+                "{} weights for {k} classes",
+                raw.len()
+            )));
+        }
+        if !raw.iter().all(|w| w.is_finite() && *w > 0.0) {
+            return Err(ServeError::BadRequest(
+                "weights must be finite and > 0".into(),
+            ));
+        }
+        let sum: f64 = raw.iter().sum();
+        Ok(raw.iter().map(|w| w / sum).collect())
+    }
+
+    /// Solves the equilibrium (finite engine for `n >= 1`, mean-field
+    /// continuum for `n = 0`).
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] on invalid specs or solver failure
+    /// (including an unbounded continuum best response).
+    pub fn solve(&self) -> Result<LargenOutcome, ServeError> {
+        let disc = LargenDiscipline::parse(&self.discipline).ok_or_else(|| {
+            ServeError::BadRequest(format!(
+                "unknown large-N discipline '{}' (use fifo/fs/sfq)",
+                self.discipline
+            ))
+        })?;
+        let utilities = build_users(&self.classes)?;
+        let weights = self.normalized_weights()?;
+        let specs: Vec<ClassSpec> = utilities
+            .into_iter()
+            .zip(weights.iter())
+            .map(|(u, &w)| ClassSpec::new(u, w))
+            .collect();
+        let opts = SolveOptions::default();
+        let bad = |e: greednet_largen::LargenError| ServeError::BadRequest(e.to_string());
+        if self.n == 0 {
+            let sol = solve_mean_field(disc, &specs, &opts).map_err(bad)?;
+            let classes = weights
+                .iter()
+                .zip(sol.x.iter().zip(sol.phi.iter()))
+                .map(|(&w, (&x, &phi))| LargenClassRow {
+                    weight: w,
+                    users: None,
+                    x,
+                    phi,
+                })
+                .collect();
+            Ok(LargenOutcome {
+                discipline: disc.name().to_string(),
+                n: 0,
+                classes,
+                load: sol.load,
+                sweeps: sol.steps,
+                residual: sol.residual,
+                converged: sol.converged,
+            })
+        } else {
+            let n = usize::try_from(self.n)
+                .map_err(|_| ServeError::BadRequest("\"n\" is too large".into()))?;
+            let sol = solve_finite(disc, &specs, n, self.seed, self.threads.max(1), &opts)
+                .map_err(bad)?;
+            let classes = weights
+                .iter()
+                .zip(sol.class_counts.iter())
+                .zip(sol.class_x.iter().zip(sol.class_phi.iter()))
+                .map(|((&w, &count), (&x, &phi))| LargenClassRow {
+                    weight: w,
+                    users: Some(count),
+                    x,
+                    phi,
+                })
+                .collect();
+            Ok(LargenOutcome {
+                discipline: disc.name().to_string(),
+                n: self.n,
+                classes,
+                load: sol.load,
+                sweeps: sol.sweeps,
+                residual: sol.residual,
+                converged: sol.converged,
+            })
+        }
+    }
+}
+
+impl LargenOutcome {
+    /// Renders the outcome exactly as `greednet largen` prints it.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let scale = if self.n == 0 {
+            "mean-field continuum".to_string()
+        } else {
+            format!("N = {}", self.n)
+        };
+        let _ = writeln!(
+            out,
+            "Large-N equilibrium under {} ({scale}):",
+            self.discipline
+        );
+        let _ = writeln!(
+            out,
+            "  converged: {} in {} sweeps (residual {:.1e})",
+            self.converged, self.sweeps, self.residual
+        );
+        let _ = writeln!(
+            out,
+            "  {:<7}{:>10}{:>12}{:>14}{:>14}",
+            "class", "weight", "users", "x = N*r", "phi = N*C"
+        );
+        for (c, row) in self.classes.iter().enumerate() {
+            let users = match row.users {
+                Some(u) => u.to_string(),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {c:<7}{:>10.6}{users:>12}{:>14.6}{:>14.6}",
+                row.weight, row.x, row.phi
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  load: {:.6} (slack {:.3e})",
+            self.load,
+            1.0 - self.load
+        );
+        out
+    }
+
+    /// Structured payload for the service's `result` record.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let classes: Vec<Json> = self
+            .classes
+            .iter()
+            .map(|row| {
+                Json::Obj(vec![
+                    ("weight".into(), Json::Num(row.weight)),
+                    (
+                        "users".into(),
+                        match row.users {
+                            Some(u) => Json::Num(u as f64),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("x".into(), Json::Num(row.x)),
+                    ("phi".into(), Json::Num(row.phi)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("discipline".into(), Json::Str(self.discipline.clone())),
+            ("n".into(), Json::Num(self.n as f64)),
+            ("converged".into(), Json::Bool(self.converged)),
+            ("sweeps".into(), Json::Num(f64::from(self.sweeps))),
+            ("residual".into(), Json::Num(self.residual)),
+            ("load".into(), Json::Num(self.load)),
+            ("classes".into(), Json::Arr(classes)),
         ])
     }
 }

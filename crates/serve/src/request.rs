@@ -15,6 +15,7 @@
 //! {"kind":"table","rates":[0.05,0.1,0.2]}
 //! {"kind":"protect","n":4,"victim":0.1,"discipline":"fs"}
 //! {"kind":"exp","exp":"t1","smoke":true}
+//! {"kind":"largen","discipline":"fs","n":100000,"classes":"log:0.6,1.0;log:0.4,1.0"}
 //! {"kind":"batch","requests":[...]}   {"kind":"stats"}   {"kind":"shutdown"}
 //! ```
 //!
@@ -41,14 +42,17 @@ use crate::canon::{canonical_key, key_hex};
 use crate::error::ServeError;
 use crate::json::{parse, write_f64, Json};
 use crate::ops::{
-    canonical_alloc_name, canonical_kind_name, canonical_service_json, ExpSpec, NashSpec,
-    ProtectSpec, SimulateSpec, TableSpec, UtilityParam,
+    canonical_alloc_name, canonical_kind_name, canonical_largen_name, canonical_service_json,
+    ExpSpec, LargenSpec, NashSpec, ProtectSpec, SimulateSpec, TableSpec, UtilityParam,
 };
 use greednet_numerics::conv::{f64_to_u64, f64_to_usize};
 
 /// Default utility profile, identical to `greednet nash`'s `--users`
 /// default.
 pub const DEFAULT_USERS: &str = "log:0.5,1.0;log:1.0,1.0;linear:1.0,0.3";
+
+/// Default large-N class profile, identical to experiment E17's.
+pub const DEFAULT_CLASSES: &str = "log:0.6,1.0;log:0.5,1.0;log:0.4,1.0";
 
 /// Largest integer exactly representable in an f64 (2^53); JSON numbers
 /// above this cannot round-trip, so integer fields reject them.
@@ -76,6 +80,8 @@ pub enum RequestKind {
     Protect(ProtectSpec),
     /// Run a registry experiment.
     Exp(ExpSpec),
+    /// Solve a large-N (mean-field) equilibrium.
+    Largen(LargenSpec),
     /// Run several sub-requests on the deterministic pool.
     Batch(Vec<Request>),
     /// Report cache counters.
@@ -103,7 +109,7 @@ impl Request {
         };
         let mut fields = Fields::new(pairs);
         let kind_name = fields.take_str("kind")?.ok_or_else(|| {
-            ServeError::Parse("request needs a \"kind\" field (nash/simulate/table/protect/exp/batch/stats/shutdown)".into())
+            ServeError::Parse("request needs a \"kind\" field (nash/simulate/table/protect/exp/largen/batch/stats/shutdown)".into())
         })?;
         let id = fields.take_str("id")?;
         // Schema version: only v=1 exists. A v>1 canonical form would
@@ -157,6 +163,44 @@ impl Request {
                 threads: fields.take_usize("threads")?.unwrap_or(1),
                 smoke: fields.take_bool("smoke")?.unwrap_or(false),
             }),
+            "largen" => RequestKind::Largen(LargenSpec {
+                discipline: fields.take_str("discipline")?.unwrap_or_else(|| "fs".into()),
+                n: fields.take_u64("n")?.unwrap_or(10_000),
+                classes: match fields.take("classes") {
+                    None => parse_users(DEFAULT_CLASSES)?,
+                    Some(Json::Str(s)) => parse_users(&s)?,
+                    Some(Json::Arr(items)) => parse_users_array(&items)?,
+                    Some(_) => {
+                        return Err(ServeError::Parse(
+                            "\"classes\" must be a \"family:a,b;...\" string or an array of {family,a,b} objects".into(),
+                        ))
+                    }
+                },
+                weights: match fields.take("weights") {
+                    None => Vec::new(),
+                    Some(Json::Arr(items)) => {
+                        let mut weights = Vec::with_capacity(items.len());
+                        for item in &items {
+                            match item {
+                                Json::Num(x) if x.is_finite() && *x > 0.0 => weights.push(*x),
+                                _ => {
+                                    return Err(ServeError::BadRequest(
+                                        "\"weights\" entries must be finite numbers > 0".into(),
+                                    ))
+                                }
+                            }
+                        }
+                        weights
+                    }
+                    Some(_) => {
+                        return Err(ServeError::Parse(
+                            "\"weights\" must be an array of numbers".into(),
+                        ))
+                    }
+                },
+                seed: fields.take_u64("seed")?.unwrap_or(1),
+                threads: fields.take_usize("threads")?.unwrap_or(1),
+            }),
             "batch" => {
                 if !allow_batch {
                     return Err(ServeError::Parse("batch requests do not nest".into()));
@@ -176,7 +220,7 @@ impl Request {
             "shutdown" => RequestKind::Shutdown,
             other => {
                 return Err(ServeError::Parse(format!(
-                    "unknown request kind {other:?} (use nash/simulate/table/protect/exp/batch/stats/shutdown)"
+                    "unknown request kind {other:?} (use nash/simulate/table/protect/exp/largen/batch/stats/shutdown)"
                 )))
             }
         };
@@ -275,6 +319,58 @@ impl RequestKind {
                     ("smoke".into(), Json::Bool(s.smoke)),
                 ],
             )),
+            RequestKind::Largen(s) => {
+                // Weights are canonicalized to an explicit normalized
+                // vector: `[1,1]`, `[2,2]`, and omitted all describe the
+                // same game over two classes. Invalid weight shapes pass
+                // through raw — they fail at execution, uncached.
+                let k = s.classes.len();
+                let raw: Vec<f64> = if s.weights.is_empty() {
+                    vec![1.0; k]
+                } else {
+                    s.weights.clone()
+                };
+                let sum: f64 = raw.iter().sum();
+                let weights: Vec<f64> = if raw.len() == k && sum > 0.0 && sum.is_finite() {
+                    raw.iter().map(|w| w / sum).collect()
+                } else {
+                    raw
+                };
+                Some(obj(
+                    "largen",
+                    vec![
+                        (
+                            "discipline".into(),
+                            Json::Str(canonical_largen_name(&s.discipline).into()),
+                        ),
+                        ("n".into(), Json::Num(u64_to_num(s.n))),
+                        (
+                            "classes".into(),
+                            Json::Arr(
+                                s.classes
+                                    .iter()
+                                    .map(|u| {
+                                        Json::Obj(vec![
+                                            ("family".into(), Json::Str(u.family.clone())),
+                                            ("a".into(), Json::Num(u.a)),
+                                            ("b".into(), Json::Num(u.b)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "weights".into(),
+                            Json::Arr(weights.into_iter().map(Json::Num).collect()),
+                        ),
+                        ("seed".into(), Json::Num(u64_to_num(s.seed))),
+                        // `threads` is deliberately absent: the large-N
+                        // solvers are bitwise identical at any thread
+                        // count (pinned by the largen determinism tests),
+                        // so pool width must not split the cache.
+                    ],
+                ))
+            }
             RequestKind::Batch(_) | RequestKind::Stats | RequestKind::Shutdown => None,
         }
     }
@@ -617,6 +713,38 @@ mod tests {
             r#"{"kind":"nash","users":[{"family":"log","a":0.5,"b":1.0},{"family":"linear","a":1.0,"b":0.4}]}"#,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn largen_defaults_weights_and_threads_normalize_in_the_key() {
+        let a = key_of(r#"{"kind":"largen"}"#);
+        let b = key_of(
+            r#"{"kind":"largen","discipline":"fs","n":10000,"classes":"log:0.6,1.0;log:0.5,1.0;log:0.4,1.0","weights":[1,1,1],"seed":1}"#,
+        );
+        assert_eq!(a, b);
+        // Weights are normalized: [2,2,2] describes the same game as the
+        // implicit equal split.
+        assert_eq!(a, key_of(r#"{"kind":"largen","weights":[2,2,2]}"#));
+        // The solvers are bitwise thread-invariant, so pool width must
+        // not split the cache.
+        assert_eq!(a, key_of(r#"{"kind":"largen","threads":8}"#));
+        // Game-defining fields do move the key.
+        assert_ne!(a, key_of(r#"{"kind":"largen","n":20000}"#));
+        assert_ne!(a, key_of(r#"{"kind":"largen","n":0}"#));
+        assert_ne!(a, key_of(r#"{"kind":"largen","discipline":"fifo"}"#));
+        assert_ne!(a, key_of(r#"{"kind":"largen","seed":2}"#));
+    }
+
+    #[test]
+    fn largen_cache_key_is_pinned() {
+        // Byte-for-byte golden: a canonicalization change that would
+        // split the cache across releases must show up as a diff here.
+        let line = r#"{"kind":"largen","discipline":"sfq","n":50000,"classes":"log:0.6,1.0;log:0.4,1.0","weights":[3,1],"seed":7}"#;
+        assert_eq!(key_hex(key_of(line)), "3fcc42ba5a90e038e9129d14df4e562b");
+        // The canonical form resolves aliases and normalizes weights, so
+        // the equivalent spelling lands on the same pinned key.
+        let alias = r#"{"kind":"largen","discipline":"fq","n":50000,"classes":[{"family":"log","a":0.6,"b":1.0},{"family":"log","a":0.4,"b":1.0}],"weights":[0.75,0.25],"seed":7,"threads":4}"#;
+        assert_eq!(key_hex(key_of(alias)), "3fcc42ba5a90e038e9129d14df4e562b");
     }
 
     #[test]

@@ -199,7 +199,7 @@ impl Service {
                         probed.push(Ok((key, hit)));
                     }
                     None => probed.push(Err(ServeError::BadRequest(
-                        "only nash/simulate/table/protect/exp requests may appear in a batch"
+                        "only nash/simulate/table/protect/exp/largen requests may appear in a batch"
                             .into(),
                     ))),
                 }
@@ -315,6 +315,7 @@ fn compute_payload(kind: &RequestKind) -> Result<String, ServeError> {
         RequestKind::Table(s) => Ok(s.outcome().to_json().to_compact()),
         RequestKind::Protect(s) => Ok(s.outcome()?.to_json().to_compact()),
         RequestKind::Exp(s) => Ok(s.run_json()?.to_compact()),
+        RequestKind::Largen(s) => Ok(s.solve()?.to_json().to_compact()),
         RequestKind::Batch(_) | RequestKind::Stats | RequestKind::Shutdown => Err(
             ServeError::BadRequest("this request kind has no single result payload".into()),
         ),

@@ -105,6 +105,32 @@ pub enum SolverEvent {
         /// by the step.
         residual: f64,
     },
+    /// One full Jacobi best-response sweep of the large-N mean-field
+    /// engine (`greednet-largen`): every user best-responded to the
+    /// previous iterate's aggregate, then the iterate was damped toward
+    /// the responses.
+    MeanFieldSweep {
+        /// Sweep number (1-based).
+        sweep: u64,
+        /// Population size.
+        users: u64,
+        /// Max absolute scaled-rate change across the population.
+        residual: f64,
+        /// Aggregate offered load after the sweep.
+        load: f64,
+    },
+    /// One damped step of the continuum (K-class) mean-field fixed
+    /// point in `greednet-largen`.
+    FixedPointStep {
+        /// Step number (1-based).
+        step: u64,
+        /// Number of utility classes.
+        classes: u64,
+        /// Max absolute scaled-rate change across classes.
+        residual: f64,
+        /// Aggregate offered load after the step.
+        load: f64,
+    },
     /// One pursuit-automaton update (per user, per round).
     AutomataUpdate {
         /// Round number (0-based).

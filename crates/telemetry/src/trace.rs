@@ -29,6 +29,8 @@
 //! {"seq":0,"type":"solver","kind":"best_response","iteration":1,"user":0,"rate":0.21,"residual":0.04}
 //! {"seq":1,"type":"solver","kind":"relaxation_step","step":0,"user":1,"rate":0.2,"residual":0.01}
 //! {"seq":2,"type":"solver","kind":"automata_update","round":7,"user":0,"action":3,"payoff":-0.8}
+//! {"seq":3,"type":"solver","kind":"mean_field_sweep","sweep":12,"users":10000,"residual":0.003,"load":0.62}
+//! {"seq":4,"type":"solver","kind":"fixed_point_step","step":5,"classes":3,"residual":0.0001,"load":0.61}
 //! ```
 //!
 //! Floats are rendered as shortest round-trip decimal; non-finite values
@@ -258,6 +260,34 @@ fn record_to_json(rec: &TraceRecord, out: &mut String) {
                     );
                     push_f64(out, payoff);
                 }
+                SolverEvent::MeanFieldSweep {
+                    sweep,
+                    users,
+                    residual,
+                    load,
+                } => {
+                    let _ = write!(
+                        out,
+                        "\"kind\":\"mean_field_sweep\",\"sweep\":{sweep},\"users\":{users},\"residual\":"
+                    );
+                    push_f64(out, residual);
+                    out.push_str(",\"load\":");
+                    push_f64(out, load);
+                }
+                SolverEvent::FixedPointStep {
+                    step,
+                    classes,
+                    residual,
+                    load,
+                } => {
+                    let _ = write!(
+                        out,
+                        "\"kind\":\"fixed_point_step\",\"step\":{step},\"classes\":{classes},\"residual\":"
+                    );
+                    push_f64(out, residual);
+                    out.push_str(",\"load\":");
+                    push_f64(out, load);
+                }
             }
             out.push('}');
         }
@@ -359,9 +389,21 @@ mod tests {
             action: 7,
             payoff: -2.0,
         });
+        buf.on_solver(&SolverEvent::MeanFieldSweep {
+            sweep: 12,
+            users: 10_000,
+            residual: 0.003,
+            load: 0.62,
+        });
+        buf.on_solver(&SolverEvent::FixedPointStep {
+            step: 5,
+            classes: 3,
+            residual: 0.0001,
+            load: 0.61,
+        });
         let jsonl = buf.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 9);
+        assert_eq!(lines.len(), 11);
         for (i, line) in lines.iter().enumerate() {
             assert!(line.starts_with(&format!("{{\"seq\":{i},")), "{line}");
             assert!(line.ends_with('}'), "{line}");
@@ -373,6 +415,15 @@ mod tests {
         assert!(lines[6].contains("\"kind\":\"best_response\""));
         assert!(lines[7].contains("\"kind\":\"relaxation_step\""));
         assert!(lines[8].contains("\"payoff\":-2.0"));
+        assert!(
+            lines[9].contains("\"kind\":\"mean_field_sweep\"")
+                && lines[9].contains("\"users\":10000")
+                && lines[9].contains("\"load\":0.62")
+        );
+        assert!(
+            lines[10].contains("\"kind\":\"fixed_point_step\"")
+                && lines[10].contains("\"classes\":3")
+        );
     }
 
     #[test]
