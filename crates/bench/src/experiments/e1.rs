@@ -12,7 +12,7 @@ use greednet_core::game::{Game, NashOptions};
 use greednet_core::pareto;
 use greednet_core::utility::LinearUtility;
 use greednet_queueing::{FairShare, Proportional};
-use greednet_runtime::{Cell, ExpCtx, Experiment, ParallelSweep, RunReport, Table};
+use greednet_runtime::{det_mean, Cell, ExpCtx, Experiment, ParallelSweep, RunReport, Table};
 
 /// E1: efficiency of Nash equilibria (Theorems 1 & 2).
 pub struct E1Efficiency;
@@ -102,8 +102,7 @@ impl Experiment for E1Efficiency {
             let solved: Vec<_> = outcomes.into_iter().flatten().collect();
             let pareto_count = solved.iter().filter(|(r, _)| *r < 1e-4).count();
             let dominated = solved.iter().filter(|(_, d)| *d).count();
-            let mean_resid =
-                solved.iter().map(|(r, _)| r).sum::<f64>() / solved.len().max(1) as f64;
+            let mean_resid = det_mean(solved.iter().map(|(r, _)| *r));
             t.row(vec![
                 name.into(),
                 pareto_count.into(),

@@ -7,7 +7,7 @@ use greednet_core::utility::{BoxedUtility, LinearUtility, UtilityExt};
 use greednet_des::scenarios::DisciplineKind;
 use greednet_learning::hill::{climb, HillConfig, Schedule, SimEnv};
 use greednet_queueing::{FairShare, Proportional};
-use greednet_runtime::{Cell, ExpCtx, Experiment, Replications, RunReport, Table};
+use greednet_runtime::{det_mean, Cell, ExpCtx, Experiment, Replications, RunReport, Table};
 
 /// E10a: noisy self-optimization dynamics (§2.2, §4.2.2).
 pub struct E10aDynamics;
@@ -93,8 +93,8 @@ impl Experiment for E10aDynamics {
                     (*obs).into(),
                 ]);
             }
-            let mean_dist = runs.iter().map(|r| r.0).sum::<f64>() / runs.len() as f64;
-            let mean_short = runs.iter().map(|r| r.1).sum::<f64>() / runs.len() as f64;
+            let mean_dist = det_mean(runs.iter().map(|r| r.0));
+            let mean_short = det_mean(runs.iter().map(|r| r.1));
             t.row(vec![
                 kind.label().into(),
                 "MEAN".into(),

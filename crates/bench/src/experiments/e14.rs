@@ -8,7 +8,7 @@
 use crate::{DisciplineSet, ProfileSampler};
 use greednet_core::coalition::find_manipulating_coalition;
 use greednet_core::game::{Game, NashOptions};
-use greednet_runtime::{Cell, ExpCtx, Experiment, ParallelSweep, RunReport, Table};
+use greednet_runtime::{det_max, Cell, ExpCtx, Experiment, ParallelSweep, RunReport, Table};
 
 /// E14: coalitional manipulation of Nash equilibria (footnote 14).
 pub struct E14Coalitions;
@@ -52,7 +52,7 @@ impl Experiment for E14Coalitions {
             });
             let solved: Vec<_> = outcomes.into_iter().flatten().collect();
             let manipulable = solved.iter().filter(|g| g.is_some()).count();
-            let worst_gain = solved.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
+            let worst_gain = det_max(solved.iter().flatten().copied()).max(0.0);
             t.row(vec![
                 name.into(),
                 solved.len().into(),

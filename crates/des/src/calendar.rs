@@ -86,6 +86,7 @@ impl<T> Default for EventCalendar<T> {
 }
 
 impl<T> EventQueue<T> for EventCalendar<T> {
+    // gn:hot(amortized)
     fn schedule(&mut self, time: SimTime, item: T) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -93,6 +94,7 @@ impl<T> EventQueue<T> for EventCalendar<T> {
         seq
     }
 
+    // gn:hot
     fn pop(&mut self) -> Option<ScheduledEvent<T>> {
         self.heap.pop().map(|s| ScheduledEvent {
             time: s.time,
@@ -101,6 +103,7 @@ impl<T> EventQueue<T> for EventCalendar<T> {
         })
     }
 
+    // gn:hot
     fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|s| s.time)
     }

@@ -1,40 +1,45 @@
-//! Deprecated compatibility shim for the pre-calendar module layout.
+//! Compatibility shim for the pre-calendar module layout.
 //!
 //! The disciplines now live in [`crate::qdisc`] under the `QDisc` trait
 //! name (ROADMAP item 1 / the minim-style entity architecture). This
-//! module re-exports everything under its old paths so external callers
-//! keep compiling; the `Discipline` name itself is a deprecated alias of
-//! [`QDisc`](crate::qdisc::QDisc) — same trait, so `dyn Discipline` and
-//! `dyn QDisc` are interchangeable.
+//! module re-exports the discipline *types* under their old paths so
+//! external callers keep compiling. The deprecated `Discipline` trait
+//! alias that used to live here was removed after its deprecation
+//! cycle — the trait is [`QDisc`](crate::qdisc::QDisc), full stop.
 
 pub use crate::qdisc::{
     ActivePacket, Fifo, FsPriorityTable, LifoPreemptive, PreemptivePriority, ProcessorSharing,
     StartTimeFairQueueing,
 };
 
-#[deprecated(since = "0.2.0", note = "renamed to `greednet_des::QDisc`")]
-pub use crate::qdisc::QDisc as Discipline;
-
 #[cfg(test)]
 mod tests {
-    // The alias must remain usable as a trait object and a bound: that is
-    // the compatibility contract for external callers.
-    #![allow(deprecated)]
-    use super::{Discipline, Fifo, ProcessorSharing};
+    use super::{Fifo, ProcessorSharing};
+    use crate::qdisc::QDisc;
 
-    fn name_of(d: &dyn Discipline) -> &'static str {
-        d.name()
-    }
-
-    fn generic_name<D: Discipline>(d: &D) -> &'static str {
-        d.name()
+    #[test]
+    fn old_paths_still_resolve_under_the_qdisc_trait() {
+        let boxed: Box<dyn QDisc> = Box::new(Fifo);
+        assert_eq!(boxed.name(), "FIFO");
+        assert_eq!(ProcessorSharing.name(), "PS");
     }
 
     #[test]
-    fn deprecated_alias_still_works_as_object_and_bound() {
-        assert_eq!(name_of(&Fifo), "FIFO");
-        assert_eq!(generic_name(&ProcessorSharing), "PS");
-        let boxed: Box<dyn Discipline> = Box::new(Fifo);
-        assert_eq!(boxed.name(), "FIFO");
+    fn deprecated_discipline_alias_is_gone() {
+        // The alias completed its deprecation cycle; its absence is the
+        // contract now. Pin it at the source level so a compat re-export
+        // cannot quietly reappear. The needle is assembled at runtime so
+        // this test's own source (included below) never matches it.
+        let needle = format!("QDisc as {}", "Discipline");
+        for src in [
+            include_str!("lib.rs"),
+            include_str!("disciplines.rs"),
+            include_str!("qdisc.rs"),
+        ] {
+            assert!(
+                !src.contains(&needle),
+                "deprecated `Discipline` alias re-introduced"
+            );
+        }
     }
 }

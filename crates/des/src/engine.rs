@@ -357,125 +357,19 @@ impl Engine {
             if now >= horizon {
                 break;
             }
-            if t_done <= t_cal {
-                // Departure (ties go to the departure, like the old
-                // engine's `t_done <= t_arr`).
-                let mut pkt = bottleneck.active.swap_remove(done_idx);
-                pkt.remaining = Work::ZERO;
-                bottleneck.counts[pkt.user] -= 1;
-                qdisc.on_departure(&pkt, SimTime::raw(now));
-                if P::ENABLED {
-                    probe.on_packet(&PacketEvent {
-                        time: now,
-                        user: pkt.user,
-                        packet: pkt.id,
-                        queue_len: bottleneck.active.len(),
-                        kind: PacketEventKind::Departure {
-                            delay: now - pkt.arrival.get(),
-                        },
-                    });
-                }
-                if let SourceState::Closed(c) = &sources[pkt.user] {
-                    let marked = bottleneck.ecn_mark();
-                    if P::ENABLED && marked {
-                        probe.on_packet(&PacketEvent {
-                            time: now,
-                            user: pkt.user,
-                            packet: pkt.id,
-                            queue_len: bottleneck.active.len(),
-                            kind: PacketEventKind::Marked,
-                        });
-                    }
-                    let mut ctx = Context {
-                        now: SimTime::raw(now),
-                        events: &mut pending,
-                    };
-                    ctx.schedule(
-                        c.spec.feedback_delay,
-                        Cmd::Ack {
-                            source: pkt.user,
-                            marked,
-                        },
-                    );
-                }
-                if pkt.arrival.get() >= stats.warmup {
-                    stats.on_departure(pkt.user, now - pkt.arrival.get());
-                }
-            } else {
-                // A calendar command fires.
-                let Some(ev) = calendar.pop() else {
-                    // Unreachable: `t_cal` was finite, so the calendar
-                    // is non-empty; keep the loop total anyway (GN03).
-                    break;
-                };
-                if P::ENABLED {
-                    probe.on_calendar(&CalendarEvent {
-                        time: ev.time.get(),
-                        seq: ev.seq,
-                        kind: CalendarEventKind::Fire,
-                    });
-                }
-                match ev.item {
-                    Cmd::Fire { source } => match &mut sources[source] {
-                        SourceState::Open(o) => {
-                            let size = cfg.service.sample(&mut o.sizes);
-                            let pkt = ActivePacket {
-                                id: next_id,
-                                user: source,
-                                arrival: SimTime::raw(now),
-                                size: Work::raw(size),
-                                remaining: Work::raw(size),
-                            };
-                            next_id += 1;
-                            bottleneck.counts[source] += 1;
-                            o.sent += 1;
-                            qdisc.on_arrival(&pkt, SimTime::raw(now));
-                            if P::ENABLED {
-                                probe.on_packet(&PacketEvent {
-                                    time: now,
-                                    user: source,
-                                    packet: pkt.id,
-                                    queue_len: bottleneck.active.len(),
-                                    kind: PacketEventKind::Arrival { size },
-                                });
-                            }
-                            bottleneck.active.push(pkt);
-                            let gap = o.next_gap();
-                            let mut ctx = Context {
-                                now: SimTime::raw(now),
-                                events: &mut pending,
-                            };
-                            ctx.schedule(gap, Cmd::Fire { source });
-                        }
-                        SourceState::Closed(c) => {
-                            fill_window(
-                                c,
-                                source,
-                                now,
-                                &cfg.service,
-                                &mut bottleneck,
-                                qdisc,
-                                &mut next_id,
-                                probe,
-                            );
-                        }
-                    },
-                    Cmd::Ack { source, marked } => {
-                        if let SourceState::Closed(c) = &mut sources[source] {
-                            c.on_ack(marked);
-                            fill_window(
-                                c,
-                                source,
-                                now,
-                                &cfg.service,
-                                &mut bottleneck,
-                                qdisc,
-                                &mut next_id,
-                                probe,
-                            );
-                        }
-                    }
-                }
+            if !self.dispatch(
+                (t_done, t_cal, done_idx),
+                now,
+                &mut sources,
+                &mut bottleneck,
+                &mut calendar,
+                &mut pending,
+                qdisc,
+                &mut stats,
+                &mut next_id,
+                probe,
+            ) {
+                break;
             }
             commit(&mut pending, &mut calendar, probe);
             qdisc.shares(
@@ -502,9 +396,155 @@ impl Engine {
             .collect();
         Ok(EngineReport { result, flows })
     }
+
+    /// Dispatches the event selected by the main loop: the earliest
+    /// completion when `t_done <= t_cal` (ties go to the departure, like
+    /// the old engine's `t_done <= t_arr`), otherwise the earliest
+    /// calendar command. Extracted verbatim from the `run_probed` loop —
+    /// `tests/engine_equivalence.rs` pins the motion bitwise. Returns
+    /// `false` only on the unreachable empty-calendar guard, which ends
+    /// the run (GN03: keep the loop total without panicking).
+    // gn:hot(amortized)
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch<P: Probe>(
+        &self,
+        (t_done, t_cal, done_idx): (f64, f64, usize),
+        now: f64,
+        sources: &mut [SourceState],
+        bottleneck: &mut Bottleneck,
+        calendar: &mut EventCalendar<Cmd>,
+        pending: &mut EventList,
+        qdisc: &mut dyn QDisc,
+        stats: &mut Stats,
+        next_id: &mut u64,
+        probe: &mut P,
+    ) -> bool {
+        let cfg = &self.config;
+        if t_done <= t_cal {
+            // Departure.
+            let mut pkt = bottleneck.active.swap_remove(done_idx);
+            pkt.remaining = Work::ZERO;
+            bottleneck.counts[pkt.user] -= 1;
+            qdisc.on_departure(&pkt, SimTime::raw(now));
+            if P::ENABLED {
+                probe.on_packet(&PacketEvent {
+                    time: now,
+                    user: pkt.user,
+                    packet: pkt.id,
+                    queue_len: bottleneck.active.len(),
+                    kind: PacketEventKind::Departure {
+                        delay: now - pkt.arrival.get(),
+                    },
+                });
+            }
+            if let SourceState::Closed(c) = &sources[pkt.user] {
+                let marked = bottleneck.ecn_mark();
+                if P::ENABLED && marked {
+                    probe.on_packet(&PacketEvent {
+                        time: now,
+                        user: pkt.user,
+                        packet: pkt.id,
+                        queue_len: bottleneck.active.len(),
+                        kind: PacketEventKind::Marked,
+                    });
+                }
+                let mut ctx = Context {
+                    now: SimTime::raw(now),
+                    events: pending,
+                };
+                ctx.schedule(
+                    c.spec.feedback_delay,
+                    Cmd::Ack {
+                        source: pkt.user,
+                        marked,
+                    },
+                );
+            }
+            if pkt.arrival.get() >= stats.warmup {
+                stats.on_departure(pkt.user, now - pkt.arrival.get());
+            }
+        } else {
+            // A calendar command fires.
+            let Some(ev) = calendar.pop() else {
+                // Unreachable: `t_cal` was finite, so the calendar is
+                // non-empty; keep the loop total anyway (GN03).
+                return false;
+            };
+            if P::ENABLED {
+                probe.on_calendar(&CalendarEvent {
+                    time: ev.time.get(),
+                    seq: ev.seq,
+                    kind: CalendarEventKind::Fire,
+                });
+            }
+            match ev.item {
+                Cmd::Fire { source } => match &mut sources[source] {
+                    SourceState::Open(o) => {
+                        let size = cfg.service.sample(&mut o.sizes);
+                        let pkt = ActivePacket {
+                            id: *next_id,
+                            user: source,
+                            arrival: SimTime::raw(now),
+                            size: Work::raw(size),
+                            remaining: Work::raw(size),
+                        };
+                        *next_id += 1;
+                        bottleneck.counts[source] += 1;
+                        o.sent += 1;
+                        qdisc.on_arrival(&pkt, SimTime::raw(now));
+                        if P::ENABLED {
+                            probe.on_packet(&PacketEvent {
+                                time: now,
+                                user: source,
+                                packet: pkt.id,
+                                queue_len: bottleneck.active.len(),
+                                kind: PacketEventKind::Arrival { size },
+                            });
+                        }
+                        bottleneck.active.push(pkt);
+                        let gap = o.next_gap();
+                        let mut ctx = Context {
+                            now: SimTime::raw(now),
+                            events: pending,
+                        };
+                        ctx.schedule(gap, Cmd::Fire { source });
+                    }
+                    SourceState::Closed(c) => {
+                        fill_window(
+                            c,
+                            source,
+                            now,
+                            &cfg.service,
+                            bottleneck,
+                            qdisc,
+                            next_id,
+                            probe,
+                        );
+                    }
+                },
+                Cmd::Ack { source, marked } => {
+                    if let SourceState::Closed(c) = &mut sources[source] {
+                        c.on_ack(marked);
+                        fill_window(
+                            c,
+                            source,
+                            now,
+                            &cfg.service,
+                            bottleneck,
+                            qdisc,
+                            next_id,
+                            probe,
+                        );
+                    }
+                }
+            }
+        }
+        true
+    }
 }
 
 /// Injects packets for a closed-loop source until its window is full.
+// gn:hot(amortized)
 #[allow(clippy::too_many_arguments)]
 fn fill_window<P: Probe>(
     c: &mut ClosedLoopSource,
@@ -544,6 +584,7 @@ fn fill_window<P: Probe>(
 
 /// Commits buffered commands to the calendar (insertion order, so the
 /// calendar's tie-breaking sequence numbers follow schedule order).
+// gn:hot(amortized)
 fn commit<P: Probe>(pending: &mut EventList, calendar: &mut EventCalendar<Cmd>, probe: &mut P) {
     for (time, cmd) in pending.drain() {
         let seq = calendar.schedule(time, cmd);
@@ -604,6 +645,7 @@ impl Stats {
     /// Integrates the (constant) per-user counts over `[t0, t1)` and
     /// charges the occupancy distribution, exactly as the old engine's
     /// `accumulate` closure + dist update did.
+    // gn:hot
     fn advance(&mut self, t0: f64, t1: f64, counts: &[usize], active_len: usize) {
         let lo = t0.max(self.warmup);
         if t1 > lo {
@@ -636,6 +678,7 @@ impl Stats {
     }
 
     /// Records one measured completion.
+    // gn:hot(amortized)
     fn on_departure(&mut self, user: usize, delay: f64) {
         self.delays[user].push(delay);
         self.delay_samples[user].push(delay);
@@ -705,6 +748,7 @@ impl Stats {
 /// left the system are handled by the departure event, not here.
 /// Preemptions are emitted before starts; both follow active-set order,
 /// so the event stream is deterministic.
+// gn:hot(amortized)
 pub(crate) fn emit_share_transitions<P: Probe>(
     active: &[ActivePacket],
     shares: &[f64],

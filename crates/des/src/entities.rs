@@ -204,6 +204,7 @@ pub(crate) struct OpenLoopSource {
 
 impl OpenLoopSource {
     /// Draws the next inter-arrival gap.
+    // gn:hot
     pub fn next_gap(&mut self) -> SimTime {
         SimTime::raw(self.arrivals.sample(self.rate))
     }
@@ -236,11 +237,13 @@ impl ClosedLoopSource {
     }
 
     /// Whether the window admits another in-flight packet.
+    // gn:hot
     pub fn can_send(&self) -> bool {
         self.outstanding < conv::f64_to_usize(self.window)
     }
 
     /// Records one packet injected.
+    // gn:hot
     pub fn on_sent(&mut self) {
         self.outstanding += 1;
         self.sent += 1;
@@ -248,6 +251,7 @@ impl ClosedLoopSource {
 
     /// Applies one ACK: AIMD window update (halve on mark, grow
     /// `ai / window` on clean) and releases one in-flight slot.
+    // gn:hot
     pub fn on_ack(&mut self, marked: bool) {
         self.acked += 1;
         self.outstanding = self.outstanding.saturating_sub(1);
@@ -315,6 +319,7 @@ impl Bottleneck {
     /// This is the engine's *derived* event: the exact scan (strict `<`,
     /// first index wins) of the pre-calendar engine, preserved
     /// op-for-op for bitwise equivalence.
+    // gn:hot
     pub fn peek_completion(&self, now: f64) -> (f64, usize) {
         let mut t_done = f64::INFINITY;
         let mut done_idx = usize::MAX;
@@ -332,6 +337,7 @@ impl Bottleneck {
     }
 
     /// Drains `share × dt` of remaining work from every served packet.
+    // gn:hot
     pub fn drain(&mut self, dt: f64) {
         for (i, p) in self.active.iter_mut().enumerate() {
             let s = self.shares.get(i).copied().unwrap_or(0.0);
@@ -343,6 +349,7 @@ impl Bottleneck {
 
     /// ECN decision for a departing packet: the queue (after removal) is
     /// at or above the marking threshold.
+    // gn:hot
     pub fn ecn_mark(&self) -> bool {
         self.marking_threshold
             .is_some_and(|th| self.active.len() >= th)

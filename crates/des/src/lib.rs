@@ -78,11 +78,6 @@ pub use service::ServiceDist;
 pub use sim::{SimConfig, SimConfigBuilder, SimResult, Simulator};
 pub use units::{Rate, SimTime, Work};
 
-/// Legacy name of the [`QDisc`] trait, kept so pre-rework callers keep
-/// compiling.
-#[deprecated(since = "0.2.0", note = "renamed to `greednet_des::QDisc`")]
-pub use qdisc::QDisc as Discipline;
-
 // Instrumentation surface for `Simulator::run_probed`, re-exported so
 // simulation callers don't need a direct greednet-telemetry dependency.
 pub use greednet_telemetry::{

@@ -16,8 +16,8 @@
 //! | [`StartTimeFairQueueing`] | min start-tag, non-preemptive | ≈ Fair-Share-like (§5.2) |
 //!
 //! This module is the typed-unit successor of the old `disciplines`
-//! module: the trait was renamed `Discipline` → `QDisc` (the old name
-//! remains as a deprecated alias) and [`ActivePacket`] now carries
+//! module: the trait was renamed `Discipline` → `QDisc` (the deprecated
+//! alias has since been removed) and [`ActivePacket`] now carries
 //! [`SimTime`]/[`Work`] fields instead of bare `f64`s. The share logic
 //! itself is unchanged — the engine-equivalence tests pin that every
 //! discipline produces bitwise-identical simulations.
@@ -64,12 +64,14 @@ pub trait QDisc: Send + Debug {
     fn shares(&mut self, active: &[ActivePacket], now: SimTime, out: &mut Vec<f64>);
 }
 
+// gn:hot(amortized)
 fn single_share(out: &mut Vec<f64>, len: usize, winner: usize) {
     out.clear();
     out.resize(len, 0.0);
     out[winner] = 1.0;
 }
 
+// gn:hot
 fn oldest(
     active: &[ActivePacket],
     mut eligible: impl FnMut(&ActivePacket) -> bool,
@@ -100,8 +102,11 @@ impl QDisc for Fifo {
     fn name(&self) -> &'static str {
         "FIFO"
     }
+    // gn:hot
     fn on_arrival(&mut self, _pkt: &ActivePacket, _now: SimTime) {}
+    // gn:hot
     fn on_departure(&mut self, _pkt: &ActivePacket, _now: SimTime) {}
+    // gn:hot(amortized)
     fn shares(&mut self, active: &[ActivePacket], _now: SimTime, out: &mut Vec<f64>) {
         if let Some(idx) = oldest(active, |_| true) {
             single_share(out, active.len(), idx);
@@ -122,8 +127,11 @@ impl QDisc for LifoPreemptive {
     fn name(&self) -> &'static str {
         "LIFO-PR"
     }
+    // gn:hot
     fn on_arrival(&mut self, _pkt: &ActivePacket, _now: SimTime) {}
+    // gn:hot
     fn on_departure(&mut self, _pkt: &ActivePacket, _now: SimTime) {}
+    // gn:hot(amortized)
     fn shares(&mut self, active: &[ActivePacket], _now: SimTime, out: &mut Vec<f64>) {
         out.clear();
         out.resize(active.len(), 0.0);
@@ -142,8 +150,11 @@ impl QDisc for ProcessorSharing {
     fn name(&self) -> &'static str {
         "PS"
     }
+    // gn:hot
     fn on_arrival(&mut self, _pkt: &ActivePacket, _now: SimTime) {}
+    // gn:hot
     fn on_departure(&mut self, _pkt: &ActivePacket, _now: SimTime) {}
+    // gn:hot(amortized)
     fn shares(&mut self, active: &[ActivePacket], _now: SimTime, out: &mut Vec<f64>) {
         out.clear();
         if active.is_empty() {
@@ -201,8 +212,11 @@ impl QDisc for PreemptivePriority {
     fn name(&self) -> &'static str {
         "preemptive priority"
     }
+    // gn:hot
     fn on_arrival(&mut self, _pkt: &ActivePacket, _now: SimTime) {}
+    // gn:hot
     fn on_departure(&mut self, _pkt: &ActivePacket, _now: SimTime) {}
+    // gn:hot(amortized)
     fn shares(&mut self, active: &[ActivePacket], _now: SimTime, out: &mut Vec<f64>) {
         out.clear();
         if active.is_empty() {
@@ -280,15 +294,18 @@ impl QDisc for FsPriorityTable {
     fn name(&self) -> &'static str {
         "fair share (Table 1)"
     }
+    // gn:hot(amortized)
     fn on_arrival(&mut self, pkt: &ActivePacket, _now: SimTime) {
         let u = self.rng.uniform();
         let cum = &self.cumulative[pkt.user];
         let level = cum.iter().position(|&c| u < c).unwrap_or(cum.len() - 1);
         self.levels.insert(pkt.id, level);
     }
+    // gn:hot
     fn on_departure(&mut self, pkt: &ActivePacket, _now: SimTime) {
         self.levels.remove(&pkt.id);
     }
+    // gn:hot(amortized)
     fn shares(&mut self, active: &[ActivePacket], _now: SimTime, out: &mut Vec<f64>) {
         out.clear();
         if active.is_empty() {
@@ -349,17 +366,20 @@ impl QDisc for StartTimeFairQueueing {
     fn name(&self) -> &'static str {
         "fair queueing (SFQ)"
     }
+    // gn:hot(amortized)
     fn on_arrival(&mut self, pkt: &ActivePacket, _now: SimTime) {
         let s = self.v.max(self.finish_prev[pkt.user]);
         self.start_tags.insert(pkt.id, s);
         self.finish_prev[pkt.user] = s + pkt.size.get();
     }
+    // gn:hot
     fn on_departure(&mut self, pkt: &ActivePacket, _now: SimTime) {
         self.start_tags.remove(&pkt.id);
         if self.current == Some(pkt.id) {
             self.current = None;
         }
     }
+    // gn:hot(amortized)
     fn shares(&mut self, active: &[ActivePacket], _now: SimTime, out: &mut Vec<f64>) {
         out.clear();
         if active.is_empty() {

@@ -27,6 +27,7 @@ impl ExpStream {
     /// # Panics
     /// Panics if `rate <= 0` (programmer error — zero-rate sources must
     /// simply never be sampled).
+    // gn:hot
     pub fn sample(&mut self, rate: f64) -> f64 {
         assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
         let u: f64 = self.rng.random();
@@ -35,6 +36,7 @@ impl ExpStream {
     }
 
     /// Next uniform variate in `[0, 1)`.
+    // gn:hot
     pub fn uniform(&mut self) -> f64 {
         self.rng.random()
     }

@@ -44,6 +44,7 @@ impl ServiceDist {
     /// # Panics
     /// Panics on invalid parameters (`Erlang(0)`, hyperexponential with
     /// `cs2 <= 1`), which are programmer errors.
+    // gn:hot
     pub fn sample(&self, rng: &mut ExpStream) -> f64 {
         match self {
             ServiceDist::Exponential => rng.sample(1.0),

@@ -42,6 +42,7 @@ impl PopView<'_> {
 /// rate `self_prev` must be excluded from the opposing population) and
 /// `0` in the continuum (a measure-zero deviation leaves every aggregate
 /// untouched, and the exclusion terms vanish identically).
+// gn:hot
 pub(crate) fn phi_slope(
     disc: LargenDiscipline,
     pop: &PopView<'_>,
@@ -89,6 +90,7 @@ pub(crate) fn phi_slope(
 /// mass-measure generalization of the sorted-prefix evaluation in
 /// `greednet_queueing::fair_share`. Members whose serialized subsystem is
 /// overloaded (`S_k ≥ 1`) get `+∞`, as do all heavier members.
+// gn:hot(amortized)
 pub(crate) fn phi_sorted(
     disc: LargenDiscipline,
     sorted_x: &[f64],
@@ -140,6 +142,7 @@ pub(crate) fn phi_sorted(
 /// `F(lo) < 0 < F(hi)`: Newton proposals are accepted only inside the
 /// shrinking bracket, otherwise the step falls back to bisection, so the
 /// iteration is unconditionally convergent and fully deterministic.
+// gn:hot
 pub(crate) fn solve_increasing<F: Fn(f64) -> (f64, f64)>(
     eval: &F,
     mut lo: f64,
@@ -180,6 +183,7 @@ const X_FLOOR: f64 = 1e-12;
 /// fixed point). The response is capped at the residual capacity
 /// `(1 − R_others)·N`, where both FIFO and the serial disciplines
 /// saturate.
+// gn:hot
 pub(crate) fn best_response_finite(
     disc: LargenDiscipline,
     pop: &PopView<'_>,
@@ -220,6 +224,7 @@ pub(crate) fn best_response_finite(
 /// grows by doubling — so a utility that outruns the discipline's
 /// marginal congestion forever yields `None` (an unbounded best
 /// response, surfaced as an error by the fixed-point solver).
+// gn:hot
 pub(crate) fn best_response_continuum(
     disc: LargenDiscipline,
     pop: &PopView<'_>,

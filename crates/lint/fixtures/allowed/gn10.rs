@@ -1,0 +1,25 @@
+//! GN10 allowed fixture: hot fns that stay allocation-free (growth is
+//! fine under amortized mode), plus one audited allow.
+
+pub struct Ring {
+    buf: Vec<u64>,
+    head: usize,
+}
+
+impl Ring {
+    // gn:hot
+    pub fn peek(&self) -> u64 {
+        self.buf[self.head]
+    }
+
+    // gn:hot(amortized)
+    pub fn enqueue(&mut self, x: u64) {
+        self.buf.push(x);
+    }
+
+    // greednet-lint: allow(GN10, reason = "cold start: the ring grows once before the loop begins")
+    // gn:hot
+    pub fn warm(&mut self) {
+        self.buf.reserve(64);
+    }
+}

@@ -1,0 +1,44 @@
+//! GN11 allowed fixture: splits consumed on every path, blessed
+//! discards, and str::split false-positive guards.
+
+use crate::rng::ExpStream;
+
+pub fn both_arms(master: &mut ExpStream, fast: bool) -> f64 {
+    let child = master.split(1);
+    if fast {
+        child.sample()
+    } else {
+        child.uniform()
+    }
+}
+
+pub fn every_match_arm(master: &mut ExpStream, mode: u8) -> f64 {
+    let pick = master.split(2);
+    match mode {
+        0 => pick.sample(),
+        _ => pick.uniform(),
+    }
+}
+
+pub fn unconditional(master: &mut ExpStream) -> f64 {
+    let d = master.split(3);
+    d.sample()
+}
+
+pub fn blessed_gap(master: &mut ExpStream) -> f64 {
+    let _split_unused_reserved = master.split(4);
+    master.split(5).sample()
+}
+
+pub fn inside_closure(streams: &mut [ExpStream]) -> f64 {
+    streams.iter_mut().map(|s| s.split(6).sample()).fold(0.0, |a, b| a + b)
+}
+
+pub fn text_split(line: &str) -> usize {
+    line.split(';').count()
+}
+
+pub fn audited(master: &mut ExpStream) {
+    // greednet-lint: allow(GN11, reason = "stream reserved for the v2 wire format; the draw keeps later ids stable")
+    let reserved = master.split(7);
+}

@@ -1,0 +1,31 @@
+//! GN12 allowed fixture: sequential reductions, blessed helpers, and an
+//! audited allow.
+
+use greednet_runtime::{det_max, det_mean, det_sum, parallel_map_indexed, ParallelSweep};
+
+pub fn sequential(xs: &[f64]) -> f64 {
+    let doubled: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+    doubled.iter().sum::<f64>()
+}
+
+pub fn routed(threads: usize, xs: &[f64]) -> f64 {
+    let merged = parallel_map_indexed(threads, xs.len(), |i| xs[i]);
+    det_sum(merged.iter().copied())
+}
+
+pub fn routed_stats(threads: usize, inputs: &[f64]) -> (f64, f64) {
+    let sweep = ParallelSweep::new(threads);
+    let runs = sweep.map(inputs, |_, x| *x);
+    (det_mean(runs.iter().copied()), det_max(runs.iter().copied()))
+}
+
+pub fn counted(threads: usize, xs: &[f64]) -> usize {
+    let merged = parallel_map_indexed(threads, xs.len(), |i| xs[i]);
+    merged.len()
+}
+
+pub fn audited(threads: usize, xs: &[f64]) -> f64 {
+    let merged = parallel_map_indexed(threads, xs.len(), |i| xs[i]);
+    // greednet-lint: allow(GN12, reason = "diagnostic print only; the value never feeds a result table")
+    merged.iter().sum::<f64>()
+}

@@ -1,0 +1,33 @@
+//! GN10 bad fixture: hot fns reaching allocation.
+
+pub struct Ring {
+    buf: Vec<u64>,
+}
+
+impl Ring {
+    // gn:hot
+    pub fn tick(&mut self) -> u64 {
+        self.advance()
+    }
+
+    fn advance(&mut self) -> u64 {
+        let snapshot = self.buf.clone();
+        snapshot.len() as u64
+    }
+
+    // gn:hot
+    pub fn fmt_state(&self) -> u64 {
+        let s = format!("{}", self.buf.len());
+        s.len() as u64
+    }
+
+    // gn:hot(amortized)
+    pub fn rebuild(&mut self) {
+        self.buf = (0..8).collect();
+    }
+
+    // gn:hot
+    pub fn append(&mut self, x: u64) {
+        self.buf.push(x);
+    }
+}

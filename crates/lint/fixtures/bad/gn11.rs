@@ -1,0 +1,38 @@
+//! GN11 bad fixture: RNG splits not consumed on all paths.
+
+use crate::rng::ExpStream;
+
+pub fn skewed(master: &mut ExpStream, fast: bool) -> f64 {
+    let child = master.split(1);
+    if fast {
+        return child.sample();
+    }
+    0.0
+}
+
+pub fn dangling(master: &mut ExpStream) -> f64 {
+    let orphan = master.split(2);
+    master.sample()
+}
+
+pub fn anonymous(master: &mut ExpStream) {
+    let _ = master.split(3);
+}
+
+pub fn bare(master: &mut ExpStream) {
+    master.split(4);
+}
+
+pub fn one_armed(master: &mut ExpStream, mode: u8) -> f64 {
+    let pick = master.split(5);
+    match mode {
+        0 => pick.sample(),
+        _ => master.sample(),
+    }
+}
+
+pub fn closure_only(master: &mut ExpStream) -> impl FnMut() -> f64 {
+    let captured = master.split(6);
+    let sample = move || captured.sample();
+    sample
+}

@@ -1,0 +1,26 @@
+//! GN12 bad fixture: raw float reductions over parallel-merged results.
+
+use greednet_runtime::{parallel_map_indexed, ParallelSweep, Replications};
+
+pub fn raw_sum(xs: &[f64], threads: usize) -> f64 {
+    let merged = parallel_map_indexed(threads, xs.len(), |i| xs[i] * 2.0);
+    merged.iter().sum::<f64>()
+}
+
+pub fn pool_fold(threads: usize, inputs: &[f64]) -> f64 {
+    let sweep = ParallelSweep::new(threads);
+    let runs = sweep.map(inputs, |_, x| *x);
+    runs.iter().fold(0.0, |a, b| a.max(*b))
+}
+
+pub fn rebound_product(threads: usize, inputs: &[f64]) -> f64 {
+    let reps = Replications::new(threads, 8);
+    let outcomes = reps.run(inputs, |_, x| *x);
+    let again = outcomes;
+    again.iter().product::<f64>()
+}
+
+pub fn chained_mean(threads: usize, inputs: &[f64]) -> f64 {
+    let merged = parallel_map_indexed(threads, inputs.len(), |i| inputs[i]);
+    merged.iter().map(|r| r.abs()).sum::<f64>() / merged.len() as f64
+}

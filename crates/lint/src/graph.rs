@@ -150,29 +150,12 @@ fn build_graph(files: &[SourceFile]) -> Vec<Node> {
     }
     for id in 0..nodes.len() {
         let sf = &files[nodes[id].file];
-        // The crates a name in this file may resolve into: its own, plus
-        // every first-party crate the file imports.
-        let mut scope: Vec<&str> = vec![sf.ctx.crate_name.as_str()];
-        for u in &sf.parsed.uses {
-            let imported = u
-                .root
-                .strip_prefix("greednet_")
-                .or(if u.root == "greednet" {
-                    Some("greednet")
-                } else {
-                    None
-                });
-            if let Some(c) = imported {
-                if !scope.contains(&c) {
-                    scope.push(c);
-                }
-            }
-        }
+        let scope = import_scope(sf);
         let item = &sf.parsed.fns[nodes[id].item];
         let mut edges = Vec::new();
         for call in find_calls(&sf.lexed.tokens, item.body) {
             let (name, index) = match &call {
-                Call::Free(n) | Call::Path(n) => (n.as_str(), &by_name),
+                Call::Free(n) | Call::Path { name: n, .. } => (n.as_str(), &by_name),
                 Call::Method(n) => (n.as_str(), &methods),
             };
             for &krate in &scope {
@@ -188,6 +171,28 @@ fn build_graph(files: &[SourceFile]) -> Vec<Node> {
         nodes[id].edges = edges;
     }
     nodes
+}
+
+/// The crates a name in a file may resolve into: the file's own crate,
+/// plus every first-party crate the file imports.
+pub(crate) fn import_scope(sf: &SourceFile) -> Vec<&str> {
+    let mut scope: Vec<&str> = vec![sf.ctx.crate_name.as_str()];
+    for u in &sf.parsed.uses {
+        let imported = u
+            .root
+            .strip_prefix("greednet_")
+            .or(if u.root == "greednet" {
+                Some("greednet")
+            } else {
+                None
+            });
+        if let Some(c) = imported {
+            if !scope.contains(&c) {
+                scope.push(c);
+            }
+        }
+    }
+    scope
 }
 
 /// First panicking construct in the token range, skipping test regions
@@ -230,11 +235,17 @@ fn gn03_allowed(lexed: &LexedFile, line: u32) -> bool {
 }
 
 /// A callable mention inside a fn body.
-enum Call {
+pub(crate) enum Call {
     /// Bare `name(` call.
     Free(String),
-    /// Last segment of a `path::name(` call.
-    Path(String),
+    /// Last segment of a `path::name(` call, with the segment before it
+    /// (when syntactically adjacent): `u64` for `u64::from(b)`. GN06
+    /// binds by name alone; GN10 uses the qualifier to skip primitive
+    /// conversions that can never resolve to workspace code.
+    Path {
+        name: String,
+        qualifier: Option<String>,
+    },
     /// `.name(` method call.
     Method(String),
 }
@@ -246,7 +257,7 @@ const NOT_CALLS: &[&str] = &[
 ];
 
 /// Collects call candidates in the token range.
-fn find_calls(tokens: &[Token], body: (usize, usize)) -> Vec<Call> {
+pub(crate) fn find_calls(tokens: &[Token], body: (usize, usize)) -> Vec<Call> {
     let mut out = Vec::new();
     for i in body.0..body.1 {
         let Some(name) = tokens[i].ident() else {
@@ -261,7 +272,15 @@ fn find_calls(tokens: &[Token], body: (usize, usize)) -> Vec<Call> {
                 out.push(Call::Method(name.to_string()));
             }
         } else if prev.is_some_and(|t| t.is_punct(':')) {
-            out.push(Call::Path(name.to_string()));
+            let qualifier = i
+                .checked_sub(3)
+                .filter(|&q| tokens[q + 1].is_punct(':'))
+                .and_then(|q| tokens[q].ident())
+                .map(str::to_string);
+            out.push(Call::Path {
+                name: name.to_string(),
+                qualifier,
+            });
         } else {
             out.push(Call::Free(name.to_string()));
         }

@@ -73,12 +73,38 @@ pub struct MalformedSuppression {
     pub detail: String,
 }
 
+/// How strict a `// gn:hot` hot-path marking is (GN10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotMode {
+    /// `// gn:hot` — no allocation construct of any kind may be
+    /// reachable, not even amortized growth into a reused buffer.
+    Strict,
+    /// `// gn:hot(amortized)` — growth-capable calls (`push`, `insert`,
+    /// `extend`, ...) into reused buffers are permitted; unconditional
+    /// allocations (`Box::new`, `clone`, `collect`, `format!`, ...)
+    /// stay banned.
+    Amortized,
+}
+
+/// A `// gn:hot` / `// gn:hot(amortized)` hot-path annotation (GN10).
+/// It marks the next `fn` item (or, as a trailing comment, the fn on its
+/// own line) as a hot-path entry whose call-graph closure must be
+/// allocation-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotAnnotation {
+    pub mode: HotMode,
+    /// Line the annotation comment appears on.
+    pub line: u32,
+}
+
 /// The lexed view of one source file.
 #[derive(Debug, Default)]
 pub struct LexedFile {
     pub tokens: Vec<Token>,
     pub suppressions: Vec<Suppression>,
     pub malformed: Vec<MalformedSuppression>,
+    /// `// gn:hot` hot-path markings, in source order.
+    pub hot_annotations: Vec<HotAnnotation>,
     /// 1-based lines covered by a `#[cfg(test)]` item body.
     test_lines: Vec<(u32, u32)>,
 }
@@ -232,11 +258,13 @@ pub fn lex(src: &str) -> LexedFile {
     }
 
     let test_lines = find_cfg_test_regions(&tokens, line);
-    let (suppressions, malformed) = resolve_annotations(&comments, &tokens);
+    let (suppressions, mut malformed) = resolve_annotations(&comments, &tokens);
+    let hot_annotations = resolve_hot_annotations(&comments, &mut malformed);
     LexedFile {
         tokens,
         suppressions,
         malformed,
+        hot_annotations,
         test_lines,
     }
 }
@@ -519,6 +547,37 @@ fn resolve_annotations(
     (out, malformed)
 }
 
+/// Parses `// gn:hot` / `// gn:hot(amortized)` hot-path markings out of
+/// the comment stream. Anything that starts with `gn:hot` but does not
+/// match the two-form grammar is reported as malformed — a typo such as
+/// `gn:hot(amortised)` must not silently un-mark a hot path.
+fn resolve_hot_annotations(
+    comments: &[RawComment],
+    malformed: &mut Vec<MalformedSuppression>,
+) -> Vec<HotAnnotation> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(rest) = c.body.trim_start().strip_prefix("gn:hot") else {
+            continue;
+        };
+        match rest.trim_end() {
+            "" => out.push(HotAnnotation {
+                mode: HotMode::Strict,
+                line: c.line,
+            }),
+            "(amortized)" => out.push(HotAnnotation {
+                mode: HotMode::Amortized,
+                line: c.line,
+            }),
+            other => malformed.push(MalformedSuppression {
+                line: c.line,
+                detail: format!("expected `gn:hot` or `gn:hot(amortized)`, found `gn:hot{other}`"),
+            }),
+        }
+    }
+    out
+}
+
 /// First line strictly after `line` that carries a token.
 fn next_code_line(tokens: &[Token], line: u32) -> Option<u32> {
     tokens.iter().map(|t| t.line).find(|&l| l > line)
@@ -646,6 +705,41 @@ let c = 'H';
         let lexed = lex("// greednet-lint: allow(GN02, reason = \"\")\nlet x = 1;\n");
         assert!(lexed.suppressions.is_empty());
         assert_eq!(lexed.malformed.len(), 1);
+    }
+
+    #[test]
+    fn hot_annotations_parse_both_modes() {
+        let src = "// gn:hot\nfn pop() {}\n// gn:hot(amortized)\nfn push() {}\n";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.hot_annotations,
+            vec![
+                HotAnnotation {
+                    mode: HotMode::Strict,
+                    line: 1
+                },
+                HotAnnotation {
+                    mode: HotMode::Amortized,
+                    line: 3
+                },
+            ]
+        );
+        assert!(lexed.malformed.is_empty());
+    }
+
+    #[test]
+    fn malformed_hot_annotation_is_reported_not_ignored() {
+        let lexed = lex("// gn:hot(amortised)\nfn pop() {}\n");
+        assert!(lexed.hot_annotations.is_empty());
+        assert_eq!(lexed.malformed.len(), 1);
+        assert!(lexed.malformed[0].detail.contains("gn:hot"));
+    }
+
+    #[test]
+    fn prose_mentioning_gn_hot_mid_comment_is_not_an_annotation() {
+        let lexed = lex("// the gn:hot marking is documented in LINTS.md\nfn f() {}\n");
+        assert!(lexed.hot_annotations.is_empty());
+        assert!(lexed.malformed.is_empty());
     }
 
     #[test]

@@ -33,7 +33,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod expr;
 pub mod graph;
+pub mod hot;
 pub mod lexer;
 pub mod parse;
 pub mod report;

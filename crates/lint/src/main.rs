@@ -2,23 +2,43 @@
 //! exit nonzero on unsuppressed findings.
 //!
 //! ```text
-//! greednet-lint [--root PATH] [--json] [--list-rules]
+//! greednet-lint [--root PATH] [--format human|json|sarif] [--list-rules]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+//! `--json` is a legacy alias for `--format json`. Exit codes: 0 clean,
+//! 1 findings, 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!(
+                        "error: --format requires one of human|json|sarif, got {}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -38,8 +58,8 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("greednet-lint [--root PATH] [--json] [--list-rules]");
-                println!("Enforces the greednet workspace invariants GN01-GN09; see LINTS.md.");
+                println!("greednet-lint [--root PATH] [--format human|json|sarif] [--list-rules]");
+                println!("Enforces the greednet workspace invariants GN01-GN12; see LINTS.md.");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -69,10 +89,10 @@ fn main() -> ExitCode {
     };
     match greednet_lint::analyze(&root) {
         Ok(analysis) => {
-            if json {
-                print!("{}", analysis.json());
-            } else {
-                print!("{}", analysis.human());
+            match format {
+                Format::Human => print!("{}", analysis.human()),
+                Format::Json => print!("{}", analysis.json()),
+                Format::Sarif => print!("{}", analysis.sarif()),
             }
             if analysis.clean() {
                 ExitCode::SUCCESS

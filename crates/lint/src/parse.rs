@@ -34,6 +34,10 @@ pub struct FnItem {
     pub in_trait_impl: bool,
     /// Defined inside any `impl` block (trait or inherent).
     pub in_impl: bool,
+    /// The self-type name of the enclosing `impl` block, if any
+    /// (`EventCalendar` for `impl<T> EventQueue<T> for EventCalendar<T>`);
+    /// lets table-driven rules address methods as `Type::name`.
+    pub impl_type: Option<String>,
     /// Lies inside a `#[cfg(test)]` region.
     pub in_test: bool,
     /// Token index range `[start, end)` of the body (inside the braces);
@@ -91,15 +95,20 @@ pub fn parse(lexed: &LexedFile) -> ParsedFile {
     ParsedFile { fns, uses }
 }
 
-/// An `impl` block's body token range plus whether it is a trait impl.
+/// An `impl` block's body token range, whether it is a trait impl, and
+/// the self-type name from its header.
 struct ImplBlock {
     body: (usize, usize),
     is_trait: bool,
+    type_name: Option<String>,
 }
 
-/// Finds every `impl ... {` block and whether a `for` appears in its
-/// header (trait impl) — `for` cannot otherwise occur between `impl` and
-/// the body brace (no loops in type position).
+/// Finds every `impl ... {` block, whether a `for` appears in its header
+/// (trait impl) — `for` cannot otherwise occur between `impl` and the
+/// body brace (no loops in type position) — and the self-type name: the
+/// last identifier at angle-depth 0 before the body brace (after the
+/// `for` in a trait impl), so `impl<T> EventQueue<T> for EventCalendar<T>`
+/// resolves to `EventCalendar` and `impl Foo<T> { .. }` to `Foo`.
 fn find_impl_blocks(tokens: &[Token]) -> Vec<ImplBlock> {
     let mut out = Vec::new();
     let mut i = 0usize;
@@ -107,23 +116,43 @@ fn find_impl_blocks(tokens: &[Token]) -> Vec<ImplBlock> {
         if tokens[i].ident() == Some("impl") {
             let mut is_trait = false;
             let mut j = i + 1;
+            let mut type_name: Option<String> = None;
             // Scan the header to the body brace, skipping nested
-            // parens/brackets (e.g. `impl Trait for (A, B)`).
+            // parens/brackets (e.g. `impl Trait for (A, B)`) and generic
+            // argument lists (so `T` in `Foo<T>` never wins).
             let mut depth = 0i64;
+            let mut angle = 0i64;
+            let mut in_where = false;
             while j < tokens.len() {
                 let t = &tokens[j];
                 if t.is_punct('(') || t.is_punct('[') {
                     depth += 1;
                 } else if t.is_punct(')') || t.is_punct(']') {
                     depth -= 1;
+                } else if depth == 0 && t.is_punct('<') {
+                    angle += 1;
+                } else if depth == 0 && t.is_punct('>') {
+                    angle -= 1;
                 } else if depth == 0 && t.ident() == Some("for") {
                     is_trait = true;
+                    // The self type follows the `for`; restart capture.
+                    type_name = None;
                 } else if depth == 0 && t.is_punct('{') {
                     break;
                 } else if depth == 0 && t.is_punct(';') {
                     // `impl Trait for Type;` (never valid Rust, but stay
                     // total on malformed input).
                     break;
+                } else if depth == 0 && angle == 0 {
+                    if t.ident() == Some("where") {
+                        in_where = true;
+                    } else if !in_where {
+                        if let Some(id) = t.ident() {
+                            if id != "dyn" {
+                                type_name = Some(id.to_string());
+                            }
+                        }
+                    }
                 }
                 j += 1;
             }
@@ -132,6 +161,7 @@ fn find_impl_blocks(tokens: &[Token]) -> Vec<ImplBlock> {
                 out.push(ImplBlock {
                     body: (j + 1, close),
                     is_trait,
+                    type_name,
                 });
                 // Continue *inside* the impl so its fns are still seen by
                 // the main scan; nothing to skip here.
@@ -213,6 +243,13 @@ fn parse_fn(lexed: &LexedFile, impls: &[ImplBlock], at: usize) -> Option<FnItem>
     let in_trait_impl = impls
         .iter()
         .any(|b| b.is_trait && b.body.0 <= at && at < b.body.1);
+    // The innermost enclosing impl wins (nested impls inside fn bodies
+    // shadow the outer block for the fns they contain).
+    let impl_type = impls
+        .iter()
+        .filter(|b| b.body.0 <= at && at < b.body.1)
+        .min_by_key(|b| b.body.1 - b.body.0)
+        .and_then(|b| b.type_name.clone());
     Some(FnItem {
         line: tokens[at].line,
         in_test: lexed.in_test_code(tokens[at].line),
@@ -220,6 +257,7 @@ fn parse_fn(lexed: &LexedFile, impls: &[ImplBlock], at: usize) -> Option<FnItem>
         is_pub,
         in_trait_impl,
         in_impl,
+        impl_type,
         body,
     })
 }
@@ -281,8 +319,21 @@ mod tests {
         let p = parse_src(src);
         let inherent = p.fns.iter().find(|f| f.name == "inherent").unwrap();
         assert!(inherent.in_impl && !inherent.in_trait_impl);
+        assert_eq!(inherent.impl_type.as_deref(), Some("S"));
         let clone = p.fns.iter().find(|f| f.name == "clone").unwrap();
         assert!(clone.in_impl && clone.in_trait_impl);
+        assert_eq!(clone.impl_type.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn impl_type_resolves_through_generics_paths_and_where_clauses() {
+        let src = "impl<T: Ord> EventQueue<T> for EventCalendar<T> where T: Clone {\n    fn pop(&mut self) {}\n}\nimpl Calendar<u64> {\n    fn peek(&self) {}\n}\nimpl std::fmt::Display for Slot {\n    fn fmt(&self) {}\n}\nfn free() {}\n";
+        let p = parse_src(src);
+        let get = |n: &str| p.fns.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(get("pop").impl_type.as_deref(), Some("EventCalendar"));
+        assert_eq!(get("peek").impl_type.as_deref(), Some("Calendar"));
+        assert_eq!(get("fmt").impl_type.as_deref(), Some("Slot"));
+        assert_eq!(get("free").impl_type, None);
     }
 
     #[test]

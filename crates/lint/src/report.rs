@@ -1,6 +1,7 @@
-//! Rendering of analysis results: a human-readable table and a `--json`
-//! machine report (hand-rolled serialization — the analyzer is
-//! dependency-free by construction).
+//! Rendering of analysis results: a human-readable table, a `--json`
+//! machine report, and a SARIF 2.1.0 log for code-scanning upload
+//! (hand-rolled serialization — the analyzer is dependency-free by
+//! construction).
 
 use crate::rules::Finding;
 use std::fmt::Write as _;
@@ -117,6 +118,69 @@ impl Analysis {
         out.push_str("}\n");
         out
     }
+
+    /// The `--format sarif` report: a minimal SARIF 2.1.0 log.
+    ///
+    /// Live findings become `error`-level results; allow-annotated
+    /// findings are carried too, marked with an `inSource` suppression
+    /// whose justification is the annotation's reason, so the scanning UI
+    /// shows the audit trail rather than hiding it. The driver's rule
+    /// table is the full [`crate::rules::RULES`] list, fired or not.
+    pub fn sarif(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+        out.push_str("  \"version\": \"2.1.0\",\n");
+        out.push_str("  \"runs\": [\n    {\n");
+        out.push_str("      \"tool\": {\n        \"driver\": {\n");
+        out.push_str("          \"name\": \"greednet-lint\",\n");
+        out.push_str("          \"rules\": [\n");
+        let rules: Vec<String> = crate::rules::RULES
+            .iter()
+            .map(|(id, summary)| {
+                format!(
+                    "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+                    json_str(id),
+                    json_str(summary)
+                )
+            })
+            .collect();
+        out.push_str(&rules.join(",\n"));
+        out.push_str("\n          ]\n        }\n      },\n");
+        out.push_str("      \"results\": [");
+        let mut first = true;
+        for f in &self.findings {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n        {");
+            let _ = write!(out, "\"ruleId\": {}, ", json_str(f.rule));
+            out.push_str("\"level\": \"error\", ");
+            let _ = write!(out, "\"message\": {{\"text\": {}}}, ", json_str(&f.message));
+            let _ = write!(
+                out,
+                "\"locations\": [{{\"physicalLocation\": {{\
+                 \"artifactLocation\": {{\"uri\": {}}}, \
+                 \"region\": {{\"startLine\": {}}}}}}}]",
+                json_str(&f.file),
+                // SARIF regions are 1-based; synthetic anchors (the
+                // HOT_PATHS table rows report at line 0) clamp to 1.
+                f.line.max(1)
+            );
+            if let Some(reason) = &f.suppressed {
+                let _ = write!(
+                    out,
+                    ", \"suppressions\": [{{\"kind\": \"inSource\", \
+                     \"justification\": {}}}]",
+                    json_str(reason)
+                );
+            }
+            out.push('}');
+        }
+        out.push_str(if first { "]\n" } else { "\n      ]\n" });
+        out.push_str("    }\n  ]\n}\n");
+        out
+    }
 }
 
 fn digits(mut n: u32) -> usize {
@@ -201,6 +265,43 @@ mod tests {
         let j = a.json();
         assert!(j.contains("\"line\": 42"));
         assert!(j.contains("msg \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn sarif_lists_rules_results_and_suppressions() {
+        let a = Analysis {
+            root: "/w".into(),
+            files_scanned: 2,
+            findings: vec![
+                finding("GN01", "crates/des/src/x.rs", 42, None),
+                finding(
+                    "GN09",
+                    "crates/numerics/src/conv.rs",
+                    75,
+                    Some("clamped first"),
+                ),
+            ],
+        };
+        let s = a.sarif();
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        for (id, _) in crate::rules::RULES {
+            assert!(s.contains(&format!("\"id\": \"{id}\"")), "missing {id}");
+        }
+        assert!(s.contains("\"ruleId\": \"GN01\""));
+        assert!(s.contains("\"startLine\": 42"));
+        assert!(s.contains("\"justification\": \"clamped first\""));
+        // Exactly one result carries a suppression block.
+        assert_eq!(s.matches("\"suppressions\"").count(), 1);
+    }
+
+    #[test]
+    fn sarif_clamps_synthetic_line_zero_anchors() {
+        let a = Analysis {
+            root: "/w".into(),
+            files_scanned: 0,
+            findings: vec![finding("GN10", "crates/lint/src/hot.rs", 0, None)],
+        };
+        assert!(a.sarif().contains("\"startLine\": 1"));
     }
 
     #[test]

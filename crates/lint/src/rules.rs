@@ -1,4 +1,4 @@
-//! The greednet invariant rules, GN01–GN09.
+//! The greednet invariant rules, GN01–GN12.
 //!
 //! Each rule guards a guarantee the paper-reproduction pipeline depends
 //! on (see `LINTS.md` at the workspace root for the full rationale):
@@ -14,6 +14,9 @@
 //! | GN07 | float comparators must use `total_cmp`, not `partial_cmp` |
 //! | GN08 | no swallowed `Result`s (`.ok();` / `let _ =` a fallible call) |
 //! | GN09 | no lossy `as` integer casts in deterministic crates |
+//! | GN10 | `gn:hot` fns never reach allocation ([`crate::hot`]) |
+//! | GN11 | RNG splits consumed on all paths ([`crate::expr`]) |
+//! | GN12 | merged-collection float reductions via `reduce` ([`crate::expr`]) |
 //!
 //! Rules apply to *library* code: integration tests, benches, binaries,
 //! and inline `#[cfg(test)]` modules are exempt (they own their I/O,
@@ -123,6 +126,18 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "GN09",
         "no lossy `as` integer casts in deterministic crates",
+    ),
+    (
+        "GN10",
+        "gn:hot fns must not reach allocation (call-graph closure)",
+    ),
+    (
+        "GN11",
+        "RNG splits must be consumed on all control-flow paths",
+    ),
+    (
+        "GN12",
+        "float reductions over parallel-merged collections must use greednet_runtime::reduce",
     ),
 ];
 

@@ -1,7 +1,8 @@
 //! Workspace discovery and the file walk: finds every first-party `.rs`
 //! file, classifies its role (lib / test / bench / bin), and runs the
 //! rules over it in two passes — the per-file rules first, then the
-//! whole-workspace call-graph rule GN06 over the full file set.
+//! whole-workspace rules (call-graph GN06/GN10, expression-dataflow
+//! GN11/GN12) over the full file set.
 //!
 //! First-party means the facade package at the workspace root plus every
 //! crate under `crates/`. `vendor/` (offline dependency stand-ins),
@@ -11,6 +12,7 @@
 use crate::graph::{self, SourceFile};
 use crate::report::Analysis;
 use crate::rules::{self, FileContext, FileKind};
+use crate::{expr, hot};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -74,6 +76,9 @@ pub fn analyze(root: &Path) -> Result<Analysis, String> {
     }
     // Pass 2: the call-graph rule needs the whole workspace at once.
     findings.extend(graph::gn06(&sources));
+    findings.extend(hot::gn10(&sources));
+    findings.extend(expr::gn11(&sources));
+    findings.extend(expr::gn12(&sources));
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(Analysis {

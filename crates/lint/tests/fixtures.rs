@@ -3,7 +3,9 @@
 //! that must not. A rule that stops firing on its bad fixture (or starts
 //! firing on its allowed one) is a regression in the analyzer itself.
 
-use greednet_lint::{check_file, graph, lexer, FileContext, FileKind, Finding, SourceFile};
+use greednet_lint::{
+    check_file, expr, graph, hot, lexer, FileContext, FileKind, Finding, SourceFile,
+};
 use std::path::Path;
 
 /// The per-rule fixture contexts: each bad snippet is checked *as if* it
@@ -19,6 +21,9 @@ fn context_for(rule: &str) -> FileContext {
         "GN07" => ("numerics", "crates/numerics/src/fixture.rs", false),
         "GN08" => ("telemetry", "crates/telemetry/src/fixture.rs", false),
         "GN09" => ("des", "crates/des/src/fixture.rs", false),
+        "GN10" => ("des", "crates/des/src/fixture.rs", false),
+        "GN11" => ("des", "crates/des/src/fixture.rs", false),
+        "GN12" => ("bench", "crates/bench/src/fixture.rs", false),
         other => panic!("no fixture context for {other}"),
     };
     FileContext {
@@ -36,12 +41,21 @@ fn check_fixture(kind: &str, rule: &str) -> Vec<Finding> {
         .join(format!("{}.rs", rule.to_lowercase()));
     let src = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
-    if rule == "GN06" {
-        // The call-graph rule runs over a file *set*, not check_file; the
+    match rule {
+        // The dataflow rules run over a file *set*, not check_file; the
         // fixture is a one-file workspace.
-        graph::gn06(&[SourceFile::new(context_for(rule), &src)])
-    } else {
-        check_file(&context_for(rule), &lexer::lex(&src))
+        "GN06" => graph::gn06(&[SourceFile::new(context_for(rule), &src)]),
+        // GN10 also reports HOT_PATHS table rows that match nothing in
+        // the analyzed set (anchored at line 0 in the analyzer source);
+        // for a synthetic one-file workspace only the code findings are
+        // the fixture's subject.
+        "GN10" => hot::gn10(&[SourceFile::new(context_for(rule), &src)])
+            .into_iter()
+            .filter(|f| f.line != 0)
+            .collect(),
+        "GN11" => expr::gn11(&[SourceFile::new(context_for(rule), &src)]),
+        "GN12" => expr::gn12(&[SourceFile::new(context_for(rule), &src)]),
+        _ => check_file(&context_for(rule), &lexer::lex(&src)),
     }
 }
 
@@ -77,6 +91,9 @@ fn bad_fixtures_fire_their_rule() {
         ("GN07", 4),
         ("GN08", 3),
         ("GN09", 6),
+        ("GN10", 4),
+        ("GN11", 5),
+        ("GN12", 4),
     ];
     for (rule, min_count) in expected_min {
         let findings = check_fixture("bad", rule);
@@ -119,6 +136,26 @@ fn bad_fixture_spans_point_at_the_offending_lines() {
     let gn09 = check_fixture("bad", "GN09");
     let lines: Vec<u32> = live(&gn09, "GN09").iter().map(|f| f.line).collect();
     assert_eq!(lines, vec![4, 5, 6, 7, 10, 10], "lossy cast spans");
+
+    let gn10 = check_fixture("bad", "GN10");
+    let lines: Vec<u32> = live(&gn10, "GN10").iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![9, 19, 25, 30], "GN10 anchors at the hot fns");
+
+    let gn11 = check_fixture("bad", "GN11");
+    let lines: Vec<u32> = live(&gn11, "GN11").iter().map(|f| f.line).collect();
+    assert_eq!(
+        lines,
+        vec![6, 14, 19, 23, 27, 35],
+        "GN11 anchors at the split call sites"
+    );
+
+    let gn12 = check_fixture("bad", "GN12");
+    let lines: Vec<u32> = live(&gn12, "GN12").iter().map(|f| f.line).collect();
+    assert_eq!(
+        lines,
+        vec![7, 13, 20, 25],
+        "GN12 anchors at the reduction call sites"
+    );
 }
 
 #[test]
@@ -147,6 +184,29 @@ fn gn06_diagnostic_prints_the_call_graph_path() {
 }
 
 #[test]
+fn gn10_diagnostic_prints_the_call_graph_path() {
+    // The hot-path message must show *how* the allocation is reached:
+    // the fn chain plus the allocating construct's file:line.
+    let gn10 = check_fixture("bad", "GN10");
+    let through_helper = live(&gn10, "GN10")
+        .into_iter()
+        .find(|f| f.line == 9)
+        .expect("hot fn `tick` flagged");
+    assert!(
+        through_helper.message.contains("tick → advance → .clone()"),
+        "path diagnostic missing: {}",
+        through_helper.message
+    );
+    assert!(
+        through_helper
+            .message
+            .contains("crates/des/src/fixture.rs:14"),
+        "alloc-site span missing: {}",
+        through_helper.message
+    );
+}
+
+#[test]
 fn allowed_fixtures_are_clean() {
     for (rule, _) in greednet_lint::rules::RULES {
         let findings = check_fixture("allowed", rule);
@@ -163,7 +223,7 @@ fn allowed_fixtures_record_suppression_reasons() {
     // The annotated fixtures must show up as *suppressed* findings (the
     // rule still matched — an allow is visible, not invisible).
     for rule in [
-        "GN01", "GN02", "GN03", "GN05", "GN06", "GN07", "GN08", "GN09",
+        "GN01", "GN02", "GN03", "GN05", "GN06", "GN07", "GN08", "GN09", "GN10", "GN11", "GN12",
     ] {
         let findings = check_fixture("allowed", rule);
         let suppressed: Vec<&Finding> = findings

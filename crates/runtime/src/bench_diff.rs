@@ -1,0 +1,298 @@
+//! Perf-regression gate over the checked-in `BENCH_*.json` baselines.
+//!
+//! `des-bench`, `serve-bench`, and `largen-bench` write small JSON
+//! reports whose *headline* metrics are throughput rates — numeric keys
+//! containing `_per_sec` (`events_per_sec`, `requests_per_sec`,
+//! `users_per_sec_per_sweep`). This module compares a freshly generated
+//! report against the checked-in baseline and reports every headline
+//! that regressed by more than a threshold (higher is better for every
+//! rate key, so a regression is `current < baseline * (1 - threshold)`).
+//!
+//! The `bench-diff` binary wraps [`diff`] with the CI contract: exit 1
+//! on any regression beyond the threshold (default 15%), unless the
+//! `GREEDNET_BENCH_DIFF_WARN_ONLY` environment variable is set — shared
+//! CI runners have noisy clocks, so hosted runs report instead of gate
+//! while local runs (and dedicated perf runners) fail hard.
+//!
+//! The JSON reader is a minimal hand-rolled recursive-descent parser
+//! (the workspace builds without crates.io access) that flattens numeric
+//! leaves to dotted paths: `{"total": {"events_per_sec": 7}}` becomes
+//! `("total.events_per_sec", 7.0)`. Only the shapes the bench writers
+//! emit are required — objects, arrays, numbers, strings, booleans,
+//! `null` — and anything unparseable is a hard error, never a silent
+//! "no regressions".
+
+/// One headline metric that fell below the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Dotted path of the metric (`total.events_per_sec`).
+    pub key: String,
+    /// Baseline value from the checked-in report.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+}
+
+impl Regression {
+    /// Fractional drop vs the baseline (`0.2` = 20% slower).
+    #[must_use]
+    pub fn drop_frac(&self) -> f64 {
+        1.0 - self.current / self.baseline
+    }
+}
+
+/// True for the headline (throughput) keys the gate watches.
+#[must_use]
+pub fn is_headline(key: &str) -> bool {
+    key.rsplit('.')
+        .next()
+        .is_some_and(|k| k.contains("_per_sec"))
+}
+
+/// Compares two bench reports; returns every headline metric present in
+/// both whose fresh value regressed by more than `threshold`
+/// (fractional, e.g. `0.15`). Headline keys missing from `current` are
+/// reported as full regressions — a renamed metric must move the
+/// baseline in the same change, not fall out of the gate.
+///
+/// # Errors
+///
+/// On malformed JSON in either report.
+pub fn diff(baseline: &str, current: &str, threshold: f64) -> Result<Vec<Regression>, String> {
+    let base = numeric_leaves(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = numeric_leaves(current).map_err(|e| format!("current: {e}"))?;
+    let mut out = Vec::new();
+    for (key, b) in &base {
+        if !is_headline(key) || *b <= 0.0 {
+            continue;
+        }
+        let c = cur.iter().find(|(k, _)| k == key).map_or(0.0, |&(_, v)| v);
+        if c < b * (1.0 - threshold) {
+            out.push(Regression {
+                key: key.clone(),
+                baseline: *b,
+                current: c,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Flattens every numeric leaf of a JSON document to `(dotted.path, value)`
+/// pairs in document order; array elements use their index as a segment.
+///
+/// # Errors
+///
+/// On malformed JSON or trailing garbage.
+pub fn numeric_leaves(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let bytes = json.as_bytes();
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    parse_value(bytes, &mut pos, "", &mut out)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(out)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn join(path: &str, seg: &str) -> String {
+    if path.is_empty() {
+        seg.to_string()
+    } else {
+        format!("{path}.{seg}")
+    }
+}
+
+fn parse_value(
+    b: &[u8],
+    pos: &mut usize,
+    path: &str,
+    out: &mut Vec<(String, f64)>,
+) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            loop {
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(());
+                }
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                parse_value(b, pos, &join(path, &key), out)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {}
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut idx = 0usize;
+            loop {
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(());
+                }
+                parse_value(b, pos, &join(path, &idx.to_string()), out)?;
+                idx += 1;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {}
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            parse_string(b, pos)?;
+            Ok(())
+        }
+        Some(b't') => expect_lit(b, pos, "true"),
+        Some(b'f') => expect_lit(b, pos, "false"),
+        Some(b'n') => expect_lit(b, pos, "null"),
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            let value: f64 = text
+                .parse()
+                .map_err(|_| format!("bad number `{text}` at byte {start}"))?;
+            out.push((path.to_string(), value));
+            Ok(())
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    skip_ws(b, pos);
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}"));
+    }
+    *pos += 1;
+    let start = *pos;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+                *pos += 1;
+                return Ok(s.to_string());
+            }
+            // The bench writers escape only backslash and quote; skip the
+            // escaped byte so a `\"` cannot terminate the string early.
+            b'\\' => *pos += 2,
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn expect_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+        "horizon": 200000,
+        "workloads": {
+            "fifo": {"events": 10, "events_per_sec": 1000},
+            "sfq": {"events": 10, "events_per_sec": 2000}
+        },
+        "total": {"events_per_sec": 3000},
+        "label": "x \"y\"",
+        "ok": true,
+        "missing": null
+    }"#;
+
+    #[test]
+    fn numeric_leaves_flatten_with_dotted_paths() {
+        let leaves = numeric_leaves(BASE).expect("parse");
+        assert!(leaves.contains(&("workloads.fifo.events_per_sec".into(), 1000.0)));
+        assert!(leaves.contains(&("total.events_per_sec".into(), 3000.0)));
+        assert!(leaves.contains(&("horizon".into(), 200_000.0)));
+    }
+
+    #[test]
+    fn arrays_index_and_garbage_errors() {
+        let leaves = numeric_leaves(r#"{"a": [1.5, 2.5]}"#).expect("parse");
+        assert_eq!(
+            leaves,
+            vec![("a.0".to_string(), 1.5), ("a.1".to_string(), 2.5)]
+        );
+        assert!(numeric_leaves("{\"a\": }").is_err());
+        assert!(numeric_leaves("{} extra").is_err());
+    }
+
+    #[test]
+    fn headline_keys_are_per_sec_rates() {
+        assert!(is_headline("total.events_per_sec"));
+        assert!(is_headline("disciplines.fs.users_per_sec_per_sweep"));
+        assert!(!is_headline("total.events"));
+        assert!(!is_headline("latency_ms.p99"));
+    }
+
+    #[test]
+    fn diff_flags_only_regressions_beyond_threshold() {
+        let current = r#"{
+            "workloads": {
+                "fifo": {"events_per_sec": 900},
+                "sfq": {"events_per_sec": 1500}
+            },
+            "total": {"events_per_sec": 2950}
+        }"#;
+        let regs = diff(BASE, current, 0.15).expect("diff");
+        // fifo dropped 10% (within threshold), total ~1.7%; sfq dropped 25%.
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].key, "workloads.sfq.events_per_sec");
+        assert!((regs[0].drop_frac() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_headline_in_current_is_a_full_regression() {
+        let regs = diff(BASE, "{}", 0.15).expect("diff");
+        assert_eq!(regs.len(), 3);
+        assert!(regs.iter().all(|r| r.current == 0.0));
+    }
+
+    #[test]
+    fn non_headline_keys_never_gate() {
+        // Events count halved but rates held: no regression.
+        let current = r#"{
+            "workloads": {
+                "fifo": {"events": 5, "events_per_sec": 1000},
+                "sfq": {"events": 5, "events_per_sec": 2000}
+            },
+            "total": {"events_per_sec": 3000}
+        }"#;
+        assert!(diff(BASE, current, 0.15).expect("diff").is_empty());
+    }
+}

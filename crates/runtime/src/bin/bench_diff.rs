@@ -1,0 +1,101 @@
+//! `bench-diff`: gate fresh bench reports against checked-in baselines.
+//!
+//! ```text
+//! bench-diff --baseline BENCH_des.json --current ci-artifacts/BENCH_des.json [--threshold 0.15]
+//! ```
+//!
+//! Compares every headline metric (numeric keys containing `_per_sec`)
+//! and exits 1 if any regressed beyond the threshold — unless the
+//! `GREEDNET_BENCH_DIFF_WARN_ONLY` environment variable is set (any
+//! non-empty value), in which case regressions are printed but the exit
+//! code stays 0: shared CI runners have noisy clocks, so hosted runs
+//! report while dedicated runners and local checks gate. Exit codes:
+//! 0 within threshold (or warn-only), 1 regression, 2 usage/parse error.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut threshold = 0.15f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = args.next(),
+            "--current" => current = args.next(),
+            "--threshold" => match args.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => threshold = t,
+                _ => {
+                    eprintln!("error: --threshold requires a fraction in [0, 1)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "bench-diff --baseline FILE --current FILE [--threshold 0.15]\n\
+                     Fails on >threshold regression of any *_per_sec metric; set\n\
+                     GREEDNET_BENCH_DIFF_WARN_ONLY to report without gating."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        eprintln!("error: --baseline and --current are required (try --help)");
+        return ExitCode::from(2);
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let regressions = match (read(&baseline), read(&current)) {
+        (Ok(b), Ok(c)) => match greednet_runtime::bench_diff::diff(&b, &c, threshold) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if regressions.is_empty() {
+        println!(
+            "bench-diff: {current} within {:.0}% of {baseline} on all headline metrics",
+            threshold * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
+    let warn_only =
+        std::env::var_os("GREEDNET_BENCH_DIFF_WARN_ONLY").is_some_and(|v| !v.is_empty());
+    for r in &regressions {
+        println!(
+            "bench-diff: {} regressed {:.1}% ({:.0} -> {:.0}) vs {baseline}",
+            r.key,
+            r.drop_frac() * 100.0,
+            r.baseline,
+            r.current
+        );
+    }
+    if warn_only {
+        println!(
+            "bench-diff: {} regression(s) beyond {:.0}% — reporting only (GREEDNET_BENCH_DIFF_WARN_ONLY set)",
+            regressions.len(),
+            threshold * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench-diff: {} regression(s) beyond {:.0}%",
+            regressions.len(),
+            threshold * 100.0
+        );
+        ExitCode::from(1)
+    }
+}

@@ -19,9 +19,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bench_diff;
 pub mod bench_json;
 pub mod experiment;
 pub mod pool;
+pub mod reduce;
 pub mod report;
 pub mod seed;
 pub mod sweep;
@@ -29,6 +31,7 @@ pub mod sweep;
 pub use bench_json::BenchJson;
 pub use experiment::{Budget, ExpCtx, Experiment, Registry};
 pub use pool::{available_threads, parallel_map_indexed, parallel_map_indexed_profiled};
+pub use reduce::{det_max, det_mean, det_sum};
 pub use report::{Cell, Format, RunReport, Table};
 pub use seed::{child_seed, SeedStream};
 pub use sweep::{ParallelSweep, Replications};

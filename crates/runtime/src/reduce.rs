@@ -1,0 +1,104 @@
+//! Blessed deterministic float reductions.
+//!
+//! Floating-point addition is not associative, so the value of a `.sum()`
+//! over a collection depends on the order the elements are folded. The
+//! pool merges task results back in *task-index order* (see [`crate::pool`]),
+//! which makes any left-to-right fold over a merged collection
+//! deterministic — but every call site that spells its own `.sum::<f64>()`
+//! re-derives that argument locally, and a later refactor (chunked merge,
+//! tree reduction, `rayon`-style split) would silently change results at
+//! every one of those sites at once.
+//!
+//! These helpers pin the contract in one audited place: each is an exact
+//! sequential left-to-right fold over the iterator as given. GN12 in
+//! `greednet-lint` flags raw `.sum()` / `.fold()` / `.product()` calls
+//! over parallel-merged collections and points here.
+//!
+//! Bitwise identity with the obvious spellings is test-pinned:
+//! `det_sum` ≡ `.sum::<f64>()` (std's `Sum<f64>` is the same
+//! left-to-right `+` fold), `det_max` ≡ `.fold(NEG_INFINITY, f64::max)`.
+
+/// Exact left-to-right sum: `fold(0.0, |a, x| a + x)`.
+///
+/// Bitwise-identical to `.sum::<f64>()` over the same iterator; exists
+/// so the reduction order is pinned here rather than re-derived at each
+/// call site.
+#[must_use]
+pub fn det_sum(xs: impl IntoIterator<Item = f64>) -> f64 {
+    xs.into_iter().fold(0.0, |acc, x| acc + x)
+}
+
+/// Left-to-right mean: [`det_sum`] divided by the element count.
+///
+/// Returns `0.0` for an empty iterator (the `sum / len.max(1)` guard
+/// idiom, rather than `NaN`).
+#[must_use]
+pub fn det_mean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut n = 0u64;
+    let sum = xs.into_iter().fold(0.0, |acc, x| {
+        n += 1;
+        acc + x
+    });
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Left-to-right max under [`f64::max`]: `fold(NEG_INFINITY, f64::max)`.
+///
+/// Returns `NEG_INFINITY` for an empty iterator. `f64::max` ignores NaN
+/// unless every element is NaN, matching the fold it replaces.
+#[must_use]
+pub fn det_max(xs: impl IntoIterator<Item = f64>) -> f64 {
+    xs.into_iter().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Values chosen so the sum is order-sensitive: summing `big` first
+    /// absorbs the small terms, summing small-first does not.
+    fn order_sensitive() -> Vec<f64> {
+        let mut v = vec![1e-16; 1000];
+        v.push(1.0);
+        v
+    }
+
+    #[test]
+    fn det_sum_is_bitwise_identical_to_sequential_sum() {
+        let xs = order_sensitive();
+        let std_sum: f64 = xs.iter().copied().sum();
+        assert_eq!(det_sum(xs.iter().copied()).to_bits(), std_sum.to_bits());
+    }
+
+    #[test]
+    fn det_sum_is_order_sensitive_hence_worth_pinning() {
+        let fwd = order_sensitive();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        // Same multiset, different order, different bits: this is the
+        // hazard GN12 exists to contain.
+        assert_ne!(det_sum(fwd).to_bits(), det_sum(rev).to_bits());
+    }
+
+    #[test]
+    fn det_mean_matches_sum_over_len_and_guards_empty() {
+        let xs = [3.5, -1.25, 0.75, 100.0];
+        let manual = xs.iter().copied().sum::<f64>() / xs.len() as f64;
+        assert_eq!(det_mean(xs).to_bits(), manual.to_bits());
+        assert_eq!(det_mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn det_max_matches_neg_infinity_fold() {
+        let xs = [0.25, -7.0, 3.0, 3.0_f64.next_down()];
+        let manual = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(det_max(xs).to_bits(), manual.to_bits());
+        assert_eq!(det_max(std::iter::empty()), f64::NEG_INFINITY);
+        // f64::max skips NaN when any non-NaN element exists.
+        assert_eq!(det_max([f64::NAN, 2.0]), 2.0);
+    }
+}

@@ -41,6 +41,7 @@ const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
 const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
 
 /// 64-bit FNV-1a over `bytes`.
+// gn:hot
 #[must_use]
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     let mut h = FNV64_OFFSET;
@@ -52,6 +53,7 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
 }
 
 /// 128-bit FNV-1a over `bytes`.
+// gn:hot
 #[must_use]
 pub fn fnv1a_128(bytes: &[u8]) -> u128 {
     let mut h = FNV128_OFFSET;
