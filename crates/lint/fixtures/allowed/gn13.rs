@@ -1,0 +1,21 @@
+//! GN13 allowed fixture: comparisons, plain reads, and an audited allow.
+
+use crate::units::{SimTime, Work};
+
+pub struct Packet {
+    pub arrival: SimTime,
+    pub size: Work,
+}
+
+pub fn earlier(a: &Packet, b: &Packet) -> bool {
+    a.arrival.get().total_cmp(&b.arrival.get()).is_lt()
+}
+
+pub fn snapshot(p: &Packet) -> (f64, f64) {
+    (p.arrival.get(), p.size.get())
+}
+
+pub fn audited(p: &Packet, now: f64) -> f64 {
+    // greednet-lint: allow(GN13, reason = "boundary conversion: the result feeds a report row, not the simulation")
+    now - p.arrival.get()
+}

@@ -1,0 +1,26 @@
+//! GN14 allowed fixture: every spec field keyed or exempt with a reason.
+
+pub struct SimSpec {
+    pub rates: Vec<f64>,
+    pub seed: u64,
+    pub threads: usize,
+}
+
+pub enum RequestKind {
+    Simulate(SimSpec),
+    Stats,
+}
+
+impl RequestKind {
+    pub fn canonical_json(&self) -> Option<String> {
+        match self {
+            RequestKind::Simulate(s) => Some(format!(
+                "{{\"rates\":{:?},\"seed\":{}}}",
+                s.rates,
+                s.seed,
+                // gn:canon-exempt(SimSpec.threads: pool width is bitwise-invariant, pinned by the determinism tests)
+            )),
+            RequestKind::Stats => None,
+        }
+    }
+}

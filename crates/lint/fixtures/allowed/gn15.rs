@@ -1,0 +1,30 @@
+//! GN15 allowed fixture: write-only probes, report snapshots, and an
+//! audited allow.
+
+use greednet_telemetry::Counter;
+
+pub struct CacheMeters {
+    pub hits: Counter,
+    pub misses: Counter,
+}
+
+pub struct Snapshot {
+    pub hit_total: u64,
+    pub miss_total: u64,
+}
+
+pub fn observe(m: &CacheMeters) {
+    m.hits.incr();
+}
+
+pub fn snapshot(m: &CacheMeters) -> Snapshot {
+    Snapshot {
+        hit_total: m.hits.count(),
+        miss_total: m.misses.count(),
+    }
+}
+
+pub fn audited(m: &CacheMeters) -> u64 {
+    // greednet-lint: allow(GN15, reason = "capacity headroom hint for the operator log; never feeds a cached result")
+    m.hits.count() + 1
+}

@@ -1,0 +1,30 @@
+//! GN13 bad fixture: raw-f64 arithmetic on unwrapped typed units.
+
+use crate::units::{Rate, SimTime, Work};
+
+pub struct Packet {
+    pub arrival: SimTime,
+    pub size: Work,
+}
+
+pub struct Shaper {
+    pub rate: Rate,
+}
+
+pub fn delay(pkt: &Packet, now: f64) -> f64 {
+    now - pkt.arrival.get()
+}
+
+pub fn drain(s: &Shaper, backlog: f64) -> f64 {
+    backlog / s.rate.0
+}
+
+pub fn rebound(pkt: &Packet) -> f64 {
+    let raw = pkt.size.get();
+    let again = raw;
+    again * 2.0
+}
+
+pub fn horizon_frac(h: SimTime) -> f64 {
+    h.get() * 0.1
+}

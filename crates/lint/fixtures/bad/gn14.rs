@@ -1,0 +1,23 @@
+//! GN14 bad fixture: spec fields missing from the canonical cache key,
+//! plus a stale exemption.
+
+pub struct SimSpec {
+    pub rates: Vec<f64>,
+    pub seed: u64,
+    pub threads: usize,
+}
+
+pub enum RequestKind {
+    Simulate(SimSpec),
+    Stats,
+}
+
+// gn:canon-exempt(SimSpec.rates: stale annotation, rates is keyed below)
+impl RequestKind {
+    pub fn canonical_json(&self) -> Option<String> {
+        match self {
+            RequestKind::Simulate(s) => Some(format!("{{\"rates\":{:?}}}", s.rates)),
+            RequestKind::Stats => None,
+        }
+    }
+}

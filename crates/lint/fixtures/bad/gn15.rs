@@ -1,0 +1,22 @@
+//! GN15 bad fixture: telemetry read-backs feeding deterministic code.
+
+use greednet_telemetry::{Counter, Log2Histogram};
+
+pub struct CacheMeters {
+    pub hits: Counter,
+    pub misses: Counter,
+}
+
+pub fn hit_ratio(m: &CacheMeters) -> f64 {
+    m.hits.count() as f64 / (m.hits.count() + m.misses.count()) as f64
+}
+
+pub fn tainted_chain(m: &CacheMeters) -> u64 {
+    let h = m.hits.count();
+    let again = h;
+    again * 2
+}
+
+pub fn quantile_window(lat: &Log2Histogram) -> f64 {
+    lat.quantile(0.99) * 2.0
+}

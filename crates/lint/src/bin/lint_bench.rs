@@ -1,0 +1,148 @@
+//! `lint-bench`: measure the analyzer's own throughput into
+//! `BENCH_lint.json` (shared `BenchJson` format, gated by `bench-diff`).
+//!
+//! ```text
+//! lint-bench [--root PATH] [--out BENCH_lint.json]
+//! ```
+//!
+//! For each thread count in {1, 4, 8} the workspace is analyzed once to
+//! warm the page cache and then timed best-of-3; the headline is
+//! `files_per_sec` per thread count. Before timing, the JSON and SARIF
+//! reports at every thread count are byte-compared against the
+//! single-thread reports — the deterministic in-task-order merge is a
+//! correctness contract, so a mismatch exits 2 instead of publishing a
+//! number for a broken analyzer.
+//!
+//! The report records `host_threads` (the cores actually available) so
+//! a baseline generated on a small host is self-describing:
+//! `speedup_8_over_1` is bounded by the host's core count, and on a
+//! one-core container it legitimately sits at ~1.0.
+
+#![forbid(unsafe_code)]
+
+use greednet_runtime::BenchJson;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const THREAD_COUNTS: &[usize] = &[1, 4, 8];
+
+fn main() -> ExitCode {
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => out = args.next(),
+            "--help" | "-h" => {
+                println!("lint-bench [--root PATH] [--out BENCH_lint.json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match greednet_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let analyze = |threads: usize| {
+        greednet_lint::analyze_with(
+            &root,
+            &greednet_lint::AnalyzeOptions {
+                threads,
+                changed: None,
+            },
+        )
+    };
+
+    // Determinism gate: reports must be byte-identical at every count.
+    let reference = match analyze(1) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (ref_json, ref_sarif) = (reference.json(), reference.sarif());
+    let mut identical = true;
+    for &threads in &THREAD_COUNTS[1..] {
+        match analyze(threads) {
+            Ok(a) => {
+                if a.json() != ref_json || a.sarif() != ref_sarif {
+                    eprintln!("error: reports at --threads {threads} differ from single-thread");
+                    identical = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !identical {
+        return ExitCode::from(2);
+    }
+
+    let files = reference.files_scanned as u64;
+    let mut report = BenchJson::new();
+    report.uint("files", files);
+    report.uint("findings", reference.findings.len() as u64);
+    report.uint("host_threads", greednet_runtime::available_threads() as u64);
+    let mut wall_ms_1 = f64::NAN;
+    let mut wall_ms_8 = f64::NAN;
+    for &threads in THREAD_COUNTS {
+        // Warmup already happened in the determinism gate; best-of-3.
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            if let Err(e) = analyze(threads) {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let wall_ms = best * 1e3;
+        if threads == 1 {
+            wall_ms_1 = wall_ms;
+        }
+        if threads == 8 {
+            wall_ms_8 = wall_ms;
+        }
+        let mut per = BenchJson::new();
+        per.fixed("wall_ms", wall_ms, 2);
+        per.fixed("files_per_sec", files as f64 / best, 1);
+        report.obj(format!("threads_{threads}"), per);
+    }
+    report.fixed("speedup_8_over_1", wall_ms_1 / wall_ms_8, 2);
+    report.bool("reports_identical", true);
+    if let Err(e) = report.emit(out.as_deref()) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

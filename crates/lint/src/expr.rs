@@ -464,7 +464,7 @@ fn statement_discards_value(tokens: &[Token], i: usize) -> bool {
 }
 
 /// Marks findings on lines carrying a matching allow annotation.
-fn suppression_for(lexed: &LexedFile, rule: &str, line: u32) -> Option<String> {
+pub(crate) fn suppression_for(lexed: &LexedFile, rule: &str, line: u32) -> Option<String> {
     lexed
         .suppressions
         .iter()

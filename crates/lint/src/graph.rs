@@ -30,6 +30,8 @@ pub struct SourceFile {
     pub ctx: FileContext,
     pub lexed: LexedFile,
     pub parsed: ParsedFile,
+    /// `struct`/`enum` items for the type-aware rules (GN13–GN15).
+    pub types: crate::types::TypeItems,
 }
 
 impl SourceFile {
@@ -38,7 +40,13 @@ impl SourceFile {
     pub fn new(ctx: FileContext, src: &str) -> SourceFile {
         let lexed = crate::lexer::lex(src);
         let parsed = crate::parse::parse(&lexed);
-        SourceFile { ctx, lexed, parsed }
+        let types = crate::types::parse_types(&lexed);
+        SourceFile {
+            ctx,
+            lexed,
+            parsed,
+            types,
+        }
     }
 }
 

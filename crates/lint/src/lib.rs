@@ -12,9 +12,17 @@
 //! ([`lexer`]) instead of using `syn`. Most rules ([`rules`]) only need
 //! comment/string-stripped tokens with line numbers, which the lexer
 //! guarantees; on top of the token stream an item parser ([`parse`])
-//! recovers each file's `fn` items and `use` declarations, and a
+//! recovers each file's `fn` items and `use` declarations, a
 //! deliberately over-approximate intra-workspace call graph ([`graph`])
-//! drives the panic-reachability rule GN06.
+//! drives the panic-reachability rule GN06, and a type layer ([`types`])
+//! recovers `struct`/`enum` shapes for the type-aware rules
+//! ([`typerules`]): unit-escape (GN13), cache-key completeness (GN14),
+//! and probe isolation (GN15).
+//!
+//! The per-file pass is sharded across the deterministic pool
+//! (`greednet_runtime::parallel_map_indexed`) with an in-task-order
+//! merge, so reports are byte-identical at any `--threads` count; the
+//! `lint-bench` binary measures the speedup into `BENCH_lint.json`.
 //!
 //! Rules are individually suppressible at a site with
 //!
@@ -40,9 +48,11 @@ pub mod lexer;
 pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod typerules;
+pub mod types;
 pub mod workspace;
 
 pub use graph::SourceFile;
 pub use report::Analysis;
 pub use rules::{check_file, FileContext, FileKind, Finding};
-pub use workspace::{analyze, find_root};
+pub use workspace::{analyze, analyze_with, find_root, AnalyzeOptions};

@@ -74,10 +74,7 @@ impl Analysis {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"root\": {},", json_str(&self.root));
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
-        let rule_ids: Vec<String> = crate::rules::RULES
-            .iter()
-            .map(|(id, _)| json_str(id))
-            .collect();
+        let rule_ids: Vec<String> = crate::rules::RULES.iter().map(|r| json_str(r.id)).collect();
         let _ = writeln!(out, "  \"rules\": [{}],", rule_ids.join(", "));
         let _ = writeln!(out, "  \"clean\": {},", self.clean());
         out.push_str("  \"findings\": [");
@@ -125,7 +122,9 @@ impl Analysis {
     /// findings are carried too, marked with an `inSource` suppression
     /// whose justification is the annotation's reason, so the scanning UI
     /// shows the audit trail rather than hiding it. The driver's rule
-    /// table is the full [`crate::rules::RULES`] list, fired or not.
+    /// table is [`crate::rules::DIAGNOSTICS`] plus the full
+    /// [`crate::rules::RULES`] list, fired or not, each with a
+    /// `fullDescription` and a `helpUri` anchored into LINTS.md.
     pub fn sarif(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
@@ -134,13 +133,17 @@ impl Analysis {
         out.push_str("      \"tool\": {\n        \"driver\": {\n");
         out.push_str("          \"name\": \"greednet-lint\",\n");
         out.push_str("          \"rules\": [\n");
-        let rules: Vec<String> = crate::rules::RULES
+        let rules: Vec<String> = crate::rules::DIAGNOSTICS
             .iter()
-            .map(|(id, summary)| {
+            .chain(crate::rules::RULES)
+            .map(|r| {
                 format!(
-                    "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
-                    json_str(id),
-                    json_str(summary)
+                    "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \
+                     \"fullDescription\": {{\"text\": {}}}, \"helpUri\": {}}}",
+                    json_str(r.id),
+                    json_str(r.summary),
+                    json_str(r.full),
+                    json_str(&format!("LINTS.md#{}", r.anchor))
                 )
             })
             .collect();
@@ -248,8 +251,12 @@ mod tests {
             findings: vec![],
         };
         let j = a.json();
-        for (id, _) in crate::rules::RULES {
-            assert!(j.contains(&format!("\"{id}\"")), "missing {id} in {j}");
+        for r in crate::rules::RULES {
+            assert!(
+                j.contains(&format!("\"{}\"", r.id)),
+                "missing {} in {j}",
+                r.id
+            );
         }
         assert!(j.contains("\"rules\": [\"GN01\""));
     }
@@ -284,14 +291,51 @@ mod tests {
         };
         let s = a.sarif();
         assert!(s.contains("\"version\": \"2.1.0\""));
-        for (id, _) in crate::rules::RULES {
-            assert!(s.contains(&format!("\"id\": \"{id}\"")), "missing {id}");
+        for r in crate::rules::DIAGNOSTICS.iter().chain(crate::rules::RULES) {
+            assert!(
+                s.contains(&format!("\"id\": \"{}\"", r.id)),
+                "missing {}",
+                r.id
+            );
         }
         assert!(s.contains("\"ruleId\": \"GN01\""));
         assert!(s.contains("\"startLine\": 42"));
         assert!(s.contains("\"justification\": \"clamped first\""));
         // Exactly one result carries a suppression block.
         assert_eq!(s.matches("\"suppressions\"").count(), 1);
+    }
+
+    #[test]
+    fn sarif_rule_object_golden() {
+        // Pins the exact serialized shape of one driver rule object —
+        // shortDescription, fullDescription, and the LINTS.md helpUri —
+        // so the SARIF metadata cannot silently drift.
+        let a = Analysis {
+            root: "/w".into(),
+            files_scanned: 0,
+            findings: vec![],
+        };
+        let s = a.sarif();
+        let gn13 = crate::rules::RULES
+            .iter()
+            .find(|r| r.id == "GN13")
+            .expect("GN13 registered");
+        let expected = format!(
+            "            {{\"id\": \"GN13\", \"shortDescription\": {{\"text\": \
+             \"no raw-f64 arithmetic on values unwrapped from typed units\"}}, \
+             \"fullDescription\": {{\"text\": {}}}, \"helpUri\": \
+             \"LINTS.md#gn13--no-raw-f64-arithmetic-on-values-unwrapped-from-typed-units\"}}",
+            json_str(gn13.full)
+        );
+        assert!(
+            s.contains(&expected),
+            "golden GN13 rule object missing in:\n{s}"
+        );
+        // Every rule carries a helpUri into LINTS.md.
+        assert_eq!(
+            s.matches("\"helpUri\": \"LINTS.md#").count(),
+            crate::rules::RULES.len() + crate::rules::DIAGNOSTICS.len()
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The greednet invariant rules, GN01–GN12.
+//! The greednet invariant rules, GN01–GN15.
 //!
 //! Each rule guards a guarantee the paper-reproduction pipeline depends
 //! on (see `LINTS.md` at the workspace root for the full rationale):
@@ -17,6 +17,9 @@
 //! | GN10 | `gn:hot` fns never reach allocation ([`crate::hot`]) |
 //! | GN11 | RNG splits consumed on all paths ([`crate::expr`]) |
 //! | GN12 | merged-collection float reductions via `reduce` ([`crate::expr`]) |
+//! | GN13 | no raw-f64 arithmetic on unwrapped typed units ([`crate::typerules`]) |
+//! | GN14 | every request field in the canonical cache key ([`crate::typerules`]) |
+//! | GN15 | telemetry probes write-only from deterministic code ([`crate::typerules`]) |
 //!
 //! Rules apply to *library* code: integration tests, benches, binaries,
 //! and inline `#[cfg(test)]` modules are exempt (they own their I/O,
@@ -104,50 +107,161 @@ pub const GN03_EXEMPT_CRATES: &[&str] = &["bench"];
 /// state may leak into them.
 pub const GN05_CRATES: &[&str] = &["bench", "runtime"];
 
-/// All rule ids, for `--list-rules` and fixture coverage checks.
-pub const RULES: &[(&str, &str)] = &[
-    ("GN01", "no HashMap/HashSet in deterministic crates"),
-    ("GN02", "no Instant::now/SystemTime outside pool/profile"),
-    ("GN03", "no unwrap/expect/panic!/todo! in library code"),
-    ("GN04", "crate roots must #![forbid(unsafe_code)]"),
-    (
-        "GN05",
-        "no wall-clock/thread::sleep in experiment code paths",
-    ),
-    (
-        "GN06",
-        "no panic reachable from a pub library fn (call-graph closure)",
-    ),
-    (
-        "GN07",
-        "float comparators must use total_cmp, not partial_cmp+unwrap",
-    ),
-    ("GN08", "no swallowed Results in library code"),
-    (
-        "GN09",
-        "no lossy `as` integer casts in deterministic crates",
-    ),
-    (
-        "GN10",
-        "gn:hot fns must not reach allocation (call-graph closure)",
-    ),
-    (
-        "GN11",
-        "RNG splits must be consumed on all control-flow paths",
-    ),
-    (
-        "GN12",
-        "float reductions over parallel-merged collections must use greednet_runtime::reduce",
-    ),
+/// Static metadata for one rule id: the one-line summary (human report,
+/// `--list-rules`, SARIF `shortDescription`), the paragraph-length
+/// `fullDescription`, and the LINTS.md heading anchor behind the SARIF
+/// `helpUri`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub full: &'static str,
+    /// GitHub-style slug of the rule's `### GN##` heading in LINTS.md.
+    pub anchor: &'static str,
+}
+
+/// All enforced rule ids, for `--list-rules`, the report emitters, and
+/// fixture coverage checks.
+pub const RULES: &[RuleMeta] = &[
+    RuleMeta {
+        id: "GN01",
+        summary: "no HashMap/HashSet in deterministic crates",
+        full: "Deterministic crates must not use std HashMap/HashSet: randomized \
+               hashing makes iteration order differ across runs, which leaks into \
+               event ordering and float accumulation. Use BTreeMap/BTreeSet or \
+               index-keyed vectors.",
+        anchor: "gn01--no-hashmaphashset-in-deterministic-crates",
+    },
+    RuleMeta {
+        id: "GN02",
+        summary: "no Instant::now/SystemTime outside pool/profile",
+        full: "Wall-clock reads outside the designated profiling files make \
+               results depend on host timing. Only the pool's profiling \
+               side-channel and the telemetry profiler may touch the clock.",
+        anchor: "gn02--no-instantnowsystemtime-outside-designated-profiling",
+    },
+    RuleMeta {
+        id: "GN03",
+        summary: "no unwrap/expect/panic!/todo! in library code",
+        full: "Library code must return Result instead of panicking; a panic in a \
+               service or solver aborts a whole batch. Proven invariants may be \
+               annotated with an allow carrying the proof.",
+        anchor: "gn03--no-unwrapexpectpanictodounimplemented-in-library-code",
+    },
+    RuleMeta {
+        id: "GN04",
+        summary: "crate roots must #![forbid(unsafe_code)]",
+        full: "Every first-party crate root carries #![forbid(unsafe_code)] so \
+               the determinism audit never has to reason about UB.",
+        anchor: "gn04--every-crate-root-must-carry-forbidunsafe_code",
+    },
+    RuleMeta {
+        id: "GN05",
+        summary: "no wall-clock/thread::sleep in experiment code paths",
+        full: "Experiment code paths must be resumable and merge \
+               deterministically, so no wall-clock state or sleeps may leak into \
+               them.",
+        anchor: "gn05--no-wall-clock-state-in-experiment-code-paths",
+    },
+    RuleMeta {
+        id: "GN06",
+        summary: "no panic reachable from a pub library fn (call-graph closure)",
+        full: "A pub library fn must not reach unwrap/expect/panic!-family \
+               constructs through the intra-workspace call graph, including via \
+               private helpers; make the chain return Result or annotate the \
+               proven invariant at the panic site.",
+        anchor: "gn06--no-panic-reachable-from-a-pub-library-fn",
+    },
+    RuleMeta {
+        id: "GN07",
+        summary: "float comparators must use total_cmp, not partial_cmp+unwrap",
+        full: "partial_cmp-based comparators panic or silently reorder on NaN; \
+               sorting and min/max over floats must go through f64::total_cmp so \
+               ordering is total and deterministic.",
+        anchor: "gn07--float-comparators-must-use-total_cmp",
+    },
+    RuleMeta {
+        id: "GN08",
+        summary: "no swallowed Results in library code",
+        full: "Discarding a fallible call's Result (.ok(); or let _ =) hides \
+               failures that should propagate; handle or return the error.",
+        anchor: "gn08--no-swallowed-results-in-library-code",
+    },
+    RuleMeta {
+        id: "GN09",
+        summary: "no lossy `as` integer casts in deterministic crates",
+        full: "Lossy `as` casts truncate silently and differ across widths; \
+               deterministic crates must use TryFrom or checked conversions, with \
+               audited allows for proven-in-range casts.",
+        anchor: "gn09--no-lossy-as-integer-casts-in-deterministic-crates",
+    },
+    RuleMeta {
+        id: "GN10",
+        summary: "gn:hot fns must not reach allocation (call-graph closure)",
+        full: "A fn marked // gn:hot must not reach any allocation construct \
+               through the call graph; gn:hot(amortized) permits growth into \
+               reused buffers but still bans unconditional allocations.",
+        anchor: "gn10--gnhot-fns-must-not-reach-allocation",
+    },
+    RuleMeta {
+        id: "GN11",
+        summary: "RNG splits must be consumed on all control-flow paths",
+        full: "A split RNG stream left unconsumed on some control-flow path \
+               shifts every later stream assignment and silently decorrelates \
+               replications; consume the split on every path or bind it with the \
+               _split_unused prefix.",
+        anchor: "gn11--rng-splits-must-be-consumed-on-all-control-flow-paths",
+    },
+    RuleMeta {
+        id: "GN12",
+        summary:
+            "float reductions over parallel-merged collections must use greednet_runtime::reduce",
+        full: "Naive left-fold float reductions over collections produced by \
+               parallel merges depend on merge order; use the fixed-shape \
+               pairwise greednet_runtime::reduce so the sum is identical at any \
+               thread count.",
+        anchor: "gn12--float-reductions-over-parallel-merged-collections",
+    },
+    RuleMeta {
+        id: "GN13",
+        summary: "no raw-f64 arithmetic on values unwrapped from typed units",
+        full: "In des/largen library code outside units.rs, a value unwrapped \
+               from SimTime/Rate/Work via .get() or .0 must not feed arithmetic \
+               (directly or through let rebindings): compute in the typed unit \
+               and unwrap at the boundary, or add the audited file to the \
+               UNIT_ESCAPE_ALLOW table.",
+        anchor: "gn13--no-raw-f64-arithmetic-on-values-unwrapped-from-typed-units",
+    },
+    RuleMeta {
+        id: "GN14",
+        summary: "every request field participates in the canonical cache key",
+        full: "Every named field of a serve request spec struct must appear in \
+               canonical_json() or carry a gn:canon-exempt(Struct.field: reason) \
+               annotation; a forgotten field silently poisons the result cache \
+               because requests that differ in it collide on one key.",
+        anchor: "gn14--every-request-field-participates-in-the-canonical-cache-key",
+    },
+    RuleMeta {
+        id: "GN15",
+        summary: "telemetry probes are write-only from deterministic code",
+        full: "Deterministic library code may write telemetry probes but must \
+               not compute on values read back from them (directly or through \
+               let rebindings): observation must never steer results.",
+        anchor: "gn15--telemetry-probes-are-write-only-from-deterministic-code",
+    },
 ];
 
 /// Diagnostic ids the analyzer emits that are not suppressible rules;
 /// `--list-rules` prints these too so LINTS.md can document every id the
 /// `--json` report may contain.
-pub const DIAGNOSTICS: &[(&str, &str)] = &[(
-    "GN00",
-    "malformed greednet-lint annotation (diagnostic, not suppressible)",
-)];
+pub const DIAGNOSTICS: &[RuleMeta] = &[RuleMeta {
+    id: "GN00",
+    summary: "malformed greednet-lint annotation (diagnostic, not suppressible)",
+    full: "An annotation that starts like greednet-lint:/gn:hot/gn:canon-exempt \
+           but does not match the grammar is reported instead of ignored, so a \
+           typo cannot silently disable a rule.",
+    anchor: "gn00--malformed-annotation-diagnostic",
+}];
 
 /// Runs every rule over one lexed file, applying suppressions.
 pub fn check_file(ctx: &FileContext, lexed: &LexedFile) -> Vec<Finding> {

@@ -1,0 +1,971 @@
+//! Type-aware rules built on [`crate::types`]: GN13 (unit-escape),
+//! GN14 (cache-key completeness), GN15 (probe isolation).
+//!
+//! All three are *workspace passes* like GN06/GN10–GN12: they run over
+//! the full [`SourceFile`] set because their context crosses files —
+//! GN13 needs every unit-typed field name in the workspace, GN14 needs
+//! the spec structs (`ops.rs`) while auditing `canonical_json()`
+//! (`request.rs`), and GN15 needs the telemetry-typed field inventory.
+//!
+//! GN13 carries a file-level allow table ([`UNIT_ESCAPE_ALLOW`]) for the
+//! handful of des hot paths that deliberately compute on unwrapped
+//! floats (the calendar/engine arithmetic audited in PR 7). Findings in
+//! a listed file are *dropped*, not suppressed — the per-site volume
+//! would blow the workspace suppression budget — and a listed file that
+//! produces no findings is itself a finding, so the table cannot go
+//! stale.
+
+use crate::expr::{chain_root, collect_lets, match_delim, suppression_for};
+use crate::graph::SourceFile;
+use crate::lexer::{Token, TokenKind};
+use crate::parse::FnItem;
+use crate::rules::{FileKind, Finding, DETERMINISTIC_CRATES};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose library code must keep values inside the typed units.
+pub const UNIT_CRATES: &[&str] = &["des", "largen"];
+
+/// The typed-unit newtypes from `crates/des/src/units.rs`.
+pub const UNIT_TYPES: &[&str] = &["SimTime", "Rate", "Work"];
+
+/// Files allowed to compute on unwrapped unit floats, with the audit
+/// reason. GN13 findings in these files are dropped wholesale; a row
+/// whose file yields no findings is reported as stale (at line 0 of this
+/// module, the table's home).
+pub const UNIT_ESCAPE_ALLOW: &[(&str, &str)] = &[
+    (
+        "crates/des/src/engine.rs",
+        "event-loop hot path: delay/backlog arithmetic on unwrapped floats, re-wrapped at the API boundary (PR 7 audit)",
+    ),
+    (
+        "crates/des/src/entities.rs",
+        "per-packet service-completion arithmetic; units re-enter via SimTime::checked on the calendar push",
+    ),
+    (
+        "crates/des/src/qdisc.rs",
+        "backlog accounting sums Work floats inside the discipline inner loop",
+    ),
+    (
+        "crates/des/src/sim.rs",
+        "warmup window is a fraction of the horizon; single audited site",
+    ),
+];
+
+/// Telemetry probe types from `greednet-telemetry` (re-exported by
+/// `greednet-runtime`): values read back from these must never feed
+/// deterministic computation (GN15).
+pub const TELEMETRY_TYPES: &[&str] = &[
+    "Counter",
+    "Gauge",
+    "Log2Histogram",
+    "TraceBuffer",
+    "MetricsProbe",
+    "SimMetrics",
+];
+
+/// Reader methods on the telemetry probe types. A call only counts when
+/// the receiver resolves to a telemetry-typed field/binding, so `get` on
+/// a slice or `len` on a `Vec` never match.
+const TELEMETRY_GETTERS: &[&str] = &[
+    "get",
+    "count",
+    "zero_count",
+    "min",
+    "max",
+    "quantile",
+    "nonzero_buckets",
+    "is_empty",
+    "len",
+    "observed",
+    "evicted",
+    "records",
+    "to_jsonl",
+    "metrics",
+    "into_metrics",
+    "users",
+];
+
+/// True if the token directly before `start` makes the expression an
+/// arithmetic operand (`a - x.get()`, `-x.get()`, `acc += x.get()`).
+fn arith_before(tokens: &[Token], start: usize) -> bool {
+    let Some(p) = start.checked_sub(1) else {
+        return false;
+    };
+    match tokens[p].kind {
+        // A `-` directly before a chain root is always a real minus: in
+        // `->` it is the `>` that would sit adjacent.
+        TokenKind::Punct('+' | '-' | '*' | '%') => true,
+        TokenKind::Punct('/') => true,
+        // Compound assignment: `acc += x.get()` puts `=` adjacent.
+        TokenKind::Punct('=') => p
+            .checked_sub(1)
+            .is_some_and(|q| matches!(tokens[q].kind, TokenKind::Punct('+' | '-' | '*' | '/'))),
+        _ => false,
+    }
+}
+
+/// True if the token directly after `end` makes the expression an
+/// arithmetic operand (`x.get() * 0.1`), with `->` excluded.
+fn arith_after(tokens: &[Token], end: usize) -> bool {
+    match tokens.get(end + 1).map(|t| &t.kind) {
+        Some(TokenKind::Punct('+' | '*' | '%')) => true,
+        Some(TokenKind::Punct('/')) => true,
+        Some(TokenKind::Punct('-')) => !tokens.get(end + 2).is_some_and(|t| t.is_punct('>')),
+        _ => false,
+    }
+}
+
+/// Field names declared anywhere in the workspace with a type that
+/// mentions one of `type_names`, mapped to the matched type.
+fn typed_fields(files: &[SourceFile], type_names: &[&str]) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for sf in files {
+        for s in &sf.types.structs {
+            for f in &s.fields {
+                if let Some(t) = f.ty.iter().find(|t| type_names.contains(&t.as_str())) {
+                    out.insert(f.name.clone(), t.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parameter names of `item` whose declared type mentions one of
+/// `type_names`, mapped to the matched type. Locates the signature by
+/// the `fn` keyword on the item's line (the parser does not store it).
+fn typed_params(tokens: &[Token], item: &FnItem, type_names: &[&str]) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let Some(k) = tokens.iter().enumerate().position(|(k, t)| {
+        t.line == item.line
+            && t.ident() == Some("fn")
+            && tokens.get(k + 1).and_then(Token::ident) == Some(item.name.as_str())
+    }) else {
+        return out;
+    };
+    let mut j = k + 2;
+    if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+        // Skip the generic parameter list (the `>` of `->` cannot appear
+        // before the param parens).
+        let mut depth = 0i64;
+        while j < tokens.len() {
+            if tokens[j].is_punct('<') {
+                depth += 1;
+            } else if tokens[j].is_punct('>') && !tokens[j - 1].is_punct('-') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+        return out;
+    }
+    let close = match_delim(tokens, j, '(', ')');
+    // Split params at depth-0 commas; each is `pat: Type`.
+    let mut seg_start = j + 1;
+    let mut depth = 0i64;
+    let mut i = j + 1;
+    while i <= close {
+        let at_end = i == close;
+        let t = &tokens[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') || t.is_punct('<') {
+            depth += 1;
+        } else if (t.is_punct(')') && !at_end)
+            || t.is_punct(']')
+            || t.is_punct('}')
+            || (t.is_punct('>') && !tokens[i - 1].is_punct('-'))
+        {
+            depth -= 1;
+        }
+        if at_end || (depth == 0 && t.is_punct(',')) {
+            let seg = &tokens[seg_start..i];
+            if let Some(colon) = seg.iter().position(|t| t.is_punct(':')) {
+                let name = seg[..colon]
+                    .iter()
+                    .filter_map(Token::ident)
+                    .find(|s| !matches!(*s, "mut" | "ref"));
+                let ty = seg[colon + 1..]
+                    .iter()
+                    .filter_map(Token::ident)
+                    .find(|t| type_names.contains(t));
+                if let (Some(name), Some(ty)) = (name, ty) {
+                    out.insert(name.to_string(), ty.to_string());
+                }
+            }
+            seg_start = i + 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// GN13 — no raw-f64 arithmetic on values unwrapped from typed units.
+///
+/// In `des`/`largen` library code outside `units.rs`, a value unwrapped
+/// via `.get()` / `.0` from a `SimTime`/`Rate`/`Work` field, parameter,
+/// or binding must not be an arithmetic operand — compute in the typed
+/// unit and unwrap at the boundary. Dataflow follows `let` rebindings:
+/// a binding initialized from an unwrap is flagged where the arithmetic
+/// happens, with the unwrap line in the message.
+pub fn gn13(files: &[SourceFile]) -> Vec<Finding> {
+    let unit_fields = typed_fields(files, UNIT_TYPES);
+    let in_set: BTreeSet<&str> = files.iter().map(|sf| sf.ctx.rel_path.as_str()).collect();
+    let mut table_used: Vec<bool> = vec![false; UNIT_ESCAPE_ALLOW.len()];
+    let mut findings = Vec::new();
+    for sf in files {
+        if sf.ctx.kind != FileKind::Lib
+            || !UNIT_CRATES.contains(&sf.ctx.crate_name.as_str())
+            || sf.ctx.rel_path.ends_with("units.rs")
+        {
+            continue;
+        }
+        let allow_row = UNIT_ESCAPE_ALLOW
+            .iter()
+            .position(|(f, _)| *f == sf.ctx.rel_path);
+        let mut file_findings = Vec::new();
+        for item in &sf.parsed.fns {
+            if item.in_test {
+                continue;
+            }
+            check_fn_unit_escape(sf, item, &unit_fields, &mut file_findings);
+        }
+        if let Some(row) = allow_row {
+            if !file_findings.is_empty() {
+                table_used[row] = true;
+            }
+            // Findings in an allow-table file are dropped wholesale; the
+            // audit reason lives on the table row.
+            continue;
+        }
+        findings.extend(file_findings);
+    }
+    for (row, (file, _)) in UNIT_ESCAPE_ALLOW.iter().enumerate() {
+        if in_set.contains(file) && !table_used[row] {
+            findings.push(Finding {
+                rule: "GN13",
+                file: "crates/lint/src/typerules.rs".into(),
+                line: 0,
+                message: format!(
+                    "UNIT_ESCAPE_ALLOW entry `{file}` produced no unit-escape findings; \
+                     remove the stale row"
+                ),
+                suppressed: None,
+            });
+        }
+    }
+    findings
+}
+
+/// Scans one fn for unit escapes feeding arithmetic.
+fn check_fn_unit_escape(
+    sf: &SourceFile,
+    item: &FnItem,
+    unit_fields: &BTreeMap<String, String>,
+    findings: &mut Vec<Finding>,
+) {
+    let tokens = &sf.lexed.tokens;
+    // Names known to hold a *wrapped* unit value in this fn: unit-typed
+    // params plus lets whose initializer mentions a unit constructor.
+    let mut unit_vals = typed_params(tokens, item, UNIT_TYPES);
+    let lets = collect_lets(tokens, item.body);
+    for lb in &lets {
+        let has_ctor = tokens[lb.init.0..lb.init.1]
+            .iter()
+            .filter_map(Token::ident)
+            .any(|id| UNIT_TYPES.contains(&id));
+        let unwraps = tokens[lb.init.0..lb.init.1]
+            .iter()
+            .any(|t| t.ident() == Some("get"));
+        if has_ctor && !unwraps {
+            for n in &lb.names {
+                let ty = tokens[lb.init.0..lb.init.1]
+                    .iter()
+                    .filter_map(Token::ident)
+                    .find(|id| UNIT_TYPES.contains(id))
+                    .unwrap_or("SimTime");
+                unit_vals.insert(n.clone(), ty.to_string());
+            }
+        }
+    }
+    // Raw bindings: name -> (unit type, how, unwrap line).
+    let mut raw: BTreeMap<String, (String, &'static str, u32)> = BTreeMap::new();
+    let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
+    let push = |findings: &mut Vec<Finding>,
+                seen: &mut BTreeSet<(u32, String)>,
+                line: u32,
+                message: String| {
+        if seen.insert((line, message.clone())) {
+            findings.push(Finding {
+                rule: "GN13",
+                file: sf.ctx.rel_path.clone(),
+                line,
+                message,
+                suppressed: suppression_for(&sf.lexed, "GN13", line),
+            });
+        }
+    };
+    for i in item.body.0..item.body.1 {
+        // Unwrap sites: `recv.get()` and `recv.0`.
+        let site = unwrap_site(tokens, i, unit_fields, &unit_vals);
+        if let Some((start, end, unit, how, recv)) = site {
+            if arith_before(tokens, start) || arith_after(tokens, end) {
+                let line = tokens[i].line;
+                push(
+                    findings,
+                    &mut seen,
+                    line,
+                    format!(
+                        "raw-f64 arithmetic on `{recv}` unwrapped from `{unit}` via `{how}`; \
+                         compute in the typed unit or add the file to UNIT_ESCAPE_ALLOW"
+                    ),
+                );
+            } else if let Some(lb) = lets.iter().find(|lb| lb.init.0 <= i && i < lb.init.1) {
+                for n in &lb.names {
+                    raw.insert(n.clone(), (unit.clone(), how, tokens[i].line));
+                }
+            }
+            continue;
+        }
+        // Rebinding propagation: `let b = a;` where `a` is raw.
+        if tokens[i].ident() == Some("let") {
+            if let Some(lb) = lets.iter().find(|lb| lb.let_idx == i) {
+                if let Some(origin) = tokens[lb.init.0]
+                    .ident()
+                    .and_then(|id| raw.get(id).cloned())
+                {
+                    for n in &lb.names {
+                        raw.entry(n.clone()).or_insert_with(|| origin.clone());
+                    }
+                }
+            }
+        }
+    }
+    // Flag arithmetic uses of raw bindings.
+    for i in item.body.0..item.body.1 {
+        let Some(name) = tokens[i].ident() else {
+            continue;
+        };
+        let Some((unit, how, origin)) = raw.get(name) else {
+            continue;
+        };
+        // Skip field accesses / paths named like the binding.
+        if i > 0 && (tokens[i - 1].is_punct('.') || tokens[i - 1].is_punct(':')) {
+            continue;
+        }
+        if arith_before(tokens, i) || arith_after(tokens, i) {
+            let line = tokens[i].line;
+            push(
+                findings,
+                &mut seen,
+                line,
+                format!(
+                    "raw-f64 arithmetic on `{name}`, unwrapped from `{unit}` via `{how}` \
+                     at line {origin}; compute in the typed unit or add the file to \
+                     UNIT_ESCAPE_ALLOW"
+                ),
+            );
+        }
+    }
+}
+
+/// If `i` is the unwrap token of `recv.get()` / `recv.0` on a unit-typed
+/// receiver, returns `(start, end, unit, how, recv)` where `start` is
+/// the chain root and `end` the last token of the unwrap expression.
+fn unwrap_site(
+    tokens: &[Token],
+    i: usize,
+    unit_fields: &BTreeMap<String, String>,
+    unit_vals: &BTreeMap<String, String>,
+) -> Option<(usize, usize, String, &'static str, String)> {
+    if i < 2 || !tokens[i - 1].is_punct('.') {
+        return None;
+    }
+    let recv = tokens[i - 2].ident()?;
+    let unit = unit_fields.get(recv).or_else(|| unit_vals.get(recv))?;
+    let (end, how) = match &tokens[i].kind {
+        TokenKind::Ident(id) if id == "get" => {
+            if !(tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && tokens.get(i + 2).is_some_and(|t| t.is_punct(')')))
+            {
+                return None;
+            }
+            (i + 2, ".get()")
+        }
+        TokenKind::Number => (i, ".0"),
+        _ => return None,
+    };
+    let start = chain_root(tokens, i - 1).unwrap_or(i - 2);
+    Some((start, end, unit.clone(), how, recv.to_string()))
+}
+
+/// GN14 — every named field of a request spec struct participates in
+/// the canonical cache key.
+///
+/// For each non-test `canonical_json()` in library code, every arm of
+/// its `match` that serializes a spec struct (resolved through the
+/// enum-variant payload types in the same crate) must mention each named
+/// field of that struct, unless the field carries a
+/// `// gn:canon-exempt(Struct.field: reason)` annotation in the same
+/// crate. Arms whose body is the single identifier `None` are exempt
+/// (non-cacheable kinds). Stale exemptions are findings.
+pub fn gn14(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // (file idx, exempt idx) -> used.
+    let mut exempt_used: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+    for (fi, sf) in files.iter().enumerate() {
+        for (ei, _) in sf.lexed.canon_exempts.iter().enumerate() {
+            exempt_used.insert((fi, ei), false);
+        }
+    }
+    for sf in files {
+        if sf.ctx.kind != FileKind::Lib {
+            continue;
+        }
+        for item in &sf.parsed.fns {
+            if item.in_test || item.name != "canonical_json" {
+                continue;
+            }
+            check_canonical_json(files, sf, item, &mut exempt_used, &mut findings);
+        }
+    }
+    for (&(fi, ei), &used) in &exempt_used {
+        if used {
+            continue;
+        }
+        let sf = &files[fi];
+        let ex = &sf.lexed.canon_exempts[ei];
+        findings.push(Finding {
+            rule: "GN14",
+            file: sf.ctx.rel_path.clone(),
+            line: ex.line,
+            message: format!(
+                "stale gn:canon-exempt({}.{}): the field is keyed, renamed, or \
+                 unknown; remove the annotation",
+                ex.strukt, ex.field
+            ),
+            suppressed: None,
+        });
+    }
+    findings
+}
+
+/// Audits one `canonical_json` fn against the spec structs it matches.
+fn check_canonical_json(
+    files: &[SourceFile],
+    sf: &SourceFile,
+    item: &FnItem,
+    exempt_used: &mut BTreeMap<(usize, usize), bool>,
+    findings: &mut Vec<Finding>,
+) {
+    let tokens = &sf.lexed.tokens;
+    let crate_name = sf.ctx.crate_name.as_str();
+    let mut i = item.body.0;
+    while i < item.body.1 {
+        if tokens[i].ident() != Some("match") {
+            i += 1;
+            continue;
+        }
+        // Scrutinee runs to the `{` at delimiter depth 0.
+        let mut open = i + 1;
+        let mut depth = 0i64;
+        while open < item.body.1 {
+            let t = &tokens[open];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct('{') {
+                break;
+            }
+            open += 1;
+        }
+        if open >= item.body.1 {
+            break;
+        }
+        let close = match_delim(tokens, open, '{', '}');
+        for (pat, body) in match_arms(tokens, open, close) {
+            check_arm(files, sf, crate_name, pat, body, exempt_used, findings);
+        }
+        i = close + 1;
+    }
+}
+
+/// Splits a match body `tokens(open..close)` into `(pattern, body)`
+/// spans at depth-0 `=>` / `,` boundaries. A braced arm body runs to its
+/// matching `}`.
+fn match_arms(
+    tokens: &[Token],
+    open: usize,
+    close: usize,
+) -> Vec<((usize, usize), (usize, usize))> {
+    let mut arms = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        let pat_start = i;
+        // Pattern runs to `=>` at depth 0.
+        let mut depth = 0i64;
+        let mut arrow = None;
+        while i < close {
+            let t = &tokens[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0
+                && t.is_punct('=')
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('>'))
+            {
+                arrow = Some(i);
+                break;
+            }
+            i += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let body_start = arrow + 2;
+        let body_end;
+        if tokens.get(body_start).is_some_and(|t| t.is_punct('{')) {
+            let b = match_delim(tokens, body_start, '{', '}');
+            body_end = (b + 1).min(close);
+            i = body_end;
+        } else {
+            let mut j = body_start;
+            let mut d = 0i64;
+            while j < close {
+                let t = &tokens[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    d += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    d -= 1;
+                } else if d == 0 && t.is_punct(',') {
+                    break;
+                }
+                j += 1;
+            }
+            body_end = j;
+            i = j;
+        }
+        arms.push(((pat_start, arrow), (body_start, body_end)));
+        // Skip the separating comma.
+        if tokens.get(i).is_some_and(|t| t.is_punct(',')) {
+            i += 1;
+        }
+    }
+    arms
+}
+
+/// Audits one match arm: resolve `Enum::Variant` patterns to payload
+/// spec structs and require every named field in the body.
+fn check_arm(
+    files: &[SourceFile],
+    sf: &SourceFile,
+    crate_name: &str,
+    pat: (usize, usize),
+    body: (usize, usize),
+    exempt_used: &mut BTreeMap<(usize, usize), bool>,
+    findings: &mut Vec<Finding>,
+) {
+    let tokens = &sf.lexed.tokens;
+    // An arm returning the bare identifier `None` marks a non-cacheable
+    // kind: nothing to audit.
+    let body_idents: BTreeSet<&str> = tokens[body.0..body.1]
+        .iter()
+        .filter_map(Token::ident)
+        .collect();
+    if body.1 - body.0 == 1 && body_idents.contains("None") {
+        return;
+    }
+    // Resolve `Enum::Variant` pairs in the pattern.
+    let mut specs: Vec<&crate::types::StructItem> = Vec::new();
+    for k in pat.0..pat.1 {
+        if !(tokens[k].is_punct(':') && k > 0 && tokens[k - 1].is_punct(':')) {
+            continue;
+        }
+        let (Some(enum_name), Some(variant)) = (
+            k.checked_sub(2).and_then(|p| tokens[p].ident()),
+            tokens.get(k + 1).and_then(Token::ident),
+        ) else {
+            continue;
+        };
+        for other in files.iter().filter(|o| o.ctx.crate_name == crate_name) {
+            let Some(e) = other.types.enumeration(enum_name) else {
+                continue;
+            };
+            let Some(v) = e.variants.iter().find(|v| v.name == variant) else {
+                continue;
+            };
+            for ty in &v.payload {
+                for holder in files.iter().filter(|o| o.ctx.crate_name == crate_name) {
+                    if let Some(s) = holder.types.strukt(ty) {
+                        if !s.fields.is_empty() {
+                            specs.push(s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for s in specs {
+        // The struct's declaring file carries the findings (field decl
+        // lines) and its allow annotations.
+        let holder = files
+            .iter()
+            .find(|o| {
+                o.ctx.crate_name == crate_name
+                    && o.types.strukt(&s.name).is_some_and(|x| x.line == s.line)
+            })
+            .unwrap_or(sf);
+        for f in &s.fields {
+            if body_idents.contains(f.name.as_str()) {
+                continue;
+            }
+            if let Some(reason) = consume_exempt(files, crate_name, &s.name, &f.name, exempt_used) {
+                findings.push(Finding {
+                    rule: "GN14",
+                    file: holder.ctx.rel_path.clone(),
+                    line: f.line,
+                    message: format!(
+                        "field `{}.{}` is exempt from the canonical cache key",
+                        s.name, f.name
+                    ),
+                    suppressed: Some(reason),
+                });
+                continue;
+            }
+            findings.push(Finding {
+                rule: "GN14",
+                file: holder.ctx.rel_path.clone(),
+                line: f.line,
+                message: format!(
+                    "field `{}.{}` is absent from canonical_json(): a request that \
+                     varies it would collide in the result cache; key it or annotate \
+                     `// gn:canon-exempt({}.{}: reason)`",
+                    s.name, f.name, s.name, f.name
+                ),
+                suppressed: suppression_for(&holder.lexed, "GN14", f.line),
+            });
+        }
+    }
+}
+
+/// Finds and consumes a matching `gn:canon-exempt` in the crate.
+fn consume_exempt(
+    files: &[SourceFile],
+    crate_name: &str,
+    strukt: &str,
+    field: &str,
+    exempt_used: &mut BTreeMap<(usize, usize), bool>,
+) -> Option<String> {
+    for (fi, sf) in files.iter().enumerate() {
+        if sf.ctx.crate_name != crate_name {
+            continue;
+        }
+        for (ei, ex) in sf.lexed.canon_exempts.iter().enumerate() {
+            if ex.strukt == strukt && ex.field == field {
+                exempt_used.insert((fi, ei), true);
+                return Some(ex.reason.clone());
+            }
+        }
+    }
+    None
+}
+
+/// GN15 — telemetry probes are write-only from deterministic code.
+///
+/// In [`DETERMINISTIC_CRATES`] library code, a value read back from a
+/// telemetry probe (a [`TELEMETRY_TYPES`] field, parameter, or binding)
+/// must not feed arithmetic — directly or through `let` rebindings.
+/// Snapshotting reads into a report struct (serve's `CacheStats`) is
+/// fine; branching replay decisions or rate computations on probe state
+/// would make results depend on observation.
+pub fn gn15(files: &[SourceFile]) -> Vec<Finding> {
+    let telem_fields = typed_fields(files, TELEMETRY_TYPES);
+    let mut findings = Vec::new();
+    for sf in files {
+        if sf.ctx.kind != FileKind::Lib
+            || !DETERMINISTIC_CRATES.contains(&sf.ctx.crate_name.as_str())
+        {
+            continue;
+        }
+        for item in &sf.parsed.fns {
+            if item.in_test {
+                continue;
+            }
+            check_fn_probe_isolation(sf, item, &telem_fields, &mut findings);
+        }
+    }
+    findings
+}
+
+/// Scans one fn for telemetry read-backs feeding arithmetic.
+fn check_fn_probe_isolation(
+    sf: &SourceFile,
+    item: &FnItem,
+    telem_fields: &BTreeMap<String, String>,
+    findings: &mut Vec<Finding>,
+) {
+    let tokens = &sf.lexed.tokens;
+    let mut telem = typed_params(tokens, item, TELEMETRY_TYPES);
+    for (name, ty) in telem_fields {
+        telem.insert(name.clone(), ty.clone());
+    }
+    let lets = collect_lets(tokens, item.body);
+    // Tainted bindings: name -> (getter, read-back line).
+    let mut tainted: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
+    let push = |findings: &mut Vec<Finding>,
+                seen: &mut BTreeSet<(u32, String)>,
+                line: u32,
+                message: String| {
+        if seen.insert((line, message.clone())) {
+            findings.push(Finding {
+                rule: "GN15",
+                file: sf.ctx.rel_path.clone(),
+                line,
+                message,
+                suppressed: suppression_for(&sf.lexed, "GN15", line),
+            });
+        }
+    };
+    for i in item.body.0..item.body.1 {
+        // Getter call on a telemetry receiver: `probe.count()`.
+        if let Some((start, end, getter, recv)) = telemetry_read(tokens, i, &telem) {
+            if arith_before(tokens, start) || arith_after(tokens, end) {
+                push(
+                    findings,
+                    &mut seen,
+                    tokens[i].line,
+                    format!(
+                        "deterministic computation consumes telemetry read-back: \
+                         arithmetic on `{recv}.{getter}()`; probes are write-only \
+                         from deterministic code"
+                    ),
+                );
+            } else if let Some(lb) = lets.iter().find(|lb| lb.init.0 <= i && i < lb.init.1) {
+                for n in &lb.names {
+                    tainted.insert(n.clone(), (getter.clone(), tokens[i].line));
+                }
+            }
+            continue;
+        }
+        // Rebinding propagation.
+        if tokens[i].ident() == Some("let") {
+            if let Some(lb) = lets.iter().find(|lb| lb.let_idx == i) {
+                if let Some(origin) = tokens[lb.init.0]
+                    .ident()
+                    .and_then(|id| tainted.get(id).cloned())
+                {
+                    for n in &lb.names {
+                        tainted.entry(n.clone()).or_insert_with(|| origin.clone());
+                    }
+                }
+            }
+        }
+    }
+    for i in item.body.0..item.body.1 {
+        let Some(name) = tokens[i].ident() else {
+            continue;
+        };
+        let Some((getter, origin)) = tainted.get(name) else {
+            continue;
+        };
+        if i > 0 && (tokens[i - 1].is_punct('.') || tokens[i - 1].is_punct(':')) {
+            continue;
+        }
+        if arith_before(tokens, i) || arith_after(tokens, i) {
+            push(
+                findings,
+                &mut seen,
+                tokens[i].line,
+                format!(
+                    "deterministic arithmetic on telemetry read-back: `{name}` <- \
+                     `.{getter}()` (line {origin}); probes are write-only from \
+                     deterministic code"
+                ),
+            );
+        }
+    }
+}
+
+/// If `i` is the method name of `recv.getter(...)` on a telemetry
+/// receiver, returns `(start, end, getter, recv)`.
+fn telemetry_read(
+    tokens: &[Token],
+    i: usize,
+    telem: &BTreeMap<String, String>,
+) -> Option<(usize, usize, String, String)> {
+    if i < 2 || !tokens[i - 1].is_punct('.') {
+        return None;
+    }
+    let getter = tokens[i].ident()?;
+    if !TELEMETRY_GETTERS.contains(&getter) {
+        return None;
+    }
+    if !tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+        return None;
+    }
+    let recv = tokens[i - 2].ident()?;
+    if !telem.contains_key(recv) {
+        return None;
+    }
+    let end = match_delim(tokens, i + 1, '(', ')');
+    let start = chain_root(tokens, i - 1).unwrap_or(i - 2);
+    Some((start, end, getter.to_string(), recv.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileContext;
+
+    fn sf(crate_name: &str, rel_path: &str, src: &str) -> SourceFile {
+        SourceFile::new(
+            FileContext {
+                crate_name: crate_name.into(),
+                rel_path: rel_path.into(),
+                kind: FileKind::Lib,
+                is_crate_root: false,
+            },
+            src,
+        )
+    }
+
+    #[test]
+    fn gn13_flags_direct_arithmetic_on_get() {
+        let src = "pub struct P { pub arrival: SimTime }\n\
+                   pub fn f(p: &P, now: f64) -> f64 {\n\
+                   \x20   now - p.arrival.get()\n\
+                   }\n";
+        let files = vec![sf("des", "crates/des/src/x.rs", src)];
+        let f = gn13(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("SimTime"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn gn13_follows_let_rebindings() {
+        let src = "pub struct P { pub size: Work }\n\
+                   pub fn f(p: &P) -> f64 {\n\
+                   \x20   let raw = p.size.get();\n\
+                   \x20   let again = raw;\n\
+                   \x20   again * 2.0\n\
+                   }\n";
+        let files = vec![sf("des", "crates/des/src/x.rs", src)];
+        let f = gn13(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("line 3"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn gn13_comparisons_and_plain_reads_are_clean() {
+        let src = "pub struct P { pub arrival: SimTime }\n\
+                   pub fn f(a: &P, b: &P) -> bool {\n\
+                   \x20   let t = a.arrival.get();\n\
+                   \x20   t.total_cmp(&b.arrival.get()).is_lt()\n\
+                   }\n";
+        let files = vec![sf("des", "crates/des/src/x.rs", src)];
+        assert!(gn13(&files).is_empty());
+    }
+
+    #[test]
+    fn gn13_allow_table_drops_findings_and_stale_rows_fire() {
+        let src = "pub struct P { pub arrival: SimTime }\n\
+                   pub fn f(p: &P, now: f64) -> f64 { now - p.arrival.get() }\n";
+        let files = vec![sf("des", "crates/des/src/engine.rs", src)];
+        assert!(gn13(&files).is_empty(), "allow-table file is dropped");
+        let clean = vec![sf(
+            "des",
+            "crates/des/src/engine.rs",
+            "pub fn g() -> f64 { 1.0 }\n",
+        )];
+        let f = gn13(&clean);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 0);
+        assert!(f[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn gn14_missing_field_fires_at_its_declaration() {
+        let src = "pub struct Spec {\n\
+                   \x20   pub rates: Vec<f64>,\n\
+                   \x20   pub seed: u64,\n\
+                   }\n\
+                   pub enum Kind { Sim(Spec) }\n\
+                   pub fn canonical_json(k: &Kind) -> Option<String> {\n\
+                   \x20   match k {\n\
+                   \x20       Kind::Sim(s) => Some(format!(\"{:?}\", s.rates)),\n\
+                   \x20   }\n\
+                   }\n";
+        let files = vec![sf("serve", "crates/serve/src/x.rs", src)];
+        let f = gn14(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("Spec.seed"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn gn14_exempt_field_is_suppressed_and_stale_exempt_fires() {
+        let src = "pub struct Spec { pub rates: Vec<f64>, pub threads: usize }\n\
+                   pub enum Kind { Sim(Spec) }\n\
+                   // gn:canon-exempt(Spec.threads: pool width cannot change results)\n\
+                   // gn:canon-exempt(Spec.gone: field was removed)\n\
+                   pub fn canonical_json(k: &Kind) -> Option<String> {\n\
+                   \x20   match k { Kind::Sim(s) => Some(format!(\"{:?}\", s.rates)) }\n\
+                   }\n";
+        let files = vec![sf("serve", "crates/serve/src/x.rs", src)];
+        let f = gn14(&files);
+        let exempt: Vec<_> = f.iter().filter(|x| x.suppressed.is_some()).collect();
+        let live: Vec<_> = f.iter().filter(|x| x.suppressed.is_none()).collect();
+        assert_eq!(exempt.len(), 1, "{f:?}");
+        assert_eq!(live.len(), 1, "{f:?}");
+        assert!(live[0].message.contains("stale"), "{}", live[0].message);
+        assert_eq!(live[0].line, 4);
+    }
+
+    #[test]
+    fn gn14_none_arms_are_not_audited() {
+        let src = "pub struct Spec { pub rates: Vec<f64> }\n\
+                   pub enum Kind { Sim(Spec), Stats }\n\
+                   pub fn canonical_json(k: &Kind) -> Option<String> {\n\
+                   \x20   match k {\n\
+                   \x20       Kind::Sim(s) => Some(format!(\"{:?}\", s.rates)),\n\
+                   \x20       Kind::Stats => None,\n\
+                   \x20   }\n\
+                   }\n";
+        let files = vec![sf("serve", "crates/serve/src/x.rs", src)];
+        assert!(gn14(&files).is_empty());
+    }
+
+    #[test]
+    fn gn15_flags_arithmetic_on_getter_and_taint_chain() {
+        let src = "pub struct C { pub hits: Counter, pub misses: Counter }\n\
+                   pub fn ratio(c: &C) -> f64 {\n\
+                   \x20   let h = c.hits.count();\n\
+                   \x20   let m = c.misses.count();\n\
+                   \x20   h as f64 / (h + m) as f64\n\
+                   }\n";
+        let files = vec![sf("serve", "crates/serve/src/x.rs", src)];
+        let f = gn15(&files);
+        assert!(!f.is_empty(), "{f:?}");
+        assert!(
+            f.iter().any(|x| x.message.contains("line 3")),
+            "taint origin named: {f:?}"
+        );
+    }
+
+    #[test]
+    fn gn15_snapshot_into_struct_literal_is_clean() {
+        let src = "pub struct C { pub hits: Counter }\n\
+                   pub struct Stats { pub hits: u64 }\n\
+                   pub fn stats(c: &C) -> Stats {\n\
+                   \x20   Stats { hits: c.hits.count() }\n\
+                   }\n";
+        let files = vec![sf("serve", "crates/serve/src/x.rs", src)];
+        assert!(gn15(&files).is_empty());
+    }
+}

@@ -2,7 +2,15 @@
 //! file, classifies its role (lib / test / bench / bin), and runs the
 //! rules over it in two passes — the per-file rules first, then the
 //! whole-workspace rules (call-graph GN06/GN10, expression-dataflow
-//! GN11/GN12) over the full file set.
+//! GN11/GN12, type-aware GN13–GN15) over the full file set.
+//!
+//! Pass 1 (lex + parse + per-file rules, the bulk of the wall time) is
+//! sharded across `greednet_runtime::parallel_map_indexed` when
+//! [`AnalyzeOptions::threads`] > 1. The merge contract is the same one
+//! the simulation pool obeys: results are collected *in task-index
+//! order*, which is the sorted-file order, so the finding list — and
+//! therefore every report byte — is identical at any thread count.
+//! Pass 2 stays sequential (it is cross-file and cheap).
 //!
 //! First-party means the facade package at the workspace root plus every
 //! crate under `crates/`. `vendor/` (offline dependency stand-ins),
@@ -12,7 +20,7 @@
 use crate::graph::{self, SourceFile};
 use crate::report::Analysis;
 use crate::rules::{self, FileContext, FileKind};
-use crate::{expr, hot};
+use crate::{expr, hot, typerules};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -32,12 +40,43 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
-/// Analyzes the workspace rooted at `root`.
+/// Knobs for [`analyze_with`].
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Worker threads for the per-file pass; 1 = serial. Any count
+    /// produces byte-identical reports (in-task-order merge).
+    pub threads: usize,
+    /// If set, only findings in these workspace-relative paths are
+    /// reported. The full workspace is still lexed and parsed so the
+    /// cross-file context (call graph, unit/telemetry field inventory,
+    /// spec structs) stays complete — this filters output, not analysis.
+    pub changed: Option<Vec<String>>,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> AnalyzeOptions {
+        AnalyzeOptions {
+            threads: 1,
+            changed: None,
+        }
+    }
+}
+
+/// Analyzes the workspace rooted at `root` with default options.
 ///
 /// # Errors
 /// Returns a description of the first I/O failure (unreadable file or
 /// directory).
 pub fn analyze(root: &Path) -> Result<Analysis, String> {
+    analyze_with(root, &AnalyzeOptions::default())
+}
+
+/// Analyzes the workspace rooted at `root`.
+///
+/// # Errors
+/// Returns a description of the first I/O failure (unreadable file or
+/// directory).
+pub fn analyze_with(root: &Path, opts: &AnalyzeOptions) -> Result<Analysis, String> {
     let mut files: Vec<PathBuf> = Vec::new();
     // The facade package's own sources and integration tests.
     for top in ["src", "tests"] {
@@ -64,21 +103,37 @@ pub fn analyze(root: &Path) -> Result<Analysis, String> {
     files.sort();
 
     // Pass 1: lex+parse every file once and run the per-file rules.
-    let mut findings = Vec::new();
-    let mut sources = Vec::with_capacity(files.len());
-    for path in &files {
+    // Sharded on the deterministic pool; the in-task-order merge keeps
+    // the per-file result sequence equal to the serial loop's.
+    let per_file = greednet_runtime::parallel_map_indexed(opts.threads, files.len(), |i| {
+        let path = &files[i];
         let ctx = classify(root, path);
         let src = fs::read_to_string(path)
             .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
         let sf = SourceFile::new(ctx, &src);
-        findings.extend(rules::check_file(&sf.ctx, &sf.lexed));
+        let file_findings = rules::check_file(&sf.ctx, &sf.lexed);
+        Ok::<_, String>((sf, file_findings))
+    });
+    let mut findings = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
+    for result in per_file {
+        let (sf, file_findings) = result?;
+        findings.extend(file_findings);
         sources.push(sf);
     }
-    // Pass 2: the call-graph rule needs the whole workspace at once.
+    // Pass 2: the cross-file rules need the whole workspace at once.
     findings.extend(graph::gn06(&sources));
     findings.extend(hot::gn10(&sources));
     findings.extend(expr::gn11(&sources));
     findings.extend(expr::gn12(&sources));
+    findings.extend(typerules::gn13(&sources));
+    findings.extend(typerules::gn14(&sources));
+    findings.extend(typerules::gn15(&sources));
+    if let Some(changed) = &opts.changed {
+        // Output filter for `--changed`: synthetic anchors (line-0 table
+        // rows) follow their host file like any other finding.
+        findings.retain(|f| changed.iter().any(|c| c == &f.file));
+    }
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(Analysis {

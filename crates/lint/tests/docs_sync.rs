@@ -30,7 +30,7 @@ fn enforced_ids() -> BTreeSet<String> {
     greednet_lint::rules::DIAGNOSTICS
         .iter()
         .chain(greednet_lint::rules::RULES)
-        .map(|(id, _)| (*id).to_string())
+        .map(|r| r.id.to_string())
         .collect()
 }
 
@@ -66,10 +66,46 @@ fn rule_tables_are_sorted_and_unique() {
     let ids: Vec<&str> = greednet_lint::rules::DIAGNOSTICS
         .iter()
         .chain(greednet_lint::rules::RULES)
-        .map(|(id, _)| *id)
+        .map(|r| r.id)
         .collect();
     let mut sorted = ids.clone();
     sorted.sort_unstable();
     sorted.dedup();
     assert_eq!(ids, sorted, "rule ids must be sorted and unique");
+}
+
+/// GitHub's anchor algorithm, reduced to what our headings use:
+/// lowercase, keep alphanumerics/underscores/hyphens/spaces, drop the
+/// rest, then spaces become hyphens.
+fn slugify(heading: &str) -> String {
+    heading
+        .to_lowercase()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '-' || *c == ' ')
+        .collect::<String>()
+        .replace(' ', "-")
+}
+
+#[test]
+fn sarif_help_uris_match_lints_md_anchors() {
+    // Every RuleMeta.anchor baked into the SARIF `helpUri` must resolve
+    // against an actual `### GNxx — ...` heading in LINTS.md, so the
+    // links in code-scanning UIs land on the right section.
+    let md = lints_md();
+    let anchors: BTreeSet<String> = md
+        .lines()
+        .filter_map(|l| l.strip_prefix("### "))
+        .map(slugify)
+        .collect();
+    for r in greednet_lint::rules::DIAGNOSTICS
+        .iter()
+        .chain(greednet_lint::rules::RULES)
+    {
+        assert!(
+            anchors.contains(r.anchor),
+            "{}: anchor `{}` has no matching heading in LINTS.md (have {anchors:?})",
+            r.id,
+            r.anchor
+        );
+    }
 }

@@ -4,7 +4,7 @@
 //! firing on its allowed one) is a regression in the analyzer itself.
 
 use greednet_lint::{
-    check_file, expr, graph, hot, lexer, FileContext, FileKind, Finding, SourceFile,
+    check_file, expr, graph, hot, lexer, typerules, FileContext, FileKind, Finding, SourceFile,
 };
 use std::path::Path;
 
@@ -24,6 +24,9 @@ fn context_for(rule: &str) -> FileContext {
         "GN10" => ("des", "crates/des/src/fixture.rs", false),
         "GN11" => ("des", "crates/des/src/fixture.rs", false),
         "GN12" => ("bench", "crates/bench/src/fixture.rs", false),
+        "GN13" => ("des", "crates/des/src/fixture.rs", false),
+        "GN14" => ("serve", "crates/serve/src/fixture.rs", false),
+        "GN15" => ("serve", "crates/serve/src/fixture.rs", false),
         other => panic!("no fixture context for {other}"),
     };
     FileContext {
@@ -55,6 +58,16 @@ fn check_fixture(kind: &str, rule: &str) -> Vec<Finding> {
             .collect(),
         "GN11" => expr::gn11(&[SourceFile::new(context_for(rule), &src)]),
         "GN12" => expr::gn12(&[SourceFile::new(context_for(rule), &src)]),
+        // GN13 can also report stale UNIT_ESCAPE_ALLOW rows anchored at
+        // line 0 in the analyzer source; only code findings are the
+        // fixture's subject (the fixture path is not in the table, so
+        // none fire here — the filter is defensive).
+        "GN13" => typerules::gn13(&[SourceFile::new(context_for(rule), &src)])
+            .into_iter()
+            .filter(|f| f.line != 0)
+            .collect(),
+        "GN14" => typerules::gn14(&[SourceFile::new(context_for(rule), &src)]),
+        "GN15" => typerules::gn15(&[SourceFile::new(context_for(rule), &src)]),
         _ => check_file(&context_for(rule), &lexer::lex(&src)),
     }
 }
@@ -68,7 +81,7 @@ fn live<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
 
 #[test]
 fn every_rule_has_both_fixtures() {
-    for (rule, _) in greednet_lint::rules::RULES {
+    for rule in greednet_lint::rules::RULES.iter().map(|r| r.id) {
         for kind in ["bad", "allowed"] {
             let path = Path::new(env!("CARGO_MANIFEST_DIR"))
                 .join("fixtures")
@@ -94,6 +107,9 @@ fn bad_fixtures_fire_their_rule() {
         ("GN10", 4),
         ("GN11", 5),
         ("GN12", 4),
+        ("GN13", 4),
+        ("GN14", 3),
+        ("GN15", 4),
     ];
     for (rule, min_count) in expected_min {
         let findings = check_fixture("bad", rule);
@@ -156,6 +172,30 @@ fn bad_fixture_spans_point_at_the_offending_lines() {
         vec![7, 13, 20, 25],
         "GN12 anchors at the reduction call sites"
     );
+
+    let gn13 = check_fixture("bad", "GN13");
+    let lines: Vec<u32> = live(&gn13, "GN13").iter().map(|f| f.line).collect();
+    assert_eq!(
+        lines,
+        vec![15, 19, 25, 29],
+        "GN13 anchors at the raw-arithmetic sites (direct, .0, rebound, param)"
+    );
+
+    let gn14 = check_fixture("bad", "GN14");
+    let lines: Vec<u32> = live(&gn14, "GN14").iter().map(|f| f.line).collect();
+    assert_eq!(
+        lines,
+        vec![6, 7, 15],
+        "GN14 anchors at the missing field decls plus the stale exemption"
+    );
+
+    let gn15 = check_fixture("bad", "GN15");
+    let lines: Vec<u32> = live(&gn15, "GN15").iter().map(|f| f.line).collect();
+    assert_eq!(
+        lines,
+        vec![11, 11, 17, 21],
+        "GN15 anchors at the telemetry read-back sites"
+    );
 }
 
 #[test]
@@ -208,7 +248,7 @@ fn gn10_diagnostic_prints_the_call_graph_path() {
 
 #[test]
 fn allowed_fixtures_are_clean() {
-    for (rule, _) in greednet_lint::rules::RULES {
+    for rule in greednet_lint::rules::RULES.iter().map(|r| r.id) {
         let findings = check_fixture("allowed", rule);
         let all_live: Vec<&Finding> = findings.iter().filter(|f| f.suppressed.is_none()).collect();
         assert!(
@@ -224,6 +264,7 @@ fn allowed_fixtures_record_suppression_reasons() {
     // rule still matched — an allow is visible, not invisible).
     for rule in [
         "GN01", "GN02", "GN03", "GN05", "GN06", "GN07", "GN08", "GN09", "GN10", "GN11", "GN12",
+        "GN13", "GN14", "GN15",
     ] {
         let findings = check_fixture("allowed", rule);
         let suppressed: Vec<&Finding> = findings
@@ -238,6 +279,57 @@ fn allowed_fixtures_record_suppression_reasons() {
         let reason = suppressed[0].suppressed.as_deref().unwrap_or("");
         assert!(!reason.is_empty(), "{rule} suppression must carry a reason");
     }
+}
+
+#[test]
+fn gn14_mutation_forgetting_a_keyed_field_fires() {
+    // The completeness check must be *live*: take the compliant fixture,
+    // delete the line that keys `seed`, and the analyzer must flag the
+    // now-forgotten field at its declaration line.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("allowed")
+        .join("gn14.rs");
+    let src = std::fs::read_to_string(&path).expect("allowed gn14 fixture");
+    let mutated: String = src
+        .lines()
+        .filter(|l| !l.contains("s.seed"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let before = typerules::gn14(&[SourceFile::new(context_for("GN14"), &src)]);
+    assert!(
+        live(&before, "GN14").is_empty(),
+        "unmutated fixture must be clean: {before:?}"
+    );
+    let after = typerules::gn14(&[SourceFile::new(context_for("GN14"), &mutated)]);
+    let hits = live(&after, "GN14");
+    assert_eq!(
+        hits.len(),
+        1,
+        "dropping `s.seed` from canonical_json must fire: {after:?}"
+    );
+    assert_eq!(hits[0].line, 5, "anchored at the `seed` field declaration");
+    assert!(
+        hits[0].message.contains("SimSpec.seed"),
+        "names the forgotten field: {}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn gn15_taint_path_names_the_probe_and_origin() {
+    // The dataflow diagnostic must show the path: binding name, the
+    // telemetry getter it came from, and the origin line.
+    let findings = check_fixture("bad", "GN15");
+    let tainted = live(&findings, "GN15")
+        .into_iter()
+        .find(|f| f.line == 17)
+        .expect("tainted rebinding flagged");
+    assert!(
+        tainted.message.contains("`again` <- `.count()` (line 15)"),
+        "taint path missing: {}",
+        tainted.message
+    );
 }
 
 #[test]

@@ -78,6 +78,25 @@ pub fn diff(baseline: &str, current: &str, threshold: f64) -> Result<Vec<Regress
     Ok(out)
 }
 
+/// Headline keys present in `current` but absent from the checked-in
+/// `baseline` — new metrics the gate cannot watch yet. The `bench-diff`
+/// binary prints a warning line per key instead of ignoring them
+/// silently: a newly added `*_per_sec` metric only becomes regression-
+/// gated once the baseline is regenerated to contain it.
+///
+/// # Errors
+///
+/// On malformed JSON in either report.
+pub fn new_headlines(baseline: &str, current: &str) -> Result<Vec<String>, String> {
+    let base = numeric_leaves(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = numeric_leaves(current).map_err(|e| format!("current: {e}"))?;
+    Ok(cur
+        .iter()
+        .filter(|(k, _)| is_headline(k) && !base.iter().any(|(b, _)| b == k))
+        .map(|(k, _)| k.clone())
+        .collect())
+}
+
 /// Flattens every numeric leaf of a JSON document to `(dotted.path, value)`
 /// pairs in document order; array elements use their index as a segment.
 ///
@@ -281,6 +300,25 @@ mod tests {
         let regs = diff(BASE, "{}", 0.15).expect("diff");
         assert_eq!(regs.len(), 3);
         assert!(regs.iter().all(|r| r.current == 0.0));
+    }
+
+    #[test]
+    fn new_headlines_reports_keys_missing_from_baseline() {
+        let current = r#"{
+            "workloads": {
+                "fifo": {"events_per_sec": 1000},
+                "wfq": {"events_per_sec": 4000, "events": 10}
+            },
+            "total": {"events_per_sec": 3000}
+        }"#;
+        let fresh = new_headlines(BASE, current).expect("diff");
+        assert_eq!(fresh, vec!["workloads.wfq.events_per_sec".to_string()]);
+        // Symmetric direction stays the diff()'s business: nothing new
+        // when current is a subset of the baseline.
+        assert!(new_headlines(BASE, "{}").expect("diff").is_empty());
+        // Non-headline additions are not warned about.
+        let counts = r#"{"workloads": {"wfq": {"events": 10}}}"#;
+        assert!(new_headlines(BASE, counts).expect("diff").is_empty());
     }
 
     #[test]

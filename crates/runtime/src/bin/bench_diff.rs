@@ -52,19 +52,33 @@ fn main() -> ExitCode {
     };
     let read =
         |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
-    let regressions = match (read(&baseline), read(&current)) {
-        (Ok(b), Ok(c)) => match greednet_runtime::bench_diff::diff(&b, &c, threshold) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::from(2);
+    let (regressions, fresh) = match (read(&baseline), read(&current)) {
+        (Ok(b), Ok(c)) => {
+            let diffed = greednet_runtime::bench_diff::diff(&b, &c, threshold)
+                .and_then(|r| greednet_runtime::bench_diff::new_headlines(&b, &c).map(|n| (r, n)));
+            match diffed {
+                Ok(pair) => pair,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
             }
-        },
+        }
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    // New headline metrics are ungated until the baseline contains them:
+    // warn so a freshly added *_per_sec key cannot sit outside the gate
+    // unnoticed. Never an error — adding a metric is legitimate; the
+    // warning is the reminder to regenerate the baseline in the same PR.
+    for key in &fresh {
+        println!(
+            "bench-diff: warning: {key} present in {current} but missing from \
+             {baseline}; regenerate the baseline to gate it"
+        );
+    }
     if regressions.is_empty() {
         println!(
             "bench-diff: {current} within {:.0}% of {baseline} on all headline metrics",

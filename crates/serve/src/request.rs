@@ -364,10 +364,7 @@ impl RequestKind {
                             Json::Arr(weights.into_iter().map(Json::Num).collect()),
                         ),
                         ("seed".into(), Json::Num(u64_to_num(s.seed))),
-                        // `threads` is deliberately absent: the large-N
-                        // solvers are bitwise identical at any thread
-                        // count (pinned by the largen determinism tests),
-                        // so pool width must not split the cache.
+                        // gn:canon-exempt(LargenSpec.threads: large-N solvers are bitwise identical at any thread count (pinned by the largen determinism tests), so pool width must not split the cache)
                     ],
                 ))
             }
